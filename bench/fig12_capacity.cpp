@@ -1,0 +1,216 @@
+// Figure 12: throughput under different system capacities, 1 GB of memory
+// per system.
+//
+// DEBAR spends its memory on the SIL/SIU index cache, so growing capacity
+// only grows the disk index — dedup-2 slows gracefully (SIL/SIU time is
+// proportional to index size) while dedup-1 is untouched. DDFS spends the
+// same memory on its Bloom-filter summary vector, so growing capacity
+// shrinks m/n and the false-positive rate explodes — every false positive
+// is a random index I/O in the inline path.
+//
+// Scale: everything is run at 1/4096 of paper scale (data volume, index
+// size, Bloom size), which keeps the data:index ratio — and hence every
+// modeled throughput — comparable. Capacity points {8,16,32,64,128} TB map
+// to indexes of {32,...,512} GB (paper) = 2^{8..12} buckets here.
+//
+// Paper reference points: DEBAR total 330 -> 214 MB/s and dedup-2 197 ->
+// 97 MB/s across the sweep; DDFS ~190 MB/s at 8 TB collapsing to <28% of
+// that beyond ~12 TB.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+#include "ddfs/ddfs_server.hpp"
+#include "filter/bloom_filter.hpp"
+#include "workload/hust_trace.hpp"
+
+namespace {
+
+using namespace debar;
+
+constexpr std::uint32_t kChunkSize = kExpectedChunkSize;
+constexpr std::size_t kClients = 8;
+constexpr std::uint64_t kChunksPerClient = 1024;
+constexpr unsigned kDays = 14;
+constexpr std::uint64_t kSeed = 1212;
+
+struct DebarPoint {
+  double total_mbps = 0;
+  double dedup2_mbps = 0;
+};
+
+/// Run the scaled HUSt trace against a DEBAR server whose index has
+/// 2^prefix_bits 8 KiB buckets.
+DebarPoint run_debar(unsigned prefix_bits) {
+  storage::ChunkRepository repo(1);
+  core::Director director;
+  core::BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = prefix_bits, .blocks_per_bucket = 16};
+  cfg.filter_params = {.hash_bits = 14, .capacity = 1 << 22};
+  cfg.chunk_store.cache_params = {.hash_bits = 10, .capacity = 1 << 23};
+  cfg.chunk_store.io_buckets = 256;
+  cfg.chunk_store.siu_threshold = 6000;
+  core::BackupServer server(0, cfg, &repo, &director);
+  core::BackupEngine engine("hust", &director);
+
+  std::vector<std::uint64_t> jobs;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    jobs.push_back(director.define_job("node" + std::to_string(c), "hust"));
+  }
+  workload::HustTrace trace({.days = kDays, .clients = kClients,
+                             .mean_daily_chunks = kChunksPerClient,
+                             .seed = kSeed});
+
+  double logical = 0, d1_seconds = 0, d2_seconds = 0, d2_in = 0;
+  double undetermined_bytes = 0;
+  const double trigger = 2.5 * kClients * kChunksPerClient * kChunkSize / 3.6;
+
+  for (unsigned day = 1; day <= kDays; ++day) {
+    const core::ServerClocks before = server.clocks();
+    for (auto& job : trace.day(day)) {
+      const auto stats = engine.run_backup_stream(
+          jobs[job.client], std::span<const Fingerprint>(job.stream),
+          server.file_store(), kChunkSize);
+      if (!stats.ok()) std::exit(1);
+      logical += static_cast<double>(stats.value().logical_bytes);
+      undetermined_bytes +=
+          static_cast<double>(stats.value().transferred_bytes);
+    }
+    const core::ServerClocks mid = server.clocks();
+    d1_seconds += std::max(mid.nic - before.nic,
+                           mid.log_disk - before.log_disk);
+
+    if (undetermined_bytes >= trigger || day == kDays) {
+      const core::ServerClocks b2 = server.clocks();
+      const double repo_b2 = repo.max_node_seconds();
+      const auto result = server.run_dedup2(day == kDays);
+      if (!result.ok()) std::exit(1);
+      const core::ServerClocks a2 = server.clocks();
+      d2_seconds += result.value().sil_seconds +
+                    std::max(a2.log_disk - b2.log_disk,
+                             repo.max_node_seconds() - repo_b2) +
+                    result.value().siu_seconds;
+      d2_in += undetermined_bytes;
+      undetermined_bytes = 0;
+    }
+  }
+  return {.total_mbps = logical / (d1_seconds + d2_seconds) / 1e6,
+          .dedup2_mbps = d2_in / d2_seconds / 1e6};
+}
+
+/// DDFS at a given summary-vector load m/n: a working set is really
+/// stored, then the Bloom filter is inflated to the target occupancy and
+/// a 10%-new day is pushed through. Throughput is logical bytes over
+/// (NIC + index) modeled time.
+double run_ddfs(double m_over_n) {
+  storage::ChunkRepository repo(1);
+  ddfs::DdfsConfig cfg;
+  cfg.bloom_bits = 1 << 21;  // "1 GB" at 1/4096 scale
+  cfg.bloom_hashes = 4;      // the paper's Figure 12 measurement uses k=4
+  cfg.index_params = {.prefix_bits = 8, .blocks_per_bucket = 16};
+  cfg.write_buffer_entries = 800;
+  cfg.io_buckets = 256;
+  ddfs::DdfsServer server(cfg, &repo);
+
+  // Store a real working set (what today's duplicates will refer to).
+  constexpr std::uint64_t kWorkingSet = 8192;
+  std::vector<Fingerprint> stored;
+  stored.reserve(kWorkingSet);
+  for (std::uint64_t i = 0; i < kWorkingSet; ++i) {
+    stored.push_back(Sha1::hash_counter(i));
+  }
+  if (!server.backup_stream(std::span<const Fingerprint>(stored), kChunkSize)
+           .ok() ||
+      !server.flush_write_buffer().ok()) {
+    std::exit(1);
+  }
+
+  // Inflate the summary vector to the target m/n.
+  const auto target_n =
+      static_cast<std::uint64_t>(cfg.bloom_bits / m_over_n);
+  if (target_n > kWorkingSet) {
+    server.inflate_summary_vector(target_n - kWorkingSet);
+  }
+  server.reset_clocks();
+
+  // One day: 90% duplicates (locality runs over the working set), 10% new.
+  Xoshiro256 rng(99);
+  std::vector<Fingerprint> day;
+  std::uint64_t fresh_counter = 1ULL << 40;
+  while (day.size() < 16384) {
+    const std::uint64_t run_len = 64 + rng.below(128);
+    if (rng.chance(0.9)) {
+      const std::uint64_t start = rng.below(kWorkingSet - run_len);
+      for (std::uint64_t i = 0; i < run_len; ++i) {
+        day.push_back(stored[start + i]);
+      }
+    } else {
+      for (std::uint64_t i = 0; i < run_len; ++i) {
+        day.push_back(Sha1::hash_counter(fresh_counter++));
+      }
+    }
+  }
+  const auto stats =
+      server.backup_stream(std::span<const Fingerprint>(day), kChunkSize);
+  if (!stats.ok()) std::exit(1);
+  const double seconds = server.nic_seconds() + server.index_seconds();
+  return static_cast<double>(stats.value().logical_bytes) / seconds / 1e6;
+}
+
+struct CapacityPoint {
+  double capacity_tb;   // paper-scale capacity
+  unsigned prefix_bits; // DEBAR index size at bench scale
+  double ddfs_m_over_n; // DDFS summary-vector load at this stored volume
+};
+
+constexpr CapacityPoint kPoints[] = {
+    {8, 8, 8.0}, {16, 9, 4.0}, {32, 10, 2.0},
+    {64, 11, 1.0}, {128, 12, 0.5},
+};
+
+void print_table() {
+  std::printf("\n=== Figure 12: throughput vs system capacity (MB/s, "
+              "modeled; 1 GB memory per system) ===\n");
+  std::printf("capacity (TB) | DEBAR total | DEBAR dedup-2 | DDFS | "
+              "DDFS bloom fpr\n");
+  for (const CapacityPoint& p : kPoints) {
+    const DebarPoint debar = run_debar(p.prefix_bits);
+    const double ddfs = run_ddfs(p.ddfs_m_over_n);
+    const double fpr = filter::BloomFilter::false_positive_rate(
+        1000, static_cast<std::uint64_t>(1000 * p.ddfs_m_over_n), 4);
+    std::printf("%13.0f | %11.1f | %13.1f | %4.1f | %13.1f%%\n",
+                p.capacity_tb, debar.total_mbps, debar.dedup2_mbps, ddfs,
+                fpr * 100.0);
+  }
+  std::printf("paper anchors: DEBAR total 330 -> 214; dedup-2 197 -> 97; "
+              "DDFS ~190 at 8 TB, <28%% of that past ~12 TB\n\n");
+}
+
+void BM_Fig12_Capacity(benchmark::State& state) {
+  const CapacityPoint& p = kPoints[state.range(0)];
+  DebarPoint debar{};
+  double ddfs = 0;
+  for (auto _ : state) {
+    debar = run_debar(p.prefix_bits);
+    ddfs = run_ddfs(p.ddfs_m_over_n);
+    benchmark::DoNotOptimize(ddfs);
+  }
+  state.counters["capacity_TB"] = p.capacity_tb;
+  state.counters["debar_total_MBps"] = debar.total_mbps;
+  state.counters["debar_d2_MBps"] = debar.dedup2_mbps;
+  state.counters["ddfs_MBps"] = ddfs;
+}
+BENCHMARK(BM_Fig12_Capacity)->DenseRange(0, 4)->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

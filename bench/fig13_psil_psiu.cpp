@@ -1,0 +1,141 @@
+// Figure 13: PSIL / PSIU aggregate speeds with 16 backup servers, total
+// index size 0.5 .. 8 TB (i.e. 32 .. 512 GB per part), 1 GB index cache
+// per server.
+//
+// The cluster's five-phase dedup-2 runs for real (exchange, PSIL,
+// results, storing, PSIU) over 16 server shards; each part's device is
+// rate-scaled so its streaming time equals the paper RAID's time for the
+// full-size part. Rates are reported at paper scale.
+//
+// Paper reference points: PSIL ~3710 kfp/s and PSIU ~1524 kfp/s at
+// 0.5 TB; ~338 and ~135 kfp/s at 8 TB.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace debar;
+
+constexpr unsigned kRoutingBits = 4;  // 16 servers
+constexpr unsigned kPartPrefixBits = 10;
+constexpr std::uint64_t kActualPartBytes =
+    (std::uint64_t{1} << kPartPrefixBits) * 16 * kIndexBlockSize;  // 8 MiB
+constexpr std::uint32_t kChunkSize = 1024;  // payload size is irrelevant here
+
+struct Fig13Point {
+  double total_index_tb;
+  double psil_kfps;
+  double psiu_kfps;
+};
+
+Fig13Point run_point(double total_index_tb) {
+  const std::uint64_t modeled_part_bytes = static_cast<std::uint64_t>(
+      total_index_tb * static_cast<double>(TiB) / 16.0);
+  const double scale = static_cast<double>(modeled_part_bytes) /
+                       static_cast<double>(kActualPartBytes);
+  // 1 GB cache = ~44M paper fingerprints per server; scale the actual
+  // load by the same factor the device time is scaled by.
+  const auto fps_per_server = static_cast<std::uint64_t>(44.0e6 / scale);
+
+  core::ClusterConfig cfg;
+  cfg.routing_bits = kRoutingBits;
+  cfg.repository_nodes = 16;
+  cfg.server_config.index_params = {.prefix_bits = kPartPrefixBits,
+                                    .blocks_per_bucket = 16};
+  cfg.server_config.index_profile =
+      sim::DiskProfile::PaperRaid().scaled_to(modeled_part_bytes,
+                                              kActualPartBytes);
+  cfg.server_config.filter_params = {.hash_bits = 14, .capacity = 1 << 22};
+  cfg.server_config.chunk_store.cache_params = {.hash_bits = 8,
+                                                .capacity = 1 << 24};
+  cfg.server_config.chunk_store.io_buckets = 256;
+  cfg.server_config.chunk_store.siu_threshold = 1;
+  core::Cluster cluster(cfg);
+
+  // Every server receives a fresh stream (distinct counter subspaces):
+  // PSIL processes the full load, PSIU registers all of it.
+  std::uint64_t total_fps = 0;
+  for (std::size_t s = 0; s < cluster.server_count(); ++s) {
+    const std::uint64_t job =
+        cluster.director().define_job("c" + std::to_string(s), "d");
+    core::FileStore& fs = cluster.server(s).file_store();
+    fs.begin_job(job);
+    fs.begin_file({.path = "stream",
+                   .size = fps_per_server * kChunkSize,
+                   .mtime = 0,
+                   .mode = 0644});
+    for (std::uint64_t i = 0; i < fps_per_server; ++i) {
+      const Fingerprint fp =
+          Sha1::hash_counter((static_cast<std::uint64_t>(s) << 48) + i);
+      if (fs.offer_fingerprint(fp, kChunkSize)) {
+        const auto payload =
+            core::BackupEngine::synthetic_payload(fp, kChunkSize);
+        if (!fs.receive_chunk(fp, ByteSpan(payload.data(), payload.size()))
+                 .ok()) {
+          std::exit(1);
+        }
+      }
+      ++total_fps;
+    }
+    fs.end_file();
+    if (!fs.end_job().ok()) std::exit(1);
+  }
+
+  const auto result = cluster.run_dedup2(/*force_siu=*/true);
+  if (!result.ok()) {
+    std::fprintf(stderr, "dedup-2 failed: %s\n",
+                 result.error().to_string().c_str());
+    std::exit(1);
+  }
+
+  Fig13Point point;
+  point.total_index_tb = total_index_tb;
+  point.psil_kfps = static_cast<double>(total_fps) * scale /
+                    result.value().sil_seconds / 1e3;
+  point.psiu_kfps = static_cast<double>(result.value().new_chunks) * scale /
+                    result.value().siu_seconds / 1e3;
+  return point;
+}
+
+const double kSizesTb[] = {0.5, 1, 2, 4, 8};
+
+void print_table() {
+  std::printf("\n=== Figure 13: PSIL / PSIU speeds, 16 backup servers, "
+              "1 GB cache each (kilo-fingerprints/s, paper scale) ===\n");
+  std::printf("index (TB) | PSIL (kfp/s) | PSIU (kfp/s)\n");
+  for (const double tb : kSizesTb) {
+    const Fig13Point p = run_point(tb);
+    std::printf("%10.1f | %12.0f | %12.0f\n", p.total_index_tb, p.psil_kfps,
+                p.psiu_kfps);
+  }
+  std::printf("paper anchors: 0.5 TB -> ~3710 / ~1524; 8 TB -> ~338 / "
+              "~135\n\n");
+}
+
+void BM_Fig13_PsilPsiu(benchmark::State& state) {
+  const double tb = kSizesTb[state.range(0)];
+  Fig13Point p{};
+  for (auto _ : state) {
+    p = run_point(tb);
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["index_TB"] = tb;
+  state.counters["PSIL_kfps"] = p.psil_kfps;
+  state.counters["PSIU_kfps"] = p.psiu_kfps;
+}
+BENCHMARK(BM_Fig13_PsilPsiu)->DenseRange(0, 4)->Iterations(1)
+    ->Unit(benchmark::kSecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

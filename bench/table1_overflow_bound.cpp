@@ -1,0 +1,70 @@
+// Table 1: calculated upper bound of Pr(D) — the probability that a
+// 512 GB disk index triggers capacity scaling before reaching utilization
+// eta — for bucket sizes 0.5 KiB .. 64 KiB.
+//
+// Paper values for comparison:
+//   bucket  eta   Pr(D) <        bucket  eta   Pr(D) <
+//   0.5KB   35%   1.71%          8KB     80%   1.91%
+//   1KB     45%   1.02%          16KB    85%   1.93%
+//   2KB     55%   1.24%          32KB    90%   2.16%
+//   4KB     70%   1.59%          64KB    92%   2.08%
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "index/utilization.hpp"
+
+namespace {
+
+struct Table1Row {
+  double bucket_kib;
+  unsigned prefix_bits;       // 512 GiB / bucket size
+  std::uint64_t bucket_capacity;
+  double eta;
+  double paper_bound;
+};
+
+// 512 GiB index: 2^n = 512 GiB / bucket_bytes; b = 20 entries per 512 B.
+constexpr Table1Row kRows[] = {
+    {0.5, 30, 20, 0.35, 0.0171},  {1, 29, 40, 0.45, 0.0102},
+    {2, 28, 80, 0.55, 0.0124},    {4, 27, 160, 0.70, 0.0159},
+    {8, 26, 320, 0.80, 0.0191},   {16, 25, 640, 0.85, 0.0193},
+    {32, 24, 1280, 0.90, 0.0216}, {64, 23, 2560, 0.92, 0.0208},
+};
+
+void BM_Table1_OverflowBound(benchmark::State& state) {
+  const Table1Row& row = kRows[state.range(0)];
+  double bound = 0;
+  for (auto _ : state) {
+    bound = debar::index::overflow_probability_bound(
+        row.prefix_bits, row.bucket_capacity, row.eta);
+    benchmark::DoNotOptimize(bound);
+  }
+  state.counters["bucket_KiB"] = row.bucket_kib;
+  state.counters["eta_pct"] = row.eta * 100.0;
+  state.counters["bound_pct"] = bound * 100.0;
+  state.counters["paper_pct"] = row.paper_bound * 100.0;
+}
+BENCHMARK(BM_Table1_OverflowBound)->DenseRange(0, 7)->Iterations(1);
+
+void print_table() {
+  std::printf("\n=== Table 1: upper bound of Pr(D), 512 GB disk index ===\n");
+  std::printf("bucket (KB) | eta    | Pr(D) <  (ours) | Pr(D) < (paper)\n");
+  std::printf("------------+--------+-----------------+----------------\n");
+  for (const Table1Row& row : kRows) {
+    const double bound = debar::index::overflow_probability_bound(
+        row.prefix_bits, row.bucket_capacity, row.eta);
+    std::printf("%11.1f | %5.0f%% | %14.2f%% | %13.2f%%\n", row.bucket_kib,
+                row.eta * 100.0, bound * 100.0, row.paper_bound * 100.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

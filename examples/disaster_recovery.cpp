@@ -1,0 +1,110 @@
+// Disaster recovery walk-through: lose the disk index AND the director's
+// in-memory state, then rebuild both — the index from the self-describing
+// chunk repository (Section 4.1), the metadata catalogue from the
+// director's persistent metadata store (Section 6.3) — and restore and
+// verify a backup that predates the "crash".
+#include <cstdio>
+
+#include "core/backup_engine.hpp"
+#include "core/metadata_store.hpp"
+#include "index/recovery.hpp"
+#include "workload/file_tree.hpp"
+
+using namespace debar;
+
+int main() {
+  storage::ChunkRepository repository(2);
+
+  // The director persists job metadata as it arrives.
+  core::MetadataStore metadata(std::make_unique<storage::MemBlockDevice>());
+  core::Director director;
+  director.attach_metadata_store(&metadata);
+
+  core::BackupServerConfig config;
+  config.index_params = {.prefix_bits = 10, .blocks_per_bucket = 16};
+  config.chunk_store.siu_threshold = 1;
+  core::BackupServer server(0, config, &repository, &director);
+  core::BackupEngine client("prod-db", &director);
+
+  // --- 1. Normal operation: two backup generations. -------------------
+  const std::uint64_t job = director.define_job("prod-db", "datadir");
+  core::Dataset v1 = workload::make_dataset(
+      {.files = 12, .mean_file_bytes = 128 * KiB, .seed = 42});
+  core::Dataset v2 = workload::mutate_dataset(v1, {.seed = 43});
+  for (const core::Dataset* d : {&v1, &v2}) {
+    if (!client.run_backup(job, *d, server.file_store()).ok() ||
+        !server.run_dedup2(true).ok()) {
+      std::fprintf(stderr, "backup failed\n");
+      return 1;
+    }
+  }
+  std::printf("backed up 2 versions: %llu containers, %llu index entries, "
+              "%llu metadata records\n",
+              static_cast<unsigned long long>(repository.container_count()),
+              static_cast<unsigned long long>(
+                  server.chunk_store().index().entry_count()),
+              static_cast<unsigned long long>(metadata.record_count()));
+
+  // --- 2. Disaster: the index device and director state are lost. -----
+  // (Simulated by rebuilding both from scratch; the repository and the
+  // metadata log are the durable ground truth.)
+  std::printf("\n*** simulated crash: disk index and director state lost "
+              "***\n\n");
+
+  index::RecoveryStats stats;
+  auto rebuilt = index::rebuild_index(
+      repository, std::make_unique<storage::MemBlockDevice>(),
+      config.index_params, &stats);
+  if (!rebuilt.ok()) {
+    std::fprintf(stderr, "index recovery failed: %s\n",
+                 rebuilt.error().to_string().c_str());
+    return 1;
+  }
+  std::printf("index rebuilt from repository scan: %llu containers -> %llu "
+              "entries (%llu duplicates collapsed)\n",
+              static_cast<unsigned long long>(stats.containers_scanned),
+              static_cast<unsigned long long>(stats.entries_recovered),
+              static_cast<unsigned long long>(stats.duplicate_fingerprints));
+
+  core::Director recovered_director;
+  recovered_director.attach_metadata_store(&metadata);
+  if (!recovered_director.recover().ok()) {
+    std::fprintf(stderr, "metadata recovery failed\n");
+    return 1;
+  }
+  std::printf("director recovered: %u versions of job %llu\n",
+              recovered_director.version_count(job),
+              static_cast<unsigned long long>(job));
+
+  // --- 3. Bring up a fresh server around the recovered index. ---------
+  core::BackupServer fresh(1, config, &repository, &recovered_director);
+  // Transplant the recovered index into the fresh server's chunk store.
+  fresh.chunk_store().index() = std::move(rebuilt).value();
+
+  core::BackupEngine restore_client("prod-db", &recovered_director);
+  for (std::uint32_t v = 1; v <= 2; ++v) {
+    const auto verify = restore_client.verify(job, v, fresh);
+    if (!verify.ok() || !verify.value().clean()) {
+      std::fprintf(stderr, "verify of version %u FAILED\n", v);
+      return 1;
+    }
+    const auto restored = restore_client.restore(job, v, fresh, true);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "restore of version %u failed: %s\n", v,
+                   restored.error().to_string().c_str());
+      return 1;
+    }
+    const core::Dataset& expect = v == 1 ? v1 : v2;
+    for (std::size_t i = 0; i < expect.files.size(); ++i) {
+      if (restored.value().files[i].content != expect.files[i].content) {
+        std::fprintf(stderr, "version %u content mismatch\n", v);
+        return 1;
+      }
+    }
+    std::printf("version %u: verified clean and restored byte-exact "
+                "(%zu files)\n",
+                v, restored.value().files.size());
+  }
+  std::printf("\ndisaster recovery complete: no data lost\n");
+  return 0;
+}

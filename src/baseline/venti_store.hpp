@@ -1,0 +1,56 @@
+// Venti-style baseline [Quinlan & Dorward, FAST'02]: one random on-disk
+// index I/O per fingerprint lookup and a read-modify-write pair per
+// update. This is the "Random lookup / Random update" series in Figure 11
+// — the regime every accelerated scheme is measured against.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "index/disk_index.hpp"
+#include "sim/disk_model.hpp"
+
+namespace debar::baseline {
+
+struct VentiStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t updates = 0;
+};
+
+class VentiStore {
+ public:
+  VentiStore(index::DiskIndexParams params,
+             sim::DiskProfile profile = sim::DiskProfile::PaperRaid());
+
+  /// Random on-disk lookup. kNotFound when absent.
+  [[nodiscard]] Result<ContainerId> lookup(const Fingerprint& fp);
+
+  /// Random on-disk insert (read bucket + write bucket).
+  [[nodiscard]] Status update(const Fingerprint& fp, ContainerId id);
+
+  [[nodiscard]] double seconds() const noexcept { return clock_.seconds(); }
+  void reset_clock() noexcept { clock_.reset(); }
+
+  [[nodiscard]] const VentiStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const index::DiskIndex& index() const noexcept {
+    return *index_;
+  }
+
+  /// Modeled steady-state random rates for a device profile — the numbers
+  /// Figure 11 plots without needing to execute millions of I/Os.
+  [[nodiscard]] static double modeled_lookups_per_second(
+      const sim::DiskProfile& profile,
+      std::uint64_t bucket_bytes = 8 * KiB);
+  [[nodiscard]] static double modeled_updates_per_second(
+      const sim::DiskProfile& profile,
+      std::uint64_t bucket_bytes = 8 * KiB);
+
+ private:
+  sim::SimClock clock_;
+  sim::DiskModel model_;
+  std::unique_ptr<index::DiskIndex> index_;
+  VentiStats stats_;
+};
+
+}  // namespace debar::baseline

@@ -1,0 +1,98 @@
+#include "cache/index_cache.hpp"
+#include <utility>
+
+#include <algorithm>
+#include <cassert>
+
+namespace debar::cache {
+
+IndexCache::IndexCache(IndexCacheParams params)
+    : params_(params), buckets_(std::size_t{1} << params.hash_bits) {
+  assert(params_.hash_bits >= 1 && params_.hash_bits <= 28);
+  assert(params_.capacity >= 1);
+}
+
+const IndexCache::Entry* IndexCache::find(
+    const Fingerprint& fp) const noexcept {
+  const auto& bucket = buckets_[bucket_of(fp)];
+  for (const Entry& e : bucket) {
+    if (e.fp == fp) return &e;
+  }
+  return nullptr;
+}
+
+IndexCache::Entry* IndexCache::find(const Fingerprint& fp) noexcept {
+  return const_cast<Entry*>(std::as_const(*this).find(fp));
+}
+
+bool IndexCache::insert(const Fingerprint& fp) {
+  if (size_ >= params_.capacity) return false;
+  if (find(fp) != nullptr) return false;
+  buckets_[bucket_of(fp)].push_back({fp, kNullContainer});
+  ++size_;
+  return true;
+}
+
+void IndexCache::erase(const Fingerprint& fp) {
+  auto& bucket = buckets_[bucket_of(fp)];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->fp == fp) {
+      bucket.erase(it);
+      --size_;
+      return;
+    }
+  }
+}
+
+bool IndexCache::contains(const Fingerprint& fp) const {
+  return find(fp) != nullptr;
+}
+
+std::optional<ContainerId> IndexCache::container_of(
+    const Fingerprint& fp) const {
+  const Entry* e = find(fp);
+  if (e == nullptr) return std::nullopt;
+  return e->container;
+}
+
+bool IndexCache::set_container(const Fingerprint& fp, ContainerId id) {
+  Entry* e = find(fp);
+  if (e == nullptr) return false;
+  e->container = id;
+  return true;
+}
+
+std::vector<Fingerprint> IndexCache::sorted_fingerprints() const {
+  std::vector<Fingerprint> out;
+  out.reserve(size_);
+  // Buckets are already in prefix order; sorting within each bucket yields
+  // a globally sorted sequence (prefix order == numeric order for
+  // fingerprints sharing the skip prefix).
+  for (const auto& bucket : buckets_) {
+    const std::size_t start = out.size();
+    for (const Entry& e : bucket) out.push_back(e.fp);
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+  }
+  return out;
+}
+
+std::vector<IndexEntry> IndexCache::sorted_entries() const {
+  std::vector<IndexEntry> out;
+  out.reserve(size_);
+  for (const auto& bucket : buckets_) {
+    const std::size_t start = out.size();
+    for (const Entry& e : bucket) out.push_back({e.fp, e.container});
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                return a.fp < b.fp;
+              });
+  }
+  return out;
+}
+
+void IndexCache::clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  size_ = 0;
+}
+
+}  // namespace debar::cache

@@ -1,0 +1,92 @@
+// In-memory index cache (Section 5.2, Figure 4).
+//
+// The staging structure for SIL and SIU: undetermined fingerprints are
+// inserted into a hash table of 2^m buckets keyed by fingerprint prefix,
+// which automatically groups them in disk-index order — bucket k of the
+// cache maps exactly onto buckets [k*2^{n-m}, (k+1)*2^{n-m}) of a 2^n-bucket
+// disk index. After SIL deletes the fingerprints found on disk, the
+// survivors are new chunks; chunk storing back-fills their container IDs,
+// and SIU drains the cache as sorted entries.
+//
+// Capacity is expressed in fingerprints: the paper's "1 GB index cache
+// holds ~44M fingerprints" gives ~24 bytes/fingerprint of effective
+// memory, matching an IndexEntry plus table overhead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace debar::cache {
+
+struct IndexCacheParams {
+  /// m: bucket-number bits. The cache works with any m <= the disk index's
+  /// n; larger m = finer grouping, same semantics.
+  unsigned hash_bits = 16;
+  /// Routing bits consumed upstream (must equal the disk index part's
+  /// skip_bits so cache and index agree on ordering).
+  unsigned skip_bits = 0;
+  /// Maximum resident fingerprints (memory budget / ~24 B).
+  std::size_t capacity = std::size_t{44} << 20;
+};
+
+class IndexCache {
+ public:
+  explicit IndexCache(IndexCacheParams params = {});
+
+  /// Insert an undetermined fingerprint with a null container ID.
+  /// Returns false when at capacity (caller runs a dedup-2 round first)
+  /// or the fingerprint is already cached.
+  [[nodiscard]] bool insert(const Fingerprint& fp);
+
+  /// Remove a fingerprint (SIL resolved it as a duplicate).
+  void erase(const Fingerprint& fp);
+
+  [[nodiscard]] bool contains(const Fingerprint& fp) const;
+
+  /// Container recorded for fp: nullopt if fp absent; a null ContainerId
+  /// if present but not yet stored.
+  [[nodiscard]] std::optional<ContainerId> container_of(
+      const Fingerprint& fp) const;
+
+  /// Record the container that now holds fp's chunk (chunk storing).
+  /// Returns false if fp is not cached.
+  bool set_container(const Fingerprint& fp, ContainerId id);
+
+  /// All cached fingerprints, sorted ascending — SIL input.
+  [[nodiscard]] std::vector<Fingerprint> sorted_fingerprints() const;
+
+  /// All cached entries sorted by fingerprint — SIU input (the
+  /// "unregistered fingerprint file" content once containers are filled).
+  [[nodiscard]] std::vector<IndexEntry> sorted_entries() const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return params_.capacity;
+  }
+  [[nodiscard]] bool full() const noexcept { return size_ >= params_.capacity; }
+
+ private:
+  struct Entry {
+    Fingerprint fp;
+    ContainerId container;
+  };
+
+  [[nodiscard]] std::uint64_t bucket_of(const Fingerprint& fp) const noexcept {
+    return fp.prefix_bits(params_.skip_bits + params_.hash_bits) &
+           ((std::uint64_t{1} << params_.hash_bits) - 1);
+  }
+
+  [[nodiscard]] const Entry* find(const Fingerprint& fp) const noexcept;
+  [[nodiscard]] Entry* find(const Fingerprint& fp) noexcept;
+
+  IndexCacheParams params_;
+  std::vector<std::vector<Entry>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace debar::cache

@@ -1,0 +1,75 @@
+#include "cache/lpc_cache.hpp"
+
+#include <cassert>
+
+namespace debar::cache {
+
+LpcCache::LpcCache(std::size_t max_containers) : cap_(max_containers) {
+  assert(cap_ >= 1);
+}
+
+void LpcCache::touch(Slot& slot, std::uint64_t id) {
+  lru_.erase(slot.lru_pos);
+  lru_.push_front(id);
+  slot.lru_pos = lru_.begin();
+}
+
+std::optional<ByteSpan> LpcCache::find(const Fingerprint& fp) {
+  const auto it = fp_to_id_.find(fp);
+  if (it == fp_to_id_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  Slot& slot = by_id_.at(it->second);
+  touch(slot, it->second);
+  const std::optional<ByteSpan> chunk = slot.container->find(fp);
+  assert(chunk.has_value() && "fp_to_id_ out of sync with container");
+  ++hits_;
+  return chunk;
+}
+
+void LpcCache::evict_lru() {
+  assert(!lru_.empty());
+  const std::uint64_t victim = lru_.back();
+  lru_.pop_back();
+  const auto it = by_id_.find(victim);
+  assert(it != by_id_.end());
+  for (const storage::ChunkMeta& m : it->second.container->metadata()) {
+    const auto fit = fp_to_id_.find(m.fp);
+    // Only erase mappings still pointing at the victim: a newer container
+    // may have re-registered the same fingerprint.
+    if (fit != fp_to_id_.end() && fit->second == victim) {
+      fp_to_id_.erase(fit);
+    }
+  }
+  by_id_.erase(it);
+}
+
+void LpcCache::insert(std::shared_ptr<const storage::Container> container) {
+  assert(container != nullptr);
+  const std::uint64_t id = container->id().value;
+
+  if (const auto it = by_id_.find(id); it != by_id_.end()) {
+    touch(it->second, id);
+    it->second.container = std::move(container);
+    return;
+  }
+  while (by_id_.size() >= cap_) evict_lru();
+
+  lru_.push_front(id);
+  Slot slot{std::move(container), lru_.begin()};
+  for (const storage::ChunkMeta& m : slot.container->metadata()) {
+    fp_to_id_[m.fp] = id;
+  }
+  by_id_.emplace(id, std::move(slot));
+}
+
+void LpcCache::clear() {
+  lru_.clear();
+  by_id_.clear();
+  fp_to_id_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace debar::cache

@@ -1,0 +1,22 @@
+#include "chunking/fixed_chunker.hpp"
+
+#include <cassert>
+
+namespace debar::chunking {
+
+FixedChunker::FixedChunker(std::uint64_t block_size)
+    : block_size_(block_size) {
+  assert(block_size_ > 0);
+}
+
+std::vector<ChunkBounds> FixedChunker::chunk(ByteSpan data) {
+  std::vector<ChunkBounds> out;
+  out.reserve(data.size() / block_size_ + 1);
+  for (std::uint64_t off = 0; off < data.size(); off += block_size_) {
+    out.push_back(
+        {off, std::min<std::uint64_t>(block_size_, data.size() - off)});
+  }
+  return out;
+}
+
+}  // namespace debar::chunking

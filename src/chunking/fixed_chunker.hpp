@@ -1,0 +1,23 @@
+// Fixed-size blocking baseline (Venti-style). Exists so tests and benches
+// can demonstrate the boundary-shift problem CDC solves (Section 3.2).
+#pragma once
+
+#include "chunking/chunker.hpp"
+
+namespace debar::chunking {
+
+class FixedChunker final : public Chunker {
+ public:
+  explicit FixedChunker(std::uint64_t block_size = kExpectedChunkSize);
+
+  [[nodiscard]] std::vector<ChunkBounds> chunk(ByteSpan data) override;
+
+  [[nodiscard]] std::uint64_t expected_chunk_size() const override {
+    return block_size_;
+  }
+
+ private:
+  std::uint64_t block_size_;
+};
+
+}  // namespace debar::chunking

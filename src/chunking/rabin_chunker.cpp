@@ -1,0 +1,56 @@
+#include "chunking/rabin_chunker.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace debar::chunking {
+
+bool CdcParams::valid() const noexcept {
+  return expected_size >= 2 && std::has_single_bit(expected_size) &&
+         min_size >= window_size && min_size <= expected_size &&
+         expected_size <= max_size && window_size > 0;
+}
+
+RabinChunker::RabinChunker(CdcParams params)
+    : params_(params),
+      window_(params.window_size, params.poly),
+      anchor_mask_(params.expected_size - 1) {
+  assert(params_.valid());
+}
+
+std::vector<ChunkBounds> RabinChunker::chunk(ByteSpan data) {
+  std::vector<ChunkBounds> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.expected_size + 1);
+
+  const std::uint64_t anchor = params_.anchor_value & anchor_mask_;
+  std::uint64_t chunk_start = 0;
+  std::uint64_t pos = 0;
+
+  window_.reset();
+  while (pos < data.size()) {
+    const std::uint64_t fp = window_.slide(data[pos]);
+    ++pos;
+    const std::uint64_t len = pos - chunk_start;
+
+    // Boundaries are only eligible past the minimum size (so the window is
+    // also guaranteed full) and forced at the maximum size.
+    const bool at_anchor =
+        len >= params_.min_size && (fp & anchor_mask_) == anchor;
+    const bool at_max = len >= params_.max_size;
+
+    if (at_anchor || at_max) {
+      out.push_back({chunk_start, len});
+      chunk_start = pos;
+      // Restart the window so each chunk's boundaries depend only on its
+      // own content — required for dedup of shifted content.
+      window_.reset();
+    }
+  }
+  if (chunk_start < data.size()) {
+    out.push_back({chunk_start, data.size() - chunk_start});
+  }
+  return out;
+}
+
+}  // namespace debar::chunking

@@ -1,0 +1,77 @@
+#include "chunking/tttd_chunker.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace debar::chunking {
+
+bool TttdParams::valid() const noexcept {
+  return main_divisor >= 2 && std::has_single_bit(main_divisor) &&
+         backup_divisor >= 2 && std::has_single_bit(backup_divisor) &&
+         backup_divisor < main_divisor && min_size >= window_size &&
+         min_size < max_size && window_size > 0;
+}
+
+TttdChunker::TttdChunker(TttdParams params)
+    : params_(params),
+      window_(params.window_size, params.poly),
+      main_mask_(params.main_divisor - 1),
+      backup_mask_(params.backup_divisor - 1) {
+  assert(params_.valid());
+}
+
+std::vector<ChunkBounds> TttdChunker::chunk(ByteSpan data) {
+  std::vector<ChunkBounds> out;
+  stats_ = CutStats{};
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.main_divisor + 1);
+
+  const std::uint64_t main_anchor = params_.anchor_value & main_mask_;
+  const std::uint64_t backup_anchor = params_.anchor_value & backup_mask_;
+
+  std::uint64_t chunk_start = 0;
+  std::uint64_t pos = 0;
+  std::uint64_t backup_cut = 0;  // 0 = none remembered for this chunk
+
+  window_.reset();
+  while (pos < data.size()) {
+    const std::uint64_t fp = window_.slide(data[pos]);
+    ++pos;
+    const std::uint64_t len = pos - chunk_start;
+    if (len < params_.min_size) continue;
+
+    if ((fp & main_mask_) == main_anchor) {
+      out.push_back({chunk_start, len});
+      ++stats_.primary;
+      chunk_start = pos;
+      backup_cut = 0;
+      window_.reset();
+      continue;
+    }
+    if ((fp & backup_mask_) == backup_anchor) {
+      backup_cut = pos;  // remember the latest backup anchor
+    }
+    if (len >= params_.max_size) {
+      if (backup_cut != 0) {
+        // Cut at the remembered (content-defined) backup anchor; rescan
+        // from there so subsequent boundaries stay content-aligned.
+        out.push_back({chunk_start, backup_cut - chunk_start});
+        ++stats_.backup;
+        pos = backup_cut;
+      } else {
+        out.push_back({chunk_start, len});
+        ++stats_.forced;
+      }
+      chunk_start = pos;
+      backup_cut = 0;
+      window_.reset();
+    }
+  }
+  if (chunk_start < data.size()) {
+    out.push_back({chunk_start, data.size() - chunk_start});
+    ++stats_.tail;
+  }
+  return out;
+}
+
+}  // namespace debar::chunking

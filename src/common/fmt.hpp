@@ -1,0 +1,42 @@
+// Minimal "{}" string formatting (std::format is unavailable on the
+// toolchains this project targets). Supports only the plain `{}`
+// placeholder; arguments are rendered via operator<<. Surplus arguments
+// are appended, missing ones leave the placeholder intact — formatting
+// must never be able to fail at runtime.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace debar {
+
+namespace detail {
+
+inline void format_impl(std::ostringstream& out, std::string_view pattern) {
+  out << pattern;
+}
+
+template <typename First, typename... Rest>
+void format_impl(std::ostringstream& out, std::string_view pattern,
+                 First&& first, Rest&&... rest) {
+  const std::size_t pos = pattern.find("{}");
+  if (pos == std::string_view::npos) {
+    out << pattern << ' ' << first;
+    (void)std::initializer_list<int>{((out << ' ' << rest), 0)...};
+    return;
+  }
+  out << pattern.substr(0, pos) << first;
+  format_impl(out, pattern.substr(pos + 2), std::forward<Rest>(rest)...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+[[nodiscard]] std::string format(std::string_view pattern, Args&&... args) {
+  std::ostringstream out;
+  detail::format_impl(out, pattern, std::forward<Args>(args)...);
+  return out.str();
+}
+
+}  // namespace debar

@@ -1,0 +1,42 @@
+#include "common/hex.hpp"
+
+namespace debar {
+
+namespace {
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (Byte b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::string to_hex(const Fingerprint& fp) {
+  return to_hex(ByteSpan(fp.bytes.data(), fp.bytes.size()));
+}
+
+std::optional<Fingerprint> fingerprint_from_hex(std::string_view hex) {
+  if (hex.size() != Fingerprint::kSize * 2) return std::nullopt;
+  Fingerprint fp;
+  for (std::size_t i = 0; i < Fingerprint::kSize; ++i) {
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    fp.bytes[i] = static_cast<Byte>((hi << 4) | lo);
+  }
+  return fp;
+}
+
+}  // namespace debar

@@ -1,0 +1,23 @@
+// Hex encoding/decoding for fingerprints and debug output.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace debar {
+
+/// Lowercase hex string of arbitrary bytes.
+[[nodiscard]] std::string to_hex(ByteSpan data);
+
+/// Lowercase 40-char hex of a fingerprint.
+[[nodiscard]] std::string to_hex(const Fingerprint& fp);
+
+/// Parse a 40-char hex string back into a fingerprint; nullopt on any
+/// malformed input (wrong length or non-hex character).
+[[nodiscard]] std::optional<Fingerprint> fingerprint_from_hex(
+    std::string_view hex);
+
+}  // namespace debar

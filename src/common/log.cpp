@@ -1,0 +1,37 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace debar {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[debar %s] %.*s\n", level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace debar

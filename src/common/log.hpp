@@ -1,0 +1,33 @@
+// Minimal leveled logger. Benches and examples narrate through this so that
+// library code never writes to stdout behind the caller's back.
+#pragma once
+
+#include <string_view>
+
+#include "common/fmt.hpp"
+
+namespace debar {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// the library is silent in tests unless something is wrong.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+template <typename... Args>
+void log(LogLevel level, std::string_view fmt, Args&&... args) {
+  if (level < log_level()) return;
+  detail::log_line(level, format(fmt, std::forward<Args>(args)...));
+}
+
+#define DEBAR_LOG_DEBUG(...) ::debar::log(::debar::LogLevel::kDebug, __VA_ARGS__)
+#define DEBAR_LOG_INFO(...) ::debar::log(::debar::LogLevel::kInfo, __VA_ARGS__)
+#define DEBAR_LOG_WARN(...) ::debar::log(::debar::LogLevel::kWarn, __VA_ARGS__)
+#define DEBAR_LOG_ERROR(...) ::debar::log(::debar::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace debar

@@ -1,0 +1,134 @@
+#include "common/rabin.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace debar {
+
+namespace poly_gf2 {
+
+int degree(std::uint64_t p) noexcept {
+  return p == 0 ? -1 : 63 - std::countl_zero(p);
+}
+
+std::uint64_t mod(std::uint64_t nh, std::uint64_t nl,
+                  std::uint64_t d) noexcept {
+  assert(d != 0);
+  const int k = degree(d);
+  d <<= 63 - k;
+
+  constexpr std::uint64_t kMsb = std::uint64_t{1} << 63;
+  if (nh != 0) {
+    if (nh & kMsb) nh ^= d;
+    for (int i = 62; i >= 0; --i) {
+      if (nh & (std::uint64_t{1} << i)) {
+        nh ^= d >> (63 - i);
+        nl ^= d << (i + 1);
+      }
+    }
+  }
+  for (int i = 63; i >= k; --i) {
+    if (nl & (std::uint64_t{1} << i)) nl ^= d >> (63 - i);
+  }
+  return nl;
+}
+
+namespace {
+
+void mul(std::uint64_t* ph, std::uint64_t* pl, std::uint64_t x,
+         std::uint64_t y) noexcept {
+  std::uint64_t h = 0, l = 0;
+  if (x & 1) l = y;
+  for (int i = 1; i < 64; ++i) {
+    if (x & (std::uint64_t{1} << i)) {
+      h ^= y >> (64 - i);
+      l ^= y << i;
+    }
+  }
+  *ph = h;
+  *pl = l;
+}
+
+}  // namespace
+
+std::uint64_t mulmod(std::uint64_t x, std::uint64_t y,
+                     std::uint64_t d) noexcept {
+  std::uint64_t h, l;
+  mul(&h, &l, x, y);
+  return mod(h, l, d);
+}
+
+bool irreducible(std::uint64_t p) noexcept {
+  // A degree-k polynomial p is irreducible over GF(2) iff
+  //   x^(2^k) == x (mod p), and
+  //   gcd-style condition: x^(2^(k/q)) - x is coprime with p for each prime
+  //   divisor q of k. For simplicity (and because k here is small) we use
+  //   the classic Rabin test with explicit gcds.
+  const int k = degree(p);
+  if (k <= 0) return false;
+
+  auto sqr = [&](std::uint64_t a) { return mulmod(a, a, p); };
+  auto poly_gcd = [](std::uint64_t a, std::uint64_t b) {
+    while (b != 0) {
+      const std::uint64_t r = mod(0, a, b);
+      a = b;
+      b = r;
+    }
+    return a;
+  };
+
+  // x^(2^i) mod p for i = 1..k.
+  std::uint64_t t = 2;  // the polynomial "x"
+  for (int i = 1; i <= k; ++i) {
+    t = sqr(t);
+    // For each proper divisor step i with k % i == 0 and i < k, require
+    // gcd(p, x^(2^i) - x) == 1.
+    if (i < k && k % i == 0) {
+      const std::uint64_t diff = t ^ 2;  // subtraction == XOR in GF(2)
+      if (degree(poly_gcd(p, diff)) > 0) return false;
+    }
+  }
+  // Finally x^(2^k) must equal x mod p.
+  return t == 2;
+}
+
+}  // namespace poly_gf2
+
+RabinHash::RabinHash(std::uint64_t poly) : poly_(poly) {
+  const int k = poly_gf2::degree(poly);
+  assert(k > 8 && "modulus degree must exceed one byte");
+  shift_ = k - 8;
+  const std::uint64_t t1 = poly_gf2::mod(0, std::uint64_t{1} << k, poly);
+  for (std::uint64_t j = 0; j < 256; ++j) {
+    append_table_[j] =
+        poly_gf2::mulmod(j, t1, poly) | (j << k);
+  }
+}
+
+std::uint64_t RabinHash::hash(ByteSpan data) const noexcept {
+  std::uint64_t fp = 0;
+  for (Byte b : data) fp = append(fp, b);
+  return fp;
+}
+
+RabinWindow::RabinWindow(std::size_t window_size, std::uint64_t poly)
+    : hash_(poly), window_(window_size, 0) {
+  assert(window_size > 0);
+  // sizeshift = x^(8 * window_size) mod P: the factor multiplying the
+  // oldest byte, so `fp ^ remove_table_[oldest]` strips it from the window.
+  std::uint64_t sizeshift = 1;
+  for (std::size_t i = 1; i < window_size; ++i) {
+    sizeshift = hash_.append(sizeshift, 0);
+  }
+  for (std::uint64_t j = 0; j < 256; ++j) {
+    remove_table_[j] = poly_gf2::mulmod(j, sizeshift, poly);
+  }
+}
+
+void RabinWindow::reset() noexcept {
+  std::fill(window_.begin(), window_.end(), 0);
+  pos_ = 0;
+  fp_ = 0;
+}
+
+}  // namespace debar

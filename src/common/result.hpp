@@ -1,0 +1,116 @@
+// Lightweight status/result types for fallible operations.
+//
+// DEBAR's hot paths (index lookups, container I/O) must not throw; they
+// return Result<T>, a tiny expected-like wrapper over a value or an error
+// string with a coarse category. Construction-time invariant violations
+// are programming errors and use assertions instead.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace debar {
+
+enum class Errc {
+  kOk = 0,
+  kNotFound,       // lookup miss where the caller asked for a hard answer
+  kFull,           // structure is at capacity (e.g. three adjacent buckets)
+  kCorrupt,        // on-disk structure failed validation
+  kIoError,        // underlying device failure
+  kInvalidArgument,
+  kUnsupported,
+};
+
+[[nodiscard]] constexpr const char* errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kNotFound: return "not-found";
+    case Errc::kFull: return "full";
+    case Errc::kCorrupt: return "corrupt";
+    case Errc::kIoError: return "io-error";
+    case Errc::kInvalidArgument: return "invalid-argument";
+    case Errc::kUnsupported: return "unsupported";
+  }
+  return "unknown";
+}
+
+/// Error payload: category plus human-readable context.
+struct Error {
+  Errc code = Errc::kOk;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+/// Status of a void-returning operation.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(Errc code, std::string message)
+      : error_{code, std::move(message)} {
+    assert(code != Errc::kOk && "use default construction for OK");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return error_.code == Errc::kOk; }
+  [[nodiscard]] Errc code() const noexcept { return error_.code; }
+  [[nodiscard]] const std::string& message() const noexcept {
+    return error_.message;
+  }
+  [[nodiscard]] std::string to_string() const {
+    return ok() ? "ok" : error_.to_string();
+  }
+
+  static Status Ok() { return {}; }
+
+ private:
+  Error error_;
+};
+
+/// Value-or-error. `value()` asserts on error; check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(implicit)
+  Result(Error error) : storage_(std::move(error)) {
+    assert(std::get<Error>(storage_).code != Errc::kOk);
+  }
+  Result(Errc code, std::string message)
+      : storage_(Error{code, std::move(message)}) {
+    assert(code != Errc::kOk);
+  }
+
+  [[nodiscard]] bool ok() const noexcept {
+    return std::holds_alternative<T>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(storage_));
+  }
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+  [[nodiscard]] Errc code() const noexcept {
+    return ok() ? Errc::kOk : error().code;
+  }
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : Status(error().code, error().message);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+}  // namespace debar

@@ -1,0 +1,118 @@
+// Little-endian serialization helpers for on-disk structures (containers,
+// index blocks, chunk-log records). All DEBAR on-disk integers are
+// little-endian with explicit widths; fingerprints are raw 20-byte strings.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace debar {
+
+/// Append-only byte sink used when building on-disk records.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<Byte>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u16(std::uint16_t v) { le(v, 2); }
+  void u32(std::uint32_t v) { le(v, 4); }
+  void u40(std::uint64_t v) { le(v & ContainerId::kMask, 5); }
+  void u64(std::uint64_t v) { le(v, 8); }
+
+  void bytes(ByteSpan data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+
+  void fingerprint(const Fingerprint& fp) {
+    bytes(ByteSpan(fp.bytes.data(), fp.bytes.size()));
+  }
+
+  void container_id(ContainerId id) { u40(id.value); }
+
+ private:
+  void le(std::uint64_t v, int width) {
+    for (int i = 0; i < width; ++i) out_.push_back(static_cast<Byte>(v >> (8 * i)));
+  }
+
+  std::vector<Byte>& out_;
+};
+
+/// Bounds-checked cursor over an on-disk record. All reads report failure
+/// by returning false / setting `ok()` false instead of reading past the
+/// end, so corrupt input can never cause out-of-bounds access.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteSpan data) : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(le(1)); }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u40() { return le(5); }
+  std::uint64_t u64() { return le(8); }
+
+  Fingerprint fingerprint() {
+    Fingerprint fp;
+    if (!take(fp.bytes.data(), Fingerprint::kSize)) fp = Fingerprint{};
+    return fp;
+  }
+
+  ContainerId container_id() { return ContainerId{u40()}; }
+
+  /// View of the next `n` bytes, advancing the cursor. Empty span (and
+  /// ok()==false) if fewer than n remain.
+  ByteSpan view(std::size_t n) {
+    if (remaining() < n) {
+      ok_ = false;
+      return {};
+    }
+    ByteSpan out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void skip(std::size_t n) {
+    if (remaining() < n) {
+      ok_ = false;
+      pos_ = data_.size();
+    } else {
+      pos_ += n;
+    }
+  }
+
+ private:
+  std::uint64_t le(int width) {
+    std::uint64_t v = 0;
+    Byte buf[8] = {};
+    if (!take(buf, static_cast<std::size_t>(width))) return 0;
+    for (int i = width - 1; i >= 0; --i) v = (v << 8) | buf[i];
+    return v;
+  }
+
+  bool take(Byte* dst, std::size_t n) {
+    // Failure is sticky: once a read overruns, every subsequent read
+    // fails too, so corrupt input can't yield a half-parsed record.
+    if (!ok_ || remaining() < n) {
+      ok_ = false;
+      return false;
+    }
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace debar

@@ -1,0 +1,147 @@
+#include "common/sha1.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace debar {
+
+namespace {
+
+constexpr std::uint32_t kInit[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                    0x10325476u, 0xC3D2E1F0u};
+
+inline std::uint32_t rotl(std::uint32_t x, int s) noexcept {
+  return std::rotl(x, s);
+}
+
+}  // namespace
+
+void Sha1::reset() noexcept {
+  std::memcpy(state_, kInit, sizeof state_);
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const Byte* block) noexcept {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t{block[4 * i]} << 24) |
+           (std::uint32_t{block[4 * i + 1]} << 16) |
+           (std::uint32_t{block[4 * i + 2]} << 8) |
+           std::uint32_t{block[4 * i + 3]};
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(ByteSpan data) noexcept {
+  total_bytes_ += data.size();
+  const Byte* p = data.data();
+  std::size_t n = data.size();
+
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(n, std::size_t{64} - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Fingerprint Sha1::finish() noexcept {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+
+  // Append 0x80 then zero-pad to 56 mod 64, then the 64-bit big-endian
+  // message length.
+  Byte pad[72] = {0x80};
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  update(ByteSpan(pad, pad_len));
+
+  Byte len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<Byte>(bit_len >> (56 - 8 * i));
+  }
+  // update() would re-add to total_bytes_, but the length is already
+  // captured; feed the final block bytes directly through the buffer path.
+  std::memcpy(buffer_ + buffered_, len_bytes, 8);
+  process_block(buffer_);
+  buffered_ = 0;
+
+  Fingerprint fp;
+  for (int i = 0; i < 5; ++i) {
+    fp.bytes[4 * i] = static_cast<Byte>(state_[i] >> 24);
+    fp.bytes[4 * i + 1] = static_cast<Byte>(state_[i] >> 16);
+    fp.bytes[4 * i + 2] = static_cast<Byte>(state_[i] >> 8);
+    fp.bytes[4 * i + 3] = static_cast<Byte>(state_[i]);
+  }
+  return fp;
+}
+
+Fingerprint Sha1::hash(ByteSpan data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Fingerprint Sha1::hash(std::string_view data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+Fingerprint Sha1::hash_counter(std::uint64_t counter) noexcept {
+  Byte buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<Byte>(counter >> (8 * i));
+  }
+  return hash(ByteSpan(buf, sizeof buf));
+}
+
+}  // namespace debar

@@ -1,0 +1,54 @@
+// SHA-1 (FIPS 180-1) implemented from scratch.
+//
+// DEBAR fingerprints every chunk with SHA-1; the synthetic workload
+// generator also feeds 64-bit counters through SHA-1 to produce uniform
+// random fingerprints (Section 6.2 of the paper). This implementation is
+// a straightforward, allocation-free streaming digest.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace debar {
+
+/// Streaming SHA-1 context. Usage:
+///   Sha1 h; h.update(a); h.update(b); Fingerprint fp = h.finish();
+/// `finish()` may be called exactly once; the context is then spent.
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  /// Re-initialize to the FIPS 180-1 IV so the object can be reused.
+  void reset() noexcept;
+
+  /// Absorb `data` into the running digest.
+  void update(ByteSpan data) noexcept;
+  void update(std::string_view data) noexcept {
+    update(ByteSpan(reinterpret_cast<const Byte*>(data.data()), data.size()));
+  }
+
+  /// Pad, finalize, and return the 160-bit digest.
+  [[nodiscard]] Fingerprint finish() noexcept;
+
+  /// One-shot convenience for whole buffers.
+  [[nodiscard]] static Fingerprint hash(ByteSpan data) noexcept;
+  [[nodiscard]] static Fingerprint hash(std::string_view data) noexcept;
+
+  /// Fingerprint of a little-endian 64-bit counter value — the synthetic
+  /// fingerprint construction used throughout the paper's evaluation.
+  [[nodiscard]] static Fingerprint hash_counter(std::uint64_t counter) noexcept;
+
+ private:
+  void process_block(const Byte* block) noexcept;
+
+  std::uint32_t state_[5];
+  std::uint64_t total_bytes_;
+  Byte buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace debar

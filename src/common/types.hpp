@@ -1,0 +1,113 @@
+// Core value types shared by every DEBAR subsystem.
+//
+// The paper's on-disk formats fix two sizes that everything else derives
+// from: a fingerprint is a 160-bit SHA-1 digest, and a container ID is a
+// 40-bit value (8 EB of addressable repository at 8 MB per container).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <string>
+
+namespace debar {
+
+using Byte = std::uint8_t;
+using ByteSpan = std::span<const Byte>;
+
+/// 160-bit SHA-1 chunk fingerprint. Trivially copyable; ordered
+/// lexicographically, which (because SHA-1 output is uniform) is the
+/// number-ordering the DEBAR disk index relies on.
+struct Fingerprint {
+  static constexpr std::size_t kSize = 20;
+
+  std::array<Byte, kSize> bytes{};
+
+  /// First `n` bits of the fingerprint interpreted as a big-endian integer
+  /// (n <= 64). This is the bucket-number mapping from Section 4.1 of the
+  /// paper: bucket = first n bits of the SHA-1 digest.
+  [[nodiscard]] std::uint64_t prefix_bits(unsigned n) const noexcept {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v = (v << 8) | bytes[i];
+    }
+    return n == 0 ? 0 : (n >= 64 ? v : v >> (64 - n));
+  }
+
+  friend auto operator<=>(const Fingerprint&, const Fingerprint&) = default;
+};
+
+static_assert(sizeof(Fingerprint) == Fingerprint::kSize);
+static_assert(std::is_trivially_copyable_v<Fingerprint>);
+
+/// 40-bit container identifier. Value 0 is reserved as "null" (the paper's
+/// index-cache marker for a new chunk whose container is not yet assigned),
+/// so the first real container gets ID 1.
+struct ContainerId {
+  static constexpr std::uint64_t kMask = (std::uint64_t{1} << 40) - 1;
+  static constexpr std::size_t kSerializedSize = 5;
+
+  std::uint64_t value = 0;
+
+  [[nodiscard]] bool is_null() const noexcept { return value == 0; }
+
+  friend auto operator<=>(const ContainerId&, const ContainerId&) = default;
+};
+
+inline constexpr ContainerId kNullContainer{};
+
+/// One disk-index entry: fingerprint -> container. Exactly 25 bytes when
+/// serialized (20-byte fingerprint + 5-byte container ID), as in Section 4.2.
+struct IndexEntry {
+  static constexpr std::size_t kSerializedSize =
+      Fingerprint::kSize + ContainerId::kSerializedSize;
+
+  Fingerprint fp;
+  ContainerId container;
+
+  friend bool operator==(const IndexEntry&, const IndexEntry&) = default;
+};
+
+/// Hash functor so Fingerprint can key unordered containers. SHA-1 output is
+/// already uniform, so folding the first 8 bytes is a perfectly good hash.
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, fp.bytes.data(), sizeof v);
+    return static_cast<std::size_t>(v);
+  }
+};
+
+// Size literals used throughout (paper parameters are all powers of two).
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+inline constexpr std::uint64_t TiB = 1024 * GiB;
+
+// Paper-fixed format constants.
+inline constexpr std::uint64_t kExpectedChunkSize = 8 * KiB;
+inline constexpr std::uint64_t kMinChunkSize = 2 * KiB;
+inline constexpr std::uint64_t kMaxChunkSize = 64 * KiB;
+inline constexpr std::uint64_t kContainerSize = 8 * MiB;
+inline constexpr std::uint64_t kIndexBlockSize = 512;        // one disk block
+inline constexpr std::size_t kEntriesPerIndexBlock = 20;     // 20 x 25B = 500B
+
+}  // namespace debar
+
+template <>
+struct std::hash<debar::Fingerprint> {
+  std::size_t operator()(const debar::Fingerprint& fp) const noexcept {
+    return debar::FingerprintHash{}(fp);
+  }
+};
+
+template <>
+struct std::hash<debar::ContainerId> {
+  std::size_t operator()(const debar::ContainerId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,96 @@
+#include "core/backup_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+
+namespace {
+
+std::unique_ptr<storage::BlockDevice> make_index_device(
+    sim::DiskModel* model) {
+  auto device = std::make_unique<storage::MemBlockDevice>();
+  device->attach_model(model);
+  return device;
+}
+
+}  // namespace
+
+BackupServer::BackupServer(std::size_t server_id,
+                           const BackupServerConfig& config,
+                           storage::ChunkRepository* repository,
+                           Director* director)
+    : server_id_(server_id),
+      config_(config),
+      nic_model_(config.nic_profile, &nic_clock_),
+      log_model_(config.log_profile, &log_clock_),
+      index_model_(config.index_profile, &index_clock_) {
+  auto log_device = std::make_unique<storage::MemBlockDevice>();
+  log_device->attach_model(&log_model_);
+  chunk_log_ = std::make_unique<storage::ChunkLog>(std::move(log_device));
+
+  Result<index::DiskIndex> idx = index::DiskIndex::create(
+      make_index_device(&index_model_), config.index_params);
+  assert(idx.ok() && "index params validated by config construction");
+
+  file_store_ = std::make_unique<FileStore>(config.filter_params,
+                                            chunk_log_.get(), &nic_model_,
+                                            director);
+  // The index cache must agree with the index part on routing bits, and
+  // the chunk store seals containers of the server's configured size.
+  ChunkStoreConfig cs = config.chunk_store;
+  cs.cache_params.skip_bits = config.index_params.skip_bits;
+  cs.container_capacity = config.container_capacity;
+  chunk_store_ = std::make_unique<ChunkStore>(
+      std::move(idx).value(), cs, repository, chunk_log_.get(),
+      [model = &index_model_] { return make_index_device(model); });
+}
+
+Result<Dedup2Result> BackupServer::run_dedup2(bool force_siu) {
+  Dedup2Result result;
+  std::vector<Fingerprint> undetermined = file_store_->take_undetermined();
+  result.undetermined = undetermined.size();
+
+  // Process in index-cache-sized batches; the chunk log stays intact until
+  // every batch has replayed it (later batches still need its records).
+  const std::size_t batch_cap = config_.chunk_store.cache_params.capacity;
+  for (std::size_t pos = 0; pos < undetermined.size();) {
+    const std::size_t n = std::min(batch_cap, undetermined.size() - pos);
+    std::vector<Fingerprint> batch(undetermined.begin() + pos,
+                                   undetermined.begin() + pos + n);
+    pos += n;
+    ++result.sil_runs;
+
+    std::vector<std::uint8_t> found;
+    Result<SilResult> sil = chunk_store_->sil(batch, found);
+    if (!sil.ok()) return sil.error();
+    result.sil_seconds += sil.value().seconds;
+    result.duplicates += sil.value().found_on_disk + sil.value().found_pending;
+
+    std::vector<Fingerprint> new_fps;
+    new_fps.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (found[i] == 0) new_fps.push_back(batch[i]);
+    }
+
+    Result<StoreResult> stored = chunk_store_->store_new_chunks(new_fps);
+    if (!stored.ok()) return stored.error();
+    result.new_chunks += stored.value().new_chunks;
+    result.new_bytes += stored.value().new_bytes;
+    chunk_store_->add_pending(
+        std::span<const IndexEntry>(stored.value().entries));
+  }
+  chunk_store_->clear_log();
+
+  if (force_siu || chunk_store_->siu_due()) {
+    Result<SiuResult> siu = chunk_store_->siu();
+    if (!siu.ok()) return siu.error();
+    result.ran_siu = true;
+    result.siu_seconds = siu.value().seconds;
+  }
+  return result;
+}
+
+}  // namespace debar::core

@@ -1,0 +1,98 @@
+// Backup server: one DEBAR node composing dedup-1 (FileStore) and dedup-2
+// (ChunkStore) over its own simulated devices (NIC, chunk-log disk, index
+// disk), as in Figure 2 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.hpp"
+#include "core/chunk_store.hpp"
+#include "core/director.hpp"
+#include "core/file_store.hpp"
+#include "filter/preliminary_filter.hpp"
+#include "index/disk_index.hpp"
+#include "sim/disk_model.hpp"
+#include "sim/nic_model.hpp"
+#include "storage/chunk_log.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::core {
+
+struct BackupServerConfig {
+  index::DiskIndexParams index_params{.prefix_bits = 14, .skip_bits = 0};
+  filter::PreliminaryFilterParams filter_params{};
+  ChunkStoreConfig chunk_store{};
+  std::uint64_t container_capacity = kContainerSize;
+
+  sim::DiskProfile index_profile = sim::DiskProfile::PaperRaid();
+  sim::DiskProfile log_profile = sim::DiskProfile::PaperChunkLog();
+  sim::NicProfile nic_profile = sim::NicProfile::PaperGigabit();
+};
+
+/// Snapshot of a server's simulated component clocks; benches diff two
+/// snapshots to time a phase (elapsed = max over the devices active in
+/// that phase, since they overlap within a pipeline stage).
+struct ServerClocks {
+  double nic = 0.0;
+  double log_disk = 0.0;
+  double index_disk = 0.0;
+};
+
+/// Outcome of one single-server dedup-2 round.
+struct Dedup2Result {
+  std::uint64_t undetermined = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t new_chunks = 0;
+  std::uint64_t new_bytes = 0;
+  std::uint64_t sil_runs = 0;
+  bool ran_siu = false;
+  double sil_seconds = 0.0;
+  double siu_seconds = 0.0;
+};
+
+class BackupServer {
+ public:
+  BackupServer(std::size_t server_id, const BackupServerConfig& config,
+               storage::ChunkRepository* repository, Director* director);
+
+  [[nodiscard]] FileStore& file_store() noexcept { return *file_store_; }
+  [[nodiscard]] ChunkStore& chunk_store() noexcept { return *chunk_store_; }
+  [[nodiscard]] std::size_t server_id() const noexcept { return server_id_; }
+
+  /// Run a complete single-server dedup-2 (Section 3.3): SIL in index-cache
+  /// sized batches, chunk storing, then SIU when due (or forced).
+  [[nodiscard]] Result<Dedup2Result> run_dedup2(bool force_siu = false);
+
+  [[nodiscard]] ServerClocks clocks() const noexcept {
+    return {nic_clock_.seconds(), log_clock_.seconds(),
+            index_clock_.seconds()};
+  }
+  void reset_clocks() noexcept {
+    nic_clock_.reset();
+    log_clock_.reset();
+    index_clock_.reset();
+  }
+
+  [[nodiscard]] sim::NicModel& nic() noexcept { return nic_model_; }
+  [[nodiscard]] const BackupServerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  std::size_t server_id_;
+  BackupServerConfig config_;
+
+  sim::SimClock nic_clock_;
+  sim::SimClock log_clock_;
+  sim::SimClock index_clock_;
+  sim::NicModel nic_model_;
+  sim::DiskModel log_model_;
+  sim::DiskModel index_model_;
+
+  std::unique_ptr<storage::ChunkLog> chunk_log_;
+  std::unique_ptr<FileStore> file_store_;
+  std::unique_ptr<ChunkStore> chunk_store_;
+};
+
+}  // namespace debar::core

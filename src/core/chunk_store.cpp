@@ -1,0 +1,203 @@
+#include "core/chunk_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace debar::core {
+
+ChunkStore::ChunkStore(index::DiskIndex idx, ChunkStoreConfig config,
+                       storage::ChunkRepository* repository,
+                       storage::ChunkLog* log, DeviceFactory device_factory)
+    : index_(std::move(idx)),
+      config_(config),
+      containers_(repository, config.container_capacity),
+      log_(log),
+      device_factory_(std::move(device_factory)),
+      lpc_(config.lpc_containers) {
+  assert(log_ != nullptr);
+  assert(device_factory_ != nullptr);
+}
+
+double ChunkStore::index_clock_seconds() const {
+  const sim::DiskModel* model = index_.device().model();
+  return model == nullptr ? 0.0 : model->clock()->seconds();
+}
+
+Result<SilResult> ChunkStore::sil(const std::vector<Fingerprint>& sorted_fps,
+                                  std::vector<std::uint8_t>& found) {
+  SilResult result;
+  result.queried = sorted_fps.size();
+  found.assign(sorted_fps.size(), 0);
+
+  const double t0 = index_clock_seconds();
+  Status s = index_.bulk_lookup(
+      std::span<const Fingerprint>(sorted_fps),
+      [&](std::size_t i, ContainerId) {
+        found[i] = 1;
+        ++result.found_on_disk;
+      },
+      config_.io_buckets);
+  if (!s.ok()) return Error{s.code(), s.message()};
+  result.seconds = index_clock_seconds() - t0;
+
+  // Checking-fingerprint pass (Section 5.4): fingerprints already stored
+  // by an earlier SIL round but still awaiting SIU must not be stored
+  // again. This is an in-memory set, no device time.
+  for (std::size_t i = 0; i < sorted_fps.size(); ++i) {
+    if (found[i] == 0 && pending_.contains(sorted_fps[i])) {
+      found[i] = 1;
+      ++result.found_pending;
+    }
+  }
+  return result;
+}
+
+Result<StoreResult> ChunkStore::store_new_chunks(
+    const std::vector<Fingerprint>& new_fps) {
+  StoreResult result;
+  cache::IndexCache cache(config_.cache_params);
+  for (const Fingerprint& fp : new_fps) {
+    // insert() refuses duplicates (harmless: one entry suffices) and
+    // refuses at capacity (a real error: the caller must batch).
+    if (!cache.insert(fp) && !cache.contains(fp)) {
+      return Error{Errc::kInvalidArgument,
+                   "new-fingerprint batch exceeds index cache capacity"};
+    }
+  }
+
+  // Fingerprints whose chunk already sits in the (unsealed) open
+  // container this round: their cache container ID is still null, so a
+  // second log record for the same fingerprint must be suppressed here.
+  std::unordered_set<Fingerprint, FingerprintHash> open_pending;
+  const auto on_seal = [&](ContainerId id,
+                           const std::vector<storage::ChunkMeta>& metas) {
+    for (const storage::ChunkMeta& m : metas) cache.set_container(m.fp, id);
+    open_pending.clear();
+  };
+
+  Status s = log_->scan([&](const Fingerprint& fp, ByteSpan data) {
+    const std::optional<ContainerId> cid = cache.container_of(fp);
+    if (!cid.has_value() || !cid->is_null() || open_pending.contains(fp)) {
+      ++result.discarded;
+      return;
+    }
+    containers_.append(fp, data, on_seal);
+    open_pending.insert(fp);
+    ++result.new_chunks;
+    result.new_bytes += data.size();
+  });
+  if (!s.ok()) return Error{s.code(), s.message()};
+  containers_.flush(on_seal);
+
+  result.entries = cache.sorted_entries();
+  // A cache entry still holding a null container means SIL declared the
+  // fingerprint new but no log record carried its payload — an invariant
+  // violation upstream. Drop it loudly rather than register a dead entry.
+  std::erase_if(result.entries, [&](const IndexEntry& e) {
+    if (e.container.is_null()) {
+      ++result.orphans;
+      DEBAR_LOG_WARN("orphan new fingerprint with no chunk data in log");
+      return true;
+    }
+    return false;
+  });
+  return result;
+}
+
+void ChunkStore::add_pending(std::span<const IndexEntry> entries) {
+  for (const IndexEntry& e : entries) {
+    // Last writer wins: normal dedup-2 never re-adds a pending
+    // fingerprint, but the defragmenter re-maps pending entries to their
+    // new containers through this path.
+    pending_.insert_or_assign(e.fp, e.container);
+  }
+}
+
+Result<SiuResult> ChunkStore::siu() {
+  SiuResult result;
+  if (pending_.empty()) return result;
+
+  std::vector<IndexEntry> entries;
+  entries.reserve(pending_.size());
+  for (const auto& [fp, cid] : pending_) entries.push_back({fp, cid});
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+
+  const double t0 = index_clock_seconds();
+  for (;;) {
+    std::uint64_t inserted = 0;
+    std::vector<std::size_t> failed;
+    Status s = index_.bulk_insert(std::span<const IndexEntry>(entries),
+                                  config_.io_buckets, &inserted, &failed);
+    result.inserted += inserted;
+    if (s.ok()) break;
+    if (s.code() != Errc::kFull) return Error{s.code(), s.message()};
+
+    // Capacity scaling (Section 4.1): rebuild at 2^{n+1} buckets, then
+    // re-apply only the entries that could not be placed.
+    DEBAR_LOG_INFO("disk index full at {} entries; scaling capacity",
+                   index_.entry_count());
+    Result<index::DiskIndex> scaled = index_.scaled(device_factory_());
+    if (!scaled.ok()) return scaled.error();
+    index_ = std::move(scaled).value();
+    ++result.scalings;
+
+    std::vector<IndexEntry> retry;
+    retry.reserve(failed.size());
+    for (const std::size_t i : failed) retry.push_back(entries[i]);
+    entries = std::move(retry);
+    if (entries.empty()) break;
+  }
+  result.seconds = index_clock_seconds() - t0;
+
+  pending_.clear();
+  return result;
+}
+
+Result<ContainerId> ChunkStore::locate(const Fingerprint& fp) const {
+  if (const auto it = pending_.find(fp); it != pending_.end()) {
+    return it->second;
+  }
+  return index_.lookup(fp);
+}
+
+std::optional<std::vector<Byte>> ChunkStore::lpc_probe(const Fingerprint& fp) {
+  if (const std::optional<ByteSpan> hit = lpc_.find(fp)) {
+    return std::vector<Byte>(hit->begin(), hit->end());
+  }
+  return std::nullopt;
+}
+
+Result<std::vector<Byte>> ChunkStore::read_chunk(const Fingerprint& fp) {
+  if (const std::optional<ByteSpan> hit = lpc_.find(fp)) {
+    return std::vector<Byte>(hit->begin(), hit->end());
+  }
+  Result<ContainerId> cid = locate(fp);
+  if (!cid.ok()) return cid.error();
+  return read_chunk_at(fp, cid.value());
+}
+
+Result<std::vector<Byte>> ChunkStore::read_chunk_at(const Fingerprint& fp,
+                                                    ContainerId id) {
+  if (const std::optional<ByteSpan> hit = lpc_.find(fp)) {
+    return std::vector<Byte>(hit->begin(), hit->end());
+  }
+  Result<storage::Container> container = containers_.read(id);
+  if (!container.ok()) return container.error();
+
+  auto shared =
+      std::make_shared<const storage::Container>(std::move(container).value());
+  const std::optional<ByteSpan> chunk = shared->find(fp);
+  if (!chunk.has_value()) {
+    return Error{Errc::kCorrupt,
+                 "index maps fingerprint to a container that lacks it"};
+  }
+  std::vector<Byte> out(chunk->begin(), chunk->end());
+  lpc_.insert(std::move(shared));  // prefetch the whole container (LPC)
+  return out;
+}
+
+}  // namespace debar::core

@@ -1,0 +1,166 @@
+// Chunk Store — the dedup-2 engine on a backup server (Sections 5.2-5.4).
+//
+// Exposes the three batched primitives TPDS composes:
+//
+//   sil()              sequential index lookup over this server's index
+//                      part, plus the checking-fingerprint set that
+//                      shields asynchronous SIU from duplicate storage;
+//   store_new_chunks() replay the chunk log, write genuinely new chunks
+//                      to containers in SISL order, and emit the
+//                      <fingerprint, containerID> entries;
+//   add_pending()/siu()  queue entries and flush them to the disk index
+//                      with one sequential read-modify-write pass,
+//                      triggering capacity scaling when buckets fill.
+//
+// A single-server dedup-2 is sil -> store -> add_pending -> (maybe) siu;
+// the Cluster interleaves routing exchanges between the same calls for
+// PSIL/PSIU. Restore goes through LPC with container prefetch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/index_cache.hpp"
+#include "cache/lpc_cache.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "index/disk_index.hpp"
+#include "storage/chunk_log.hpp"
+#include "storage/container_manager.hpp"
+
+namespace debar::core {
+
+struct ChunkStoreConfig {
+  cache::IndexCacheParams cache_params;
+  /// Capacity of the containers this store seals (Section 3.4: 8 MB).
+  std::uint64_t container_capacity = kContainerSize;
+  /// Buckets per SIL/SIU device read.
+  std::uint64_t io_buckets = 1024;
+  /// Run SIU when the pending set reaches this many entries ("one PSIU
+  /// servicing more than one PSIL", Section 5.4). Forced SIU ignores it.
+  std::uint64_t siu_threshold = 1 << 20;
+  /// LPC read-cache capacity in containers.
+  std::size_t lpc_containers = 16;
+};
+
+struct SilResult {
+  std::uint64_t queried = 0;
+  std::uint64_t found_on_disk = 0;   // duplicates resolved by the index
+  std::uint64_t found_pending = 0;   // duplicates resolved by checking set
+  double seconds = 0.0;              // modeled index-device time
+};
+
+struct StoreResult {
+  std::uint64_t new_chunks = 0;
+  std::uint64_t new_bytes = 0;
+  std::uint64_t discarded = 0;  // log records resolved as duplicates
+  std::uint64_t orphans = 0;    // new fingerprints with no chunk in the log
+  std::vector<IndexEntry> entries;  // fp -> container, sorted by fingerprint
+};
+
+struct SiuResult {
+  std::uint64_t inserted = 0;
+  std::uint64_t scalings = 0;  // capacity-scaling passes triggered
+  double seconds = 0.0;        // modeled index-device time
+};
+
+class ChunkStore {
+ public:
+  /// `device_factory` mints fresh block devices for capacity scaling
+  /// (attached to the same disk model as the current index device).
+  using DeviceFactory =
+      std::function<std::unique_ptr<storage::BlockDevice>()>;
+
+  ChunkStore(index::DiskIndex idx, ChunkStoreConfig config,
+             storage::ChunkRepository* repository, storage::ChunkLog* log,
+             DeviceFactory device_factory);
+
+  // ---- Index-part service (PSIL / PSIU run these on the part owner) ----
+
+  /// Sequential index lookup. `sorted_fps` must be ascending and within
+  /// this part's routing prefix. `found[i]` is set true when fps[i] is a
+  /// duplicate (on disk or pending SIU).
+  [[nodiscard]] Result<SilResult> sil(
+      const std::vector<Fingerprint>& sorted_fps,
+      std::vector<std::uint8_t>& found);
+
+  /// Queue freshly stored entries for a later SIU; they are immediately
+  /// visible to sil() and restores via the checking set.
+  void add_pending(std::span<const IndexEntry> entries);
+
+  /// Sequential index update: flush all pending entries. Runs capacity
+  /// scaling automatically if bucket neighbourhoods fill.
+  [[nodiscard]] Result<SiuResult> siu();
+
+  [[nodiscard]] std::uint64_t pending_count() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] bool siu_due() const noexcept {
+    return pending_.size() >= config_.siu_threshold;
+  }
+
+  // ---- Data service (chunk-log owner) ----
+
+  /// Chunk storing (Section 5.3): replay the chunk log and write the
+  /// chunks whose fingerprints are in `new_fps` (SIL survivors) to
+  /// containers in SISL order. Does NOT clear the log — the caller clears
+  /// it once every batch of the round has been stored.
+  [[nodiscard]] Result<StoreResult> store_new_chunks(
+      const std::vector<Fingerprint>& new_fps);
+
+  void clear_log() { log_->clear(); }
+
+  // ---- Restore path ----
+
+  /// Where does this fingerprint's chunk live? Checks the pending set
+  /// first, then the disk index (one random modeled I/O).
+  [[nodiscard]] Result<ContainerId> locate(const Fingerprint& fp) const;
+
+  /// LPC-only probe: the chunk if its container is cached, else nullopt
+  /// with no device I/O. Cluster restores try this on the serving server
+  /// before paying the owner-side index lookup.
+  [[nodiscard]] std::optional<std::vector<Byte>> lpc_probe(
+      const Fingerprint& fp);
+
+  /// Read one chunk via LPC: hit serves from cache; miss locates the
+  /// container, reads it whole from the repository, and prefetches it.
+  [[nodiscard]] Result<std::vector<Byte>> read_chunk(const Fingerprint& fp);
+
+  /// Read a chunk when the container is already known (cluster restores
+  /// route locate() to the index-part owner, then read locally).
+  [[nodiscard]] Result<std::vector<Byte>> read_chunk_at(const Fingerprint& fp,
+                                                        ContainerId id);
+
+  // ---- Introspection ----
+
+  [[nodiscard]] const index::DiskIndex& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] index::DiskIndex& index() noexcept { return index_; }
+  [[nodiscard]] const cache::LpcCache& lpc() const noexcept { return lpc_; }
+  [[nodiscard]] const ChunkStoreConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] storage::ContainerManager& container_manager() noexcept {
+    return containers_;
+  }
+
+ private:
+  index::DiskIndex index_;
+  ChunkStoreConfig config_;
+  storage::ContainerManager containers_;
+  storage::ChunkLog* log_;
+  DeviceFactory device_factory_;
+  cache::LpcCache lpc_;
+
+  /// The checking-fingerprint file: entries stored to containers but not
+  /// yet registered in the disk index (pending SIU).
+  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> pending_;
+
+  [[nodiscard]] double index_clock_seconds() const;
+};
+
+}  // namespace debar::core

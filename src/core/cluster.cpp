@@ -1,0 +1,289 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/fmt.hpp"
+#include "common/thread_pool.hpp"
+
+namespace debar::core {
+
+namespace {
+
+/// Wire bytes for shipping one fingerprint / one index entry / one lookup
+/// verdict between servers during the exchanges.
+constexpr std::uint64_t kFpWire = Fingerprint::kSize;
+constexpr std::uint64_t kEntryWire = IndexEntry::kSerializedSize;
+constexpr std::uint64_t kVerdictWire = 1;
+
+double max_delta(const std::vector<double>& before,
+                 const std::vector<double>& after) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    m = std::max(m, after[i] - before[i]);
+  }
+  return m;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      repository_(config.repository_nodes, config.repository_profile) {
+  const std::size_t n = std::size_t{1} << config_.routing_bits;
+  BackupServerConfig server_config = config_.server_config;
+  server_config.index_params.skip_bits = config_.routing_bits;
+  servers_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    servers_.push_back(
+        std::make_unique<BackupServer>(k, server_config, &repository_,
+                                       &director_));
+  }
+}
+
+Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
+  const std::size_t n = servers_.size();
+  ClusterDedup2Result result;
+
+  auto nic_clocks = [&] {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = servers_[i]->clocks().nic;
+    return v;
+  };
+  auto index_clocks = [&] {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = servers_[i]->clocks().index_disk;
+    return v;
+  };
+  auto log_clocks = [&] {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = servers_[i]->clocks().log_disk;
+    return v;
+  };
+
+  // ---- Phase A: take undetermined sets and exchange by routing prefix.
+  // outbox[from][to]: the fingerprint subsets in flight.
+  std::vector<std::vector<std::vector<Fingerprint>>> outbox(
+      n, std::vector<std::vector<Fingerprint>>(n));
+  std::vector<std::vector<Fingerprint>> local_undetermined(n);
+
+  const std::vector<double> nic_a0 = nic_clocks();
+  parallel_for(n, n, [&](std::size_t s) {
+    std::vector<Fingerprint> fps = servers_[s]->file_store().take_undetermined();
+    local_undetermined[s] = fps;
+    for (const Fingerprint& fp : fps) {
+      outbox[s][owner_of(fp)].push_back(fp);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != s) {
+        servers_[s]->nic().transfer(outbox[s][k].size() * kFpWire);
+      }
+    }
+  });
+  for (const auto& fps : local_undetermined) result.undetermined += fps.size();
+
+  // ---- Phase B: PSIL on every index-part owner, concurrently.
+  // dup_out[owner][origin]: fingerprints origin must treat as duplicates.
+  std::vector<std::vector<std::vector<Fingerprint>>> dup_out(
+      n, std::vector<std::vector<Fingerprint>>(n));
+  std::vector<Status> phase_status(n);
+
+  const std::vector<double> idx_b0 = index_clocks();
+  std::atomic<std::uint64_t> dup_count{0};
+  parallel_for(n, n, [&](std::size_t k) {
+    // Receive: merge all subsets routed to this owner, tracking origins.
+    struct Query {
+      Fingerprint fp;
+      std::size_t origin;
+    };
+    std::vector<Query> queries;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s != k) {
+        servers_[k]->nic().transfer(outbox[s][k].size() * kFpWire);
+      }
+      for (const Fingerprint& fp : outbox[s][k]) queries.push_back({fp, s});
+    }
+    std::sort(queries.begin(), queries.end(),
+              [](const Query& a, const Query& b) {
+                return a.fp < b.fp ||
+                       (a.fp == b.fp && a.origin < b.origin);
+              });
+
+    std::vector<Fingerprint> unique_fps;
+    unique_fps.reserve(queries.size());
+    for (const Query& q : queries) {
+      if (unique_fps.empty() || unique_fps.back() != q.fp) {
+        unique_fps.push_back(q.fp);
+      }
+    }
+
+    std::vector<std::uint8_t> found;
+    Result<SilResult> sil = servers_[k]->chunk_store().sil(unique_fps, found);
+    if (!sil.ok()) {
+      phase_status[k] = Status(sil.error().code, sil.error().message);
+      return;
+    }
+
+    // Resolve verdicts per origin. For a fingerprint PSIL declares new
+    // that several origins asked about, only the first origin (smallest
+    // id among askers) stores it; the rest are told "duplicate".
+    std::size_t qi = 0;
+    for (std::size_t u = 0; u < unique_fps.size(); ++u) {
+      bool designated = false;
+      for (; qi < queries.size() && queries[qi].fp == unique_fps[u]; ++qi) {
+        const bool is_dup = found[u] != 0 || designated;
+        if (!is_dup) {
+          designated = true;  // this origin stores the chunk
+        } else {
+          dup_out[k][queries[qi].origin].push_back(queries[qi].fp);
+          dup_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+  });
+  for (const Status& s : phase_status) {
+    if (!s.ok()) return Error{s.code(), s.message()};
+  }
+  result.duplicates = dup_count.load();
+  result.sil_seconds = max_delta(idx_b0, index_clocks());
+
+  // ---- Phase C: results return to their origins (network only).
+  parallel_for(n, n, [&](std::size_t s) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != s) {
+        servers_[s]->nic().transfer(dup_out[k][s].size() * kVerdictWire);
+      }
+    }
+  });
+  result.exchange_seconds = max_delta(nic_a0, nic_clocks());
+
+  // ---- Phase D: parallel chunk storing on every origin.
+  std::vector<std::vector<std::vector<IndexEntry>>> entry_out(
+      n, std::vector<std::vector<IndexEntry>>(n));
+  std::atomic<std::uint64_t> new_chunks{0};
+  std::atomic<std::uint64_t> new_bytes{0};
+
+  const std::vector<double> log_d0 = log_clocks();
+  const double repo_d0 = repository_.max_node_seconds();
+  parallel_for(n, n, [&](std::size_t s) {
+    std::unordered_set<Fingerprint, FingerprintHash> dups;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (const Fingerprint& fp : dup_out[k][s]) dups.insert(fp);
+    }
+    std::vector<Fingerprint> new_fps;
+    for (const Fingerprint& fp : local_undetermined[s]) {
+      if (!dups.contains(fp)) new_fps.push_back(fp);
+    }
+
+    Result<StoreResult> stored =
+        servers_[s]->chunk_store().store_new_chunks(new_fps);
+    if (!stored.ok()) {
+      phase_status[s] = Status(stored.error().code, stored.error().message);
+      return;
+    }
+    servers_[s]->chunk_store().clear_log();
+    new_chunks.fetch_add(stored.value().new_chunks);
+    new_bytes.fetch_add(stored.value().new_bytes);
+
+    for (const IndexEntry& e : stored.value().entries) {
+      entry_out[s][owner_of(e.fp)].push_back(e);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != s) {
+        servers_[s]->nic().transfer(entry_out[s][k].size() * kEntryWire);
+      }
+    }
+  });
+  for (const Status& s : phase_status) {
+    if (!s.ok()) return Error{s.code(), s.message()};
+  }
+  result.new_chunks = new_chunks.load();
+  result.new_bytes = new_bytes.load();
+  result.store_seconds =
+      std::max(max_delta(log_d0, log_clocks()),
+               repository_.max_node_seconds() - repo_d0);
+
+  // ---- Phase E: owners register entries; PSIU when due or forced.
+  const std::vector<double> idx_e0 = index_clocks();
+  std::atomic<bool> ran_siu{false};
+  parallel_for(n, n, [&](std::size_t k) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s != k) {
+        servers_[k]->nic().transfer(entry_out[s][k].size() * kEntryWire);
+      }
+      servers_[k]->chunk_store().add_pending(
+          std::span<const IndexEntry>(entry_out[s][k]));
+    }
+    if (force_siu || servers_[k]->chunk_store().siu_due()) {
+      Result<SiuResult> siu = servers_[k]->chunk_store().siu();
+      if (!siu.ok()) {
+        phase_status[k] = Status(siu.error().code, siu.error().message);
+        return;
+      }
+      ran_siu.store(true);
+    }
+  });
+  for (const Status& s : phase_status) {
+    if (!s.ok()) return Error{s.code(), s.message()};
+  }
+  result.ran_siu = ran_siu.load();
+  result.siu_seconds = max_delta(idx_e0, index_clocks());
+
+  return result;
+}
+
+Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
+                                              const Fingerprint& fp) {
+  assert(via_server < servers_.size());
+  // LPC first (Section 3.3): only a cache miss pays the owner-side index
+  // lookup and the container fetch. Either way the restored bytes cross
+  // the serving server's wire to the client.
+  if (auto hit = servers_[via_server]->chunk_store().lpc_probe(fp)) {
+    servers_[via_server]->nic().transfer(hit->size());
+    return std::move(*hit);
+  }
+  const std::size_t owner = owner_of(fp);
+  Result<ContainerId> cid = servers_[owner]->chunk_store().locate(fp);
+  if (!cid.ok()) return cid.error();
+  Result<std::vector<Byte>> chunk =
+      servers_[via_server]->chunk_store().read_chunk_at(fp, cid.value());
+  if (chunk.ok()) {
+    servers_[via_server]->nic().transfer(chunk.value().size());
+  }
+  return chunk;
+}
+
+Result<Dataset> Cluster::restore(std::uint64_t job_id, std::uint32_t version,
+                                 std::size_t via_server) {
+  const std::optional<JobVersionRecord> record =
+      director_.version(job_id, version);
+  if (!record.has_value()) {
+    return Error{Errc::kNotFound,
+                 format("job {} version {} not recorded", job_id, version)};
+  }
+  Dataset out;
+  for (const FileRecord& file : record->files) {
+    FileData data;
+    data.path = file.meta.path;
+    data.content.reserve(file.logical_bytes());
+    for (std::size_t i = 0; i < file.chunk_fps.size(); ++i) {
+      Result<std::vector<Byte>> chunk = read_chunk(via_server,
+                                                   file.chunk_fps[i]);
+      if (!chunk.ok()) return chunk.error();
+      data.content.insert(data.content.end(), chunk.value().begin(),
+                          chunk.value().end());
+    }
+    out.files.push_back(std::move(data));
+  }
+  return out;
+}
+
+void Cluster::reset_clocks() {
+  for (auto& s : servers_) s->reset_clocks();
+  repository_.reset_clocks();
+}
+
+}  // namespace debar::core

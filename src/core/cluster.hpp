@@ -1,0 +1,111 @@
+// Multi-server DEBAR cluster: PSIL / PSIU (Section 5.2, Figure 5).
+//
+// 2^w backup servers each own one disk-index part (fingerprints whose
+// first w bits equal the server number) plus their own chunk log and
+// container stream. A cluster dedup-2 round is five barrier phases:
+//
+//   A. exchange     each server partitions its undetermined fingerprints
+//                   by the first w bits and ships each subset to its
+//                   index-part owner;
+//   B. PSIL         every owner runs SIL over its part concurrently and
+//                   resolves multi-origin queries to a single designated
+//                   storer (the cross-stream analogue of the checking-
+//                   fingerprint mechanism — without it two servers would
+//                   both store a chunk they share);
+//   C. results      lookup results return to their origins;
+//   D. storing      every origin replays its chunk log and containers the
+//                   chunks PSIL declared new, in parallel;
+//   E. PSIU         <fingerprint, containerID> entries route back to the
+//                   part owners, which register them — immediately into
+//                   the pending (checking) set, and into the on-disk index
+//                   when SIU is due or forced.
+//
+// Phases are barriers, so per-phase elapsed time is the maximum of the
+// participating servers' modeled device times (plus the repository's
+// busiest node during storing).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/backup_engine.hpp"
+#include "core/backup_server.hpp"
+#include "core/director.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::core {
+
+struct ClusterConfig {
+  /// w: the cluster runs 2^w backup servers.
+  unsigned routing_bits = 2;
+  /// Per-server template; index_params.skip_bits is overridden to w.
+  BackupServerConfig server_config{};
+  /// Storage nodes in the shared chunk repository.
+  std::size_t repository_nodes = 4;
+  sim::DiskProfile repository_profile = sim::DiskProfile::PaperRaid();
+};
+
+struct ClusterDedup2Result {
+  std::uint64_t undetermined = 0;
+  std::uint64_t duplicates = 0;      // resolved on disk, pending, or multi-origin
+  std::uint64_t new_chunks = 0;
+  std::uint64_t new_bytes = 0;
+  bool ran_siu = false;
+  double exchange_seconds = 0.0;  // phases A + C (network)
+  double sil_seconds = 0.0;       // phase B (max over owners)
+  double store_seconds = 0.0;     // phase D (max of log replay, repo node)
+  double siu_seconds = 0.0;       // phase E (max over owners)
+
+  [[nodiscard]] double total_seconds() const noexcept {
+    return exchange_seconds + sil_seconds + store_seconds + siu_seconds;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] BackupServer& server(std::size_t k) noexcept {
+    return *servers_[k];
+  }
+  [[nodiscard]] Director& director() noexcept { return director_; }
+  [[nodiscard]] storage::ChunkRepository& repository() noexcept {
+    return repository_;
+  }
+
+  /// Index-part owner of a fingerprint: its first w bits.
+  [[nodiscard]] std::size_t owner_of(const Fingerprint& fp) const noexcept {
+    return config_.routing_bits == 0
+               ? 0
+               : static_cast<std::size_t>(fp.prefix_bits(config_.routing_bits));
+  }
+
+  /// Run one parallel dedup-2 round across all servers.
+  [[nodiscard]] Result<ClusterDedup2Result> run_dedup2(bool force_siu = false);
+
+  /// Restore-path chunk read: locate on the part owner, read and cache on
+  /// the serving server.
+  [[nodiscard]] Result<std::vector<Byte>> read_chunk(std::size_t via_server,
+                                                     const Fingerprint& fp);
+
+  /// Restore a whole job version through `via_server`.
+  [[nodiscard]] Result<Dataset> restore(std::uint64_t job_id,
+                                        std::uint32_t version,
+                                        std::size_t via_server);
+
+  /// Reset every simulated clock (between measurement windows).
+  void reset_clocks();
+
+ private:
+  ClusterConfig config_;
+  Director director_;
+  storage::ChunkRepository repository_;
+  std::vector<std::unique_ptr<BackupServer>> servers_;
+};
+
+}  // namespace debar::core

@@ -1,0 +1,152 @@
+#include "core/defrag.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace debar::core {
+
+namespace {
+
+/// Resolve each distinct fingerprint of the version to its container.
+Result<std::unordered_map<Fingerprint, ContainerId, FingerprintHash>>
+locate_all(const JobVersionRecord& record, ChunkStore& store) {
+  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> where;
+  for (const FileRecord& f : record.files) {
+    for (const Fingerprint& fp : f.chunk_fps) {
+      if (where.contains(fp)) continue;
+      Result<ContainerId> cid = store.locate(fp);
+      if (!cid.ok()) return cid.error();
+      where.emplace(fp, cid.value());
+    }
+  }
+  return where;
+}
+
+FragmentationReport report_from(
+    const JobVersionRecord& record,
+    const std::unordered_map<Fingerprint, ContainerId, FingerprintHash>& where,
+    const storage::ChunkRepository& repository) {
+  FragmentationReport report;
+  std::unordered_set<std::uint64_t> containers;
+  std::unordered_set<std::size_t> nodes;
+
+  std::uint64_t window_count = 0;
+  double window_sum = 0;
+  std::unordered_set<std::uint64_t> window;
+  std::uint64_t in_window = 0;
+
+  for (const FileRecord& f : record.files) {
+    for (const Fingerprint& fp : f.chunk_fps) {
+      ++report.chunks;
+      const ContainerId cid = where.at(fp);
+      containers.insert(cid.value);
+      nodes.insert(repository.node_of(cid));
+      window.insert(cid.value);
+      if (++in_window == 1024) {
+        window_sum += static_cast<double>(window.size());
+        ++window_count;
+        window.clear();
+        in_window = 0;
+      }
+    }
+  }
+  if (in_window > 0) {
+    window_sum += static_cast<double>(window.size()) * 1024.0 /
+                  static_cast<double>(in_window);
+    ++window_count;
+  }
+  report.containers_touched = containers.size();
+  report.nodes_touched = nodes.size();
+  report.containers_per_1k_chunks =
+      window_count == 0 ? 0.0 : window_sum / static_cast<double>(window_count);
+  return report;
+}
+
+}  // namespace
+
+Result<FragmentationReport> analyze_fragmentation(
+    const JobVersionRecord& record, ChunkStore& store,
+    const storage::ChunkRepository& repository) {
+  auto where = locate_all(record, store);
+  if (!where.ok()) return where.error();
+  return report_from(record, where.value(), repository);
+}
+
+Result<DefragResult> defragment_version(const JobVersionRecord& record,
+                                        ChunkStore& store,
+                                        storage::ChunkRepository& repository,
+                                        const DefragOptions& options) {
+  DefragResult result;
+  auto where = locate_all(record, store);
+  if (!where.ok()) return where.error();
+  result.before = report_from(record, where.value(), repository);
+  result.after = result.before;
+  if (result.before.nodes_touched <= options.node_threshold) {
+    return result;  // already compact
+  }
+
+  // Rewrite the version's chunks, in stream order (fresh SISL layout),
+  // into containers pinned to the target node.
+  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> moved;
+  storage::Container open(options.container_capacity);
+  const auto seal = [&]() -> Status {
+    if (open.chunk_count() == 0) return Status::Ok();
+    const std::vector<storage::ChunkMeta> metas = open.metadata();
+    const ContainerId id =
+        repository.append(std::move(open), options.target_node);
+    ++result.containers_written;
+    for (const storage::ChunkMeta& m : metas) moved[m.fp] = id;
+    open = storage::Container(options.container_capacity);
+    return Status::Ok();
+  };
+
+  for (const FileRecord& f : record.files) {
+    for (const Fingerprint& fp : f.chunk_fps) {
+      if (moved.contains(fp)) continue;  // deduplicate within the version
+      Result<std::vector<Byte>> chunk = store.read_chunk(fp);
+      if (!chunk.ok()) return chunk.error();
+      if (!open.try_append(fp,
+                           ByteSpan(chunk.value().data(),
+                                    chunk.value().size()))) {
+        if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
+        const bool ok = open.try_append(
+            fp, ByteSpan(chunk.value().data(), chunk.value().size()));
+        if (!ok) {
+          return Error{Errc::kInvalidArgument,
+                       "chunk larger than an empty defrag container"};
+        }
+      }
+      moved.emplace(fp, kNullContainer);  // patched at seal time
+      ++result.chunks_rewritten;
+    }
+  }
+  if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
+
+  // Re-map the index to the new containers in one sequential pass.
+  std::vector<IndexEntry> updates;
+  updates.reserve(moved.size());
+  for (const auto& [fp, cid] : moved) updates.push_back({fp, cid});
+  std::sort(updates.begin(), updates.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  std::uint64_t missing = 0;
+  if (Status s = store.index().bulk_update(
+          std::span<const IndexEntry>(updates), 1024, &missing);
+      !s.ok()) {
+    return Error{s.code(), s.message()};
+  }
+  // Fingerprints still pending SIU are re-mapped in the pending set.
+  if (missing > 0) {
+    store.add_pending(std::span<const IndexEntry>(updates));
+  }
+
+  for (auto& [fp, cid] : where.value()) {
+    const auto it = moved.find(fp);
+    if (it != moved.end()) cid = it->second;
+  }
+  result.after = report_from(record, where.value(), repository);
+  return result;
+}
+
+}  // namespace debar::core

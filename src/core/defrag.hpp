@@ -1,0 +1,63 @@
+// Defragmentation (Section 6.3).
+//
+// De-duplication shares chunks across files, so over time a job version's
+// chunks spread over many containers on many storage nodes, degrading
+// restore throughput. The paper: "DEBAR employs a defragmentation
+// mechanism that automatically aggregates file chunks to one or few
+// storage nodes, thus significantly reducing storage fragmentation and
+// retaining high read throughput."
+//
+// This implementation re-homes one job version: it measures the version's
+// container spread, and if fragmented, rewrites the version's chunks into
+// fresh containers pinned to a single storage node (in stream order —
+// restoring the SISL locality), then re-maps the affected fingerprints in
+// the disk index with one sequential bulk_update pass. Old container
+// copies become garbage but are never deleted here: other versions may
+// still share their chunks (space reclamation is a separate policy).
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "core/chunk_store.hpp"
+#include "core/metadata.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::core {
+
+struct FragmentationReport {
+  std::uint64_t chunks = 0;
+  std::uint64_t containers_touched = 0;  // distinct containers referenced
+  std::uint64_t nodes_touched = 0;       // distinct storage nodes referenced
+  /// Mean distinct containers per 1024 consecutive chunks — the quantity
+  /// that drives LPC misses during restore.
+  double containers_per_1k_chunks = 0.0;
+};
+
+/// Measure how fragmented a version's chunk placement is.
+[[nodiscard]] Result<FragmentationReport> analyze_fragmentation(
+    const JobVersionRecord& record, ChunkStore& store,
+    const storage::ChunkRepository& repository);
+
+struct DefragResult {
+  FragmentationReport before;
+  FragmentationReport after;
+  std::uint64_t chunks_rewritten = 0;
+  std::uint64_t containers_written = 0;
+};
+
+struct DefragOptions {
+  /// Rewrite only if the version touches more than this many nodes.
+  std::uint64_t node_threshold = 1;
+  /// Storage node the rewritten containers are pinned to.
+  std::size_t target_node = 0;
+  std::uint64_t container_capacity = kContainerSize;
+};
+
+/// Re-aggregate one version's chunks onto `target_node` and re-map the
+/// index. No-op (before == after) when the version is already compact.
+[[nodiscard]] Result<DefragResult> defragment_version(
+    const JobVersionRecord& record, ChunkStore& store,
+    storage::ChunkRepository& repository, const DefragOptions& options = {});
+
+}  // namespace debar::core

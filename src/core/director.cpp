@@ -1,0 +1,175 @@
+#include "core/director.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace debar::core {
+
+std::uint64_t Director::define_job(std::string client_name,
+                                   std::string dataset_name,
+                                   std::uint32_t schedule_period_days) {
+  std::lock_guard lock(mutex_);
+  JobSpec spec;
+  spec.job_id = next_job_id_++;
+  spec.client_name = std::move(client_name);
+  spec.dataset_name = std::move(dataset_name);
+  spec.schedule_period_days = std::max<std::uint32_t>(1, schedule_period_days);
+  jobs_.push_back(spec);
+  return spec.job_id;
+}
+
+std::optional<JobSpec> Director::job(std::uint64_t job_id) const {
+  std::lock_guard lock(mutex_);
+  for (const JobSpec& j : jobs_) {
+    if (j.job_id == job_id) return j;
+  }
+  return std::nullopt;
+}
+
+std::vector<JobSpec> Director::jobs_due_on_day(std::uint32_t day) const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobSpec> due;
+  for (const JobSpec& j : jobs_) {
+    if (day % j.schedule_period_days == 0) due.push_back(j);
+  }
+  return due;
+}
+
+std::size_t Director::assign_server(std::uint64_t /*job_id*/,
+                                    std::uint64_t expected_bytes,
+                                    std::size_t server_count) {
+  std::lock_guard lock(mutex_);
+  server_load_.resize(std::max(server_load_.size(), server_count), 0);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < server_count; ++i) {
+    if (server_load_[i] < server_load_[best]) best = i;
+  }
+  server_load_[best] += expected_bytes;
+  return best;
+}
+
+void Director::attach_metadata_store(MetadataStore* store) {
+  std::lock_guard lock(mutex_);
+  metadata_store_ = store;
+}
+
+Status Director::recover() {
+  std::lock_guard lock(mutex_);
+  if (metadata_store_ == nullptr) {
+    return {Errc::kInvalidArgument, "no metadata store attached"};
+  }
+  Result<std::vector<JobVersionRecord>> records = metadata_store_->load_all();
+  if (!records.ok()) {
+    return Status(records.error().code, records.error().message);
+  }
+  versions_.clear();
+  std::uint64_t max_job = 0;
+  for (JobVersionRecord& rec : records.value()) {
+    max_job = std::max(max_job, rec.job_id);
+    versions_[rec.job_id].push_back(std::move(rec));
+  }
+  next_job_id_ = std::max(next_job_id_, max_job + 1);
+  return Status::Ok();
+}
+
+void Director::submit_version(JobVersionRecord record) {
+  std::lock_guard lock(mutex_);
+  if (metadata_store_ != nullptr) {
+    if (Status s = metadata_store_->append(record); !s.ok()) {
+      DEBAR_LOG_ERROR("metadata store append failed: {}", s.to_string());
+    }
+  }
+  versions_[record.job_id].push_back(std::move(record));
+}
+
+std::optional<JobVersionRecord> Director::version(std::uint64_t job_id,
+                                                  std::uint32_t version) const {
+  std::lock_guard lock(mutex_);
+  const auto it = versions_.find(job_id);
+  if (it == versions_.end()) return std::nullopt;
+  for (const JobVersionRecord& r : it->second) {
+    if (r.version == version) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<JobVersionRecord> Director::latest_version(
+    std::uint64_t job_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = versions_.find(job_id);
+  if (it == versions_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::uint32_t Director::version_count(std::uint64_t job_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = versions_.find(job_id);
+  return it == versions_.end() ? 0
+                               : static_cast<std::uint32_t>(it->second.size());
+}
+
+std::uint32_t Director::next_version(std::uint64_t job_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = versions_.find(job_id);
+  std::uint32_t max_version = 0;
+  if (it != versions_.end()) {
+    for (const JobVersionRecord& r : it->second) {
+      max_version = std::max(max_version, r.version);
+    }
+  }
+  return max_version + 1;
+}
+
+Status Director::drop_version(std::uint64_t job_id, std::uint32_t version) {
+  std::lock_guard lock(mutex_);
+  const auto it = versions_.find(job_id);
+  if (it == versions_.end()) {
+    return {Errc::kNotFound, format("job {} has no versions", job_id)};
+  }
+  const auto pos =
+      std::find_if(it->second.begin(), it->second.end(),
+                   [&](const JobVersionRecord& r) {
+                     return r.version == version;
+                   });
+  if (pos == it->second.end()) {
+    return {Errc::kNotFound,
+            format("job {} version {} not recorded", job_id, version)};
+  }
+  it->second.erase(pos);
+  if (metadata_store_ != nullptr) {
+    if (Status s = metadata_store_->append_tombstone(job_id, version);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<JobVersionRecord> Director::all_versions() const {
+  std::lock_guard lock(mutex_);
+  std::vector<JobVersionRecord> out;
+  for (const auto& [job, records] : versions_) {
+    out.insert(out.end(), records.begin(), records.end());
+  }
+  return out;
+}
+
+std::vector<Fingerprint> Director::filtering_fingerprints(
+    std::uint64_t job_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = versions_.find(job_id);
+  if (it == versions_.end() || it->second.empty()) return {};
+  return it->second.back().all_fingerprints();
+}
+
+std::uint64_t Director::total_logical_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [job, records] : versions_) {
+    for (const JobVersionRecord& r : records) total += r.logical_bytes;
+  }
+  return total;
+}
+
+}  // namespace debar::core

@@ -1,0 +1,92 @@
+// Director (Section 3.1): the control centre.
+//
+// Holds job objects, schedules them onto backup servers (least-loaded
+// assignment), and runs the Metadata Manager: every completed job version's
+// file metadata and file indices live here, which is what makes job-chain
+// preliminary filtering and restores possible. The director also decides
+// when to initiate dedup-2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/metadata.hpp"
+#include "core/metadata_store.hpp"
+
+namespace debar::core {
+
+class Director {
+ public:
+  Director() = default;
+
+  /// Attach a persistent metadata store (Section 6.3): every submitted
+  /// version is also appended there, and recover() reloads state after a
+  /// restart. Not owned; may be null (in-memory only).
+  void attach_metadata_store(MetadataStore* store);
+
+  /// Rebuild the in-memory version catalogue from the attached store.
+  [[nodiscard]] Status recover();
+
+  // ---- Job objects & scheduling ----
+
+  /// Register a job object; returns its ID.
+  std::uint64_t define_job(std::string client_name, std::string dataset_name,
+                           std::uint32_t schedule_period_days = 1);
+
+  [[nodiscard]] std::optional<JobSpec> job(std::uint64_t job_id) const;
+  [[nodiscard]] std::vector<JobSpec> jobs_due_on_day(std::uint32_t day) const;
+
+  /// Least-loaded assignment of a job run to one of `server_count`
+  /// servers; load = logical bytes routed to each server so far.
+  [[nodiscard]] std::size_t assign_server(std::uint64_t job_id,
+                                          std::uint64_t expected_bytes,
+                                          std::size_t server_count);
+
+  // ---- Metadata manager ----
+
+  /// Record a completed job version (called by the backup server's File
+  /// Store at the end of dedup-1).
+  void submit_version(JobVersionRecord record);
+
+  [[nodiscard]] std::optional<JobVersionRecord> version(
+      std::uint64_t job_id, std::uint32_t version) const;
+  [[nodiscard]] std::optional<JobVersionRecord> latest_version(
+      std::uint64_t job_id) const;
+  [[nodiscard]] std::uint32_t version_count(std::uint64_t job_id) const;
+
+  /// Next version number for a new run of this job (max existing + 1, so
+  /// retired versions never cause number reuse).
+  [[nodiscard]] std::uint32_t next_version(std::uint64_t job_id) const;
+
+  /// Retire a version (expired retention): removed from the catalogue and
+  /// tombstoned in the metadata store. Its chunks become garbage unless
+  /// shared; reclaiming them is the garbage collector's job (core/gc.hpp).
+  [[nodiscard]] Status drop_version(std::uint64_t job_id,
+                                    std::uint32_t version);
+
+  /// Every live version across every job (the GC mark set source).
+  [[nodiscard]] std::vector<JobVersionRecord> all_versions() const;
+
+  /// Filtering fingerprints for a job run: the full fingerprint sequence
+  /// of the chain's previous version (empty for the first run).
+  [[nodiscard]] std::vector<Fingerprint> filtering_fingerprints(
+      std::uint64_t job_id) const;
+
+  /// Total logical bytes across all recorded versions.
+  [[nodiscard]] std::uint64_t total_logical_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<JobSpec> jobs_;
+  std::map<std::uint64_t, std::vector<JobVersionRecord>> versions_;
+  std::vector<std::uint64_t> server_load_;
+  std::uint64_t next_job_id_ = 1;
+  MetadataStore* metadata_store_ = nullptr;
+};
+
+}  // namespace debar::core

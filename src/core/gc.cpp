@@ -1,0 +1,261 @@
+#include "core/gc.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace debar::core {
+
+namespace {
+
+/// The sweep, parameterized over how index operations route: the
+/// single-server form binds them to one ChunkStore; the cluster form
+/// fans each out to the owning part.
+struct IndexOps {
+  std::function<Result<ContainerId>(const Fingerprint&)> locate;
+  std::function<Status(std::span<const Fingerprint>)> erase_sorted;
+  std::function<Status(std::span<const IndexEntry>)> update_sorted;
+};
+
+Result<GcReport> sweep(const Director& director,
+                       storage::ChunkRepository& repository,
+                       const IndexOps& ops, const GcOptions& options) {
+  // ---- MARK: live fingerprints from every recorded version. ----
+  std::unordered_set<Fingerprint, FingerprintHash> live;
+  for (const JobVersionRecord& rec : director.all_versions()) {
+    for (const FileRecord& f : rec.files) {
+      live.insert(f.chunk_fps.begin(), f.chunk_fps.end());
+    }
+  }
+
+  GcReport report;
+
+  // ---- SWEEP. ----
+  // The index maps each live fingerprint to exactly one container; only
+  // that copy is live. Defrag leftovers and multi-origin duplicates in
+  // *other* containers are dead even though their fingerprint is live.
+  std::vector<ContainerId> to_delete;
+  struct Compaction {
+    ContainerId old_id;
+    std::vector<storage::ChunkMeta> live_chunks;
+  };
+  std::vector<Compaction> to_compact;
+  // Index entries whose (dead) chunk is being reclaimed: erased at the
+  // end so the index never dangles into deleted containers.
+  std::vector<Fingerprint> dead_index_fps;
+
+  for (const ContainerId id : repository.container_ids()) {
+    Result<storage::Container> container = repository.read(id);
+    if (!container.ok()) return container.error();
+    ++report.containers_scanned;
+
+    Compaction c{id, {}};
+    std::uint64_t dead = 0;
+    std::uint64_t dead_bytes = 0;
+    std::vector<Fingerprint> dead_here;  // dead chunks indexed to this id
+    for (const storage::ChunkMeta& m : container.value().metadata()) {
+      const Result<ContainerId> mapped = ops.locate(m.fp);
+      if (live.contains(m.fp) && !mapped.ok()) {
+        // A recorded chunk with no index mapping would be unreachable;
+        // refusing to reclaim is the only safe move.
+        return Error{Errc::kCorrupt,
+                     "live fingerprint missing from the index; aborting GC"};
+      }
+      const bool indexed_here = mapped.ok() && mapped.value() == id;
+      if (live.contains(m.fp) && indexed_here) {
+        c.live_chunks.push_back(m);
+      } else {
+        ++dead;
+        dead_bytes += m.size;
+        if (indexed_here) dead_here.push_back(m.fp);
+      }
+    }
+    report.live_chunks += c.live_chunks.size();
+    report.dead_chunks += dead;
+
+    if (c.live_chunks.empty()) {
+      // Fully dead: reclaim the container; its indexed (dead)
+      // fingerprints must leave the index too.
+      to_delete.push_back(id);
+      report.bytes_reclaimed += container.value().data_bytes();
+      dead_index_fps.insert(dead_index_fps.end(), dead_here.begin(),
+                            dead_here.end());
+    } else if (dead > 0) {
+      const double live_fraction =
+          static_cast<double>(c.live_chunks.size()) /
+          static_cast<double>(container.value().chunk_count());
+      if (live_fraction < options.compact_threshold) {
+        report.bytes_reclaimed += dead_bytes;
+        dead_index_fps.insert(dead_index_fps.end(), dead_here.begin(),
+                              dead_here.end());
+        to_compact.push_back(std::move(c));
+      }
+      // Containers kept as-is keep their dead entries in the index: a
+      // future backup of the same content will still dedup against them.
+    }
+  }
+
+  // Compact: rewrite live chunks into fresh containers (scan order keeps
+  // whatever locality the old containers had), then re-map the index.
+  std::vector<IndexEntry> remap;
+  storage::Container open(options.container_capacity);
+  std::vector<std::pair<Fingerprint, std::size_t>> open_members;
+  const auto seal = [&]() -> Status {
+    if (open.chunk_count() == 0) return Status::Ok();
+    const std::vector<storage::ChunkMeta> metas = open.metadata();
+    const ContainerId fresh = repository.append(std::move(open));
+    ++report.containers_written;
+    for (const storage::ChunkMeta& m : metas) {
+      remap.push_back({m.fp, fresh});
+    }
+    open = storage::Container(options.container_capacity);
+    return Status::Ok();
+  };
+
+  for (const Compaction& c : to_compact) {
+    Result<storage::Container> container = repository.read(c.old_id);
+    if (!container.ok()) return container.error();
+    for (const storage::ChunkMeta& m : c.live_chunks) {
+      const std::optional<ByteSpan> chunk = container.value().find(m.fp);
+      if (!chunk.has_value()) {
+        return Error{Errc::kCorrupt,
+                     "container metadata lists a chunk it does not hold"};
+      }
+      if (!open.try_append(m.fp, *chunk)) {
+        if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
+        const bool ok = open.try_append(m.fp, *chunk);
+        if (!ok) {
+          return Error{Errc::kInvalidArgument,
+                       "chunk larger than an empty GC container"};
+        }
+      }
+    }
+    ++report.containers_compacted;
+  }
+  if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
+
+  if (!remap.empty()) {
+    std::sort(remap.begin(), remap.end(),
+              [](const IndexEntry& a, const IndexEntry& b) {
+                return a.fp < b.fp;
+              });
+    if (Status s = ops.update_sorted(std::span<const IndexEntry>(remap));
+        !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+  }
+
+  // Erase the reclaimed fingerprints from the index in one pass.
+  if (!dead_index_fps.empty()) {
+    std::sort(dead_index_fps.begin(), dead_index_fps.end());
+    dead_index_fps.erase(
+        std::unique(dead_index_fps.begin(), dead_index_fps.end()),
+        dead_index_fps.end());
+    if (Status s =
+            ops.erase_sorted(std::span<const Fingerprint>(dead_index_fps));
+        !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+  }
+
+  // Delete fully-dead and successfully compacted containers.
+  for (const Compaction& c : to_compact) {
+    if (Status s = repository.remove(c.old_id); !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+    ++report.containers_deleted;
+  }
+  for (const ContainerId id : to_delete) {
+    if (Status s = repository.remove(id); !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+    ++report.containers_deleted;
+  }
+  return report;
+}
+
+}  // namespace
+
+Result<GcReport> collect_garbage(const Director& director, ChunkStore& store,
+                                 storage::ChunkRepository& repository,
+                                 const GcOptions& options) {
+  if (store.index().params().skip_bits != 0) {
+    return Error{Errc::kUnsupported,
+                 "routed index parts need the Cluster overload"};
+  }
+  if (store.pending_count() > 0) {
+    return Error{Errc::kInvalidArgument,
+                 "GC cannot run while SIU entries are pending"};
+  }
+  IndexOps ops;
+  ops.locate = [&](const Fingerprint& fp) { return store.locate(fp); };
+  ops.erase_sorted = [&](std::span<const Fingerprint> fps) {
+    return store.index().bulk_erase(fps, 1024);
+  };
+  ops.update_sorted = [&](std::span<const IndexEntry> entries) {
+    std::uint64_t missing = 0;
+    Status s = store.index().bulk_update(entries, 1024, &missing);
+    if (s.ok() && missing != 0) {
+      return Status(Errc::kCorrupt,
+                    "GC re-map hit fingerprints absent from the index");
+    }
+    return s;
+  };
+  return sweep(director, repository, ops, options);
+}
+
+Result<GcReport> collect_garbage(Cluster& cluster, const GcOptions& options) {
+  for (std::size_t k = 0; k < cluster.server_count(); ++k) {
+    if (cluster.server(k).chunk_store().pending_count() > 0) {
+      return Error{Errc::kInvalidArgument,
+                   "GC cannot run while SIU entries are pending"};
+    }
+  }
+  // Route every index operation to the part that owns the fingerprint.
+  // Sorted batches are split by routing prefix: each part's slice is
+  // contiguous because the routing bits are the most significant ones.
+  IndexOps ops;
+  ops.locate = [&](const Fingerprint& fp) {
+    return cluster.server(cluster.owner_of(fp)).chunk_store().locate(fp);
+  };
+  ops.erase_sorted = [&](std::span<const Fingerprint> fps) {
+    std::size_t begin = 0;
+    while (begin < fps.size()) {
+      const std::size_t owner = cluster.owner_of(fps[begin]);
+      std::size_t end = begin;
+      while (end < fps.size() && cluster.owner_of(fps[end]) == owner) ++end;
+      Status s = cluster.server(owner).chunk_store().index().bulk_erase(
+          fps.subspan(begin, end - begin), 1024);
+      if (!s.ok()) return s;
+      begin = end;
+    }
+    return Status::Ok();
+  };
+  ops.update_sorted = [&](std::span<const IndexEntry> entries) {
+    std::size_t begin = 0;
+    while (begin < entries.size()) {
+      const std::size_t owner = cluster.owner_of(entries[begin].fp);
+      std::size_t end = begin;
+      while (end < entries.size() &&
+             cluster.owner_of(entries[end].fp) == owner) {
+        ++end;
+      }
+      std::uint64_t missing = 0;
+      Status s = cluster.server(owner).chunk_store().index().bulk_update(
+          entries.subspan(begin, end - begin), 1024, &missing);
+      if (!s.ok()) return s;
+      if (missing != 0) {
+        return Status(Errc::kCorrupt,
+                      "GC re-map hit fingerprints absent from the index");
+      }
+      begin = end;
+    }
+    return Status::Ok();
+  };
+  return sweep(cluster.director(), cluster.repository(), ops, options);
+}
+
+}  // namespace debar::core

@@ -1,0 +1,71 @@
+// Garbage collection / space reclamation.
+//
+// The paper leaves reclamation as policy ("storage" grows append-only;
+// defragmentation §6.3 explicitly creates garbage copies). A usable
+// archival system needs it once retention expires versions, so this
+// module implements the classic mark-and-sweep for container stores:
+//
+//   MARK   gather the live fingerprint set from the director's recorded
+//          versions (the file indices are the reachability roots);
+//   SWEEP  walk every container: fully-dead containers are deleted;
+//          containers whose live fraction falls below a threshold are
+//          compacted — live chunks are rewritten into fresh containers
+//          (preserving scan order) and the index re-mapped with one
+//          sequential bulk_update pass before the old container is
+//          deleted.
+//
+// Correctness invariant (tested): after GC, every chunk of every live
+// version is still restorable; only unreachable payload is reclaimed.
+//
+// GC must not run concurrently with dedup-2: a fingerprint sitting in the
+// pending (checking) set or chunk log is live but not yet visible through
+// a version record... actually it IS visible (versions are recorded at
+// dedup-1 end), but its container assignment may still be in flight, so
+// gc() refuses to run while the store has pending SIU entries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "core/chunk_store.hpp"
+#include "core/director.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::core {
+
+struct GcOptions {
+  /// Containers with live fraction below this are compacted; at or above
+  /// it they are left alone (rewrite cost outweighs the reclaim).
+  double compact_threshold = 0.5;
+  std::uint64_t container_capacity = kContainerSize;
+};
+
+struct GcReport {
+  std::uint64_t containers_scanned = 0;
+  std::uint64_t containers_deleted = 0;    // fully dead
+  std::uint64_t containers_compacted = 0;  // partially dead, rewritten
+  std::uint64_t containers_written = 0;    // fresh compaction output
+  std::uint64_t live_chunks = 0;
+  std::uint64_t dead_chunks = 0;
+  std::uint64_t bytes_reclaimed = 0;
+};
+
+/// Run one mark-and-sweep cycle over `repository`, using `director`'s
+/// recorded versions as roots and `store`'s index for re-mapping.
+/// Single-server form: the store's index must cover all fingerprints
+/// (skip_bits == 0). Fails with kUnsupported on a routed index part and
+/// with kInvalidArgument while SIU is pending.
+[[nodiscard]] Result<GcReport> collect_garbage(
+    const Director& director, ChunkStore& store,
+    storage::ChunkRepository& repository, const GcOptions& options = {});
+
+class Cluster;  // core/cluster.hpp
+
+/// Cluster form: sweeps the shared repository once, routing every index
+/// operation (liveness lookups, erases, re-maps) to the owning server's
+/// part. A director-initiated maintenance job; requires no pending SIU
+/// anywhere.
+[[nodiscard]] Result<GcReport> collect_garbage(Cluster& cluster,
+                                               const GcOptions& options = {});
+
+}  // namespace debar::core

@@ -1,0 +1,226 @@
+#include "core/metadata_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/fmt.hpp"
+#include "common/serial.hpp"
+
+namespace debar::core {
+
+namespace {
+constexpr std::uint32_t kRecordMagic = 0x524D4244;     // 'DBMR'
+constexpr std::uint32_t kTombstoneMagic = 0x544D4244;  // 'DBMT'
+}
+
+std::vector<Byte> serialize_record(const JobVersionRecord& rec) {
+  std::vector<Byte> out;
+  ByteWriter w(out);
+  w.u32(kRecordMagic);
+  w.u64(rec.job_id);
+  w.u32(rec.version);
+  w.u64(rec.logical_bytes);
+  w.u32(static_cast<std::uint32_t>(rec.files.size()));
+  for (const FileRecord& f : rec.files) {
+    w.u16(static_cast<std::uint16_t>(f.meta.path.size()));
+    w.bytes(ByteSpan(reinterpret_cast<const Byte*>(f.meta.path.data()),
+                     f.meta.path.size()));
+    w.u64(f.meta.size);
+    w.u64(f.meta.mtime);
+    w.u32(f.meta.mode);
+    w.u32(static_cast<std::uint32_t>(f.chunk_fps.size()));
+    for (std::size_t i = 0; i < f.chunk_fps.size(); ++i) {
+      w.fingerprint(f.chunk_fps[i]);
+      w.u32(f.chunk_sizes[i]);
+    }
+  }
+  return out;
+}
+
+Result<JobVersionRecord> parse_record(ByteSpan payload) {
+  ByteReader r(payload);
+  if (r.u32() != kRecordMagic || !r.ok()) {
+    return Error{Errc::kCorrupt, "bad metadata record magic"};
+  }
+  JobVersionRecord rec;
+  rec.job_id = r.u64();
+  rec.version = r.u32();
+  rec.logical_bytes = r.u64();
+  const std::uint32_t files = r.u32();
+  if (!r.ok()) return Error{Errc::kCorrupt, "truncated record header"};
+  // Each file costs at least its fixed fields; bound before reserving.
+  if (files > payload.size()) {
+    return Error{Errc::kCorrupt, "implausible file count"};
+  }
+  rec.files.reserve(files);
+  for (std::uint32_t fi = 0; fi < files; ++fi) {
+    FileRecord f;
+    const std::uint16_t path_len = r.u16();
+    const ByteSpan path = r.view(path_len);
+    if (!r.ok()) return Error{Errc::kCorrupt, "truncated file path"};
+    f.meta.path.assign(reinterpret_cast<const char*>(path.data()),
+                       path.size());
+    f.meta.size = r.u64();
+    f.meta.mtime = r.u64();
+    f.meta.mode = r.u32();
+    const std::uint32_t chunks = r.u32();
+    if (!r.ok() ||
+        std::uint64_t{chunks} * (Fingerprint::kSize + 4) > r.remaining()) {
+      return Error{Errc::kCorrupt,
+                   format("file {} chunk list overruns record", fi)};
+    }
+    f.chunk_fps.reserve(chunks);
+    f.chunk_sizes.reserve(chunks);
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      f.chunk_fps.push_back(r.fingerprint());
+      f.chunk_sizes.push_back(r.u32());
+    }
+    rec.files.push_back(std::move(f));
+  }
+  if (!r.ok()) return Error{Errc::kCorrupt, "truncated record"};
+  return rec;
+}
+
+MetadataStore::MetadataStore(std::unique_ptr<storage::BlockDevice> device)
+    : device_(std::move(device)) {
+  assert(device_ != nullptr);
+  tail_ = device_->size();  // resume appending after existing records
+}
+
+Status MetadataStore::append(const JobVersionRecord& record) {
+  // Serialize outside the lock: concurrent jobs only contend on the
+  // actual device append.
+  std::vector<Byte> payload = serialize_record(record);
+  std::vector<Byte> frame;
+  frame.reserve(4 + payload.size());
+  ByteWriter w(frame);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(ByteSpan(payload.data(), payload.size()));
+
+  std::lock_guard lock(mutex_);
+  const std::uint64_t offset = tail_;
+  if (Status s = device_->write(offset, ByteSpan(frame.data(), frame.size()));
+      !s.ok()) {
+    return s;
+  }
+  tail_ += frame.size();
+  catalogue_[{record.job_id, record.version}] = {
+      offset + 4, static_cast<std::uint32_t>(payload.size())};
+  return Status::Ok();
+}
+
+Status MetadataStore::append_tombstone(std::uint64_t job_id,
+                                       std::uint32_t version) {
+  std::vector<Byte> frame;
+  ByteWriter w(frame);
+  w.u32(16);  // payload length: magic + job + version
+  w.u32(kTombstoneMagic);
+  w.u64(job_id);
+  w.u32(version);
+
+  std::lock_guard lock(mutex_);
+  if (Status s = device_->write(tail_, ByteSpan(frame.data(), frame.size()));
+      !s.ok()) {
+    return s;
+  }
+  tail_ += frame.size();
+  catalogue_.erase({job_id, version});
+  return Status::Ok();
+}
+
+Result<JobVersionRecord> MetadataStore::read(std::uint64_t job_id,
+                                             std::uint32_t version) const {
+  Location loc;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = catalogue_.find({job_id, version});
+    if (it == catalogue_.end()) {
+      return Error{Errc::kNotFound,
+                   format("job {} version {} not in metadata store", job_id,
+                          version)};
+    }
+    loc = it->second;
+  }
+  std::vector<Byte> payload(loc.length);
+  if (Status s = device_->read(loc.offset, std::span<Byte>(payload));
+      !s.ok()) {
+    return Error{s.code(), s.message()};
+  }
+  return parse_record(ByteSpan(payload.data(), payload.size()));
+}
+
+Result<std::vector<JobVersionRecord>> MetadataStore::load_all() {
+  std::lock_guard lock(mutex_);
+  catalogue_.clear();
+
+  // Replay in append order; tombstones retire earlier records but never
+  // later re-uses of the same (job, version) pair.
+  std::vector<std::pair<std::uint64_t, JobVersionRecord>> sequenced;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::size_t> live;
+  std::uint64_t seq = 0;
+
+  std::uint64_t pos = 0;
+  const std::uint64_t end = device_->size();
+  std::vector<Byte> header(4);
+  while (pos + 4 <= end) {
+    if (Status s = device_->read(pos, std::span<Byte>(header)); !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+    ByteReader hr(ByteSpan(header.data(), header.size()));
+    const std::uint32_t length = hr.u32();
+    if (length == 0) break;  // zero-filled tail: end of log
+    if (pos + 4 + length > end) {
+      return Error{Errc::kCorrupt,
+                   format("metadata record at {} overruns device", pos)};
+    }
+    std::vector<Byte> payload(length);
+    if (Status s = device_->read(pos + 4, std::span<Byte>(payload));
+        !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+
+    ByteReader peek(ByteSpan(payload.data(), payload.size()));
+    if (peek.u32() == kTombstoneMagic) {
+      const std::uint64_t job = peek.u64();
+      const std::uint32_t version = peek.u32();
+      if (!peek.ok()) {
+        return Error{Errc::kCorrupt, "truncated tombstone"};
+      }
+      catalogue_.erase({job, version});
+      live.erase({job, version});
+    } else {
+      Result<JobVersionRecord> rec =
+          parse_record(ByteSpan(payload.data(), payload.size()));
+      if (!rec.ok()) return rec.error();
+      const auto key =
+          std::make_pair(rec.value().job_id, rec.value().version);
+      catalogue_[key] = {pos + 4, length};
+      live[key] = sequenced.size();
+      sequenced.emplace_back(seq++, std::move(rec).value());
+    }
+    pos += 4 + length;
+  }
+  tail_ = pos;
+
+  std::vector<JobVersionRecord> out;
+  out.reserve(live.size());
+  std::vector<std::size_t> order;
+  for (const auto& [key, idx] : live) order.push_back(idx);
+  std::sort(order.begin(), order.end());
+  for (const std::size_t idx : order) {
+    out.push_back(std::move(sequenced[idx].second));
+  }
+  return out;
+}
+
+std::uint64_t MetadataStore::record_count() const {
+  std::lock_guard lock(mutex_);
+  return catalogue_.size();
+}
+
+std::uint64_t MetadataStore::bytes() const {
+  std::lock_guard lock(mutex_);
+  return tail_;
+}
+
+}  // namespace debar::core

@@ -1,0 +1,71 @@
+// Metadata storage subsystem for the director (Section 6.3).
+//
+// The paper: "We have developed a metadata storage subsystem for the
+// DEBAR director that enables over 250 backup jobs to read or write their
+// metadata concurrently with an aggregate metadata throughput of over
+// 100 MB/s." At PB scale the file indices alone reach terabytes, so this
+// is a real storage engine, not a map: an append-only record log of
+// serialized job-version records on a block device, with an in-memory
+// offset catalogue, thread-safe for concurrent job writers/readers.
+//
+// Record framing: [u32 length][payload]; payload:
+//   magic 'DBMR' | job u64 | version u32 | logical u64 | file count u32 |
+//   per file: path(u16+bytes) size u64 mtime u64 mode u32 chunks u32,
+//             then per chunk fingerprint[20] + size u32
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/metadata.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+
+/// Serialize / parse one record (exposed for tests and for the director's
+/// wire format).
+[[nodiscard]] std::vector<Byte> serialize_record(const JobVersionRecord& rec);
+[[nodiscard]] Result<JobVersionRecord> parse_record(ByteSpan payload);
+
+class MetadataStore {
+ public:
+  explicit MetadataStore(std::unique_ptr<storage::BlockDevice> device);
+
+  /// Persist one completed job version. Thread-safe; concurrent jobs
+  /// append under a short lock (the serialization work happens outside).
+  [[nodiscard]] Status append(const JobVersionRecord& record);
+
+  /// Persist a deletion marker (the log is append-only; retirement is a
+  /// tombstone record that load_all() replays). Idempotent.
+  [[nodiscard]] Status append_tombstone(std::uint64_t job_id,
+                                        std::uint32_t version);
+
+  /// Read back one version. Served from the offset catalogue + one
+  /// device read.
+  [[nodiscard]] Result<JobVersionRecord> read(std::uint64_t job_id,
+                                              std::uint32_t version) const;
+
+  /// Scan the whole log (recovery after restart): rebuilds the catalogue
+  /// and returns every record in append order.
+  [[nodiscard]] Result<std::vector<JobVersionRecord>> load_all();
+
+  [[nodiscard]] std::uint64_t record_count() const;
+  [[nodiscard]] std::uint64_t bytes() const;
+
+ private:
+  struct Location {
+    std::uint64_t offset = 0;  // of the payload (after the length frame)
+    std::uint32_t length = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unique_ptr<storage::BlockDevice> device_;
+  std::uint64_t tail_ = 0;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Location> catalogue_;
+};
+
+}  // namespace debar::core

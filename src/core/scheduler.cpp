@@ -1,0 +1,70 @@
+#include "core/scheduler.hpp"
+
+#include <cassert>
+
+namespace debar::core {
+
+BackupScheduler::BackupScheduler(Director* director,
+                                 std::vector<BackupServer*> servers,
+                                 SchedulerConfig config)
+    : director_(director), servers_(std::move(servers)), config_(config) {
+  assert(director_ != nullptr);
+  assert(!servers_.empty());
+}
+
+BackupEngine& BackupScheduler::engine_for(const std::string& client) {
+  auto it = engines_.find(client);
+  if (it == engines_.end()) {
+    it = engines_
+             .emplace(client, std::make_unique<BackupEngine>(
+                                  client, director_, config_.cdc))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<DayReport> BackupScheduler::run_day(std::uint32_t day,
+                                           const DatasetProvider& provider) {
+  DayReport report;
+  report.day = day;
+
+  for (const JobSpec& spec : director_->jobs_due_on_day(day)) {
+    Result<Dataset> dataset = provider(spec, day);
+    if (!dataset.ok()) return dataset.error();
+
+    const std::size_t target = director_->assign_server(
+        spec.job_id, dataset.value().total_bytes(), servers_.size());
+    BackupEngine& engine = engine_for(spec.client_name);
+    Result<BackupRunStats> stats =
+        engine.run_backup(spec.job_id, dataset.value(),
+                          servers_[target]->file_store(), config_.backup);
+    if (!stats.ok()) return stats.error();
+
+    ++report.jobs_run;
+    report.logical_bytes += stats.value().logical_bytes;
+    report.transferred_bytes += stats.value().transferred_bytes;
+  }
+
+  // Director-initiated dedup-2 on servers whose logs have filled up.
+  for (BackupServer* server : servers_) {
+    if (server->file_store().undetermined_count() >= config_.dedup2_trigger) {
+      Result<Dedup2Result> result = server->run_dedup2(/*force_siu=*/false);
+      if (!result.ok()) return result.error();
+      ++report.dedup2_rounds;
+      report.new_chunks += result.value().new_chunks;
+    }
+  }
+  return report;
+}
+
+Status BackupScheduler::finalize() {
+  for (BackupServer* server : servers_) {
+    Result<Dedup2Result> result = server->run_dedup2(/*force_siu=*/true);
+    if (!result.ok()) {
+      return Status(result.error().code, result.error().message);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace debar::core

@@ -1,0 +1,167 @@
+// DDFS baseline [Zhu et al., FAST'08], reimplemented per the paper's
+// description for head-to-head comparison (Section 6).
+//
+// Inline de-duplication with three accelerators in front of the disk
+// index: an in-memory Bloom-filter summary vector over the whole system's
+// fingerprints, a locality-preserved fingerprint cache filled by
+// container-granularity prefetch on index hits, and an in-memory write
+// buffer batching new index entries (flushed with a sequential pass when
+// full — the paper's DDFS prototype does the same, crediting Foundation).
+//
+// The decision chain per incoming chunk:
+//   fingerprint cache hit            -> duplicate, no I/O
+//   write-buffer hit                 -> duplicate, no I/O
+//   Bloom filter says "absent"       -> new chunk (never a false negative)
+//   Bloom "present": random index lookup
+//       found   -> duplicate + prefetch its container's fingerprints
+//       missing -> Bloom false positive -> new chunk
+//
+// False positives are what breaks DDFS at scale (Figure 12): every one
+// costs a random index I/O, and their rate explodes once m/n drops.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "cache/lpc_cache.hpp"
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "filter/bloom_filter.hpp"
+#include "index/disk_index.hpp"
+#include "sim/nic_model.hpp"
+#include "storage/chunk_repository.hpp"
+#include "storage/container_manager.hpp"
+
+namespace debar::ddfs {
+
+struct DdfsConfig {
+  /// Summary vector size in bits (paper: 1 GB = 2^33 bits) and hash count
+  /// (paper's Figure 12 measurement uses k = 4).
+  std::uint64_t bloom_bits = std::uint64_t{1} << 33;
+  unsigned bloom_hashes = 4;
+
+  index::DiskIndexParams index_params{.prefix_bits = 14, .skip_bits = 0};
+  std::uint64_t container_capacity = kContainerSize;
+
+  /// Fingerprint-cache capacity in containers (paper: 128 MB LPC).
+  std::size_t fp_cache_containers = 16;
+  /// Write-buffer capacity in entries (paper: 256 MB / 25 B ~ 10.7M).
+  std::uint64_t write_buffer_entries = (std::uint64_t{256} << 20) / 25;
+  std::uint64_t io_buckets = 1024;
+
+  sim::DiskProfile index_profile = sim::DiskProfile::PaperRaid();
+  sim::NicProfile nic_profile = sim::NicProfile::PaperGigabit();
+  /// LPC data-cache capacity for restores, in containers.
+  std::size_t lpc_containers = 16;
+};
+
+struct DdfsBackupStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t new_chunks = 0;
+  std::uint64_t duplicate_chunks = 0;
+  std::uint64_t cache_hits = 0;          // fingerprint-cache resolutions
+  std::uint64_t buffer_hits = 0;         // write-buffer resolutions
+  std::uint64_t bloom_negatives = 0;     // resolved new with zero I/O
+  std::uint64_t index_lookups = 0;       // random on-disk lookups
+  std::uint64_t false_positives = 0;     // lookups that found nothing
+  std::uint64_t prefetches = 0;          // containers pulled into the cache
+  std::uint64_t buffer_flushes = 0;
+};
+
+class DdfsServer {
+ public:
+  DdfsServer(const DdfsConfig& config, storage::ChunkRepository* repository);
+
+  /// Inline-dedup one backup stream of synthetic chunks (fingerprint +
+  /// stamped payload, see BackupEngine::synthetic_payload).
+  [[nodiscard]] Result<DdfsBackupStats> backup_stream(
+      std::span<const Fingerprint> stream,
+      std::uint32_t chunk_size = kExpectedChunkSize);
+
+  /// Force a write-buffer flush (end of a backup window).
+  [[nodiscard]] Status flush_write_buffer();
+
+  /// Capacity-state emulation for the Figure 12 sweep: occupy the summary
+  /// vector with `extra` additional (synthetic) fingerprints, as if the
+  /// system already stored that much data. Raises the Bloom false-positive
+  /// rate exactly as real load would, without materializing containers.
+  void inflate_summary_vector(std::uint64_t extra);
+
+  /// Restore-path read via LPC, mirroring DEBAR's.
+  [[nodiscard]] Result<std::vector<Byte>> read_chunk(const Fingerprint& fp);
+
+  [[nodiscard]] const filter::BloomFilter& summary_vector() const noexcept {
+    return bloom_;
+  }
+  [[nodiscard]] const index::DiskIndex& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] std::uint64_t stored_chunks() const noexcept {
+    return stored_chunks_;
+  }
+
+  /// Modeled time accumulated on each component.
+  [[nodiscard]] double nic_seconds() const noexcept {
+    return nic_clock_.seconds();
+  }
+  [[nodiscard]] double index_seconds() const noexcept {
+    return index_clock_.seconds();
+  }
+  void reset_clocks() noexcept {
+    nic_clock_.reset();
+    index_clock_.reset();
+  }
+
+ private:
+  /// Container-granularity fingerprint cache (fingerprints only, no
+  /// payloads — the dedup-side LPC, distinct from the restore data cache).
+  class FingerprintCache {
+   public:
+    explicit FingerprintCache(std::size_t max_containers)
+        : cap_(max_containers) {}
+
+    [[nodiscard]] bool contains(const Fingerprint& fp) const {
+      return fp_to_container_.contains(fp);
+    }
+    void insert_container(ContainerId id,
+                          const std::vector<storage::ChunkMeta>& metas);
+
+   private:
+    void evict_lru();
+
+    std::size_t cap_;
+    std::list<std::uint64_t> lru_;
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::vector<Fingerprint>,
+                                 std::list<std::uint64_t>::iterator>>
+        containers_;
+    std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash>
+        fp_to_container_;
+  };
+
+  void store_new_chunk(const Fingerprint& fp, ByteSpan payload,
+                       DdfsBackupStats& stats);
+
+  DdfsConfig config_;
+  sim::SimClock nic_clock_;
+  sim::SimClock index_clock_;
+  sim::NicModel nic_;
+  sim::DiskModel index_model_;
+
+  filter::BloomFilter bloom_;
+  index::DiskIndex index_;
+  storage::ChunkRepository* repository_;
+  storage::ContainerManager containers_;
+  FingerprintCache fp_cache_;
+  cache::LpcCache lpc_;
+
+  /// Write buffer: new entries not yet flushed to the disk index. Entries
+  /// whose container is still open carry a null ID until sealing.
+  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> write_buffer_;
+  std::uint64_t stored_chunks_ = 0;
+};
+
+}  // namespace debar::ddfs

@@ -1,0 +1,61 @@
+#include "filter/bloom_filter.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace debar::filter {
+
+BloomFilter::BloomFilter(std::uint64_t bits, unsigned hashes)
+    : bits_(bits), hashes_(hashes), words_((bits + 63) / 64, 0) {
+  assert(bits_ >= 64);
+  assert(hashes_ >= 1 && hashes_ <= 16);
+}
+
+std::uint64_t BloomFilter::hash_at(const Fingerprint& fp,
+                                   unsigned i) const noexcept {
+  // Derive k hashes from two independent 64-bit slices of the digest via
+  // the standard double-hashing construction h1 + i*h2 (Kirsch &
+  // Mitzenmacher): as good as k independent hashes for Bloom filters.
+  std::uint64_t h1, h2;
+  std::memcpy(&h1, fp.bytes.data(), 8);
+  std::memcpy(&h2, fp.bytes.data() + 8, 8);
+  return (h1 + i * (h2 | 1)) % bits_;
+}
+
+void BloomFilter::insert(const Fingerprint& fp) {
+  for (unsigned i = 0; i < hashes_; ++i) {
+    const std::uint64_t b = hash_at(fp, i);
+    words_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::maybe_contains(const Fingerprint& fp) const {
+  for (unsigned i = 0; i < hashes_; ++i) {
+    const std::uint64_t b = hash_at(fp, i);
+    if ((words_[b >> 6] & (std::uint64_t{1} << (b & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::uint64_t set = 0;
+  for (const std::uint64_t w : words_) set += std::popcount(w);
+  return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+double BloomFilter::false_positive_rate() const {
+  return false_positive_rate(inserted_, bits_, hashes_);
+}
+
+double BloomFilter::false_positive_rate(std::uint64_t n, std::uint64_t m,
+                                        unsigned k) {
+  if (m == 0) return 1.0;
+  const double exponent = -static_cast<double>(k) * static_cast<double>(n) /
+                          static_cast<double>(m);
+  return std::pow(1.0 - std::exp(exponent), static_cast<double>(k));
+}
+
+}  // namespace debar::filter

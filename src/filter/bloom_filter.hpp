@@ -1,0 +1,53 @@
+// Bloom filter — the DDFS summary vector [Zhu08, Bloom70].
+//
+// DDFS keeps an in-memory Bloom filter over the fingerprint set of the
+// entire system so that most "is this chunk new?" questions never touch
+// the disk index. Its false-positive rate (1 - e^{-kn/m})^k is the lever
+// behind Figure 12: past ~8 TB per 1 GB of filter the false positives (and
+// hence random index reads) explode. The k hash functions are sliced
+// directly from the SHA-1 fingerprint, which is already uniform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace debar::filter {
+
+class BloomFilter {
+ public:
+  /// `bits`: m, size of the bit array. `hashes`: k.
+  BloomFilter(std::uint64_t bits, unsigned hashes);
+
+  void insert(const Fingerprint& fp);
+  [[nodiscard]] bool maybe_contains(const Fingerprint& fp) const;
+
+  [[nodiscard]] std::uint64_t bit_count() const noexcept { return bits_; }
+  [[nodiscard]] unsigned hash_count() const noexcept { return hashes_; }
+  [[nodiscard]] std::uint64_t inserted() const noexcept { return inserted_; }
+
+  /// Fraction of bits set (diagnostic).
+  [[nodiscard]] double fill_ratio() const;
+
+  /// Analytic false-positive probability at the current load:
+  /// (1 - e^{-kn/m})^k.
+  [[nodiscard]] double false_positive_rate() const;
+
+  /// Same formula for arbitrary n/m (used by the Figure 12 bench to sweep
+  /// capacities without building multi-GB filters).
+  [[nodiscard]] static double false_positive_rate(std::uint64_t n,
+                                                  std::uint64_t m, unsigned k);
+
+ private:
+  /// i-th hash of fp: 40 bits sliced from the digest, folded with i.
+  [[nodiscard]] std::uint64_t hash_at(const Fingerprint& fp,
+                                      unsigned i) const noexcept;
+
+  std::uint64_t bits_;
+  unsigned hashes_;
+  std::vector<std::uint64_t> words_;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace debar::filter

@@ -1,0 +1,159 @@
+#include "filter/preliminary_filter.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace debar::filter {
+
+PreliminaryFilter::PreliminaryFilter(PreliminaryFilterParams params)
+    : params_(params),
+      buckets_(std::size_t{1} << params.hash_bits, kNil) {
+  assert(params_.hash_bits >= 1 && params_.hash_bits <= 30);
+  assert(params_.capacity >= 1);
+  nodes_.reserve(std::min<std::size_t>(params_.capacity, 1 << 20));
+}
+
+std::uint32_t PreliminaryFilter::find_node(
+    const Fingerprint& fp) const noexcept {
+  for (std::uint32_t i = buckets_[bucket_of(fp)]; i != kNil;
+       i = nodes_[i].chain_next) {
+    if (nodes_[i].fp == fp) return i;
+  }
+  return kNil;
+}
+
+void PreliminaryFilter::unlink_recency(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  if (n.lru_prev != kNil) {
+    nodes_[n.lru_prev].lru_next = n.lru_next;
+  } else {
+    lru_head_ = n.lru_next;
+  }
+  if (n.lru_next != kNil) {
+    nodes_[n.lru_next].lru_prev = n.lru_prev;
+  } else {
+    lru_tail_ = n.lru_prev;
+  }
+  n.lru_prev = n.lru_next = kNil;
+}
+
+void PreliminaryFilter::push_hot(std::uint32_t idx) noexcept {
+  Node& n = nodes_[idx];
+  n.lru_prev = lru_tail_;
+  n.lru_next = kNil;
+  if (lru_tail_ != kNil) {
+    nodes_[lru_tail_].lru_next = idx;
+  } else {
+    lru_head_ = idx;
+  }
+  lru_tail_ = idx;
+}
+
+void PreliminaryFilter::evict_one() {
+  const std::uint32_t victim = lru_head_;
+  assert(victim != kNil);
+  Node& n = nodes_[victim];
+  if (n.is_new) {
+    // A 'new' node represents a fingerprint referenced by this session;
+    // losing it would orphan its chunk in the chunk log, so flush it to
+    // the undetermined set before eviction.
+    flushed_new_.push_back(n.fp);
+    ++stats_.evicted_new;
+  }
+  ++stats_.evictions;
+
+  unlink_recency(victim);
+  // Unlink from the bucket chain.
+  const std::uint64_t bucket = bucket_of(n.fp);
+  std::uint32_t* link = &buckets_[bucket];
+  while (*link != victim) {
+    link = &nodes_[*link].chain_next;
+  }
+  *link = n.chain_next;
+  n.chain_next = kNil;
+  n.live = false;
+  n.is_new = false;
+  free_list_.push_back(victim);
+  --live_count_;
+}
+
+std::uint32_t PreliminaryFilter::allocate_node() {
+  if (!free_list_.empty()) {
+    const std::uint32_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  nodes_.push_back({});
+  return static_cast<std::uint32_t>(nodes_.size() - 1);
+}
+
+void PreliminaryFilter::seed(const Fingerprint& fp) {
+  if (live_count_ >= params_.capacity) return;
+  if (find_node(fp) != kNil) return;
+
+  const std::uint32_t idx = allocate_node();
+  Node& n = nodes_[idx];
+  n.fp = fp;
+  n.is_new = false;
+  n.live = true;
+  const std::uint64_t bucket = bucket_of(fp);
+  n.chain_next = buckets_[bucket];
+  buckets_[bucket] = idx;
+  push_hot(idx);
+  ++live_count_;
+}
+
+bool PreliminaryFilter::admit(const Fingerprint& fp) {
+  const std::uint32_t existing = find_node(fp);
+  if (existing != kNil) {
+    nodes_[existing].is_new = true;
+    unlink_recency(existing);
+    push_hot(existing);
+    ++stats_.suppressed;
+    return false;
+  }
+
+  if (live_count_ >= params_.capacity) evict_one();
+
+  const std::uint32_t idx = allocate_node();
+  Node& n = nodes_[idx];
+  n.fp = fp;
+  n.is_new = true;
+  n.live = true;
+  const std::uint64_t bucket = bucket_of(fp);
+  n.chain_next = buckets_[bucket];
+  buckets_[bucket] = idx;
+  push_hot(idx);
+  ++live_count_;
+  ++stats_.admitted;
+  return true;
+}
+
+bool PreliminaryFilter::contains(const Fingerprint& fp) const {
+  return find_node(fp) != kNil;
+}
+
+std::vector<Fingerprint> PreliminaryFilter::collect_undetermined() {
+  std::vector<Fingerprint> out = std::move(flushed_new_);
+  flushed_new_.clear();
+  for (Node& n : nodes_) {
+    if (n.live && n.is_new) {
+      out.push_back(n.fp);
+      n.is_new = false;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void PreliminaryFilter::clear() {
+  std::fill(buckets_.begin(), buckets_.end(), kNil);
+  nodes_.clear();
+  free_list_.clear();
+  flushed_new_.clear();
+  lru_head_ = lru_tail_ = kNil;
+  live_count_ = 0;
+}
+
+}  // namespace debar::filter

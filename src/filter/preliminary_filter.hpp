@@ -1,0 +1,108 @@
+// Preliminary filter (Section 5.1) — dedup-1's in-memory duplicate
+// suppressor.
+//
+// An in-memory hash table of 2^m chained buckets keyed by the first m bits
+// of the fingerprint. Before a job runs, it is seeded with the *filtering
+// fingerprints* — the fingerprint set of the previous version in the job
+// chain (job-chain semantics: adjacent versions share the most data). An
+// incoming fingerprint already present means the chunk payload need not be
+// transferred; either way the node is marked 'new' ("referenced by the
+// current session"), and when the job finishes all 'new' fingerprints are
+// collected into the undetermined fingerprint file for dedup-2.
+//
+// When the filter is full, victims are taken from the cold end of a
+// FIFO/LRU recency list. Evicting a 'new'-marked node flushes its
+// fingerprint to the undetermined set first — dropping it would orphan the
+// chunk sitting in the chunk log.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace debar::filter {
+
+struct PreliminaryFilterParams {
+  /// m: the table has 2^m buckets.
+  unsigned hash_bits = 16;
+  /// Maximum resident fingerprints before replacement kicks in. The paper
+  /// sizes this by memory (e.g. 1 GB); a node here is ~64 bytes.
+  std::size_t capacity = 1 << 20;
+};
+
+struct PreliminaryFilterStats {
+  std::uint64_t admitted = 0;   // unseen fingerprints (chunk transferred)
+  std::uint64_t suppressed = 0; // duplicates (transfer avoided)
+  std::uint64_t evictions = 0;
+  std::uint64_t evicted_new = 0;  // 'new' nodes flushed on eviction
+};
+
+class PreliminaryFilter {
+ public:
+  explicit PreliminaryFilter(PreliminaryFilterParams params = {});
+
+  /// Insert a filtering fingerprint (previous job version). Not marked
+  /// 'new'. No-op if already present or the filter is at capacity —
+  /// seeding never evicts current-session state.
+  void seed(const Fingerprint& fp);
+
+  /// Process one incoming fingerprint of the current backup stream.
+  /// Returns true if the chunk payload must be transferred from the
+  /// client (fingerprint unseen), false if the transfer is suppressed.
+  /// The fingerprint's node is marked 'new' in both cases.
+  [[nodiscard]] bool admit(const Fingerprint& fp);
+
+  [[nodiscard]] bool contains(const Fingerprint& fp) const;
+
+  /// Drain all 'new'-marked fingerprints (including any flushed by
+  /// eviction during the run), sorted and deduplicated — the undetermined
+  /// fingerprint file. Clears the 'new' marks.
+  [[nodiscard]] std::vector<Fingerprint> collect_undetermined();
+
+  /// Drop everything (start of an unrelated job).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_count_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return params_.capacity;
+  }
+  [[nodiscard]] const PreliminaryFilterStats& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+  struct Node {
+    Fingerprint fp;
+    std::uint32_t chain_next = kNil;  // bucket chain
+    std::uint32_t lru_prev = kNil;    // recency list (head = coldest)
+    std::uint32_t lru_next = kNil;
+    bool is_new = false;
+    bool live = false;
+  };
+
+  [[nodiscard]] std::uint64_t bucket_of(const Fingerprint& fp) const noexcept {
+    return fp.prefix_bits(params_.hash_bits);
+  }
+
+  [[nodiscard]] std::uint32_t find_node(const Fingerprint& fp) const noexcept;
+  void unlink_recency(std::uint32_t idx) noexcept;
+  void push_hot(std::uint32_t idx) noexcept;
+  void evict_one();
+  std::uint32_t allocate_node();
+
+  PreliminaryFilterParams params_;
+  std::vector<std::uint32_t> buckets_;  // head node per bucket
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_list_;
+  std::uint32_t lru_head_ = kNil;  // coldest
+  std::uint32_t lru_tail_ = kNil;  // hottest
+  std::size_t live_count_ = 0;
+  std::vector<Fingerprint> flushed_new_;  // 'new' fps evicted mid-run
+  PreliminaryFilterStats stats_;
+};
+
+}  // namespace debar::filter

@@ -1,0 +1,599 @@
+#include "index/disk_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include "common/fmt.hpp"
+
+#include "common/serial.hpp"
+
+namespace debar::index {
+
+namespace {
+
+/// Entries per 512-byte block and the block-local layout:
+///   [u16 count][count * 25-byte entries][padding]
+void serialize_block(std::span<const IndexEntry> entries,
+                     std::span<Byte> out) {
+  assert(out.size() == kIndexBlockSize);
+  assert(entries.size() <= kEntriesPerIndexBlock);
+  std::fill(out.begin(), out.end(), Byte{0});
+  std::vector<Byte> buf;
+  buf.reserve(kIndexBlockSize);
+  ByteWriter w(buf);
+  w.u16(static_cast<std::uint16_t>(entries.size()));
+  for (const IndexEntry& e : entries) {
+    w.fingerprint(e.fp);
+    w.container_id(e.container);
+  }
+  std::copy(buf.begin(), buf.end(), out.begin());
+}
+
+}  // namespace
+
+Result<DiskIndex> DiskIndex::create(
+    std::unique_ptr<storage::BlockDevice> device, DiskIndexParams params) {
+  if (device == nullptr) {
+    return Error{Errc::kInvalidArgument, "null device"};
+  }
+  if (!params.valid()) {
+    return Error{Errc::kInvalidArgument,
+                 debar::format("bad index params: n={} skip={} blocks={}",
+                             params.prefix_bits, params.skip_bits,
+                             params.blocks_per_bucket)};
+  }
+  // Zero the whole address space: zeroed blocks parse as empty buckets.
+  if (Status s = device->resize(0); !s.ok()) return Error{s.code(), s.message()};
+  if (Status s = device->resize(params.index_bytes()); !s.ok()) {
+    return Error{s.code(), s.message()};
+  }
+  return DiskIndex(std::move(device), params);
+}
+
+Result<DiskIndex> DiskIndex::open(std::unique_ptr<storage::BlockDevice> device,
+                                  DiskIndexParams params) {
+  if (device == nullptr) {
+    return Error{Errc::kInvalidArgument, "null device"};
+  }
+  if (!params.valid()) {
+    return Error{Errc::kInvalidArgument, "bad index params"};
+  }
+  if (device->size() != params.index_bytes()) {
+    return Error{Errc::kCorrupt,
+                 debar::format("index device is {} bytes, params imply {}",
+                               device->size(), params.index_bytes())};
+  }
+  DiskIndex idx(std::move(device), params);
+  const Result<IndexStats> stats = idx.stats();
+  if (!stats.ok()) return stats.error();
+  idx.entry_count_ = stats.value().entries;
+  return idx;
+}
+
+Bucket DiskIndex::parse_bucket(ByteSpan data) const {
+  assert(data.size() == params_.bucket_bytes());
+  Bucket b;
+  for (unsigned blk = 0; blk < params_.blocks_per_bucket; ++blk) {
+    ByteReader r(data.subspan(blk * kIndexBlockSize, kIndexBlockSize));
+    const std::uint16_t count = r.u16();
+    if (count == 0) break;  // blocks fill in order; empty block ends bucket
+    const std::uint16_t n =
+        std::min<std::uint16_t>(count, kEntriesPerIndexBlock);
+    for (std::uint16_t i = 0; i < n; ++i) {
+      IndexEntry e;
+      e.fp = r.fingerprint();
+      e.container = r.container_id();
+      b.entries.push_back(e);
+    }
+    if (count < kEntriesPerIndexBlock) break;  // partially filled last block
+  }
+  return b;
+}
+
+void DiskIndex::serialize_bucket(const Bucket& b, std::span<Byte> out) const {
+  assert(out.size() == params_.bucket_bytes());
+  assert(b.entries.size() <= params_.bucket_capacity());
+  std::size_t taken = 0;
+  for (unsigned blk = 0; blk < params_.blocks_per_bucket; ++blk) {
+    const std::size_t n =
+        std::min(kEntriesPerIndexBlock, b.entries.size() - taken);
+    serialize_block(std::span<const IndexEntry>(b.entries).subspan(taken, n),
+                    out.subspan(blk * kIndexBlockSize, kIndexBlockSize));
+    taken += n;
+    if (taken == b.entries.size() && n < kEntriesPerIndexBlock) {
+      // Remaining blocks stay zero; also zero them on rewrite.
+      for (unsigned z = blk + 1; z < params_.blocks_per_bucket; ++z) {
+        std::fill_n(out.begin() + z * kIndexBlockSize, kIndexBlockSize,
+                    Byte{0});
+      }
+      break;
+    }
+  }
+}
+
+Result<Bucket> DiskIndex::read_bucket(std::uint64_t idx) const {
+  std::vector<Byte> buf(params_.bucket_bytes());
+  if (Status s = device_->read(idx * params_.bucket_bytes(),
+                               std::span<Byte>(buf));
+      !s.ok()) {
+    return Error{s.code(), s.message()};
+  }
+  return parse_bucket(ByteSpan(buf.data(), buf.size()));
+}
+
+Status DiskIndex::write_bucket(std::uint64_t idx, const Bucket& b) {
+  std::vector<Byte> buf(params_.bucket_bytes());
+  serialize_bucket(b, std::span<Byte>(buf));
+  return device_->write(idx * params_.bucket_bytes(),
+                        ByteSpan(buf.data(), buf.size()));
+}
+
+Status DiskIndex::read_bucket_range(std::uint64_t first, std::uint64_t count,
+                                    std::vector<Bucket>& out) const {
+  const std::uint64_t bb = params_.bucket_bytes();
+  std::vector<Byte> buf(count * bb);
+  if (Status s = device_->read(first * bb, std::span<Byte>(buf)); !s.ok()) {
+    return s;
+  }
+  out.clear();
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(parse_bucket(ByteSpan(buf.data() + i * bb, bb)));
+  }
+  return Status::Ok();
+}
+
+Status DiskIndex::write_bucket_range(std::uint64_t first,
+                                     std::span<const Bucket> buckets) {
+  const std::uint64_t bb = params_.bucket_bytes();
+  std::vector<Byte> buf(buckets.size() * bb);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    serialize_bucket(buckets[i], std::span<Byte>(buf.data() + i * bb, bb));
+  }
+  return device_->write(first * bb, ByteSpan(buf.data(), buf.size()));
+}
+
+Result<ContainerId> DiskIndex::lookup(const Fingerprint& fp) const {
+  const std::uint64_t home = bucket_of(fp);
+  Result<Bucket> rb = read_bucket(home);
+  if (!rb.ok()) return rb.error();
+  if (auto id = rb.value().find(fp)) return *id;
+
+  // The entry may have overflowed next door. (With bulk_erase in the
+  // picture a non-full home no longer proves absence — an erase can
+  // leave a previously-overflowed entry stranded in a neighbour — so
+  // misses always pay the neighbour reads.)
+  for (const std::uint64_t nb : {home - 1, home + 1}) {
+    if (nb >= params_.bucket_count()) continue;  // edge bucket
+    Result<Bucket> rn = read_bucket(nb);
+    if (!rn.ok()) return rn.error();
+    if (auto id = rn.value().find(fp)) return *id;
+  }
+  return Error{Errc::kNotFound, "fingerprint not in index"};
+}
+
+Status DiskIndex::insert(const Fingerprint& fp, ContainerId id) {
+  const std::uint64_t home = bucket_of(fp);
+  Result<Bucket> rb = read_bucket(home);
+  if (!rb.ok()) return rb.status();
+  Bucket& b = rb.value();
+  // Duplicate check covers the neighbourhood: a stranded overflow copy
+  // (possible after bulk_erase) must not be silently duplicated.
+  const bool left_first = (rng_() & 1) != 0;
+  const std::uint64_t order[2] = {left_first ? home - 1 : home + 1,
+                                  left_first ? home + 1 : home - 1};
+  if (b.find(fp)) {
+    return {Errc::kInvalidArgument, "duplicate fingerprint"};
+  }
+  Result<Bucket> neighbours[2] = {Error{Errc::kNotFound, ""},
+                                  Error{Errc::kNotFound, ""}};
+  for (int i = 0; i < 2; ++i) {
+    if (order[i] >= params_.bucket_count()) continue;  // edge bucket
+    neighbours[i] = read_bucket(order[i]);
+    if (!neighbours[i].ok()) return neighbours[i].status();
+    if (neighbours[i].value().find(fp)) {
+      return {Errc::kInvalidArgument, "duplicate fingerprint"};
+    }
+  }
+
+  if (!bucket_full(b)) {
+    b.entries.push_back({fp, id});
+    if (Status s = write_bucket(home, b); !s.ok()) return s;
+    ++entry_count_;
+    return Status::Ok();
+  }
+  // Overflow: the random-order neighbour with space takes the entry.
+  for (int i = 0; i < 2; ++i) {
+    if (order[i] >= params_.bucket_count() || !neighbours[i].ok()) continue;
+    if (!bucket_full(neighbours[i].value())) {
+      neighbours[i].value().entries.push_back({fp, id});
+      if (Status s = write_bucket(order[i], neighbours[i].value()); !s.ok()) {
+        return s;
+      }
+      ++entry_count_;
+      return Status::Ok();
+    }
+  }
+  needs_scaling_ = true;
+  return {Errc::kFull,
+          debar::format("bucket {} and both neighbours are full", home)};
+}
+
+Status DiskIndex::bulk_lookup(
+    std::span<const Fingerprint> fingerprints,
+    const std::function<void(std::size_t, ContainerId)>& on_found,
+    std::uint64_t io_buckets) const {
+  const std::uint64_t nb = params_.bucket_count();
+  io_buckets = std::max<std::uint64_t>(io_buckets, 3);
+
+  // Validate sorted input (bucket numbers must be non-decreasing, which is
+  // what the streaming merge below relies on).
+  for (std::size_t i = 1; i < fingerprints.size(); ++i) {
+    if (fingerprints[i] < fingerprints[i - 1]) {
+      return {Errc::kInvalidArgument, "bulk_lookup input not sorted"};
+    }
+  }
+  if (!fingerprints.empty() &&
+      bucket_of(fingerprints.front()) > bucket_of(fingerprints.back())) {
+    return {Errc::kInvalidArgument,
+            "bulk_lookup input spans mixed routing prefixes"};
+  }
+
+  std::size_t qi = 0;
+  std::vector<Bucket> span_buckets;
+  // Stream the entire index in io_buckets-sized reads, each extended one
+  // bucket on both sides so overflow neighbours are always in memory.
+  for (std::uint64_t a = 0; a < nb; a += io_buckets) {
+    const std::uint64_t lo = (a == 0) ? 0 : a - 1;
+    const std::uint64_t hi = std::min(nb, a + io_buckets + 1);
+    if (Status s = read_bucket_range(lo, hi - lo, span_buckets); !s.ok()) {
+      return s;
+    }
+    const std::uint64_t home_end = std::min(nb, a + io_buckets);
+    while (qi < fingerprints.size()) {
+      const std::uint64_t home = bucket_of(fingerprints[qi]);
+      if (home >= home_end) break;
+      if (home < a) {
+        return {Errc::kInvalidArgument,
+                "bulk_lookup bucket order regressed (mixed routing prefixes?)"};
+      }
+      const Bucket& b = span_buckets[home - lo];
+      if (auto id = b.find(fingerprints[qi])) {
+        on_found(qi, *id);
+      } else {
+        // Neighbour buckets are already in memory: checking them
+        // unconditionally costs nothing and stays correct after erases.
+        for (const std::uint64_t n : {home - 1, home + 1}) {
+          if (n >= nb) continue;
+          if (auto id = span_buckets[n - lo].find(fingerprints[qi])) {
+            on_found(qi, *id);
+            break;
+          }
+        }
+      }
+      ++qi;
+    }
+  }
+  return Status::Ok();
+}
+
+Status DiskIndex::bulk_insert(std::span<const IndexEntry> entries,
+                              std::uint64_t io_buckets,
+                              std::uint64_t* inserted,
+                              std::vector<std::size_t>* failed) {
+  const std::uint64_t nb = params_.bucket_count();
+  io_buckets = std::max<std::uint64_t>(io_buckets, 3);
+  if (inserted != nullptr) *inserted = 0;
+  if (failed != nullptr) failed->clear();
+
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].fp < entries[i - 1].fp) {
+      return {Errc::kInvalidArgument, "bulk_insert input not sorted"};
+    }
+  }
+  if (!entries.empty() &&
+      bucket_of(entries.front().fp) > bucket_of(entries.back().fp)) {
+    return {Errc::kInvalidArgument,
+            "bulk_insert input spans mixed routing prefixes"};
+  }
+
+  bool overflow_failure = false;
+  std::size_t qi = 0;
+  std::vector<Bucket> span_buckets;
+  // One read-modify-write pass over the whole index. Each span carries a
+  // one-bucket margin so every possible overflow target is in memory; the
+  // margins are written back too, and the next span re-reads the updated
+  // margin bucket, so cross-span overflow composes correctly.
+  for (std::uint64_t a = 0; a < nb; a += io_buckets) {
+    const std::uint64_t lo = (a == 0) ? 0 : a - 1;
+    const std::uint64_t hi = std::min(nb, a + io_buckets + 1);
+    if (Status s = read_bucket_range(lo, hi - lo, span_buckets); !s.ok()) {
+      return s;
+    }
+    const std::uint64_t home_end = std::min(nb, a + io_buckets);
+    while (qi < entries.size()) {
+      const IndexEntry& e = entries[qi];
+      const std::uint64_t home = bucket_of(e.fp);
+      if (home >= home_end) break;
+      if (home < a) {
+        return {Errc::kInvalidArgument,
+                "bulk_insert bucket order regressed (mixed routing prefixes?)"};
+      }
+      Bucket& b = span_buckets[home - lo];
+      // Duplicate check over the whole neighbourhood (all in memory).
+      bool duplicate = b.find(e.fp).has_value();
+      for (const std::uint64_t n : {home - 1, home + 1}) {
+        if (duplicate || n >= nb) continue;
+        duplicate = span_buckets[n - lo].find(e.fp).has_value();
+      }
+      bool placed = false;
+      if (!duplicate && !bucket_full(b)) {
+        b.entries.push_back(e);
+        placed = true;
+      } else if (!duplicate) {
+        const bool left_first = (rng_() & 1) != 0;
+        const std::uint64_t order[2] = {left_first ? home - 1 : home + 1,
+                                        left_first ? home + 1 : home - 1};
+        for (const std::uint64_t n : order) {
+          if (n >= nb) continue;
+          Bucket& nbk = span_buckets[n - lo];
+          if (!bucket_full(nbk)) {
+            nbk.entries.push_back(e);
+            placed = true;
+            break;
+          }
+        }
+      }
+      if (placed) {
+        ++entry_count_;
+        if (inserted != nullptr) ++(*inserted);
+      } else if (!duplicate) {
+        overflow_failure = true;
+        needs_scaling_ = true;
+        if (failed != nullptr) failed->push_back(qi);
+      }
+      ++qi;
+    }
+    if (Status s = write_bucket_range(
+            lo, std::span<const Bucket>(span_buckets.data(), hi - lo));
+        !s.ok()) {
+      return s;
+    }
+  }
+  if (overflow_failure) {
+    return {Errc::kFull,
+            "one or more bucket neighbourhoods full; capacity scaling needed"};
+  }
+  return Status::Ok();
+}
+
+Status DiskIndex::bulk_erase(std::span<const Fingerprint> fingerprints,
+                             std::uint64_t io_buckets, std::uint64_t* erased) {
+  const std::uint64_t nb = params_.bucket_count();
+  io_buckets = std::max<std::uint64_t>(io_buckets, 3);
+  if (erased != nullptr) *erased = 0;
+
+  for (std::size_t i = 1; i < fingerprints.size(); ++i) {
+    if (fingerprints[i] < fingerprints[i - 1]) {
+      return {Errc::kInvalidArgument, "bulk_erase input not sorted"};
+    }
+  }
+
+  std::size_t qi = 0;
+  std::vector<Bucket> span_buckets;
+  for (std::uint64_t a = 0; a < nb; a += io_buckets) {
+    const std::uint64_t lo = (a == 0) ? 0 : a - 1;
+    const std::uint64_t hi = std::min(nb, a + io_buckets + 1);
+    if (Status s = read_bucket_range(lo, hi - lo, span_buckets); !s.ok()) {
+      return s;
+    }
+    const std::uint64_t home_end = std::min(nb, a + io_buckets);
+    while (qi < fingerprints.size()) {
+      const Fingerprint& fp = fingerprints[qi];
+      const std::uint64_t home = bucket_of(fp);
+      if (home >= home_end) break;
+      if (home < a) {
+        return {Errc::kInvalidArgument,
+                "bulk_erase bucket order regressed (mixed routing prefixes?)"};
+      }
+      for (const std::uint64_t b : {home, home - 1, home + 1}) {
+        if (b >= nb) continue;
+        auto& entries = span_buckets[b - lo].entries;
+        const auto it = std::find_if(
+            entries.begin(), entries.end(),
+            [&](const IndexEntry& e) { return e.fp == fp; });
+        if (it != entries.end()) {
+          entries.erase(it);
+          --entry_count_;
+          if (erased != nullptr) ++(*erased);
+          break;
+        }
+      }
+      ++qi;
+    }
+    if (Status s = write_bucket_range(
+            lo, std::span<const Bucket>(span_buckets.data(), hi - lo));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status DiskIndex::bulk_update(std::span<const IndexEntry> entries,
+                              std::uint64_t io_buckets,
+                              std::uint64_t* missing) {
+  const std::uint64_t nb = params_.bucket_count();
+  io_buckets = std::max<std::uint64_t>(io_buckets, 3);
+  if (missing != nullptr) *missing = 0;
+
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].fp < entries[i - 1].fp) {
+      return {Errc::kInvalidArgument, "bulk_update input not sorted"};
+    }
+  }
+
+  std::size_t qi = 0;
+  std::vector<Bucket> span_buckets;
+  for (std::uint64_t a = 0; a < nb; a += io_buckets) {
+    const std::uint64_t lo = (a == 0) ? 0 : a - 1;
+    const std::uint64_t hi = std::min(nb, a + io_buckets + 1);
+    if (Status s = read_bucket_range(lo, hi - lo, span_buckets); !s.ok()) {
+      return s;
+    }
+    const std::uint64_t home_end = std::min(nb, a + io_buckets);
+    while (qi < entries.size()) {
+      const IndexEntry& e = entries[qi];
+      const std::uint64_t home = bucket_of(e.fp);
+      if (home >= home_end) break;
+      if (home < a) {
+        return {Errc::kInvalidArgument,
+                "bulk_update bucket order regressed (mixed routing prefixes?)"};
+      }
+      // The entry lives in its home bucket or in a neighbour it
+      // overflowed to (or was stranded in by a later erase).
+      bool updated = false;
+      for (const std::uint64_t b : {home, home - 1, home + 1}) {
+        if (b >= nb) continue;
+        for (IndexEntry& slot : span_buckets[b - lo].entries) {
+          if (slot.fp == e.fp) {
+            slot.container = e.container;
+            updated = true;
+            break;
+          }
+        }
+        if (updated) break;
+      }
+      if (!updated && missing != nullptr) ++(*missing);
+      ++qi;
+    }
+    if (Status s = write_bucket_range(
+            lo, std::span<const Bucket>(span_buckets.data(), hi - lo));
+        !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Stream every entry out of an index in ascending-fingerprint order.
+/// (Entries within a bucket are unordered and overflow displaces entries
+/// by one bucket, so a final sort is required regardless.)
+Result<std::vector<IndexEntry>> collect_entries(const DiskIndex& idx,
+                                                std::uint64_t io_buckets) {
+  std::vector<IndexEntry> all;
+  all.reserve(idx.entry_count());
+  const std::uint64_t nb = idx.params().bucket_count();
+  for (std::uint64_t a = 0; a < nb; a += io_buckets) {
+    const std::uint64_t count = std::min(io_buckets, nb - a);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Result<Bucket> rb = idx.read_bucket(a + i);
+      if (!rb.ok()) return rb.error();
+      for (const IndexEntry& e : rb.value().entries) all.push_back(e);
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const IndexEntry& x, const IndexEntry& y) { return x.fp < y.fp; });
+  return all;
+}
+
+}  // namespace
+
+Result<DiskIndex> DiskIndex::scaled(
+    std::unique_ptr<storage::BlockDevice> new_device) const {
+  Result<std::vector<IndexEntry>> entries = collect_entries(*this, 1024);
+  if (!entries.ok()) return entries.error();
+
+  DiskIndexParams p = params_;
+  p.prefix_bits += 1;
+  Result<DiskIndex> fresh = create(std::move(new_device), p);
+  if (!fresh.ok()) return fresh;
+
+  // Re-placing each entry by the first n+1 bits re-homes previously
+  // overflowed entries exactly as Section 4.1 prescribes.
+  if (Status s = fresh.value().bulk_insert(
+          std::span<const IndexEntry>(entries.value()));
+      !s.ok()) {
+    return Error{s.code(), "scaling re-insert failed: " + s.message()};
+  }
+  return fresh;
+}
+
+Result<std::vector<DiskIndex>> DiskIndex::split(
+    std::vector<std::unique_ptr<storage::BlockDevice>> devices) const {
+  const std::size_t parts = devices.size();
+  if (parts == 0 || (parts & (parts - 1)) != 0) {
+    return Error{Errc::kInvalidArgument,
+                 "split requires a power-of-two device count"};
+  }
+  unsigned w = 0;
+  while ((std::size_t{1} << w) < parts) ++w;
+  if (w >= params_.prefix_bits) {
+    return Error{Errc::kInvalidArgument,
+                 "cannot split into more parts than buckets"};
+  }
+
+  Result<std::vector<IndexEntry>> entries = collect_entries(*this, 1024);
+  if (!entries.ok()) return entries.error();
+
+  DiskIndexParams p = params_;
+  p.prefix_bits -= w;
+  p.skip_bits += w;
+
+  std::vector<DiskIndex> out;
+  out.reserve(parts);
+  // Entries are fingerprint-sorted, so each part's slice is contiguous.
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k < parts; ++k) {
+    Result<DiskIndex> part = create(std::move(devices[k]), p);
+    if (!part.ok()) return part.error();
+    std::size_t end = begin;
+    while (end < entries.value().size() &&
+           (entries.value()[end].fp.prefix_bits(params_.skip_bits + w) &
+            (parts - 1)) == k) {
+      ++end;
+    }
+    if (Status s = part.value().bulk_insert(std::span<const IndexEntry>(
+            entries.value().data() + begin, end - begin));
+        !s.ok()) {
+      return Error{s.code(),
+                   debar::format("split part {} insert failed: {}", k,
+                               s.message())};
+    }
+    begin = end;
+    out.push_back(std::move(part).value());
+  }
+  if (begin != entries.value().size()) {
+    return Error{Errc::kCorrupt, "split partition did not consume all entries"};
+  }
+  return out;
+}
+
+Result<IndexStats> DiskIndex::stats() const {
+  IndexStats st;
+  st.buckets = params_.bucket_count();
+  std::vector<Bucket> span_buckets;
+  const std::uint64_t io = 1024;
+  for (std::uint64_t a = 0; a < st.buckets; a += io) {
+    const std::uint64_t count = std::min(io, st.buckets - a);
+    if (Status s = read_bucket_range(a, count, span_buckets); !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Bucket& b = span_buckets[i];
+      st.entries += b.entries.size();
+      if (bucket_full(b)) ++st.full_buckets;
+      for (const IndexEntry& e : b.entries) {
+        if (bucket_of(e.fp) != a + i) ++st.overflowed_entries;
+      }
+    }
+  }
+  st.utilization = static_cast<double>(st.entries) /
+                   static_cast<double>(params_.entry_capacity());
+  st.full_fraction = static_cast<double>(st.full_buckets) /
+                     static_cast<double>(st.buckets);
+  return st;
+}
+
+}  // namespace debar::index

@@ -1,0 +1,48 @@
+#include "index/recovery.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace debar::index {
+
+Result<DiskIndex> rebuild_index(const storage::ChunkRepository& repository,
+                                std::unique_ptr<storage::BlockDevice> device,
+                                DiskIndexParams params, RecoveryStats* stats) {
+  RecoveryStats local;
+
+  std::vector<IndexEntry> entries;
+  for (const ContainerId id : repository.container_ids()) {
+    Result<storage::Container> container = repository.read(id);
+    if (!container.ok()) return container.error();
+    ++local.containers_scanned;
+    for (const storage::ChunkMeta& m : container.value().metadata()) {
+      entries.push_back({m.fp, id});
+    }
+  }
+
+  // Sort by fingerprint, then container ID: after unique-by-fingerprint
+  // the lowest container ID survives.
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) {
+              return a.fp < b.fp || (a.fp == b.fp && a.container < b.container);
+            });
+  const auto last = std::unique(
+      entries.begin(), entries.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.fp == b.fp; });
+  local.duplicate_fingerprints =
+      static_cast<std::uint64_t>(std::distance(last, entries.end()));
+  entries.erase(last, entries.end());
+  local.entries_recovered = entries.size();
+
+  Result<DiskIndex> rebuilt = DiskIndex::create(std::move(device), params);
+  if (!rebuilt.ok()) return rebuilt;
+  if (Status s =
+          rebuilt.value().bulk_insert(std::span<const IndexEntry>(entries));
+      !s.ok()) {
+    return Error{s.code(), "recovery re-insert failed: " + s.message()};
+  }
+  if (stats != nullptr) *stats = local;
+  return rebuilt;
+}
+
+}  // namespace debar::index

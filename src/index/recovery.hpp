@@ -1,0 +1,34 @@
+// Disk-index recovery (Section 4.1).
+//
+// Containers are self-describing: each one's metadata section lists the
+// fingerprints of the chunks it holds. A corrupted (or lost) index can
+// therefore be rebuilt by scanning the chunk repository and re-inserting
+// every <fingerprint, containerID> pair. The paper notes this full-scan
+// rebuild is too expensive for routine scaling — capacity scaling copies
+// buckets instead — but it is the disaster-recovery path.
+#pragma once
+
+#include <memory>
+
+#include "common/result.hpp"
+#include "index/disk_index.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::index {
+
+struct RecoveryStats {
+  std::uint64_t containers_scanned = 0;
+  std::uint64_t entries_recovered = 0;
+  std::uint64_t duplicate_fingerprints = 0;  // same fp in two containers
+};
+
+/// Rebuild an index over `device` with `params` from the repository's
+/// container metadata. When a fingerprint appears in several containers
+/// (duplicate storage from degenerate histories), the lowest container ID
+/// wins — deterministic and always restorable. `stats` is optional.
+[[nodiscard]] Result<DiskIndex> rebuild_index(
+    const storage::ChunkRepository& repository,
+    std::unique_ptr<storage::BlockDevice> device, DiskIndexParams params,
+    RecoveryStats* stats = nullptr);
+
+}  // namespace debar::index

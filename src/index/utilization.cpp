@@ -1,0 +1,136 @@
+#include "index/utilization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+
+namespace debar::index {
+
+namespace {
+
+/// P[Poisson(lambda) >= k], computed in log space to survive k ~ thousands.
+double poisson_tail(std::uint64_t k, double lambda) {
+  if (lambda <= 0) return k == 0 ? 1.0 : 0.0;
+  if (k == 0) return 1.0;
+  // Sum pmf(j) for j >= k until terms vanish. log pmf(j) = j ln l - l - lgamma(j+1).
+  const double log_lambda = std::log(lambda);
+  long double sum = 0.0L;
+  // Start at j = k; the pmf first rises then falls if k < lambda, but in
+  // Table 1's regime k = 3b > lambda = 3*eta*b, so terms fall monotonically.
+  for (std::uint64_t j = k;; ++j) {
+    const double log_pmf = static_cast<double>(j) * log_lambda - lambda -
+                           std::lgamma(static_cast<double>(j) + 1.0);
+    const long double term = std::exp(static_cast<long double>(log_pmf));
+    sum += term;
+    if (term < sum * 1e-18L || term < 1e-300L) break;
+    if (j > k + 100000) break;  // safety net; never reached in practice
+  }
+  return static_cast<double>(std::min<long double>(sum, 1.0L));
+}
+
+}  // namespace
+
+double overflow_probability_bound(unsigned prefix_bits,
+                                  std::uint64_t bucket_capacity, double eta) {
+  const double windows =
+      std::pow(2.0, static_cast<double>(prefix_bits)) - 2.0;
+  const double lambda = 3.0 * eta * static_cast<double>(bucket_capacity);
+  return windows * poisson_tail(3 * bucket_capacity, lambda);
+}
+
+UtilizationSimResult run_utilization_sim(const UtilizationSimParams& params) {
+  const std::uint64_t buckets = std::uint64_t{1} << params.prefix_bits;
+  const std::uint64_t b = params.bucket_capacity;
+  std::vector<std::uint32_t> counters(buckets, 0);
+
+  Xoshiro256 rng(params.seed);
+  std::uint64_t counter_input = params.seed << 32;  // SHA-1 input stream
+
+  auto next_bucket = [&]() -> std::uint64_t {
+    if (params.use_sha1) {
+      const Fingerprint fp = Sha1::hash_counter(counter_input++);
+      return fp.prefix_bits(params.prefix_bits);
+    }
+    return rng() >> (64 - params.prefix_bits);
+  };
+  auto full = [&](std::uint64_t i) {
+    // Edge buckets treat the missing neighbour as full, matching DiskIndex.
+    return i >= buckets || counters[i] >= b;
+  };
+
+  UtilizationSimResult result;
+  for (;;) {
+    const std::uint64_t home = next_bucket();
+    if (counters[home] < b) {
+      ++counters[home];
+      ++result.inserted;
+      continue;
+    }
+    // Home full: random adjacent first, then the other.
+    const bool left_first = (rng() & 1) != 0;
+    const std::uint64_t first = left_first ? home - 1 : home + 1;
+    const std::uint64_t second = left_first ? home + 1 : home - 1;
+    if (!full(first)) {
+      ++counters[first];
+      ++result.inserted;
+    } else if (!full(second)) {
+      ++counters[second];
+      ++result.inserted;
+    } else {
+      break;  // home and both neighbours full: capacity scaling triggers
+    }
+  }
+
+  std::uint64_t full_count = 0;
+  std::uint64_t run_len = 0;
+  auto close_run = [&](std::uint64_t len) {
+    if (len == 3) ++result.runs3;
+    if (len >= 4) ++result.runs4;
+  };
+  for (std::uint64_t i = 0; i < buckets; ++i) {
+    if (counters[i] >= b) {
+      ++full_count;
+      ++run_len;
+    } else {
+      close_run(run_len);
+      run_len = 0;
+    }
+  }
+  close_run(run_len);
+
+  result.utilization = static_cast<double>(result.inserted) /
+                       (static_cast<double>(b) * static_cast<double>(buckets));
+  result.full_fraction =
+      static_cast<double>(full_count) / static_cast<double>(buckets);
+  return result;
+}
+
+UtilizationSummary run_utilization_trials(UtilizationSimParams params,
+                                          unsigned runs) {
+  UtilizationSummary summary;
+  summary.runs = runs;
+  if (runs == 0) return summary;
+  summary.eta_min = 1.0;
+
+  SplitMix64 seeder(params.seed);
+  double eta_sum = 0.0;
+  double rho_sum = 0.0;
+  for (unsigned r = 0; r < runs; ++r) {
+    params.seed = seeder.next();
+    const UtilizationSimResult res = run_utilization_sim(params);
+    summary.eta_min = std::min(summary.eta_min, res.utilization);
+    summary.eta_max = std::max(summary.eta_max, res.utilization);
+    eta_sum += res.utilization;
+    rho_sum += res.full_fraction;
+    summary.n3 += res.runs3;
+    summary.n4 += res.runs4;
+  }
+  summary.eta_avg = eta_sum / runs;
+  summary.rho_avg = rho_sum / runs;
+  return summary;
+}
+
+}  // namespace debar::index

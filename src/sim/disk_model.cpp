@@ -1,0 +1,32 @@
+#include "sim/disk_model.hpp"
+
+namespace debar::sim {
+
+void DiskModel::access(std::uint64_t offset, std::uint64_t bytes) noexcept {
+  if (offset != head_) {
+    clock_->advance_seconds(profile_.seek_seconds);
+    ++seeks_;
+  }
+  if (bytes > 0 && profile_.transfer_bytes_per_sec > 0) {
+    clock_->advance_seconds(static_cast<double>(bytes) /
+                            profile_.transfer_bytes_per_sec);
+  }
+  head_ = offset + bytes;
+  bytes_ += bytes;
+}
+
+void DiskModel::stream(std::uint64_t bytes) noexcept {
+  if (bytes > 0 && profile_.transfer_bytes_per_sec > 0) {
+    clock_->advance_seconds(static_cast<double>(bytes) /
+                            profile_.transfer_bytes_per_sec);
+  }
+  head_ += bytes;
+  bytes_ += bytes;
+}
+
+void DiskModel::seek() noexcept {
+  clock_->advance_seconds(profile_.seek_seconds);
+  ++seeks_;
+}
+
+}  // namespace debar::sim

@@ -1,0 +1,13 @@
+#include "sim/nic_model.hpp"
+
+namespace debar::sim {
+
+void NicModel::transfer(std::uint64_t bytes) noexcept {
+  if (bytes > 0 && profile_.bytes_per_sec > 0) {
+    clock_->advance_seconds(static_cast<double>(bytes) /
+                            profile_.bytes_per_sec);
+  }
+  bytes_ += bytes;
+}
+
+}  // namespace debar::sim

@@ -1,0 +1,103 @@
+#include "storage/block_device.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include "common/fmt.hpp"
+
+namespace debar::storage {
+
+Status MemBlockDevice::read(std::uint64_t offset, std::span<Byte> out) {
+  if (offset + out.size() > data_.size()) {
+    return {Errc::kIoError,
+            debar::format("read [{}, {}) past device size {}", offset,
+                        offset + out.size(), data_.size())};
+  }
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+  account(offset, out.size());
+  return Status::Ok();
+}
+
+Status MemBlockDevice::write(std::uint64_t offset, ByteSpan data) {
+  const std::uint64_t end = offset + data.size();
+  if (end > data_.size()) data_.resize(end, 0);
+  std::memcpy(data_.data() + offset, data.data(), data.size());
+  account(offset, data.size());
+  return Status::Ok();
+}
+
+Status MemBlockDevice::resize(std::uint64_t bytes) {
+  data_.resize(bytes, 0);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::open(
+    const std::filesystem::path& path) {
+  // Create the file if it doesn't exist, then reopen read/write binary.
+  if (!std::filesystem::exists(path)) {
+    std::ofstream create(path, std::ios::binary);
+    if (!create) {
+      return Error{Errc::kIoError,
+                   debar::format("cannot create {}", path.string())};
+    }
+  }
+  std::fstream stream(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+  if (!stream) {
+    return Error{Errc::kIoError, debar::format("cannot open {}", path.string())};
+  }
+  const std::uint64_t size = std::filesystem::file_size(path);
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(path, std::move(stream), size));
+}
+
+Status FileBlockDevice::read(std::uint64_t offset, std::span<Byte> out) {
+  if (offset + out.size() > size_) {
+    return {Errc::kIoError,
+            debar::format("read [{}, {}) past device size {}", offset,
+                        offset + out.size(), size_)};
+  }
+  stream_.clear();
+  stream_.seekg(static_cast<std::streamoff>(offset));
+  stream_.read(reinterpret_cast<char*>(out.data()),
+               static_cast<std::streamsize>(out.size()));
+  if (!stream_) {
+    return {Errc::kIoError, debar::format("short read at {}", offset)};
+  }
+  account(offset, out.size());
+  return Status::Ok();
+}
+
+Status FileBlockDevice::write(std::uint64_t offset, ByteSpan data) {
+  stream_.clear();
+  if (offset > size_) {
+    // Zero-fill the gap so reads of the hole are well-defined.
+    stream_.seekp(static_cast<std::streamoff>(size_));
+    const std::vector<char> zeros(
+        static_cast<std::size_t>(offset - size_), 0);
+    stream_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  stream_.seekp(static_cast<std::streamoff>(offset));
+  stream_.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+  if (!stream_) {
+    return {Errc::kIoError, debar::format("short write at {}", offset)};
+  }
+  stream_.flush();
+  size_ = std::max(size_, offset + data.size());
+  account(offset, data.size());
+  return Status::Ok();
+}
+
+Status FileBlockDevice::resize(std::uint64_t bytes) {
+  std::error_code ec;
+  std::filesystem::resize_file(path_, bytes, ec);
+  if (ec) {
+    return {Errc::kIoError,
+            debar::format("resize {} to {}: {}", path_.string(), bytes,
+                        ec.message())};
+  }
+  size_ = bytes;
+  return Status::Ok();
+}
+
+}  // namespace debar::storage

@@ -1,0 +1,64 @@
+#include "storage/chunk_log.hpp"
+
+#include <cassert>
+#include "common/fmt.hpp"
+#include <vector>
+
+#include "common/serial.hpp"
+
+namespace debar::storage {
+
+ChunkLog::ChunkLog(std::unique_ptr<BlockDevice> device)
+    : device_(std::move(device)) {
+  assert(device_ != nullptr);
+}
+
+Status ChunkLog::append(const Fingerprint& fp, ByteSpan chunk) {
+  std::vector<Byte> record;
+  record.reserve(Fingerprint::kSize + 4 + chunk.size());
+  ByteWriter w(record);
+  w.fingerprint(fp);
+  w.u32(static_cast<std::uint32_t>(chunk.size()));
+  w.bytes(chunk);
+
+  if (Status s = device_->write(tail_, ByteSpan(record.data(), record.size()));
+      !s.ok()) {
+    return s;
+  }
+  tail_ += record.size();
+  ++count_;
+  return Status::Ok();
+}
+
+Status ChunkLog::scan(const ScanCallback& cb) const {
+  std::uint64_t pos = 0;
+  std::vector<Byte> header(Fingerprint::kSize + 4);
+  std::vector<Byte> payload;
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    if (Status s = device_->read(pos, std::span<Byte>(header)); !s.ok()) {
+      return s;
+    }
+    ByteReader r(ByteSpan(header.data(), header.size()));
+    const Fingerprint fp = r.fingerprint();
+    const std::uint32_t size = r.u32();
+    pos += header.size();
+    if (pos + size > tail_) {
+      return {Errc::kCorrupt,
+              debar::format("chunk-log record {} overruns tail", i)};
+    }
+    payload.resize(size);
+    if (Status s = device_->read(pos, std::span<Byte>(payload)); !s.ok()) {
+      return s;
+    }
+    pos += size;
+    cb(fp, ByteSpan(payload.data(), payload.size()));
+  }
+  return Status::Ok();
+}
+
+void ChunkLog::clear() {
+  tail_ = 0;
+  count_ = 0;
+}
+
+}  // namespace debar::storage

@@ -1,0 +1,145 @@
+#include "workload/file_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/fmt.hpp"
+#include "common/rng.hpp"
+
+namespace debar::workload {
+
+namespace {
+
+constexpr std::size_t kSharedBlockSize = 16 * KiB;
+constexpr std::size_t kSharedPoolBlocks = 16;
+// Shared content is appended as runs of consecutive pool blocks so that
+// repeated regions are long enough (48 KiB) for CDC to carve identical
+// interior chunks out of them regardless of surrounding content.
+constexpr std::size_t kSharedRunBlocks = 3;
+
+std::vector<Byte> random_bytes(Xoshiro256& rng, std::size_t n) {
+  std::vector<Byte> out(n);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint64_t v = rng();
+    std::memcpy(out.data() + i, &v, 8);
+  }
+  for (; i < n; ++i) out[i] = static_cast<Byte>(rng());
+  return out;
+}
+
+/// The shared block pool is derived from the seed only, so datasets from
+/// related parameter sets share content.
+std::vector<std::vector<Byte>> shared_pool(std::uint64_t seed) {
+  Xoshiro256 rng(SplitMix64(seed).next() ^ 0x5A5A5A5AULL);
+  std::vector<std::vector<Byte>> pool;
+  pool.reserve(kSharedPoolBlocks);
+  for (std::size_t i = 0; i < kSharedPoolBlocks; ++i) {
+    pool.push_back(random_bytes(rng, kSharedBlockSize));
+  }
+  return pool;
+}
+
+}  // namespace
+
+core::Dataset make_dataset(const FileTreeParams& params) {
+  Xoshiro256 rng(params.seed);
+  const auto pool = shared_pool(params.seed);
+
+  core::Dataset out;
+  out.files.reserve(params.files);
+  for (std::size_t f = 0; f < params.files; ++f) {
+    // File size: uniform in [mean/2, 3*mean/2].
+    const std::uint64_t size =
+        params.mean_file_bytes / 2 + rng.below(params.mean_file_bytes) + 1;
+
+    core::FileData file;
+    file.path = format("dir{}/file{}.dat", f % 8, f);
+    file.mtime = 1000;  // "day 0"; mutations bump it for touched files
+    file.content.reserve(size);
+    while (file.content.size() < size) {
+      if (rng.chance(params.shared_fraction)) {
+        const std::size_t start = rng.below(pool.size());
+        for (std::size_t r = 0; r < kSharedRunBlocks; ++r) {
+          const auto& block = pool[(start + r) % pool.size()];
+          file.content.insert(file.content.end(), block.begin(), block.end());
+        }
+      } else {
+        const auto bytes = random_bytes(rng, kSharedBlockSize);
+        file.content.insert(file.content.end(), bytes.begin(), bytes.end());
+      }
+    }
+    file.content.resize(size);
+    out.files.push_back(std::move(file));
+  }
+  return out;
+}
+
+core::Dataset mutate_dataset(const core::Dataset& base,
+                             const MutationParams& params) {
+  Xoshiro256 rng(params.seed);
+  core::Dataset out;
+  out.files.reserve(base.files.size());
+
+  std::size_t churned = 0;
+  for (const core::FileData& file : base.files) {
+    if (rng.chance(params.churn_fraction)) {
+      ++churned;
+      continue;  // deleted; replacements added below
+    }
+    core::FileData next = file;
+    if (!rng.chance(params.touch_fraction + params.rewrite_fraction)) {
+      out.files.push_back(std::move(next));  // untouched: same content & mtime
+      continue;
+    }
+    next.mtime = file.mtime + 1;
+    if (rng.chance(params.rewrite_fraction /
+                   (params.touch_fraction + params.rewrite_fraction))) {
+      next.content = random_bytes(rng, file.content.size());
+    } else {
+      // Small point edits: insert / delete / overwrite a few bytes at
+      // random positions. Inserts and deletes shift all following
+      // content, which is exactly what CDC must absorb.
+      const auto edits = static_cast<std::size_t>(params.edits_per_file *
+                                                  (0.5 + rng.uniform()));
+      for (std::size_t e = 0; e < edits && !next.content.empty(); ++e) {
+        const std::size_t pos = rng.below(next.content.size());
+        const std::size_t len = 1 + rng.below(64);
+        switch (rng.below(3)) {
+          case 0: {  // insert
+            const auto bytes = random_bytes(rng, len);
+            next.content.insert(next.content.begin() + pos, bytes.begin(),
+                                bytes.end());
+            break;
+          }
+          case 1: {  // delete
+            const std::size_t n = std::min(len, next.content.size() - pos);
+            next.content.erase(next.content.begin() + pos,
+                               next.content.begin() + pos + n);
+            break;
+          }
+          default: {  // overwrite
+            const std::size_t n = std::min(len, next.content.size() - pos);
+            const auto bytes = random_bytes(rng, n);
+            std::copy(bytes.begin(), bytes.end(),
+                      next.content.begin() + pos);
+            break;
+          }
+        }
+      }
+    }
+    out.files.push_back(std::move(next));
+  }
+
+  for (std::size_t i = 0; i < churned; ++i) {
+    core::FileData fresh;
+    fresh.path = format("new/gen{}-{}.dat", params.seed, i);
+    fresh.mtime = 2000 + params.seed;
+    fresh.content = random_bytes(rng, 64 * KiB + rng.below(128 * KiB));
+    out.files.push_back(std::move(fresh));
+  }
+  return out;
+}
+
+}  // namespace debar::workload

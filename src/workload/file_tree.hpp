@@ -1,0 +1,45 @@
+// Synthetic file trees with real byte content, for examples and tests
+// that exercise the full chunking + fingerprinting path (as opposed to
+// the fingerprint-stream benches that bypass chunking).
+#pragma once
+
+#include <cstdint>
+
+#include "core/metadata.hpp"
+
+namespace debar::workload {
+
+struct FileTreeParams {
+  std::size_t files = 32;
+  std::uint64_t mean_file_bytes = 256 * KiB;
+  std::uint64_t seed = 7;
+  /// Fraction of each file assembled from a shared block pool, creating
+  /// cross-file duplication for the de-duplicator to find.
+  double shared_fraction = 0.3;
+};
+
+/// Generate a dataset of `files` files under synthetic paths.
+[[nodiscard]] core::Dataset make_dataset(const FileTreeParams& params);
+
+struct MutationParams {
+  std::uint64_t seed = 11;
+  /// Fraction of surviving files that receive any modification at all;
+  /// untouched files keep content and mtime (so the incremental
+  /// file-level pre-filter can skip them).
+  double touch_fraction = 0.5;
+  /// Expected number of point edits per touched file.
+  double edits_per_file = 4.0;
+  /// Fraction of files replaced wholesale with new content.
+  double rewrite_fraction = 0.05;
+  /// Fraction of files deleted; an equal number of new files is added.
+  double churn_fraction = 0.05;
+};
+
+/// Produce the "next day's" version of a dataset: most files unchanged,
+/// some with small inserts/deletes/overwrites (which shift content — the
+/// case fixed-size chunking handles poorly and CDC handles well), some
+/// rewritten, some churned.
+[[nodiscard]] core::Dataset mutate_dataset(const core::Dataset& base,
+                                           const MutationParams& params);
+
+}  // namespace debar::workload

@@ -1,0 +1,115 @@
+#include "workload/fingerprint_stream.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/sha1.hpp"
+
+namespace debar::workload {
+
+std::vector<Fingerprint> fingerprints_of(const CounterRun& run) {
+  std::vector<Fingerprint> out;
+  out.reserve(run.length);
+  for (std::uint64_t i = 0; i < run.length; ++i) {
+    out.push_back(Sha1::hash_counter(run.start + i));
+  }
+  return out;
+}
+
+SubspaceRegistry::SubspaceRegistry(unsigned subspace_bits)
+    : bits_(subspace_bits), used_(std::size_t{1} << subspace_bits, 0) {
+  assert(subspace_bits >= 1 && subspace_bits <= 16);
+}
+
+std::uint64_t SubspaceRegistry::base(std::size_t idx) const noexcept {
+  return static_cast<std::uint64_t>(idx) << (64 - bits_);
+}
+
+std::uint64_t SubspaceRegistry::used(std::size_t idx) const {
+  std::lock_guard lock(mutex_);
+  return used_[idx];
+}
+
+CounterRun SubspaceRegistry::allocate(std::size_t idx, std::uint64_t count) {
+  std::lock_guard lock(mutex_);
+  const CounterRun run{base(idx) + used_[idx], count};
+  used_[idx] += count;
+  return run;
+}
+
+CounterRun SubspaceRegistry::sample_used(std::size_t idx,
+                                         std::uint64_t length,
+                                         Xoshiro256& rng,
+                                         std::uint64_t limit) const {
+  std::uint64_t used;
+  {
+    std::lock_guard lock(mutex_);
+    used = used_[idx];
+  }
+  used = std::min(used, limit);
+  if (used == 0) return {};
+  length = std::min(length, used);
+  const std::uint64_t start_offset = rng.below(used - length + 1);
+  return {base(idx) + start_offset, length};
+}
+
+VersionedStream::VersionedStream(SubspaceRegistry* registry,
+                                 StreamParams params)
+    : registry_(registry),
+      params_(params),
+      rng_(SplitMix64(params.seed).next() ^ params.stream_id) {
+  assert(registry_ != nullptr);
+  assert(params_.stream_id < registry_->subspace_count());
+  assert(params_.dup_fraction >= 0.0 && params_.dup_fraction <= 1.0);
+  assert(params_.cross_fraction >= 0.0 && params_.cross_fraction <= 1.0);
+}
+
+std::vector<Fingerprint> VersionedStream::next_version(std::uint64_t chunks) {
+  std::vector<Fingerprint> out;
+  out.reserve(chunks);
+  ++version_;
+  // Self-duplication only draws from data that existed before this
+  // version began: a version derives from its predecessors.
+  const std::uint64_t self_limit = registry_->used(params_.stream_id);
+
+  while (out.size() < chunks) {
+    // Segment length: uniform in [mean/2, 2*mean], clipped to what's left.
+    const std::uint64_t len = std::min<std::uint64_t>(
+        chunks - out.size(),
+        params_.mean_segment / 2 +
+            rng_.below(params_.mean_segment + params_.mean_segment / 2) + 1);
+
+    CounterRun run{};
+    const bool want_dup = rng_.chance(params_.dup_fraction);
+    if (want_dup) {
+      std::size_t source = params_.stream_id;
+      std::uint64_t limit = self_limit;
+      if (rng_.chance(params_.cross_fraction) &&
+          registry_->subspace_count() > 1) {
+        // Cross-stream duplication: a section of another stream's history.
+        do {
+          source = static_cast<std::size_t>(
+              rng_.below(registry_->subspace_count()));
+        } while (source == params_.stream_id);
+        limit = ~std::uint64_t{0};
+      }
+      run = registry_->sample_used(source, len, rng_, limit);
+      if (run.length == 0 && source != params_.stream_id) {
+        // The chosen cross-stream source has no history yet: duplicate
+        // from own history instead of silently emitting new data.
+        run = registry_->sample_used(params_.stream_id, len, rng_,
+                                     self_limit);
+      }
+    }
+    if (run.length == 0) {
+      // First version, or the sampled subspace was untouched: fresh data.
+      run = registry_->allocate(params_.stream_id, len);
+    }
+    const std::vector<Fingerprint> fps = fingerprints_of(run);
+    out.insert(out.end(), fps.begin(), fps.end());
+  }
+  out.resize(chunks);
+  return out;
+}
+
+}  // namespace debar::workload

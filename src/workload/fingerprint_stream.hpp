@@ -1,0 +1,92 @@
+// Synthetic fingerprint workloads (Section 6.2).
+//
+// The paper's evaluation methodology: fingerprints are SHA-1 digests of
+// 64-bit counter values, so they are uniform and reproducible; the counter
+// value space is divided into non-intersecting contiguous subspaces, one
+// per backup stream. A stream is an ordered series of versions, each
+// derived from its predecessor by reordering/deleting fingerprints, adding
+// new ones from a contiguous section of the stream's own subspace, and
+// adding duplicates from small contiguous sections of previously used
+// ranges — its own (version-to-version locality) or other subspaces'
+// (cross-stream duplication). Contiguous sections are what give the
+// synthetic streams the duplicate locality SISL/LPC exploit.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace debar::workload {
+
+/// A contiguous run of counter values [start, start + length).
+struct CounterRun {
+  std::uint64_t start = 0;
+  std::uint64_t length = 0;
+};
+
+/// Materialize a counter run as fingerprints (SHA-1 of each counter).
+[[nodiscard]] std::vector<Fingerprint> fingerprints_of(const CounterRun& run);
+
+/// Divides the 64-bit counter space into 2^subspace_bits equal subspaces
+/// and tracks how much of each has been consumed. Thread-safe: streams on
+/// different threads allocate fresh counters and sample each other's used
+/// ranges through this registry.
+class SubspaceRegistry {
+ public:
+  explicit SubspaceRegistry(unsigned subspace_bits = 6);
+
+  [[nodiscard]] std::size_t subspace_count() const noexcept {
+    return std::size_t{1} << bits_;
+  }
+  [[nodiscard]] std::uint64_t base(std::size_t idx) const noexcept;
+  [[nodiscard]] std::uint64_t used(std::size_t idx) const;
+
+  /// Consume `count` fresh counters from subspace `idx`; returns the run.
+  [[nodiscard]] CounterRun allocate(std::size_t idx, std::uint64_t count);
+
+  /// A random already-used run of (at most) `length` counters from
+  /// subspace `idx`; zero-length if the subspace is untouched. `limit`
+  /// restricts sampling to the first `limit` used counters — streams pass
+  /// their version-start snapshot so a version only duplicates *prior*
+  /// data, never counters allocated within itself.
+  [[nodiscard]] CounterRun sample_used(
+      std::size_t idx, std::uint64_t length, Xoshiro256& rng,
+      std::uint64_t limit = ~std::uint64_t{0}) const;
+
+ private:
+  unsigned bits_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> used_;
+};
+
+struct StreamParams {
+  std::size_t stream_id = 0;       // subspace index
+  double dup_fraction = 0.9;       // share of duplicate fingerprints/version
+  double cross_fraction = 0.3;     // share of duplicates drawn cross-stream
+  std::uint64_t mean_segment = 128;  // chunks per contiguous segment
+  std::uint64_t seed = 42;
+};
+
+/// One evolving backup stream: call next_version() to obtain successive
+/// versions built by the paper's modification model.
+class VersionedStream {
+ public:
+  VersionedStream(SubspaceRegistry* registry, StreamParams params);
+
+  /// Build the next version with ~`chunks` fingerprints.
+  [[nodiscard]] std::vector<Fingerprint> next_version(std::uint64_t chunks);
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  [[nodiscard]] const StreamParams& params() const noexcept { return params_; }
+
+ private:
+  SubspaceRegistry* registry_;
+  StreamParams params_;
+  Xoshiro256 rng_;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace debar::workload

@@ -1,0 +1,132 @@
+#include "workload/hust_trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/sha1.hpp"
+
+namespace debar::workload {
+
+HustTrace::HustTrace(HustTraceParams params)
+    : params_(params), rng_(params.seed) {
+  assert(params_.clients >= 1 && params_.clients <= 64);
+  clients_.resize(params_.clients);
+  for (std::size_t c = 0; c < params_.clients; ++c) {
+    // Give each client its own counter subspace (top 6 bits).
+    clients_[c].counter_base = static_cast<std::uint64_t>(c) << 58;
+    clients_[c].next_counter = clients_[c].counter_base;
+  }
+}
+
+CounterRun HustTrace::sample_runs(const std::vector<CounterRun>& runs,
+                                  std::uint64_t length,
+                                  Xoshiro256& rng) const {
+  if (runs.empty()) return {};
+  const CounterRun& src = runs[rng.below(runs.size())];
+  length = std::min(length, src.length);
+  if (length == 0) return {};
+  const std::uint64_t offset = rng.below(src.length - length + 1);
+  return {src.start + offset, length};
+}
+
+std::vector<DayJob> HustTrace::day(unsigned d) {
+  assert(d == next_day_ && "days must be generated in order");
+  ++next_day_;
+
+  const bool full = is_full_backup_day(d);
+  const double adjacent_f = full ? params_.full_adjacent : params_.incr_adjacent;
+  const double old_f = full ? params_.full_old : params_.incr_old;
+  const double intra_f = params_.intra;
+
+  std::vector<DayJob> jobs;
+  jobs.reserve(params_.clients);
+
+  for (std::size_t c = 0; c < params_.clients; ++c) {
+    ClientState& state = clients_[c];
+
+    // Daily volume: fulls at 1.0x mean, incrementals ~0.4x, with the
+    // paper's wide day-to-day spread (0.25x .. 1.45x noise).
+    const double noise = 0.25 + rng_.uniform() * 1.2;
+    const double base = full ? 1.0 : 0.4;
+    const std::uint64_t chunks = std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(
+                static_cast<double>(params_.mean_daily_chunks) * base * noise));
+
+    std::vector<CounterRun> version_runs;
+    std::vector<Fingerprint> stream;
+    stream.reserve(chunks);
+
+    const std::uint64_t mean_segment = 128;
+
+    // Emit one segment worth of chunks. Duplicate segments accumulate
+    // sampled runs until the full segment length is covered, so the
+    // configured source mix holds by *volume* even as history runs get
+    // short; any shortfall (empty source) falls back to fresh data.
+    const auto emit = [&](const std::vector<CounterRun>* source,
+                          std::uint64_t len) {
+      std::uint64_t got = 0;
+      while (source != nullptr && got < len) {
+        const CounterRun run = sample_runs(*source, len - got, rng_);
+        if (run.length == 0) break;
+        version_runs.push_back(run);
+        for (std::uint64_t i = 0; i < run.length; ++i) {
+          stream.push_back(Sha1::hash_counter(run.start + i));
+        }
+        got += run.length;
+      }
+      if (got < len) {  // day 1 / empty history: genuinely new data
+        const CounterRun fresh{state.next_counter, len - got};
+        state.next_counter += fresh.length;
+        version_runs.push_back(fresh);
+        for (std::uint64_t i = 0; i < fresh.length; ++i) {
+          stream.push_back(Sha1::hash_counter(fresh.start + i));
+        }
+      }
+    };
+
+    while (stream.size() < chunks) {
+      const std::uint64_t len = std::min<std::uint64_t>(
+          chunks - stream.size(),
+          mean_segment / 2 + rng_.below(mean_segment * 3 / 2) + 1);
+
+      const double roll = rng_.uniform();
+      if (roll < adjacent_f) {
+        // A section of this client's previous version — the duplication
+        // the job-chain preliminary filter is designed to catch.
+        emit(&state.previous_version, len);
+      } else if (roll < adjacent_f + old_f) {
+        // Older history; occasionally another client's (cross-stream).
+        if (params_.clients > 1 && rng_.chance(0.25)) {
+          const std::size_t other = (c + 1 + rng_.below(params_.clients - 1)) %
+                                    params_.clients;
+          emit(&clients_[other].older_history, len);
+        } else {
+          emit(&state.older_history, len);
+        }
+      } else if (roll < adjacent_f + old_f + intra_f) {
+        // Intra-day repeat: a section of what this stream already sent.
+        emit(&version_runs, len);
+      } else {
+        emit(nullptr, len);  // new data
+      }
+    }
+    stream.resize(chunks);
+
+    // Rotate history: yesterday's version joins the old history.
+    state.older_history.insert(state.older_history.end(),
+                               state.previous_version.begin(),
+                               state.previous_version.end());
+    // Bound history growth: keep the most recent ~4096 runs.
+    if (state.older_history.size() > 4096) {
+      state.older_history.erase(
+          state.older_history.begin(),
+          state.older_history.end() - 4096);
+    }
+    state.previous_version = std::move(version_runs);
+
+    jobs.push_back({c, std::move(stream)});
+  }
+  return jobs;
+}
+
+}  // namespace debar::workload

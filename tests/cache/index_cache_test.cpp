@@ -1,0 +1,111 @@
+#include "cache/index_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/sha1.hpp"
+
+namespace debar::cache {
+namespace {
+
+Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+TEST(IndexCacheTest, InsertContainsErase) {
+  IndexCache cache({.hash_bits = 6, .capacity = 100});
+  EXPECT_TRUE(cache.insert(fp(1)));
+  EXPECT_TRUE(cache.contains(fp(1)));
+  EXPECT_FALSE(cache.insert(fp(1)));  // duplicate
+  EXPECT_EQ(cache.size(), 1u);
+  cache.erase(fp(1));
+  EXPECT_FALSE(cache.contains(fp(1)));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(IndexCacheTest, CapacityEnforced) {
+  IndexCache cache({.hash_bits = 4, .capacity = 5});
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(cache.insert(fp(i)));
+  EXPECT_TRUE(cache.full());
+  EXPECT_FALSE(cache.insert(fp(99)));
+}
+
+TEST(IndexCacheTest, ContainerIdLifecycle) {
+  IndexCache cache({.hash_bits = 6, .capacity = 100});
+  ASSERT_TRUE(cache.insert(fp(7)));
+  // New fingerprints start with the null container marker (Section 5.3).
+  const auto before = cache.container_of(fp(7));
+  ASSERT_TRUE(before.has_value());
+  EXPECT_TRUE(before->is_null());
+
+  EXPECT_TRUE(cache.set_container(fp(7), ContainerId{55}));
+  EXPECT_EQ(cache.container_of(fp(7)), ContainerId{55});
+  EXPECT_FALSE(cache.set_container(fp(8), ContainerId{1}));  // absent
+  EXPECT_FALSE(cache.container_of(fp(8)).has_value());
+}
+
+TEST(IndexCacheTest, SortedFingerprintsAreGloballySorted) {
+  IndexCache cache({.hash_bits = 5, .capacity = 1000});
+  for (std::uint64_t i = 0; i < 500; ++i) ASSERT_TRUE(cache.insert(fp(i)));
+  const auto sorted = cache.sorted_fingerprints();
+  EXPECT_EQ(sorted.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(IndexCacheTest, SortedEntriesCarryContainers) {
+  IndexCache cache({.hash_bits = 5, .capacity = 100});
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cache.insert(fp(i)));
+    ASSERT_TRUE(cache.set_container(fp(i), ContainerId{i + 1}));
+  }
+  const auto entries = cache.sorted_entries();
+  EXPECT_EQ(entries.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(
+      entries.begin(), entries.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; }));
+  for (const IndexEntry& e : entries) {
+    EXPECT_FALSE(e.container.is_null());
+  }
+}
+
+TEST(IndexCacheTest, BucketsAlignWithDiskIndexRegions) {
+  // Cache bucket k of a 2^m-bucket cache must map exactly onto disk
+  // buckets [k*2^{n-m}, (k+1)*2^{n-m}) for any n >= m (Figure 4).
+  constexpr unsigned m = 4, n = 10;
+  IndexCache cache({.hash_bits = m, .capacity = 10000});
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(cache.insert(fp(i)));
+  }
+  const auto sorted = cache.sorted_fingerprints();
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    // Disk-bucket numbers must be non-decreasing over the sorted stream.
+    EXPECT_LE(sorted[i - 1].prefix_bits(n), sorted[i].prefix_bits(n));
+  }
+}
+
+TEST(IndexCacheTest, ClearResets) {
+  IndexCache cache({.hash_bits = 4, .capacity = 10});
+  for (std::uint64_t i = 0; i < 10; ++i) ASSERT_TRUE(cache.insert(fp(i)));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.full());
+  EXPECT_TRUE(cache.insert(fp(3)));
+}
+
+TEST(IndexCacheTest, SkipBitsOrderingWithinRoutingPrefix) {
+  // A part-local cache (skip_bits = 2) holding only prefix-0 fingerprints
+  // must still produce sorted output.
+  IndexCache cache({.hash_bits = 5, .skip_bits = 2, .capacity = 10000});
+  std::uint64_t inserted = 0;
+  for (std::uint64_t i = 0; inserted < 200; ++i) {
+    const Fingerprint f = fp(i);
+    if (f.prefix_bits(2) == 0) {
+      ASSERT_TRUE(cache.insert(f));
+      ++inserted;
+    }
+  }
+  const auto sorted = cache.sorted_fingerprints();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+}  // namespace
+}  // namespace debar::cache

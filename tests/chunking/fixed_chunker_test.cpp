@@ -1,0 +1,46 @@
+#include "chunking/fixed_chunker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace debar::chunking {
+namespace {
+
+TEST(FixedChunkerTest, ExactMultiple) {
+  FixedChunker chunker(100);
+  std::vector<Byte> data(300, 1);
+  const auto bounds = chunker.chunk(ByteSpan(data.data(), data.size()));
+  ASSERT_EQ(bounds.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(bounds[i].offset, i * 100);
+    EXPECT_EQ(bounds[i].size, 100u);
+  }
+}
+
+TEST(FixedChunkerTest, TrailingPartialBlock) {
+  FixedChunker chunker(100);
+  std::vector<Byte> data(250, 1);
+  const auto bounds = chunker.chunk(ByteSpan(data.data(), data.size()));
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_EQ(bounds.back().size, 50u);
+}
+
+TEST(FixedChunkerTest, Empty) {
+  FixedChunker chunker;
+  EXPECT_TRUE(chunker.chunk(ByteSpan{}).empty());
+}
+
+TEST(FixedChunkerTest, DefaultBlockIsExpectedChunkSize) {
+  FixedChunker chunker;
+  EXPECT_EQ(chunker.expected_chunk_size(), kExpectedChunkSize);
+}
+
+TEST(FixedChunkerTest, InputSmallerThanBlock) {
+  FixedChunker chunker(1000);
+  std::vector<Byte> data(10, 1);
+  const auto bounds = chunker.chunk(ByteSpan(data.data(), data.size()));
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0].size, 10u);
+}
+
+}  // namespace
+}  // namespace debar::chunking

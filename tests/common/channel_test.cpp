@@ -1,0 +1,102 @@
+#include "common/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace debar {
+namespace {
+
+TEST(ChannelTest, SendReceiveSingleThread) {
+  Channel<int> ch;
+  EXPECT_TRUE(ch.send(1));
+  EXPECT_TRUE(ch.send(2));
+  EXPECT_EQ(ch.size(), 2u);
+  EXPECT_EQ(ch.receive(), 1);
+  EXPECT_EQ(ch.receive(), 2);
+}
+
+TEST(ChannelTest, TryReceiveEmptyReturnsNullopt) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.try_receive().has_value());
+  ch.send(7);
+  EXPECT_EQ(ch.try_receive(), 7);
+}
+
+TEST(ChannelTest, CloseDrainsThenEnds) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  EXPECT_FALSE(ch.send(3));  // closed channels refuse sends
+  EXPECT_EQ(ch.receive(), 1);
+  EXPECT_EQ(ch.receive(), 2);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(ChannelTest, BlockingReceiveWakesOnSend) {
+  Channel<int> ch;
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.send(99);
+  });
+  EXPECT_EQ(ch.receive(), 99);
+  producer.join();
+}
+
+TEST(ChannelTest, BoundedCapacityBlocksProducer) {
+  Channel<int> ch(2);
+  ch.send(1);
+  ch.send(2);
+  std::atomic<bool> third_sent{false};
+  std::thread producer([&] {
+    ch.send(3);  // blocks until a receive frees a slot
+    third_sent = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(third_sent.load());
+  EXPECT_EQ(ch.receive(), 1);
+  producer.join();
+  EXPECT_TRUE(third_sent.load());
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Channel<int> ch(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ch.send(p * kPerProducer + i);
+      }
+    });
+  }
+
+  std::vector<int> received;
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto v = ch.receive();
+    ASSERT_TRUE(v.has_value());
+    received.push_back(*v);
+  }
+  for (auto& t : producers) t.join();
+
+  std::sort(received.begin(), received.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ChannelTest, CloseWakesBlockedReceiver) {
+  Channel<int> ch;
+  std::thread receiver([&] { EXPECT_FALSE(ch.receive().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  receiver.join();
+}
+
+}  // namespace
+}  // namespace debar

@@ -1,0 +1,38 @@
+#include "common/fmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace debar {
+namespace {
+
+TEST(FmtTest, NoPlaceholders) {
+  EXPECT_EQ(format("plain text"), "plain text");
+}
+
+TEST(FmtTest, SubstitutesInOrder) {
+  EXPECT_EQ(format("{} + {} = {}", 1, 2, 3), "1 + 2 = 3");
+}
+
+TEST(FmtTest, MixedTypes) {
+  EXPECT_EQ(format("{}:{} ({})", "bucket", 42, 3.5), "bucket:42 (3.5)");
+}
+
+TEST(FmtTest, MissingArgumentsLeavePlaceholder) {
+  EXPECT_EQ(format("a={} b={}", 1), "a=1 b={}");
+}
+
+TEST(FmtTest, SurplusArgumentsAppended) {
+  EXPECT_EQ(format("x={}", 1, 2, 3), "x=1 2 3");
+}
+
+TEST(FmtTest, EmptyPattern) {
+  EXPECT_EQ(format(""), "");
+}
+
+TEST(FmtTest, UnsignedAndBoolRender) {
+  EXPECT_EQ(format("{} {}", std::uint64_t{18446744073709551615ULL}, true),
+            "18446744073709551615 1");
+}
+
+}  // namespace
+}  // namespace debar

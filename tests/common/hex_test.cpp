@@ -1,0 +1,53 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar {
+namespace {
+
+TEST(HexTest, EncodeBytes) {
+  const Byte data[] = {0x00, 0x01, 0x0F, 0x10, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(ByteSpan(data, sizeof data)), "00010f10abff");
+}
+
+TEST(HexTest, EncodeEmpty) {
+  EXPECT_EQ(to_hex(ByteSpan{}), "");
+}
+
+TEST(HexTest, FingerprintRoundTrip) {
+  const Fingerprint fp = Sha1::hash(std::string_view{"round trip"});
+  const std::string hex = to_hex(fp);
+  EXPECT_EQ(hex.size(), 40u);
+  const auto parsed = fingerprint_from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, fp);
+}
+
+TEST(HexTest, ParseAcceptsUppercase) {
+  const Fingerprint fp = Sha1::hash(std::string_view{"case"});
+  std::string hex = to_hex(fp);
+  for (char& c : hex) c = static_cast<char>(std::toupper(c));
+  const auto parsed = fingerprint_from_hex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, fp);
+}
+
+TEST(HexTest, ParseRejectsBadLength) {
+  EXPECT_FALSE(fingerprint_from_hex("abcd").has_value());
+  EXPECT_FALSE(fingerprint_from_hex(std::string(39, 'a')).has_value());
+  EXPECT_FALSE(fingerprint_from_hex(std::string(41, 'a')).has_value());
+  EXPECT_FALSE(fingerprint_from_hex("").has_value());
+}
+
+TEST(HexTest, ParseRejectsNonHexCharacters) {
+  std::string hex(40, 'a');
+  hex[17] = 'g';
+  EXPECT_FALSE(fingerprint_from_hex(hex).has_value());
+  hex[17] = ' ';
+  EXPECT_FALSE(fingerprint_from_hex(hex).has_value());
+}
+
+}  // namespace
+}  // namespace debar

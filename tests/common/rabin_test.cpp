@@ -1,0 +1,145 @@
+#include "common/rabin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace debar {
+namespace {
+
+TEST(PolyGf2Test, Degree) {
+  EXPECT_EQ(poly_gf2::degree(0), -1);
+  EXPECT_EQ(poly_gf2::degree(1), 0);
+  EXPECT_EQ(poly_gf2::degree(2), 1);
+  EXPECT_EQ(poly_gf2::degree(0x8000000000000000ULL), 63);
+  EXPECT_EQ(poly_gf2::degree(kDefaultRabinPoly), 63);
+}
+
+TEST(PolyGf2Test, ModBasics) {
+  // x^3 + x mod x = 0 ; (x + 1) mod x = 1.
+  EXPECT_EQ(poly_gf2::mod(0, 0b1010, 0b10), 0u);
+  EXPECT_EQ(poly_gf2::mod(0, 0b11, 0b10), 1u);
+  // Anything mod 1 is 0.
+  EXPECT_EQ(poly_gf2::mod(0, 0xDEADBEEF, 1), 0u);
+}
+
+TEST(PolyGf2Test, MulModDistributesOverXor) {
+  Xoshiro256 rng(1);
+  const std::uint64_t p = kDefaultRabinPoly;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng(), b = rng(), c = rng();
+    const std::uint64_t left = poly_gf2::mulmod(a ^ b, c, p);
+    const std::uint64_t right =
+        poly_gf2::mulmod(a, c, p) ^ poly_gf2::mulmod(b, c, p);
+    EXPECT_EQ(left, right);
+  }
+}
+
+TEST(PolyGf2Test, DefaultPolyIsIrreducible) {
+  EXPECT_TRUE(poly_gf2::irreducible(kDefaultRabinPoly));
+}
+
+TEST(PolyGf2Test, KnownReduciblePolysRejected) {
+  // x^2 (= 0b100) is x*x; x^2 + 1 = (x+1)^2 over GF(2).
+  EXPECT_FALSE(poly_gf2::irreducible(0b100));
+  EXPECT_FALSE(poly_gf2::irreducible(0b101));
+  // x^4 + x^3 + x^2 + x = x (x+1) (x^2+1).
+  EXPECT_FALSE(poly_gf2::irreducible(0b11110));
+}
+
+TEST(PolyGf2Test, KnownIrreduciblePolysAccepted) {
+  // x^2 + x + 1 and x^3 + x + 1 are the classic small irreducibles.
+  EXPECT_TRUE(poly_gf2::irreducible(0b111));
+  EXPECT_TRUE(poly_gf2::irreducible(0b1011));
+  // CRC-64-ECMA generator x^64 is not representable; use degree-32
+  // irreducible x^32 + x^7 + x^3 + x^2 + 1.
+  EXPECT_TRUE(poly_gf2::irreducible((std::uint64_t{1} << 32) | 0x8D));
+}
+
+TEST(RabinHashTest, AppendMatchesWholeBufferHash) {
+  RabinHash h;
+  const std::string data = "rolling hash equivalence check 0123456789";
+  std::uint64_t fp = 0;
+  for (const char c : data) fp = h.append(fp, static_cast<Byte>(c));
+  EXPECT_EQ(fp, h.hash(ByteSpan(
+                    reinterpret_cast<const Byte*>(data.data()), data.size())));
+}
+
+TEST(RabinWindowTest, SlideEqualsHashOfWindowContents) {
+  // After sliding N >= window bytes, the fingerprint must equal the plain
+  // Rabin hash of the last `window` bytes.
+  constexpr std::size_t kWindow = 48;
+  RabinWindow w(kWindow);
+  RabinHash h;
+
+  Xoshiro256 rng(7);
+  std::vector<Byte> data(1024);
+  for (auto& b : data) b = static_cast<Byte>(rng());
+
+  std::uint64_t fp = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    fp = w.slide(data[i]);
+    if (i + 1 >= kWindow) {
+      const std::uint64_t expect =
+          h.hash(ByteSpan(data.data() + i + 1 - kWindow, kWindow));
+      ASSERT_EQ(fp, expect) << "at position " << i;
+    }
+  }
+}
+
+TEST(RabinWindowTest, ContentDefinedNotPositionDefined) {
+  // The same 48-byte window contents yield the same fingerprint no matter
+  // where they occur — the property CDC depends on.
+  constexpr std::size_t kWindow = 48;
+  std::vector<Byte> pattern(kWindow);
+  for (std::size_t i = 0; i < kWindow; ++i) {
+    pattern[i] = static_cast<Byte>(i * 37 + 1);
+  }
+
+  auto fp_after_prefix = [&](std::size_t prefix_len) {
+    RabinWindow w(kWindow);
+    for (std::size_t i = 0; i < prefix_len; ++i) {
+      w.slide(static_cast<Byte>(i * 11 + 3));
+    }
+    std::uint64_t fp = 0;
+    for (const Byte b : pattern) fp = w.slide(b);
+    return fp;
+  };
+
+  const std::uint64_t base = fp_after_prefix(0);
+  EXPECT_EQ(fp_after_prefix(1), base);
+  EXPECT_EQ(fp_after_prefix(100), base);
+  EXPECT_EQ(fp_after_prefix(1000), base);
+}
+
+TEST(RabinWindowTest, ResetRestoresInitialState) {
+  RabinWindow w;
+  for (int i = 0; i < 100; ++i) w.slide(static_cast<Byte>(i));
+  w.reset();
+  EXPECT_EQ(w.fingerprint(), 0u);
+
+  RabinWindow fresh;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(w.slide(static_cast<Byte>(i)),
+              fresh.slide(static_cast<Byte>(i)));
+  }
+}
+
+TEST(RabinWindowTest, DifferentPolynomialsDiffer) {
+  const std::uint64_t other_poly = (std::uint64_t{1} << 32) | 0x8D;
+  ASSERT_TRUE(poly_gf2::irreducible(other_poly));
+  RabinWindow a(48, kDefaultRabinPoly);
+  RabinWindow b(48, other_poly);
+  std::uint64_t fa = 0, fb = 0;
+  for (int i = 0; i < 200; ++i) {
+    fa = a.slide(static_cast<Byte>(i));
+    fb = b.slide(static_cast<Byte>(i));
+  }
+  EXPECT_NE(fa, fb);
+}
+
+}  // namespace
+}  // namespace debar

@@ -1,0 +1,66 @@
+#include "common/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace debar {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s(Errc::kNotFound, "fingerprint missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kNotFound);
+  EXPECT_EQ(s.message(), "fingerprint missing");
+  EXPECT_EQ(s.to_string(), "not-found: fingerprint missing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), Errc::kOk);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  const Result<int> r(Errc::kFull, "bucket full");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Errc::kFull);
+  EXPECT_EQ(r.error().message, "bucket full");
+  EXPECT_FALSE(r.status().ok());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(ErrcTest, AllNamesDistinct) {
+  EXPECT_STREQ(errc_name(Errc::kOk), "ok");
+  EXPECT_STREQ(errc_name(Errc::kNotFound), "not-found");
+  EXPECT_STREQ(errc_name(Errc::kFull), "full");
+  EXPECT_STREQ(errc_name(Errc::kCorrupt), "corrupt");
+  EXPECT_STREQ(errc_name(Errc::kIoError), "io-error");
+  EXPECT_STREQ(errc_name(Errc::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(errc_name(Errc::kUnsupported), "unsupported");
+}
+
+}  // namespace
+}  // namespace debar

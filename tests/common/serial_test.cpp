@@ -1,0 +1,105 @@
+#include "common/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar {
+namespace {
+
+TEST(SerialTest, IntegerRoundTrip) {
+  std::vector<Byte> buf;
+  ByteWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u40(0x123456789AULL);
+  w.u64(0x0102030405060708ULL);
+
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u40(), 0x123456789AULL);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerialTest, LittleEndianLayout) {
+  std::vector<Byte> buf;
+  ByteWriter w(buf);
+  w.u32(0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[1], 0x03);
+  EXPECT_EQ(buf[2], 0x02);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(SerialTest, U40MasksTo40Bits) {
+  std::vector<Byte> buf;
+  ByteWriter w(buf);
+  w.u40(0xFFFFFFFFFFFFFFFFULL);
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(r.u40(), ContainerId::kMask);
+}
+
+TEST(SerialTest, FingerprintAndContainerIdRoundTrip) {
+  const Fingerprint fp = Sha1::hash(std::string_view{"serial"});
+  const ContainerId id{0x42424242};
+
+  std::vector<Byte> buf;
+  ByteWriter w(buf);
+  w.fingerprint(fp);
+  w.container_id(id);
+  EXPECT_EQ(buf.size(), IndexEntry::kSerializedSize);
+
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(r.fingerprint(), fp);
+  EXPECT_EQ(r.container_id(), id);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(SerialTest, ReaderDetectsTruncation) {
+  std::vector<Byte> buf = {1, 2, 3};
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  r.u16();
+  EXPECT_TRUE(r.ok());
+  r.u32();  // only 1 byte left
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerialTest, TruncatedReadsReturnZeroNotGarbage) {
+  std::vector<Byte> buf = {0xFF};
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Subsequent reads stay failed and safe.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerialTest, ViewAndSkip) {
+  std::vector<Byte> buf = {10, 20, 30, 40, 50};
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  r.skip(2);
+  const ByteSpan v = r.view(2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 30);
+  EXPECT_EQ(v[1], 40);
+  EXPECT_EQ(r.remaining(), 1u);
+  r.skip(5);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerialTest, EmptyViewOnOverrun) {
+  std::vector<Byte> buf = {1};
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_TRUE(r.view(2).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace debar

@@ -1,0 +1,97 @@
+#include "common/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+
+namespace debar {
+namespace {
+
+TEST(Sha1Test, EmptyInput) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{})),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{"abc"})),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(to_hex(Sha1::hash(std::string_view{
+                "The quick brown fox jumps over the lazy dog"})),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  // FIPS 180-1 test vector: 56-char message spanning the padding boundary.
+  EXPECT_EQ(
+      to_hex(Sha1::hash(std::string_view{
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"})),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  // FIPS 180-1 third test vector, exercised through the streaming API.
+  Sha1 h;
+  const std::string block(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(std::string_view{block});
+  EXPECT_EQ(to_hex(h.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, StreamingSplitInvariance) {
+  // The digest must not depend on how the input is split across updates.
+  const std::string msg =
+      "DEBAR turns random small disk I/Os into large sequential ones.";
+  const Fingerprint whole = Sha1::hash(std::string_view{msg});
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha1 h;
+    h.update(std::string_view{msg}.substr(0, split));
+    h.update(std::string_view{msg}.substr(split));
+    EXPECT_EQ(h.finish(), whole) << "split at " << split;
+  }
+}
+
+TEST(Sha1Test, ResetReusesContext) {
+  Sha1 h;
+  h.update(std::string_view{"garbage"});
+  h.reset();
+  h.update(std::string_view{"abc"});
+  EXPECT_EQ(to_hex(h.finish()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, CounterHashingIsDeterministicAndDistinct) {
+  const Fingerprint a1 = Sha1::hash_counter(42);
+  const Fingerprint a2 = Sha1::hash_counter(42);
+  const Fingerprint b = Sha1::hash_counter(43);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(Sha1Test, CounterHashMatchesLittleEndianBytes) {
+  // hash_counter must hash the 8 little-endian bytes of the counter.
+  const std::uint64_t counter = 0x0123456789ABCDEFULL;
+  Byte bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<Byte>(counter >> (8 * i));
+  EXPECT_EQ(Sha1::hash_counter(counter),
+            Sha1::hash(ByteSpan(bytes, sizeof bytes)));
+}
+
+TEST(Sha1Test, PaddingBoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding edges all hash and differ.
+  std::vector<Fingerprint> seen;
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    const Fingerprint fp = Sha1::hash(std::string_view{msg});
+    for (const Fingerprint& prev : seen) EXPECT_NE(fp, prev);
+    seen.push_back(fp);
+  }
+}
+
+}  // namespace
+}  // namespace debar

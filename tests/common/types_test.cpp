@@ -1,0 +1,88 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/sha1.hpp"
+
+namespace debar {
+namespace {
+
+TEST(FingerprintTest, PrefixBitsExtractsLeadingBits) {
+  Fingerprint fp{};
+  fp.bytes[0] = 0b10110001;
+  fp.bytes[1] = 0b01000000;
+  EXPECT_EQ(fp.prefix_bits(1), 0b1u);
+  EXPECT_EQ(fp.prefix_bits(4), 0b1011u);
+  EXPECT_EQ(fp.prefix_bits(8), 0b10110001u);
+  EXPECT_EQ(fp.prefix_bits(10), 0b1011000101u);
+  EXPECT_EQ(fp.prefix_bits(0), 0u);
+}
+
+TEST(FingerprintTest, Prefix64UsesFirstEightBytes) {
+  Fingerprint fp{};
+  for (int i = 0; i < 8; ++i) fp.bytes[i] = static_cast<Byte>(i + 1);
+  EXPECT_EQ(fp.prefix_bits(64), 0x0102030405060708ULL);
+}
+
+TEST(FingerprintTest, OrderingIsLexicographic) {
+  Fingerprint a{}, b{};
+  a.bytes[0] = 1;
+  b.bytes[0] = 2;
+  EXPECT_LT(a, b);
+  b.bytes[0] = 1;
+  b.bytes[19] = 1;
+  EXPECT_LT(a, b);
+}
+
+TEST(FingerprintTest, OrderingMatchesPrefixOrdering) {
+  // Sorting by fingerprint must sort by any prefix length too — the
+  // property SIL's merge depends on.
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    fps.push_back(Sha1::hash_counter(i));
+  }
+  std::sort(fps.begin(), fps.end());
+  for (std::size_t i = 1; i < fps.size(); ++i) {
+    EXPECT_LE(fps[i - 1].prefix_bits(12), fps[i].prefix_bits(12));
+    EXPECT_LE(fps[i - 1].prefix_bits(26), fps[i].prefix_bits(26));
+  }
+}
+
+TEST(FingerprintTest, HashableInUnorderedContainers) {
+  std::unordered_set<Fingerprint> set;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    set.insert(Sha1::hash_counter(i));
+  }
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.contains(Sha1::hash_counter(50)));
+  EXPECT_FALSE(set.contains(Sha1::hash_counter(1000)));
+}
+
+TEST(ContainerIdTest, NullSemantics) {
+  EXPECT_TRUE(kNullContainer.is_null());
+  EXPECT_FALSE(ContainerId{1}.is_null());
+  EXPECT_EQ(ContainerId{}.value, 0u);
+}
+
+TEST(ContainerIdTest, MaskIs40Bits) {
+  EXPECT_EQ(ContainerId::kMask, (std::uint64_t{1} << 40) - 1);
+}
+
+TEST(IndexEntryTest, SerializedSizeIs25Bytes) {
+  // Section 4.2: an entry is 25 bytes, so 20 fit per 512-byte block.
+  EXPECT_EQ(IndexEntry::kSerializedSize, 25u);
+  EXPECT_EQ(kEntriesPerIndexBlock * IndexEntry::kSerializedSize + 12,
+            kIndexBlockSize);
+}
+
+TEST(ConstantsTest, PaperParameters) {
+  EXPECT_EQ(kExpectedChunkSize, 8u * 1024);
+  EXPECT_EQ(kMinChunkSize, 2u * 1024);
+  EXPECT_EQ(kMaxChunkSize, 64u * 1024);
+  EXPECT_EQ(kContainerSize, 8u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace debar

@@ -1,0 +1,155 @@
+#include "core/backup_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar::core {
+namespace {
+
+BackupServerConfig small_config() {
+  BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 8, .blocks_per_bucket = 2};
+  cfg.filter_params = {.hash_bits = 8, .capacity = 10000};
+  cfg.chunk_store.cache_params = {.hash_bits = 6, .capacity = 100000};
+  cfg.chunk_store.io_buckets = 16;
+  cfg.chunk_store.siu_threshold = 1;
+  return cfg;
+}
+
+class BackupServerTest : public ::testing::Test {
+ protected:
+  BackupServerTest()
+      : repo_(2), server_(0, small_config(), &repo_, &director_) {}
+
+  Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+  void backup(std::uint64_t job, const std::vector<Fingerprint>& fps) {
+    FileStore& fs = server_.file_store();
+    fs.begin_job(job);
+    fs.begin_file({.path = "s.dat", .size = fps.size() * 1024, .mtime = 0,
+                   .mode = 0644});
+    const std::vector<Byte> payload(1024, 0x11);
+    for (const Fingerprint& f : fps) {
+      if (fs.offer_fingerprint(f, 1024)) {
+        ASSERT_TRUE(
+            fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+      }
+    }
+    fs.end_file();
+    ASSERT_TRUE(fs.end_job().ok());
+  }
+
+  storage::ChunkRepository repo_;
+  Director director_;
+  BackupServer server_;
+};
+
+TEST_F(BackupServerTest, FullBackupThenDedup2) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup(job, {fp(1), fp(2), fp(3)});
+
+  const auto result = server_.run_dedup2(/*force_siu=*/true);
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().undetermined, 3u);
+  EXPECT_EQ(result.value().new_chunks, 3u);
+  EXPECT_EQ(result.value().duplicates, 0u);
+  EXPECT_TRUE(result.value().ran_siu);
+  EXPECT_EQ(server_.chunk_store().index().entry_count(), 3u);
+}
+
+TEST_F(BackupServerTest, RepeatBackupFullyDeduplicated) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup(job, {fp(1), fp(2), fp(3)});
+  ASSERT_TRUE(server_.run_dedup2(true).ok());
+  const std::uint64_t stored = repo_.stored_bytes();
+
+  backup(job, {fp(1), fp(2), fp(3)});
+  const auto r2 = server_.run_dedup2(true);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().new_chunks, 0u);
+  EXPECT_EQ(repo_.stored_bytes(), stored);  // nothing new stored
+}
+
+TEST_F(BackupServerTest, SiuThresholdDefersUpdates) {
+  BackupServerConfig cfg = small_config();
+  cfg.chunk_store.siu_threshold = 1000000;  // effectively never due
+  BackupServer server(1, cfg, &repo_, &director_);
+
+  const std::uint64_t job = director_.define_job("c2", "d2");
+  FileStore& fs = server.file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "x", .size = 1024, .mtime = 0, .mode = 0644});
+  const std::vector<Byte> payload(1024, 1);
+  if (fs.offer_fingerprint(fp(50), 1024)) {
+    ASSERT_TRUE(
+        fs.receive_chunk(fp(50), ByteSpan(payload.data(), payload.size())).ok());
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+
+  const auto r = server.run_dedup2(/*force_siu=*/false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.value().ran_siu);
+  EXPECT_EQ(server.chunk_store().pending_count(), 1u);
+  EXPECT_EQ(server.chunk_store().index().entry_count(), 0u);
+  // The chunk is still locatable through the pending set.
+  EXPECT_TRUE(server.chunk_store().locate(fp(50)).ok());
+}
+
+TEST_F(BackupServerTest, BatchesWhenUndeterminedExceedsCacheCapacity) {
+  BackupServerConfig cfg = small_config();
+  cfg.chunk_store.cache_params.capacity = 10;  // force batching
+  BackupServer server(2, cfg, &repo_, &director_);
+
+  const std::uint64_t job = director_.define_job("c3", "d3");
+  FileStore& fs = server.file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "y", .size = 35 * 256, .mtime = 0, .mode = 0644});
+  const std::vector<Byte> payload(256, 2);
+  for (std::uint64_t i = 0; i < 35; ++i) {
+    if (fs.offer_fingerprint(fp(100 + i), 256)) {
+      ASSERT_TRUE(fs.receive_chunk(fp(100 + i),
+                                   ByteSpan(payload.data(), payload.size()))
+                      .ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+
+  const auto r = server.run_dedup2(true);
+  ASSERT_TRUE(r.ok()) << r.error().to_string();
+  EXPECT_EQ(r.value().sil_runs, 4u);  // ceil(35 / 10)
+  EXPECT_EQ(r.value().new_chunks, 35u);
+  for (std::uint64_t i = 0; i < 35; ++i) {
+    EXPECT_TRUE(server.chunk_store().read_chunk(fp(100 + i)).ok()) << i;
+  }
+}
+
+TEST_F(BackupServerTest, ClocksAdvanceAndReset) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup(job, {fp(1), fp(2)});
+  ASSERT_TRUE(server_.run_dedup2(true).ok());
+
+  const ServerClocks clocks = server_.clocks();
+  EXPECT_GT(clocks.nic, 0.0);
+  EXPECT_GT(clocks.log_disk, 0.0);
+  EXPECT_GT(clocks.index_disk, 0.0);
+
+  server_.reset_clocks();
+  const ServerClocks reset = server_.clocks();
+  EXPECT_DOUBLE_EQ(reset.nic, 0.0);
+  EXPECT_DOUBLE_EQ(reset.index_disk, 0.0);
+}
+
+TEST_F(BackupServerTest, Dedup2TimesReported) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup(job, {fp(1), fp(2), fp(3)});
+  const auto r = server_.run_dedup2(true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().sil_seconds, 0.0);
+  EXPECT_GT(r.value().siu_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,245 @@
+#include "core/chunk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/sha1.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+namespace {
+
+class ChunkStoreTest : public ::testing::Test {
+ protected:
+  ChunkStoreTest()
+      : repo_(1),
+        log_(std::make_unique<storage::MemBlockDevice>()),
+        store_(make_index(), make_config(), &repo_, &log_,
+               [] { return std::make_unique<storage::MemBlockDevice>(); }) {}
+
+  static index::DiskIndex make_index() {
+    auto idx = index::DiskIndex::create(
+        std::make_unique<storage::MemBlockDevice>(),
+        {.prefix_bits = 8, .blocks_per_bucket = 2});
+    EXPECT_TRUE(idx.ok());
+    return std::move(idx).value();
+  }
+
+  static ChunkStoreConfig make_config() {
+    ChunkStoreConfig cfg;
+    cfg.cache_params = {.hash_bits = 6, .capacity = 10000};
+    cfg.io_buckets = 16;
+    cfg.siu_threshold = 1;  // SIU always due unless a test overrides
+    cfg.lpc_containers = 2;
+    return cfg;
+  }
+
+  Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+  std::vector<Byte> payload(std::uint64_t i, std::size_t size = 1024) {
+    std::vector<Byte> data(size, static_cast<Byte>(i * 31 + 1));
+    return data;
+  }
+
+  /// Append <fp(i), payload(i)> for each i to the chunk log.
+  void fill_log(const std::vector<std::uint64_t>& ids) {
+    for (const std::uint64_t i : ids) {
+      const auto data = payload(i);
+      ASSERT_TRUE(log_.append(fp(i), ByteSpan(data.data(), data.size())).ok());
+    }
+  }
+
+  /// Run a full single-server dedup-2 round over fingerprints `ids`.
+  void run_round(const std::vector<std::uint64_t>& ids, bool siu = true) {
+    std::vector<Fingerprint> sorted;
+    for (const std::uint64_t i : ids) sorted.push_back(fp(i));
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+    std::vector<std::uint8_t> found;
+    auto sil = store_.sil(sorted, found);
+    ASSERT_TRUE(sil.ok());
+    std::vector<Fingerprint> new_fps;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (found[i] == 0) new_fps.push_back(sorted[i]);
+    }
+    auto stored = store_.store_new_chunks(new_fps);
+    ASSERT_TRUE(stored.ok());
+    store_.add_pending(std::span<const IndexEntry>(stored.value().entries));
+    store_.clear_log();
+    if (siu) {
+      ASSERT_TRUE(store_.siu().ok());
+    }
+  }
+
+  storage::ChunkRepository repo_;
+  storage::ChunkLog log_;
+  ChunkStore store_;
+};
+
+TEST_F(ChunkStoreTest, SilFindsNothingInEmptyIndex) {
+  std::vector<Fingerprint> fps = {fp(1), fp(2)};
+  std::sort(fps.begin(), fps.end());
+  std::vector<std::uint8_t> found;
+  const auto r = store_.sil(fps, found);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().found_on_disk, 0u);
+  EXPECT_EQ(found, (std::vector<std::uint8_t>{0, 0}));
+}
+
+TEST_F(ChunkStoreTest, FullRoundStoresNewChunksAndRegistersThem) {
+  fill_log({1, 2, 3});
+  run_round({1, 2, 3});
+
+  EXPECT_EQ(store_.index().entry_count(), 3u);
+  EXPECT_EQ(store_.pending_count(), 0u);  // SIU drained the pending set
+  for (const std::uint64_t i : {1, 2, 3}) {
+    const auto cid = store_.locate(fp(i));
+    ASSERT_TRUE(cid.ok()) << i;
+    const auto chunk = store_.read_chunk(fp(i));
+    ASSERT_TRUE(chunk.ok());
+    EXPECT_EQ(chunk.value(), payload(i));
+  }
+}
+
+TEST_F(ChunkStoreTest, SecondRoundDeduplicatesAgainstIndex) {
+  fill_log({1, 2});
+  run_round({1, 2});
+  const std::uint64_t containers_before = repo_.container_count();
+
+  fill_log({1, 2, 3});  // 1 and 2 are duplicates now
+  std::vector<Fingerprint> sorted = {fp(1), fp(2), fp(3)};
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint8_t> found;
+  const auto sil = store_.sil(sorted, found);
+  ASSERT_TRUE(sil.ok());
+  EXPECT_EQ(sil.value().found_on_disk, 2u);
+
+  std::vector<Fingerprint> new_fps;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (found[i] == 0) new_fps.push_back(sorted[i]);
+  }
+  const auto stored = store_.store_new_chunks(new_fps);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored.value().new_chunks, 1u);
+  EXPECT_EQ(stored.value().discarded, 2u);
+  EXPECT_EQ(repo_.container_count(), containers_before + 1);
+}
+
+TEST_F(ChunkStoreTest, CheckingSetShieldsAsynchronousSiu) {
+  // Round 1 without SIU: entries stay pending.
+  fill_log({1, 2});
+  run_round({1, 2}, /*siu=*/false);
+  EXPECT_EQ(store_.pending_count(), 2u);
+  EXPECT_EQ(store_.index().entry_count(), 0u);
+
+  // Round 2 re-sees fp(1): the checking set must resolve it as duplicate
+  // even though the disk index doesn't know it yet.
+  fill_log({1, 3});
+  std::vector<Fingerprint> sorted = {fp(1), fp(3)};
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::uint8_t> found;
+  const auto sil = store_.sil(sorted, found);
+  ASSERT_TRUE(sil.ok());
+  EXPECT_EQ(sil.value().found_pending, 1u);
+  EXPECT_EQ(sil.value().found_on_disk, 0u);
+
+  std::vector<Fingerprint> new_fps;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (found[i] == 0) new_fps.push_back(sorted[i]);
+  }
+  const auto stored = store_.store_new_chunks(new_fps);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored.value().new_chunks, 1u);  // only fp(3)
+  store_.add_pending(std::span<const IndexEntry>(stored.value().entries));
+  store_.clear_log();
+
+  // One SIU services both rounds (Section 5.4).
+  const auto siu = store_.siu();
+  ASSERT_TRUE(siu.ok());
+  EXPECT_EQ(siu.value().inserted, 3u);
+  EXPECT_EQ(store_.index().entry_count(), 3u);
+}
+
+TEST_F(ChunkStoreTest, IntraLogDuplicatesStoredOnce) {
+  // Same fingerprint appended to the log twice (e.g. two jobs, filter
+  // cleared in between): exactly one copy must reach a container.
+  fill_log({7, 7});
+  run_round({7});
+  const auto cid = store_.locate(fp(7));
+  ASSERT_TRUE(cid.ok());
+  const auto container = store_.container_manager().read(cid.value());
+  ASSERT_TRUE(container.ok());
+  std::size_t copies = 0;
+  for (const auto& m : container.value().metadata()) {
+    if (m.fp == fp(7)) ++copies;
+  }
+  EXPECT_EQ(copies, 1u);
+}
+
+TEST_F(ChunkStoreTest, OrphanNewFingerprintDetected) {
+  // SIL says "new" but the log has no payload: must be dropped and counted.
+  const auto stored = store_.store_new_chunks({fp(42)});
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored.value().orphans, 1u);
+  EXPECT_TRUE(stored.value().entries.empty());
+}
+
+TEST_F(ChunkStoreTest, LocateMissesAreNotFound) {
+  const auto r = store_.locate(fp(1234));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+}
+
+TEST_F(ChunkStoreTest, RestoreUsesLpcPrefetch) {
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 50; ++i) ids.push_back(i);
+  fill_log(ids);
+  run_round(ids);
+
+  // First read misses and prefetches the container; the rest of the
+  // SISL neighbourhood must hit.
+  ASSERT_TRUE(store_.read_chunk(fp(0)).ok());
+  const std::uint64_t misses_after_first = store_.lpc().misses();
+  for (std::uint64_t i = 1; i < 50; ++i) {
+    ASSERT_TRUE(store_.read_chunk(fp(i)).ok());
+  }
+  EXPECT_EQ(store_.lpc().misses(), misses_after_first);
+  EXPECT_GE(store_.lpc().hits(), 49u);
+}
+
+TEST_F(ChunkStoreTest, SiuTriggersCapacityScalingWhenFull) {
+  // Small index: 4 buckets x 40 = 160 entries. Insert 200.
+  auto small = index::DiskIndex::create(
+      std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = 2, .blocks_per_bucket = 2});
+  ASSERT_TRUE(small.ok());
+  ChunkStoreConfig cfg = make_config();
+  storage::ChunkLog log2(std::make_unique<storage::MemBlockDevice>());
+  ChunkStore store2(std::move(small).value(), cfg, &repo_, &log2,
+                    [] { return std::make_unique<storage::MemBlockDevice>(); });
+
+  std::vector<IndexEntry> entries;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    entries.push_back({fp(i), ContainerId{i + 1}});
+  }
+  store2.add_pending(std::span<const IndexEntry>(entries));
+  const auto siu = store2.siu();
+  ASSERT_TRUE(siu.ok()) << siu.error().to_string();
+  EXPECT_GE(siu.value().scalings, 1u);
+  EXPECT_EQ(siu.value().inserted, 200u);
+  EXPECT_GE(store2.index().params().prefix_bits, 3u);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_TRUE(store2.index().lookup(fp(i)).ok()) << i;
+  }
+}
+
+TEST_F(ChunkStoreTest, SiuOnEmptyPendingIsNoop) {
+  const auto r = store_.siu();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().inserted, 0u);
+}
+
+}  // namespace
+}  // namespace debar::core

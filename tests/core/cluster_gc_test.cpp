@@ -1,0 +1,107 @@
+// Cluster-wide garbage collection: mark from the director, sweep the
+// shared repository, route erases/re-maps to the owning index parts.
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "core/gc.hpp"
+
+namespace debar::core {
+namespace {
+
+ClusterConfig small_cluster() {
+  ClusterConfig cfg;
+  cfg.routing_bits = 2;  // 4 servers
+  cfg.repository_nodes = 2;
+  cfg.server_config.index_params = {.prefix_bits = 6, .blocks_per_bucket = 2};
+  cfg.server_config.chunk_store.siu_threshold = 1;
+  cfg.server_config.container_capacity = 64 * 1024;
+  return cfg;
+}
+
+void backup_stream(Cluster& cluster, std::size_t server, std::uint64_t job,
+                   const std::vector<Fingerprint>& fps) {
+  FileStore& fs = cluster.server(server).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = fps.size() * 4096, .mtime = 0,
+                 .mode = 0644});
+  for (const Fingerprint& f : fps) {
+    if (fs.offer_fingerprint(f, 4096)) {
+      const auto payload = BackupEngine::synthetic_payload(f, 4096);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+std::vector<Fingerprint> fps(std::uint64_t from, std::uint64_t count) {
+  std::vector<Fingerprint> out;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out.push_back(Sha1::hash_counter(from + i));
+  }
+  return out;
+}
+
+TEST(ClusterGcTest, DropAndReclaimAcrossParts) {
+  Cluster cluster(small_cluster());
+  const std::uint64_t j0 = cluster.director().define_job("a", "d");
+  const std::uint64_t j1 = cluster.director().define_job("b", "d");
+
+  backup_stream(cluster, 0, j0, fps(0, 200));
+  backup_stream(cluster, 1, j1, fps(100, 200));  // shares 100..199 with j0
+  ASSERT_TRUE(cluster.run_dedup2(true).ok());
+
+  ASSERT_TRUE(cluster.director().drop_version(j0, 1).ok());
+  const auto report = collect_garbage(cluster);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  // Chunks 0..99 die (only j0 referenced them); 100..299 live via j1.
+  EXPECT_EQ(report.value().dead_chunks, 100u);
+  EXPECT_EQ(report.value().live_chunks, 200u);
+  EXPECT_GT(report.value().bytes_reclaimed, 0u);
+
+  // Dead fingerprints are gone from every index part.
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Fingerprint f = Sha1::hash_counter(i);
+    EXPECT_FALSE(cluster.server(cluster.owner_of(f))
+                     .chunk_store()
+                     .locate(f)
+                     .ok())
+        << i;
+  }
+  // j1 restores byte-exact through any server.
+  const auto restored = cluster.restore(j1, 1, 3);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().files[0].content.size(), 200u * 4096);
+}
+
+TEST(ClusterGcTest, RefusesWithPendingSiuOnAnyServer) {
+  ClusterConfig cfg = small_cluster();
+  cfg.server_config.chunk_store.siu_threshold = 1 << 30;
+  Cluster cluster(cfg);
+  const std::uint64_t job = cluster.director().define_job("a", "d");
+  backup_stream(cluster, 0, job, fps(0, 50));
+  ASSERT_TRUE(cluster.run_dedup2(/*force_siu=*/false).ok());
+
+  const auto report = collect_garbage(cluster);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, Errc::kInvalidArgument);
+}
+
+TEST(ClusterGcTest, NoopWhenEverythingLive) {
+  Cluster cluster(small_cluster());
+  const std::uint64_t job = cluster.director().define_job("a", "d");
+  backup_stream(cluster, 2, job, fps(0, 120));
+  ASSERT_TRUE(cluster.run_dedup2(true).ok());
+  const std::uint64_t containers = cluster.repository().container_count();
+
+  const auto report = collect_garbage(cluster);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().containers_deleted, 0u);
+  EXPECT_EQ(report.value().dead_chunks, 0u);
+  EXPECT_EQ(cluster.repository().container_count(), containers);
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,146 @@
+#include "core/defrag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+
+namespace debar::core {
+namespace {
+
+class DefragTest : public ::testing::Test {
+ protected:
+  DefragTest() : repo_(4), server_(0, make_config(), &repo_, &director_) {}
+
+  static BackupServerConfig make_config() {
+    BackupServerConfig cfg;
+    cfg.index_params = {.prefix_bits = 8, .blocks_per_bucket = 2};
+    cfg.chunk_store.siu_threshold = 1;
+    // Small containers so a version spans many of them (and hence many
+    // round-robin nodes).
+    cfg.container_capacity = 64 * 1024;
+    return cfg;
+  }
+
+  JobVersionRecord backup_stream(std::uint64_t job,
+                                 const std::vector<Fingerprint>& fps) {
+    FileStore& fs = server_.file_store();
+    fs.begin_job(job);
+    fs.begin_file({.path = "s", .size = fps.size() * 4096, .mtime = 0,
+                   .mode = 0644});
+    for (const Fingerprint& f : fps) {
+      if (fs.offer_fingerprint(f, 4096)) {
+        const auto payload = BackupEngine::synthetic_payload(f, 4096);
+        EXPECT_TRUE(
+            fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+      }
+    }
+    fs.end_file();
+    auto rec = fs.end_job();
+    EXPECT_TRUE(rec.ok());
+    EXPECT_TRUE(server_.run_dedup2(true).ok());
+    return rec.value();
+  }
+
+  storage::ChunkRepository repo_;
+  Director director_;
+  BackupServer server_;
+};
+
+TEST_F(DefragTest, AnalyzeReportsSpread) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 100; ++i) fps.push_back(Sha1::hash_counter(i));
+  const JobVersionRecord rec = backup_stream(job, fps);
+
+  const auto report = analyze_fragmentation(rec, server_.chunk_store(), repo_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().chunks, 100u);
+  // 100 x 4 KiB chunks in 64 KiB containers -> ~7 containers over 4 nodes.
+  EXPECT_GT(report.value().containers_touched, 4u);
+  EXPECT_EQ(report.value().nodes_touched, 4u);
+}
+
+TEST_F(DefragTest, DefragAggregatesToOneNode) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 150; ++i) fps.push_back(Sha1::hash_counter(i));
+  const JobVersionRecord rec = backup_stream(job, fps);
+
+  const auto result = defragment_version(rec, server_.chunk_store(), repo_,
+                                         {.target_node = 2});
+  ASSERT_TRUE(result.ok()) << result.error().to_string();
+  EXPECT_EQ(result.value().before.nodes_touched, 4u);
+  EXPECT_EQ(result.value().after.nodes_touched, 1u);
+  EXPECT_EQ(result.value().chunks_rewritten, 150u);
+  EXPECT_GT(result.value().containers_written, 0u);
+
+  // Every chunk resolves to a container on the target node now.
+  for (const Fingerprint& fp : fps) {
+    const auto cid = server_.chunk_store().locate(fp);
+    ASSERT_TRUE(cid.ok());
+    EXPECT_EQ(repo_.node_of(cid.value()), 2u);
+  }
+}
+
+TEST_F(DefragTest, DataRemainsRestorableAfterDefrag) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 120; ++i) fps.push_back(Sha1::hash_counter(i));
+  const JobVersionRecord rec = backup_stream(job, fps);
+
+  BackupEngine engine("c", &director_);
+  ASSERT_TRUE(defragment_version(rec, server_.chunk_store(), repo_).ok());
+
+  const auto restored = engine.restore(job, 1, server_, /*verify=*/true);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().files[0].content.size(), 120u * 4096);
+
+  const auto verify = engine.verify(job, 1, server_);
+  ASSERT_TRUE(verify.ok());
+  EXPECT_TRUE(verify.value().clean());
+}
+
+TEST_F(DefragTest, CompactVersionIsLeftAlone) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  std::vector<Fingerprint> fps = {Sha1::hash_counter(1),
+                                  Sha1::hash_counter(2)};
+  const JobVersionRecord rec = backup_stream(job, fps);
+  // Two chunks in one container: one node touched -> no-op.
+  const auto result =
+      defragment_version(rec, server_.chunk_store(), repo_, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().chunks_rewritten, 0u);
+  EXPECT_EQ(result.value().containers_written, 0u);
+}
+
+TEST_F(DefragTest, ImprovesReadLocality) {
+  // A version whose chunks are shared across several earlier versions is
+  // fragmented; after defrag the containers-per-1k-chunks metric drops.
+  const std::uint64_t j1 = director_.define_job("c1", "d");
+  const std::uint64_t j2 = director_.define_job("c2", "d");
+  const std::uint64_t j3 = director_.define_job("c3", "d");
+
+  std::vector<Fingerprint> a, b, mixed;
+  for (std::uint64_t i = 0; i < 60; ++i) a.push_back(Sha1::hash_counter(i));
+  for (std::uint64_t i = 60; i < 120; ++i) b.push_back(Sha1::hash_counter(i));
+  backup_stream(j1, a);
+  backup_stream(j2, b);
+  // Interleave references to both earlier versions.
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    mixed.push_back(a[i]);
+    mixed.push_back(b[i]);
+  }
+  const JobVersionRecord rec = backup_stream(j3, mixed);
+
+  const auto result =
+      defragment_version(rec, server_.chunk_store(), repo_, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().after.containers_per_1k_chunks,
+            result.value().before.containers_per_1k_chunks);
+  EXPECT_LE(result.value().after.containers_touched,
+            result.value().before.containers_touched);
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,144 @@
+#include "core/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "sim/nic_model.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+namespace {
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  FileStoreTest()
+      : nic_({.bytes_per_sec = 1.0e6}, &nic_clock_),
+        log_(std::make_unique<storage::MemBlockDevice>()),
+        store_({.hash_bits = 8, .capacity = 1000}, &log_, &nic_, &director_) {}
+
+  Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+  /// Run one job with `fps` as the single file's fingerprint stream;
+  /// chunks are 1 KiB of synthetic data.
+  JobVersionRecord run_job(std::uint64_t job_id,
+                           const std::vector<Fingerprint>& fps) {
+    store_.begin_job(job_id);
+    store_.begin_file({.path = "a.dat", .size = fps.size() * 1024,
+                       .mtime = 0, .mode = 0644});
+    const std::vector<Byte> payload(1024, 0x33);
+    for (const Fingerprint& f : fps) {
+      if (store_.offer_fingerprint(f, 1024)) {
+        EXPECT_TRUE(
+            store_.receive_chunk(f, ByteSpan(payload.data(), payload.size()))
+                .ok());
+      }
+    }
+    store_.end_file();
+    auto rec = store_.end_job();
+    EXPECT_TRUE(rec.ok());
+    return rec.value();
+  }
+
+  sim::SimClock nic_clock_;
+  sim::NicModel nic_;
+  storage::ChunkLog log_;
+  Director director_;
+  FileStore store_;
+};
+
+TEST_F(FileStoreTest, FirstJobTransfersEverythingOnce) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  const auto rec = run_job(job, {fp(1), fp(2), fp(3), fp(2)});
+  EXPECT_EQ(rec.version, 1u);
+  EXPECT_EQ(rec.files.size(), 1u);
+  EXPECT_EQ(rec.files[0].chunk_fps.size(), 4u);
+  // The intra-job duplicate fp(2) was transferred once.
+  EXPECT_EQ(log_.record_count(), 3u);
+  EXPECT_EQ(store_.stats().suppressed_bytes, 1024u);
+}
+
+TEST_F(FileStoreTest, FileIndexPreservesStreamOrderIncludingDuplicates) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  const std::vector<Fingerprint> stream = {fp(5), fp(6), fp(5), fp(7)};
+  const auto rec = run_job(job, stream);
+  EXPECT_EQ(rec.files[0].chunk_fps, stream);
+}
+
+TEST_F(FileStoreTest, SecondVersionFilteredByJobChain) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  run_job(job, {fp(1), fp(2), fp(3)});
+  // Dedup-2 hasn't run, but the filter seeds from version 1 anyway.
+  (void)store_.take_undetermined();
+  log_.clear();
+
+  const auto rec2 = run_job(job, {fp(1), fp(2), fp(4)});
+  EXPECT_EQ(rec2.version, 2u);
+  // Only fp(4) crossed the wire.
+  EXPECT_EQ(log_.record_count(), 1u);
+  // But all three are referenced, so all three are undetermined.
+  const auto undetermined = store_.take_undetermined();
+  EXPECT_EQ(undetermined.size(), 3u);
+}
+
+TEST_F(FileStoreTest, UndeterminedAccumulatesAcrossJobs) {
+  const std::uint64_t j1 = director_.define_job("c1", "d1");
+  const std::uint64_t j2 = director_.define_job("c2", "d2");
+  run_job(j1, {fp(1), fp(2)});
+  run_job(j2, {fp(2), fp(3)});
+  const auto undetermined = store_.take_undetermined();
+  // Sorted and deduplicated across jobs: {1, 2, 3}.
+  EXPECT_EQ(undetermined.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(undetermined.begin(), undetermined.end()));
+  // Drained.
+  EXPECT_TRUE(store_.take_undetermined().empty());
+}
+
+TEST_F(FileStoreTest, NicChargesFingerprintAndPayloadBytes) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  run_job(job, {fp(1)});
+  // 256 B metadata + 20 B fingerprint + 1024 B payload at 1 MB/s.
+  EXPECT_NEAR(nic_clock_.seconds(), (256.0 + 20.0 + 1024.0) / 1.0e6, 1e-12);
+}
+
+TEST_F(FileStoreTest, SuppressedChunksDoNotChargePayloadBandwidth) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  run_job(job, {fp(1)});
+  const double t1 = nic_clock_.seconds();
+  (void)store_.take_undetermined();
+
+  run_job(job, {fp(1)});  // fully suppressed by the job chain
+  const double delta = nic_clock_.seconds() - t1;
+  EXPECT_NEAR(delta, (256.0 + 20.0) / 1.0e6, 1e-12);
+}
+
+TEST_F(FileStoreTest, MultipleFilesPerJob) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  store_.begin_job(job);
+  const std::vector<Byte> payload(512, 1);
+  for (int f = 0; f < 3; ++f) {
+    store_.begin_file({.path = "f" + std::to_string(f), .size = 512,
+                       .mtime = 0, .mode = 0644});
+    const Fingerprint fpr = fp(static_cast<std::uint64_t>(f));
+    if (store_.offer_fingerprint(fpr, 512)) {
+      ASSERT_TRUE(store_.receive_chunk(
+          fpr, ByteSpan(payload.data(), payload.size())).ok());
+    }
+    store_.end_file();
+  }
+  const auto rec = store_.end_job();
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().files.size(), 3u);
+  EXPECT_EQ(store_.stats().files_received, 3u);
+}
+
+TEST_F(FileStoreTest, VersionRecordLandsAtDirector) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  run_job(job, {fp(9)});
+  const auto v = director_.version(job, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->files[0].chunk_fps[0], fp(9));
+  EXPECT_EQ(v->logical_bytes, 1024u);
+}
+
+}  // namespace
+}  // namespace debar::core

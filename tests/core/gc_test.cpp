@@ -1,0 +1,202 @@
+#include "core/gc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+#include "core/defrag.hpp"
+
+namespace debar::core {
+namespace {
+
+class GcTest : public ::testing::Test {
+ protected:
+  GcTest() : repo_(2), server_(0, make_config(), &repo_, &director_) {}
+
+  static BackupServerConfig make_config() {
+    BackupServerConfig cfg;
+    cfg.index_params = {.prefix_bits = 8, .blocks_per_bucket = 2};
+    cfg.chunk_store.siu_threshold = 1;
+    cfg.container_capacity = 64 * 1024;  // small: fine-grained sweep units
+    return cfg;
+  }
+
+  JobVersionRecord backup_stream(std::uint64_t job,
+                                 const std::vector<Fingerprint>& fps) {
+    FileStore& fs = server_.file_store();
+    fs.begin_job(job);
+    fs.begin_file({.path = "s", .size = fps.size() * 4096, .mtime = 0,
+                   .mode = 0644});
+    for (const Fingerprint& f : fps) {
+      if (fs.offer_fingerprint(f, 4096)) {
+        const auto payload = BackupEngine::synthetic_payload(f, 4096);
+        EXPECT_TRUE(
+            fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+      }
+    }
+    fs.end_file();
+    auto rec = fs.end_job();
+    EXPECT_TRUE(rec.ok());
+    EXPECT_TRUE(server_.run_dedup2(true).ok());
+    return rec.value();
+  }
+
+  std::vector<Fingerprint> fps(std::uint64_t from, std::uint64_t count) {
+    std::vector<Fingerprint> out;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      out.push_back(Sha1::hash_counter(from + i));
+    }
+    return out;
+  }
+
+  storage::ChunkRepository repo_;
+  Director director_;
+  BackupServer server_;
+};
+
+TEST_F(GcTest, NothingToReclaimIsNoop) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup_stream(job, fps(0, 100));
+  const std::uint64_t bytes_before = repo_.stored_bytes();
+
+  const auto report = collect_garbage(director_, server_.chunk_store(), repo_);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report.value().containers_deleted, 0u);
+  EXPECT_EQ(report.value().bytes_reclaimed, 0u);
+  EXPECT_EQ(report.value().dead_chunks, 0u);
+  EXPECT_EQ(repo_.stored_bytes(), bytes_before);
+}
+
+TEST_F(GcTest, DroppingOnlyVersionReclaimsEverything) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup_stream(job, fps(0, 100));
+  ASSERT_TRUE(director_.drop_version(job, 1).ok());
+
+  const auto report = collect_garbage(director_, server_.chunk_store(), repo_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().containers_deleted, 0u);
+  EXPECT_EQ(report.value().live_chunks, 0u);
+  EXPECT_EQ(repo_.stored_bytes(), 0u);
+  EXPECT_EQ(repo_.container_count(), 0u);
+  // The index no longer claims the reclaimed fingerprints.
+  EXPECT_EQ(server_.chunk_store().index().entry_count(), 0u);
+  EXPECT_FALSE(server_.chunk_store().locate(Sha1::hash_counter(0)).ok());
+}
+
+TEST_F(GcTest, SharedChunksSurviveVersionDrop) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  // v1: chunks 0..99. v2: chunks 50..149 (shares 50..99 with v1).
+  backup_stream(job, fps(0, 100));
+  backup_stream(job, fps(50, 100));
+  ASSERT_TRUE(director_.drop_version(job, 1).ok());
+
+  const auto report = collect_garbage(director_, server_.chunk_store(), repo_);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  // Chunks 0..49 die; 50..149 live on.
+  EXPECT_EQ(report.value().dead_chunks, 50u);
+  EXPECT_EQ(report.value().live_chunks, 100u);
+
+  BackupEngine engine("c", &director_);
+  const auto restored = engine.restore(job, 2, server_, /*verify=*/true);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().files[0].content.size(), 100u * 4096);
+  // The dropped version is gone for good.
+  EXPECT_FALSE(engine.restore(job, 1, server_).ok());
+}
+
+TEST_F(GcTest, CompactionRewritesMostlyDeadContainers) {
+  const std::uint64_t job1 = director_.define_job("a", "d");
+  const std::uint64_t job2 = director_.define_job("b", "d");
+  // Interleave two jobs' chunks into the same containers by backing them
+  // up as one alternating stream under job1, then referencing the even
+  // half from job2.
+  std::vector<Fingerprint> all = fps(0, 200);
+  backup_stream(job1, all);
+  std::vector<Fingerprint> evens;
+  for (std::size_t i = 0; i < all.size(); i += 4) evens.push_back(all[i]);
+  backup_stream(job2, evens);  // 25% of the chunks stay live via job2
+
+  ASSERT_TRUE(director_.drop_version(job1, 1).ok());
+  const auto report = collect_garbage(director_, server_.chunk_store(), repo_,
+                                      {.compact_threshold = 0.5,
+                                       .container_capacity = 64 * 1024});
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_GT(report.value().containers_compacted, 0u);
+  EXPECT_GT(report.value().bytes_reclaimed, 0u);
+  EXPECT_EQ(report.value().live_chunks, evens.size());
+
+  // job2's data survives compaction and the index re-map.
+  BackupEngine engine("b", &director_);
+  const auto restored = engine.restore(job2, 1, server_, true);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(restored.value().files[0].content.size(), evens.size() * 4096);
+}
+
+TEST_F(GcTest, RefusesToRunWithPendingSiu) {
+  BackupServerConfig cfg = make_config();
+  cfg.chunk_store.siu_threshold = 1 << 30;
+  BackupServer deferred(1, cfg, &repo_, &director_);
+  const std::uint64_t job = director_.define_job("c", "d");
+  FileStore& fs = deferred.file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = 4096, .mtime = 0, .mode = 0644});
+  const Fingerprint f = Sha1::hash_counter(7);
+  if (fs.offer_fingerprint(f, 4096)) {
+    const auto payload = BackupEngine::synthetic_payload(f, 4096);
+    ASSERT_TRUE(
+        fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+  ASSERT_TRUE(deferred.run_dedup2(/*force_siu=*/false).ok());
+  ASSERT_GT(deferred.chunk_store().pending_count(), 0u);
+
+  const auto report =
+      collect_garbage(director_, deferred.chunk_store(), repo_);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, Errc::kInvalidArgument);
+}
+
+TEST_F(GcTest, ReclaimsDefragGarbage) {
+  // Defragmentation leaves the old container copies as garbage; GC must
+  // collect exactly those.
+  const std::uint64_t job = director_.define_job("c", "d");
+  const JobVersionRecord rec = backup_stream(job, fps(0, 150));
+  const std::uint64_t before = repo_.stored_bytes();
+
+  const auto defrag = defragment_version(rec, server_.chunk_store(), repo_,
+                                         {.target_node = 1,
+                                          .container_capacity = 64 * 1024});
+  ASSERT_TRUE(defrag.ok());
+  ASSERT_GT(defrag.value().chunks_rewritten, 0u);
+  EXPECT_GT(repo_.stored_bytes(), before);  // duplicates exist now
+
+  const auto report = collect_garbage(director_, server_.chunk_store(), repo_);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_GT(report.value().containers_deleted, 0u);
+  EXPECT_EQ(repo_.stored_bytes(), before);  // back to one copy per chunk
+
+  BackupEngine engine("c", &director_);
+  const auto restored = engine.restore(job, 1, server_, true);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+}
+
+TEST_F(GcTest, VersionNumberingAfterDrops) {
+  const std::uint64_t job = director_.define_job("c", "d");
+  backup_stream(job, fps(0, 10));   // v1
+  backup_stream(job, fps(10, 10));  // v2
+  backup_stream(job, fps(20, 10));  // v3
+  // Dropping a MIDDLE version must not shift numbering: next is still 4
+  // (count-based numbering would collide with the live v3 here).
+  ASSERT_TRUE(director_.drop_version(job, 2).ok());
+  EXPECT_EQ(director_.next_version(job), 4u);
+  // Dropping the LATEST frees its slot; the tombstone-then-append replay
+  // order keeps a re-used number consistent across recovery.
+  ASSERT_TRUE(director_.drop_version(job, 3).ok());
+  EXPECT_EQ(director_.next_version(job), 2u);
+  backup_stream(job, fps(30, 10));  // new v2
+  EXPECT_EQ(director_.next_version(job), 3u);
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,162 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/file_tree.hpp"
+
+namespace debar::core {
+namespace {
+
+BackupServerConfig small_config() {
+  BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 9, .blocks_per_bucket = 2};
+  cfg.chunk_store.siu_threshold = 1;
+  return cfg;
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : repo_(2) {
+    servers_.push_back(
+        std::make_unique<BackupServer>(0, small_config(), &repo_, &director_));
+    servers_.push_back(
+        std::make_unique<BackupServer>(1, small_config(), &repo_, &director_));
+  }
+
+  std::vector<BackupServer*> server_ptrs() {
+    std::vector<BackupServer*> out;
+    for (auto& s : servers_) out.push_back(s.get());
+    return out;
+  }
+
+  storage::ChunkRepository repo_;
+  Director director_;
+  std::vector<std::unique_ptr<BackupServer>> servers_;
+};
+
+TEST_F(SchedulerTest, RunsDueJobsAndRecordsVersions) {
+  const std::uint64_t daily = director_.define_job("alice", "home", 1);
+  const std::uint64_t weekly = director_.define_job("bob", "archive", 7);
+
+  // Persistent per-job datasets that evolve day to day.
+  std::map<std::uint64_t, Dataset> datasets;
+  datasets[daily] = workload::make_dataset(
+      {.files = 4, .mean_file_bytes = 64 * KiB, .seed = 1});
+  datasets[weekly] = workload::make_dataset(
+      {.files = 4, .mean_file_bytes = 64 * KiB, .seed = 2});
+
+  BackupScheduler scheduler(&director_, server_ptrs(),
+                            {.dedup2_trigger = 1});
+  for (std::uint32_t day = 1; day <= 8; ++day) {
+    const auto report = scheduler.run_day(day, [&](const JobSpec& spec,
+                                                   std::uint32_t d) {
+      datasets[spec.job_id] = workload::mutate_dataset(
+          datasets[spec.job_id], {.seed = spec.job_id * 100 + d});
+      return Result<Dataset>(datasets[spec.job_id]);
+    });
+    ASSERT_TRUE(report.ok()) << report.error().to_string();
+    // Weekly job only runs on day 7 (7 % 7 == 0); daily runs every day.
+    EXPECT_EQ(report.value().jobs_run, day == 7 ? 2u : 1u);
+    EXPECT_GT(report.value().dedup2_rounds, 0u);  // trigger = 1
+  }
+  ASSERT_TRUE(scheduler.finalize().ok());
+
+  EXPECT_EQ(director_.version_count(daily), 8u);
+  EXPECT_EQ(director_.version_count(weekly), 1u);
+}
+
+TEST_F(SchedulerTest, SpreadsLoadAcrossServers) {
+  for (int j = 0; j < 6; ++j) {
+    director_.define_job("client" + std::to_string(j), "d", 1);
+  }
+  BackupScheduler scheduler(&director_, server_ptrs(),
+                            {.dedup2_trigger = 1u << 30});
+  const auto report =
+      scheduler.run_day(1, [&](const JobSpec& spec, std::uint32_t) {
+        return Result<Dataset>(workload::make_dataset(
+            {.files = 2, .mean_file_bytes = 32 * KiB,
+             .seed = spec.job_id}));
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().jobs_run, 6u);
+  // Least-loaded assignment: both servers must have received data.
+  EXPECT_GT(servers_[0]->file_store().stats().logical_bytes, 0u);
+  EXPECT_GT(servers_[1]->file_store().stats().logical_bytes, 0u);
+  ASSERT_TRUE(scheduler.finalize().ok());
+}
+
+TEST_F(SchedulerTest, Dedup2TriggerRespectsThreshold) {
+  director_.define_job("c", "d", 1);
+  BackupScheduler scheduler(&director_, server_ptrs(),
+                            {.dedup2_trigger = 1u << 30});  // never
+  const auto report =
+      scheduler.run_day(1, [&](const JobSpec&, std::uint32_t) {
+        return Result<Dataset>(workload::make_dataset(
+            {.files = 2, .mean_file_bytes = 32 * KiB, .seed = 3}));
+      });
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().dedup2_rounds, 0u);
+}
+
+TEST_F(SchedulerTest, IncrementalOptionFlowsThroughScheduledRuns) {
+  const std::uint64_t job = director_.define_job("alice", "home", 1);
+  (void)job;
+  Dataset dataset = workload::make_dataset(
+      {.files = 5, .mean_file_bytes = 64 * KiB, .seed = 12});
+  BackupScheduler scheduler(&director_, server_ptrs(),
+                            {.dedup2_trigger = 1,
+                             .backup = {.incremental = true}});
+  const auto provider = [&](const JobSpec&, std::uint32_t) {
+    return Result<Dataset>(dataset);
+  };
+  const auto day1 = scheduler.run_day(1, provider);
+  ASSERT_TRUE(day1.ok());
+  EXPECT_GT(day1.value().transferred_bytes, 0u);
+
+  // Same dataset next day: the file-level pre-filter ships nothing.
+  const auto day2 = scheduler.run_day(2, provider);
+  ASSERT_TRUE(day2.ok());
+  EXPECT_EQ(day2.value().transferred_bytes, 0u);
+  ASSERT_TRUE(scheduler.finalize().ok());
+}
+
+TEST_F(SchedulerTest, ProviderErrorPropagates) {
+  director_.define_job("c", "d", 1);
+  BackupScheduler scheduler(&director_, server_ptrs());
+  const auto report =
+      scheduler.run_day(1, [&](const JobSpec&, std::uint32_t) {
+        return Result<Dataset>(Errc::kIoError, "client host unreachable");
+      });
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.error().code, Errc::kIoError);
+}
+
+TEST_F(SchedulerTest, FullCycleWithVerify) {
+  const std::uint64_t job = director_.define_job("alice", "home", 1);
+  Dataset dataset = workload::make_dataset(
+      {.files = 5, .mean_file_bytes = 64 * KiB, .seed = 9});
+  BackupScheduler scheduler(&director_, server_ptrs(),
+                            {.dedup2_trigger = 1});
+  ASSERT_TRUE(scheduler
+                  .run_day(1, [&](const JobSpec&, std::uint32_t) {
+                    return Result<Dataset>(dataset);
+                  })
+                  .ok());
+  ASSERT_TRUE(scheduler.finalize().ok());
+
+  // Verify against whichever server got the job: find it via restore.
+  BackupEngine engine("alice", &director_);
+  bool verified = false;
+  for (auto& server : servers_) {
+    const auto verify = engine.verify(job, 1, *server);
+    if (verify.ok() && verify.value().clean() &&
+        verify.value().chunks > 0) {
+      verified = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(verified);
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,136 @@
+#include "ddfs/ddfs_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar::ddfs {
+namespace {
+
+DdfsConfig small_config() {
+  DdfsConfig cfg;
+  cfg.bloom_bits = 1 << 16;
+  cfg.bloom_hashes = 4;
+  cfg.index_params = {.prefix_bits = 8, .blocks_per_bucket = 2};
+  cfg.fp_cache_containers = 4;
+  cfg.write_buffer_entries = 1000;
+  cfg.io_buckets = 16;
+  return cfg;
+}
+
+std::vector<Fingerprint> stream(std::uint64_t from, std::uint64_t count) {
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    fps.push_back(Sha1::hash_counter(from + i));
+  }
+  return fps;
+}
+
+TEST(DdfsServerTest, FreshStreamIsAllNew) {
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(small_config(), &repo);
+  const auto r = ddfs.backup_stream(stream(0, 100), 1024);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().new_chunks, 100u);
+  EXPECT_EQ(r.value().duplicate_chunks, 0u);
+  // Fresh fingerprints are mostly Bloom negatives (cheap path).
+  EXPECT_GT(r.value().bloom_negatives, 90u);
+}
+
+TEST(DdfsServerTest, RepeatStreamFullyDeduplicated) {
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(small_config(), &repo);
+  ASSERT_TRUE(ddfs.backup_stream(stream(0, 200), 1024).ok());
+  ASSERT_TRUE(ddfs.flush_write_buffer().ok());
+  const std::uint64_t stored = ddfs.stored_chunks();
+
+  const auto r = ddfs.backup_stream(stream(0, 200), 1024);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().duplicate_chunks, 200u);
+  EXPECT_EQ(r.value().new_chunks, 0u);
+  EXPECT_EQ(ddfs.stored_chunks(), stored);
+}
+
+TEST(DdfsServerTest, LocalityPrefetchServesStreamFromCache) {
+  // After one index hit prefetches the container, the rest of the
+  // re-played stream must be fingerprint-cache hits (the >99% claim).
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(small_config(), &repo);
+  ASSERT_TRUE(ddfs.backup_stream(stream(0, 500), 1024).ok());
+  ASSERT_TRUE(ddfs.flush_write_buffer().ok());
+
+  const auto r = ddfs.backup_stream(stream(0, 500), 1024);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().cache_hits, 450u);
+  EXPECT_LT(r.value().index_lookups, 20u);
+}
+
+TEST(DdfsServerTest, WriteBufferResolvesRecentChunks) {
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(small_config(), &repo);
+  ASSERT_TRUE(ddfs.backup_stream(stream(0, 50), 1024).ok());
+  // No flush: duplicates must be caught by the write buffer.
+  const auto r = ddfs.backup_stream(stream(0, 50), 1024);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().new_chunks, 0u);
+  EXPECT_GT(r.value().buffer_hits + r.value().cache_hits, 0u);
+}
+
+TEST(DdfsServerTest, BufferFlushesWhenFull) {
+  DdfsConfig cfg = small_config();
+  cfg.write_buffer_entries = 64;
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(cfg, &repo);
+  const auto r = ddfs.backup_stream(stream(0, 300), 1024);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().buffer_flushes, 3u);
+  EXPECT_GT(ddfs.index().entry_count(), 0u);
+}
+
+TEST(DdfsServerTest, RestoreRoundTrip) {
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(small_config(), &repo);
+  const auto fps = stream(0, 60);
+  ASSERT_TRUE(ddfs.backup_stream(fps, 2048).ok());
+  ASSERT_TRUE(ddfs.flush_write_buffer().ok());
+
+  for (const Fingerprint& fp : fps) {
+    const auto chunk = ddfs.read_chunk(fp);
+    ASSERT_TRUE(chunk.ok()) << chunk.error().to_string();
+    EXPECT_EQ(chunk.value().size(), 2048u);
+    EXPECT_TRUE(
+        std::equal(fp.bytes.begin(), fp.bytes.end(), chunk.value().begin()));
+  }
+}
+
+TEST(DdfsServerTest, FalsePositiveRateGrowsWithLoad) {
+  // An overloaded Bloom filter (m/n << 8) must show false positives,
+  // each costing a random index I/O — the Figure 12 failure mode.
+  DdfsConfig cfg = small_config();
+  cfg.bloom_bits = 2048;  // absurdly small on purpose
+  cfg.bloom_hashes = 4;
+  cfg.write_buffer_entries = 1 << 20;  // no flush interference
+  cfg.fp_cache_containers = 1;
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(cfg, &repo);
+
+  ASSERT_TRUE(ddfs.backup_stream(stream(0, 2000), 512).ok());
+  const auto r = ddfs.backup_stream(stream(10000, 2000), 512);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value().false_positives, 100u);
+  EXPECT_GT(r.value().index_lookups, r.value().false_positives - 1);
+}
+
+TEST(DdfsServerTest, NicChargesAllLogicalBytes) {
+  // DDFS receives everything over the wire — no source-side filtering.
+  storage::ChunkRepository repo(1);
+  DdfsServer ddfs(small_config(), &repo);
+  ASSERT_TRUE(ddfs.backup_stream(stream(0, 100), 8192).ok());
+  const double expected =
+      100.0 * (8192.0 + 20.0) / sim::NicProfile::PaperGigabit().bytes_per_sec;
+  // SimClock keeps integer nanoseconds; allow per-transfer rounding.
+  EXPECT_NEAR(ddfs.nic_seconds(), expected, 100 * 1e-9);
+}
+
+}  // namespace
+}  // namespace debar::ddfs

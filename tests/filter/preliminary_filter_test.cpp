@@ -1,0 +1,136 @@
+#include "filter/preliminary_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/sha1.hpp"
+
+namespace debar::filter {
+namespace {
+
+Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+TEST(PreliminaryFilterTest, AdmitsUnseenSuppressesSeen) {
+  PreliminaryFilter filter({.hash_bits = 8, .capacity = 100});
+  EXPECT_TRUE(filter.admit(fp(1)));   // unseen: transfer
+  EXPECT_FALSE(filter.admit(fp(1)));  // intra-job duplicate: suppressed
+  EXPECT_TRUE(filter.admit(fp(2)));
+  EXPECT_EQ(filter.stats().admitted, 2u);
+  EXPECT_EQ(filter.stats().suppressed, 1u);
+}
+
+TEST(PreliminaryFilterTest, SeededFingerprintsSuppressTransfer) {
+  // Job-chain semantics: previous version's fingerprints stop the
+  // transfer, but the fingerprint still becomes 'new' (referenced).
+  PreliminaryFilter filter({.hash_bits = 8, .capacity = 100});
+  filter.seed(fp(10));
+  EXPECT_FALSE(filter.admit(fp(10)));
+  const auto undetermined = filter.collect_undetermined();
+  ASSERT_EQ(undetermined.size(), 1u);
+  EXPECT_EQ(undetermined[0], fp(10));
+}
+
+TEST(PreliminaryFilterTest, UnreferencedSeedsNotCollected) {
+  PreliminaryFilter filter({.hash_bits = 8, .capacity = 100});
+  filter.seed(fp(20));
+  filter.seed(fp(21));
+  EXPECT_TRUE(filter.admit(fp(22)));
+  const auto undetermined = filter.collect_undetermined();
+  ASSERT_EQ(undetermined.size(), 1u);
+  EXPECT_EQ(undetermined[0], fp(22));
+}
+
+TEST(PreliminaryFilterTest, CollectIsSortedUniqueAndClearsMarks) {
+  PreliminaryFilter filter({.hash_bits = 8, .capacity = 100});
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    (void)filter.admit(fp(i % 10));  // heavy repetition
+  }
+  auto undetermined = filter.collect_undetermined();
+  EXPECT_EQ(undetermined.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(undetermined.begin(), undetermined.end()));
+  // Marks cleared: a second collect is empty.
+  EXPECT_TRUE(filter.collect_undetermined().empty());
+}
+
+TEST(PreliminaryFilterTest, SeedingStopsAtCapacity) {
+  PreliminaryFilter filter({.hash_bits = 4, .capacity = 10});
+  for (std::uint64_t i = 0; i < 20; ++i) filter.seed(fp(i));
+  EXPECT_EQ(filter.size(), 10u);
+  EXPECT_EQ(filter.stats().evictions, 0u);  // seeding never evicts
+}
+
+TEST(PreliminaryFilterTest, AdmitEvictsAtCapacity) {
+  PreliminaryFilter filter({.hash_bits = 4, .capacity = 10});
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    EXPECT_TRUE(filter.admit(fp(i)));
+  }
+  EXPECT_EQ(filter.size(), 10u);
+  EXPECT_EQ(filter.stats().evictions, 15u);
+}
+
+TEST(PreliminaryFilterTest, EvictedNewFingerprintsAreNotLost) {
+  // Dropping a 'new' node would orphan its chunk in the chunk log; the
+  // filter must flush it to the undetermined set instead.
+  PreliminaryFilter filter({.hash_bits = 4, .capacity = 8});
+  constexpr std::uint64_t kN = 30;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_TRUE(filter.admit(fp(i)));
+  }
+  const auto undetermined = filter.collect_undetermined();
+  EXPECT_EQ(undetermined.size(), kN);  // every admitted fp is present
+  EXPECT_GT(filter.stats().evicted_new, 0u);
+}
+
+TEST(PreliminaryFilterTest, LruKeepsHotEntriesResident) {
+  PreliminaryFilter filter({.hash_bits = 4, .capacity = 4});
+  (void)filter.admit(fp(1));
+  (void)filter.admit(fp(2));
+  (void)filter.admit(fp(3));
+  (void)filter.admit(fp(4));
+  // Touch fp(1) so it's hot, then overflow by one.
+  (void)filter.admit(fp(1));
+  (void)filter.admit(fp(5));
+  EXPECT_TRUE(filter.contains(fp(1)));   // hot: survived
+  EXPECT_FALSE(filter.contains(fp(2)));  // coldest: evicted
+}
+
+TEST(PreliminaryFilterTest, ClearEmptiesEverything) {
+  PreliminaryFilter filter({.hash_bits = 6, .capacity = 50});
+  for (std::uint64_t i = 0; i < 20; ++i) (void)filter.admit(fp(i));
+  filter.clear();
+  EXPECT_EQ(filter.size(), 0u);
+  EXPECT_FALSE(filter.contains(fp(1)));
+  EXPECT_TRUE(filter.collect_undetermined().empty());
+  // Usable after clear.
+  EXPECT_TRUE(filter.admit(fp(100)));
+}
+
+TEST(PreliminaryFilterTest, SuppressionSavesExactlyDuplicateBytes) {
+  // The dedup-1 bandwidth-saving property the paper measures via the
+  // dedup-1 compression ratio.
+  PreliminaryFilter filter({.hash_bits = 8, .capacity = 1000});
+  std::uint64_t transferred = 0, total = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    total += 8192;
+    if (filter.admit(fp(i % 100))) transferred += 8192;
+  }
+  EXPECT_EQ(transferred, 100u * 8192);
+  EXPECT_EQ(total / transferred, 3u);  // 3:1 dedup-1 ratio
+}
+
+TEST(PreliminaryFilterTest, ChainCollisionsResolvedCorrectly) {
+  // 1-bit table: everything collides into two buckets; the chain must
+  // still distinguish all fingerprints.
+  PreliminaryFilter filter({.hash_bits = 1, .capacity = 64});
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(filter.admit(fp(i)));
+  }
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    EXPECT_TRUE(filter.contains(fp(i)));
+    EXPECT_FALSE(filter.admit(fp(i)));
+  }
+}
+
+}  // namespace
+}  // namespace debar::filter

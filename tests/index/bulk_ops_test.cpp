@@ -1,0 +1,243 @@
+// SIL / SIU primitives: bulk_lookup and bulk_insert.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/sha1.hpp"
+#include "index/disk_index.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::index {
+namespace {
+
+DiskIndex make_index(unsigned prefix_bits, unsigned blocks = 1,
+                     unsigned skip = 0,
+                     storage::MemBlockDevice** device_out = nullptr,
+                     sim::DiskModel* model = nullptr) {
+  auto device = std::make_unique<storage::MemBlockDevice>();
+  if (device_out != nullptr) *device_out = device.get();
+  if (model != nullptr) device->attach_model(model);
+  Result<DiskIndex> idx = DiskIndex::create(
+      std::move(device),
+      {.prefix_bits = prefix_bits, .skip_bits = skip, .blocks_per_bucket = blocks});
+  EXPECT_TRUE(idx.ok());
+  return std::move(idx).value();
+}
+
+std::vector<Fingerprint> sorted_fps(std::uint64_t from, std::uint64_t count) {
+  std::vector<Fingerprint> fps;
+  fps.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    fps.push_back(Sha1::hash_counter(from + i));
+  }
+  std::sort(fps.begin(), fps.end());
+  return fps;
+}
+
+std::vector<IndexEntry> entries_of(const std::vector<Fingerprint>& fps,
+                                   std::uint64_t id_base = 1) {
+  std::vector<IndexEntry> entries;
+  entries.reserve(fps.size());
+  for (std::size_t i = 0; i < fps.size(); ++i) {
+    entries.push_back({fps[i], ContainerId{id_base + i}});
+  }
+  return entries;
+}
+
+TEST(BulkInsertTest, InsertsAllAndPointLookupFinds) {
+  DiskIndex idx = make_index(6, 2);
+  const auto fps = sorted_fps(0, 500);
+  const auto entries = entries_of(fps);
+
+  std::uint64_t inserted = 0;
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries), 8,
+                              &inserted)
+                  .ok());
+  EXPECT_EQ(inserted, 500u);
+  EXPECT_EQ(idx.entry_count(), 500u);
+  for (const IndexEntry& e : entries) {
+    EXPECT_EQ(idx.lookup(e.fp).value(), e.container);
+  }
+}
+
+TEST(BulkInsertTest, RejectsUnsortedInput) {
+  DiskIndex idx = make_index(6);
+  auto fps = sorted_fps(0, 10);
+  std::swap(fps[2], fps[7]);
+  const auto entries = entries_of(fps);
+  const Status s = idx.bulk_insert(std::span<const IndexEntry>(entries));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kInvalidArgument);
+}
+
+TEST(BulkInsertTest, SkipsExistingDuplicatesSilently) {
+  DiskIndex idx = make_index(6, 2);
+  const auto fps = sorted_fps(0, 100);
+  const auto entries = entries_of(fps);
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  std::uint64_t inserted = 0;
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries), 1024,
+                              &inserted)
+                  .ok());
+  EXPECT_EQ(inserted, 0u);
+  EXPECT_EQ(idx.entry_count(), 100u);
+}
+
+TEST(BulkInsertTest, ReportsFailedEntriesOnFull) {
+  DiskIndex idx = make_index(1, 1);  // 2 buckets x 20 = 40 entries max
+  const auto fps = sorted_fps(0, 60);
+  const auto entries = entries_of(fps);
+
+  std::uint64_t inserted = 0;
+  std::vector<std::size_t> failed;
+  const Status s = idx.bulk_insert(std::span<const IndexEntry>(entries), 1024,
+                                   &inserted, &failed);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kFull);
+  EXPECT_EQ(inserted, 40u);
+  EXPECT_EQ(failed.size(), 20u);
+  EXPECT_TRUE(idx.needs_scaling());
+  // Failed indices reference the input; all others must be findable.
+  std::vector<bool> is_failed(entries.size(), false);
+  for (const std::size_t i : failed) is_failed[i] = true;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(idx.lookup(entries[i].fp).ok(), !is_failed[i]);
+  }
+}
+
+TEST(BulkInsertTest, CrossSpanOverflowComposes) {
+  // Tiny io_buckets force many spans; inserts near span edges overflow
+  // into margin buckets that belong to the next/previous span.
+  DiskIndex idx = make_index(7, 1);
+  const auto fps = sorted_fps(0, 2000);
+  auto entries = entries_of(fps);
+
+  std::uint64_t inserted = 0;
+  const Status s = idx.bulk_insert(std::span<const IndexEntry>(entries), 3,
+                                   &inserted);
+  // 128 buckets x 20 = 2560 capacity; 2000 at 78% may overflow some
+  // neighbourhoods but typically succeeds.
+  if (s.ok()) {
+    EXPECT_EQ(inserted, 2000u);
+  }
+  // Every inserted entry must be findable regardless.
+  std::uint64_t found = 0;
+  for (const IndexEntry& e : entries) {
+    if (idx.lookup(e.fp).ok()) ++found;
+  }
+  EXPECT_EQ(found, inserted);
+}
+
+TEST(BulkLookupTest, FindsExactlyTheInsertedSubset) {
+  DiskIndex idx = make_index(7, 2);
+  const auto all = sorted_fps(0, 1000);
+
+  // Insert even-indexed fingerprints only.
+  std::vector<IndexEntry> entries;
+  for (std::size_t i = 0; i < all.size(); i += 2) {
+    entries.push_back({all[i], ContainerId{i + 1}});
+  }
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  std::vector<std::uint8_t> found(all.size(), 0);
+  std::vector<ContainerId> ids(all.size());
+  ASSERT_TRUE(idx.bulk_lookup(
+                     std::span<const Fingerprint>(all),
+                     [&](std::size_t i, ContainerId id) {
+                       found[i] = 1;
+                       ids[i] = id;
+                     },
+                     16)
+                  .ok());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(found[i], i % 2 == 0 ? 1 : 0) << "index " << i;
+    if (i % 2 == 0) EXPECT_EQ(ids[i], ContainerId{i + 1});
+  }
+}
+
+TEST(BulkLookupTest, RejectsUnsortedInput) {
+  DiskIndex idx = make_index(6);
+  auto fps = sorted_fps(0, 10);
+  std::swap(fps[0], fps[9]);
+  const Status s = idx.bulk_lookup(std::span<const Fingerprint>(fps),
+                                   [](std::size_t, ContainerId) {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kInvalidArgument);
+}
+
+TEST(BulkLookupTest, FindsOverflowedEntries) {
+  DiskIndex idx = make_index(2, 1);
+  const std::uint64_t capacity = idx.params().bucket_capacity();
+  std::vector<Fingerprint> bucket2;
+  for (std::uint64_t i = 0; bucket2.size() < capacity + 4; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    if (idx.bucket_of(fp) == 2) bucket2.push_back(fp);
+  }
+  for (std::size_t i = 0; i < bucket2.size(); ++i) {
+    ASSERT_TRUE(idx.insert(bucket2[i], ContainerId{i + 1}).ok());
+  }
+
+  std::sort(bucket2.begin(), bucket2.end());
+  std::uint64_t found = 0;
+  ASSERT_TRUE(idx.bulk_lookup(
+                     std::span<const Fingerprint>(bucket2),
+                     [&](std::size_t, ContainerId) { ++found; },
+                     3)
+                  .ok());
+  EXPECT_EQ(found, bucket2.size());
+}
+
+TEST(BulkLookupTest, EmptyQueryStillStreamsCleanly) {
+  DiskIndex idx = make_index(6);
+  ASSERT_TRUE(idx.bulk_lookup({}, [](std::size_t, ContainerId) {
+                     FAIL() << "no matches expected";
+                   }).ok());
+}
+
+TEST(BulkOpsTest, SequentialIoPattern) {
+  // SIL must stream: the number of seeks is bounded by the number of
+  // spans (plus one initial positioning), never per-fingerprint.
+  sim::SimClock clock;
+  sim::DiskModel model({.seek_seconds = 0.001, .transfer_bytes_per_sec = 1e9},
+                       &clock);
+  DiskIndex idx = make_index(10, 1, 0, nullptr, &model);
+
+  const auto fps = sorted_fps(0, 5000);
+  const auto entries = entries_of(fps);
+  ASSERT_TRUE(
+      idx.bulk_insert(std::span<const IndexEntry>(entries), 256).ok());
+  const std::uint64_t insert_seeks = model.seeks();
+  // 1024 buckets / 256 per span = 4 spans; each span: one read + one
+  // write positioning (overlap margins step the head back one bucket).
+  EXPECT_LE(insert_seeks, 16u);
+
+  ASSERT_TRUE(idx.bulk_lookup(std::span<const Fingerprint>(fps),
+                              [](std::size_t, ContainerId) {}, 256)
+                  .ok());
+  EXPECT_LE(model.seeks() - insert_seeks, 8u);
+}
+
+TEST(BulkOpsTest, MatchesPointOperationsExactly) {
+  // Property: bulk and point APIs must agree on every fingerprint.
+  DiskIndex bulk_idx = make_index(6, 2);
+  DiskIndex point_idx = make_index(6, 2);
+
+  const auto fps = sorted_fps(100, 400);
+  const auto entries = entries_of(fps, 1000);
+  ASSERT_TRUE(bulk_idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+  for (const IndexEntry& e : entries) {
+    ASSERT_TRUE(point_idx.insert(e.fp, e.container).ok());
+  }
+
+  const auto queries = sorted_fps(0, 600);  // half hit, half miss
+  for (const Fingerprint& fp : queries) {
+    const auto a = bulk_idx.lookup(fp);
+    const auto b = point_idx.lookup(fp);
+    EXPECT_EQ(a.ok(), b.ok());
+    if (a.ok() && b.ok()) EXPECT_EQ(a.value(), b.value());
+  }
+}
+
+}  // namespace
+}  // namespace debar::index

@@ -1,0 +1,242 @@
+#include "index/disk_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::index {
+namespace {
+
+DiskIndex make_index(unsigned prefix_bits, unsigned blocks_per_bucket = 1,
+                     unsigned skip_bits = 0) {
+  Result<DiskIndex> idx = DiskIndex::create(
+      std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = prefix_bits,
+       .skip_bits = skip_bits,
+       .blocks_per_bucket = blocks_per_bucket});
+  EXPECT_TRUE(idx.ok());
+  return std::move(idx).value();
+}
+
+TEST(DiskIndexTest, CreateFormatsDevice) {
+  DiskIndex idx = make_index(6, 2);
+  EXPECT_EQ(idx.device().size(), 64u * 2 * kIndexBlockSize);
+  EXPECT_EQ(idx.entry_count(), 0u);
+  EXPECT_EQ(idx.params().bucket_capacity(), 40u);
+}
+
+TEST(DiskIndexTest, CreateRejectsBadParams) {
+  EXPECT_FALSE(DiskIndex::create(std::make_unique<storage::MemBlockDevice>(),
+                                 {.prefix_bits = 0})
+                   .ok());
+  EXPECT_FALSE(DiskIndex::create(nullptr, {.prefix_bits = 4}).ok());
+  EXPECT_FALSE(DiskIndex::create(std::make_unique<storage::MemBlockDevice>(),
+                                 {.prefix_bits = 40, .skip_bits = 30})
+                   .ok());
+}
+
+TEST(DiskIndexTest, InsertThenLookup) {
+  DiskIndex idx = make_index(8);
+  const Fingerprint fp = Sha1::hash_counter(1);
+  ASSERT_TRUE(idx.insert(fp, ContainerId{7}).ok());
+  EXPECT_EQ(idx.entry_count(), 1u);
+
+  const Result<ContainerId> found = idx.lookup(fp);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), ContainerId{7});
+}
+
+TEST(DiskIndexTest, LookupMissReturnsNotFound) {
+  DiskIndex idx = make_index(8);
+  const auto r = idx.lookup(Sha1::hash_counter(42));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+}
+
+TEST(DiskIndexTest, DuplicateInsertRejected) {
+  DiskIndex idx = make_index(8);
+  const Fingerprint fp = Sha1::hash_counter(2);
+  ASSERT_TRUE(idx.insert(fp, ContainerId{1}).ok());
+  const Status dup = idx.insert(fp, ContainerId{2});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), Errc::kInvalidArgument);
+  EXPECT_EQ(idx.entry_count(), 1u);
+  // Original mapping intact.
+  EXPECT_EQ(idx.lookup(fp).value(), ContainerId{1});
+}
+
+TEST(DiskIndexTest, ManyInsertsAllRetrievable) {
+  DiskIndex idx = make_index(8, 2);
+  constexpr std::uint64_t kN = 2000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(idx.insert(Sha1::hash_counter(i), ContainerId{i + 1}).ok())
+        << "insert " << i;
+  }
+  EXPECT_EQ(idx.entry_count(), kN);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    const auto r = idx.lookup(Sha1::hash_counter(i));
+    ASSERT_TRUE(r.ok()) << "lookup " << i;
+    EXPECT_EQ(r.value(), ContainerId{i + 1});
+  }
+}
+
+TEST(DiskIndexTest, OverflowSpillsToAdjacentBucketAndStaysFindable) {
+  // Tiny index: 4 buckets x 20 entries. Drive one bucket past capacity.
+  DiskIndex idx = make_index(2, 1);
+  const std::uint64_t capacity = idx.params().bucket_capacity();
+
+  // Collect fingerprints that all map to bucket 1.
+  std::vector<Fingerprint> bucket1;
+  for (std::uint64_t i = 0; bucket1.size() < capacity + 5; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    if (idx.bucket_of(fp) == 1) bucket1.push_back(fp);
+  }
+  for (std::size_t i = 0; i < bucket1.size(); ++i) {
+    ASSERT_TRUE(idx.insert(bucket1[i], ContainerId{i + 1}).ok())
+        << "insert " << i << " of " << bucket1.size();
+  }
+  // All are findable, including the 5 that overflowed next door.
+  for (std::size_t i = 0; i < bucket1.size(); ++i) {
+    const auto r = idx.lookup(bucket1[i]);
+    ASSERT_TRUE(r.ok()) << "lookup " << i;
+    EXPECT_EQ(r.value(), ContainerId{i + 1});
+  }
+  // The overflow is visible in the stats.
+  const auto st = idx.stats();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().overflowed_entries, 5u);
+  EXPECT_GE(st.value().full_buckets, 1u);
+}
+
+TEST(DiskIndexTest, ReportsFullWhenNeighbourhoodExhausted) {
+  // 2 buckets only: fill both, then the next insert to either must fail
+  // with kFull and set needs_scaling.
+  DiskIndex idx = make_index(1, 1);
+  const std::uint64_t capacity = idx.params().bucket_capacity();
+
+  std::uint64_t i = 0;
+  Status last = Status::Ok();
+  std::uint64_t inserted = 0;
+  while (inserted < 2 * capacity + 1) {
+    last = idx.insert(Sha1::hash_counter(i), ContainerId{i + 1});
+    ++i;
+    if (last.ok()) {
+      ++inserted;
+    } else {
+      break;
+    }
+  }
+  ASSERT_FALSE(last.ok());
+  EXPECT_EQ(last.code(), Errc::kFull);
+  EXPECT_TRUE(idx.needs_scaling());
+  EXPECT_EQ(idx.entry_count(), 2 * capacity);
+}
+
+TEST(DiskIndexTest, SkipBitsChangeBucketAddressing) {
+  DiskIndex idx = make_index(4, 1, /*skip_bits=*/3);
+  const Fingerprint fp = Sha1::hash_counter(77);
+  // Bucket number must be bits [3, 7) of the fingerprint.
+  const std::uint64_t expect = fp.prefix_bits(7) & 0xF;
+  EXPECT_EQ(idx.bucket_of(fp), expect);
+
+  ASSERT_TRUE(idx.insert(fp, ContainerId{5}).ok());
+  EXPECT_EQ(idx.lookup(fp).value(), ContainerId{5});
+}
+
+TEST(DiskIndexTest, StatsOnEmptyIndex) {
+  DiskIndex idx = make_index(4);
+  const auto st = idx.stats();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().entries, 0u);
+  EXPECT_EQ(st.value().full_buckets, 0u);
+  EXPECT_DOUBLE_EQ(st.value().utilization, 0.0);
+}
+
+TEST(DiskIndexTest, UtilizationTracksEntries) {
+  DiskIndex idx = make_index(4, 1);  // 16 buckets * 20 = 320 capacity
+  for (std::uint64_t i = 0; i < 160; ++i) {
+    ASSERT_TRUE(idx.insert(Sha1::hash_counter(i), ContainerId{i + 1}).ok());
+  }
+  const auto st = idx.stats();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().entries, 160u);
+  EXPECT_NEAR(st.value().utilization, 0.5, 1e-9);
+}
+
+TEST(DiskIndexTest, PersistsAcrossReopen) {
+  // An index formatted on a device can be re-opened by re-creating the
+  // wrapper over the same (already formatted) device image... verified
+  // here at the bucket level: write, then parse the same bucket back.
+  DiskIndex idx = make_index(6, 2);
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    fps.push_back(Sha1::hash_counter(i));
+    ASSERT_TRUE(idx.insert(fps.back(), ContainerId{i + 1}).ok());
+  }
+  for (std::uint64_t b = 0; b < idx.params().bucket_count(); ++b) {
+    const auto bucket = idx.read_bucket(b);
+    ASSERT_TRUE(bucket.ok());
+    for (const IndexEntry& e : bucket.value().entries) {
+      EXPECT_EQ(idx.lookup(e.fp).value(), e.container);
+    }
+  }
+}
+
+TEST(DiskIndexTest, OpenReattachesFormattedDevice) {
+  // create() on one device, then open() over its image: every entry is
+  // findable and the recovered entry count matches.
+  auto device = std::make_unique<storage::MemBlockDevice>();
+  storage::MemBlockDevice* raw = device.get();
+  const DiskIndexParams params{.prefix_bits = 6, .blocks_per_bucket = 2};
+  auto created = DiskIndex::create(std::move(device), params);
+  ASSERT_TRUE(created.ok());
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(created.value().insert(Sha1::hash_counter(i),
+                                       ContainerId{i + 1}).ok());
+  }
+  // Snapshot the image while the index is alive, then "restart".
+  std::vector<Byte> image(raw->contents().begin(), raw->contents().end());
+  auto clone = std::make_unique<storage::MemBlockDevice>();
+  ASSERT_TRUE(clone->write(0, ByteSpan(image.data(), image.size())).ok());
+
+  auto reopened = DiskIndex::open(std::move(clone), params);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_EQ(reopened.value().entry_count(), 120u);
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    EXPECT_EQ(reopened.value().lookup(Sha1::hash_counter(i)).value(),
+              ContainerId{i + 1});
+  }
+  // The reopened index accepts new work.
+  ASSERT_TRUE(reopened.value()
+                  .insert(Sha1::hash_counter(1000), ContainerId{777})
+                  .ok());
+}
+
+TEST(DiskIndexTest, OpenRejectsSizeMismatch) {
+  auto small = std::make_unique<storage::MemBlockDevice>(1024);
+  const auto r =
+      DiskIndex::open(std::move(small), {.prefix_bits = 6,
+                                         .blocks_per_bucket = 2});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kCorrupt);
+}
+
+class BucketSizeParamTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BucketSizeParamTest, InsertLookupAcrossBucketSizes) {
+  // Bucket sizes 0.5 KiB .. 16 KiB (1..32 blocks), as Table 2 sweeps.
+  DiskIndex idx = make_index(5, GetParam());
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    ASSERT_TRUE(idx.insert(Sha1::hash_counter(i), ContainerId{i + 1}).ok());
+  }
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    EXPECT_EQ(idx.lookup(Sha1::hash_counter(i)).value(), ContainerId{i + 1});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BucketSizes, BucketSizeParamTest,
+                         ::testing::Values(1, 2, 4, 16, 32));
+
+}  // namespace
+}  // namespace debar::index

@@ -1,0 +1,157 @@
+// bulk_erase: the sequential deletion pass used by the garbage collector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/sha1.hpp"
+#include "index/disk_index.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::index {
+namespace {
+
+DiskIndex make_index(unsigned prefix_bits, unsigned blocks = 2) {
+  auto idx = DiskIndex::create(std::make_unique<storage::MemBlockDevice>(),
+                               {.prefix_bits = prefix_bits,
+                                .blocks_per_bucket = blocks});
+  EXPECT_TRUE(idx.ok());
+  return std::move(idx).value();
+}
+
+std::vector<IndexEntry> seed(DiskIndex& idx, std::uint64_t count) {
+  std::vector<IndexEntry> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries.push_back({Sha1::hash_counter(i), ContainerId{i + 1}});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  EXPECT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+  return entries;
+}
+
+TEST(BulkEraseTest, ErasesExactlyTheRequestedSet) {
+  DiskIndex idx = make_index(6);
+  const auto entries = seed(idx, 300);
+
+  std::vector<Fingerprint> victims;
+  for (std::size_t i = 0; i < entries.size(); i += 3) {
+    victims.push_back(entries[i].fp);
+  }
+  std::uint64_t erased = 0;
+  ASSERT_TRUE(idx.bulk_erase(std::span<const Fingerprint>(victims), 8,
+                             &erased)
+                  .ok());
+  EXPECT_EQ(erased, victims.size());
+  EXPECT_EQ(idx.entry_count(), 300 - victims.size());
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const bool should_exist = i % 3 != 0;
+    EXPECT_EQ(idx.lookup(entries[i].fp).ok(), should_exist) << i;
+  }
+}
+
+TEST(BulkEraseTest, AbsentFingerprintsAreSkipped) {
+  DiskIndex idx = make_index(6);
+  seed(idx, 50);
+  std::vector<Fingerprint> victims = {Sha1::hash_counter(10000),
+                                      Sha1::hash_counter(10001)};
+  std::sort(victims.begin(), victims.end());
+  std::uint64_t erased = 7;
+  ASSERT_TRUE(
+      idx.bulk_erase(std::span<const Fingerprint>(victims), 1024, &erased)
+          .ok());
+  EXPECT_EQ(erased, 0u);
+  EXPECT_EQ(idx.entry_count(), 50u);
+}
+
+TEST(BulkEraseTest, RejectsUnsortedInput) {
+  DiskIndex idx = make_index(6);
+  const auto entries = seed(idx, 10);
+  std::vector<Fingerprint> victims = {entries[5].fp, entries[1].fp};
+  const Status s = idx.bulk_erase(std::span<const Fingerprint>(victims));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kInvalidArgument);
+}
+
+TEST(BulkEraseTest, ErasesOverflowedEntries) {
+  DiskIndex idx = make_index(2, 1);
+  const std::uint64_t cap = idx.params().bucket_capacity();
+  std::vector<Fingerprint> bucket1;
+  for (std::uint64_t i = 0; bucket1.size() < cap + 5; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    if (idx.bucket_of(fp) == 1) bucket1.push_back(fp);
+  }
+  for (std::size_t i = 0; i < bucket1.size(); ++i) {
+    ASSERT_TRUE(idx.insert(bucket1[i], ContainerId{i + 1}).ok());
+  }
+  std::sort(bucket1.begin(), bucket1.end());
+  std::uint64_t erased = 0;
+  ASSERT_TRUE(idx.bulk_erase(std::span<const Fingerprint>(bucket1), 3,
+                             &erased)
+                  .ok());
+  EXPECT_EQ(erased, bucket1.size());
+  EXPECT_EQ(idx.entry_count(), 0u);
+}
+
+TEST(BulkEraseTest, StrandedOverflowEntriesStayFindable) {
+  // Fill a bucket so entries overflow, then erase only home-resident
+  // entries: the survivors stranded in neighbours must still be found by
+  // lookups even though the home bucket is no longer full.
+  DiskIndex idx = make_index(2, 1);
+  const std::uint64_t cap = idx.params().bucket_capacity();
+  std::vector<Fingerprint> bucket1;
+  for (std::uint64_t i = 0; bucket1.size() < cap + 5; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    if (idx.bucket_of(fp) == 1) bucket1.push_back(fp);
+  }
+  for (std::size_t i = 0; i < bucket1.size(); ++i) {
+    ASSERT_TRUE(idx.insert(bucket1[i], ContainerId{i + 1}).ok());
+  }
+  // Find which entries reside in the home bucket right now.
+  const auto home = idx.read_bucket(1);
+  ASSERT_TRUE(home.ok());
+  std::vector<Fingerprint> residents;
+  for (const IndexEntry& e : home.value().entries) residents.push_back(e.fp);
+  ASSERT_EQ(residents.size(), cap);
+  // Erase most home residents, leaving the overflowed ones stranded.
+  residents.resize(cap - 2);
+  std::sort(residents.begin(), residents.end());
+  ASSERT_TRUE(
+      idx.bulk_erase(std::span<const Fingerprint>(residents), 3).ok());
+
+  // Every surviving fingerprint — including those in neighbours next to
+  // a now non-full home — must be found by point and bulk lookups.
+  std::vector<Fingerprint> survivors;
+  for (const Fingerprint& fp : bucket1) {
+    if (!std::binary_search(residents.begin(), residents.end(), fp)) {
+      survivors.push_back(fp);
+    }
+  }
+  std::sort(survivors.begin(), survivors.end());
+  for (const Fingerprint& fp : survivors) {
+    EXPECT_TRUE(idx.lookup(fp).ok());
+  }
+  std::uint64_t found = 0;
+  ASSERT_TRUE(idx.bulk_lookup(std::span<const Fingerprint>(survivors),
+                              [&](std::size_t, ContainerId) { ++found; }, 3)
+                  .ok());
+  EXPECT_EQ(found, survivors.size());
+}
+
+TEST(BulkEraseTest, ReinsertAfterEraseWorks) {
+  DiskIndex idx = make_index(6);
+  const auto entries = seed(idx, 100);
+  std::vector<Fingerprint> all;
+  for (const IndexEntry& e : entries) all.push_back(e.fp);
+  ASSERT_TRUE(idx.bulk_erase(std::span<const Fingerprint>(all)).ok());
+  EXPECT_EQ(idx.entry_count(), 0u);
+
+  // Fresh inserts of the same fingerprints succeed with new mappings.
+  for (std::size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(idx.insert(entries[i].fp, ContainerId{999}).ok());
+    EXPECT_EQ(idx.lookup(entries[i].fp).value(), ContainerId{999});
+  }
+}
+
+}  // namespace
+}  // namespace debar::index

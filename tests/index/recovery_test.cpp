@@ -1,0 +1,192 @@
+#include "index/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+
+namespace debar::index {
+namespace {
+
+storage::Container make_container(std::uint64_t fp_base, std::size_t chunks) {
+  storage::Container c(256 * 1024);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(fp_base + i);
+    const auto payload = core::BackupEngine::synthetic_payload(fp, 512);
+    c.try_append(fp, ByteSpan(payload.data(), payload.size()));
+  }
+  return c;
+}
+
+TEST(IndexRecoveryTest, RebuildsExactMappingFromContainers) {
+  storage::ChunkRepository repo(2);
+  std::vector<std::pair<Fingerprint, ContainerId>> truth;
+  for (int c = 0; c < 6; ++c) {
+    const std::uint64_t base = static_cast<std::uint64_t>(c) * 100;
+    const ContainerId id = repo.append(make_container(base, 40));
+    for (std::size_t i = 0; i < 40; ++i) {
+      truth.emplace_back(Sha1::hash_counter(base + i), id);
+    }
+  }
+
+  RecoveryStats stats;
+  Result<DiskIndex> rebuilt = rebuild_index(
+      repo, std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = 8, .blocks_per_bucket = 2}, &stats);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.error().to_string();
+
+  EXPECT_EQ(stats.containers_scanned, 6u);
+  EXPECT_EQ(stats.entries_recovered, 240u);
+  EXPECT_EQ(stats.duplicate_fingerprints, 0u);
+  EXPECT_EQ(rebuilt.value().entry_count(), 240u);
+  for (const auto& [fp, id] : truth) {
+    const auto r = rebuilt.value().lookup(fp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), id);
+  }
+}
+
+TEST(IndexRecoveryTest, DuplicateFingerprintsResolveToLowestContainer) {
+  storage::ChunkRepository repo(1);
+  const ContainerId first = repo.append(make_container(0, 20));
+  const ContainerId second = repo.append(make_container(0, 20));  // same fps
+  ASSERT_LT(first, second);
+
+  RecoveryStats stats;
+  Result<DiskIndex> rebuilt = rebuild_index(
+      repo, std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = 6, .blocks_per_bucket = 2}, &stats);
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(stats.duplicate_fingerprints, 20u);
+  EXPECT_EQ(rebuilt.value().entry_count(), 20u);
+  EXPECT_EQ(rebuilt.value().lookup(Sha1::hash_counter(0)).value(), first);
+}
+
+TEST(IndexRecoveryTest, EmptyRepositoryYieldsEmptyIndex) {
+  storage::ChunkRepository repo(1);
+  Result<DiskIndex> rebuilt = rebuild_index(
+      repo, std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = 6, .blocks_per_bucket = 1});
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value().entry_count(), 0u);
+}
+
+TEST(IndexRecoveryTest, RecoveredIndexMatchesLiveIndexAfterRealBackups) {
+  // Full-system disaster drill: run backups, destroy the index, rebuild
+  // it from the repository, and check every mapping agrees.
+  storage::ChunkRepository repo(2);
+  core::Director director;
+  core::BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 8, .blocks_per_bucket = 2};
+  cfg.chunk_store.siu_threshold = 1;
+  core::BackupServer server(0, cfg, &repo, &director);
+  core::BackupEngine engine("client", &director);
+
+  const std::uint64_t job = director.define_job("client", "d");
+  core::FileStore& fs = server.file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = 300 * 1024, .mtime = 0, .mode = 0644});
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    fps.push_back(fp);
+    if (fs.offer_fingerprint(fp, 1024)) {
+      const auto payload = core::BackupEngine::synthetic_payload(fp, 1024);
+      ASSERT_TRUE(
+          fs.receive_chunk(fp, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+  ASSERT_TRUE(server.run_dedup2(true).ok());
+
+  Result<DiskIndex> rebuilt = rebuild_index(
+      repo, std::make_unique<storage::MemBlockDevice>(),
+      cfg.index_params);
+  ASSERT_TRUE(rebuilt.ok());
+  for (const Fingerprint& fp : fps) {
+    const auto live = server.chunk_store().index().lookup(fp);
+    const auto recovered = rebuilt.value().lookup(fp);
+    ASSERT_TRUE(live.ok());
+    ASSERT_TRUE(recovered.ok());
+    EXPECT_EQ(live.value(), recovered.value());
+  }
+}
+
+TEST(BulkUpdateTest, OverwritesExistingMappings) {
+  auto idx = DiskIndex::create(std::make_unique<storage::MemBlockDevice>(),
+                               {.prefix_bits = 6, .blocks_per_bucket = 2});
+  ASSERT_TRUE(idx.ok());
+
+  std::vector<IndexEntry> entries;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    entries.push_back({Sha1::hash_counter(i), ContainerId{1}});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  ASSERT_TRUE(idx.value().bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  // Re-map the even half to container 2.
+  std::vector<IndexEntry> updates;
+  for (std::size_t i = 0; i < entries.size(); i += 2) {
+    updates.push_back({entries[i].fp, ContainerId{2}});
+  }
+  std::uint64_t missing = 0;
+  ASSERT_TRUE(idx.value()
+                  .bulk_update(std::span<const IndexEntry>(updates), 8,
+                               &missing)
+                  .ok());
+  EXPECT_EQ(missing, 0u);
+
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto r = idx.value().lookup(entries[i].fp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), i % 2 == 0 ? ContainerId{2} : ContainerId{1});
+  }
+  EXPECT_EQ(idx.value().entry_count(), 200u);  // update adds nothing
+}
+
+TEST(BulkUpdateTest, CountsMissingFingerprints) {
+  auto idx = DiskIndex::create(std::make_unique<storage::MemBlockDevice>(),
+                               {.prefix_bits = 6, .blocks_per_bucket = 2});
+  ASSERT_TRUE(idx.ok());
+  std::vector<IndexEntry> updates = {{Sha1::hash_counter(1), ContainerId{9}}};
+  std::uint64_t missing = 0;
+  ASSERT_TRUE(idx.value()
+                  .bulk_update(std::span<const IndexEntry>(updates), 1024,
+                               &missing)
+                  .ok());
+  EXPECT_EQ(missing, 1u);
+  EXPECT_FALSE(idx.value().lookup(Sha1::hash_counter(1)).ok());
+}
+
+TEST(BulkUpdateTest, UpdatesOverflowedEntries) {
+  auto idx = DiskIndex::create(std::make_unique<storage::MemBlockDevice>(),
+                               {.prefix_bits = 2, .blocks_per_bucket = 1});
+  ASSERT_TRUE(idx.ok());
+  const std::uint64_t cap = idx.value().params().bucket_capacity();
+  std::vector<Fingerprint> bucket1;
+  for (std::uint64_t i = 0; bucket1.size() < cap + 4; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    if (idx.value().bucket_of(fp) == 1) bucket1.push_back(fp);
+  }
+  for (std::size_t i = 0; i < bucket1.size(); ++i) {
+    ASSERT_TRUE(idx.value().insert(bucket1[i], ContainerId{1}).ok());
+  }
+
+  std::sort(bucket1.begin(), bucket1.end());
+  std::vector<IndexEntry> updates;
+  for (const Fingerprint& fp : bucket1) updates.push_back({fp, ContainerId{7}});
+  std::uint64_t missing = 0;
+  ASSERT_TRUE(idx.value()
+                  .bulk_update(std::span<const IndexEntry>(updates), 3,
+                               &missing)
+                  .ok());
+  EXPECT_EQ(missing, 0u);
+  for (const Fingerprint& fp : bucket1) {
+    EXPECT_EQ(idx.value().lookup(fp).value(), ContainerId{7});
+  }
+}
+
+}  // namespace
+}  // namespace debar::index

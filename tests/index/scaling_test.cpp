@@ -1,0 +1,204 @@
+// Capacity scaling (2^n -> 2^{n+1}) and performance scaling (split into
+// 2^w parts) — Section 4.1's two scaling properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/sha1.hpp"
+#include "index/disk_index.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::index {
+namespace {
+
+DiskIndex make_index(unsigned prefix_bits, unsigned blocks = 1) {
+  Result<DiskIndex> idx = DiskIndex::create(
+      std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = prefix_bits, .blocks_per_bucket = blocks});
+  EXPECT_TRUE(idx.ok());
+  return std::move(idx).value();
+}
+
+std::vector<IndexEntry> make_entries(std::uint64_t count) {
+  std::vector<IndexEntry> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    entries.push_back({Sha1::hash_counter(i), ContainerId{i + 1}});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  return entries;
+}
+
+TEST(CapacityScalingTest, DoublesBucketsAndKeepsEveryEntry) {
+  DiskIndex idx = make_index(5, 1);
+  const auto entries = make_entries(400);
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  Result<DiskIndex> scaled =
+      idx.scaled(std::make_unique<storage::MemBlockDevice>());
+  ASSERT_TRUE(scaled.ok()) << scaled.error().to_string();
+
+  EXPECT_EQ(scaled.value().params().prefix_bits, 6u);
+  EXPECT_EQ(scaled.value().entry_count(), 400u);
+  for (const IndexEntry& e : entries) {
+    const auto r = scaled.value().lookup(e.fp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), e.container);
+  }
+}
+
+TEST(CapacityScalingTest, RehomesOverflowedEntries) {
+  // Fill one bucket past capacity so entries overflow, then scale: in the
+  // doubled index every entry must sit in its true home bucket again.
+  DiskIndex idx = make_index(2, 1);
+  const std::uint64_t capacity = idx.params().bucket_capacity();
+  std::vector<Fingerprint> victims;
+  for (std::uint64_t i = 0; victims.size() < capacity + 6; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    if (idx.bucket_of(fp) == 1) victims.push_back(fp);
+  }
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    ASSERT_TRUE(idx.insert(victims[i], ContainerId{i + 1}).ok());
+  }
+  ASSERT_GT(idx.stats().value().overflowed_entries, 0u);
+
+  Result<DiskIndex> scaled =
+      idx.scaled(std::make_unique<storage::MemBlockDevice>());
+  ASSERT_TRUE(scaled.ok());
+  // Halved load per bucket: nothing should remain overflowed.
+  EXPECT_EQ(scaled.value().stats().value().overflowed_entries, 0u);
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    EXPECT_EQ(scaled.value().lookup(victims[i]).value(), ContainerId{i + 1});
+  }
+}
+
+TEST(CapacityScalingTest, ScaledIndexAcceptsMoreEntries) {
+  DiskIndex idx = make_index(1, 1);  // 40-entry capacity
+  auto entries = make_entries(40);
+  std::uint64_t inserted = 0;
+  // May return kFull near the end; insert what fits.
+  (void)idx.bulk_insert(std::span<const IndexEntry>(entries), 1024, &inserted);
+  ASSERT_GT(inserted, 30u);
+
+  Result<DiskIndex> scaled =
+      idx.scaled(std::make_unique<storage::MemBlockDevice>());
+  ASSERT_TRUE(scaled.ok());
+  // New entries fit now.
+  const auto more = make_entries(60);
+  std::uint64_t more_inserted = 0;
+  (void)scaled.value().bulk_insert(std::span<const IndexEntry>(more), 1024,
+                                   &more_inserted);
+  EXPECT_GT(scaled.value().entry_count(), inserted);
+}
+
+TEST(PerformanceScalingTest, SplitPartitionsByPrefix) {
+  DiskIndex idx = make_index(6, 1);
+  const auto entries = make_entries(600);
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+  for (int i = 0; i < 4; ++i) {
+    devices.push_back(std::make_unique<storage::MemBlockDevice>());
+  }
+  Result<std::vector<DiskIndex>> parts = idx.split(std::move(devices));
+  ASSERT_TRUE(parts.ok()) << parts.error().to_string();
+  ASSERT_EQ(parts.value().size(), 4u);
+
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < 4; ++k) {
+    const DiskIndex& part = parts.value()[k];
+    EXPECT_EQ(part.params().prefix_bits, 4u);
+    EXPECT_EQ(part.params().skip_bits, 2u);
+    total += part.entry_count();
+  }
+  EXPECT_EQ(total, 600u);
+
+  // Every entry is findable in exactly the part its first 2 bits name.
+  for (const IndexEntry& e : entries) {
+    const std::size_t owner =
+        static_cast<std::size_t>(e.fp.prefix_bits(2));
+    const auto r = parts.value()[owner].lookup(e.fp);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), e.container);
+    // And absent from every other part.
+    for (std::size_t k = 0; k < 4; ++k) {
+      if (k != owner) EXPECT_FALSE(parts.value()[k].lookup(e.fp).ok());
+    }
+  }
+}
+
+TEST(PerformanceScalingTest, SplitValidation) {
+  DiskIndex idx = make_index(3, 1);
+  std::vector<std::unique_ptr<storage::BlockDevice>> three;
+  for (int i = 0; i < 3; ++i) {
+    three.push_back(std::make_unique<storage::MemBlockDevice>());
+  }
+  EXPECT_FALSE(idx.split(std::move(three)).ok());  // not a power of two
+
+  std::vector<std::unique_ptr<storage::BlockDevice>> too_many;
+  for (int i = 0; i < 8; ++i) {
+    too_many.push_back(std::make_unique<storage::MemBlockDevice>());
+  }
+  EXPECT_FALSE(idx.split(std::move(too_many)).ok());  // w == n
+}
+
+TEST(PerformanceScalingTest, SplitPartsSupportBulkOps) {
+  DiskIndex idx = make_index(6, 1);
+  const auto entries = make_entries(300);
+  ASSERT_TRUE(idx.bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+  for (int i = 0; i < 2; ++i) {
+    devices.push_back(std::make_unique<storage::MemBlockDevice>());
+  }
+  Result<std::vector<DiskIndex>> parts = idx.split(std::move(devices));
+  ASSERT_TRUE(parts.ok());
+
+  // Bulk-lookup each part with its own slice of the sorted fingerprints —
+  // exactly what PSIL does after the exchange.
+  for (std::size_t k = 0; k < 2; ++k) {
+    std::vector<Fingerprint> subset;
+    for (const IndexEntry& e : entries) {
+      if (e.fp.prefix_bits(1) == k) subset.push_back(e.fp);
+    }
+    std::sort(subset.begin(), subset.end());
+    std::uint64_t found = 0;
+    ASSERT_TRUE(parts.value()[k]
+                    .bulk_lookup(std::span<const Fingerprint>(subset),
+                                 [&](std::size_t, ContainerId) { ++found; })
+                    .ok());
+    EXPECT_EQ(found, subset.size());
+  }
+}
+
+TEST(ScalingCompositionTest, ScaleThenSplitThenLookup) {
+  // The full lifecycle a growing deployment follows: capacity-scale,
+  // then split across servers, with no entry lost at any step.
+  DiskIndex idx = make_index(4, 1);
+  const auto entries = make_entries(250);
+  std::uint64_t inserted = 0;
+  (void)idx.bulk_insert(std::span<const IndexEntry>(entries), 1024, &inserted);
+
+  Result<DiskIndex> scaled =
+      idx.scaled(std::make_unique<storage::MemBlockDevice>());
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled.value().entry_count(), inserted);
+
+  std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+  for (int i = 0; i < 2; ++i) {
+    devices.push_back(std::make_unique<storage::MemBlockDevice>());
+  }
+  Result<std::vector<DiskIndex>> parts =
+      scaled.value().split(std::move(devices));
+  ASSERT_TRUE(parts.ok());
+  std::uint64_t found = 0;
+  for (const IndexEntry& e : entries) {
+    const std::size_t owner = static_cast<std::size_t>(e.fp.prefix_bits(1));
+    if (parts.value()[owner].lookup(e.fp).ok()) ++found;
+  }
+  EXPECT_EQ(found, inserted);
+}
+
+}  // namespace
+}  // namespace debar::index

@@ -1,0 +1,140 @@
+// Full single-server pipeline: client chunking -> dedup-1 filtering ->
+// chunk log -> SIL -> containers -> SIU -> restore, over multiple backup
+// generations.
+#include <gtest/gtest.h>
+
+#include "core/backup_engine.hpp"
+#include "workload/file_tree.hpp"
+
+namespace debar {
+namespace {
+
+core::BackupServerConfig server_config() {
+  core::BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 10, .blocks_per_bucket = 2};
+  cfg.filter_params = {.hash_bits = 10, .capacity = 1 << 20};
+  cfg.chunk_store.cache_params = {.hash_bits = 8, .capacity = 1 << 22};
+  cfg.chunk_store.io_buckets = 64;
+  cfg.chunk_store.siu_threshold = 1;
+  return cfg;
+}
+
+TEST(EndToEndTest, ThirtyDayIncrementalChainRestoresEveryVersion) {
+  storage::ChunkRepository repo(2);
+  core::Director director;
+  core::BackupServer server(0, server_config(), &repo, &director);
+  core::BackupEngine engine("client", &director);
+
+  const std::uint64_t job = director.define_job("client", "tree");
+
+  std::vector<core::Dataset> versions;
+  versions.push_back(workload::make_dataset(
+      {.files = 8, .mean_file_bytes = 96 * KiB, .seed = 100}));
+  for (int day = 1; day < 6; ++day) {
+    versions.push_back(workload::mutate_dataset(
+        versions.back(), {.seed = 100u + static_cast<std::uint64_t>(day)}));
+  }
+
+  std::uint64_t total_logical = 0, total_transferred = 0;
+  for (const auto& version : versions) {
+    const auto stats = engine.run_backup(job, version, server.file_store());
+    ASSERT_TRUE(stats.ok()) << stats.error().to_string();
+    total_logical += stats.value().logical_bytes;
+    total_transferred += stats.value().transferred_bytes;
+    ASSERT_TRUE(server.run_dedup2(/*force_siu=*/true).ok());
+  }
+
+  // Dedup saves real space: transferred << logical across the chain.
+  EXPECT_LT(total_transferred, total_logical / 2);
+  // Physical bytes in the repository are bounded by transferred bytes.
+  EXPECT_LE(repo.stored_bytes(), total_transferred);
+
+  // Every version restores byte-exactly.
+  for (std::uint32_t v = 1; v <= versions.size(); ++v) {
+    const auto restored = engine.restore(job, v, server, /*verify=*/true);
+    ASSERT_TRUE(restored.ok())
+        << "version " << v << ": " << restored.error().to_string();
+    const core::Dataset& expect = versions[v - 1];
+    ASSERT_EQ(restored.value().files.size(), expect.files.size());
+    for (std::size_t i = 0; i < expect.files.size(); ++i) {
+      ASSERT_EQ(restored.value().files[i].content, expect.files[i].content)
+          << "version " << v << " file " << expect.files[i].path;
+    }
+  }
+}
+
+TEST(EndToEndTest, DeferredSiuAcrossManyRounds) {
+  // SIU deferral (one SIU serving many SILs) must never lose data or
+  // store duplicates.
+  storage::ChunkRepository repo(1);
+  core::Director director;
+  core::BackupServerConfig cfg = server_config();
+  cfg.chunk_store.siu_threshold = 1 << 30;  // force deferral
+  core::BackupServer server(0, cfg, &repo, &director);
+  core::BackupEngine engine("client", &director);
+
+  const std::uint64_t job = director.define_job("client", "tree");
+  auto dataset = workload::make_dataset(
+      {.files = 4, .mean_file_bytes = 64 * KiB, .seed = 200});
+
+  std::uint64_t expected_distinct = 0;
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(engine.run_backup(job, dataset, server.file_store()).ok());
+    const auto r = server.run_dedup2(/*force_siu=*/false);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().ran_siu);
+    if (round == 0) {
+      expected_distinct = r.value().new_chunks;
+    } else {
+      // Identical dataset: the pending (checking) set must resolve all.
+      EXPECT_EQ(r.value().new_chunks, 0u) << "round " << round;
+    }
+    dataset = workload::mutate_dataset(
+        dataset, {.seed = 300u + static_cast<std::uint64_t>(round),
+                  .edits_per_file = 0.0, .rewrite_fraction = 0.0,
+                  .churn_fraction = 0.0});  // identity mutation
+  }
+  EXPECT_GT(expected_distinct, 0u);
+  EXPECT_EQ(server.chunk_store().pending_count(), expected_distinct);
+
+  // Final SIU lands everything exactly once.
+  const auto siu = server.chunk_store().siu();
+  ASSERT_TRUE(siu.ok());
+  EXPECT_EQ(siu.value().inserted, expected_distinct);
+  EXPECT_EQ(server.chunk_store().index().entry_count(), expected_distinct);
+
+  // All four versions restore.
+  for (std::uint32_t v = 1; v <= 4; ++v) {
+    ASSERT_TRUE(engine.restore(job, v, server, true).ok()) << v;
+  }
+}
+
+TEST(EndToEndTest, CapacityScalingMidLifeIsTransparent) {
+  // A deliberately tiny index forces capacity scaling during normal
+  // operation; all data must remain restorable afterwards.
+  storage::ChunkRepository repo(1);
+  core::Director director;
+  core::BackupServerConfig cfg = server_config();
+  cfg.index_params = {.prefix_bits = 3, .blocks_per_bucket = 1};  // 160 entries
+  core::BackupServer server(0, cfg, &repo, &director);
+  core::BackupEngine engine("client", &director);
+
+  const std::uint64_t job = director.define_job("client", "tree");
+  const auto dataset = workload::make_dataset(
+      {.files = 10, .mean_file_bytes = 256 * KiB, .seed = 400,
+       .shared_fraction = 0.0});
+  ASSERT_TRUE(engine.run_backup(job, dataset, server.file_store()).ok());
+  ASSERT_TRUE(server.run_dedup2(true).ok());
+
+  // The index must have scaled beyond its initial 8 buckets.
+  EXPECT_GT(server.chunk_store().index().params().prefix_bits, 3u);
+
+  const auto restored = engine.restore(job, 1, server, true);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  for (std::size_t i = 0; i < dataset.files.size(); ++i) {
+    ASSERT_EQ(restored.value().files[i].content, dataset.files[i].content);
+  }
+}
+
+}  // namespace
+}  // namespace debar

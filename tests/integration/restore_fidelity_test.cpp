@@ -1,0 +1,104 @@
+// Property-style restore fidelity sweeps: whatever goes in must come out
+// byte-exact, across dataset shapes, chunker parameters, and cache sizes.
+#include <gtest/gtest.h>
+
+#include "core/backup_engine.hpp"
+#include "workload/file_tree.hpp"
+
+namespace debar {
+namespace {
+
+struct FidelityCase {
+  std::size_t files;
+  std::uint64_t mean_file_bytes;
+  double shared_fraction;
+  std::size_t lpc_containers;
+  std::uint64_t container_capacity;
+};
+
+class RestoreFidelityTest : public ::testing::TestWithParam<FidelityCase> {};
+
+TEST_P(RestoreFidelityTest, RoundTripsByteExact) {
+  const FidelityCase& param = GetParam();
+
+  core::BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 9, .blocks_per_bucket = 2};
+  cfg.filter_params = {.hash_bits = 10, .capacity = 1 << 20};
+  cfg.chunk_store.cache_params = {.hash_bits = 8, .capacity = 1 << 22};
+  cfg.chunk_store.io_buckets = 32;
+  cfg.chunk_store.siu_threshold = 1;
+  cfg.chunk_store.lpc_containers = param.lpc_containers;
+  cfg.container_capacity = param.container_capacity;
+
+  storage::ChunkRepository repo(2);
+  core::Director director;
+  core::BackupServer server(0, cfg, &repo, &director);
+  core::BackupEngine engine("client", &director);
+
+  const auto dataset = workload::make_dataset(
+      {.files = param.files,
+       .mean_file_bytes = param.mean_file_bytes,
+       .seed = 31 + param.files,
+       .shared_fraction = param.shared_fraction});
+  const std::uint64_t job = director.define_job("client", "d");
+
+  ASSERT_TRUE(engine.run_backup(job, dataset, server.file_store()).ok());
+  ASSERT_TRUE(server.run_dedup2(true).ok());
+
+  const auto restored = engine.restore(job, 1, server, /*verify=*/true);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  ASSERT_EQ(restored.value().files.size(), dataset.files.size());
+  for (std::size_t i = 0; i < dataset.files.size(); ++i) {
+    ASSERT_EQ(restored.value().files[i].content, dataset.files[i].content)
+        << dataset.files[i].path;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RestoreFidelityTest,
+    ::testing::Values(
+        // Small files, no sharing, tiny LPC (stress eviction).
+        FidelityCase{12, 32 * KiB, 0.0, 1, 256 * KiB},
+        // Medium files with heavy sharing.
+        FidelityCase{8, 128 * KiB, 0.8, 4, 1 * MiB},
+        // Large-ish files, small containers (many seals).
+        FidelityCase{4, 512 * KiB, 0.3, 2, 128 * KiB},
+        // Many tiny files.
+        FidelityCase{48, 8 * KiB, 0.5, 4, 512 * KiB}));
+
+class ChunkerFidelityTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChunkerFidelityTest, AnyExpectedChunkSizeRoundTrips) {
+  const std::uint64_t expected = GetParam();
+  chunking::CdcParams cdc;
+  cdc.expected_size = expected;
+  cdc.min_size = expected / 4;
+  cdc.max_size = expected * 8;
+
+  core::BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 9, .blocks_per_bucket = 2};
+  cfg.chunk_store.siu_threshold = 1;
+  storage::ChunkRepository repo(1);
+  core::Director director;
+  core::BackupServer server(0, cfg, &repo, &director);
+  core::BackupEngine engine("client", &director, cdc);
+
+  const auto dataset = workload::make_dataset(
+      {.files = 5, .mean_file_bytes = 128 * KiB, .seed = 77});
+  const std::uint64_t job = director.define_job("client", "d");
+  ASSERT_TRUE(engine.run_backup(job, dataset, server.file_store()).ok());
+  ASSERT_TRUE(server.run_dedup2(true).ok());
+
+  const auto restored = engine.restore(job, 1, server, true);
+  ASSERT_TRUE(restored.ok());
+  for (std::size_t i = 0; i < dataset.files.size(); ++i) {
+    ASSERT_EQ(restored.value().files[i].content, dataset.files[i].content);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkerFidelityTest,
+                         ::testing::Values(1024, 4096, 8192, 32768));
+
+}  // namespace
+}  // namespace debar

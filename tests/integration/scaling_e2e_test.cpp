@@ -1,0 +1,136 @@
+// The paper's mode-ladder (Section 6.2): a running system grows by
+// capacity scaling (bigger index) and performance scaling (splitting the
+// index over more servers) without losing data.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+#include "common/sha1.hpp"
+#include "index/disk_index.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar {
+namespace {
+
+TEST(ScalingE2eTest, ModeLadderPreservesEveryEntry) {
+  // Start with one 2^8-bucket index; insert; capacity-scale twice; split
+  // into 2, then 4 parts; verify all entries at every rung.
+  auto idx = index::DiskIndex::create(
+      std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = 8, .blocks_per_bucket = 1});
+  ASSERT_TRUE(idx.ok());
+
+  std::vector<IndexEntry> entries;
+  for (std::uint64_t i = 0; i < 3000; ++i) {
+    entries.push_back({Sha1::hash_counter(i), ContainerId{i + 1}});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  ASSERT_TRUE(
+      idx.value().bulk_insert(std::span<const IndexEntry>(entries)).ok());
+
+  auto verify_all = [&](const std::vector<index::DiskIndex>& parts,
+                        unsigned w) {
+    for (const IndexEntry& e : entries) {
+      const std::size_t owner =
+          w == 0 ? 0 : static_cast<std::size_t>(e.fp.prefix_bits(w));
+      const auto r = parts[owner].lookup(e.fp);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r.value(), e.container);
+    }
+  };
+
+  // (1, 2^8) -> (1, 2^9): capacity scaling.
+  auto scaled1 = idx.value().scaled(std::make_unique<storage::MemBlockDevice>());
+  ASSERT_TRUE(scaled1.ok());
+  {
+    std::vector<index::DiskIndex> single;
+    single.push_back(std::move(scaled1).value());
+    verify_all(single, 0);
+    scaled1 = Result<index::DiskIndex>(std::move(single[0]));
+  }
+
+  // (1, 2^9) -> (2, 2^8): performance scaling.
+  std::vector<std::unique_ptr<storage::BlockDevice>> two;
+  for (int i = 0; i < 2; ++i) two.push_back(std::make_unique<storage::MemBlockDevice>());
+  auto parts2 = scaled1.value().split(std::move(two));
+  ASSERT_TRUE(parts2.ok());
+  verify_all(parts2.value(), 1);
+
+  // Each part capacity-scales independently: (2, 2^8) -> (2, 2^9).
+  std::vector<index::DiskIndex> grown;
+  for (auto& part : parts2.value()) {
+    auto g = part.scaled(std::make_unique<storage::MemBlockDevice>());
+    ASSERT_TRUE(g.ok());
+    grown.push_back(std::move(g).value());
+  }
+  verify_all(grown, 1);
+
+  // (2, 2^9) -> (4, 2^8): split each part in two; parts keep prefix order.
+  std::vector<index::DiskIndex> four;
+  for (auto& part : grown) {
+    std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+    for (int i = 0; i < 2; ++i) devices.push_back(std::make_unique<storage::MemBlockDevice>());
+    auto halves = part.split(std::move(devices));
+    ASSERT_TRUE(halves.ok());
+    for (auto& h : halves.value()) four.push_back(std::move(h));
+  }
+  ASSERT_EQ(four.size(), 4u);
+  verify_all(four, 2);
+}
+
+TEST(ScalingE2eTest, ClusterGrowsByRebuildingWithMoreServers) {
+  // Operationally, adding servers means re-sharding the index parts. The
+  // data in the repository is untouched; version metadata lives at the
+  // director. Simulate: back up on a 2-server cluster, collect all index
+  // entries, rebuild a 4-server cluster's parts from them, and restore.
+  core::ClusterConfig cfg2;
+  cfg2.routing_bits = 1;
+  cfg2.server_config.index_params = {.prefix_bits = 8, .blocks_per_bucket = 2};
+  cfg2.server_config.chunk_store.siu_threshold = 1;
+  core::Cluster small(cfg2);
+
+  const std::uint64_t job = small.director().define_job("c", "d");
+  std::vector<Fingerprint> fps;
+  for (std::uint64_t i = 0; i < 300; ++i) fps.push_back(Sha1::hash_counter(i));
+
+  core::FileStore& fs = small.server(0).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = fps.size() * 1024, .mtime = 0,
+                 .mode = 0644});
+  for (const Fingerprint& f : fps) {
+    if (fs.offer_fingerprint(f, 1024)) {
+      const auto payload = core::BackupEngine::synthetic_payload(f, 1024);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+  ASSERT_TRUE(small.run_dedup2(true).ok());
+
+  // Collect all entries from both parts; re-shard onto 4 parts by
+  // splitting each in half.
+  std::vector<index::DiskIndex> new_parts;
+  for (std::size_t k = 0; k < 2; ++k) {
+    std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+    for (int i = 0; i < 2; ++i) devices.push_back(std::make_unique<storage::MemBlockDevice>());
+    auto halves =
+        small.server(k).chunk_store().index().split(std::move(devices));
+    ASSERT_TRUE(halves.ok());
+    for (auto& h : halves.value()) new_parts.push_back(std::move(h));
+  }
+  ASSERT_EQ(new_parts.size(), 4u);
+
+  // All fingerprints resolvable from the re-sharded parts, and the
+  // containers they point at exist in the repository.
+  for (const Fingerprint& f : fps) {
+    const std::size_t owner = static_cast<std::size_t>(f.prefix_bits(2));
+    const auto cid = new_parts[owner].lookup(f);
+    ASSERT_TRUE(cid.ok());
+    EXPECT_TRUE(small.repository().contains(cid.value()));
+  }
+}
+
+}  // namespace
+}  // namespace debar

@@ -1,0 +1,167 @@
+// Corruption-robustness sweeps: every on-disk parser must reject or
+// survive arbitrary bit flips, truncations and garbage without crashing
+// or reading out of bounds — never "succeed" into undefined behaviour.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "common/serial.hpp"
+#include "core/backup_engine.hpp"
+#include "core/metadata_store.hpp"
+#include "index/disk_index.hpp"
+#include "storage/block_device.hpp"
+#include "storage/container.hpp"
+
+namespace debar {
+namespace {
+
+std::vector<Byte> valid_container_image() {
+  storage::Container c(16 * 1024);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    const auto payload = core::BackupEngine::synthetic_payload(fp, 700);
+    c.try_append(fp, ByteSpan(payload.data(), payload.size()));
+  }
+  c.set_id(ContainerId{5});
+  return c.serialize();
+}
+
+std::vector<Byte> valid_metadata_record() {
+  core::JobVersionRecord rec;
+  rec.job_id = 3;
+  rec.version = 2;
+  core::FileRecord f;
+  f.meta = {.path = "a/b/c.dat", .size = 4096, .mtime = 9, .mode = 0644};
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    f.chunk_fps.push_back(Sha1::hash_counter(i));
+    f.chunk_sizes.push_back(4096);
+  }
+  rec.files.push_back(f);
+  return core::serialize_record(rec);
+}
+
+TEST(FuzzContainerTest, SingleBitFlipsNeverCrash) {
+  const auto image = valid_container_image();
+  Xoshiro256 rng(1);
+  // Flip one random bit at a time across many trials; parsing must
+  // either succeed (flip landed in padding/payload) or fail cleanly.
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto corrupt = image;
+    const std::size_t byte = rng.below(corrupt.size());
+    corrupt[byte] ^= static_cast<Byte>(1u << rng.below(8));
+    const auto r = storage::Container::deserialize(
+        ByteSpan(corrupt.data(), corrupt.size()));
+    if (!r.ok()) {
+      EXPECT_EQ(r.error().code, Errc::kCorrupt);
+    }
+  }
+}
+
+TEST(FuzzContainerTest, TruncationsNeverCrash) {
+  const auto image = valid_container_image();
+  for (std::size_t len = 0; len < image.size(); len += 97) {
+    const auto r =
+        storage::Container::deserialize(ByteSpan(image.data(), len));
+    // Truncation inside the declared sections must fail; truncation
+    // of trailing padding may still parse.
+    (void)r;
+  }
+  SUCCEED();
+}
+
+TEST(FuzzContainerTest, RandomGarbageRejected) {
+  Xoshiro256 rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Byte> garbage(64 + rng.below(4096));
+    for (auto& b : garbage) b = static_cast<Byte>(rng());
+    const auto r = storage::Container::deserialize(
+        ByteSpan(garbage.data(), garbage.size()));
+    // With random magic the odds of acceptance are ~2^-32 per trial.
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(FuzzMetadataTest, SingleByteCorruptionNeverCrashes) {
+  const auto payload = valid_metadata_record();
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto corrupt = payload;
+    corrupt[rng.below(corrupt.size())] = static_cast<Byte>(rng());
+    const auto r =
+        core::parse_record(ByteSpan(corrupt.data(), corrupt.size()));
+    if (r.ok()) {
+      // A flip in fingerprint bytes or sizes can still parse; the record
+      // must at least be structurally sane.
+      for (const auto& f : r.value().files) {
+        EXPECT_EQ(f.chunk_fps.size(), f.chunk_sizes.size());
+      }
+    }
+  }
+}
+
+TEST(FuzzMetadataTest, EveryTruncationFailsCleanly) {
+  const auto payload = valid_metadata_record();
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(core::parse_record(ByteSpan(payload.data(), len)).ok())
+        << "truncation at " << len << " parsed";
+  }
+}
+
+TEST(FuzzMetadataTest, RandomGarbageRejected) {
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Byte> garbage(rng.below(512));
+    for (auto& b : garbage) b = static_cast<Byte>(rng());
+    EXPECT_FALSE(
+        core::parse_record(ByteSpan(garbage.data(), garbage.size())).ok());
+  }
+}
+
+TEST(FuzzByteReaderTest, NeverReadsPastEnd) {
+  Xoshiro256 rng(5);
+  for (int trial = 0; trial < 1000; ++trial) {
+    std::vector<Byte> data(rng.below(64));
+    for (auto& b : data) b = static_cast<Byte>(rng());
+    ByteReader r(ByteSpan(data.data(), data.size()));
+    // Random sequence of reads; must terminate with ok()==false or
+    // consume exactly the buffer, never UB (run under sanitizers).
+    for (int op = 0; op < 20; ++op) {
+      switch (rng.below(6)) {
+        case 0: r.u8(); break;
+        case 1: r.u16(); break;
+        case 2: r.u32(); break;
+        case 3: r.u64(); break;
+        case 4: r.fingerprint(); break;
+        default: r.skip(rng.below(16)); break;
+      }
+    }
+    EXPECT_LE(r.position(), data.size());
+  }
+}
+
+TEST(FuzzIndexBucketTest, GarbageBucketImagesParseSafely) {
+  // parse_bucket trusts per-block counts; feed random block images
+  // through a formatted index device and ensure lookups stay safe.
+  auto idx = index::DiskIndex::create(
+      std::make_unique<storage::MemBlockDevice>(),
+      {.prefix_bits = 4, .blocks_per_bucket = 2});
+  ASSERT_TRUE(idx.ok());
+  Xoshiro256 rng(6);
+  std::vector<Byte> garbage(idx.value().params().bucket_bytes());
+  for (auto& b : garbage) b = static_cast<Byte>(rng());
+  ASSERT_TRUE(
+      idx.value().device().write(0, ByteSpan(garbage.data(), garbage.size()))
+          .ok());
+  // Reading bucket 0 must not crash; counts are clamped to block capacity.
+  const auto bucket = idx.value().read_bucket(0);
+  ASSERT_TRUE(bucket.ok());
+  EXPECT_LE(bucket.value().entries.size(),
+            idx.value().params().bucket_capacity());
+  // A lookup that routes to the garbage bucket is safe too.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    (void)idx.value().lookup(Sha1::hash_counter(i));
+  }
+}
+
+}  // namespace
+}  // namespace debar

@@ -1,0 +1,35 @@
+#include "sim/nic_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace debar::sim {
+namespace {
+
+TEST(NicModelTest, ChargesTransferTime) {
+  SimClock clock;
+  NicModel nic({.bytes_per_sec = 1000.0}, &clock);
+  nic.transfer(500);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.5);
+  nic.transfer(1500);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 2.0);
+  EXPECT_EQ(nic.bytes_transferred(), 2000u);
+}
+
+TEST(NicModelTest, ZeroBytesFree) {
+  SimClock clock;
+  NicModel nic({.bytes_per_sec = 1000.0}, &clock);
+  nic.transfer(0);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+TEST(NicModelTest, PaperProfileIs210MBs) {
+  // Section 6.1.2: DDFS saturates at ~210 MB/s, "exactly the sustained
+  // throughput of the network card".
+  SimClock clock;
+  NicModel nic(NicProfile::PaperGigabit(), &clock);
+  nic.transfer(210'000'000);
+  EXPECT_NEAR(clock.seconds(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace debar::sim

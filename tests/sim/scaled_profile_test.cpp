@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "sim/disk_model.hpp"
+
+namespace debar::sim {
+namespace {
+
+TEST(ScaledProfileTest, StreamTimeMatchesModeledSize) {
+  // Streaming the small actual structure must cost exactly what the base
+  // profile charges for the modeled size.
+  const DiskProfile base = DiskProfile::PaperRaid();
+  const std::uint64_t modeled = 32ull << 30;  // 32 GiB
+  const std::uint64_t actual = 32ull << 20;   // 32 MiB
+  const DiskProfile scaled = base.scaled_to(modeled, actual);
+
+  SimClock clock;
+  DiskModel disk(scaled, &clock);
+  disk.stream(actual);
+  const double expect = static_cast<double>(modeled) /
+                        base.transfer_bytes_per_sec;
+  EXPECT_NEAR(clock.seconds(), expect, expect * 1e-9);
+}
+
+TEST(ScaledProfileTest, SeekCostUnchanged) {
+  const DiskProfile base = DiskProfile::PaperRaid();
+  const DiskProfile scaled = base.scaled_to(1ull << 40, 1ull << 20);
+  EXPECT_DOUBLE_EQ(scaled.seek_seconds, base.seek_seconds);
+}
+
+TEST(ScaledProfileTest, IdentityScaleIsIdentity) {
+  const DiskProfile base = DiskProfile::CommoditySata();
+  const DiskProfile scaled = base.scaled_to(1 << 20, 1 << 20);
+  EXPECT_DOUBLE_EQ(scaled.transfer_bytes_per_sec,
+                   base.transfer_bytes_per_sec);
+}
+
+}  // namespace
+}  // namespace debar::sim

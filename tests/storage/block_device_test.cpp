@@ -1,0 +1,106 @@
+#include "storage/block_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace debar::storage {
+namespace {
+
+TEST(MemBlockDeviceTest, WriteThenRead) {
+  MemBlockDevice dev;
+  const std::vector<Byte> data = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(dev.write(10, ByteSpan(data.data(), data.size())).ok());
+  EXPECT_EQ(dev.size(), 15u);
+
+  std::vector<Byte> out(5);
+  ASSERT_TRUE(dev.read(10, std::span<Byte>(out)).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemBlockDeviceTest, GapIsZeroFilled) {
+  MemBlockDevice dev;
+  const Byte one = 1;
+  ASSERT_TRUE(dev.write(100, ByteSpan(&one, 1)).ok());
+  std::vector<Byte> out(100);
+  ASSERT_TRUE(dev.read(0, std::span<Byte>(out)).ok());
+  for (const Byte b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(MemBlockDeviceTest, ReadPastEndFails) {
+  MemBlockDevice dev(10);
+  std::vector<Byte> out(11);
+  const Status s = dev.read(0, std::span<Byte>(out));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kIoError);
+}
+
+TEST(MemBlockDeviceTest, ResizeGrowsAndShrinks) {
+  MemBlockDevice dev;
+  ASSERT_TRUE(dev.resize(100).ok());
+  EXPECT_EQ(dev.size(), 100u);
+  ASSERT_TRUE(dev.resize(10).ok());
+  EXPECT_EQ(dev.size(), 10u);
+}
+
+TEST(MemBlockDeviceTest, AccountsSimTime) {
+  sim::SimClock clock;
+  sim::DiskModel model({.seek_seconds = 0.0, .transfer_bytes_per_sec = 100.0},
+                       &clock);
+  MemBlockDevice dev;
+  dev.attach_model(&model);
+  const std::vector<Byte> data(50, 7);
+  ASSERT_TRUE(dev.write(0, ByteSpan(data.data(), data.size())).ok());
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.5);
+}
+
+class FileBlockDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("debar_fbd_test_" + std::to_string(::getpid()) + ".bin");
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileBlockDeviceTest, CreateWriteReadPersist) {
+  {
+    auto dev = FileBlockDevice::open(path_);
+    ASSERT_TRUE(dev.ok()) << dev.error().to_string();
+    const std::vector<Byte> data = {9, 8, 7};
+    ASSERT_TRUE(dev.value()->write(4, ByteSpan(data.data(), data.size())).ok());
+  }
+  {
+    auto dev = FileBlockDevice::open(path_);
+    ASSERT_TRUE(dev.ok());
+    EXPECT_EQ(dev.value()->size(), 7u);
+    std::vector<Byte> out(3);
+    ASSERT_TRUE(dev.value()->read(4, std::span<Byte>(out)).ok());
+    EXPECT_EQ(out, (std::vector<Byte>{9, 8, 7}));
+    // The gap before offset 4 must read back as zeros.
+    std::vector<Byte> gap(4);
+    ASSERT_TRUE(dev.value()->read(0, std::span<Byte>(gap)).ok());
+    EXPECT_EQ(gap, (std::vector<Byte>{0, 0, 0, 0}));
+  }
+}
+
+TEST_F(FileBlockDeviceTest, ReadPastEndFails) {
+  auto dev = FileBlockDevice::open(path_);
+  ASSERT_TRUE(dev.ok());
+  std::vector<Byte> out(1);
+  EXPECT_FALSE(dev.value()->read(0, std::span<Byte>(out)).ok());
+}
+
+TEST_F(FileBlockDeviceTest, ResizeSetsSize) {
+  auto dev = FileBlockDevice::open(path_);
+  ASSERT_TRUE(dev.ok());
+  ASSERT_TRUE(dev.value()->resize(1024).ok());
+  EXPECT_EQ(dev.value()->size(), 1024u);
+  std::vector<Byte> out(1024);
+  EXPECT_TRUE(dev.value()->read(0, std::span<Byte>(out)).ok());
+}
+
+}  // namespace
+}  // namespace debar::storage

@@ -1,0 +1,110 @@
+#include "storage/chunk_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar::storage {
+namespace {
+
+std::unique_ptr<ChunkLog> make_log() {
+  return std::make_unique<ChunkLog>(std::make_unique<MemBlockDevice>());
+}
+
+TEST(ChunkLogTest, AppendAndScanInOrder) {
+  auto log = make_log();
+  std::vector<std::pair<Fingerprint, std::vector<Byte>>> records;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    std::vector<Byte> data(100 + i * 10, static_cast<Byte>(i));
+    const Fingerprint fp = Sha1::hash_counter(i);
+    ASSERT_TRUE(log->append(fp, ByteSpan(data.data(), data.size())).ok());
+    records.emplace_back(fp, std::move(data));
+  }
+  EXPECT_EQ(log->record_count(), 10u);
+
+  std::size_t i = 0;
+  const Status s = log->scan([&](const Fingerprint& fp, ByteSpan data) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(fp, records[i].first);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(),
+                           records[i].second.begin(),
+                           records[i].second.end()));
+    ++i;
+  });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(i, 10u);
+}
+
+TEST(ChunkLogTest, EmptyScanIsNoop) {
+  auto log = make_log();
+  int calls = 0;
+  ASSERT_TRUE(log->scan([&](const Fingerprint&, ByteSpan) { ++calls; }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ChunkLogTest, ClearResetsState) {
+  auto log = make_log();
+  const std::vector<Byte> data(64, 1);
+  ASSERT_TRUE(log->append(Sha1::hash_counter(1),
+                          ByteSpan(data.data(), data.size())).ok());
+  log->clear();
+  EXPECT_EQ(log->record_count(), 0u);
+  EXPECT_EQ(log->bytes(), 0u);
+  int calls = 0;
+  ASSERT_TRUE(log->scan([&](const Fingerprint&, ByteSpan) { ++calls; }).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ChunkLogTest, ReusableAfterClear) {
+  auto log = make_log();
+  const std::vector<Byte> a(64, 1), b(32, 2);
+  ASSERT_TRUE(log->append(Sha1::hash_counter(1), ByteSpan(a.data(), a.size())).ok());
+  log->clear();
+  ASSERT_TRUE(log->append(Sha1::hash_counter(2), ByteSpan(b.data(), b.size())).ok());
+
+  int calls = 0;
+  ASSERT_TRUE(log->scan([&](const Fingerprint& fp, ByteSpan data) {
+    EXPECT_EQ(fp, Sha1::hash_counter(2));
+    EXPECT_EQ(data.size(), 32u);
+    ++calls;
+  }).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ChunkLogTest, AppendsAndScansAreSequentialOnDevice) {
+  // The entire point of the chunk log: its I/O is sequential. With a
+  // model attached, no seeks should be charged for appends or the scan.
+  sim::SimClock clock;
+  sim::DiskModel model({.seek_seconds = 1.0, .transfer_bytes_per_sec = 1e9},
+                       &clock);
+  auto device = std::make_unique<MemBlockDevice>();
+  device->attach_model(&model);
+  ChunkLog log(std::move(device));
+
+  const std::vector<Byte> data(4096, 3);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(log.append(Sha1::hash_counter(i),
+                           ByteSpan(data.data(), data.size())).ok());
+  }
+  const std::uint64_t seeks_after_append = model.seeks();
+  EXPECT_EQ(seeks_after_append, 0u);
+
+  // The scan starts at offset 0 (one repositioning), then streams.
+  ASSERT_TRUE(log.scan([](const Fingerprint&, ByteSpan) {}).ok());
+  EXPECT_LE(model.seeks(), 1u);
+}
+
+TEST(ChunkLogTest, ZeroLengthChunkRoundTrips) {
+  auto log = make_log();
+  ASSERT_TRUE(log->append(Sha1::hash_counter(5), ByteSpan{}).ok());
+  int calls = 0;
+  ASSERT_TRUE(log->scan([&](const Fingerprint& fp, ByteSpan data) {
+    EXPECT_EQ(fp, Sha1::hash_counter(5));
+    EXPECT_TRUE(data.empty());
+    ++calls;
+  }).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace debar::storage

@@ -1,0 +1,95 @@
+#include "storage/chunk_repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/sha1.hpp"
+#include "common/thread_pool.hpp"
+
+namespace debar::storage {
+namespace {
+
+Container make_container(int tag, std::size_t chunks = 3) {
+  Container c(64 * 1024);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    std::vector<Byte> data(256, static_cast<Byte>(tag + static_cast<int>(i)));
+    c.try_append(Sha1::hash_counter(static_cast<std::uint64_t>(tag) * 100 + i),
+                 ByteSpan(data.data(), data.size()));
+  }
+  return c;
+}
+
+TEST(ChunkRepositoryTest, AppendAssignsSequentialIds) {
+  ChunkRepository repo(2);
+  EXPECT_EQ(repo.append(make_container(1)), ContainerId{1});
+  EXPECT_EQ(repo.append(make_container(2)), ContainerId{2});
+  EXPECT_EQ(repo.container_count(), 2u);
+}
+
+TEST(ChunkRepositoryTest, ReadReturnsStoredContainer) {
+  ChunkRepository repo(1);
+  const Container original = make_container(5);
+  const std::size_t count = original.chunk_count();
+  const ContainerId id = repo.append(make_container(5));
+
+  const Result<Container> read = repo.read(id);
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(read.value().id(), id);
+  EXPECT_EQ(read.value().chunk_count(), count);
+  EXPECT_EQ(read.value().metadata()[0].fp, original.metadata()[0].fp);
+}
+
+TEST(ChunkRepositoryTest, ReadMissingIdFails) {
+  ChunkRepository repo(1);
+  const auto r = repo.read(ContainerId{99});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kNotFound);
+  EXPECT_FALSE(repo.contains(ContainerId{99}));
+}
+
+TEST(ChunkRepositoryTest, StripesAcrossNodes) {
+  ChunkRepository repo(4);
+  std::vector<ContainerId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(repo.append(make_container(i)));
+  // Round-robin: consecutive IDs land on consecutive nodes.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(repo.node_of(ids[i]), i % 4);
+  }
+}
+
+TEST(ChunkRepositoryTest, TracksStoredPayloadBytes) {
+  ChunkRepository repo(1);
+  const Container c = make_container(1);
+  const std::uint64_t payload = c.data_bytes();
+  repo.append(make_container(1));
+  repo.append(make_container(2));
+  EXPECT_EQ(repo.stored_bytes(), 2 * payload);
+}
+
+TEST(ChunkRepositoryTest, ClockAccounting) {
+  ChunkRepository repo(2, {.seek_seconds = 0.01,
+                           .transfer_bytes_per_sec = 1.0e6});
+  repo.append(make_container(1));  // node 0
+  EXPECT_GT(repo.max_node_seconds(), 0.0);
+  EXPECT_GT(repo.total_node_seconds(), 0.0);
+  repo.reset_clocks();
+  EXPECT_DOUBLE_EQ(repo.max_node_seconds(), 0.0);
+}
+
+TEST(ChunkRepositoryTest, ParallelAppendsAreSafeAndComplete) {
+  ChunkRepository repo(4);
+  constexpr std::size_t kN = 64;
+  parallel_for(kN, 8, [&](std::size_t i) {
+    const ContainerId id = repo.append(make_container(static_cast<int>(i)));
+    EXPECT_FALSE(id.is_null());
+  });
+  EXPECT_EQ(repo.container_count(), kN);
+  // Every ID from 1..N must be present exactly once.
+  for (std::uint64_t id = 1; id <= kN; ++id) {
+    EXPECT_TRUE(repo.contains(ContainerId{id}));
+  }
+}
+
+}  // namespace
+}  // namespace debar::storage

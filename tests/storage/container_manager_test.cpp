@@ -1,0 +1,101 @@
+#include "storage/container_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar::storage {
+namespace {
+
+TEST(ContainerManagerTest, SealsWhenFullAndReportsMetadata) {
+  ChunkRepository repo(1);
+  ContainerManager mgr(&repo, 4096);
+
+  std::vector<std::pair<ContainerId, std::size_t>> seals;
+  const auto on_seal = [&](ContainerId id,
+                           const std::vector<ChunkMeta>& metas) {
+    seals.emplace_back(id, metas.size());
+  };
+
+  const std::vector<Byte> chunk(1024, 0x55);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    mgr.append(Sha1::hash_counter(i), ByteSpan(chunk.data(), chunk.size()),
+               on_seal);
+  }
+  EXPECT_FALSE(seals.empty());
+  EXPECT_GT(mgr.open_chunk_count(), 0u);
+
+  mgr.flush(on_seal);
+  EXPECT_EQ(mgr.open_chunk_count(), 0u);
+
+  std::size_t total = 0;
+  for (const auto& [id, n] : seals) total += n;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ContainerManagerTest, FlushOnEmptyIsNoop) {
+  ChunkRepository repo(1);
+  ContainerManager mgr(&repo, 4096);
+  int calls = 0;
+  mgr.flush([&](ContainerId, const std::vector<ChunkMeta>&) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(repo.container_count(), 0u);
+}
+
+TEST(ContainerManagerTest, SealedContainersReadableViaRepository) {
+  ChunkRepository repo(1);
+  ContainerManager mgr(&repo, 8192);
+
+  std::vector<Byte> chunk(512);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<Byte>(i);
+  }
+  const Fingerprint fp = Sha1::hash(ByteSpan(chunk.data(), chunk.size()));
+
+  ContainerId sealed_id = kNullContainer;
+  mgr.append(fp, ByteSpan(chunk.data(), chunk.size()), nullptr);
+  mgr.flush([&](ContainerId id, const std::vector<ChunkMeta>&) {
+    sealed_id = id;
+  });
+  ASSERT_FALSE(sealed_id.is_null());
+
+  const Result<Container> read = mgr.read(sealed_id);
+  ASSERT_TRUE(read.ok());
+  const auto found = read.value().find(fp);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(std::equal(found->begin(), found->end(), chunk.begin()));
+}
+
+TEST(ContainerManagerTest, SislOrderWithinContainers) {
+  ChunkRepository repo(1);
+  ContainerManager mgr(&repo, 1 * MiB);
+
+  std::vector<Fingerprint> stream_order;
+  const std::vector<Byte> chunk(100, 1);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(i);
+    stream_order.push_back(fp);
+    mgr.append(fp, ByteSpan(chunk.data(), chunk.size()), nullptr);
+  }
+  std::vector<Fingerprint> sealed_order;
+  mgr.flush([&](ContainerId, const std::vector<ChunkMeta>& metas) {
+    for (const ChunkMeta& m : metas) sealed_order.push_back(m.fp);
+  });
+  EXPECT_EQ(sealed_order, stream_order);
+}
+
+TEST(ContainerManagerTest, CountsSealedContainers) {
+  ChunkRepository repo(1);
+  ContainerManager mgr(&repo, 2048);
+  const std::vector<Byte> chunk(900, 2);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    mgr.append(Sha1::hash_counter(i), ByteSpan(chunk.data(), chunk.size()),
+               nullptr);
+  }
+  mgr.flush(nullptr);
+  EXPECT_EQ(mgr.containers_sealed(), repo.container_count());
+  EXPECT_GE(mgr.containers_sealed(), 3u);
+}
+
+}  // namespace
+}  // namespace debar::storage

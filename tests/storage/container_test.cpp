@@ -1,0 +1,147 @@
+#include "storage/container.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+
+namespace debar::storage {
+namespace {
+
+std::vector<Byte> chunk_data(int tag, std::size_t size) {
+  std::vector<Byte> data(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<Byte>(tag + static_cast<int>(i));
+  }
+  return data;
+}
+
+TEST(ContainerTest, AppendAndFind) {
+  Container c(1 * MiB);
+  const auto d1 = chunk_data(1, 100);
+  const auto d2 = chunk_data(2, 200);
+  const Fingerprint f1 = Sha1::hash(ByteSpan(d1.data(), d1.size()));
+  const Fingerprint f2 = Sha1::hash(ByteSpan(d2.data(), d2.size()));
+
+  ASSERT_TRUE(c.try_append(f1, ByteSpan(d1.data(), d1.size())));
+  ASSERT_TRUE(c.try_append(f2, ByteSpan(d2.data(), d2.size())));
+  EXPECT_EQ(c.chunk_count(), 2u);
+  EXPECT_EQ(c.data_bytes(), 300u);
+
+  const auto found = c.find(f2);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(std::equal(found->begin(), found->end(), d2.begin()));
+  EXPECT_FALSE(c.find(Sha1::hash(std::string_view{"absent"})).has_value());
+}
+
+TEST(ContainerTest, PreservesArrivalOrderSISL) {
+  Container c(1 * MiB);
+  std::vector<Fingerprint> order;
+  for (int i = 0; i < 10; ++i) {
+    const auto d = chunk_data(i, 64);
+    const Fingerprint f = Sha1::hash(ByteSpan(d.data(), d.size()));
+    order.push_back(f);
+    ASSERT_TRUE(c.try_append(f, ByteSpan(d.data(), d.size())));
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(c.metadata()[i].fp, order[i]);
+  }
+}
+
+TEST(ContainerTest, RefusesWhenFull) {
+  Container c(2048);  // tiny container for the test
+  const auto big = chunk_data(0, 1500);
+  ASSERT_TRUE(
+      c.try_append(Sha1::hash_counter(1), ByteSpan(big.data(), big.size())));
+  const auto more = chunk_data(1, 1000);
+  EXPECT_FALSE(
+      c.try_append(Sha1::hash_counter(2), ByteSpan(more.data(), more.size())));
+  EXPECT_EQ(c.chunk_count(), 1u);
+}
+
+TEST(ContainerTest, SerializeDeserializeRoundTrip) {
+  Container c(64 * 1024);
+  c.set_id(ContainerId{777});
+  std::vector<std::vector<Byte>> chunks;
+  for (int i = 0; i < 5; ++i) {
+    chunks.push_back(chunk_data(i * 7, 512 + static_cast<std::size_t>(i) * 100));
+    ASSERT_TRUE(c.try_append(
+        Sha1::hash(ByteSpan(chunks.back().data(), chunks.back().size())),
+        ByteSpan(chunks.back().data(), chunks.back().size())));
+  }
+
+  const std::vector<Byte> image = c.serialize();
+  EXPECT_EQ(image.size(), c.capacity());
+
+  const Result<Container> parsed =
+      Container::deserialize(ByteSpan(image.data(), image.size()));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().id(), ContainerId{777});
+  EXPECT_EQ(parsed.value().chunk_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const ByteSpan chunk = parsed.value().chunk_at(i);
+    EXPECT_TRUE(std::equal(chunk.begin(), chunk.end(), chunks[i].begin(),
+                           chunks[i].end()));
+  }
+}
+
+TEST(ContainerTest, DeserializeRejectsBadMagic) {
+  Container c(4096);
+  auto image = c.serialize();
+  image[0] ^= 0xFF;
+  EXPECT_FALSE(Container::deserialize(ByteSpan(image.data(), image.size())).ok());
+}
+
+TEST(ContainerTest, DeserializeRejectsOverflowingCounts) {
+  Container c(4096);
+  const auto d = chunk_data(1, 128);
+  ASSERT_TRUE(c.try_append(Sha1::hash_counter(9), ByteSpan(d.data(), d.size())));
+  auto image = c.serialize();
+  // Corrupt the chunk count to something enormous.
+  image[9] = 0xFF;
+  image[10] = 0xFF;
+  image[11] = 0xFF;
+  image[12] = 0x7F;
+  const auto r = Container::deserialize(ByteSpan(image.data(), image.size()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kCorrupt);
+}
+
+TEST(ContainerTest, DeserializeRejectsOutOfBoundsChunkMeta) {
+  Container c(4096);
+  const auto d = chunk_data(1, 128);
+  ASSERT_TRUE(c.try_append(Sha1::hash_counter(9), ByteSpan(d.data(), d.size())));
+  auto image = c.serialize();
+  // Chunk 0's size field sits after the header + fingerprint: corrupt it
+  // to exceed the data section.
+  const std::size_t size_off = Container::kHeaderSize + Fingerprint::kSize;
+  image[size_off] = 0xFF;
+  image[size_off + 1] = 0xFF;
+  image[size_off + 2] = 0xFF;
+  image[size_off + 3] = 0x7F;
+  const auto r = Container::deserialize(ByteSpan(image.data(), image.size()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, Errc::kCorrupt);
+}
+
+TEST(ContainerTest, NearlyFullDetection) {
+  Container c(8192);
+  EXPECT_FALSE(c.nearly_full());
+  const auto d = chunk_data(0, 6200);
+  ASSERT_TRUE(c.try_append(Sha1::hash_counter(1), ByteSpan(d.data(), d.size())));
+  EXPECT_TRUE(c.nearly_full());  // < 2 KiB of payload space left
+}
+
+TEST(ContainerTest, PaperContainerHoldsAboutThousandChunks) {
+  // Section 3.4: 8 MB container, 8 KB chunks -> ~1024 chunks.
+  Container c(kContainerSize);
+  const auto d = chunk_data(1, kExpectedChunkSize);
+  std::uint64_t count = 0;
+  while (c.try_append(Sha1::hash_counter(count), ByteSpan(d.data(), d.size()))) {
+    ++count;
+  }
+  EXPECT_GE(count, 1000u);
+  EXPECT_LE(count, 1024u);
+}
+
+}  // namespace
+}  // namespace debar::storage

@@ -1,0 +1,163 @@
+// Persistent chunk repository: framed per-node container logs with
+// write-through, tombstoned removals, and reopen-by-scan.
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::storage {
+namespace {
+
+Container make_container(std::uint64_t fp_base, std::size_t chunks) {
+  Container c(64 * 1024);
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const Fingerprint fp = Sha1::hash_counter(fp_base + i);
+    const auto payload = core::BackupEngine::synthetic_payload(fp, 700);
+    c.try_append(fp, ByteSpan(payload.data(), payload.size()));
+  }
+  return c;
+}
+
+/// Build N in-memory devices and return raw pointers for later snapshot.
+std::vector<std::unique_ptr<BlockDevice>> make_devices(
+    std::size_t n, std::vector<MemBlockDevice*>* raw) {
+  std::vector<std::unique_ptr<BlockDevice>> devices;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto d = std::make_unique<MemBlockDevice>();
+    if (raw != nullptr) raw->push_back(d.get());
+    devices.push_back(std::move(d));
+  }
+  return devices;
+}
+
+std::vector<std::vector<Byte>> snapshot(
+    const std::vector<MemBlockDevice*>& raw) {
+  std::vector<std::vector<Byte>> images;
+  for (const MemBlockDevice* d : raw) {
+    images.emplace_back(d->contents().begin(), d->contents().end());
+  }
+  return images;
+}
+
+std::vector<std::unique_ptr<BlockDevice>> devices_from(
+    const std::vector<std::vector<Byte>>& images) {
+  std::vector<std::unique_ptr<BlockDevice>> devices;
+  for (const auto& image : images) {
+    auto d = std::make_unique<MemBlockDevice>();
+    EXPECT_TRUE(d->write(0, ByteSpan(image.data(), image.size())).ok());
+    devices.push_back(std::move(d));
+  }
+  return devices;
+}
+
+TEST(PersistentRepositoryTest, SurvivesReopen) {
+  std::vector<MemBlockDevice*> raw;
+  std::vector<std::vector<Byte>> images;
+  std::vector<std::pair<ContainerId, Fingerprint>> stored;
+  {
+    ChunkRepository repo(make_devices(2, &raw));
+    for (int c = 0; c < 5; ++c) {
+      const std::uint64_t base = static_cast<std::uint64_t>(c) * 100;
+      const ContainerId id = repo.append(make_container(base, 8));
+      stored.emplace_back(id, Sha1::hash_counter(base));
+    }
+    images = snapshot(raw);
+  }
+
+  auto reopened = ChunkRepository::open(devices_from(images));
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  ChunkRepository& repo = *reopened.value();
+  EXPECT_EQ(repo.container_count(), 5u);
+  for (const auto& [id, first_fp] : stored) {
+    const auto container = repo.read(id);
+    ASSERT_TRUE(container.ok());
+    EXPECT_TRUE(container.value().find(first_fp).has_value());
+  }
+  // IDs continue where they left off.
+  const ContainerId next = repo.append(make_container(900, 3));
+  EXPECT_EQ(next.value, 6u);
+}
+
+TEST(PersistentRepositoryTest, TombstonedContainersStayGone) {
+  std::vector<MemBlockDevice*> raw;
+  std::vector<std::vector<Byte>> images;
+  ContainerId removed, kept;
+  {
+    ChunkRepository repo(make_devices(2, &raw));
+    removed = repo.append(make_container(0, 6));
+    kept = repo.append(make_container(100, 6));
+    ASSERT_TRUE(repo.remove(removed).ok());
+    images = snapshot(raw);
+  }
+
+  auto reopened = ChunkRepository::open(devices_from(images));
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_FALSE(reopened.value()->contains(removed));
+  EXPECT_TRUE(reopened.value()->contains(kept));
+  EXPECT_EQ(reopened.value()->container_count(), 1u);
+  // The removed ID is not reused.
+  EXPECT_GT(reopened.value()->append(make_container(200, 2)).value,
+            kept.value);
+}
+
+TEST(PersistentRepositoryTest, PinnedPlacementSurvivesReopen) {
+  std::vector<MemBlockDevice*> raw;
+  std::vector<std::vector<Byte>> images;
+  ContainerId pinned;
+  {
+    ChunkRepository repo(make_devices(3, &raw));
+    (void)repo.append(make_container(0, 4));          // node 0
+    pinned = repo.append(make_container(100, 4), 2);  // pinned to node 2
+    images = snapshot(raw);
+  }
+  auto reopened = ChunkRepository::open(devices_from(images));
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(reopened.value()->node_of(pinned), 2u);
+  EXPECT_TRUE(reopened.value()->read(pinned).ok());
+}
+
+TEST(PersistentRepositoryTest, OpenRejectsCorruptFrames) {
+  std::vector<MemBlockDevice*> raw;
+  std::vector<std::vector<Byte>> images;
+  {
+    ChunkRepository repo(make_devices(1, &raw));
+    (void)repo.append(make_container(0, 4));
+    images = snapshot(raw);
+  }
+  // Corrupt the frame length to overrun the device.
+  images[0][4] = 0xFF;
+  images[0][5] = 0xFF;
+  images[0][6] = 0xFF;
+  auto reopened = ChunkRepository::open(devices_from(images));
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.error().code, Errc::kCorrupt);
+}
+
+TEST(PersistentRepositoryTest, TrailingGarbageEndsTheScan) {
+  std::vector<MemBlockDevice*> raw;
+  std::vector<std::vector<Byte>> images;
+  {
+    ChunkRepository repo(make_devices(1, &raw));
+    (void)repo.append(make_container(0, 4));
+    images = snapshot(raw);
+  }
+  // Simulate a torn append: junk bytes after the last valid frame.
+  images[0].insert(images[0].end(), {0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC,
+                                     0xDE, 0xF0, 0x11});
+  auto reopened = ChunkRepository::open(devices_from(images));
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_EQ(reopened.value()->container_count(), 1u);
+}
+
+TEST(PersistentRepositoryTest, MemoryOnlyModeUnaffected) {
+  // The default constructor keeps the pure in-memory behaviour: removals
+  // and appends work with no backing devices involved.
+  ChunkRepository repo(2);
+  const ContainerId id = repo.append(make_container(0, 3));
+  ASSERT_TRUE(repo.remove(id).ok());
+  EXPECT_EQ(repo.container_count(), 0u);
+}
+
+}  // namespace
+}  // namespace debar::storage

@@ -1,0 +1,67 @@
+// Targeted container placement (the defragmenter's node pinning) and
+// container removal (the garbage collector's reclamation primitive).
+#include <gtest/gtest.h>
+
+#include "common/sha1.hpp"
+#include "storage/chunk_repository.hpp"
+
+namespace debar::storage {
+namespace {
+
+Container tiny_container(int tag) {
+  Container c(8 * 1024);
+  std::vector<Byte> data(512, static_cast<Byte>(tag));
+  c.try_append(Sha1::hash_counter(static_cast<std::uint64_t>(tag)),
+               ByteSpan(data.data(), data.size()));
+  return c;
+}
+
+TEST(PinnedPlacementTest, PinOverridesRoundRobin) {
+  ChunkRepository repo(4);
+  const ContainerId a = repo.append(tiny_container(1));          // node 0
+  const ContainerId b = repo.append(tiny_container(2), 3);       // pinned
+  const ContainerId c = repo.append(tiny_container(3));          // node 2
+  EXPECT_EQ(repo.node_of(a), 0u);
+  EXPECT_EQ(repo.node_of(b), 3u);
+  EXPECT_EQ(repo.node_of(c), 2u);
+  // Pinned containers read back normally.
+  EXPECT_TRUE(repo.read(b).ok());
+}
+
+TEST(PinnedPlacementTest, RemoveReclaimsBytesAndIds) {
+  ChunkRepository repo(2);
+  const ContainerId a = repo.append(tiny_container(1));
+  const ContainerId b = repo.append(tiny_container(2));
+  const std::uint64_t bytes = repo.stored_bytes();
+  ASSERT_GT(bytes, 0u);
+
+  ASSERT_TRUE(repo.remove(a).ok());
+  EXPECT_EQ(repo.container_count(), 1u);
+  EXPECT_EQ(repo.stored_bytes(), bytes / 2);
+  EXPECT_FALSE(repo.contains(a));
+  EXPECT_FALSE(repo.read(a).ok());
+  EXPECT_TRUE(repo.read(b).ok());
+
+  // Double remove fails cleanly.
+  const Status s = repo.remove(a);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kNotFound);
+}
+
+TEST(PinnedPlacementTest, ContainerIdsSkipRemoved) {
+  ChunkRepository repo(1);
+  const ContainerId a = repo.append(tiny_container(1));
+  const ContainerId b = repo.append(tiny_container(2));
+  const ContainerId c = repo.append(tiny_container(3));
+  ASSERT_TRUE(repo.remove(b).ok());
+  const auto ids = repo.container_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], a);
+  EXPECT_EQ(ids[1], c);
+  // IDs are never reused after removal.
+  const ContainerId d = repo.append(tiny_container(4));
+  EXPECT_GT(d.value, c.value);
+}
+
+}  // namespace
+}  // namespace debar::storage

@@ -1,0 +1,84 @@
+#include "workload/file_tree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace debar::workload {
+namespace {
+
+TEST(FileTreeTest, GeneratesRequestedFiles) {
+  const auto dataset =
+      make_dataset({.files = 10, .mean_file_bytes = 64 * KiB, .seed = 1});
+  EXPECT_EQ(dataset.files.size(), 10u);
+  for (const auto& f : dataset.files) {
+    EXPECT_FALSE(f.path.empty());
+    EXPECT_GE(f.content.size(), 32u * KiB);
+    EXPECT_LE(f.content.size(), 96u * KiB + 1);
+  }
+}
+
+TEST(FileTreeTest, DeterministicForSeed) {
+  const auto a = make_dataset({.files = 5, .mean_file_bytes = 32 * KiB, .seed = 2});
+  const auto b = make_dataset({.files = 5, .mean_file_bytes = 32 * KiB, .seed = 2});
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.files[i].content, b.files[i].content);
+  }
+  const auto c = make_dataset({.files = 5, .mean_file_bytes = 32 * KiB, .seed = 3});
+  EXPECT_NE(a.files[0].content, c.files[0].content);
+}
+
+TEST(FileTreeTest, SharedFractionCreatesDuplication) {
+  // Count identical 16 KiB blocks across two different datasets from the
+  // same seed-derived shared pool.
+  const auto heavy = make_dataset({.files = 8, .mean_file_bytes = 128 * KiB,
+                                   .seed = 4, .shared_fraction = 0.9});
+  const auto none = make_dataset({.files = 8, .mean_file_bytes = 128 * KiB,
+                                  .seed = 4, .shared_fraction = 0.0});
+  auto distinct_blocks = [](const core::Dataset& d) {
+    std::set<std::vector<Byte>> blocks;
+    std::uint64_t total = 0;
+    for (const auto& f : d.files) {
+      for (std::size_t off = 0; off + 16 * KiB <= f.content.size();
+           off += 16 * KiB) {
+        blocks.insert(std::vector<Byte>(f.content.begin() + off,
+                                        f.content.begin() + off + 16 * KiB));
+        ++total;
+      }
+    }
+    return std::pair{blocks.size(), total};
+  };
+  const auto [heavy_distinct, heavy_total] = distinct_blocks(heavy);
+  const auto [none_distinct, none_total] = distinct_blocks(none);
+  EXPECT_LT(heavy_distinct * 2, heavy_total);  // lots of repeats
+  EXPECT_EQ(none_distinct, none_total);        // all unique
+}
+
+TEST(FileTreeTest, MutationPreservesMostContent) {
+  const auto base = make_dataset({.files = 10, .mean_file_bytes = 64 * KiB,
+                                  .seed = 6});
+  const auto next = mutate_dataset(base, {.seed = 7, .edits_per_file = 2.0,
+                                          .rewrite_fraction = 0.0,
+                                          .churn_fraction = 0.0});
+  ASSERT_EQ(next.files.size(), base.files.size());
+  // Sizes change only slightly (inserts/deletes of <= 64 bytes).
+  for (std::size_t i = 0; i < base.files.size(); ++i) {
+    const auto delta =
+        static_cast<std::int64_t>(next.files[i].content.size()) -
+        static_cast<std::int64_t>(base.files[i].content.size());
+    EXPECT_LT(std::abs(delta), 1024);
+  }
+}
+
+TEST(FileTreeTest, ChurnReplacesFiles) {
+  const auto base = make_dataset({.files = 40, .mean_file_bytes = 8 * KiB,
+                                  .seed = 8});
+  const auto next = mutate_dataset(base, {.seed = 9, .churn_fraction = 0.5});
+  EXPECT_EQ(next.files.size(), base.files.size());
+  std::size_t fresh = 0;
+  for (const auto& f : next.files) {
+    if (f.path.rfind("new/", 0) == 0) ++fresh;
+  }
+  EXPECT_GT(fresh, 5u);
+}
+
+}  // namespace
+}  // namespace debar::workload

@@ -1,0 +1,140 @@
+#include "workload/fingerprint_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/sha1.hpp"
+
+namespace debar::workload {
+namespace {
+
+TEST(SubspaceRegistryTest, AllocationIsContiguousAndDisjoint) {
+  SubspaceRegistry registry(4);
+  EXPECT_EQ(registry.subspace_count(), 16u);
+
+  const CounterRun a = registry.allocate(0, 100);
+  const CounterRun b = registry.allocate(0, 50);
+  EXPECT_EQ(a.start, registry.base(0));
+  EXPECT_EQ(b.start, a.start + 100);
+  EXPECT_EQ(registry.used(0), 150u);
+
+  const CounterRun c = registry.allocate(1, 10);
+  EXPECT_EQ(c.start, registry.base(1));
+  // Subspaces never overlap.
+  EXPECT_GE(registry.base(1), registry.base(0) + registry.used(0));
+}
+
+TEST(SubspaceRegistryTest, SampleUsedStaysWithinUsedRange) {
+  SubspaceRegistry registry(2);
+  (void)registry.allocate(1, 1000);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const CounterRun run = registry.sample_used(1, 64, rng);
+    EXPECT_GE(run.start, registry.base(1));
+    EXPECT_LE(run.start + run.length, registry.base(1) + 1000);
+    EXPECT_EQ(run.length, 64u);
+  }
+}
+
+TEST(SubspaceRegistryTest, SampleOfUntouchedSubspaceIsEmpty) {
+  SubspaceRegistry registry(2);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(registry.sample_used(0, 10, rng).length, 0u);
+}
+
+TEST(FingerprintsOfTest, MatchesCounterHashes) {
+  const auto fps = fingerprints_of({100, 3});
+  ASSERT_EQ(fps.size(), 3u);
+  EXPECT_EQ(fps[0], Sha1::hash_counter(100));
+  EXPECT_EQ(fps[2], Sha1::hash_counter(102));
+}
+
+TEST(VersionedStreamTest, FirstVersionIsAllNew) {
+  SubspaceRegistry registry(4);
+  VersionedStream stream(&registry, {.stream_id = 0, .seed = 1});
+  const auto v1 = stream.next_version(1000);
+  EXPECT_EQ(v1.size(), 1000u);
+  std::unordered_set<Fingerprint> unique(v1.begin(), v1.end());
+  EXPECT_EQ(unique.size(), 1000u);  // no history to duplicate from
+}
+
+TEST(VersionedStreamTest, LaterVersionsHitTargetDuplication) {
+  SubspaceRegistry registry(4);
+  VersionedStream stream(&registry,
+                         {.stream_id = 0, .dup_fraction = 0.9, .seed = 2});
+  (void)stream.next_version(5000);
+
+  const auto v2 = stream.next_version(5000);
+  // Count fingerprints that already existed (drawn from used ranges).
+  const std::uint64_t used_before = registry.used(0);
+  std::uint64_t new_counters = registry.used(0);
+  (void)new_counters;
+  // Measure duplication directly: fingerprints of v2 that were in v1's
+  // counter space [0, used_before_v2_allocations) — approximate by
+  // checking how much the subspace grew.
+  const auto v3 = stream.next_version(5000);
+  const std::uint64_t growth = registry.used(0) - used_before;
+  // ~10% of 5000 should be fresh counters (dup_fraction = 0.9).
+  EXPECT_LT(growth, 5000u * 25 / 100);
+  EXPECT_GT(growth, 0u);
+  (void)v2;
+  (void)v3;
+}
+
+TEST(VersionedStreamTest, CrossStreamDuplicationSharesCounters) {
+  SubspaceRegistry registry(1);  // 2^1 = two subspaces: streams 0 and 1
+  VersionedStream a(&registry, {.stream_id = 0, .dup_fraction = 0.9,
+                                .cross_fraction = 1.0, .seed = 3});
+  VersionedStream b(&registry, {.stream_id = 1, .dup_fraction = 0.9,
+                                .cross_fraction = 1.0, .seed = 4});
+  const auto va = a.next_version(2000);
+  const auto vb = b.next_version(2000);
+
+  std::unordered_set<Fingerprint> sa(va.begin(), va.end());
+  std::uint64_t shared = 0;
+  for (const Fingerprint& fp : vb) {
+    if (sa.contains(fp)) ++shared;
+  }
+  // With cross_fraction=1, most of b's duplicates come from a's subspace.
+  EXPECT_GT(shared, 500u);
+}
+
+TEST(VersionedStreamTest, DeterministicForSeed) {
+  SubspaceRegistry r1(4), r2(4);
+  VersionedStream s1(&r1, {.stream_id = 2, .seed = 77});
+  VersionedStream s2(&r2, {.stream_id = 2, .seed = 77});
+  EXPECT_EQ(s1.next_version(500), s2.next_version(500));
+  EXPECT_EQ(s1.next_version(500), s2.next_version(500));
+}
+
+TEST(VersionedStreamTest, SegmentsPreserveLocality) {
+  // Duplicate fingerprints arrive in contiguous counter runs, giving the
+  // stream the duplicate locality SISL exploits. Verify that consecutive
+  // duplicates are mostly counter-adjacent.
+  SubspaceRegistry registry(4);
+  VersionedStream stream(&registry, {.stream_id = 0, .dup_fraction = 1.0,
+                                     .mean_segment = 64, .seed = 5});
+  (void)stream.next_version(2000);
+  const auto v2 = stream.next_version(2000);
+
+  // Reverse-engineer counters via a map built from the subspace.
+  std::unordered_map<Fingerprint, std::uint64_t, FingerprintHash> counter_of;
+  for (std::uint64_t c = registry.base(0); c < registry.base(0) + 4000; ++c) {
+    counter_of[Sha1::hash_counter(c)] = c;
+  }
+  std::uint64_t adjacent = 0, total = 0;
+  for (std::size_t i = 1; i < v2.size(); ++i) {
+    const auto a = counter_of.find(v2[i - 1]);
+    const auto b = counter_of.find(v2[i]);
+    if (a != counter_of.end() && b != counter_of.end()) {
+      ++total;
+      if (b->second == a->second + 1) ++adjacent;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(adjacent) / static_cast<double>(total), 0.9);
+}
+
+}  // namespace
+}  // namespace debar::workload

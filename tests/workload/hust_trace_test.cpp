@@ -1,0 +1,126 @@
+#include "workload/hust_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace debar::workload {
+namespace {
+
+TEST(HustTraceTest, FullBackupDays) {
+  EXPECT_TRUE(HustTrace::is_full_backup_day(1));
+  EXPECT_TRUE(HustTrace::is_full_backup_day(8));
+  EXPECT_TRUE(HustTrace::is_full_backup_day(29));
+  EXPECT_FALSE(HustTrace::is_full_backup_day(2));
+  EXPECT_FALSE(HustTrace::is_full_backup_day(7));
+}
+
+TEST(HustTraceTest, GeneratesJobsForEveryClient) {
+  HustTrace trace({.days = 31, .clients = 8, .mean_daily_chunks = 256});
+  const auto jobs = trace.day(1);
+  ASSERT_EQ(jobs.size(), 8u);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(jobs[c].client, c);
+    EXPECT_GT(jobs[c].stream.size(), 0u);
+  }
+}
+
+TEST(HustTraceTest, IncrementalDaysAreSmaller) {
+  HustTrace trace({.days = 31, .clients = 4, .mean_daily_chunks = 1024,
+                   .seed = 42});
+  std::uint64_t full_total = 0, incr_total = 0, fulls = 0, incrs = 0;
+  for (unsigned d = 1; d <= 14; ++d) {
+    const auto jobs = trace.day(d);
+    std::uint64_t day_total = 0;
+    for (const auto& j : jobs) day_total += j.stream.size();
+    if (HustTrace::is_full_backup_day(d)) {
+      full_total += day_total;
+      ++fulls;
+    } else {
+      incr_total += day_total;
+      ++incrs;
+    }
+  }
+  EXPECT_GT(full_total / fulls, incr_total / incrs);
+}
+
+TEST(HustTraceTest, AdjacentVersionOverlapIsHigh) {
+  // A full-backup day repeats most of the previous version — the property
+  // the preliminary filter exploits.
+  HustTrace trace({.days = 31, .clients = 1, .mean_daily_chunks = 4096,
+                   .seed = 9});
+  const auto day1 = trace.day(1);
+  std::unordered_set<Fingerprint> prev(day1[0].stream.begin(),
+                                       day1[0].stream.end());
+
+  // Days 2..7 incremental, day 8 full.
+  std::vector<DayJob> day_jobs;
+  for (unsigned d = 2; d <= 7; ++d) {
+    day_jobs = trace.day(d);
+    prev.clear();
+    prev.insert(day_jobs[0].stream.begin(), day_jobs[0].stream.end());
+  }
+  const auto day8 = trace.day(8);
+  std::uint64_t overlap = 0;
+  for (const Fingerprint& fp : day8[0].stream) {
+    if (prev.contains(fp)) ++overlap;
+  }
+  const double frac =
+      static_cast<double>(overlap) / static_cast<double>(day8[0].stream.size());
+  EXPECT_GT(frac, 0.6);  // configured full_adjacent = 0.87 (minus fallbacks)
+}
+
+TEST(HustTraceTest, NewDataFractionRoughlyTenPercent) {
+  // Paper: ~10% new data per day in steady state. Track distinct
+  // fingerprints over the month vs total logical fingerprints.
+  HustTrace trace({.days = 31, .clients = 2, .mean_daily_chunks = 1024,
+                   .seed = 3});
+  std::unordered_set<Fingerprint> global;
+  std::uint64_t logical = 0;
+  for (unsigned d = 1; d <= 31; ++d) {
+    for (const auto& job : trace.day(d)) {
+      logical += job.stream.size();
+      global.insert(job.stream.begin(), job.stream.end());
+    }
+  }
+  const double overall_ratio =
+      static_cast<double>(logical) / static_cast<double>(global.size());
+  // Paper's HUSt month: ~9.4:1 cumulative compression. Accept 5..16.
+  EXPECT_GT(overall_ratio, 5.0);
+  EXPECT_LT(overall_ratio, 16.0);
+}
+
+TEST(HustTraceTest, DeterministicForSeed) {
+  HustTrace a({.clients = 2, .mean_daily_chunks = 128, .seed = 5});
+  HustTrace b({.clients = 2, .mean_daily_chunks = 128, .seed = 5});
+  for (unsigned d = 1; d <= 3; ++d) {
+    const auto ja = a.day(d);
+    const auto jb = b.day(d);
+    ASSERT_EQ(ja.size(), jb.size());
+    for (std::size_t c = 0; c < ja.size(); ++c) {
+      EXPECT_EQ(ja[c].stream, jb[c].stream);
+    }
+  }
+}
+
+TEST(HustTraceTest, ClientsUseDisjointNewCounterSpaces) {
+  HustTrace trace({.clients = 4, .mean_daily_chunks = 512, .seed = 8});
+  const auto day1 = trace.day(1);
+  // Day 1 has no cross-client history: a fingerprint may repeat *within*
+  // a client's stream (intra-day duplication) but never across clients,
+  // whose fresh counters come from disjoint subspaces.
+  std::vector<std::unordered_set<Fingerprint>> per_client(4);
+  for (const auto& job : day1) {
+    per_client[job.client].insert(job.stream.begin(), job.stream.end());
+  }
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) {
+      for (const Fingerprint& fp : per_client[a]) {
+        EXPECT_FALSE(per_client[b].contains(fp));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace debar::workload
