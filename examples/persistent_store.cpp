@@ -26,7 +26,12 @@ const index::DiskIndexParams kIndexParams{.prefix_bits = 10,
 
 Result<std::unique_ptr<storage::FileBlockDevice>> open_file(
     const std::filesystem::path& path) {
-  return storage::FileBlockDevice::open(path);
+  auto device = storage::FileBlockDevice::open(path);
+  if (!device.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", path.string().c_str(),
+                 device.error().to_string().c_str());
+  }
+  return device;
 }
 
 /// Open (or create) the three durable structures under `dir`.

@@ -139,7 +139,9 @@ Result<Dataset> BackupEngine::restore(std::uint64_t job_id,
         const Fingerprint actual = Sha1::hash(
             ByteSpan(chunk.value().data(), chunk.value().size()));
         // Synthetic payloads are stamped, not hashed; accept either form.
+        // (A chunk shorter than a fingerprint cannot carry a stamp.)
         const bool stamped =
+            chunk.value().size() >= Fingerprint::kSize &&
             std::equal(file.chunk_fps[i].bytes.begin(),
                        file.chunk_fps[i].bytes.end(), chunk.value().begin());
         if (actual != file.chunk_fps[i] && !stamped) {

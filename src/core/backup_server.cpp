@@ -9,9 +9,14 @@ namespace debar::core {
 
 namespace {
 
-std::unique_ptr<storage::BlockDevice> make_index_device(
-    sim::DiskModel* model) {
-  auto device = std::make_unique<storage::MemBlockDevice>();
+using DeviceFactory =
+    std::function<std::unique_ptr<storage::BlockDevice>()>;
+
+std::unique_ptr<storage::BlockDevice> mint_device(
+    const DeviceFactory& factory, sim::DiskModel* model) {
+  auto device = factory != nullptr
+                    ? factory()
+                    : std::make_unique<storage::MemBlockDevice>();
   device->attach_model(model);
   return device;
 }
@@ -27,12 +32,12 @@ BackupServer::BackupServer(std::size_t server_id,
       nic_model_(config.nic_profile, &nic_clock_),
       log_model_(config.log_profile, &log_clock_),
       index_model_(config.index_profile, &index_clock_) {
-  auto log_device = std::make_unique<storage::MemBlockDevice>();
-  log_device->attach_model(&log_model_);
-  chunk_log_ = std::make_unique<storage::ChunkLog>(std::move(log_device));
+  chunk_log_ = std::make_unique<storage::ChunkLog>(
+      mint_device(config.log_device_factory, &log_model_));
 
   Result<index::DiskIndex> idx = index::DiskIndex::create(
-      make_index_device(&index_model_), config.index_params);
+      mint_device(config.index_device_factory, &index_model_),
+      config.index_params);
   assert(idx.ok() && "index params validated by config construction");
 
   file_store_ = std::make_unique<FileStore>(config.filter_params,
@@ -45,7 +50,9 @@ BackupServer::BackupServer(std::size_t server_id,
   cs.container_capacity = config.container_capacity;
   chunk_store_ = std::make_unique<ChunkStore>(
       std::move(idx).value(), cs, repository, chunk_log_.get(),
-      [model = &index_model_] { return make_index_device(model); });
+      [factory = config.index_device_factory, model = &index_model_] {
+        return mint_device(factory, model);
+      });
 }
 
 Result<Dedup2Result> BackupServer::run_dedup2(bool force_siu) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "common/result.hpp"
@@ -28,6 +29,14 @@ struct BackupServerConfig {
   sim::DiskProfile index_profile = sim::DiskProfile::PaperRaid();
   sim::DiskProfile log_profile = sim::DiskProfile::PaperChunkLog();
   sim::NicProfile nic_profile = sim::NicProfile::PaperGigabit();
+
+  /// Optional device factories (fault injection, at-rest persistence):
+  /// mint the chunk-log device and every index device — the initial one
+  /// and the fresh devices capacity scaling allocates. Defaults mint
+  /// growable in-memory devices. The server attaches its own disk models
+  /// to whatever these return.
+  std::function<std::unique_ptr<storage::BlockDevice>()> log_device_factory;
+  std::function<std::unique_ptr<storage::BlockDevice>()> index_device_factory;
 };
 
 /// Snapshot of a server's simulated component clocks; benches diff two

@@ -13,10 +13,12 @@ ChunkStore::ChunkStore(index::DiskIndex idx, ChunkStoreConfig config,
                        storage::ChunkLog* log, DeviceFactory device_factory)
     : index_(std::move(idx)),
       config_(config),
+      repository_(repository),
       containers_(repository, config.container_capacity),
       log_(log),
       device_factory_(std::move(device_factory)),
       lpc_(config.lpc_containers) {
+  assert(repository_ != nullptr);
   assert(log_ != nullptr);
   assert(device_factory_ != nullptr);
 }
@@ -91,6 +93,15 @@ Result<StoreResult> ChunkStore::store_new_chunks(
   });
   if (!s.ok()) return Error{s.code(), s.message()};
   containers_.flush(on_seal);
+
+  // Persistent repositories write containers through to their node
+  // devices; a write-through that failed (even after retries) means the
+  // chunks this round claims to have stored would not survive a restart.
+  // Fail the round so the backup is never acknowledged.
+  if (Status durable = repository_->take_backing_error(); !durable.ok()) {
+    return Error{durable.code(),
+                 "container write-through failed: " + durable.message()};
+  }
 
   result.entries = cache.sorted_entries();
   // A cache entry still holding a null container means SIL declared the

@@ -151,6 +151,7 @@ class ChunkStore {
  private:
   index::DiskIndex index_;
   ChunkStoreConfig config_;
+  storage::ChunkRepository* repository_;
   storage::ContainerManager containers_;
   storage::ChunkLog* log_;
   DeviceFactory device_factory_;

@@ -73,14 +73,18 @@ Status Director::recover() {
   return Status::Ok();
 }
 
-void Director::submit_version(JobVersionRecord record) {
+Status Director::submit_version(JobVersionRecord record) {
   std::lock_guard lock(mutex_);
   if (metadata_store_ != nullptr) {
     if (Status s = metadata_store_->append(record); !s.ok()) {
+      // Keep the in-memory catalogue consistent with what we acknowledge:
+      // the version is not recorded anywhere.
       DEBAR_LOG_ERROR("metadata store append failed: {}", s.to_string());
+      return s;
     }
   }
   versions_[record.job_id].push_back(std::move(record));
+  return Status::Ok();
 }
 
 std::optional<JobVersionRecord> Director::version(std::uint64_t job_id,

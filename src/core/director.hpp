@@ -50,8 +50,11 @@ class Director {
   // ---- Metadata manager ----
 
   /// Record a completed job version (called by the backup server's File
-  /// Store at the end of dedup-1).
-  void submit_version(JobVersionRecord record);
+  /// Store at the end of dedup-1). When a metadata store is attached the
+  /// record must reach it before the version is catalogued — a version
+  /// that is acknowledged but not durable would be unrestorable after a
+  /// restart, so the append failure is the caller's failure.
+  [[nodiscard]] Status submit_version(JobVersionRecord record);
 
   [[nodiscard]] std::optional<JobVersionRecord> version(
       std::uint64_t job_id, std::uint32_t version) const;

@@ -135,7 +135,12 @@ Result<JobVersionRecord> FileStore::close_session(SessionId id) {
 
   JobVersionRecord record = std::move(session.record);
   sessions_.erase(id);
-  director_->submit_version(record);
+  if (Status s = director_->submit_version(record); !s.ok()) {
+    // The version's metadata never became durable: the backup is not
+    // acknowledged. The client re-runs the job; its chunks are already in
+    // the log/repository and will simply deduplicate.
+    return Error{s.code(), "version submit failed: " + s.message()};
+  }
   ++stats_.jobs_completed;
   return record;
 }

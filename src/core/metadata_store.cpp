@@ -4,7 +4,9 @@
 #include <cassert>
 
 #include "common/fmt.hpp"
+#include "common/log.hpp"
 #include "common/serial.hpp"
+#include "storage/io_retry.hpp"
 
 namespace debar::core {
 
@@ -99,7 +101,10 @@ Status MetadataStore::append(const JobVersionRecord& record) {
 
   std::lock_guard lock(mutex_);
   const std::uint64_t offset = tail_;
-  if (Status s = device_->write(offset, ByteSpan(frame.data(), frame.size()));
+  // Retried: the tail only advances on success, so a torn attempt is
+  // overwritten whole by the next one.
+  if (Status s = storage::write_with_retry(
+          *device_, offset, ByteSpan(frame.data(), frame.size()));
       !s.ok()) {
     return s;
   }
@@ -119,7 +124,8 @@ Status MetadataStore::append_tombstone(std::uint64_t job_id,
   w.u32(version);
 
   std::lock_guard lock(mutex_);
-  if (Status s = device_->write(tail_, ByteSpan(frame.data(), frame.size()));
+  if (Status s = storage::write_with_retry(
+          *device_, tail_, ByteSpan(frame.data(), frame.size()));
       !s.ok()) {
     return s;
   }
@@ -170,8 +176,13 @@ Result<std::vector<JobVersionRecord>> MetadataStore::load_all() {
     const std::uint32_t length = hr.u32();
     if (length == 0) break;  // zero-filled tail: end of log
     if (pos + 4 + length > end) {
-      return Error{Errc::kCorrupt,
-                   format("metadata record at {} overruns device", pos)};
+      // Torn tail of a crashed append: records are written whole, so a
+      // frame overrunning the device can only be the last one attempted.
+      // The version it carried was never acknowledged; resume appending
+      // over it.
+      DEBAR_LOG_WARN("torn metadata record at {} ({} of {} bytes); discarding",
+                     pos, end - pos - 4, length);
+      break;
     }
     std::vector<Byte> payload(length);
     if (Status s = device_->read(pos + 4, std::span<Byte>(payload));

@@ -5,6 +5,7 @@
 #include "common/fmt.hpp"
 
 #include "common/serial.hpp"
+#include "storage/io_retry.hpp"
 
 namespace debar::index {
 
@@ -112,8 +113,8 @@ void DiskIndex::serialize_bucket(const Bucket& b, std::span<Byte> out) const {
 
 Result<Bucket> DiskIndex::read_bucket(std::uint64_t idx) const {
   std::vector<Byte> buf(params_.bucket_bytes());
-  if (Status s = device_->read(idx * params_.bucket_bytes(),
-                               std::span<Byte>(buf));
+  if (Status s = storage::read_with_retry(*device_, idx * params_.bucket_bytes(),
+                                          std::span<Byte>(buf));
       !s.ok()) {
     return Error{s.code(), s.message()};
   }
@@ -123,15 +124,19 @@ Result<Bucket> DiskIndex::read_bucket(std::uint64_t idx) const {
 Status DiskIndex::write_bucket(std::uint64_t idx, const Bucket& b) {
   std::vector<Byte> buf(params_.bucket_bytes());
   serialize_bucket(b, std::span<Byte>(buf));
-  return device_->write(idx * params_.bucket_bytes(),
-                        ByteSpan(buf.data(), buf.size()));
+  // Bucket writes ride the shared retry policy: a transiently failing
+  // device must not abort an SIU round when a re-issue would land it.
+  return storage::write_with_retry(*device_, idx * params_.bucket_bytes(),
+                                   ByteSpan(buf.data(), buf.size()));
 }
 
 Status DiskIndex::read_bucket_range(std::uint64_t first, std::uint64_t count,
                                     std::vector<Bucket>& out) const {
   const std::uint64_t bb = params_.bucket_bytes();
   std::vector<Byte> buf(count * bb);
-  if (Status s = device_->read(first * bb, std::span<Byte>(buf)); !s.ok()) {
+  if (Status s = storage::read_with_retry(*device_, first * bb,
+                                          std::span<Byte>(buf));
+      !s.ok()) {
     return s;
   }
   out.clear();
@@ -149,7 +154,8 @@ Status DiskIndex::write_bucket_range(std::uint64_t first,
   for (std::size_t i = 0; i < buckets.size(); ++i) {
     serialize_bucket(buckets[i], std::span<Byte>(buf.data() + i * bb, bb));
   }
-  return device_->write(first * bb, ByteSpan(buf.data(), buf.size()));
+  return storage::write_with_retry(*device_, first * bb,
+                                   ByteSpan(buf.data(), buf.size()));
 }
 
 Result<ContainerId> DiskIndex::lookup(const Fingerprint& fp) const {

@@ -45,7 +45,15 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::open(
   if (!stream) {
     return Error{Errc::kIoError, debar::format("cannot open {}", path.string())};
   }
-  const std::uint64_t size = std::filesystem::file_size(path);
+  // Non-throwing overload: file_size fails on non-regular files (pipes,
+  // char devices), which are not valid backing stores anyway.
+  std::error_code ec;
+  const std::uint64_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Error{Errc::kIoError,
+                 debar::format("cannot size {}: {}", path.string(),
+                               ec.message())};
+  }
   return std::unique_ptr<FileBlockDevice>(
       new FileBlockDevice(path, std::move(stream), size));
 }
@@ -79,10 +87,12 @@ Status FileBlockDevice::write(std::uint64_t offset, ByteSpan data) {
   stream_.seekp(static_cast<std::streamoff>(offset));
   stream_.write(reinterpret_cast<const char*>(data.data()),
                 static_cast<std::streamsize>(data.size()));
+  // Flush before declaring victory: with a buffered stream, a device
+  // error (e.g. ENOSPC) may only surface at flush time.
+  stream_.flush();
   if (!stream_) {
     return {Errc::kIoError, debar::format("short write at {}", offset)};
   }
-  stream_.flush();
   size_ = std::max(size_, offset + data.size());
   account(offset, data.size());
   return Status::Ok();

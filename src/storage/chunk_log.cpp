@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/serial.hpp"
+#include "storage/io_retry.hpp"
 
 namespace debar::storage {
 
@@ -21,7 +22,10 @@ Status ChunkLog::append(const Fingerprint& fp, ByteSpan chunk) {
   w.u32(static_cast<std::uint32_t>(chunk.size()));
   w.bytes(chunk);
 
-  if (Status s = device_->write(tail_, ByteSpan(record.data(), record.size()));
+  // Retried: a torn or failed append leaves the tail unadvanced, so the
+  // re-issued record overwrites its own debris.
+  if (Status s = write_with_retry(*device_, tail_,
+                                  ByteSpan(record.data(), record.size()));
       !s.ok()) {
     return s;
   }
@@ -35,7 +39,8 @@ Status ChunkLog::scan(const ScanCallback& cb) const {
   std::vector<Byte> header(Fingerprint::kSize + 4);
   std::vector<Byte> payload;
   for (std::uint64_t i = 0; i < count_; ++i) {
-    if (Status s = device_->read(pos, std::span<Byte>(header)); !s.ok()) {
+    if (Status s = read_with_retry(*device_, pos, std::span<Byte>(header));
+        !s.ok()) {
       return s;
     }
     ByteReader r(ByteSpan(header.data(), header.size()));
@@ -47,7 +52,8 @@ Status ChunkLog::scan(const ScanCallback& cb) const {
               debar::format("chunk-log record {} overruns tail", i)};
     }
     payload.resize(size);
-    if (Status s = device_->read(pos, std::span<Byte>(payload)); !s.ok()) {
+    if (Status s = read_with_retry(*device_, pos, std::span<Byte>(payload));
+        !s.ok()) {
       return s;
     }
     pos += size;

@@ -5,6 +5,7 @@
 #include "common/fmt.hpp"
 #include "common/log.hpp"
 #include "common/serial.hpp"
+#include "storage/io_retry.hpp"
 
 namespace debar::storage {
 
@@ -53,10 +54,15 @@ Result<std::unique_ptr<ChunkRepository>> ChunkRepository::open(
       const std::uint32_t length = r.u32();
       if (magic != kFrameMagic && magic != kFrameTombstone) break;  // tail
       if (pos + kFrameHeader + length > device.size()) {
-        return Error{Errc::kCorrupt,
-                     debar::format("frame at node {} offset {} overruns "
-                                   "device",
-                                   node, pos)};
+        // A frame that overruns the device can only be the torn tail of a
+        // crashed append (frames are written whole, so mid-log frames are
+        // always complete). Everything before it is intact; the partial
+        // frame's container was never acknowledged, so drop it and stop.
+        DEBAR_LOG_WARN(
+            "torn tail frame at node {} offset {} ({} of {} bytes); "
+            "discarding",
+            node, pos, device.size() - pos - kFrameHeader, length);
+        break;
       }
       if (magic == kFrameMagic) {
         std::vector<Byte> image(length);
@@ -112,13 +118,15 @@ ContainerId ChunkRepository::append(Container container,
     w.u32(static_cast<std::uint32_t>(image.size()));
     w.bytes(ByteSpan(image.data(), image.size()));
     const std::uint64_t offset = tails_[node_idx];
-    if (Status s = backing_[node_idx]->write(
-            offset, ByteSpan(frame.data(), frame.size()));
+    if (Status s = write_with_retry(*backing_[node_idx], offset,
+                                    ByteSpan(frame.data(), frame.size()));
         !s.ok()) {
       // Surfacing write failures through append's signature would change
       // every store path for a condition only the persistent mode can
-      // hit; treat it as fatal-to-durability and log loudly instead.
+      // hit; log loudly and park the failure in backing_error_ so the
+      // chunk-storing step can fail its round (take_backing_error()).
       DEBAR_LOG_ERROR("persistent container write failed: {}", s.to_string());
+      if (backing_error_.ok()) backing_error_ = s;
     } else {
       frames_[id.value] = {node_idx, offset};
       tails_[node_idx] = offset + frame.size();
@@ -185,10 +193,12 @@ Status ChunkRepository::remove(ContainerId id) {
     std::vector<Byte> magic;
     ByteWriter w(magic);
     w.u32(kFrameTombstone);
-    if (Status s = backing_[frame->second.node]->write(
-            frame->second.offset, ByteSpan(magic.data(), magic.size()));
+    if (Status s = write_with_retry(*backing_[frame->second.node],
+                                    frame->second.offset,
+                                    ByteSpan(magic.data(), magic.size()));
         !s.ok()) {
       DEBAR_LOG_ERROR("persistent tombstone write failed: {}", s.to_string());
+      if (backing_error_.ok()) backing_error_ = s;
     }
     frames_.erase(frame);
   }
@@ -222,6 +232,13 @@ double ChunkRepository::total_node_seconds() const {
   double s = 0;
   for (const auto& n : nodes_) s += n->clock.seconds();
   return s;
+}
+
+Status ChunkRepository::take_backing_error() {
+  std::lock_guard lock(mutex_);
+  Status out = backing_error_;
+  backing_error_ = Status::Ok();
+  return out;
 }
 
 void ChunkRepository::reset_clocks() {

@@ -86,6 +86,15 @@ class ChunkRepository {
   /// Storage node holding a container (round-robin unless pinned).
   [[nodiscard]] std::size_t node_of(ContainerId id) const;
 
+  /// Durability status of the persistent write-through path: the first
+  /// container-frame or tombstone write that failed even after bounded
+  /// retries, Ok otherwise. Reading clears it. append() cannot widen its
+  /// signature for every in-memory caller, so the dedup-2 chunk-storing
+  /// step polls this after sealing a batch and fails the round — turning
+  /// silent durability loss into an unacked backup. Always Ok for
+  /// memory-only repositories.
+  [[nodiscard]] Status take_backing_error();
+
  private:
   struct Node {
     sim::SimClock clock;
@@ -114,6 +123,7 @@ class ChunkRepository {
   std::vector<std::unique_ptr<BlockDevice>> backing_;
   std::vector<std::uint64_t> tails_;
   std::unordered_map<std::uint64_t, Frame> frames_;
+  Status backing_error_;  // sticky until take_backing_error()
 
   std::uint64_t stored_payload_bytes_ = 0;
 };

@@ -1,0 +1,74 @@
+#include "storage/faulty_block_device.hpp"
+
+#include <cassert>
+
+#include "common/fmt.hpp"
+
+namespace debar::storage {
+
+FaultyBlockDevice::FaultyBlockDevice(std::unique_ptr<BlockDevice> inner,
+                                     std::shared_ptr<FaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {
+  assert(inner_ != nullptr);
+  assert(injector_ != nullptr);
+}
+
+Status FaultyBlockDevice::read(std::uint64_t offset, std::span<Byte> out) {
+  switch (injector_->next(/*is_write=*/false)) {
+    case FaultInjector::Action::kCrashed:
+      return {Errc::kIoError,
+              debar::format("crashed device: read at {}", offset)};
+    case FaultInjector::Action::kReadError:
+      return {Errc::kIoError,
+              debar::format("injected transient read fault at {}", offset)};
+    default:
+      break;
+  }
+  if (Status s = inner_->read(offset, out); !s.ok()) return s;
+  account(offset, out.size());
+  return Status::Ok();
+}
+
+Status FaultyBlockDevice::write(std::uint64_t offset, ByteSpan data) {
+  switch (injector_->next(/*is_write=*/true)) {
+    case FaultInjector::Action::kCrashed:
+      return {Errc::kIoError,
+              debar::format("crashed device: write at {}", offset)};
+    case FaultInjector::Action::kWriteError:
+      return {Errc::kIoError,
+              debar::format("injected transient write fault at {}", offset)};
+    case FaultInjector::Action::kTornWrite: {
+      const std::uint64_t landed = injector_->torn_prefix(data.size());
+      if (landed > 0) {
+        // Best effort: the prefix that "reached the platter". A failure
+        // here changes nothing — the op already reports kIoError.
+        (void)inner_->write(offset, data.subspan(0, landed));
+      }
+      return {Errc::kIoError,
+              debar::format("torn write at {}: {} of {} bytes landed", offset,
+                            landed, data.size())};
+    }
+    default:
+      break;
+  }
+  if (Status s = inner_->write(offset, data); !s.ok()) return s;
+  account(offset, data.size());
+  return Status::Ok();
+}
+
+Status FaultyBlockDevice::resize(std::uint64_t bytes) {
+  switch (injector_->next(/*is_write=*/true)) {
+    case FaultInjector::Action::kCrashed:
+      return {Errc::kIoError, "crashed device: resize"};
+    case FaultInjector::Action::kWriteError:
+    case FaultInjector::Action::kTornWrite:
+      // A resize has no meaningful partial form; both write-fault kinds
+      // degrade to "nothing happened".
+      return {Errc::kIoError, "injected transient resize fault"};
+    default:
+      break;
+  }
+  return inner_->resize(bytes);
+}
+
+}  // namespace debar::storage

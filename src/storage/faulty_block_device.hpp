@@ -1,0 +1,163 @@
+// Deterministic fault injection for block devices.
+//
+// FaultyBlockDevice decorates any BlockDevice and injects failures driven
+// by a seeded RNG schedule shared (via FaultInjector) by every device of a
+// deployment, so one op counter spans the whole storage stack:
+//
+//   * transient kIoError returns on read or write (nothing lands);
+//   * torn writes: a deterministic prefix of the data lands, the rest is
+//     lost, and the write reports kIoError (callers retry — block-device
+//     writes are idempotent, so re-issuing the range heals the tear);
+//   * a hard crash point: the op whose global index equals
+//     `crash_after_ops` tears (writes) or fails (reads/resizes), and every
+//     op after it fails unconditionally. The wrapped device is never
+//     touched again — it is frozen as the post-crash disk image, exactly
+//     what a recovery path would find after power loss.
+//
+// Determinism contract: the schedule is a pure function of the seed and
+// the op sequence (kinds, in order). Each op consumes exactly one RNG draw
+// for its fault decision; a torn write consumes one more for the torn
+// prefix length. The crash point is triggered by the op counter alone, so
+// a failing crash point is reproducible from (seed, crash_after_ops).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/result.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::storage {
+
+/// Sentinel: no hard crash point scheduled.
+inline constexpr std::uint64_t kNoCrash = ~std::uint64_t{0};
+
+struct FaultConfig {
+  /// Seeds the injector's RNG stream. Fixed at construction;
+  /// FaultInjector::set_config keeps the running stream.
+  std::uint64_t seed = 0;
+  /// Probability a read returns kIoError with no data transferred.
+  double read_error_rate = 0.0;
+  /// Probability a write returns kIoError with nothing landed.
+  double write_error_rate = 0.0;
+  /// Probability a write lands only a prefix and returns kIoError.
+  double torn_write_rate = 0.0;
+  /// Global op index (0-based, across all devices sharing the injector)
+  /// at which the deployment crashes. kNoCrash disables.
+  std::uint64_t crash_after_ops = kNoCrash;
+};
+
+/// Shared fault schedule. One injector per simulated "machine": every
+/// device wrapped over it draws from the same op counter and RNG stream,
+/// so a crash freezes the whole deployment at one instant. Thread-safe;
+/// determinism of course still requires a deterministic op order.
+class FaultInjector {
+ public:
+  enum class Action {
+    kPass,        // op proceeds normally
+    kReadError,   // transient read failure
+    kWriteError,  // transient write failure, nothing lands
+    kTornWrite,   // prefix lands, op reports failure
+    kCrashed,     // at/after the crash point
+  };
+
+  explicit FaultInjector(FaultConfig config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Decide the fate of the next op (consumes one op slot + one draw).
+  [[nodiscard]] Action next(bool is_write) {
+    std::lock_guard lock(mutex_);
+    const std::uint64_t op = ops_++;
+    if (crashed_ || op >= config_.crash_after_ops) {
+      const bool at_crash_point = !crashed_;
+      crashed_ = true;
+      // The in-flight write at the crash point tears; later ops and
+      // in-flight reads just fail.
+      if (at_crash_point && is_write) return Action::kTornWrite;
+      return Action::kCrashed;
+    }
+    const double draw = rng_.uniform();
+    if (is_write) {
+      if (draw < config_.torn_write_rate) return Action::kTornWrite;
+      if (draw < config_.torn_write_rate + config_.write_error_rate) {
+        return Action::kWriteError;
+      }
+    } else if (draw < config_.read_error_rate) {
+      return Action::kReadError;
+    }
+    return Action::kPass;
+  }
+
+  /// Length of the prefix that lands for a torn write (one extra draw).
+  /// Always loses at least one byte so the tear is observable.
+  [[nodiscard]] std::uint64_t torn_prefix(std::uint64_t length) {
+    std::lock_guard lock(mutex_);
+    return length == 0 ? 0 : rng_.below(length);
+  }
+
+  /// Ops decided so far (the next op gets this index).
+  [[nodiscard]] std::uint64_t op_count() const {
+    std::lock_guard lock(mutex_);
+    return ops_;
+  }
+
+  [[nodiscard]] bool crashed() const {
+    std::lock_guard lock(mutex_);
+    return crashed_;
+  }
+
+  [[nodiscard]] FaultConfig config() const {
+    std::lock_guard lock(mutex_);
+    return config_;
+  }
+
+  /// Re-arm rates / crash point mid-run (tests build a deployment
+  /// fault-free, then arm). The RNG stream, op counter and seed continue
+  /// unchanged; `config.seed` is ignored here.
+  void set_config(const FaultConfig& config) {
+    std::lock_guard lock(mutex_);
+    const std::uint64_t seed = config_.seed;
+    config_ = config;
+    config_.seed = seed;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  FaultConfig config_;
+  Xoshiro256 rng_;
+  std::uint64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+/// Decorator: forwards to the wrapped device unless the shared injector
+/// schedules a fault for the op. Registered in src/CMakeLists.txt beside
+/// the concrete devices; production code never links faults in — only
+/// tests construct one.
+class FaultyBlockDevice final : public BlockDevice {
+ public:
+  FaultyBlockDevice(std::unique_ptr<BlockDevice> inner,
+                    std::shared_ptr<FaultInjector> injector);
+
+  [[nodiscard]] Status read(std::uint64_t offset,
+                            std::span<Byte> out) override;
+  [[nodiscard]] Status write(std::uint64_t offset, ByteSpan data) override;
+  [[nodiscard]] std::uint64_t size() const override { return inner_->size(); }
+  [[nodiscard]] Status resize(std::uint64_t bytes) override;
+
+  /// The wrapped device — after a crash, the frozen post-crash image.
+  [[nodiscard]] BlockDevice& inner() noexcept { return *inner_; }
+  [[nodiscard]] const BlockDevice& inner() const noexcept { return *inner_; }
+  [[nodiscard]] const std::shared_ptr<FaultInjector>& injector()
+      const noexcept {
+    return injector_;
+  }
+
+ private:
+  std::unique_ptr<BlockDevice> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace debar::storage

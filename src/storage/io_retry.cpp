@@ -1,0 +1,40 @@
+#include "storage/io_retry.hpp"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+namespace debar::storage {
+
+namespace {
+
+template <typename Op>
+Status attempt_with_retry(const RetryPolicy& policy, const Op& op) {
+  assert(policy.max_attempts >= 1);
+  Status last;
+  std::uint32_t delay_us = policy.backoff_us;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0 && delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+      delay_us *= 2;
+    }
+    last = op();
+    if (last.ok() || last.code() != Errc::kIoError) return last;
+  }
+  return last;
+}
+
+}  // namespace
+
+Status write_with_retry(BlockDevice& device, std::uint64_t offset,
+                        ByteSpan data, const RetryPolicy& policy) {
+  return attempt_with_retry(policy,
+                            [&] { return device.write(offset, data); });
+}
+
+Status read_with_retry(BlockDevice& device, std::uint64_t offset,
+                       std::span<Byte> out, const RetryPolicy& policy) {
+  return attempt_with_retry(policy, [&] { return device.read(offset, out); });
+}
+
+}  // namespace debar::storage

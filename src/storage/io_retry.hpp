@@ -1,0 +1,37 @@
+// Bounded retry with exponential backoff for transient device faults.
+//
+// Block-device writes are idempotent — re-issuing the full range
+// overwrites any torn prefix a failed attempt left behind — so the write
+// paths of the chunk log, the persistent chunk repository and the metadata
+// store can absorb transient kIoError returns (a flaky cable, an injected
+// fault) by simply retrying. Only kIoError is retried: kCorrupt,
+// kInvalidArgument etc. are deterministic and would fail identically.
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::storage {
+
+struct RetryPolicy {
+  /// Total attempts (first try included). >= 1.
+  int max_attempts = 4;
+  /// Sleep before the first retry; doubles each further retry. 0 spins.
+  std::uint32_t backoff_us = 50;
+};
+
+/// Write `data` at `offset`, retrying transient failures per `policy`.
+/// Returns the last failure when every attempt fails.
+[[nodiscard]] Status write_with_retry(BlockDevice& device,
+                                      std::uint64_t offset, ByteSpan data,
+                                      const RetryPolicy& policy = {});
+
+/// Read counterpart (reads are trivially idempotent).
+[[nodiscard]] Status read_with_retry(BlockDevice& device, std::uint64_t offset,
+                                     std::span<Byte> out,
+                                     const RetryPolicy& policy = {});
+
+}  // namespace debar::storage

@@ -65,13 +65,13 @@ TEST(DirectorTest, VersionChainAndFilteringFingerprints) {
   EXPECT_EQ(director.next_version(job), 1u);
   EXPECT_TRUE(director.filtering_fingerprints(job).empty());
 
-  director.submit_version(make_record(job, 1, 0, 10));
+  ASSERT_TRUE(director.submit_version(make_record(job, 1, 0, 10)).ok());
   EXPECT_EQ(director.next_version(job), 2u);
   const auto filtering = director.filtering_fingerprints(job);
   EXPECT_EQ(filtering.size(), 10u);
   EXPECT_EQ(filtering[0], Sha1::hash_counter(0));
 
-  director.submit_version(make_record(job, 2, 100, 5));
+  ASSERT_TRUE(director.submit_version(make_record(job, 2, 100, 5)).ok());
   // Filtering fingerprints now come from version 2.
   const auto filtering2 = director.filtering_fingerprints(job);
   EXPECT_EQ(filtering2.size(), 5u);
@@ -81,8 +81,8 @@ TEST(DirectorTest, VersionChainAndFilteringFingerprints) {
 TEST(DirectorTest, VersionRetrieval) {
   Director director;
   const std::uint64_t job = director.define_job("c", "d");
-  director.submit_version(make_record(job, 1, 0, 3));
-  director.submit_version(make_record(job, 2, 50, 4));
+  ASSERT_TRUE(director.submit_version(make_record(job, 1, 0, 3)).ok());
+  ASSERT_TRUE(director.submit_version(make_record(job, 2, 50, 4)).ok());
 
   const auto v1 = director.version(job, 1);
   ASSERT_TRUE(v1.has_value());
@@ -97,8 +97,8 @@ TEST(DirectorTest, VersionRetrieval) {
 TEST(DirectorTest, TotalLogicalBytesAccumulates) {
   Director director;
   const std::uint64_t job = director.define_job("c", "d");
-  director.submit_version(make_record(job, 1, 0, 10));
-  director.submit_version(make_record(job, 2, 100, 10));
+  ASSERT_TRUE(director.submit_version(make_record(job, 1, 0, 10)).ok());
+  ASSERT_TRUE(director.submit_version(make_record(job, 2, 100, 10)).ok());
   EXPECT_EQ(director.total_logical_bytes(), 2u * 10 * 8192);
 }
 

@@ -159,9 +159,9 @@ TEST(DirectorPersistenceTest, RecoverRestoresVersionCatalogue) {
     MetadataStore store(std::move(device));
     Director director;
     director.attach_metadata_store(&store);
-    director.submit_version(make_record(1, 1));
-    director.submit_version(make_record(1, 2));
-    director.submit_version(make_record(2, 1));
+    ASSERT_TRUE(director.submit_version(make_record(1, 1)).ok());
+    ASSERT_TRUE(director.submit_version(make_record(1, 2)).ok());
+    ASSERT_TRUE(director.submit_version(make_record(2, 1)).ok());
     image.assign(raw->contents().begin(), raw->contents().end());
   }
 

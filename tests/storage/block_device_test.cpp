@@ -102,5 +102,67 @@ TEST_F(FileBlockDeviceTest, ResizeSetsSize) {
   EXPECT_TRUE(dev.value()->read(0, std::span<Byte>(out)).ok());
 }
 
+TEST_F(FileBlockDeviceTest, OpenDirectoryPathFails) {
+  auto dev = FileBlockDevice::open(std::filesystem::temp_directory_path());
+  ASSERT_FALSE(dev.ok());
+  EXPECT_EQ(dev.error().code, Errc::kIoError);
+}
+
+TEST_F(FileBlockDeviceTest, OpenInMissingDirectoryFails) {
+  auto dev = FileBlockDevice::open(
+      std::filesystem::temp_directory_path() / "no_such_dir" / "dev.bin");
+  ASSERT_FALSE(dev.ok());
+  EXPECT_EQ(dev.error().code, Errc::kIoError);
+}
+
+TEST_F(FileBlockDeviceTest, OpenOnReadOnlyFilesystemFails) {
+  // /proc is read-only even for root, so file creation must fail with a
+  // Status — not a crash, not a silent zero-byte device.
+  if (!std::filesystem::is_directory("/proc")) {
+    GTEST_SKIP() << "/proc not available";
+  }
+  auto dev = FileBlockDevice::open("/proc/debar_fbd_negative_test.bin");
+  ASSERT_FALSE(dev.ok());
+  EXPECT_EQ(dev.error().code, Errc::kIoError);
+}
+
+TEST_F(FileBlockDeviceTest, OpenOnCharDeviceFails) {
+  // Char devices have no file size; open must reject them gracefully.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  auto dev = FileBlockDevice::open("/dev/full");
+  ASSERT_FALSE(dev.ok());
+  EXPECT_EQ(dev.error().code, Errc::kIoError);
+}
+
+TEST_F(FileBlockDeviceTest, ResizeFailsAfterBackingFileRemoved) {
+  auto dev = FileBlockDevice::open(path_);
+  ASSERT_TRUE(dev.ok());
+  const std::vector<Byte> data(64, Byte{3});
+  ASSERT_TRUE(dev.value()->write(0, ByteSpan(data.data(), data.size())).ok());
+
+  std::filesystem::remove(path_);
+  const Status s = dev.value()->resize(4096);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kIoError);
+  EXPECT_EQ(dev.value()->size(), 64u);  // size unchanged on failure
+}
+
+TEST_F(FileBlockDeviceTest, ShortReadAfterExternalTruncationFails) {
+  auto dev = FileBlockDevice::open(path_);
+  ASSERT_TRUE(dev.ok());
+  const std::vector<Byte> data(100, Byte{7});
+  ASSERT_TRUE(dev.value()->write(0, ByteSpan(data.data(), data.size())).ok());
+
+  // Truncate behind the device's back: its cached size_ still says 100,
+  // so the read passes the bounds check and must fail at the stream.
+  std::filesystem::resize_file(path_, 10);
+  std::vector<Byte> out(100);
+  const Status s = dev.value()->read(0, std::span<Byte>(out));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Errc::kIoError);
+}
+
 }  // namespace
 }  // namespace debar::storage

@@ -1,0 +1,130 @@
+#include "storage/faulty_block_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "storage/block_device.hpp"
+
+namespace debar::storage {
+namespace {
+
+struct Rig {
+  explicit Rig(FaultConfig config)
+      : injector(std::make_shared<FaultInjector>(config)) {
+    auto mem = std::make_unique<MemBlockDevice>();
+    inner = mem.get();
+    device = std::make_unique<FaultyBlockDevice>(std::move(mem), injector);
+  }
+  std::shared_ptr<FaultInjector> injector;
+  MemBlockDevice* inner = nullptr;
+  std::unique_ptr<FaultyBlockDevice> device;
+};
+
+std::vector<Byte> pattern(std::size_t n, Byte fill) {
+  return std::vector<Byte>(n, fill);
+}
+
+TEST(FaultyBlockDevice, ZeroRatesPassThrough) {
+  Rig rig({.seed = 1});
+  const std::vector<Byte> data = pattern(256, Byte{0x5A});
+  ASSERT_TRUE(rig.device->write(0, ByteSpan(data.data(), data.size())).ok());
+  std::vector<Byte> out(256);
+  ASSERT_TRUE(rig.device->read(0, std::span<Byte>(out)).ok());
+  EXPECT_EQ(data, out);
+  EXPECT_EQ(rig.device->size(), 256u);
+  ASSERT_TRUE(rig.device->resize(1024).ok());
+  EXPECT_EQ(rig.device->size(), 1024u);
+  EXPECT_EQ(rig.injector->op_count(), 3u);  // write + read + resize
+  EXPECT_FALSE(rig.injector->crashed());
+}
+
+TEST(FaultyBlockDevice, TornWriteLandsExactPrefix) {
+  // torn_write_rate = 1: the very first write tears. Replaying the
+  // injector's RNG tells us the exact prefix length it drew.
+  Rig rig({.seed = 42, .torn_write_rate = 1.0});
+  const std::vector<Byte> data = pattern(128, Byte{0xEE});
+
+  const Status s = rig.device->write(0, ByteSpan(data.data(), data.size()));
+  EXPECT_EQ(s.code(), Errc::kIoError);
+
+  // The inner device holds exactly the torn prefix; beyond it, nothing.
+  const std::uint64_t landed = rig.inner->size();
+  EXPECT_LT(landed, data.size());  // at least one byte lost
+  std::vector<Byte> out(landed);
+  ASSERT_TRUE(rig.inner->read(0, std::span<Byte>(out)).ok());
+  for (std::size_t i = 0; i < landed; ++i) {
+    EXPECT_EQ(out[i], Byte{0xEE}) << "byte " << i;
+  }
+
+  // Retrying the same write heals the tear (fixed-offset idempotence).
+  Rig retry({.seed = 42, .torn_write_rate = 0.0});
+  // (fresh rig: rates are per-op, so model the retry as a clean write)
+  ASSERT_TRUE(retry.device->write(0, ByteSpan(data.data(), data.size())).ok());
+  std::vector<Byte> healed(data.size());
+  ASSERT_TRUE(retry.inner->read(0, std::span<Byte>(healed)).ok());
+  EXPECT_EQ(healed, data);
+}
+
+TEST(FaultyBlockDevice, TransientErrorsLeaveInnerUntouched) {
+  Rig rig({.seed = 3, .write_error_rate = 1.0});
+  const std::vector<Byte> data = pattern(64, Byte{0x11});
+  EXPECT_EQ(rig.device->write(0, ByteSpan(data.data(), data.size())).code(),
+            Errc::kIoError);
+  EXPECT_EQ(rig.inner->size(), 0u);  // nothing landed
+
+  Rig reads({.seed = 3, .read_error_rate = 1.0});
+  ASSERT_EQ(reads.injector->next(true), FaultInjector::Action::kPass);
+  // ^ writes unaffected by read_error_rate; now a real read fails:
+  std::vector<Byte> out(16);
+  EXPECT_EQ(reads.device->read(0, std::span<Byte>(out)).code(),
+            Errc::kIoError);
+}
+
+TEST(FaultyBlockDevice, CrashFreezesInnerImage) {
+  Rig rig({.seed = 9, .crash_after_ops = 2});
+  const std::vector<Byte> data = pattern(32, Byte{0xAB});
+  ASSERT_TRUE(rig.device->write(0, ByteSpan(data.data(), data.size())).ok());
+  ASSERT_TRUE(rig.device->write(32, ByteSpan(data.data(), data.size())).ok());
+  const std::uint64_t frozen_size = rig.inner->size();
+
+  // Op index 2 is the crash point: the in-flight write tears, and from
+  // then on every read, write and resize fails without touching inner.
+  EXPECT_EQ(rig.device->write(64, ByteSpan(data.data(), data.size())).code(),
+            Errc::kIoError);
+  EXPECT_TRUE(rig.injector->crashed());
+  const std::uint64_t post_crash_size = rig.inner->size();
+  EXPECT_LT(post_crash_size, 64u + 32u);  // tail of the torn write lost
+
+  std::vector<Byte> out(16);
+  EXPECT_EQ(rig.device->read(0, std::span<Byte>(out)).code(), Errc::kIoError);
+  EXPECT_EQ(rig.device->write(0, ByteSpan(data.data(), 16)).code(),
+            Errc::kIoError);
+  EXPECT_FALSE(rig.device->resize(4096).ok());
+  EXPECT_EQ(rig.inner->size(), post_crash_size);  // image frozen
+
+  // The pre-crash acked writes survive in the frozen image.
+  std::vector<Byte> survived(64);
+  ASSERT_GE(frozen_size, 64u);
+  ASSERT_TRUE(rig.inner->read(0, std::span<Byte>(survived)).ok());
+  for (std::size_t i = 0; i < survived.size(); ++i) {
+    EXPECT_EQ(survived[i], Byte{0xAB}) << "byte " << i;
+  }
+}
+
+TEST(FaultyBlockDevice, OpCounterSharedAcrossDevices) {
+  auto injector = std::make_shared<FaultInjector>(FaultConfig{.seed = 5});
+  FaultyBlockDevice a(std::make_unique<MemBlockDevice>(), injector);
+  FaultyBlockDevice b(std::make_unique<MemBlockDevice>(), injector);
+
+  const std::vector<Byte> data = pattern(8, Byte{0x01});
+  ASSERT_TRUE(a.write(0, ByteSpan(data.data(), data.size())).ok());
+  ASSERT_TRUE(b.write(0, ByteSpan(data.data(), data.size())).ok());
+  std::vector<Byte> out(8);
+  ASSERT_TRUE(a.read(0, std::span<Byte>(out)).ok());
+  EXPECT_EQ(injector->op_count(), 3u);
+}
+
+}  // namespace
+}  // namespace debar::storage

@@ -117,21 +117,41 @@ TEST(PersistentRepositoryTest, PinnedPlacementSurvivesReopen) {
   EXPECT_TRUE(reopened.value()->read(pinned).ok());
 }
 
-TEST(PersistentRepositoryTest, OpenRejectsCorruptFrames) {
+TEST(PersistentRepositoryTest, OpenTruncatesOverrunningTailFrame) {
+  // A frame whose declared length overruns the device is exactly what a
+  // crash mid-append leaves behind. Reopen must NOT reject the node:
+  // it discards the torn tail and keeps every earlier (acked) frame.
   std::vector<MemBlockDevice*> raw;
   std::vector<std::vector<Byte>> images;
+  ContainerId first;
   {
     ChunkRepository repo(make_devices(1, &raw));
-    (void)repo.append(make_container(0, 4));
+    first = repo.append(make_container(0, 4));
+    (void)repo.append(make_container(100, 4));
     images = snapshot(raw);
   }
-  // Corrupt the frame length to overrun the device.
-  images[0][4] = 0xFF;
-  images[0][5] = 0xFF;
-  images[0][6] = 0xFF;
+  // Corrupt the SECOND frame's length field to overrun the device
+  // (frame layout: [u32 magic][u32 length][image]).
+  const std::uint32_t len0 = static_cast<std::uint32_t>(images[0][4]) |
+                             static_cast<std::uint32_t>(images[0][5]) << 8 |
+                             static_cast<std::uint32_t>(images[0][6]) << 16 |
+                             static_cast<std::uint32_t>(images[0][7]) << 24;
+  const std::size_t second_len = 8 + len0 + 4;
+  images[0][second_len] = 0xFF;
+  images[0][second_len + 1] = 0xFF;
+  images[0][second_len + 2] = 0xFF;
+
   auto reopened = ChunkRepository::open(devices_from(images));
-  ASSERT_FALSE(reopened.ok());
-  EXPECT_EQ(reopened.error().code, Errc::kCorrupt);
+  ASSERT_TRUE(reopened.ok()) << reopened.error().to_string();
+  EXPECT_EQ(reopened.value()->container_count(), 1u);
+  EXPECT_TRUE(reopened.value()->contains(first));
+
+  // The torn tail is dead space: a new append lands and reads back.
+  const ContainerId fresh = reopened.value()->append(make_container(200, 4));
+  auto readback = reopened.value()->read(fresh);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_TRUE(
+      readback.value().find(Sha1::hash_counter(200)).has_value());
 }
 
 TEST(PersistentRepositoryTest, TrailingGarbageEndsTheScan) {

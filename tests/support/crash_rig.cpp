@@ -1,0 +1,196 @@
+#include "support/crash_rig.hpp"
+
+#include <cassert>
+#include <span>
+
+#include "common/fmt.hpp"
+#include "index/recovery.hpp"
+
+namespace debar::testsupport {
+
+namespace {
+
+/// Mint a MemBlockDevice wrapped in a FaultyBlockDevice over `injector`.
+std::unique_ptr<storage::BlockDevice> faulty_mem_device(
+    const std::shared_ptr<storage::FaultInjector>& injector,
+    storage::MemBlockDevice** inner_view = nullptr) {
+  auto inner = std::make_unique<storage::MemBlockDevice>();
+  if (inner_view != nullptr) *inner_view = inner.get();
+  return std::make_unique<storage::FaultyBlockDevice>(std::move(inner),
+                                                      injector);
+}
+
+/// Clone a frozen in-memory image into a fresh (fault-free) device.
+std::unique_ptr<storage::MemBlockDevice> clone_image(
+    const storage::MemBlockDevice& source) {
+  auto copy = std::make_unique<storage::MemBlockDevice>();
+  const ByteSpan bytes = source.contents();
+  if (!bytes.empty()) {
+    const Status s = copy->write(0, bytes);
+    assert(s.ok());
+    (void)s;
+  }
+  return copy;
+}
+
+}  // namespace
+
+CrashRig::CrashRig(Options options, std::vector<core::Dataset> generations)
+    : options_(options), generations_(std::move(generations)) {
+  storage::FaultConfig quiet;
+  quiet.seed = options_.seed;
+  injector_ = std::make_shared<storage::FaultInjector>(quiet);
+
+  std::vector<std::unique_ptr<storage::BlockDevice>> nodes;
+  node_inner_.resize(options_.nodes, nullptr);
+  for (std::size_t i = 0; i < options_.nodes; ++i) {
+    nodes.push_back(faulty_mem_device(injector_, &node_inner_[i]));
+  }
+  auto repo = storage::ChunkRepository::open(std::move(nodes));
+  assert(repo.ok() && "opening empty node devices cannot fail");
+  repo_ = std::move(repo).value();
+
+  metadata_ = std::make_unique<core::MetadataStore>(
+      faulty_mem_device(injector_, &metadata_inner_));
+  director_.attach_metadata_store(metadata_.get());
+
+  core::BackupServerConfig cfg;
+  cfg.index_params = options_.index_params;
+  cfg.chunk_store.io_buckets = options_.io_buckets;
+  cfg.log_device_factory = [injector = injector_] {
+    return faulty_mem_device(injector);
+  };
+  cfg.index_device_factory = cfg.log_device_factory;
+  server_ = std::make_unique<core::BackupServer>(0, cfg, repo_.get(),
+                                                 &director_);
+  engine_ = std::make_unique<core::BackupEngine>("crash-client", &director_);
+  job_ = director_.define_job("crash-client", "dataset");
+}
+
+RunOutcome CrashRig::run() {
+  RunOutcome outcome;
+  for (std::uint32_t g = 0; g < generations_.size(); ++g) {
+    if (Status s = run_generation(g); !s.ok()) {
+      outcome.failed = true;
+      outcome.error = s.to_string();
+      return outcome;
+    }
+    ++outcome.acked;
+  }
+  return outcome;
+}
+
+Status CrashRig::run_generation(std::uint32_t g) {
+  std::uint64_t at = injector_->op_count();
+  const auto mark = [&](const char* window) {
+    windows_.push_back({window, g, at, injector_->op_count()});
+    at = injector_->op_count();
+  };
+
+  // Window 1: dedup-1 — chunk-log appends + the version's metadata append.
+  Result<core::BackupRunStats> backup =
+      engine_->run_backup(job_, generations_[g], server_->file_store());
+  if (!backup.ok()) return backup.status();
+  mark("chunk-log-append");
+
+  core::ChunkStore& store = server_->chunk_store();
+  const std::vector<Fingerprint> undetermined =
+      server_->file_store().take_undetermined();
+
+  // Window 2: SIL over the undetermined fingerprint file.
+  std::vector<std::uint8_t> found;
+  Result<core::SilResult> sil = store.sil(undetermined, found);
+  if (!sil.ok()) return sil.status();
+  mark("sil");
+
+  std::vector<Fingerprint> new_fps;
+  new_fps.reserve(undetermined.size());
+  for (std::size_t i = 0; i < undetermined.size(); ++i) {
+    if (found[i] == 0) new_fps.push_back(undetermined[i]);
+  }
+
+  // Window 3: chunk storing — log replay + container commit write-through.
+  Result<core::StoreResult> stored = store.store_new_chunks(new_fps);
+  if (!stored.ok()) return stored.status();
+  store.add_pending(std::span<const IndexEntry>(stored.value().entries));
+  store.clear_log();
+  mark("container-commit");
+
+  // Window 4: SIU flush of the pending entries into the disk index.
+  Result<core::SiuResult> siu = store.siu();
+  if (!siu.ok()) return siu.status();
+  mark("siu");
+  return Status::Ok();
+}
+
+Status CrashRig::recover_and_verify(std::uint32_t acked) const {
+  // Reopen the repository from the frozen node images. A crashed append
+  // may have left a torn tail frame; open() must shrug it off.
+  std::vector<std::unique_ptr<storage::BlockDevice>> nodes;
+  for (const storage::MemBlockDevice* inner : node_inner_) {
+    nodes.push_back(clone_image(*inner));
+  }
+  Result<std::unique_ptr<storage::ChunkRepository>> repo =
+      storage::ChunkRepository::open(std::move(nodes));
+  if (!repo.ok()) {
+    return {repo.error().code,
+            "repository reopen: " + repo.error().message};
+  }
+
+  // Replay the metadata log (torn tail record likewise tolerated).
+  core::MetadataStore metadata(clone_image(*metadata_inner_));
+  core::Director director;
+  director.attach_metadata_store(&metadata);
+  if (Status s = director.recover(); !s.ok()) {
+    return {s.code(), "metadata recovery: " + s.message()};
+  }
+  if (director.version_count(job_) < acked) {
+    return {Errc::kCorrupt,
+            format("metadata lost acked versions: {} recovered, {} acked",
+                   director.version_count(job_), acked)};
+  }
+
+  // The index device died with the machine: rebuild from the
+  // self-describing containers (the Section 4.1 disaster path).
+  Result<index::DiskIndex> rebuilt = index::rebuild_index(
+      *repo.value(), std::make_unique<storage::MemBlockDevice>(),
+      options_.index_params);
+  if (!rebuilt.ok()) {
+    return {rebuilt.error().code,
+            "index rebuild: " + rebuilt.error().message};
+  }
+
+  core::BackupServerConfig cfg;
+  cfg.index_params = options_.index_params;
+  cfg.chunk_store.io_buckets = options_.io_buckets;
+  core::BackupServer server(0, cfg, repo.value().get(), &director);
+  server.chunk_store().index() = std::move(rebuilt).value();
+
+  core::BackupEngine engine("crash-client", &director);
+  for (std::uint32_t v = 1; v <= acked; ++v) {
+    Result<core::Dataset> restored = engine.restore(job_, v, server,
+                                                    /*verify=*/true);
+    if (!restored.ok()) {
+      return {restored.error().code,
+              format("restore v{}: {}", v, restored.error().message)};
+    }
+    const core::Dataset& expected = generations_[v - 1];
+    if (restored.value().files.size() != expected.files.size()) {
+      return {Errc::kCorrupt,
+              format("restore v{}: {} files (expected {})", v,
+                     restored.value().files.size(), expected.files.size())};
+    }
+    for (std::size_t i = 0; i < expected.files.size(); ++i) {
+      const core::FileData& got = restored.value().files[i];
+      const core::FileData& want = expected.files[i];
+      if (got.path != want.path || got.content != want.content) {
+        return {Errc::kCorrupt,
+                format("restore v{}: file {} ({}) diverges", v, i,
+                       want.path)};
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace debar::testsupport
