@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace debar {
 
@@ -12,13 +13,17 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
+    if (stop_ && workers_.empty()) return;  // already shut down
     stop_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::worker_loop() {
@@ -44,18 +49,33 @@ void parallel_for(std::size_t n, std::size_t threads,
     return;
   }
   std::atomic<std::size_t> next{0};
+  // First exception wins; later workers stop claiming indices. Without
+  // this a throwing fn would unwind through the std::thread entry point
+  // and terminate the whole process.
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
       }
     });
   }
   for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace debar

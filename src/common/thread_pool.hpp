@@ -1,4 +1,5 @@
-// Fixed-size thread pool used by the cluster layer to run server shards
+// Fixed-size thread pool used by the cluster layer to run server shards,
+// by the parallel dedup-2 pipeline (sharded SIL, pipelined SIU prefetch)
 // and by benches to parallelize independent sweeps.
 #pragma once
 
@@ -8,10 +9,19 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 namespace debar {
+
+/// Thrown into the future of a task submitted after shutdown() (instead of
+/// queueing work no worker will ever run, which would strand the caller's
+/// future.get() until pool destruction).
+class PoolStopped : public std::runtime_error {
+ public:
+  PoolStopped() : std::runtime_error("thread pool is shut down") {}
+};
 
 class ThreadPool {
  public:
@@ -21,7 +31,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; the returned future yields its result.
+  /// Enqueue a task; the returned future yields its result (or rethrows
+  /// the exception the task exited with). A task submitted after
+  /// shutdown() never runs: its future reports PoolStopped immediately.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -30,11 +42,27 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard lock(mutex_);
+      if (stop_) {
+        // Reject instead of enqueueing: once shutdown() has begun the
+        // workers may already have drained the queue and exited, and a
+        // late task would otherwise sit unexecuted while its future
+        // blocks forever (the shutdown race on pending tasks).
+        std::promise<R> broken;
+        broken.set_exception(std::make_exception_ptr(PoolStopped{}));
+        return broken.get_future();
+      }
       tasks_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
     return fut;
   }
+
+  /// Stop accepting work, run every task already queued, and join the
+  /// workers. Idempotent; called by the destructor. Task exceptions are
+  /// captured in their futures (submit wraps every task in a
+  /// packaged_task), so a throwing pending task can never escape a worker
+  /// and terminate the process mid-shutdown.
+  void shutdown();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
@@ -49,7 +77,9 @@ class ThreadPool {
 };
 
 /// Run `fn(i)` for i in [0, n) across `threads` workers and wait for all.
-/// Convenience for embarrassingly parallel sweeps.
+/// Convenience for embarrassingly parallel sweeps. If any invocation
+/// throws, the first exception (by completion order) is rethrown in the
+/// caller after every worker has joined; remaining indices may be skipped.
 void parallel_for(std::size_t n, std::size_t threads,
                   const std::function<void(std::size_t)>& fn);
 

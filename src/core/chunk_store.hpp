@@ -20,18 +20,40 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cache/index_cache.hpp"
 #include "cache/lpc_cache.hpp"
 #include "common/result.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "index/disk_index.hpp"
 #include "storage/chunk_log.hpp"
 #include "storage/container_manager.hpp"
 
 namespace debar::core {
+
+/// Execution knobs for the parallel dedup-2 pipeline (sharded SIL,
+/// SIL/store overlap, pipelined SIU). All outputs — container IDs, index
+/// image, metadata, modeled seconds — are byte-identical for every value
+/// of `threads`; the knob only changes how many cores chase them.
+struct Dedup2Options {
+  /// Worker threads. 0 = one per hardware thread; 1 = today's serial
+  /// code paths, unchanged.
+  std::size_t threads = 0;
+  /// Bounded look-ahead, in batches (SIL->store channel) and in io_buckets
+  /// spans (SIU prefetch/write-back), between pipeline stages.
+  std::size_t pipeline_depth = 4;
+
+  [[nodiscard]] std::size_t resolved_threads() const noexcept {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+};
 
 struct ChunkStoreConfig {
   cache::IndexCacheParams cache_params;
@@ -44,6 +66,8 @@ struct ChunkStoreConfig {
   std::uint64_t siu_threshold = 1 << 20;
   /// LPC read-cache capacity in containers.
   std::size_t lpc_containers = 16;
+  /// Parallel dedup-2 execution plan.
+  Dedup2Options dedup2;
 };
 
 struct SilResult {
@@ -95,10 +119,12 @@ class ChunkStore {
   /// scaling automatically if bucket neighbourhoods fill.
   [[nodiscard]] Result<SiuResult> siu();
 
-  [[nodiscard]] std::uint64_t pending_count() const noexcept {
+  [[nodiscard]] std::uint64_t pending_count() const {
+    std::lock_guard lock(pending_mutex_);
     return pending_.size();
   }
-  [[nodiscard]] bool siu_due() const noexcept {
+  [[nodiscard]] bool siu_due() const {
+    std::lock_guard lock(pending_mutex_);
     return pending_.size() >= config_.siu_threshold;
   }
 
@@ -157,10 +183,18 @@ class ChunkStore {
   DeviceFactory device_factory_;
   cache::LpcCache lpc_;
 
+  /// Lazily-built worker pool for the parallel SIL/SIU paths (never
+  /// created when dedup2.threads resolves to 1).
+  std::unique_ptr<ThreadPool> pool_;
+
   /// The checking-fingerprint file: entries stored to containers but not
   /// yet registered in the disk index (pending SIU).
+  /// Guarded by pending_mutex_: the pipelined run_dedup2 reads it from
+  /// the SIL stage while the store stage appends via add_pending.
+  mutable std::mutex pending_mutex_;
   std::unordered_map<Fingerprint, ContainerId, FingerprintHash> pending_;
 
+  [[nodiscard]] ThreadPool* dedup2_pool();
   [[nodiscard]] double index_clock_seconds() const;
 };
 

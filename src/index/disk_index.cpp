@@ -1,15 +1,61 @@
 #include "index/disk_index.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include "common/fmt.hpp"
+#include <deque>
+#include <future>
+#include <thread>
 
+#include "common/channel.hpp"
+#include "common/fmt.hpp"
 #include "common/serial.hpp"
+#include "common/thread_pool.hpp"
 #include "storage/io_retry.hpp"
 
 namespace debar::index {
 
 namespace {
+
+/// Geometry of span s of a sequential scan: homes [a, home_end), read and
+/// written as [lo, hi) with the one-bucket overflow margins.
+struct SpanGeom {
+  std::uint64_t a = 0;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t home_end = 0;
+};
+
+SpanGeom span_geom(std::uint64_t span, std::uint64_t io_buckets,
+                   std::uint64_t bucket_count) {
+  SpanGeom g;
+  g.a = span * io_buckets;
+  g.lo = (g.a == 0) ? 0 : g.a - 1;
+  g.hi = std::min(bucket_count, g.a + io_buckets + 1);
+  g.home_end = std::min(bucket_count, g.a + io_buckets);
+  return g;
+}
+
+/// Detach the device's timing model for the duration of a parallel
+/// operation (SimClock/DiskModel are single-threaded); reattached on every
+/// exit path. The parallel paths then charge the model the serial access
+/// sequence explicitly.
+class ModelDetachGuard {
+ public:
+  explicit ModelDetachGuard(storage::BlockDevice& device)
+      : device_(device), model_(device.model()) {
+    device_.attach_model(nullptr);
+  }
+  ~ModelDetachGuard() { device_.attach_model(model_); }
+  ModelDetachGuard(const ModelDetachGuard&) = delete;
+  ModelDetachGuard& operator=(const ModelDetachGuard&) = delete;
+
+  [[nodiscard]] sim::DiskModel* model() const noexcept { return model_; }
+
+ private:
+  storage::BlockDevice& device_;
+  sim::DiskModel* model_;
+};
 
 /// Entries per 512-byte block and the block-local layout:
 ///   [u16 count][count * 25-byte entries][padding]
@@ -224,6 +270,38 @@ Status DiskIndex::insert(const Fingerprint& fp, ContainerId id) {
           debar::format("bucket {} and both neighbours are full", home)};
 }
 
+Status DiskIndex::match_fingerprints_in_span(
+    std::span<const Fingerprint> fingerprints,
+    const std::vector<Bucket>& span_buckets, std::uint64_t lo, std::uint64_t a,
+    std::uint64_t home_end, std::size_t& qi,
+    const std::function<void(std::size_t, ContainerId)>& on_found) const {
+  const std::uint64_t nb = params_.bucket_count();
+  while (qi < fingerprints.size()) {
+    const std::uint64_t home = bucket_of(fingerprints[qi]);
+    if (home >= home_end) break;
+    if (home < a) {
+      return {Errc::kInvalidArgument,
+              "bulk_lookup bucket order regressed (mixed routing prefixes?)"};
+    }
+    const Bucket& b = span_buckets[home - lo];
+    if (auto id = b.find(fingerprints[qi])) {
+      on_found(qi, *id);
+    } else {
+      // Neighbour buckets are already in memory: checking them
+      // unconditionally costs nothing and stays correct after erases.
+      for (const std::uint64_t n : {home - 1, home + 1}) {
+        if (n >= nb) continue;
+        if (auto id = span_buckets[n - lo].find(fingerprints[qi])) {
+          on_found(qi, *id);
+          break;
+        }
+      }
+    }
+    ++qi;
+  }
+  return Status::Ok();
+}
+
 Status DiskIndex::bulk_lookup(
     std::span<const Fingerprint> fingerprints,
     const std::function<void(std::size_t, ContainerId)>& on_found,
@@ -255,30 +333,102 @@ Status DiskIndex::bulk_lookup(
       return s;
     }
     const std::uint64_t home_end = std::min(nb, a + io_buckets);
-    while (qi < fingerprints.size()) {
-      const std::uint64_t home = bucket_of(fingerprints[qi]);
-      if (home >= home_end) break;
-      if (home < a) {
-        return {Errc::kInvalidArgument,
-                "bulk_lookup bucket order regressed (mixed routing prefixes?)"};
-      }
-      const Bucket& b = span_buckets[home - lo];
-      if (auto id = b.find(fingerprints[qi])) {
-        on_found(qi, *id);
-      } else {
-        // Neighbour buckets are already in memory: checking them
-        // unconditionally costs nothing and stays correct after erases.
-        for (const std::uint64_t n : {home - 1, home + 1}) {
-          if (n >= nb) continue;
-          if (auto id = span_buckets[n - lo].find(fingerprints[qi])) {
-            on_found(qi, *id);
-            break;
-          }
-        }
-      }
-      ++qi;
+    if (Status s = match_fingerprints_in_span(fingerprints, span_buckets, lo,
+                                              a, home_end, qi, on_found);
+        !s.ok()) {
+      return s;
     }
   }
+  return Status::Ok();
+}
+
+Status DiskIndex::bulk_lookup_sharded(
+    std::span<const Fingerprint> fingerprints,
+    const std::function<void(std::size_t, ContainerId)>& on_found,
+    std::uint64_t io_buckets, const ParallelIoOptions& par) const {
+  const std::uint64_t nb = params_.bucket_count();
+  io_buckets = std::max<std::uint64_t>(io_buckets, 3);
+  const std::uint64_t spans = (nb + io_buckets - 1) / io_buckets;
+  const std::size_t shards =
+      std::min<std::size_t>(par.parallel() ? par.workers : 1, spans);
+  if (shards < 2) return bulk_lookup(fingerprints, on_found, io_buckets);
+
+  for (std::size_t i = 1; i < fingerprints.size(); ++i) {
+    if (fingerprints[i] < fingerprints[i - 1]) {
+      return {Errc::kInvalidArgument, "bulk_lookup input not sorted"};
+    }
+  }
+  if (!fingerprints.empty() &&
+      bucket_of(fingerprints.front()) > bucket_of(fingerprints.back())) {
+    return {Errc::kInvalidArgument,
+            "bulk_lookup input spans mixed routing prefixes"};
+  }
+
+  // Each shard owns a contiguous, span-aligned bucket range and the
+  // (contiguous, because the input is sorted) slice of fingerprints homed
+  // there. Shards only ever read, and read margins overlapping a
+  // neighbouring shard are harmless, so no synchronization is needed
+  // beyond the final join. The device runs unmetered while shards race;
+  // the serial access pattern is replayed below so modeled time — and the
+  // fault injector's op count — stay identical to the serial scan.
+  struct Shard {
+    std::uint64_t first_span = 0;
+    std::uint64_t end_span = 0;
+    std::size_t fp_begin = 0;
+    std::size_t fp_end = 0;
+  };
+  std::vector<Shard> plan(shards);
+  for (std::size_t w = 0; w < shards; ++w) {
+    plan[w].first_span = spans * w / shards;
+    plan[w].end_span = spans * (w + 1) / shards;
+    const std::uint64_t home_begin = plan[w].first_span * io_buckets;
+    const std::uint64_t home_end =
+        std::min(nb, plan[w].end_span * io_buckets);
+    const auto at_or_after = [&](std::uint64_t bucket) {
+      return static_cast<std::size_t>(std::distance(
+          fingerprints.begin(),
+          std::partition_point(fingerprints.begin(), fingerprints.end(),
+                               [&](const Fingerprint& fp) {
+                                 return bucket_of(fp) < bucket;
+                               })));
+    };
+    plan[w].fp_begin = at_or_after(home_begin);
+    plan[w].fp_end = at_or_after(home_end);
+  }
+
+  ModelDetachGuard metering(*device_);
+  std::vector<std::future<Status>> pending;
+  pending.reserve(shards);
+  for (const Shard& shard : plan) {
+    pending.push_back(par.pool->submit([this, shard, fingerprints, &on_found,
+                                        io_buckets, nb]() -> Status {
+      std::vector<Bucket> span_buckets;
+      std::size_t qi = shard.fp_begin;
+      // fp indices stay global: the worker walks the full input span but
+      // clamps its cursor to [fp_begin, fp_end).
+      const auto slice = fingerprints.first(shard.fp_end);
+      for (std::uint64_t s = shard.first_span; s < shard.end_span; ++s) {
+        const SpanGeom g = span_geom(s, io_buckets, nb);
+        if (Status st = read_bucket_range(g.lo, g.hi - g.lo, span_buckets);
+            !st.ok()) {
+          return st;
+        }
+        if (Status st = match_fingerprints_in_span(
+                slice, span_buckets, g.lo, g.a, g.home_end, qi, on_found);
+            !st.ok()) {
+          return st;
+        }
+      }
+      return Status::Ok();
+    }));
+  }
+  Status overall = Status::Ok();
+  for (auto& fut : pending) {
+    // First failing shard in shard order wins: deterministic error report.
+    if (Status st = fut.get(); overall.ok() && !st.ok()) overall = st;
+  }
+  if (!overall.ok()) return overall;
+  replay_serial_scan_metering(metering.model(), io_buckets, /*rmw=*/false);
   return Status::Ok();
 }
 
@@ -316,48 +466,11 @@ Status DiskIndex::bulk_insert(std::span<const IndexEntry> entries,
       return s;
     }
     const std::uint64_t home_end = std::min(nb, a + io_buckets);
-    while (qi < entries.size()) {
-      const IndexEntry& e = entries[qi];
-      const std::uint64_t home = bucket_of(e.fp);
-      if (home >= home_end) break;
-      if (home < a) {
-        return {Errc::kInvalidArgument,
-                "bulk_insert bucket order regressed (mixed routing prefixes?)"};
-      }
-      Bucket& b = span_buckets[home - lo];
-      // Duplicate check over the whole neighbourhood (all in memory).
-      bool duplicate = b.find(e.fp).has_value();
-      for (const std::uint64_t n : {home - 1, home + 1}) {
-        if (duplicate || n >= nb) continue;
-        duplicate = span_buckets[n - lo].find(e.fp).has_value();
-      }
-      bool placed = false;
-      if (!duplicate && !bucket_full(b)) {
-        b.entries.push_back(e);
-        placed = true;
-      } else if (!duplicate) {
-        const bool left_first = (rng_() & 1) != 0;
-        const std::uint64_t order[2] = {left_first ? home - 1 : home + 1,
-                                        left_first ? home + 1 : home - 1};
-        for (const std::uint64_t n : order) {
-          if (n >= nb) continue;
-          Bucket& nbk = span_buckets[n - lo];
-          if (!bucket_full(nbk)) {
-            nbk.entries.push_back(e);
-            placed = true;
-            break;
-          }
-        }
-      }
-      if (placed) {
-        ++entry_count_;
-        if (inserted != nullptr) ++(*inserted);
-      } else if (!duplicate) {
-        overflow_failure = true;
-        needs_scaling_ = true;
-        if (failed != nullptr) failed->push_back(qi);
-      }
-      ++qi;
+    if (Status s =
+            place_entries_in_span(entries, span_buckets, lo, a, home_end, qi,
+                                  overflow_failure, inserted, failed);
+        !s.ok()) {
+      return s;
     }
     if (Status s = write_bucket_range(
             lo, std::span<const Bucket>(span_buckets.data(), hi - lo));
@@ -365,6 +478,236 @@ Status DiskIndex::bulk_insert(std::span<const IndexEntry> entries,
       return s;
     }
   }
+  if (overflow_failure) {
+    return {Errc::kFull,
+            "one or more bucket neighbourhoods full; capacity scaling needed"};
+  }
+  return Status::Ok();
+}
+
+Status DiskIndex::place_entries_in_span(std::span<const IndexEntry> entries,
+                                        std::vector<Bucket>& span_buckets,
+                                        std::uint64_t lo, std::uint64_t a,
+                                        std::uint64_t home_end,
+                                        std::size_t& qi,
+                                        bool& overflow_failure,
+                                        std::uint64_t* inserted,
+                                        std::vector<std::size_t>* failed) {
+  const std::uint64_t nb = params_.bucket_count();
+  while (qi < entries.size()) {
+    const IndexEntry& e = entries[qi];
+    const std::uint64_t home = bucket_of(e.fp);
+    if (home >= home_end) break;
+    if (home < a) {
+      return {Errc::kInvalidArgument,
+              "bulk_insert bucket order regressed (mixed routing prefixes?)"};
+    }
+    Bucket& b = span_buckets[home - lo];
+    // Duplicate check over the whole neighbourhood (all in memory).
+    bool duplicate = b.find(e.fp).has_value();
+    for (const std::uint64_t n : {home - 1, home + 1}) {
+      if (duplicate || n >= nb) continue;
+      duplicate = span_buckets[n - lo].find(e.fp).has_value();
+    }
+    bool placed = false;
+    if (!duplicate && !bucket_full(b)) {
+      b.entries.push_back(e);
+      placed = true;
+    } else if (!duplicate) {
+      const bool left_first = (rng_() & 1) != 0;
+      const std::uint64_t order[2] = {left_first ? home - 1 : home + 1,
+                                      left_first ? home + 1 : home - 1};
+      for (const std::uint64_t n : order) {
+        if (n >= nb) continue;
+        Bucket& nbk = span_buckets[n - lo];
+        if (!bucket_full(nbk)) {
+          nbk.entries.push_back(e);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (placed) {
+      ++entry_count_;
+      if (inserted != nullptr) ++(*inserted);
+    } else if (!duplicate) {
+      overflow_failure = true;
+      needs_scaling_ = true;
+      if (failed != nullptr) failed->push_back(qi);
+    }
+    ++qi;
+  }
+  return Status::Ok();
+}
+
+void DiskIndex::replay_serial_scan_metering(sim::DiskModel* model,
+                                            std::uint64_t io_buckets,
+                                            bool rmw) const {
+  if (model == nullptr) return;
+  const std::uint64_t nb = params_.bucket_count();
+  const std::uint64_t bb = params_.bucket_bytes();
+  for (std::uint64_t a = 0; a < nb; a += io_buckets) {
+    const std::uint64_t lo = (a == 0) ? 0 : a - 1;
+    const std::uint64_t hi = std::min(nb, a + io_buckets + 1);
+    model->access(lo * bb, (hi - lo) * bb);
+    if (rmw) model->access(lo * bb, (hi - lo) * bb);
+  }
+}
+
+Status DiskIndex::bulk_insert_pipelined(std::span<const IndexEntry> entries,
+                                        std::uint64_t io_buckets,
+                                        const ParallelIoOptions& par,
+                                        std::uint64_t* inserted,
+                                        std::vector<std::size_t>* failed) {
+  const std::uint64_t nb = params_.bucket_count();
+  io_buckets = std::max<std::uint64_t>(io_buckets, 3);
+  const std::uint64_t spans = (nb + io_buckets - 1) / io_buckets;
+  if (!par.parallel() || spans < 3) {
+    return bulk_insert(entries, io_buckets, inserted, failed);
+  }
+  if (inserted != nullptr) *inserted = 0;
+  if (failed != nullptr) failed->clear();
+
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].fp < entries[i - 1].fp) {
+      return {Errc::kInvalidArgument, "bulk_insert input not sorted"};
+    }
+  }
+  if (!entries.empty() &&
+      bucket_of(entries.front().fp) > bucket_of(entries.back().fp)) {
+    return {Errc::kInvalidArgument,
+            "bulk_insert input spans mixed routing prefixes"};
+  }
+
+  // Three stages: pool workers prefetch+parse upcoming spans, this thread
+  // merges entries span-by-span in exact serial order (it is the only
+  // thread touching rng_/entry_count_, so the RNG draw sequence and every
+  // tie-break match the serial pass), and a writer thread streams mutated
+  // spans back out. The serial pass re-reads the margin buckets it just
+  // wrote (spans overlap by two buckets); here those buckets are carried
+  // forward in memory instead — serialize/parse round-trips losslessly, so
+  // the carried image equals what a re-read would return, and prefetch
+  // workers never read a bucket the merge stage still has to write.
+  ModelDetachGuard metering(*device_);
+
+  struct Prefetched {
+    Status status = Status::Ok();
+    std::vector<Bucket> buckets;
+  };
+  struct WriteJob {
+    std::uint64_t lo = 0;
+    std::vector<Bucket> buckets;
+  };
+  const std::size_t depth = std::max<std::size_t>(par.pipeline_depth, 1);
+
+  Channel<WriteJob> write_ch(depth);
+  Status writer_status = Status::Ok();
+  std::atomic<bool> writer_failed{false};
+  std::thread writer([&] {
+    while (auto job = write_ch.receive()) {
+      if (writer_failed.load(std::memory_order_relaxed)) continue;  // drain
+      if (Status st = write_bucket_range(
+              job->lo, std::span<const Bucket>(job->buckets));
+          !st.ok()) {
+        writer_status = st;
+        writer_failed.store(true, std::memory_order_release);
+      }
+    }
+  });
+
+  std::deque<std::future<Prefetched>> prefetch;
+  const auto submit_prefetch = [&](std::uint64_t s) {
+    const SpanGeom g = span_geom(s, io_buckets, nb);
+    // Spans after the first skip buckets a-1 and a: the merge stage owns
+    // their freshest image (the carry), and reading them here would race
+    // with the writer flushing the previous span.
+    const std::uint64_t first = (s == 0) ? g.lo : g.a + 1;
+    prefetch.push_back(
+        par.pool->submit([this, first, last = g.hi]() -> Prefetched {
+          Prefetched p;
+          if (first < last) {
+            p.status = read_bucket_range(first, last - first, p.buckets);
+          }
+          return p;
+        }));
+  };
+
+  // RAII teardown in reverse order: drain prefetch futures first (their
+  // tasks touch the device and must not outlive this call), then close the
+  // channel and join the writer, then reattach the model.
+  struct WriterJoin {
+    Channel<WriteJob>& ch;
+    std::thread& t;
+    ~WriterJoin() {
+      ch.close();
+      if (t.joinable()) t.join();
+    }
+  } writer_join{write_ch, writer};
+  struct PrefetchDrain {
+    std::deque<std::future<Prefetched>>& q;
+    ~PrefetchDrain() {
+      for (auto& f : q) f.wait();
+    }
+  } prefetch_drain{prefetch};
+
+  for (std::uint64_t s = 0; s < std::min<std::uint64_t>(spans, depth); ++s) {
+    submit_prefetch(s);
+  }
+
+  bool overflow_failure = false;
+  bool writer_aborted = false;
+  std::size_t qi = 0;
+  Bucket carry_low;   // bucket a-1 of the next span
+  Bucket carry_high;  // bucket a of the next span
+  Status overall = Status::Ok();
+  for (std::uint64_t s = 0; s < spans; ++s) {
+    Prefetched p = prefetch.front().get();
+    prefetch.pop_front();
+    if (s + depth < spans) submit_prefetch(s + depth);
+    if (!p.status.ok()) {
+      overall = p.status;
+      break;
+    }
+    const SpanGeom g = span_geom(s, io_buckets, nb);
+    std::vector<Bucket> span_buckets;
+    span_buckets.reserve(g.hi - g.lo);
+    if (s > 0) {
+      span_buckets.push_back(std::move(carry_low));
+      span_buckets.push_back(std::move(carry_high));
+    }
+    for (Bucket& b : p.buckets) span_buckets.push_back(std::move(b));
+    assert(span_buckets.size() == g.hi - g.lo);
+    if (Status st =
+            place_entries_in_span(entries, span_buckets, g.lo, g.a,
+                                  g.home_end, qi, overflow_failure, inserted,
+                                  failed);
+        !st.ok()) {
+      overall = st;
+      break;
+    }
+    if (s + 1 < spans) {
+      // Next span's margin+first buckets are a+io-1 and a+io — the last
+      // two elements of this (interior) span. Copy before the move below.
+      carry_low = span_buckets[g.a + io_buckets - 1 - g.lo];
+      carry_high = span_buckets[g.a + io_buckets - g.lo];
+    }
+    if (writer_failed.load(std::memory_order_acquire)) {
+      writer_aborted = true;
+      break;
+    }
+    write_ch.send(WriteJob{g.lo, std::move(span_buckets)});
+  }
+
+  for (auto& f : prefetch) f.wait();
+  prefetch.clear();
+  write_ch.close();
+  if (writer.joinable()) writer.join();
+  if (overall.ok() && (writer_aborted || !writer_status.ok())) {
+    overall = writer_status;
+  }
+  if (!overall.ok()) return overall;
+
+  replay_serial_scan_metering(metering.model(), io_buckets, /*rmw=*/true);
   if (overflow_failure) {
     return {Errc::kFull,
             "one or more bucket neighbourhoods full; capacity scaling needed"};

@@ -30,7 +30,30 @@
 #include "common/types.hpp"
 #include "storage/block_device.hpp"
 
+namespace debar {
+class ThreadPool;
+}  // namespace debar
+
 namespace debar::index {
+
+/// Execution plan for the parallel bulk operations. With a null pool (or
+/// a single worker) the parallel entry points degrade to the serial scans
+/// — same code path, byte-identical results either way (that equivalence
+/// is what `ctest -L parallel` pins down).
+struct ParallelIoOptions {
+  /// Worker pool the operation may fan out onto; not owned.
+  ThreadPool* pool = nullptr;
+  /// Shard count for bulk_lookup_sharded / prefetch fan-out for
+  /// bulk_insert_pipelined.
+  std::size_t workers = 1;
+  /// Bounded look-ahead (in io_buckets spans) of the insert pipeline's
+  /// prefetch and write-back stages.
+  std::size_t pipeline_depth = 4;
+
+  [[nodiscard]] bool parallel() const noexcept {
+    return pool != nullptr && workers > 1;
+  }
+};
 
 struct DiskIndexParams {
   /// n: the index has 2^n buckets.
@@ -139,6 +162,37 @@ class DiskIndex {
                                    std::uint64_t* inserted = nullptr,
                                    std::vector<std::size_t>* failed = nullptr);
 
+  // ---- Range-partitioned parallel scans (parallel dedup-2) ----
+  //
+  // Both operations produce results byte-identical to their serial
+  // counterparts for any worker count, and charge the disk model the
+  // exact serial access sequence (one streaming pass), so modeled seconds
+  // are thread-count-invariant. See DESIGN.md "Parallel dedup-2".
+
+  /// Sharded SIL: the bucket space is cut into `par.workers` contiguous
+  /// span-aligned ranges, each streamed by its own pool worker over its
+  /// slice of `fingerprints` (PSIL mirrored inside one index part).
+  /// `on_found` fires from worker threads, concurrently across shards but
+  /// never concurrently for the same fingerprint index; each shard covers
+  /// a disjoint contiguous slice of the input.
+  [[nodiscard]] Status bulk_lookup_sharded(
+      std::span<const Fingerprint> fingerprints,
+      const std::function<void(std::size_t, ContainerId)>& on_found,
+      std::uint64_t io_buckets, const ParallelIoOptions& par) const;
+
+  /// Pipelined SIU: prefetch workers read+parse upcoming bucket spans,
+  /// a single merge stage (the calling thread) applies the serial
+  /// read-modify-write logic in exact bucket order — preserving the
+  /// paper's deterministic tie-breaks and the RNG draw sequence — and a
+  /// write-back stage streams mutated spans out behind it. Cross-span
+  /// margin buckets are carried through the merge stage in memory, which
+  /// is exactly what the serial pass reconstructs by re-reading the
+  /// just-written margin.
+  [[nodiscard]] Status bulk_insert_pipelined(
+      std::span<const IndexEntry> entries, std::uint64_t io_buckets,
+      const ParallelIoOptions& par, std::uint64_t* inserted = nullptr,
+      std::vector<std::size_t>* failed = nullptr);
+
   /// Sequential erase: remove the entries for `fingerprints` (sorted
   /// ascending) in one read-modify-write pass. Absent fingerprints are
   /// skipped. Used by the garbage collector when containers are
@@ -215,6 +269,33 @@ class DiskIndex {
   /// Parse/serialize one bucket image at `data` (bucket_bytes long).
   [[nodiscard]] Bucket parse_bucket(ByteSpan data) const;
   void serialize_bucket(const Bucket& b, std::span<Byte> out) const;
+
+  /// Match `fingerprints[qi..)` whose home bucket falls in [a, home_end)
+  /// against an in-memory span of buckets [lo, ...). Shared by the serial
+  /// scan and every shard worker — one implementation, one behavior.
+  [[nodiscard]] Status match_fingerprints_in_span(
+      std::span<const Fingerprint> fingerprints,
+      const std::vector<Bucket>& span_buckets, std::uint64_t lo,
+      std::uint64_t a, std::uint64_t home_end, std::size_t& qi,
+      const std::function<void(std::size_t, ContainerId)>& on_found) const;
+
+  /// Place `entries[qi..)` homed in [a, home_end) into the in-memory span
+  /// [lo, ...): duplicate-neighbourhood check, random-order overflow, and
+  /// kFull bookkeeping. Mutates rng_/entry_count_/needs_scaling_ — must
+  /// run on exactly one thread, in ascending span order (the pipelined
+  /// path funnels every span through its single merge stage for this).
+  [[nodiscard]] Status place_entries_in_span(
+      std::span<const IndexEntry> entries, std::vector<Bucket>& span_buckets,
+      std::uint64_t lo, std::uint64_t a, std::uint64_t home_end,
+      std::size_t& qi, bool& overflow_failure, std::uint64_t* inserted,
+      std::vector<std::size_t>* failed);
+
+  /// Charge the disk model the exact access sequence the serial scan
+  /// issues (read per span, plus the write-back for RMW passes). The
+  /// parallel paths run their device I/O unmetered and then replay this,
+  /// so modeled time is identical for every worker count.
+  void replay_serial_scan_metering(sim::DiskModel* model,
+                                   std::uint64_t io_buckets, bool rmw) const;
 
   /// Read `count` consecutive buckets with one device access.
   [[nodiscard]] Status read_bucket_range(std::uint64_t first,

@@ -59,6 +59,7 @@ Result<std::unique_ptr<FileBlockDevice>> FileBlockDevice::open(
 }
 
 Status FileBlockDevice::read(std::uint64_t offset, std::span<Byte> out) {
+  std::lock_guard lock(io_mutex_);
   if (offset + out.size() > size_) {
     return {Errc::kIoError,
             debar::format("read [{}, {}) past device size {}", offset,
@@ -76,6 +77,7 @@ Status FileBlockDevice::read(std::uint64_t offset, std::span<Byte> out) {
 }
 
 Status FileBlockDevice::write(std::uint64_t offset, ByteSpan data) {
+  std::lock_guard lock(io_mutex_);
   stream_.clear();
   if (offset > size_) {
     // Zero-fill the gap so reads of the hole are well-defined.
@@ -99,6 +101,7 @@ Status FileBlockDevice::write(std::uint64_t offset, ByteSpan data) {
 }
 
 Status FileBlockDevice::resize(std::uint64_t bytes) {
+  std::lock_guard lock(io_mutex_);
   std::error_code ec;
   std::filesystem::resize_file(path_, bytes, ec);
   if (ec) {

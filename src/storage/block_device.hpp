@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -74,6 +75,11 @@ class MemBlockDevice final : public BlockDevice {
 };
 
 /// File-backed device for examples that persist a repository across runs.
+/// Read/write/resize are internally serialized: the single fstream's seek
+/// cursor is shared state, and the parallel dedup-2 scans issue device I/O
+/// from several threads at once. (MemBlockDevice needs no lock — its
+/// backing buffer is pre-sized by the index and the parallel scans touch
+/// disjoint byte ranges.)
 class FileBlockDevice final : public BlockDevice {
  public:
   /// Open (creating if absent) the backing file.
@@ -83,7 +89,10 @@ class FileBlockDevice final : public BlockDevice {
   [[nodiscard]] Status read(std::uint64_t offset,
                             std::span<Byte> out) override;
   [[nodiscard]] Status write(std::uint64_t offset, ByteSpan data) override;
-  [[nodiscard]] std::uint64_t size() const override { return size_; }
+  [[nodiscard]] std::uint64_t size() const override {
+    std::lock_guard lock(io_mutex_);
+    return size_;
+  }
   [[nodiscard]] Status resize(std::uint64_t bytes) override;
 
   [[nodiscard]] const std::filesystem::path& path() const noexcept {
@@ -96,6 +105,7 @@ class FileBlockDevice final : public BlockDevice {
       : path_(std::move(path)), stream_(std::move(stream)), size_(size) {}
 
   std::filesystem::path path_;
+  mutable std::mutex io_mutex_;
   std::fstream stream_;
   std::uint64_t size_ = 0;
 };

@@ -98,5 +98,44 @@ TEST(ChannelTest, CloseWakesBlockedReceiver) {
   receiver.join();
 }
 
+TEST(ChannelTest, CloseWakesBlockedSender) {
+  // A producer stuck on a full channel must observe close() and fail the
+  // send instead of deadlocking — the pipelined SIU teardown relies on
+  // this when the merge stage aborts mid-stream.
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.send(1));
+  std::atomic<bool> send_result{true};
+  std::thread producer([&] { send_result = ch.send(2); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  producer.join();
+  EXPECT_FALSE(send_result.load());
+  // The queued value is still drainable after close.
+  EXPECT_EQ(ch.receive(), 1);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(ChannelTest, DrainAfterCloseDeliversEverythingInOrder) {
+  Channel<int> ch(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ch.send(i));
+  ch.close();
+  for (int i = 0; i < 10; ++i) {
+    const auto v = ch.receive();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);  // FIFO preserved through close
+  }
+  EXPECT_FALSE(ch.receive().has_value());
+  EXPECT_FALSE(ch.try_receive().has_value());
+}
+
+TEST(ChannelTest, TryReceiveDrainsClosedChannel) {
+  Channel<int> ch;
+  ch.send(5);
+  ch.close();
+  EXPECT_EQ(ch.try_receive(), 5);
+  EXPECT_FALSE(ch.try_receive().has_value());
+  EXPECT_TRUE(ch.closed());
+}
+
 }  // namespace
 }  // namespace debar

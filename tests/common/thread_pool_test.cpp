@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 
 namespace debar {
 namespace {
@@ -38,6 +41,41 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, SubmitAfterShutdownReportsPoolStopped) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  // The future must fail fast instead of blocking forever on a task no
+  // worker will ever pick up (the shutdown race on pending tasks).
+  auto fut = pool.submit([] { return 1; });
+  EXPECT_THROW(fut.get(), PoolStopped);
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto f = pool.submit([&] { counter.fetch_add(1); });
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op, not a double-join
+  f.get();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, PendingTaskExceptionSurvivesShutdown) {
+  // A queued task that throws during the shutdown drain must deliver its
+  // exception through the future, not unwind through the worker thread
+  // (which would std::terminate the process).
+  ThreadPool pool(1);
+  auto blocker = pool.submit(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  auto thrower = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  pool.shutdown();
+  blocker.get();
+  EXPECT_THROW(thrower.get(), std::runtime_error);
+}
+
 TEST(ParallelForTest, CoversAllIndices) {
   std::vector<std::atomic<int>> hits(100);
   parallel_for(100, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
@@ -61,6 +99,22 @@ TEST(ParallelForTest, MoreThreadsThanItems) {
   std::atomic<int> counter{0};
   parallel_for(3, 16, [&](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ParallelForTest, PropagatesFirstExceptionAfterJoin) {
+  std::atomic<int> ran{0};
+  try {
+    parallel_for(100, 4, [&](std::size_t i) {
+      if (i == 13) throw std::runtime_error("boom");
+      ran.fetch_add(1);
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Remaining indices may be skipped after the failure, but nothing runs
+  // after the call returns: the workers are joined before the rethrow.
+  EXPECT_LE(ran.load(), 99);
 }
 
 }  // namespace

@@ -96,6 +96,79 @@ TEST(CrashConsistency, AckedBackupsSurviveEveryCrashPoint) {
   }
 }
 
+TEST(CrashConsistency, ParallelSilSiuWindowsSurviveCrashes) {
+  // Same sweep, but the server runs dedup-2 with sharded SIL and the
+  // pipelined SIU (threads = 4), and the crash points target only the
+  // index windows. The interleaving of ops inside a parallel window is
+  // nondeterministic, but the op COUNT per phase is not (same set of
+  // reads/writes in some order), so the profiled spans still place each
+  // crash inside the intended phase — and the durability invariant must
+  // hold for whichever interleaving the crash freezes.
+  const std::vector<core::Dataset> generations = make_generations();
+  CrashRig::Options opts;
+  opts.dedup2 = {.threads = 4, .pipeline_depth = 2};
+
+  CrashRig profile(opts, generations);
+  const RunOutcome clean = profile.run();
+  ASSERT_FALSE(clean.failed) << clean.error;
+  ASSERT_EQ(clean.acked, generations.size());
+  ASSERT_TRUE(profile.recover_and_verify(clean.acked).ok());
+
+  std::vector<WindowSpan> index_windows;
+  for (const WindowSpan& w : profile.windows()) {
+    if (w.window == "sil" || w.window == "siu") index_windows.push_back(w);
+  }
+  const std::vector<CrashPoint> points = pick_crash_points(index_windows, 3);
+
+  std::set<std::string> kinds;
+  for (const CrashPoint& p : points) kinds.insert(p.window);
+  EXPECT_EQ(kinds, (std::set<std::string>{"sil", "siu"}));
+  EXPECT_GE(points.size(), 10u);
+
+  for (const CrashPoint& point : points) {
+    SCOPED_TRACE("parallel crash in " + point.window + " at op " +
+                 std::to_string(point.op) + " (generation " +
+                 std::to_string(point.generation) + ")");
+    CrashRig rig(opts, generations);
+    storage::FaultConfig faults;
+    faults.crash_after_ops = point.op;
+    rig.arm(faults);
+
+    const RunOutcome outcome = rig.run();
+    EXPECT_TRUE(outcome.failed)
+        << "run acked " << outcome.acked << " generations without failing";
+    EXPECT_TRUE(rig.injector().crashed());
+    EXPECT_EQ(outcome.acked, point.generation) << outcome.error;
+
+    const Status recovered = rig.recover_and_verify(outcome.acked);
+    EXPECT_TRUE(recovered.ok()) << recovered.to_string();
+  }
+}
+
+TEST(CrashConsistency, ParallelPipelineAbsorbsTransientFaults) {
+  // Transient read/write/torn faults land on arbitrary ops of the
+  // threaded pipeline (shard reads, prefetches, the SIU writer); the
+  // per-range retries must absorb all of them regardless of which thread
+  // drew the fault.
+  const std::vector<core::Dataset> generations = make_generations();
+  CrashRig::Options opts;
+  opts.dedup2 = {.threads = 4, .pipeline_depth = 2};
+  CrashRig rig(opts, generations);
+
+  storage::FaultConfig faults;
+  faults.read_error_rate = 0.02;
+  faults.write_error_rate = 0.02;
+  faults.torn_write_rate = 0.02;
+  rig.arm(faults);
+
+  const RunOutcome outcome = rig.run();
+  EXPECT_FALSE(outcome.failed) << outcome.error;
+  EXPECT_EQ(outcome.acked, generations.size());
+
+  const Status recovered = rig.recover_and_verify(outcome.acked);
+  EXPECT_TRUE(recovered.ok()) << recovered.to_string();
+}
+
 TEST(CrashConsistency, TransientWriteFaultsAreAbsorbedByRetries) {
   const std::vector<core::Dataset> generations = make_generations();
   CrashRig rig({}, generations);

@@ -57,6 +57,7 @@ CrashRig::CrashRig(Options options, std::vector<core::Dataset> generations)
   core::BackupServerConfig cfg;
   cfg.index_params = options_.index_params;
   cfg.chunk_store.io_buckets = options_.io_buckets;
+  cfg.chunk_store.dedup2 = options_.dedup2;
   cfg.log_device_factory = [injector = injector_] {
     return faulty_mem_device(injector);
   };
@@ -163,6 +164,7 @@ Status CrashRig::recover_and_verify(std::uint32_t acked) const {
   core::BackupServerConfig cfg;
   cfg.index_params = options_.index_params;
   cfg.chunk_store.io_buckets = options_.io_buckets;
+  cfg.chunk_store.dedup2 = options_.dedup2;
   core::BackupServer server(0, cfg, repo.value().get(), &director);
   server.chunk_store().index() = std::move(rebuilt).value();
 

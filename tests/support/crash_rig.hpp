@@ -55,6 +55,13 @@ class CrashRig {
                                         .blocks_per_bucket = 2};
     /// Small SIL/SIU batching so the index windows span several ops.
     std::uint64_t io_buckets = 8;
+    /// Dedup-2 threading for the server under test. The default (serial)
+    /// keeps the op stream fully deterministic; threads > 1 exercises the
+    /// sharded-SIL / pipelined-SIU windows. The per-phase op COUNT stays
+    /// deterministic either way (same set of ops, any interleaving), so
+    /// window spans recorded from a fault-free probe still locate crash
+    /// points in the right phase.
+    core::Dedup2Options dedup2{.threads = 1, .pipeline_depth = 2};
   };
 
   /// Builds the deployment fault-free (the injector is armed later), so
