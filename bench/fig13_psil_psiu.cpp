@@ -31,6 +31,11 @@ struct Fig13Point {
   double total_index_tb;
   double psil_kfps;
   double psiu_kfps;
+  // Exchange wire traffic by message type (MB at bench scale), read off
+  // the transport rather than assumed from per-item constants.
+  double wire_fp_mb;
+  double wire_verdict_mb;
+  double wire_entry_mb;
 };
 
 Fig13Point run_point(double total_index_tb) {
@@ -99,6 +104,15 @@ Fig13Point run_point(double total_index_tb) {
                     result.value().sil_seconds / 1e3;
   point.psiu_kfps = static_cast<double>(result.value().new_chunks) * scale /
                     result.value().siu_seconds / 1e3;
+  const net::TransportStats wire = cluster.transport_stats();
+  auto mb = [&](net::MessageType t) {
+    return static_cast<double>(
+               wire.bytes_by_type[static_cast<std::size_t>(t)]) /
+           1e6;
+  };
+  point.wire_fp_mb = mb(net::MessageType::kFingerprintBatch);
+  point.wire_verdict_mb = mb(net::MessageType::kVerdictBatch);
+  point.wire_entry_mb = mb(net::MessageType::kIndexEntryBatch);
   return point;
 }
 
@@ -107,11 +121,13 @@ const double kSizesTb[] = {0.5, 1, 2, 4, 8};
 void print_table() {
   std::printf("\n=== Figure 13: PSIL / PSIU speeds, 16 backup servers, "
               "1 GB cache each (kilo-fingerprints/s, paper scale) ===\n");
-  std::printf("index (TB) | PSIL (kfp/s) | PSIU (kfp/s)\n");
+  std::printf("index (TB) | PSIL (kfp/s) | PSIU (kfp/s) | wire fp/verdict/"
+              "entry (MB)\n");
   for (const double tb : kSizesTb) {
     const Fig13Point p = run_point(tb);
-    std::printf("%10.1f | %12.0f | %12.0f\n", p.total_index_tb, p.psil_kfps,
-                p.psiu_kfps);
+    std::printf("%10.1f | %12.0f | %12.0f | %.1f / %.1f / %.1f\n",
+                p.total_index_tb, p.psil_kfps, p.psiu_kfps, p.wire_fp_mb,
+                p.wire_verdict_mb, p.wire_entry_mb);
   }
   std::printf("paper anchors: 0.5 TB -> ~3710 / ~1524; 8 TB -> ~338 / "
               "~135\n\n");

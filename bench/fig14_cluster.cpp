@@ -249,8 +249,26 @@ void print_tables() {
   for (std::size_t s = 0; s < 16; ++s) {
     hit_rate += read_run.cluster->server(s).chunk_store().lpc().hit_rate();
   }
-  std::printf("measured LPC hit rate across servers: %.1f%%\n\n",
+  std::printf("measured LPC hit rate across servers: %.1f%%\n",
               hit_rate / 16 * 100.0);
+
+  // Wire traffic of the whole 2 TB run (writes + restores), read off the
+  // transport: exchange costs come from serialized message sizes, not
+  // assumed constants.
+  const net::TransportStats wire = read_run.cluster->transport_stats();
+  auto mb = [&](net::MessageType t) {
+    return static_cast<double>(
+               wire.bytes_by_type[static_cast<std::size_t>(t)]) /
+           1e6;
+  };
+  std::printf("wire traffic (2 TB run, MB): fp %.1f, verdict %.1f, entry "
+              "%.1f, locate %.2f, chunk data %.1f\n\n",
+              mb(net::MessageType::kFingerprintBatch),
+              mb(net::MessageType::kVerdictBatch),
+              mb(net::MessageType::kIndexEntryBatch),
+              mb(net::MessageType::kChunkLocateRequest) +
+                  mb(net::MessageType::kChunkLocateReply),
+              mb(net::MessageType::kChunkData));
 }
 
 void BM_Fig14_Write(benchmark::State& state) {

@@ -21,6 +21,7 @@ enum class Errc {
   kIoError,        // underlying device failure
   kInvalidArgument,
   kUnsupported,
+  kUnavailable,    // peer unreachable / delivery undeliverable after retry
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc e) noexcept {
@@ -32,6 +33,7 @@ enum class Errc {
     case Errc::kIoError: return "io-error";
     case Errc::kInvalidArgument: return "invalid-argument";
     case Errc::kUnsupported: return "unsupported";
+    case Errc::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -33,6 +33,28 @@ class ByteWriter {
 
   void container_id(ContainerId id) { u40(id.value); }
 
+  /// Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+  /// Values < 128 cost one byte, which is what makes delta-encoded
+  /// verdict indices as cheap as the old one-byte-per-verdict wire model.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(static_cast<Byte>(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(static_cast<Byte>(v));
+  }
+
+  /// Encoded size of varint(v), for wire-cost accounting.
+  [[nodiscard]] static constexpr std::size_t varint_size(
+      std::uint64_t v) noexcept {
+    std::size_t n = 1;
+    while (v >= 0x80) {
+      ++n;
+      v >>= 7;
+    }
+    return n;
+  }
+
  private:
   void le(std::uint64_t v, int width) {
     for (int i = 0; i < width; ++i) out_.push_back(static_cast<Byte>(v >> (8 * i)));
@@ -67,6 +89,20 @@ class ByteReader {
   }
 
   ContainerId container_id() { return ContainerId{u40()}; }
+
+  /// Unsigned LEB128 decode. Rejects encodings longer than ten bytes
+  /// (anything past that overflows 64 bits) with the usual sticky failure.
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      const std::uint8_t b = u8();
+      if (!ok_) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok_ = false;
+    return 0;
+  }
 
   /// View of the next `n` bytes, advancing the cursor. Empty span (and
   /// ok()==false) if fewer than n remain.

@@ -13,6 +13,7 @@
 #include "core/file_store.hpp"
 #include "filter/preliminary_filter.hpp"
 #include "index/disk_index.hpp"
+#include "net/endpoint.hpp"
 #include "sim/disk_model.hpp"
 #include "sim/nic_model.hpp"
 #include "storage/chunk_log.hpp"
@@ -88,6 +89,16 @@ class BackupServer {
     return config_;
   }
 
+  /// Bind this server's cluster transport port (the Cluster registers one
+  /// per server against its transport). Standalone servers have none.
+  void attach_endpoint(std::unique_ptr<net::Endpoint> endpoint) noexcept {
+    endpoint_ = std::move(endpoint);
+  }
+  [[nodiscard]] bool has_endpoint() const noexcept {
+    return endpoint_ != nullptr;
+  }
+  [[nodiscard]] net::Endpoint& endpoint() noexcept { return *endpoint_; }
+
  private:
   std::size_t server_id_;
   BackupServerConfig config_;
@@ -102,6 +113,7 @@ class BackupServer {
   std::unique_ptr<storage::ChunkLog> chunk_log_;
   std::unique_ptr<FileStore> file_store_;
   std::unique_ptr<ChunkStore> chunk_store_;
+  std::unique_ptr<net::Endpoint> endpoint_;
 };
 
 }  // namespace debar::core

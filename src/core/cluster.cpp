@@ -8,16 +8,11 @@
 
 #include "common/fmt.hpp"
 #include "common/thread_pool.hpp"
+#include "net/message.hpp"
 
 namespace debar::core {
 
 namespace {
-
-/// Wire bytes for shipping one fingerprint / one index entry / one lookup
-/// verdict between servers during the exchanges.
-constexpr std::uint64_t kFpWire = Fingerprint::kSize;
-constexpr std::uint64_t kEntryWire = IndexEntry::kSerializedSize;
-constexpr std::uint64_t kVerdictWire = 1;
 
 double max_delta(const std::vector<double>& before,
                  const std::vector<double>& after) {
@@ -27,6 +22,12 @@ double max_delta(const std::vector<double>& before,
   }
   return m;
 }
+
+/// One failed exchange: `observer` could not reach (or hear from) `peer`.
+struct PeerFailure {
+  std::size_t observer;
+  std::size_t peer;
+};
 
 }  // namespace
 
@@ -42,6 +43,29 @@ Cluster::Cluster(ClusterConfig config)
         std::make_unique<BackupServer>(k, server_config, &repository_,
                                        &director_));
   }
+  deferred_entries_.resize(n);
+
+  auto loopback = std::make_unique<net::LoopbackTransport>();
+  loopback_ = loopback.get();
+  transport_ = config_.transport_decorator
+                   ? config_.transport_decorator(std::move(loopback))
+                   : std::move(loopback);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto id = static_cast<net::EndpointId>(k);
+    Status registered = transport_->register_endpoint(id, &servers_[k]->nic());
+    assert(registered.ok());
+    (void)registered;
+    servers_[k]->attach_endpoint(
+        std::make_unique<net::Endpoint>(transport_.get(), id, config_.retry));
+  }
+  // The restore-stream client: no modeled NIC of its own (the serving
+  // server's wire is the bottleneck the paper measures).
+  Status registered = transport_->register_endpoint(client_id(), nullptr);
+  assert(registered.ok());
+  (void)registered;
+  client_endpoint_ = std::make_unique<net::Endpoint>(transport_.get(),
+                                                     client_id(),
+                                                     config_.retry);
 }
 
 Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
@@ -64,47 +88,117 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     return v;
   };
 
+  std::mutex failure_mutex;
+  std::vector<PeerFailure> failures;
+  auto note_failure = [&](std::size_t observer, std::size_t peer) {
+    std::lock_guard lock(failure_mutex);
+    failures.push_back({observer, peer});
+  };
+  // Distill the phase's failure records into the peers to blame. A dead
+  // observer's complaints about healthy peers are noise (its own sends
+  // fail too); keep only complaints whose peer the transport also doubts,
+  // or complaints from observers the transport still trusts.
+  auto blamed_peers = [&] {
+    std::lock_guard lock(failure_mutex);
+    std::vector<std::size_t> bad;
+    for (const PeerFailure& f : failures) {
+      const bool observer_dead =
+          !transport_->reachable(static_cast<net::EndpointId>(f.observer));
+      const bool peer_dead =
+          !transport_->reachable(static_cast<net::EndpointId>(f.peer));
+      if (observer_dead && !peer_dead) continue;
+      bad.push_back(f.peer);
+    }
+    failures.clear();
+    std::sort(bad.begin(), bad.end());
+    bad.erase(std::unique(bad.begin(), bad.end()), bad.end());
+    return bad;
+  };
+  auto degrade = [&](const std::vector<std::size_t>& bad, const char* phase) {
+    for (const std::size_t p : bad) director_.mark_unreachable(p);
+    return Error{Errc::kUnavailable,
+                 format("cluster dedup-2 aborted in phase {}: {} peer(s) "
+                        "unreachable",
+                        phase, bad.size())};
+  };
+
   // ---- Phase A: take undetermined sets and exchange by routing prefix.
-  // outbox[from][to]: the fingerprint subsets in flight.
+  // outbox[from][to]: the fingerprint subsets in flight; an empty batch
+  // still ships, so every pair exchanges one message per phase.
   std::vector<std::vector<std::vector<Fingerprint>>> outbox(
       n, std::vector<std::vector<Fingerprint>>(n));
   std::vector<std::vector<Fingerprint>> local_undetermined(n);
+  // Re-drain on abort: a round that never reached chunk storing puts the
+  // fingerprints back so the next round resolves them.
+  auto restore_undetermined = [&] {
+    parallel_for(n, n, [&](std::size_t s) {
+      servers_[s]->file_store().restore_undetermined(
+          std::move(local_undetermined[s]));
+    });
+  };
 
   const std::vector<double> nic_a0 = nic_clocks();
   parallel_for(n, n, [&](std::size_t s) {
-    std::vector<Fingerprint> fps = servers_[s]->file_store().take_undetermined();
-    local_undetermined[s] = fps;
-    for (const Fingerprint& fp : fps) {
-      outbox[s][owner_of(fp)].push_back(fp);
-    }
+    std::vector<Fingerprint> fps =
+        servers_[s]->file_store().take_undetermined();
+    for (const Fingerprint& fp : fps) outbox[s][owner_of(fp)].push_back(fp);
+    local_undetermined[s] = std::move(fps);
     for (std::size_t k = 0; k < n; ++k) {
-      if (k != s) {
-        servers_[s]->nic().transfer(outbox[s][k].size() * kFpWire);
-      }
+      if (k == s) continue;
+      Status sent = servers_[s]->endpoint().send(
+          static_cast<net::EndpointId>(k), net::FingerprintBatch{outbox[s][k]});
+      if (!sent.ok()) note_failure(s, k);
     }
   });
   for (const auto& fps : local_undetermined) result.undetermined += fps.size();
 
+  // Receive barrier: every owner collects one batch per origin (its own
+  // subset never crosses the wire).
+  std::vector<std::vector<net::FingerprintBatch>> fp_inbox(
+      n, std::vector<net::FingerprintBatch>(n));
+  parallel_for(n, n, [&](std::size_t k) {
+    fp_inbox[k][k].fps = outbox[k][k];
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k) continue;
+      Result<net::FingerprintBatch> batch =
+          servers_[k]->endpoint().expect<net::FingerprintBatch>(
+              static_cast<net::EndpointId>(s));
+      if (!batch.ok()) {
+        note_failure(k, s);
+        continue;
+      }
+      fp_inbox[k][s] = std::move(batch.value());
+    }
+  });
+  if (std::vector<std::size_t> bad = blamed_peers(); !bad.empty()) {
+    restore_undetermined();
+    return degrade(bad, "A");
+  }
+
   // ---- Phase B: PSIL on every index-part owner, concurrently.
-  // dup_out[owner][origin]: fingerprints origin must treat as duplicates.
-  std::vector<std::vector<std::vector<Fingerprint>>> dup_out(
-      n, std::vector<std::vector<Fingerprint>>(n));
+  // Verdicts are positions into each origin's batch; origin batches are
+  // sorted (take_undetermined sorts), so walking unique fingerprints in
+  // order yields strictly ascending positions per origin — exactly what
+  // VerdictBatch's delta encoding wants.
+  std::vector<std::vector<net::VerdictBatch>> verdict_out(
+      n, std::vector<net::VerdictBatch>(n));
   std::vector<Status> phase_status(n);
+  std::atomic<std::uint64_t> dup_count{0};
 
   const std::vector<double> idx_b0 = index_clocks();
-  std::atomic<std::uint64_t> dup_count{0};
   parallel_for(n, n, [&](std::size_t k) {
-    // Receive: merge all subsets routed to this owner, tracking origins.
     struct Query {
       Fingerprint fp;
       std::size_t origin;
+      std::uint32_t index;  // position in the origin's batch
     };
     std::vector<Query> queries;
     for (std::size_t s = 0; s < n; ++s) {
-      if (s != k) {
-        servers_[k]->nic().transfer(outbox[s][k].size() * kFpWire);
+      const std::vector<Fingerprint>& fps = fp_inbox[k][s].fps;
+      verdict_out[k][s].query_count = static_cast<std::uint32_t>(fps.size());
+      for (std::size_t i = 0; i < fps.size(); ++i) {
+        queries.push_back({fps[i], s, static_cast<std::uint32_t>(i)});
       }
-      for (const Fingerprint& fp : outbox[s][k]) queries.push_back({fp, s});
     }
     std::sort(queries.begin(), queries.end(),
               [](const Query& a, const Query& b) {
@@ -138,26 +232,64 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
         if (!is_dup) {
           designated = true;  // this origin stores the chunk
         } else {
-          dup_out[k][queries[qi].origin].push_back(queries[qi].fp);
+          verdict_out[k][queries[qi].origin].duplicate_indices.push_back(
+              queries[qi].index);
           dup_count.fetch_add(1, std::memory_order_relaxed);
         }
       }
     }
   });
   for (const Status& s : phase_status) {
-    if (!s.ok()) return Error{s.code(), s.message()};
+    if (!s.ok()) {
+      restore_undetermined();
+      return Error{s.code(), s.message()};
+    }
   }
   result.duplicates = dup_count.load();
   result.sil_seconds = max_delta(idx_b0, index_clocks());
 
   // ---- Phase C: results return to their origins (network only).
-  parallel_for(n, n, [&](std::size_t s) {
-    for (std::size_t k = 0; k < n; ++k) {
-      if (k != s) {
-        servers_[s]->nic().transfer(dup_out[k][s].size() * kVerdictWire);
-      }
+  parallel_for(n, n, [&](std::size_t k) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k) continue;
+      Status sent = servers_[k]->endpoint().send(
+          static_cast<net::EndpointId>(s), verdict_out[k][s]);
+      if (!sent.ok()) note_failure(k, s);
     }
   });
+  std::vector<std::vector<net::VerdictBatch>> verdict_inbox(
+      n, std::vector<net::VerdictBatch>(n));
+  parallel_for(n, n, [&](std::size_t s) {
+    verdict_inbox[s][s] = std::move(verdict_out[s][s]);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == s) continue;
+      Result<net::VerdictBatch> verdict =
+          servers_[s]->endpoint().expect<net::VerdictBatch>(
+              static_cast<net::EndpointId>(k));
+      if (!verdict.ok()) {
+        note_failure(s, k);
+        continue;
+      }
+      if (verdict.value().query_count != outbox[s][k].size()) {
+        phase_status[s] =
+            Status(Errc::kCorrupt,
+                   format("verdict from {} answers {} queries, {} were asked",
+                          k, verdict.value().query_count, outbox[s][k].size()));
+        continue;
+      }
+      verdict_inbox[s][k] = std::move(verdict.value());
+    }
+  });
+  if (std::vector<std::size_t> bad = blamed_peers(); !bad.empty()) {
+    restore_undetermined();
+    return degrade(bad, "C");
+  }
+  for (const Status& s : phase_status) {
+    if (!s.ok()) {
+      restore_undetermined();
+      return Error{s.code(), s.message()};
+    }
+  }
   result.exchange_seconds = max_delta(nic_a0, nic_clocks());
 
   // ---- Phase D: parallel chunk storing on every origin.
@@ -171,7 +303,11 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   parallel_for(n, n, [&](std::size_t s) {
     std::unordered_set<Fingerprint, FingerprintHash> dups;
     for (std::size_t k = 0; k < n; ++k) {
-      for (const Fingerprint& fp : dup_out[k][s]) dups.insert(fp);
+      // Verdict indices are validated against query_count at decode and
+      // above, so they index outbox[s][k] safely.
+      for (const std::uint32_t idx : verdict_inbox[s][k].duplicate_indices) {
+        dups.insert(outbox[s][k][idx]);
+      }
     }
     std::vector<Fingerprint> new_fps;
     for (const Fingerprint& fp : local_undetermined[s]) {
@@ -191,11 +327,6 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     for (const IndexEntry& e : stored.value().entries) {
       entry_out[s][owner_of(e.fp)].push_back(e);
     }
-    for (std::size_t k = 0; k < n; ++k) {
-      if (k != s) {
-        servers_[s]->nic().transfer(entry_out[s][k].size() * kEntryWire);
-      }
-    }
   });
   for (const Status& s : phase_status) {
     if (!s.ok()) return Error{s.code(), s.message()};
@@ -206,16 +337,61 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       std::max(max_delta(log_d0, log_clocks()),
                repository_.max_node_seconds() - repo_d0);
 
-  // ---- Phase E: owners register entries; PSIU when due or forced.
+  // Entries a previous round routed but never registered (phase E abort)
+  // ride along with this round's batches.
+  for (std::size_t s = 0; s < n; ++s) {
+    for (const IndexEntry& e : deferred_entries_[s]) {
+      entry_out[s][owner_of(e.fp)].push_back(e);
+    }
+    deferred_entries_[s].clear();
+  }
+
+  // ---- Phase E: entries route to the part owners; the owners receive
+  // everything before anyone registers, so an unreachable peer aborts the
+  // round with zero index or pending-set mutation.
+  parallel_for(n, n, [&](std::size_t s) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == s) continue;
+      Status sent = servers_[s]->endpoint().send(
+          static_cast<net::EndpointId>(k),
+          net::IndexEntryBatch{entry_out[s][k]});
+      if (!sent.ok()) note_failure(s, k);
+    }
+  });
+  std::vector<std::vector<net::IndexEntryBatch>> entry_inbox(
+      n, std::vector<net::IndexEntryBatch>(n));
+  parallel_for(n, n, [&](std::size_t k) {
+    entry_inbox[k][k].entries = entry_out[k][k];
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k) continue;
+      Result<net::IndexEntryBatch> batch =
+          servers_[k]->endpoint().expect<net::IndexEntryBatch>(
+              static_cast<net::EndpointId>(s));
+      if (!batch.ok()) {
+        note_failure(k, s);
+        continue;
+      }
+      entry_inbox[k][s] = std::move(batch.value());
+    }
+  });
+  if (std::vector<std::size_t> bad = blamed_peers(); !bad.empty()) {
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t k = 0; k < n; ++k) {
+        deferred_entries_[s].insert(deferred_entries_[s].end(),
+                                    entry_out[s][k].begin(),
+                                    entry_out[s][k].end());
+      }
+    }
+    return degrade(bad, "E");
+  }
+
+  // Commit: owners register entries; PSIU when due or forced.
   const std::vector<double> idx_e0 = index_clocks();
   std::atomic<bool> ran_siu{false};
   parallel_for(n, n, [&](std::size_t k) {
     for (std::size_t s = 0; s < n; ++s) {
-      if (s != k) {
-        servers_[k]->nic().transfer(entry_out[s][k].size() * kEntryWire);
-      }
       servers_[k]->chunk_store().add_pending(
-          std::span<const IndexEntry>(entry_out[s][k]));
+          std::span<const IndexEntry>(entry_inbox[k][s].entries));
     }
     if (force_siu || servers_[k]->chunk_store().siu_due()) {
       Result<SiuResult> siu = servers_[k]->chunk_store().siu();
@@ -232,28 +408,93 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   result.ran_siu = ran_siu.load();
   result.siu_seconds = max_delta(idx_e0, index_clocks());
 
+  // A fully successful round heard from every peer in every phase.
+  for (std::size_t k = 0; k < n; ++k) director_.mark_reachable(k);
+
   return result;
 }
 
 Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
                                               const Fingerprint& fp) {
   assert(via_server < servers_.size());
+  BackupServer& via = *servers_[via_server];
+  const auto via_id = static_cast<net::EndpointId>(via_server);
+
   // LPC first (Section 3.3): only a cache miss pays the owner-side index
-  // lookup and the container fetch. Either way the restored bytes cross
-  // the serving server's wire to the client.
-  if (auto hit = servers_[via_server]->chunk_store().lpc_probe(fp)) {
-    servers_[via_server]->nic().transfer(hit->size());
-    return std::move(*hit);
+  // lookup and the container fetch.
+  std::vector<Byte> bytes;
+  if (std::optional<std::vector<Byte>> hit = via.chunk_store().lpc_probe(fp)) {
+    bytes = std::move(*hit);
+  } else {
+    const std::size_t owner = owner_of(fp);
+    ContainerId container;
+    if (owner == via_server) {
+      Result<ContainerId> located = via.chunk_store().locate(fp);
+      if (!located.ok()) return located.error();
+      container = located.value();
+    } else {
+      // Locate round trip with the part owner over the transport.
+      const auto owner_id = static_cast<net::EndpointId>(owner);
+      if (Status sent =
+              via.endpoint().send(owner_id, net::ChunkLocateRequest{fp});
+          !sent.ok()) {
+        director_.mark_unreachable(owner);
+        return Error{Errc::kUnavailable,
+                     format("chunk owner {} unreachable for locate", owner)};
+      }
+      Result<net::ChunkLocateRequest> request =
+          servers_[owner]->endpoint().expect<net::ChunkLocateRequest>(via_id);
+      if (!request.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("locate request to owner {} lost", owner)};
+      }
+      net::ChunkLocateReply reply;
+      Result<ContainerId> located =
+          servers_[owner]->chunk_store().locate(request.value().fp);
+      if (located.ok()) {
+        reply.container = located.value();
+      } else {
+        reply.status = located.error().code;
+      }
+      if (Status sent = servers_[owner]->endpoint().send(via_id, reply);
+          !sent.ok()) {
+        director_.mark_unreachable(owner);
+        return Error{Errc::kUnavailable,
+                     format("chunk owner {} unreachable for reply", owner)};
+      }
+      Result<net::ChunkLocateReply> got =
+          via.endpoint().expect<net::ChunkLocateReply>(owner_id);
+      if (!got.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("locate reply from owner {} lost", owner)};
+      }
+      if (got.value().status != Errc::kOk) {
+        return Error{got.value().status,
+                     format("chunk not located on owner {}", owner)};
+      }
+      container = got.value().container;
+    }
+    Result<std::vector<Byte>> chunk = via.chunk_store().read_chunk_at(
+        fp, container);
+    if (!chunk.ok()) return chunk.error();
+    bytes = std::move(chunk.value());
   }
-  const std::size_t owner = owner_of(fp);
-  Result<ContainerId> cid = servers_[owner]->chunk_store().locate(fp);
-  if (!cid.ok()) return cid.error();
-  Result<std::vector<Byte>> chunk =
-      servers_[via_server]->chunk_store().read_chunk_at(fp, cid.value());
-  if (chunk.ok()) {
-    servers_[via_server]->nic().transfer(chunk.value().size());
+
+  // The restored bytes cross the serving server's wire to the client as a
+  // real ChunkData frame (and round-trip its serialization).
+  if (Status sent =
+          via.endpoint().send(client_id(), net::ChunkData{fp, std::move(bytes)});
+      !sent.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("restore delivery from server {} failed", via_server)};
   }
-  return chunk;
+  Result<net::ChunkData> delivered =
+      client_endpoint_->expect<net::ChunkData>(via_id);
+  if (!delivered.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("restore delivery from server {} lost", via_server)};
+  }
+  return std::move(delivered.value().bytes);
 }
 
 Result<Dataset> Cluster::restore(std::uint64_t job_id, std::uint32_t version,

@@ -23,9 +23,20 @@
 // Phases are barriers, so per-phase elapsed time is the maximum of the
 // participating servers' modeled device times (plus the repository's
 // busiest node during storing).
+//
+// Every inter-server exchange travels as a typed net::Message through a
+// net::Transport: the fingerprints, verdicts and index entries are
+// serialized, framed, and metered through both endpoints' NIC models at
+// their actual wire size. A round degrades instead of wedging when a peer
+// stays unreachable: the phase's sends are bounded-retried, the round
+// aborts at the phase barrier with kUnavailable before any index or
+// pending-set mutation (drained undetermined fingerprints are restored,
+// routed-but-unregistered entries are deferred to the next round), and
+// the director is told which servers to skip for new job assignments.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -33,6 +44,8 @@
 #include "core/backup_engine.hpp"
 #include "core/backup_server.hpp"
 #include "core/director.hpp"
+#include "net/endpoint.hpp"
+#include "net/loopback_transport.hpp"
 #include "storage/chunk_repository.hpp"
 
 namespace debar::core {
@@ -45,6 +58,13 @@ struct ClusterConfig {
   /// Storage nodes in the shared chunk repository.
   std::size_t repository_nodes = 4;
   sim::DiskProfile repository_profile = sim::DiskProfile::PaperRaid();
+  /// Retransmission / poll budget for every cluster endpoint.
+  net::RetryPolicy retry{};
+  /// Optional transport decorator (fault injection): receives the base
+  /// loopback transport and must return a transport wrapping it — the
+  /// cluster keeps metering and stats through the loopback underneath.
+  std::function<std::unique_ptr<net::Transport>(std::unique_ptr<net::Transport>)>
+      transport_decorator;
 };
 
 struct ClusterDedup2Result {
@@ -78,6 +98,17 @@ class Cluster {
     return repository_;
   }
 
+  /// The transport every exchange rides on (outermost decorator).
+  [[nodiscard]] net::Transport& transport() noexcept { return *transport_; }
+  /// Cumulative frame/byte counters from the underlying loopback.
+  [[nodiscard]] net::TransportStats transport_stats() const {
+    return loopback_->stats();
+  }
+  /// Endpoint id of the restore-stream client (one past the servers).
+  [[nodiscard]] net::EndpointId client_id() const noexcept {
+    return static_cast<net::EndpointId>(servers_.size());
+  }
+
   /// Index-part owner of a fingerprint: its first w bits.
   [[nodiscard]] std::size_t owner_of(const Fingerprint& fp) const noexcept {
     return config_.routing_bits == 0
@@ -105,7 +136,16 @@ class Cluster {
   ClusterConfig config_;
   Director director_;
   storage::ChunkRepository repository_;
+  // Transport before servers/client endpoint: endpoints hold raw transport
+  // pointers, so they must be destroyed first (reverse declaration order).
+  std::unique_ptr<net::Transport> transport_;
+  net::LoopbackTransport* loopback_ = nullptr;
+  std::unique_ptr<net::Endpoint> client_endpoint_;
   std::vector<std::unique_ptr<BackupServer>> servers_;
+  /// Entries routed in a round whose PSIU never committed (phase E abort):
+  /// re-shipped by their origin on the next round, so the index stays
+  /// all-or-nothing per round without losing entries.
+  std::vector<std::vector<IndexEntry>> deferred_entries_;
 };
 
 }  // namespace debar::core

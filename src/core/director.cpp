@@ -41,12 +41,36 @@ std::size_t Director::assign_server(std::uint64_t /*job_id*/,
                                     std::size_t server_count) {
   std::lock_guard lock(mutex_);
   server_load_.resize(std::max(server_load_.size(), server_count), 0);
-  std::size_t best = 0;
-  for (std::size_t i = 1; i < server_count; ++i) {
-    if (server_load_[i] < server_load_[best]) best = i;
+  // Least-loaded among reachable servers; if none is reachable, fall back
+  // to least-loaded overall rather than inventing an answer.
+  std::size_t best = server_count;
+  for (std::size_t i = 0; i < server_count; ++i) {
+    if (unreachable_servers_.contains(i)) continue;
+    if (best == server_count || server_load_[i] < server_load_[best]) best = i;
+  }
+  if (best == server_count) {
+    best = 0;
+    for (std::size_t i = 1; i < server_count; ++i) {
+      if (server_load_[i] < server_load_[best]) best = i;
+    }
   }
   server_load_[best] += expected_bytes;
   return best;
+}
+
+void Director::mark_unreachable(std::size_t server) {
+  std::lock_guard lock(mutex_);
+  unreachable_servers_.insert(server);
+}
+
+void Director::mark_reachable(std::size_t server) {
+  std::lock_guard lock(mutex_);
+  unreachable_servers_.erase(server);
+}
+
+bool Director::is_unreachable(std::size_t server) const {
+  std::lock_guard lock(mutex_);
+  return unreachable_servers_.contains(server);
 }
 
 void Director::attach_metadata_store(MetadataStore* store) {

@@ -11,6 +11,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -42,10 +43,19 @@ class Director {
   [[nodiscard]] std::vector<JobSpec> jobs_due_on_day(std::uint32_t day) const;
 
   /// Least-loaded assignment of a job run to one of `server_count`
-  /// servers; load = logical bytes routed to each server so far.
+  /// servers; load = logical bytes routed to each server so far. Servers
+  /// marked unreachable are skipped unless every server is (then the
+  /// plain least-loaded answer stands — the caller will fail loudly).
   [[nodiscard]] std::size_t assign_server(std::uint64_t job_id,
                                           std::uint64_t expected_bytes,
                                           std::size_t server_count);
+
+  /// Health bookkeeping, fed by the cluster's transport layer: a degraded
+  /// dedup-2 round marks the peers it could not reach, and a completed
+  /// round clears the marks (every exchange succeeded).
+  void mark_unreachable(std::size_t server);
+  void mark_reachable(std::size_t server);
+  [[nodiscard]] bool is_unreachable(std::size_t server) const;
 
   // ---- Metadata manager ----
 
@@ -88,6 +98,7 @@ class Director {
   std::vector<JobSpec> jobs_;
   std::map<std::uint64_t, std::vector<JobVersionRecord>> versions_;
   std::vector<std::uint64_t> server_load_;
+  std::set<std::size_t> unreachable_servers_;
   std::uint64_t next_job_id_ = 1;
   MetadataStore* metadata_store_ = nullptr;
 };

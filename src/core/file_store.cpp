@@ -188,6 +188,15 @@ std::vector<Fingerprint> FileStore::take_undetermined() {
   return out;
 }
 
+void FileStore::restore_undetermined(std::vector<Fingerprint> fps) {
+  std::lock_guard lock(mutex_);
+  if (undetermined_.empty()) {
+    undetermined_ = std::move(fps);
+  } else {
+    undetermined_.insert(undetermined_.end(), fps.begin(), fps.end());
+  }
+}
+
 std::uint64_t FileStore::undetermined_count() const {
   std::lock_guard lock(mutex_);
   return undetermined_.size();

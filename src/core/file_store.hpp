@@ -101,6 +101,12 @@ class FileStore {
   /// dedup-2 (sorted, deduplicated).
   [[nodiscard]] std::vector<Fingerprint> take_undetermined();
 
+  /// Return a drained undetermined set: a cluster round that aborts
+  /// before chunk storing (an unreachable peer) puts the fingerprints
+  /// back so the next round resolves them. Merging with fingerprints
+  /// accumulated meanwhile is fine — take_undetermined re-deduplicates.
+  void restore_undetermined(std::vector<Fingerprint> fps);
+
   [[nodiscard]] std::uint64_t undetermined_count() const;
 
   [[nodiscard]] FileStoreStats stats() const;

@@ -1,0 +1,44 @@
+#include "net/endpoint.hpp"
+
+namespace debar::net {
+
+Status Endpoint::send(EndpointId to, const Message& msg) {
+  std::uint32_t seq;
+  {
+    std::lock_guard lock(mutex_);
+    seq = next_seq_[to]++;
+  }
+  const std::vector<Byte> bytes = encode(id_, to, seq, msg);
+  Status last;
+  for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    last = transport_->send(Frame{id_, to, seq, bytes});
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+std::optional<Message> Endpoint::receive_from(EndpointId from) {
+  for (int poll = 0; poll < retry_.max_polls; ++poll) {
+    std::optional<Frame> frame = transport_->receive(id_, from);
+    if (!frame.has_value()) continue;  // a poll also ticks delayed frames
+    {
+      std::lock_guard lock(mutex_);
+      if (!seen_[from].insert(frame->seq).second) {
+        // Duplicated delivery: the bytes crossed the wire (the transport
+        // metered them) but the message was already consumed.
+        --poll;  // a discarded duplicate doesn't use up a poll
+        continue;
+      }
+    }
+    Result<Decoded> decoded = decode(
+        ByteSpan(frame->bytes.data(), frame->bytes.size()));
+    if (!decoded.ok() || decoded.value().from != from ||
+        decoded.value().to != id_) {
+      continue;  // corrupt or misrouted frame: drop it, keep polling
+    }
+    return std::move(decoded.value().message);
+  }
+  return std::nullopt;
+}
+
+}  // namespace debar::net

@@ -1,0 +1,78 @@
+// Endpoint: one protocol participant's typed send/receive port.
+//
+// Owns the per-destination sequence counters, the bounded retransmission
+// loop (a failed send is retried up to RetryPolicy::max_attempts times
+// before the peer is declared unreachable), and receive-side duplicate
+// suppression by sequence number. Thread-safe: the cluster phases drive
+// each endpoint from its own worker, but restores may touch the shared
+// client endpoint from any thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/fmt.hpp"
+#include "common/result.hpp"
+#include "net/message.hpp"
+#include "net/transport.hpp"
+
+namespace debar::net {
+
+struct RetryPolicy {
+  /// Total transmission attempts per message (first try included).
+  int max_attempts = 4;
+  /// receive() polls per expected message. Must exceed the fault
+  /// decorator's maximum delivery delay, or a delayed frame reads as a
+  /// dead peer.
+  int max_polls = 4;
+};
+
+class Endpoint {
+ public:
+  Endpoint(Transport* transport, EndpointId id, RetryPolicy retry = {})
+      : transport_(transport), id_(id), retry_(retry) {}
+
+  [[nodiscard]] EndpointId id() const noexcept { return id_; }
+
+  /// Serialize and transmit, retrying dropped deliveries. Every attempt
+  /// is a real (metered) retransmission. kUnavailable after the budget is
+  /// exhausted means the peer should be treated as unreachable.
+  [[nodiscard]] Status send(EndpointId to, const Message& msg);
+
+  /// Next fresh message from `from`, polling up to max_polls times so
+  /// bounded delivery delays are absorbed; duplicated deliveries are
+  /// discarded by sequence number. nullopt when nothing fresh arrived.
+  [[nodiscard]] std::optional<Message> receive_from(EndpointId from);
+
+  /// receive_from + type check: the protocol phases know exactly which
+  /// message each peer owes them.
+  template <typename T>
+  [[nodiscard]] Result<T> expect(EndpointId from) {
+    std::optional<Message> msg = receive_from(from);
+    if (!msg.has_value()) {
+      return Error{Errc::kUnavailable,
+                   format("endpoint {}: no message from {}", id_, from)};
+    }
+    if (!std::holds_alternative<T>(*msg)) {
+      return Error{Errc::kCorrupt,
+                   format("endpoint {}: unexpected message type {} from {}",
+                          id_, static_cast<unsigned>(type_of(*msg)), from)};
+    }
+    return std::get<T>(std::move(*msg));
+  }
+
+ private:
+  Transport* transport_;
+  EndpointId id_;
+  RetryPolicy retry_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<EndpointId, std::uint32_t> next_seq_;
+  /// Per-sender set of sequence numbers already delivered up the stack.
+  std::unordered_map<EndpointId, std::unordered_set<std::uint32_t>> seen_;
+};
+
+}  // namespace debar::net

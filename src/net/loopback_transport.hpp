@@ -1,0 +1,51 @@
+// In-process transport: per-(sender, receiver) FIFO queues, with every
+// transmission metered through the sender's NIC at send() and the
+// receiver's NIC at receive() — the same accounting windows the cluster
+// phases measured when wire costs were hand-computed, now driven by the
+// actual serialized frame sizes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace debar::net {
+
+/// Cumulative transmission counters, by message type where the frame's
+/// leading envelope byte identifies one.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::array<std::uint64_t, kMessageTypeCount> frames_by_type{};
+  std::array<std::uint64_t, kMessageTypeCount> bytes_by_type{};
+};
+
+class LoopbackTransport final : public Transport {
+ public:
+  [[nodiscard]] Status register_endpoint(EndpointId id,
+                                         sim::NicModel* nic) override;
+  [[nodiscard]] Status send(Frame frame) override;
+  [[nodiscard]] std::optional<Frame> receive(EndpointId to,
+                                             EndpointId from) override;
+  void meter_send(EndpointId from, std::uint64_t bytes) override;
+  void meter_receive(EndpointId to, std::uint64_t bytes) override;
+
+  [[nodiscard]] TransportStats stats() const;
+
+ private:
+  using Key = std::pair<EndpointId, EndpointId>;  // (from, to)
+
+  mutable std::mutex mutex_;
+  std::unordered_map<EndpointId, sim::NicModel*> nics_;
+  std::map<Key, std::deque<Frame>> queues_;
+  TransportStats stats_;
+};
+
+}  // namespace debar::net

@@ -1,0 +1,219 @@
+#include "net/message.hpp"
+
+#include "common/fmt.hpp"
+
+namespace debar::net {
+
+namespace {
+
+void write_payload(ByteWriter& w, const FingerprintBatch& m) {
+  w.u32(static_cast<std::uint32_t>(m.fps.size()));
+  for (const Fingerprint& fp : m.fps) w.fingerprint(fp);
+}
+
+void write_payload(ByteWriter& w, const VerdictBatch& m) {
+  w.u32(m.query_count);
+  w.u32(static_cast<std::uint32_t>(m.duplicate_indices.size()));
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t idx : m.duplicate_indices) {
+    // Deltas between ascending positions; the first is offset by one so
+    // every delta is >= 1 and a dense run encodes as one byte per verdict.
+    w.varint(first ? std::uint64_t{idx} + 1 : std::uint64_t{idx} - prev);
+    prev = idx;
+    first = false;
+  }
+}
+
+void write_payload(ByteWriter& w, const IndexEntryBatch& m) {
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const IndexEntry& e : m.entries) {
+    w.fingerprint(e.fp);
+    w.container_id(e.container);
+  }
+}
+
+void write_payload(ByteWriter& w, const ChunkLocateRequest& m) {
+  w.fingerprint(m.fp);
+}
+
+void write_payload(ByteWriter& w, const ChunkLocateReply& m) {
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.container_id(m.container);
+}
+
+void write_payload(ByteWriter& w, const ChunkData& m) {
+  w.fingerprint(m.fp);
+  w.u32(static_cast<std::uint32_t>(m.bytes.size()));
+  w.bytes(ByteSpan(m.bytes.data(), m.bytes.size()));
+}
+
+std::size_t payload_bytes(const FingerprintBatch& m) noexcept {
+  return 4 + m.fps.size() * FingerprintBatch::kPerFingerprint;
+}
+
+std::size_t payload_bytes(const VerdictBatch& m) noexcept {
+  std::size_t n = 4 + 4;
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t idx : m.duplicate_indices) {
+    n += ByteWriter::varint_size(first ? std::uint64_t{idx} + 1
+                                       : std::uint64_t{idx} - prev);
+    prev = idx;
+    first = false;
+  }
+  return n;
+}
+
+std::size_t payload_bytes(const IndexEntryBatch& m) noexcept {
+  return 4 + m.entries.size() * IndexEntryBatch::kPerEntry;
+}
+
+std::size_t payload_bytes(const ChunkLocateRequest&) noexcept {
+  return Fingerprint::kSize;
+}
+
+std::size_t payload_bytes(const ChunkLocateReply&) noexcept {
+  return 1 + ContainerId::kSerializedSize;
+}
+
+std::size_t payload_bytes(const ChunkData& m) noexcept {
+  return Fingerprint::kSize + 4 + m.bytes.size();
+}
+
+/// Guard a declared element count against the bytes actually present, so
+/// corrupt counts can't drive huge reserve() calls.
+bool count_fits(std::uint64_t count, std::size_t per_item,
+                const ByteReader& r) noexcept {
+  return count * per_item <= r.remaining();
+}
+
+Result<Message> read_payload(MessageType type, ByteReader& r) {
+  switch (type) {
+    case MessageType::kFingerprintBatch: {
+      FingerprintBatch m;
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, FingerprintBatch::kPerFingerprint, r)) {
+        return Error{Errc::kCorrupt, "fingerprint batch count overruns buffer"};
+      }
+      m.fps.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) m.fps.push_back(r.fingerprint());
+      return Message{std::move(m)};
+    }
+    case MessageType::kVerdictBatch: {
+      VerdictBatch m;
+      m.query_count = r.u32();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, 1, r) || count > m.query_count) {
+        return Error{Errc::kCorrupt, "verdict batch count overruns buffer"};
+      }
+      m.duplicate_indices.reserve(count);
+      std::uint64_t pos = 0;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint64_t delta = r.varint();
+        if (!r.ok() || delta == 0) {
+          return Error{Errc::kCorrupt, "verdict delta malformed"};
+        }
+        pos += delta;  // first delta is index + 1
+        if (pos > m.query_count) {
+          return Error{Errc::kCorrupt, "verdict index exceeds query count"};
+        }
+        m.duplicate_indices.push_back(static_cast<std::uint32_t>(pos - 1));
+      }
+      return Message{std::move(m)};
+    }
+    case MessageType::kIndexEntryBatch: {
+      IndexEntryBatch m;
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, IndexEntryBatch::kPerEntry, r)) {
+        return Error{Errc::kCorrupt, "entry batch count overruns buffer"};
+      }
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        IndexEntry e;
+        e.fp = r.fingerprint();
+        e.container = r.container_id();
+        m.entries.push_back(e);
+      }
+      return Message{std::move(m)};
+    }
+    case MessageType::kChunkLocateRequest: {
+      ChunkLocateRequest m;
+      m.fp = r.fingerprint();
+      return Message{m};
+    }
+    case MessageType::kChunkLocateReply: {
+      ChunkLocateReply m;
+      m.status = static_cast<Errc>(r.u8());
+      m.container = r.container_id();
+      return Message{m};
+    }
+    case MessageType::kChunkData: {
+      ChunkData m;
+      m.fp = r.fingerprint();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, 1, r)) {
+        return Error{Errc::kCorrupt, "chunk data length overruns buffer"};
+      }
+      const ByteSpan data = r.view(count);
+      m.bytes.assign(data.begin(), data.end());
+      return Message{std::move(m)};
+    }
+  }
+  return Error{Errc::kCorrupt,
+               format("unknown message type {}", static_cast<unsigned>(type))};
+}
+
+}  // namespace
+
+MessageType type_of(const Message& msg) noexcept {
+  return std::visit([](const auto& m) { return m.kType; }, msg);
+}
+
+std::vector<Byte> encode(EndpointId from, EndpointId to, std::uint32_t seq,
+                         const Message& msg) {
+  std::vector<Byte> out;
+  out.reserve(wire_bytes(msg));
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type_of(msg)));
+  w.u32(from);
+  w.u32(to);
+  w.u32(seq);
+  const std::size_t payload =
+      std::visit([](const auto& m) { return payload_bytes(m); }, msg);
+  w.u32(static_cast<std::uint32_t>(payload));
+  std::visit([&](const auto& m) { write_payload(w, m); }, msg);
+  return out;
+}
+
+Result<Decoded> decode(ByteSpan bytes) {
+  ByteReader r(bytes);
+  const std::uint8_t raw_type = r.u8();
+  Decoded d;
+  d.from = r.u32();
+  d.to = r.u32();
+  d.seq = r.u32();
+  const std::uint32_t payload = r.u32();
+  if (!r.ok()) {
+    return Error{Errc::kCorrupt, "frame shorter than envelope"};
+  }
+  if (payload != r.remaining()) {
+    return Error{Errc::kCorrupt,
+                 format("payload declares {} bytes, frame carries {}", payload,
+                        r.remaining())};
+  }
+  Result<Message> msg = read_payload(static_cast<MessageType>(raw_type), r);
+  if (!msg.ok()) return msg.error();
+  if (!r.ok() || r.remaining() != 0) {
+    return Error{Errc::kCorrupt, "payload did not consume declared bytes"};
+  }
+  d.message = std::move(msg).value();
+  return d;
+}
+
+std::size_t wire_bytes(const Message& msg) noexcept {
+  return kEnvelopeSize +
+         std::visit([](const auto& m) { return payload_bytes(m); }, msg);
+}
+
+}  // namespace debar::net

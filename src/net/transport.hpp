@@ -1,0 +1,76 @@
+// Transport: the seam between the cluster protocol and the network.
+//
+// A Transport moves opaque encoded frames between registered endpoints.
+// The in-process LoopbackTransport meters every transmission through the
+// sender's and receiver's sim::NicModel; FaultyTransport decorates any
+// transport with seeded drop / duplicate / delay faults and a
+// server-unreachable mode. A socket transport plugs in here later without
+// touching the dedup protocol.
+//
+// Delivery model (matches how the five-phase protocol uses it):
+//   * send() either enqueues exactly one delivery and returns OK, or
+//     returns kUnavailable — the simulation's stand-in for "no ack before
+//     the timeout", which covers both a dropped frame and a dead peer.
+//     Senders retry; see Endpoint.
+//   * receive(to, from) dequeues the next frame of the (from -> to)
+//     stream, FIFO per pair. Fault decorators may withhold a delayed
+//     frame for a bounded number of receive polls, or deliver duplicates;
+//     receivers discard duplicates by envelope sequence number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "sim/nic_model.hpp"
+
+namespace debar::net {
+
+/// One encoded message in flight: the envelope fields (duplicated out of
+/// the byte buffer so transports need not parse it) plus the full wire
+/// image whose size is the transmission's cost.
+struct Frame {
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::uint32_t seq = 0;
+  std::vector<Byte> bytes;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attach an endpoint. `nic` may be null (a client endpoint with no
+  /// modeled wire); transports meter transmissions against it otherwise.
+  [[nodiscard]] virtual Status register_endpoint(EndpointId id,
+                                                 sim::NicModel* nic) = 0;
+
+  /// Transmit one frame. OK means exactly one delivery was enqueued.
+  [[nodiscard]] virtual Status send(Frame frame) = 0;
+
+  /// Next frame of the (from -> to) stream, or nullopt when none is
+  /// deliverable right now (fault decorators release delayed frames on
+  /// subsequent polls).
+  [[nodiscard]] virtual std::optional<Frame> receive(EndpointId to,
+                                                     EndpointId from) = 0;
+
+  /// Meter `bytes` leaving `from`'s NIC with no matching delivery — a
+  /// fault decorator's dropped or in-flight-held transmission still burnt
+  /// the sender's wire.
+  virtual void meter_send(EndpointId from, std::uint64_t bytes) = 0;
+
+  /// Meter `bytes` arriving at `to`'s NIC out-of-band (a decorator
+  /// completing a delayed or duplicated delivery).
+  virtual void meter_receive(EndpointId to, std::uint64_t bytes) = 0;
+
+  /// Health as the transport currently believes it: FaultyTransport
+  /// reports endpoints in unreachable mode. Plain transports say yes.
+  [[nodiscard]] virtual bool reachable(EndpointId /*id*/) const {
+    return true;
+  }
+};
+
+}  // namespace debar::net

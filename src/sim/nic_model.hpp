@@ -6,6 +6,11 @@
 // charges transfer time for bytes that actually cross the network —
 // crucially, chunks suppressed by the preliminary filter are never sent,
 // which is how dedup-1 exceeds wire speed in *logical* MB/s.
+//
+// Cluster traffic no longer calls transfer() by hand: every inter-server
+// exchange is a serialized net::Message, and net::LoopbackTransport meters
+// each frame through the sender's NIC at send() and the receiver's at
+// receive(), so wire accounting follows the encodings in net/message.hpp.
 #pragma once
 
 #include <cstdint>

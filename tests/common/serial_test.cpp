@@ -80,6 +80,45 @@ TEST(SerialTest, TruncatedReadsReturnZeroNotGarbage) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(SerialTest, VarintRoundTripAndSize) {
+  // LEB128 boundaries: each 7 bits of magnitude costs one byte.
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  16383,
+                                  16384,
+                                  0xDEADBEEF,
+                                  0xFFFFFFFFFFFFFFFFULL};
+  for (const std::uint64_t v : values) {
+    std::vector<Byte> buf;
+    ByteWriter w(buf);
+    w.varint(v);
+    EXPECT_EQ(buf.size(), ByteWriter::varint_size(v)) << v;
+
+    ByteReader r(ByteSpan(buf.data(), buf.size()));
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+  EXPECT_EQ(ByteWriter::varint_size(0), 1u);
+  EXPECT_EQ(ByteWriter::varint_size(127), 1u);
+  EXPECT_EQ(ByteWriter::varint_size(128), 2u);
+  EXPECT_EQ(ByteWriter::varint_size(0xFFFFFFFFFFFFFFFFULL), 10u);
+}
+
+TEST(SerialTest, TruncatedVarintFailsSticky) {
+  std::vector<Byte> buf;
+  ByteWriter w(buf);
+  w.varint(300);  // two bytes; keep only the continuation byte
+  buf.resize(1);
+  ByteReader r(ByteSpan(buf.data(), buf.size()));
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);  // stays failed
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(SerialTest, ViewAndSkip) {
   std::vector<Byte> buf = {10, 20, 30, 40, 50};
   ByteReader r(ByteSpan(buf.data(), buf.size()));

@@ -1,10 +1,13 @@
 // Network accounting of the PSIL/PSIU exchanges (Figure 5): the bytes a
-// cluster dedup-2 moves between servers must match the routed
-// fingerprint/entry/verdict counts.
+// cluster dedup-2 moves between servers must match the serialized sizes
+// of the frames the transport actually carries — fingerprint batches out,
+// verdict batches back, entry batches for PSIU, plus the empty batches
+// every pair exchanges each phase.
 #include <gtest/gtest.h>
 
 #include "common/sha1.hpp"
 #include "core/cluster.hpp"
+#include "net/message.hpp"
 
 namespace debar::core {
 namespace {
@@ -18,6 +21,26 @@ ClusterConfig two_servers() {
   // A fast NIC profile with round numbers for exact accounting.
   cfg.server_config.nic_profile = {.bytes_per_sec = 1.0e6};
   return cfg;
+}
+
+std::uint64_t fp_batch_bytes(std::size_t count) {
+  net::FingerprintBatch batch;
+  batch.fps.resize(count);
+  return net::wire_bytes(net::Message{batch});
+}
+
+std::uint64_t entry_batch_bytes(std::size_t count) {
+  net::IndexEntryBatch batch;
+  batch.entries.resize(count);
+  return net::wire_bytes(net::Message{batch});
+}
+
+std::uint64_t verdict_batch_bytes(std::uint32_t query_count,
+                                  std::vector<std::uint32_t> dup_indices) {
+  net::VerdictBatch batch;
+  batch.query_count = query_count;
+  batch.duplicate_indices = std::move(dup_indices);
+  return net::wire_bytes(net::Message{batch});
 }
 
 TEST(ClusterExchangeTest, RoutedBytesMatchCounts) {
@@ -57,16 +80,23 @@ TEST(ClusterExchangeTest, RoutedBytesMatchCounts) {
 
   ASSERT_TRUE(cluster.run_dedup2(true).ok());
 
-  // Server 0 ships `cross` fingerprints out (20 B each) and `cross`
-  // entries (25 B each) for PSIU; server 1 receives both and returns
-  // verdicts (1 B each, all "new" here so no dup verdicts cross back).
+  // Server 0 ships `cross` fingerprints out and `cross` entries for PSIU,
+  // and receives server 1's empty batches plus a no-duplicates verdict
+  // for its queries; server 1 sees the mirror image of every frame, so
+  // both NICs move the same bytes.
+  const std::uint64_t expected =
+      fp_batch_bytes(cross) + fp_batch_bytes(0) +      // phase A, both ways
+      verdict_batch_bytes(static_cast<std::uint32_t>(cross), {}) +
+      verdict_batch_bytes(0, {}) +                     // phase C, both ways
+      entry_batch_bytes(cross) + entry_batch_bytes(0); // phase E, both ways
+
   const std::uint64_t nic0_delta =
       cluster.server(0).nic().bytes_transferred() - nic0_before;
   const std::uint64_t nic1_delta =
       cluster.server(1).nic().bytes_transferred() - nic1_before;
 
-  EXPECT_EQ(nic0_delta, cross * 20 + cross * 25);
-  EXPECT_EQ(nic1_delta, cross * 20 + cross * 25);
+  EXPECT_EQ(nic0_delta, expected);
+  EXPECT_EQ(nic1_delta, expected);
 }
 
 TEST(ClusterExchangeTest, DuplicateVerdictsCrossTheWire) {
@@ -110,11 +140,21 @@ TEST(ClusterExchangeTest, DuplicateVerdictsCrossTheWire) {
   for (const Fingerprint& fp : stream) {
     if (cluster.owner_of(fp) == 0) ++cross;  // routed away from server 1
   }
+  // Server 1 ships `cross` fingerprints, gets back a verdict marking all
+  // of them duplicates (a dense run: about one varint byte per verdict),
+  // and no entries move (nothing new) — only the empty phase-E batches.
+  std::vector<std::uint32_t> all_dup(cross);
+  for (std::uint32_t i = 0; i < cross; ++i) all_dup[i] = i;
+  const std::uint64_t expected =
+      fp_batch_bytes(cross) + fp_batch_bytes(0) +
+      verdict_batch_bytes(static_cast<std::uint32_t>(cross),
+                          std::move(all_dup)) +
+      verdict_batch_bytes(0, {}) +
+      entry_batch_bytes(0) + entry_batch_bytes(0);
+
   const std::uint64_t nic1_delta =
       cluster.server(1).nic().bytes_transferred() - nic1_before;
-  // Server 1 ships `cross` fingerprints (20 B) and receives `cross`
-  // one-byte duplicate verdicts; no entries move (nothing new).
-  EXPECT_EQ(nic1_delta, cross * 20 + cross * 1);
+  EXPECT_EQ(nic1_delta, expected);
 }
 
 }  // namespace

@@ -59,6 +59,32 @@ TEST(DirectorTest, LeastLoadedAssignment) {
   EXPECT_NE(s3, s2);
 }
 
+TEST(DirectorTest, AssignmentSkipsUnreachableServers) {
+  Director director;
+  director.mark_unreachable(0);
+  EXPECT_TRUE(director.is_unreachable(0));
+  EXPECT_FALSE(director.is_unreachable(1));
+
+  // Server 0 is idle but down; jobs go to the reachable ones.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(director.assign_server(1 + i, 100, 4), 0u);
+  }
+
+  director.mark_reachable(0);
+  EXPECT_FALSE(director.is_unreachable(0));
+  // Back in rotation, and the least loaded by far.
+  EXPECT_EQ(director.assign_server(10, 100, 4), 0u);
+}
+
+TEST(DirectorTest, AllUnreachableFallsBackToLeastLoaded) {
+  Director director;
+  ASSERT_EQ(director.assign_server(1, 1000, 2), 0u);  // load server 0
+  director.mark_unreachable(0);
+  director.mark_unreachable(1);
+  // Nothing reachable: degrade to plain least-loaded rather than refuse.
+  EXPECT_EQ(director.assign_server(2, 10, 2), 1u);
+}
+
 TEST(DirectorTest, VersionChainAndFilteringFingerprints) {
   Director director;
   const std::uint64_t job = director.define_job("c", "d");

@@ -1,0 +1,197 @@
+// Degraded operation: a cluster round with an unreachable peer must fail
+// cleanly at the phase barrier — no partial index or pending-set
+// mutation, drained undetermined fingerprints restored, entries deferred
+// — and the director must learn which servers to skip. Earlier versions
+// stay restorable through healthy servers for the chunks they can reach.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "net/faulty_transport.hpp"
+
+namespace debar::core {
+namespace {
+
+Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+struct FaultyCluster {
+  net::FaultyTransport* faulty = nullptr;
+  std::unique_ptr<Cluster> cluster;
+
+  explicit FaultyCluster(net::NetFaultConfig faults, unsigned w = 1) {
+    ClusterConfig cfg;
+    cfg.routing_bits = w;
+    cfg.repository_nodes = 2;
+    cfg.server_config.index_params = {.prefix_bits = 6,
+                                      .blocks_per_bucket = 2};
+    cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+    cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                  .capacity = 1000000};
+    cfg.server_config.chunk_store.io_buckets = 8;
+    cfg.server_config.chunk_store.siu_threshold = 1;
+    cfg.transport_decorator = [&](std::unique_ptr<net::Transport> inner) {
+      auto decorated =
+          std::make_unique<net::FaultyTransport>(std::move(inner), faults);
+      faulty = decorated.get();
+      return decorated;
+    };
+    cluster = std::make_unique<Cluster>(std::move(cfg));
+  }
+};
+
+void backup_stream(Cluster& cluster, std::size_t server, std::uint64_t job,
+                   std::uint64_t first, std::uint64_t count) {
+  FileStore& fs = cluster.server(server).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = fp(i);
+    if (fs.offer_fingerprint(f, 512)) {
+      const auto payload = BackupEngine::synthetic_payload(f, 512);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+std::vector<Byte> flatten(const Dataset& dataset) {
+  std::vector<Byte> out;
+  for (const FileData& file : dataset.files) {
+    out.insert(out.end(), file.content.begin(), file.content.end());
+  }
+  return out;
+}
+
+TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseAWithoutMutation) {
+  FaultyCluster rig({});
+  Cluster& cluster = *rig.cluster;
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+
+  // A healthy first round establishes version 1 and a populated index.
+  backup_stream(cluster, 0, job, 0, 60);
+  ASSERT_TRUE(cluster.run_dedup2(/*force_siu=*/true).ok());
+  const std::vector<Byte> version1 =
+      flatten(cluster.restore(job, 1, /*via=*/0).value());
+
+  // New data is waiting when server 1 dies.
+  backup_stream(cluster, 0, job, 200, 60);
+  const std::uint64_t undetermined_before =
+      cluster.server(0).file_store().undetermined_count();
+  ASSERT_GT(undetermined_before, 0u);
+  const std::uint64_t pending0 = cluster.server(0).chunk_store().pending_count();
+  const std::uint64_t pending1 = cluster.server(1).chunk_store().pending_count();
+
+  rig.faulty->set_unreachable(1, true);
+  Result<ClusterDedup2Result> degraded = cluster.run_dedup2(true);
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.error().code, Errc::kUnavailable);
+  EXPECT_NE(degraded.error().message.find("phase A"), std::string::npos)
+      << degraded.error().message;
+
+  // The director knows who to skip; the healthy server is not blamed.
+  EXPECT_TRUE(cluster.director().is_unreachable(1));
+  EXPECT_FALSE(cluster.director().is_unreachable(0));
+
+  // No index or pending mutation anywhere, and the drained undetermined
+  // fingerprints are back for the next round.
+  EXPECT_EQ(cluster.server(0).file_store().undetermined_count(),
+            undetermined_before);
+  EXPECT_EQ(cluster.server(0).chunk_store().pending_count(), pending0);
+  EXPECT_EQ(cluster.server(1).chunk_store().pending_count(), pending1);
+  for (std::uint64_t i = 200; i < 260; ++i) {
+    const std::size_t owner = cluster.owner_of(fp(i));
+    EXPECT_FALSE(cluster.server(owner).chunk_store().locate(fp(i)).ok());
+  }
+
+  // Recovery: the peer comes back, the next round resolves everything
+  // the aborted round put back, and version 1 is still byte-identical.
+  rig.faulty->set_unreachable(1, false);
+  Result<ClusterDedup2Result> recovered = cluster.run_dedup2(true);
+  ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
+  EXPECT_EQ(recovered.value().undetermined, undetermined_before);
+  EXPECT_EQ(recovered.value().new_chunks, 60u);
+  EXPECT_FALSE(cluster.director().is_unreachable(1));
+
+  Result<Dataset> again = cluster.restore(job, 1, /*via=*/0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(flatten(again.value()), version1);
+}
+
+TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseEAndDefersEntries) {
+  // Let phases A and C complete and cut the network at the first phase-E
+  // send: with 2 servers, each of A and C moves exactly 2 frames (one per
+  // direction), so the third accepted send pair belongs to phase E.
+  net::NetFaultConfig faults;
+  faults.unreachable_after_sends = 4;
+  FaultyCluster rig(faults);
+  Cluster& cluster = *rig.cluster;
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+
+  backup_stream(cluster, 0, job, 0, 60);
+  Result<ClusterDedup2Result> degraded = cluster.run_dedup2(true);
+  ASSERT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.error().code, Errc::kUnavailable);
+  EXPECT_NE(degraded.error().message.find("phase E"), std::string::npos)
+      << degraded.error().message;
+
+  // Chunk storing (phase D) already ran — the undetermined set stays
+  // consumed — but no owner registered anything: the index and pending
+  // sets mutate all-or-nothing per round.
+  EXPECT_EQ(cluster.server(0).file_store().undetermined_count(), 0u);
+  for (std::size_t k = 0; k < cluster.server_count(); ++k) {
+    EXPECT_EQ(cluster.server(k).chunk_store().pending_count(), 0u);
+  }
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const std::size_t owner = cluster.owner_of(fp(i));
+    EXPECT_FALSE(cluster.server(owner).chunk_store().locate(fp(i)).ok());
+  }
+}
+
+TEST(ClusterDegradedTest, RestoreThroughHealthyServerServesWhatItCanReach) {
+  FaultyCluster rig({});
+  Cluster& cluster = *rig.cluster;
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+
+  backup_stream(cluster, 0, job, 0, 60);
+  ASSERT_TRUE(cluster.run_dedup2(true).ok());
+
+  // Pick one fingerprint per owner.
+  Fingerprint own_fp, cross_fp;
+  bool have_own = false, have_cross = false;
+  for (std::uint64_t i = 0; i < 60 && !(have_own && have_cross); ++i) {
+    if (cluster.owner_of(fp(i)) == 0 && !have_own) {
+      own_fp = fp(i);
+      have_own = true;
+    } else if (cluster.owner_of(fp(i)) == 1 && !have_cross) {
+      cross_fp = fp(i);
+      have_cross = true;
+    }
+  }
+  ASSERT_TRUE(have_own && have_cross);
+
+  rig.faulty->set_unreachable(1, true);
+
+  // With server 0's LPC still cold, a chunk owned by the dead server
+  // needs its locate round trip and fails.
+  Result<std::vector<Byte>> cold = cluster.read_chunk(0, cross_fp);
+  ASSERT_FALSE(cold.ok());
+  EXPECT_EQ(cold.error().code, Errc::kUnavailable);
+  EXPECT_TRUE(cluster.director().is_unreachable(1));
+
+  // Chunks server 0 owns locate locally and still restore — and reading
+  // one prefetches its whole container into the LPC, which brings the
+  // co-located cross-owned chunk back into reach without any network.
+  Result<std::vector<Byte>> own = cluster.read_chunk(0, own_fp);
+  ASSERT_TRUE(own.ok()) << own.error().to_string();
+  EXPECT_EQ(own.value(), BackupEngine::synthetic_payload(own_fp, 512));
+  Result<std::vector<Byte>> cached = cluster.read_chunk(0, cross_fp);
+  ASSERT_TRUE(cached.ok()) << cached.error().to_string();
+  EXPECT_EQ(cached.value(), BackupEngine::synthetic_payload(cross_fp, 512));
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,136 @@
+// Dedup-2 through the transport layer must be semantically invariant:
+// the same workload gives identical round counts and byte-identical
+// restores whether the cluster has 1, 2, or 4 servers, and whether the
+// network is clean or suffers recoverable drop/duplicate/delay faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "net/faulty_transport.hpp"
+
+namespace debar::core {
+namespace {
+
+Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+ClusterConfig small_cluster(unsigned w) {
+  ClusterConfig cfg;
+  cfg.routing_bits = w;
+  cfg.repository_nodes = 2;
+  cfg.server_config.index_params = {.prefix_bits = 6, .blocks_per_bucket = 2};
+  cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+  cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                .capacity = 1000000};
+  cfg.server_config.chunk_store.io_buckets = 8;
+  cfg.server_config.chunk_store.siu_threshold = 1;
+  return cfg;
+}
+
+void backup_stream(Cluster& cluster, std::size_t server, std::uint64_t job,
+                   std::uint64_t first, std::uint64_t count) {
+  FileStore& fs = cluster.server(server).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = fp(i);
+    if (fs.offer_fingerprint(f, 512)) {
+      const auto payload = BackupEngine::synthetic_payload(f, 512);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+struct RoundCounts {
+  std::uint64_t undetermined = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t new_chunks = 0;
+  std::uint64_t new_bytes = 0;
+
+  friend bool operator==(const RoundCounts&, const RoundCounts&) = default;
+};
+
+struct Outcome {
+  std::vector<RoundCounts> rounds;
+  std::vector<Byte> restored;  // all restored file bytes, both versions
+
+  friend bool operator==(const Outcome&, const Outcome&) = default;
+};
+
+RoundCounts counts_of(const ClusterDedup2Result& r) {
+  return {r.undetermined, r.duplicates, r.new_chunks, r.new_bytes};
+}
+
+/// Version 1: fps [0, 80) via server 0. Version 2: fps [40, 120) via the
+/// last server — half duplicates, half new. Restores of both versions go
+/// through server 0.
+Outcome run_workload(ClusterConfig cfg) {
+  Outcome out;
+  Cluster cluster(std::move(cfg));
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+  const std::size_t last = cluster.server_count() - 1;
+
+  backup_stream(cluster, 0, job, 0, 80);
+  Result<ClusterDedup2Result> round1 = cluster.run_dedup2(/*force_siu=*/true);
+  EXPECT_TRUE(round1.ok()) << round1.error().to_string();
+  if (round1.ok()) out.rounds.push_back(counts_of(round1.value()));
+
+  backup_stream(cluster, last, job, 40, 80);
+  Result<ClusterDedup2Result> round2 = cluster.run_dedup2(/*force_siu=*/true);
+  EXPECT_TRUE(round2.ok()) << round2.error().to_string();
+  if (round2.ok()) out.rounds.push_back(counts_of(round2.value()));
+
+  for (std::uint32_t version = 1; version <= 2; ++version) {
+    Result<Dataset> restored = cluster.restore(job, version, /*via=*/0);
+    EXPECT_TRUE(restored.ok()) << restored.error().to_string();
+    if (!restored.ok()) continue;
+    for (const FileData& file : restored.value().files) {
+      out.restored.insert(out.restored.end(), file.content.begin(),
+                          file.content.end());
+    }
+  }
+  return out;
+}
+
+TEST(ClusterTransportEquivalenceTest, RoutingWidthDoesNotChangeResults) {
+  const Outcome w0 = run_workload(small_cluster(0));
+  const Outcome w1 = run_workload(small_cluster(1));
+  const Outcome w2 = run_workload(small_cluster(2));
+
+  ASSERT_EQ(w0.rounds.size(), 2u);
+  // Round 1: everything new. Round 2: the overlapping half deduplicates.
+  EXPECT_EQ(w0.rounds[0], (RoundCounts{80, 0, 80, 80 * 512}));
+  EXPECT_EQ(w0.rounds[1], (RoundCounts{80, 40, 40, 40 * 512}));
+  EXPECT_EQ(w0.restored.size(), 2u * 80u * 512u);
+
+  EXPECT_EQ(w1, w0);
+  EXPECT_EQ(w2, w0);
+}
+
+TEST(ClusterTransportEquivalenceTest, RecoverableFaultsDoNotChangeResults) {
+  const Outcome clean = run_workload(small_cluster(2));
+
+  ClusterConfig cfg = small_cluster(2);
+  // Generous retry budget: with drop^attempts ~ 1e-5 per message and a
+  // seeded fate schedule, every exchange eventually lands.
+  cfg.retry = {.max_attempts = 6, .max_polls = 6};
+  cfg.transport_decorator = [](std::unique_ptr<net::Transport> inner) {
+    net::NetFaultConfig faults;
+    faults.seed = 0xF00D;
+    faults.drop_rate = 0.15;
+    faults.duplicate_rate = 0.15;
+    faults.delay_rate = 0.15;
+    faults.max_delay_polls = 2;
+    return std::make_unique<net::FaultyTransport>(std::move(inner), faults);
+  };
+  const Outcome faulty = run_workload(std::move(cfg));
+
+  EXPECT_EQ(faulty, clean);
+}
+
+}  // namespace
+}  // namespace debar::core
