@@ -19,7 +19,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/sha1.hpp"
 #include "core/cluster.hpp"
+#include "net/transport_factory.hpp"
 #include "workload/fingerprint_stream.hpp"
 
 namespace {
@@ -271,6 +273,80 @@ void print_tables() {
               mb(net::MessageType::kChunkData));
 }
 
+/// One small two-server dedup-2 workload (two overlapping generations)
+/// over whichever wire the factory builds; returns the transport ledger.
+net::TransportStats parity_run(std::shared_ptr<net::TransportFactory> factory) {
+  core::ClusterConfig cfg;
+  cfg.routing_bits = 1;
+  cfg.repository_nodes = 2;
+  cfg.server_config.index_params = {.prefix_bits = 6, .blocks_per_bucket = 2};
+  cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+  cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                .capacity = 1000000};
+  cfg.server_config.chunk_store.io_buckets = 8;
+  cfg.server_config.chunk_store.siu_threshold = 1;
+  cfg.transport_factory = std::move(factory);
+  core::Cluster cluster(std::move(cfg));
+
+  auto ingest = [&](std::uint64_t job, std::uint64_t first,
+                    std::uint64_t count) {
+    core::FileStore& fs = cluster.server(0).file_store();
+    fs.begin_job(job);
+    fs.begin_file(
+        {.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+    for (std::uint64_t i = first; i < first + count; ++i) {
+      const Fingerprint f = Sha1::hash_counter(i);
+      if (fs.offer_fingerprint(f, 512)) {
+        const auto payload = core::BackupEngine::synthetic_payload(f, 512);
+        if (!fs.receive_chunk(f, ByteSpan(payload.data(), payload.size()))
+                 .ok()) {
+          std::exit(1);
+        }
+      }
+    }
+    fs.end_file();
+    if (!fs.end_job().ok()) std::exit(1);
+  };
+  ingest(1, 0, 80);
+  if (!cluster.run_dedup2(/*force_siu=*/true).ok()) std::exit(1);
+  ingest(2, 40, 80);
+  if (!cluster.run_dedup2(/*force_siu=*/true).ok()) std::exit(1);
+  return cluster.transport_stats();
+}
+
+/// The socket wire is the encoded frame, nothing more: the same workload
+/// over real TCP must meter exactly the bytes the loopback model charges.
+void print_socket_parity() {
+  std::printf("\n=== Socket transport parity (dedup-2 wire bytes, 2 servers) "
+              "===\n");
+  const net::TransportStats modeled =
+      parity_run(std::make_shared<net::LoopbackTransportFactory>());
+  const net::TransportStats measured =
+      parity_run(std::make_shared<net::SocketTransportFactory>(
+          net::AddressMap{}));
+  std::printf("%-12s | %18s | %18s\n", "message type", "loopback (modeled)",
+              "socket (measured)");
+  const struct {
+    const char* name;
+    net::MessageType type;
+  } rows[] = {{"fp batch", net::MessageType::kFingerprintBatch},
+              {"verdict", net::MessageType::kVerdictBatch},
+              {"entry", net::MessageType::kIndexEntryBatch}};
+  for (const auto& row : rows) {
+    const auto t = static_cast<std::size_t>(row.type);
+    std::printf("%-12s | %18llu | %18llu\n", row.name,
+                static_cast<unsigned long long>(modeled.bytes_by_type[t]),
+                static_cast<unsigned long long>(measured.bytes_by_type[t]));
+  }
+  std::printf("total sent   | %18llu | %18llu  (%s)\n",
+              static_cast<unsigned long long>(modeled.bytes_sent),
+              static_cast<unsigned long long>(measured.bytes_sent),
+              modeled.bytes_sent == measured.bytes_sent &&
+                      modeled.bytes_delivered == measured.bytes_delivered
+                  ? "parity"
+                  : "MISMATCH");
+}
+
 void BM_Fig14_Write(benchmark::State& state) {
   const double tb = kSizesTb[state.range(0)];
   WritePoint p{};
@@ -303,6 +379,7 @@ BENCHMARK(BM_Fig14_Read)->Iterations(1)->Unit(benchmark::kSecond);
 
 int main(int argc, char** argv) {
   print_tables();
+  print_socket_parity();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,501 @@
+// debar_clusterd: the cluster protocol running outside the test harness —
+// one OS process per backup server, real TCP between them.
+//
+//   $ ./debar_clusterd --transport=socket --w=1 --dir=/tmp/debar-clusterd
+//   $ ./debar_clusterd --transport=loopback --w=1 --dir=/tmp/debar-loop
+//
+// Both modes run the identical per-node protocol code (core::ClusterNode)
+// over the identical file-backed state layout, differing ONLY in the
+// transport and the execution vessel:
+//
+//   loopback   one process, one thread per node, blocking in-process
+//              queues (net::LoopbackTransport);
+//   socket     the driver process hosts node 0 plus the restore client
+//              and fork/execs one child process per remaining node; every
+//              exchange crosses a real TCP connection on 127.0.0.1
+//              (net::SocketTransport). Processes learn each other's
+//              ephemeral ports through port files under <dir>/run/.
+//
+// The run: two backup generations ingested at node 0, each closed by a
+// five-phase dedup-2 round across all 2^w nodes; then every chunk is
+// restored through node 0 (remote index parts answer locate requests from
+// their serve loops) and verified; then Control{kShutdown} releases the
+// peers. On-disk artifacts — each node's index, the chunk repository
+// nodes, and summary.txt — are byte-deterministic, so a loopback tree and
+// a socket tree of the same workload must be identical; the net-socket
+// differential test holds the two modes to exactly that.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+#include "core/cluster_node.hpp"
+#include "index/disk_index.hpp"
+#include "net/loopback_transport.hpp"
+#include "net/socket_transport.hpp"
+
+using namespace debar;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::size_t kRepoNodes = 2;
+constexpr std::size_t kChunkBytes = 512;
+// Generation 1: fps [0, 80). Generation 2: fps [40, 120) — half dedups.
+constexpr std::uint64_t kV1First = 0, kV1Count = 80;
+constexpr std::uint64_t kV2First = 40, kV2Count = 80;
+constexpr int kRounds = 2;
+constexpr auto kPortFileTimeout = std::chrono::seconds(20);
+
+Fingerprint fp_of(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+struct Options {
+  std::string transport = "loopback";
+  unsigned w = 1;
+  fs::path dir = "/tmp/debar-clusterd";
+  int node = 0;  // socket mode: >0 marks a forked peer process
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eat = [&](const char* flag) -> std::optional<std::string> {
+      const std::size_t len = std::strlen(flag);
+      if (arg.compare(0, len, flag) != 0) return std::nullopt;
+      return arg.substr(len);
+    };
+    if (auto v = eat("--transport=")) {
+      opt.transport = *v;
+    } else if (auto v = eat("--w=")) {
+      opt.w = static_cast<unsigned>(std::stoul(*v));
+    } else if (auto v = eat("--dir=")) {
+      opt.dir = *v;
+    } else if (auto v = eat("--node=")) {
+      opt.node = std::stoi(*v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opt.transport != "loopback" && opt.transport != "socket") {
+    std::fprintf(stderr, "--transport must be loopback or socket\n");
+    return false;
+  }
+  if (opt.w > 3) {
+    std::fprintf(stderr, "--w must be 0..3\n");
+    return false;
+  }
+  return true;
+}
+
+core::BackupServerConfig node_server_config(unsigned w) {
+  core::BackupServerConfig cfg;
+  cfg.index_params = {.prefix_bits = 6, .blocks_per_bucket = 2};
+  cfg.index_params.skip_bits = w;
+  cfg.filter_params = {.hash_bits = 8, .capacity = 100000};
+  cfg.chunk_store.cache_params = {.hash_bits = 4, .capacity = 1000000};
+  cfg.chunk_store.io_buckets = 8;
+  cfg.chunk_store.siu_threshold = 1;
+  return cfg;
+}
+
+/// One node's durable + simulated state. The repository pointer is the
+/// file-backed store for node 0 (the only node that containers or reads
+/// chunks in this workload — every backup and restore routes through it)
+/// and a never-touched in-memory stand-in elsewhere.
+struct NodeState {
+  std::unique_ptr<storage::ChunkRepository> owned_repo;
+  core::Director director;
+  std::unique_ptr<core::BackupServer> server;
+};
+
+bool open_file_repo(const fs::path& dir, NodeState& st) {
+  fs::create_directories(dir / "repo");
+  std::vector<std::unique_ptr<storage::BlockDevice>> devices;
+  for (std::size_t j = 0; j < kRepoNodes; ++j) {
+    auto device = storage::FileBlockDevice::open(
+        dir / "repo" / ("node" + std::to_string(j) + ".log"));
+    if (!device.ok()) {
+      std::fprintf(stderr, "repo device: %s\n",
+                   device.error().to_string().c_str());
+      return false;
+    }
+    devices.push_back(std::move(device).value());
+  }
+  auto repo = storage::ChunkRepository::open(std::move(devices));
+  if (!repo.ok()) {
+    std::fprintf(stderr, "repo open: %s\n", repo.error().to_string().c_str());
+    return false;
+  }
+  st.owned_repo = std::move(repo).value();
+  return true;
+}
+
+bool bring_up_node(const fs::path& dir, std::size_t k, unsigned w,
+                   NodeState& st) {
+  if (k == 0) {
+    if (!open_file_repo(dir, st)) return false;
+  } else {
+    st.owned_repo = std::make_unique<storage::ChunkRepository>(
+        kRepoNodes, sim::DiskProfile::PaperRaid());
+  }
+  const core::BackupServerConfig cfg = node_server_config(w);
+  st.server = std::make_unique<core::BackupServer>(
+      k, cfg, st.owned_repo.get(), &st.director);
+
+  const fs::path node_dir = dir / ("node" + std::to_string(k));
+  fs::create_directories(node_dir);
+  auto device = storage::FileBlockDevice::open(node_dir / "index.bin");
+  if (!device.ok()) {
+    std::fprintf(stderr, "index device: %s\n",
+                 device.error().to_string().c_str());
+    return false;
+  }
+  auto idx = index::DiskIndex::create(std::move(device).value(),
+                                      st.server->config().index_params);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "index create: %s\n",
+                 idx.error().to_string().c_str());
+    return false;
+  }
+  st.server->chunk_store().index() = std::move(idx).value();
+  return true;
+}
+
+/// Loopback clusterd shares one repository across its node threads; the
+/// socket children can't, but nothing but node 0 touches it either way.
+bool bring_up_node_shared_repo(const fs::path& dir, std::size_t k, unsigned w,
+                               storage::ChunkRepository* repo, NodeState& st) {
+  const core::BackupServerConfig cfg = node_server_config(w);
+  st.server = std::make_unique<core::BackupServer>(k, cfg, repo,
+                                                   &st.director);
+  const fs::path node_dir = dir / ("node" + std::to_string(k));
+  fs::create_directories(node_dir);
+  auto device = storage::FileBlockDevice::open(node_dir / "index.bin");
+  if (!device.ok()) return false;
+  auto idx = index::DiskIndex::create(std::move(device).value(),
+                                      st.server->config().index_params);
+  if (!idx.ok()) return false;
+  st.server->chunk_store().index() = std::move(idx).value();
+  return true;
+}
+
+void ingest(core::FileStore& fs_store, std::uint64_t job, std::uint64_t first,
+            std::uint64_t count) {
+  fs_store.begin_job(job);
+  fs_store.begin_file(
+      {.path = "s", .size = count * kChunkBytes, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = fp_of(i);
+    if (fs_store.offer_fingerprint(f, kChunkBytes)) {
+      const auto payload = core::BackupEngine::synthetic_payload(f,
+                                                                 kChunkBytes);
+      (void)fs_store.receive_chunk(f, ByteSpan(payload.data(),
+                                               payload.size()));
+    }
+  }
+  fs_store.end_file();
+  (void)fs_store.end_job();
+}
+
+/// The driver role: node 0 ingests both generations, anchors both rounds,
+/// restores and verifies every chunk, then releases the peers.
+int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
+               const fs::path& dir) {
+  const std::size_t n = std::size_t{1} << w;
+  core::ClusterNode node({.node = 0, .node_count = n, .routing_bits = w},
+                         st.server.get());
+  const std::uint64_t job = st.director.define_job("cluster", "job");
+
+  std::vector<core::NodeRoundResult> rounds;
+  const std::uint64_t firsts[kRounds] = {kV1First, kV2First};
+  const std::uint64_t counts[kRounds] = {kV1Count, kV2Count};
+  for (int r = 0; r < kRounds; ++r) {
+    ingest(st.server->file_store(), job, firsts[r], counts[r]);
+    Result<core::NodeRoundResult> round =
+        node.run_dedup2_round(/*force_siu=*/true);
+    if (!round.ok()) {
+      std::fprintf(stderr, "round %d failed: %s\n", r + 1,
+                   round.error().to_string().c_str());
+      return 1;
+    }
+    rounds.push_back(round.value());
+  }
+
+  // Restore every distinct chunk of both generations through node 0 and
+  // verify against the synthetic payloads.
+  std::uint64_t restored_chunks = 0, restored_bytes = 0;
+  for (std::uint64_t i = kV1First; i < kV2First + kV2Count; ++i) {
+    const Fingerprint f = fp_of(i);
+    Result<std::vector<Byte>> bytes = node.read_chunk_via(f, client);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "restore of chunk %llu failed: %s\n",
+                   static_cast<unsigned long long>(i),
+                   bytes.error().to_string().c_str());
+      return 1;
+    }
+    if (bytes.value() !=
+        core::BackupEngine::synthetic_payload(f, kChunkBytes)) {
+      std::fprintf(stderr, "chunk %llu restored with wrong content\n",
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    ++restored_chunks;
+    restored_bytes += bytes.value().size();
+  }
+
+  // Release the peers' serve loops.
+  for (std::size_t j = 1; j < n; ++j) {
+    Status sent = st.server->endpoint().send(
+        static_cast<net::EndpointId>(j),
+        net::Control{.op = net::Control::kShutdown});
+    if (!sent.ok()) {
+      std::fprintf(stderr, "shutdown of node %zu failed: %s\n", j,
+                   sent.to_string().c_str());
+      return 1;
+    }
+  }
+
+  std::ostringstream summary;
+  summary << "debar_clusterd w=" << w << " nodes=" << n << "\n";
+  for (int r = 0; r < kRounds; ++r) {
+    summary << "round" << (r + 1) << " undetermined=" << rounds[r].undetermined
+            << " duplicates=" << rounds[r].duplicates
+            << " new_chunks=" << rounds[r].new_chunks
+            << " new_bytes=" << rounds[r].new_bytes
+            << " siu=" << (rounds[r].ran_siu ? 1 : 0) << "\n";
+  }
+  summary << "restored_chunks=" << restored_chunks
+          << " restored_bytes=" << restored_bytes << " verified=ok\n";
+  std::ofstream out(dir / "summary.txt", std::ios::trunc);
+  out << summary.str();
+  out.close();
+  std::printf("%s", summary.str().c_str());
+  return out.good() ? 0 : 1;
+}
+
+/// The peer role: both rounds, then answer locates until shutdown.
+int run_peer(NodeState& st, unsigned w, std::size_t k) {
+  const std::size_t n = std::size_t{1} << w;
+  core::ClusterNode node({.node = k, .node_count = n, .routing_bits = w},
+                         st.server.get());
+  for (int r = 0; r < kRounds; ++r) {
+    Result<core::NodeRoundResult> round =
+        node.run_dedup2_round(/*force_siu=*/true);
+    if (!round.ok()) {
+      std::fprintf(stderr, "node %zu round %d failed: %s\n", k, r + 1,
+                   round.error().to_string().c_str());
+      return 1;
+    }
+  }
+  Status served = node.serve_restores(/*via=*/0);
+  if (!served.ok()) {
+    std::fprintf(stderr, "node %zu serve loop failed: %s\n", k,
+                 served.to_string().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Loopback vessel: one process, one thread per node.
+
+int run_loopback(const Options& opt) {
+  const std::size_t n = std::size_t{1} << opt.w;
+  NodeState driver_state;
+  if (!bring_up_node(opt.dir, 0, opt.w, driver_state)) return 1;
+  std::vector<NodeState> peers(n > 0 ? n - 1 : 0);
+  for (std::size_t k = 1; k < n; ++k) {
+    if (!bring_up_node_shared_repo(opt.dir, k, opt.w,
+                                   driver_state.owned_repo.get(),
+                                   peers[k - 1])) {
+      return 1;
+    }
+  }
+
+  net::LoopbackTransport transport;
+  const auto client_id = static_cast<net::EndpointId>(n);
+  auto attach = [&](NodeState& st, std::size_t k) {
+    Status reg = transport.register_endpoint(static_cast<net::EndpointId>(k),
+                                             &st.server->nic());
+    if (!reg.ok()) return false;
+    st.server->attach_endpoint(std::make_unique<net::Endpoint>(
+        &transport, static_cast<net::EndpointId>(k)));
+    return true;
+  };
+  if (!attach(driver_state, 0)) return 1;
+  for (std::size_t k = 1; k < n; ++k) {
+    if (!attach(peers[k - 1], k)) return 1;
+  }
+  if (!transport.register_endpoint(client_id, nullptr).ok()) return 1;
+  net::Endpoint client(&transport, client_id);
+
+  std::vector<std::thread> threads;
+  std::vector<int> peer_rc(n, 0);
+  for (std::size_t k = 1; k < n; ++k) {
+    threads.emplace_back([&, k] {
+      peer_rc[k] = run_peer(peers[k - 1], opt.w, k);
+    });
+  }
+  int rc = run_driver(driver_state, client, opt.w, opt.dir);
+  for (std::thread& t : threads) t.join();
+  for (std::size_t k = 1; k < n; ++k) rc = rc != 0 ? rc : peer_rc[k];
+  return rc;
+}
+
+// ---------------------------------------------------------------------------
+// Socket vessel: one process per node, ports exchanged via <dir>/run/.
+
+void write_port_file(const fs::path& dir, std::size_t k,
+                     const std::string& contents) {
+  const fs::path final_path = dir / "run" / ("node" + std::to_string(k) +
+                                             ".port");
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    out << contents;
+  }
+  fs::rename(tmp_path, final_path);  // atomic publish
+}
+
+std::optional<std::string> wait_port_file(const fs::path& dir,
+                                          std::size_t k) {
+  const fs::path path = dir / "run" / ("node" + std::to_string(k) + ".port");
+  const auto give_up = std::chrono::steady_clock::now() + kPortFileTimeout;
+  while (std::chrono::steady_clock::now() < give_up) {
+    if (fs::exists(path)) {
+      std::ifstream in(path);
+      std::string contents((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+      if (!contents.empty() && contents.back() == '\n') return contents;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return std::nullopt;
+}
+
+/// Resolve every other node's published port into the transport.
+bool bind_peer_addresses(net::SocketTransport& transport, const fs::path& dir,
+                         std::size_t self, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == self) continue;
+    const std::optional<std::string> published = wait_port_file(dir, k);
+    if (!published.has_value()) {
+      std::fprintf(stderr, "node %zu never published its port\n", k);
+      return false;
+    }
+    std::istringstream in(*published);
+    std::string line;
+    std::getline(in, line);
+    Result<net::Address> addr = net::Address::parse(line);
+    if (!addr.ok()) {
+      std::fprintf(stderr, "node %zu published '%s': %s\n", k, line.c_str(),
+                   addr.error().to_string().c_str());
+      return false;
+    }
+    transport.bind_address(static_cast<net::EndpointId>(k), addr.value());
+  }
+  return true;
+}
+
+int run_socket_peer(const Options& opt) {
+  const std::size_t n = std::size_t{1} << opt.w;
+  const auto k = static_cast<std::size_t>(opt.node);
+  NodeState st;
+  if (!bring_up_node(opt.dir, k, opt.w, st)) return 1;
+
+  net::SocketTransport transport{net::AddressMap{}};
+  Status reg = transport.register_endpoint(static_cast<net::EndpointId>(k),
+                                           &st.server->nic());
+  if (!reg.ok()) {
+    std::fprintf(stderr, "node %zu listen: %s\n", k, reg.to_string().c_str());
+    return 1;
+  }
+  write_port_file(
+      opt.dir, k,
+      transport.address_of(static_cast<net::EndpointId>(k))->to_string() +
+          "\n");
+  if (!bind_peer_addresses(transport, opt.dir, k, n)) return 1;
+  st.server->attach_endpoint(std::make_unique<net::Endpoint>(
+      &transport, static_cast<net::EndpointId>(k)));
+  return run_peer(st, opt.w, k);
+}
+
+int run_socket_driver(const Options& opt, char** argv) {
+  const std::size_t n = std::size_t{1} << opt.w;
+  fs::create_directories(opt.dir / "run");
+  NodeState st;
+  if (!bring_up_node(opt.dir, 0, opt.w, st)) return 1;
+
+  net::SocketTransport transport{net::AddressMap{}};
+  const auto client_id = static_cast<net::EndpointId>(n);
+  if (!transport.register_endpoint(0, &st.server->nic()).ok() ||
+      !transport.register_endpoint(client_id, nullptr).ok()) {
+    std::fprintf(stderr, "driver listen failed\n");
+    return 1;
+  }
+  write_port_file(opt.dir, 0, transport.address_of(0)->to_string() + "\n");
+
+  // One child process per remaining node, re-executing this binary.
+  std::vector<pid_t> children;
+  for (std::size_t k = 1; k < n; ++k) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork failed\n");
+      return 1;
+    }
+    if (pid == 0) {
+      const std::string transport_arg = "--transport=socket";
+      const std::string w_arg = "--w=" + std::to_string(opt.w);
+      const std::string dir_arg = "--dir=" + opt.dir.string();
+      const std::string node_arg = "--node=" + std::to_string(k);
+      char* child_argv[] = {argv[0], const_cast<char*>(transport_arg.c_str()),
+                            const_cast<char*>(w_arg.c_str()),
+                            const_cast<char*>(dir_arg.c_str()),
+                            const_cast<char*>(node_arg.c_str()), nullptr};
+      ::execv(argv[0], child_argv);
+      std::perror("execv");
+      _exit(127);
+    }
+    children.push_back(pid);
+  }
+
+  if (!bind_peer_addresses(transport, opt.dir, 0, n)) return 1;
+  st.server->attach_endpoint(
+      std::make_unique<net::Endpoint>(&transport, net::EndpointId{0}));
+  net::Endpoint client(&transport, client_id);
+
+  int rc = run_driver(st, client, opt.w, opt.dir);
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "child %d exited abnormally\n", pid);
+      rc = rc != 0 ? rc : 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+  fs::create_directories(opt.dir);
+  if (opt.transport == "loopback") return run_loopback(opt);
+  if (opt.node > 0) return run_socket_peer(opt);
+  return run_socket_driver(opt, argv);
+}

@@ -8,6 +8,7 @@
 
 #include "common/fmt.hpp"
 #include "common/thread_pool.hpp"
+#include "core/cluster_node.hpp"
 #include "net/message.hpp"
 
 namespace debar::core {
@@ -45,11 +46,9 @@ Cluster::Cluster(ClusterConfig config)
   }
   deferred_entries_.resize(n);
 
-  auto loopback = std::make_unique<net::LoopbackTransport>();
-  loopback_ = loopback.get();
-  transport_ = config_.transport_decorator
-                   ? config_.transport_decorator(std::move(loopback))
-                   : std::move(loopback);
+  transport_ = config_.transport_factory
+                   ? config_.transport_factory->create()
+                   : std::make_unique<net::LoopbackTransport>();
   for (std::size_t k = 0; k < n; ++k) {
     const auto id = static_cast<net::EndpointId>(k);
     Status registered = transport_->register_endpoint(id, &servers_[k]->nic());
@@ -187,57 +186,19 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
 
   const std::vector<double> idx_b0 = index_clocks();
   parallel_for(n, n, [&](std::size_t k) {
-    struct Query {
-      Fingerprint fp;
-      std::size_t origin;
-      std::uint32_t index;  // position in the origin's batch
-    };
-    std::vector<Query> queries;
-    for (std::size_t s = 0; s < n; ++s) {
-      const std::vector<Fingerprint>& fps = fp_inbox[k][s].fps;
-      verdict_out[k][s].query_count = static_cast<std::uint32_t>(fps.size());
-      for (std::size_t i = 0; i < fps.size(); ++i) {
-        queries.push_back({fps[i], s, static_cast<std::uint32_t>(i)});
-      }
-    }
-    std::sort(queries.begin(), queries.end(),
-              [](const Query& a, const Query& b) {
-                return a.fp < b.fp ||
-                       (a.fp == b.fp && a.origin < b.origin);
-              });
-
-    std::vector<Fingerprint> unique_fps;
-    unique_fps.reserve(queries.size());
-    for (const Query& q : queries) {
-      if (unique_fps.empty() || unique_fps.back() != q.fp) {
-        unique_fps.push_back(q.fp);
-      }
-    }
-
-    std::vector<std::uint8_t> found;
-    Result<SilResult> sil = servers_[k]->chunk_store().sil(unique_fps, found);
-    if (!sil.ok()) {
-      phase_status[k] = Status(sil.error().code, sil.error().message);
+    // The designated-storer resolution is shared with the SPMD per-node
+    // driver (core/cluster_node.hpp), so both executions of a round issue
+    // identical verdicts.
+    std::uint64_t dups = 0;
+    Result<std::vector<net::VerdictBatch>> verdicts =
+        resolve_psil(*servers_[k], fp_inbox[k], &dups);
+    if (!verdicts.ok()) {
+      phase_status[k] = Status(verdicts.error().code,
+                               verdicts.error().message);
       return;
     }
-
-    // Resolve verdicts per origin. For a fingerprint PSIL declares new
-    // that several origins asked about, only the first origin (smallest
-    // id among askers) stores it; the rest are told "duplicate".
-    std::size_t qi = 0;
-    for (std::size_t u = 0; u < unique_fps.size(); ++u) {
-      bool designated = false;
-      for (; qi < queries.size() && queries[qi].fp == unique_fps[u]; ++qi) {
-        const bool is_dup = found[u] != 0 || designated;
-        if (!is_dup) {
-          designated = true;  // this origin stores the chunk
-        } else {
-          verdict_out[k][queries[qi].origin].duplicate_indices.push_back(
-              queries[qi].index);
-          dup_count.fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-    }
+    verdict_out[k] = std::move(verdicts.value());
+    dup_count.fetch_add(dups, std::memory_order_relaxed);
   });
   for (const Status& s : phase_status) {
     if (!s.ok()) {

@@ -36,7 +36,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
@@ -45,7 +44,7 @@
 #include "core/backup_server.hpp"
 #include "core/director.hpp"
 #include "net/endpoint.hpp"
-#include "net/loopback_transport.hpp"
+#include "net/transport_factory.hpp"
 #include "storage/chunk_repository.hpp"
 
 namespace debar::core {
@@ -58,13 +57,13 @@ struct ClusterConfig {
   /// Storage nodes in the shared chunk repository.
   std::size_t repository_nodes = 4;
   sim::DiskProfile repository_profile = sim::DiskProfile::PaperRaid();
-  /// Retransmission / poll budget for every cluster endpoint.
+  /// Retransmission / receive-timeout budget for every cluster endpoint.
   net::RetryPolicy retry{};
-  /// Optional transport decorator (fault injection): receives the base
-  /// loopback transport and must return a transport wrapping it — the
-  /// cluster keeps metering and stats through the loopback underneath.
-  std::function<std::unique_ptr<net::Transport>(std::unique_ptr<net::Transport>)>
-      transport_decorator;
+  /// How the cluster's wire is built: loopback (default when null),
+  /// faulty-over-loopback, or sockets — one selection interface for every
+  /// harness (see net/transport_factory.hpp). Shared so a test rig can
+  /// keep a handle to the factory (e.g. FaultyTransportFactory::last).
+  std::shared_ptr<net::TransportFactory> transport_factory;
 };
 
 struct ClusterDedup2Result {
@@ -100,9 +99,9 @@ class Cluster {
 
   /// The transport every exchange rides on (outermost decorator).
   [[nodiscard]] net::Transport& transport() noexcept { return *transport_; }
-  /// Cumulative frame/byte counters from the underlying loopback.
+  /// Cumulative frame/byte counters from the stack's single meter.
   [[nodiscard]] net::TransportStats transport_stats() const {
-    return loopback_->stats();
+    return transport_->meter().stats();
   }
   /// Endpoint id of the restore-stream client (one past the servers).
   [[nodiscard]] net::EndpointId client_id() const noexcept {
@@ -139,7 +138,6 @@ class Cluster {
   // Transport before servers/client endpoint: endpoints hold raw transport
   // pointers, so they must be destroyed first (reverse declaration order).
   std::unique_ptr<net::Transport> transport_;
-  net::LoopbackTransport* loopback_ = nullptr;
   std::unique_ptr<net::Endpoint> client_endpoint_;
   std::vector<std::unique_ptr<BackupServer>> servers_;
   /// Entries routed in a round whose PSIU never committed (phase E abort):

@@ -1,0 +1,299 @@
+#include "core/cluster_node.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/fmt.hpp"
+
+namespace debar::core {
+
+Result<std::vector<net::VerdictBatch>> resolve_psil(
+    BackupServer& owner, const std::vector<net::FingerprintBatch>& inbox,
+    std::uint64_t* duplicates) {
+  const std::size_t n = inbox.size();
+  std::vector<net::VerdictBatch> verdicts(n);
+
+  struct Query {
+    Fingerprint fp;
+    std::size_t origin;
+    std::uint32_t index;  // position in the origin's batch
+  };
+  std::vector<Query> queries;
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::vector<Fingerprint>& fps = inbox[s].fps;
+    verdicts[s].query_count = static_cast<std::uint32_t>(fps.size());
+    for (std::size_t i = 0; i < fps.size(); ++i) {
+      queries.push_back({fps[i], s, static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const Query& a, const Query& b) {
+              return a.fp < b.fp || (a.fp == b.fp && a.origin < b.origin);
+            });
+
+  std::vector<Fingerprint> unique_fps;
+  unique_fps.reserve(queries.size());
+  for (const Query& q : queries) {
+    if (unique_fps.empty() || unique_fps.back() != q.fp) {
+      unique_fps.push_back(q.fp);
+    }
+  }
+
+  std::vector<std::uint8_t> found;
+  Result<SilResult> sil = owner.chunk_store().sil(unique_fps, found);
+  if (!sil.ok()) return sil.error();
+
+  // Resolve verdicts per origin. For a fingerprint PSIL declares new
+  // that several origins asked about, only the first origin (smallest
+  // id among askers) stores it; the rest are told "duplicate".
+  std::size_t qi = 0;
+  for (std::size_t u = 0; u < unique_fps.size(); ++u) {
+    bool designated = false;
+    for (; qi < queries.size() && queries[qi].fp == unique_fps[u]; ++qi) {
+      const bool is_dup = found[u] != 0 || designated;
+      if (!is_dup) {
+        designated = true;  // this origin stores the chunk
+      } else {
+        verdicts[queries[qi].origin].duplicate_indices.push_back(
+            queries[qi].index);
+        if (duplicates != nullptr) ++*duplicates;
+      }
+    }
+  }
+  return verdicts;
+}
+
+Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
+  const std::size_t n = config_.node_count;
+  const std::size_t k = config_.node;
+  net::Endpoint& ep = server_->endpoint();
+  NodeRoundResult result;
+
+  // ---- Phase A: drain our undetermined set, partition by routing
+  // prefix, ship every foreign subset (an empty batch still ships, so
+  // every pair exchanges exactly one message per phase).
+  std::vector<Fingerprint> fps = server_->file_store().take_undetermined();
+  result.undetermined = fps.size();
+  std::vector<std::vector<Fingerprint>> outbox(n);
+  for (const Fingerprint& fp : fps) outbox[owner_of(fp)].push_back(fp);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == k) continue;
+    Status sent = ep.send(static_cast<net::EndpointId>(j),
+                          net::FingerprintBatch{outbox[j]});
+    if (!sent.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase A send to {} failed: {}", k, j,
+                          sent.message())};
+    }
+  }
+  // Barrier: one batch per origin must arrive before PSIL may run.
+  std::vector<net::FingerprintBatch> fp_inbox(n);
+  fp_inbox[k].fps = outbox[k];
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s == k) continue;
+    Result<net::FingerprintBatch> batch = ep.expect<net::FingerprintBatch>(
+        static_cast<net::EndpointId>(s), barrier_deadline());
+    if (!batch.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase A batch from {} missing: {}", k, s,
+                          batch.error().message)};
+    }
+    fp_inbox[s] = std::move(batch.value());
+  }
+
+  // ---- Phase B: PSIL over our index part.
+  Result<std::vector<net::VerdictBatch>> verdicts =
+      resolve_psil(*server_, fp_inbox, &result.duplicates);
+  if (!verdicts.ok()) return verdicts.error();
+
+  // ---- Phase C: verdicts return to their origins.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s == k) continue;
+    Status sent =
+        ep.send(static_cast<net::EndpointId>(s), verdicts.value()[s]);
+    if (!sent.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase C send to {} failed: {}", k, s,
+                          sent.message())};
+    }
+  }
+  std::vector<net::VerdictBatch> verdict_inbox(n);
+  verdict_inbox[k] = std::move(verdicts.value()[k]);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == k) continue;
+    Result<net::VerdictBatch> verdict = ep.expect<net::VerdictBatch>(
+        static_cast<net::EndpointId>(j), barrier_deadline());
+    if (!verdict.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase C verdict from {} missing: {}", k,
+                          j, verdict.error().message)};
+    }
+    if (verdict.value().query_count != outbox[j].size()) {
+      return Error{Errc::kCorrupt,
+                   format("verdict from {} answers {} queries, {} were asked",
+                          j, verdict.value().query_count, outbox[j].size())};
+    }
+    verdict_inbox[j] = std::move(verdict.value());
+  }
+
+  // ---- Phase D: container the chunks PSIL declared new.
+  std::unordered_set<Fingerprint, FingerprintHash> dups;
+  for (std::size_t j = 0; j < n; ++j) {
+    // Verdict indices are validated against query_count at decode and
+    // above, so they index outbox[j] safely.
+    for (const std::uint32_t idx : verdict_inbox[j].duplicate_indices) {
+      dups.insert(outbox[j][idx]);
+    }
+  }
+  std::vector<Fingerprint> new_fps;
+  for (const Fingerprint& fp : fps) {
+    if (!dups.contains(fp)) new_fps.push_back(fp);
+  }
+  Result<StoreResult> stored =
+      server_->chunk_store().store_new_chunks(new_fps);
+  if (!stored.ok()) return stored.error();
+  server_->chunk_store().clear_log();
+  result.new_chunks = stored.value().new_chunks;
+  result.new_bytes = stored.value().new_bytes;
+
+  // ---- Phase E: fresh <fp, container> entries route to their owners;
+  // everything arrives before anyone registers.
+  std::vector<std::vector<IndexEntry>> entry_out(n);
+  for (const IndexEntry& e : stored.value().entries) {
+    entry_out[owner_of(e.fp)].push_back(e);
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    if (j == k) continue;
+    Status sent = ep.send(static_cast<net::EndpointId>(j),
+                          net::IndexEntryBatch{entry_out[j]});
+    if (!sent.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase E send to {} failed: {}", k, j,
+                          sent.message())};
+    }
+  }
+  std::vector<net::IndexEntryBatch> entry_inbox(n);
+  entry_inbox[k].entries = entry_out[k];
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s == k) continue;
+    Result<net::IndexEntryBatch> batch = ep.expect<net::IndexEntryBatch>(
+        static_cast<net::EndpointId>(s), barrier_deadline());
+    if (!batch.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase E entries from {} missing: {}", k,
+                          s, batch.error().message)};
+    }
+    entry_inbox[s] = std::move(batch.value());
+  }
+
+  // Commit: register in origin order (the same order the orchestrated
+  // cluster uses, so the pending set and index mutate identically).
+  for (std::size_t s = 0; s < n; ++s) {
+    server_->chunk_store().add_pending(
+        std::span<const IndexEntry>(entry_inbox[s].entries));
+  }
+  if (force_siu || server_->chunk_store().siu_due()) {
+    Result<SiuResult> siu = server_->chunk_store().siu();
+    if (!siu.ok()) return siu.error();
+    result.ran_siu = true;
+  }
+  return result;
+}
+
+Status ClusterNode::serve_restores(net::EndpointId via) {
+  net::Endpoint& ep = server_->endpoint();
+  for (;;) {
+    std::optional<net::Message> msg =
+        ep.receive_from(via, barrier_deadline());
+    if (!msg.has_value()) {
+      return {Errc::kUnavailable,
+              format("node {}: serve loop heard nothing from {} within the "
+                     "round timeout",
+                     config_.node, via)};
+    }
+    if (const auto* control = std::get_if<net::Control>(&*msg)) {
+      if (control->op == net::Control::kShutdown) return Status::Ok();
+      continue;  // unknown control op: ignore
+    }
+    const auto* request = std::get_if<net::ChunkLocateRequest>(&*msg);
+    if (request == nullptr) continue;  // not ours to answer
+
+    net::ChunkLocateReply reply;
+    Result<ContainerId> located = server_->chunk_store().locate(request->fp);
+    if (located.ok()) {
+      reply.container = located.value();
+    } else {
+      reply.status = located.error().code;
+    }
+    if (Status sent = ep.send(via, reply); !sent.ok()) {
+      return {Errc::kUnavailable,
+              format("node {}: locate reply to {} failed: {}", config_.node,
+                     via, sent.message())};
+    }
+  }
+}
+
+Result<std::vector<Byte>> ClusterNode::read_chunk_via(
+    const Fingerprint& fp, net::Endpoint& client) {
+  const auto via_id = static_cast<net::EndpointId>(config_.node);
+  net::Endpoint& ep = server_->endpoint();
+
+  // LPC first (Section 3.3): only a cache miss pays the owner-side index
+  // lookup and the container fetch.
+  std::vector<Byte> bytes;
+  if (std::optional<std::vector<Byte>> hit =
+          server_->chunk_store().lpc_probe(fp)) {
+    bytes = std::move(*hit);
+  } else {
+    const std::size_t owner = owner_of(fp);
+    ContainerId container;
+    if (owner == config_.node) {
+      Result<ContainerId> located = server_->chunk_store().locate(fp);
+      if (!located.ok()) return located.error();
+      container = located.value();
+    } else {
+      // Locate round trip with the part owner's serve loop.
+      const auto owner_id = static_cast<net::EndpointId>(owner);
+      if (Status sent = ep.send(owner_id, net::ChunkLocateRequest{fp});
+          !sent.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("chunk owner {} unreachable for locate", owner)};
+      }
+      Result<net::ChunkLocateReply> got = ep.expect<net::ChunkLocateReply>(
+          owner_id, barrier_deadline());
+      if (!got.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("locate reply from owner {} lost", owner)};
+      }
+      if (got.value().status != Errc::kOk) {
+        return Error{got.value().status,
+                     format("chunk not located on owner {}", owner)};
+      }
+      container = got.value().container;
+    }
+    Result<std::vector<Byte>> chunk =
+        server_->chunk_store().read_chunk_at(fp, container);
+    if (!chunk.ok()) return chunk.error();
+    bytes = std::move(chunk.value());
+  }
+
+  // The restored bytes cross this server's wire to the client as a real
+  // ChunkData frame (and round-trip its serialization).
+  if (Status sent =
+          ep.send(client.id(), net::ChunkData{fp, std::move(bytes)});
+      !sent.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("restore delivery from server {} failed",
+                        config_.node)};
+  }
+  Result<net::ChunkData> delivered =
+      client.expect<net::ChunkData>(via_id, barrier_deadline());
+  if (!delivered.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("restore delivery from server {} lost",
+                        config_.node)};
+  }
+  return std::move(delivered.value().bytes);
+}
+
+}  // namespace debar::core

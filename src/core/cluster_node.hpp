@@ -1,0 +1,103 @@
+// One backup server's share of the cluster protocol, runnable anywhere.
+//
+// The in-process Cluster orchestrates all 2^w servers from one object and
+// checks phase barriers globally (core/cluster.hpp). A ClusterNode is the
+// SPMD view of the same protocol: node k's sends, receives, PSIL/PSIU
+// work and restore serving, driven only through its endpoint — so the
+// identical per-node code runs whether the other nodes are threads over a
+// loopback transport or OS processes across sockets (debar_clusterd
+// hosts one ClusterNode per process).
+//
+// Barriers here are the blocking receives themselves: a node entering
+// phase C cannot proceed until every peer's phase-A/B work has produced
+// the verdict it is owed. There is no global blame pass — a peer that
+// stays silent past round_timeout aborts this node's round with
+// kUnavailable (cross-process fault scripting is the virtual transports'
+// job; see FaultyTransport).
+//
+// resolve_psil() is the shared phase-B kernel both drivers call, so the
+// designated-storer rule can never drift between the orchestrated and the
+// SPMD execution of a round.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "core/backup_server.hpp"
+#include "net/endpoint.hpp"
+#include "net/message.hpp"
+
+namespace debar::core {
+
+/// Phase B, as one index-part owner runs it: fold the per-origin batches
+/// (inbox[s] is origin s's queries, in batch order) into sorted unique
+/// fingerprints, run SIL once, and resolve per-origin verdicts — a
+/// fingerprint found on disk or pending is a duplicate for every asker;
+/// a new fingerprint asked about by several origins is stored by the
+/// smallest origin id only, the rest are told "duplicate". `duplicates`
+/// accumulates the verdict count.
+[[nodiscard]] Result<std::vector<net::VerdictBatch>> resolve_psil(
+    BackupServer& owner, const std::vector<net::FingerprintBatch>& inbox,
+    std::uint64_t* duplicates);
+
+struct ClusterNodeConfig {
+  std::size_t node = 0;
+  std::size_t node_count = 1;
+  unsigned routing_bits = 0;
+  /// Patience per phase-barrier receive. Generous: a peer process may be
+  /// chewing through its own phase (or still booting) before it sends.
+  std::chrono::nanoseconds round_timeout = std::chrono::seconds(30);
+};
+
+struct NodeRoundResult {
+  std::uint64_t undetermined = 0;  // this node's drained queries
+  std::uint64_t duplicates = 0;    // verdicts this node's index part issued
+  std::uint64_t new_chunks = 0;    // chunks this node containered
+  std::uint64_t new_bytes = 0;
+  bool ran_siu = false;
+};
+
+class ClusterNode {
+ public:
+  /// `server` must already have its endpoint attached to the transport
+  /// this node shares with its peers.
+  ClusterNode(ClusterNodeConfig config, BackupServer* server)
+      : config_(config), server_(server) {}
+
+  [[nodiscard]] std::size_t node() const noexcept { return config_.node; }
+
+  [[nodiscard]] std::size_t owner_of(const Fingerprint& fp) const noexcept {
+    return config_.routing_bits == 0
+               ? 0
+               : static_cast<std::size_t>(
+                     fp.prefix_bits(config_.routing_bits));
+  }
+
+  /// This node's share of one five-phase dedup-2 round. Every peer must
+  /// call this once, concurrently; the receives are the barriers.
+  [[nodiscard]] Result<NodeRoundResult> run_dedup2_round(bool force_siu);
+
+  /// Answer ChunkLocateRequests from the serving node `via` until it
+  /// sends Control{kShutdown} (returns OK) or stays silent past
+  /// round_timeout (returns kUnavailable).
+  [[nodiscard]] Status serve_restores(net::EndpointId via);
+
+  /// The serving node's side of a restore chunk read: LPC probe, locate
+  /// (locally or via the part owner's serve loop), container read, and
+  /// real ChunkData delivery to `client` (the restore-stream endpoint,
+  /// hosted in this process).
+  [[nodiscard]] Result<std::vector<Byte>> read_chunk_via(
+      const Fingerprint& fp, net::Endpoint& client);
+
+ private:
+  [[nodiscard]] net::Deadline barrier_deadline() const {
+    return net::Deadline::after(config_.round_timeout);
+  }
+
+  ClusterNodeConfig config_;
+  BackupServer* server_;
+};
+
+}  // namespace debar::core

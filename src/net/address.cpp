@@ -1,0 +1,37 @@
+#include "net/address.hpp"
+
+#include <charconv>
+
+#include "common/fmt.hpp"
+
+namespace debar::net {
+
+Result<Address> Address::parse(std::string_view spec) {
+  if (spec == "local") return Address::in_process();
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Error{Errc::kInvalidArgument,
+                 format("address '{}' is not 'local' or 'host:port'",
+                        std::string(spec))};
+  }
+  const std::string_view port_str = spec.substr(colon + 1);
+  std::uint32_t port = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_str.data(), port_str.data() + port_str.size(), port);
+  if (ec != std::errc{} || ptr != port_str.data() + port_str.size() ||
+      port > 0xFFFF) {
+    return Error{Errc::kInvalidArgument,
+                 format("address '{}' has a malformed port",
+                        std::string(spec))};
+  }
+  return Address::tcp(std::string(spec.substr(0, colon)),
+                      static_cast<std::uint16_t>(port));
+}
+
+std::string Address::to_string() const {
+  if (kind == Kind::kInProcess) return "local";
+  return format("{}:{}", host, port);
+}
+
+}  // namespace debar::net

@@ -1,0 +1,66 @@
+// Endpoint placement: where each EndpointId lives.
+//
+// The in-process transports need no placement at all — every endpoint is
+// "here". A socket cluster needs two answers per endpoint: is it hosted
+// by this process (register_endpoint), and if not, which host:port do I
+// connect to? An AddressMap carries the second answer; it is the
+// resolver a SocketTransport is constructed around.
+//
+// Address spellings accepted by parse():
+//   "local"            in-process / hosted here (bind an ephemeral port)
+//   "host:port"        a TCP endpoint, e.g. "127.0.0.1:9107"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "net/message.hpp"
+
+namespace debar::net {
+
+struct Address {
+  enum class Kind : std::uint8_t { kInProcess, kTcp };
+
+  Kind kind = Kind::kInProcess;
+  std::string host;         // kTcp only
+  std::uint16_t port = 0;   // kTcp only; 0 = ephemeral
+
+  [[nodiscard]] static Address in_process() { return {}; }
+  [[nodiscard]] static Address tcp(std::string host, std::uint16_t port) {
+    return {Kind::kTcp, std::move(host), port};
+  }
+
+  [[nodiscard]] static Result<Address> parse(std::string_view spec);
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+/// EndpointId -> Address resolver. Endpoints absent from the map are
+/// in-process by convention (loopback) or unroutable (sockets).
+class AddressMap {
+ public:
+  /// Bind or rebind one endpoint's address.
+  void bind(EndpointId id, Address address) {
+    addresses_[id] = std::move(address);
+  }
+
+  [[nodiscard]] std::optional<Address> lookup(EndpointId id) const {
+    const auto it = addresses_.find(id);
+    if (it == addresses_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return addresses_.size();
+  }
+
+ private:
+  std::unordered_map<EndpointId, Address> addresses_;
+};
+
+}  // namespace debar::net

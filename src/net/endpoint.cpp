@@ -17,16 +17,20 @@ Status Endpoint::send(EndpointId to, const Message& msg) {
   return last;
 }
 
-std::optional<Message> Endpoint::receive_from(EndpointId from) {
-  for (int poll = 0; poll < retry_.max_polls; ++poll) {
-    std::optional<Frame> frame = transport_->receive(id_, from);
-    if (!frame.has_value()) continue;  // a poll also ticks delayed frames
+std::optional<Message> Endpoint::receive_from(EndpointId from,
+                                              const Deadline& deadline) {
+  // The transport does the waiting; each pass through this loop consumes
+  // one delivery. A discarded duplicate or corrupt frame re-enters the
+  // same deadline, so junk deliveries never eat the caller's patience on
+  // real transports and grant a fresh poll budget on virtual ones.
+  for (;;) {
+    std::optional<Frame> frame = transport_->receive(id_, from, deadline);
+    if (!frame.has_value()) return std::nullopt;  // deadline expired
     {
       std::lock_guard lock(mutex_);
       if (!seen_[from].insert(frame->seq).second) {
         // Duplicated delivery: the bytes crossed the wire (the transport
         // metered them) but the message was already consumed.
-        --poll;  // a discarded duplicate doesn't use up a poll
         continue;
       }
     }
@@ -34,11 +38,10 @@ std::optional<Message> Endpoint::receive_from(EndpointId from) {
         ByteSpan(frame->bytes.data(), frame->bytes.size()));
     if (!decoded.ok() || decoded.value().from != from ||
         decoded.value().to != id_) {
-      continue;  // corrupt or misrouted frame: drop it, keep polling
+      continue;  // corrupt or misrouted frame: drop it, keep waiting
     }
     return std::move(decoded.value().message);
   }
-  return std::nullopt;
 }
 
 }  // namespace debar::net

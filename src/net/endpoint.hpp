@@ -8,6 +8,7 @@
 // client endpoint from any thread.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -24,10 +25,12 @@ namespace debar::net {
 struct RetryPolicy {
   /// Total transmission attempts per message (first try included).
   int max_attempts = 4;
-  /// receive() polls per expected message. Must exceed the fault
-  /// decorator's maximum delivery delay, or a delayed frame reads as a
-  /// dead peer.
-  int max_polls = 4;
+  /// How long receive() waits for an expected message. On virtual-time
+  /// transports this converts to receive polls at kVirtualPollQuantum
+  /// (the default buys 4 polls, the old max_polls); on sockets it is real
+  /// waiting time. Must exceed the fault decorator's maximum delivery
+  /// delay, or a delayed frame reads as a dead peer.
+  std::chrono::nanoseconds receive_timeout = 4 * kVirtualPollQuantum;
 };
 
 class Endpoint {
@@ -42,16 +45,29 @@ class Endpoint {
   /// exhausted means the peer should be treated as unreachable.
   [[nodiscard]] Status send(EndpointId to, const Message& msg);
 
-  /// Next fresh message from `from`, polling up to max_polls times so
-  /// bounded delivery delays are absorbed; duplicated deliveries are
-  /// discarded by sequence number. nullopt when nothing fresh arrived.
-  [[nodiscard]] std::optional<Message> receive_from(EndpointId from);
+  /// Next fresh message from `from` within the policy's receive_timeout;
+  /// duplicated deliveries are discarded by sequence number (without
+  /// consuming the budget) and corrupt or misrouted frames are dropped.
+  /// nullopt when nothing fresh arrived in time.
+  [[nodiscard]] std::optional<Message> receive_from(EndpointId from) {
+    return receive_from(from, Deadline::after(retry_.receive_timeout));
+  }
+
+  /// Same, with an explicit deadline (serve loops wait differently for
+  /// "the next request, whenever" than for "the reply I am owed now").
+  [[nodiscard]] std::optional<Message> receive_from(EndpointId from,
+                                                    const Deadline& deadline);
 
   /// receive_from + type check: the protocol phases know exactly which
   /// message each peer owes them.
   template <typename T>
   [[nodiscard]] Result<T> expect(EndpointId from) {
-    std::optional<Message> msg = receive_from(from);
+    return expect<T>(from, Deadline::after(retry_.receive_timeout));
+  }
+
+  template <typename T>
+  [[nodiscard]] Result<T> expect(EndpointId from, const Deadline& deadline) {
+    std::optional<Message> msg = receive_from(from, deadline);
     if (!msg.has_value()) {
       return Error{Errc::kUnavailable,
                    format("endpoint {}: no message from {}", id_, from)};

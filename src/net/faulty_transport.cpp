@@ -79,7 +79,7 @@ Status FaultyTransport::send(Frame frame) {
     case Fate::kDrop:
       // The transmission left the sender's wire and vanished; the caller
       // sees the timeout and retries.
-      inner_->meter_send(frame.from, frame.bytes.size());
+      meter().on_send(frame);
       return {Errc::kUnavailable,
               format("send {} -> {}: frame dropped", frame.from, frame.to)};
     case Fate::kDuplicate: {
@@ -96,7 +96,7 @@ Status FaultyTransport::send(Frame frame) {
     case Fate::kDelay: {
       // The frame is in flight but slow: the sender's wire is burnt now,
       // delivery completes a few receive polls later.
-      inner_->meter_send(frame.from, frame.bytes.size());
+      meter().on_send(frame);
       std::lock_guard lock(mutex_);
       ++accepted_;
       held_[{frame.from, frame.to}].push_back(
@@ -114,7 +114,8 @@ Status FaultyTransport::send(Frame frame) {
   return st;
 }
 
-std::optional<Frame> FaultyTransport::receive(EndpointId to, EndpointId from) {
+std::optional<Frame> FaultyTransport::poll_once(EndpointId to,
+                                                EndpointId from) {
   // Tick this stream's withheld frames, then prefer a punctual delivery;
   // ripe held frames surface on polls where the inner queue is empty.
   std::optional<Frame> ripe;
@@ -127,26 +128,40 @@ std::optional<Frame> FaultyTransport::receive(EndpointId to, EndpointId from) {
       }
     }
   }
-  if (std::optional<Frame> frame = inner_->receive(to, from)) return frame;
+  if (std::optional<Frame> frame =
+          inner_->receive(to, from, Deadline::poll())) {
+    return frame;
+  }
   {
     std::lock_guard lock(mutex_);
     const auto held = held_.find({from, to});
     if (held == held_.end()) return std::nullopt;
     auto& queue = held->second;
-    bool meter = false;
+    bool should_meter = false;
     for (auto it = queue.begin(); it != queue.end(); ++it) {
       if (it->polls_left == 0) {
-        meter = it->meter_on_release;
+        should_meter = it->meter_on_release;
         ripe = std::move(it->frame);
         queue.erase(it);
         break;
       }
     }
-    if (!meter) return ripe;
+    if (!should_meter) return ripe;
   }
-  // Meter outside our lock: the inner transport takes its own.
-  if (ripe.has_value()) inner_->meter_receive(to, ripe->bytes.size());
+  // Meter outside our lock: the meter takes its own.
+  if (ripe.has_value()) meter().on_deliver(to, ripe->bytes.size());
   return ripe;
+}
+
+std::optional<Frame> FaultyTransport::receive(EndpointId to, EndpointId from,
+                                              const Deadline& deadline) {
+  // Virtual time: the deadline's budget buys poll iterations, never real
+  // waiting — each inner receive is a zero-budget attempt.
+  const int polls = deadline.polls();
+  for (int i = 0; i < polls; ++i) {
+    if (std::optional<Frame> frame = poll_once(to, from)) return frame;
+  }
+  return std::nullopt;
 }
 
 }  // namespace debar::net

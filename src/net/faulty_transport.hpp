@@ -19,6 +19,14 @@
 //                `unreachable_after_sends` accepted transmissions, every
 //                send) fail without consuming wire, modeling a dead
 //                server or a partitioned network.
+//
+// Time here is virtual: receive() converts its deadline's budget into
+// poll iterations (Deadline::polls) and drives the inner transport with
+// zero-budget polls, so a fault schedule expressed in delivery delays
+// runs at memory speed regardless of the wall clock. Metering goes
+// through the stack's single TransportMeter (Transport::meter), reached
+// via the inner transport — this decorator owns no ledger of its own, so
+// a frame can never be charged twice.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +52,9 @@ struct NetFaultConfig {
   /// Probability a delivered transmission is withheld for a few polls.
   double delay_rate = 0.0;
   /// Maximum delivery delay, in receive polls of the frame's stream.
-  /// Keep it below RetryPolicy::max_polls or delays read as dead peers.
+  /// Keep it below the receive deadline's poll budget
+  /// (RetryPolicy::receive_timeout / kVirtualPollQuantum) or delays read
+  /// as dead peers.
   std::uint32_t max_delay_polls = 2;
   /// Accepted-transmission count after which the whole network goes
   /// unreachable (deterministic analogue of FaultConfig::crash_after_ops;
@@ -65,13 +75,10 @@ class FaultyTransport final : public Transport {
     return inner_->register_endpoint(id, nic);
   }
   [[nodiscard]] Status send(Frame frame) override;
-  [[nodiscard]] std::optional<Frame> receive(EndpointId to,
-                                             EndpointId from) override;
-  void meter_send(EndpointId from, std::uint64_t bytes) override {
-    inner_->meter_send(from, bytes);
-  }
-  void meter_receive(EndpointId to, std::uint64_t bytes) override {
-    inner_->meter_receive(to, bytes);
+  [[nodiscard]] std::optional<Frame> receive(EndpointId to, EndpointId from,
+                                             const Deadline& deadline) override;
+  [[nodiscard]] TransportMeter& meter() noexcept override {
+    return inner_->meter();
   }
   [[nodiscard]] bool reachable(EndpointId id) const override;
 
@@ -92,6 +99,8 @@ class FaultyTransport final : public Transport {
 
   [[nodiscard]] Fate fate_of(const Frame& frame, std::uint32_t attempt,
                              std::uint32_t* delay_polls) const;
+  /// One virtual receive poll of the (from -> to) stream.
+  [[nodiscard]] std::optional<Frame> poll_once(EndpointId to, EndpointId from);
 
   std::unique_ptr<Transport> inner_;
   NetFaultConfig config_;

@@ -6,73 +6,41 @@ namespace debar::net {
 
 Status LoopbackTransport::register_endpoint(EndpointId id,
                                             sim::NicModel* nic) {
-  std::lock_guard lock(mutex_);
-  if (!nics_.emplace(id, nic).second) {
-    return {Errc::kInvalidArgument,
-            format("endpoint {} already registered", id)};
-  }
-  return Status::Ok();
+  return meter_.bind(id, nic);
 }
 
 Status LoopbackTransport::send(Frame frame) {
-  std::lock_guard lock(mutex_);
-  const auto from = nics_.find(frame.from);
-  if (from == nics_.end() || !nics_.contains(frame.to)) {
+  if (!meter_.bound(frame.from) || !meter_.bound(frame.to)) {
     return {Errc::kInvalidArgument,
             format("send {} -> {}: endpoint not registered", frame.from,
                    frame.to)};
   }
-  const std::uint64_t bytes = frame.bytes.size();
-  if (from->second != nullptr) from->second->transfer(bytes);
-  stats_.frames_sent += 1;
-  stats_.bytes_sent += bytes;
-  if (!frame.bytes.empty() && frame.bytes[0] < kMessageTypeCount) {
-    stats_.frames_by_type[frame.bytes[0]] += 1;
-    stats_.bytes_by_type[frame.bytes[0]] += bytes;
+  meter_.on_send(frame);
+  {
+    std::lock_guard lock(mutex_);
+    queues_[{frame.from, frame.to}].push_back(std::move(frame));
   }
-  queues_[{frame.from, frame.to}].push_back(std::move(frame));
+  delivered_.notify_all();
   return Status::Ok();
 }
 
-std::optional<Frame> LoopbackTransport::receive(EndpointId to,
-                                                EndpointId from) {
-  std::lock_guard lock(mutex_);
-  const auto queue = queues_.find({from, to});
-  if (queue == queues_.end() || queue->second.empty()) return std::nullopt;
-  Frame frame = std::move(queue->second.front());
-  queue->second.pop_front();
-  const auto nic = nics_.find(to);
-  if (nic != nics_.end() && nic->second != nullptr) {
-    nic->second->transfer(frame.bytes.size());
+std::optional<Frame> LoopbackTransport::receive(EndpointId to, EndpointId from,
+                                                const Deadline& deadline) {
+  std::unique_lock lock(mutex_);
+  auto& queue = queues_[{from, to}];
+  // Waiting is for threaded harnesses; a single-threaded caller's sender
+  // has already run, so an empty queue stays empty and the wait just
+  // expires. Zero-budget polls never touch the clock.
+  if (queue.empty() && deadline.budget() > std::chrono::nanoseconds::zero()) {
+    delivered_.wait_until(lock, deadline.expiry(),
+                          [&] { return !queue.empty(); });
   }
-  stats_.frames_delivered += 1;
-  stats_.bytes_delivered += frame.bytes.size();
+  if (queue.empty()) return std::nullopt;
+  Frame frame = std::move(queue.front());
+  queue.pop_front();
+  lock.unlock();
+  meter_.on_deliver(to, frame.bytes.size());
   return frame;
-}
-
-void LoopbackTransport::meter_send(EndpointId from, std::uint64_t bytes) {
-  std::lock_guard lock(mutex_);
-  const auto nic = nics_.find(from);
-  if (nic != nics_.end() && nic->second != nullptr) {
-    nic->second->transfer(bytes);
-  }
-  stats_.frames_sent += 1;
-  stats_.bytes_sent += bytes;
-}
-
-void LoopbackTransport::meter_receive(EndpointId to, std::uint64_t bytes) {
-  std::lock_guard lock(mutex_);
-  const auto nic = nics_.find(to);
-  if (nic != nics_.end() && nic->second != nullptr) {
-    nic->second->transfer(bytes);
-  }
-  stats_.frames_delivered += 1;
-  stats_.bytes_delivered += bytes;
-}
-
-TransportStats LoopbackTransport::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
 }
 
 }  // namespace debar::net

@@ -3,49 +3,41 @@
 // receiver's NIC at receive() — the same accounting windows the cluster
 // phases measured when wire costs were hand-computed, now driven by the
 // actual serialized frame sizes.
+//
+// receive() honors the deadline both ways: in a single-threaded harness
+// the queues are either populated or will never be, so an empty queue
+// returns immediately once the budget is spent; in a threaded harness
+// (one thread per cluster node, as debar_clusterd runs it) a receive
+// genuinely blocks on the condition variable until a sender delivers or
+// the wall-clock expiry passes.
 #pragma once
 
-#include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <mutex>
-#include <unordered_map>
 
 #include "net/transport.hpp"
 
 namespace debar::net {
-
-/// Cumulative transmission counters, by message type where the frame's
-/// leading envelope byte identifies one.
-struct TransportStats {
-  std::uint64_t frames_sent = 0;
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t frames_delivered = 0;
-  std::uint64_t bytes_delivered = 0;
-  std::array<std::uint64_t, kMessageTypeCount> frames_by_type{};
-  std::array<std::uint64_t, kMessageTypeCount> bytes_by_type{};
-};
 
 class LoopbackTransport final : public Transport {
  public:
   [[nodiscard]] Status register_endpoint(EndpointId id,
                                          sim::NicModel* nic) override;
   [[nodiscard]] Status send(Frame frame) override;
-  [[nodiscard]] std::optional<Frame> receive(EndpointId to,
-                                             EndpointId from) override;
-  void meter_send(EndpointId from, std::uint64_t bytes) override;
-  void meter_receive(EndpointId to, std::uint64_t bytes) override;
-
-  [[nodiscard]] TransportStats stats() const;
+  [[nodiscard]] std::optional<Frame> receive(EndpointId to, EndpointId from,
+                                             const Deadline& deadline) override;
+  [[nodiscard]] TransportMeter& meter() noexcept override { return meter_; }
 
  private:
   using Key = std::pair<EndpointId, EndpointId>;  // (from, to)
 
+  TransportMeter meter_;
   mutable std::mutex mutex_;
-  std::unordered_map<EndpointId, sim::NicModel*> nics_;
+  std::condition_variable delivered_;
   std::map<Key, std::deque<Frame>> queues_;
-  TransportStats stats_;
 };
 
 }  // namespace debar::net

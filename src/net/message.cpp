@@ -48,6 +48,11 @@ void write_payload(ByteWriter& w, const ChunkData& m) {
   w.bytes(ByteSpan(m.bytes.data(), m.bytes.size()));
 }
 
+void write_payload(ByteWriter& w, const Control& m) {
+  w.u32(m.op);
+  w.u64(m.arg);
+}
+
 std::size_t payload_bytes(const FingerprintBatch& m) noexcept {
   return 4 + m.fps.size() * FingerprintBatch::kPerFingerprint;
 }
@@ -80,6 +85,8 @@ std::size_t payload_bytes(const ChunkLocateReply&) noexcept {
 std::size_t payload_bytes(const ChunkData& m) noexcept {
   return Fingerprint::kSize + 4 + m.bytes.size();
 }
+
+std::size_t payload_bytes(const Control&) noexcept { return 4 + 8; }
 
 /// Guard a declared element count against the bytes actually present, so
 /// corrupt counts can't drive huge reserve() calls.
@@ -158,6 +165,12 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
       const ByteSpan data = r.view(count);
       m.bytes.assign(data.begin(), data.end());
       return Message{std::move(m)};
+    }
+    case MessageType::kControl: {
+      Control m;
+      m.op = r.u32();
+      m.arg = r.u64();
+      return Message{m};
     }
   }
   return Error{Errc::kCorrupt,

@@ -41,10 +41,11 @@ enum class MessageType : std::uint8_t {
   kChunkLocateRequest = 4,  // restore: which container holds this chunk?
   kChunkLocateReply = 5,    // restore: owner's answer
   kChunkData = 6,           // restore: chunk payload to the client
+  kControl = 7,             // cluster runner coordination (e.g. shutdown)
 };
 
 /// One past the highest MessageType value, for per-type stat arrays.
-inline constexpr std::size_t kMessageTypeCount = 7;
+inline constexpr std::size_t kMessageTypeCount = 8;
 
 /// Fixed envelope bytes prepended to every payload.
 inline constexpr std::size_t kEnvelopeSize = 1 + 4 + 4 + 4 + 4;
@@ -124,8 +125,25 @@ struct ChunkData {
   friend bool operator==(const ChunkData&, const ChunkData&) = default;
 };
 
+/// Cluster-runner coordination, outside the dedup/restore protocol proper:
+/// debar_clusterd uses it to tell peer processes a round is over (their
+/// serve loops may exit) without killing them mid-write.
+struct Control {
+  static constexpr MessageType kType = MessageType::kControl;
+
+  enum Op : std::uint32_t {
+    kShutdown = 1,  // stop serving and exit cleanly
+  };
+
+  std::uint32_t op = kShutdown;
+  std::uint64_t arg = 0;
+
+  friend bool operator==(const Control&, const Control&) = default;
+};
+
 using Message = std::variant<FingerprintBatch, VerdictBatch, IndexEntryBatch,
-                             ChunkLocateRequest, ChunkLocateReply, ChunkData>;
+                             ChunkLocateRequest, ChunkLocateReply, ChunkData,
+                             Control>;
 
 [[nodiscard]] MessageType type_of(const Message& msg) noexcept;
 

@@ -1,0 +1,52 @@
+#include "net/meter.hpp"
+
+#include "common/fmt.hpp"
+#include "net/transport.hpp"
+
+namespace debar::net {
+
+Status TransportMeter::bind(EndpointId id, sim::NicModel* nic) {
+  std::lock_guard lock(mutex_);
+  if (!nics_.emplace(id, nic).second) {
+    return {Errc::kInvalidArgument,
+            format("endpoint {} already registered", id)};
+  }
+  return Status::Ok();
+}
+
+bool TransportMeter::bound(EndpointId id) const {
+  std::lock_guard lock(mutex_);
+  return nics_.contains(id);
+}
+
+void TransportMeter::on_send(const Frame& frame) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t bytes = frame.bytes.size();
+  const auto nic = nics_.find(frame.from);
+  if (nic != nics_.end() && nic->second != nullptr) {
+    nic->second->transfer(bytes);
+  }
+  stats_.frames_sent += 1;
+  stats_.bytes_sent += bytes;
+  if (!frame.bytes.empty() && frame.bytes[0] < kMessageTypeCount) {
+    stats_.frames_by_type[frame.bytes[0]] += 1;
+    stats_.bytes_by_type[frame.bytes[0]] += bytes;
+  }
+}
+
+void TransportMeter::on_deliver(EndpointId to, std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  const auto nic = nics_.find(to);
+  if (nic != nics_.end() && nic->second != nullptr) {
+    nic->second->transfer(bytes);
+  }
+  stats_.frames_delivered += 1;
+  stats_.bytes_delivered += bytes;
+}
+
+TransportStats TransportMeter::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace debar::net

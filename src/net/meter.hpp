@@ -1,0 +1,62 @@
+// TransportMeter: the single wire-accounting ledger of a transport stack.
+//
+// Exactly one meter exists per stack — decorators reach the base
+// transport's meter through Transport::meter() instead of re-implementing
+// metering hooks — so a frame is charged once no matter how many layers
+// (fault injection, sockets, loopback) handle it. The meter charges the
+// sender's sim::NicModel when a transmission leaves and the receiver's
+// when a delivery completes, and accumulates the per-type TransportStats
+// the benches read.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.hpp"
+#include "net/message.hpp"
+#include "sim/nic_model.hpp"
+
+namespace debar::net {
+
+struct Frame;
+
+/// Cumulative transmission counters, by message type where the frame's
+/// leading envelope byte identifies one. "Sent" counts every transmission
+/// that burnt the sender's wire (including dropped and duplicated ones);
+/// "delivered" counts every arrival that burnt the receiver's.
+struct TransportStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::array<std::uint64_t, kMessageTypeCount> frames_by_type{};
+  std::array<std::uint64_t, kMessageTypeCount> bytes_by_type{};
+};
+
+class TransportMeter {
+ public:
+  /// Attach `id`'s NIC model (may be null: a client endpoint with no
+  /// modeled wire). kInvalidArgument if `id` is already bound.
+  [[nodiscard]] Status bind(EndpointId id, sim::NicModel* nic);
+
+  /// Whether `id` was bound (with or without a NIC).
+  [[nodiscard]] bool bound(EndpointId id) const;
+
+  /// One transmission of `frame` left `frame.from`'s wire. Charged per
+  /// attempt: a dropped or duplicated transmission still burnt the wire.
+  void on_send(const Frame& frame);
+
+  /// `bytes` of a delivery arrived at `to`'s wire.
+  void on_deliver(EndpointId to, std::uint64_t bytes);
+
+  [[nodiscard]] TransportStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<EndpointId, sim::NicModel*> nics_;
+  TransportStats stats_;
+};
+
+}  // namespace debar::net

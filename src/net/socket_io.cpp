@@ -1,0 +1,233 @@
+#include "net/socket_io.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fmt.hpp"
+
+namespace debar::net::io {
+
+namespace {
+
+/// Remaining deadline budget as a poll(2) timeout in ms; -1 never, 0 now.
+int poll_timeout_ms(const Deadline& deadline) {
+  const auto remaining = deadline.expiry() - std::chrono::steady_clock::now();
+  if (remaining <= std::chrono::nanoseconds::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+          .count();
+  // Round up so a sub-millisecond remainder still waits one tick instead
+  // of spinning.
+  return static_cast<int>(ms) + 1;
+}
+
+Status wait_for(int fd, short events, const Deadline& deadline,
+                const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int timeout = poll_timeout_ms(deadline);
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return Status::Ok();
+    if (rc == 0) {
+      return {Errc::kUnavailable, format("{}: deadline expired", what)};
+    }
+    if (errno == EINTR) continue;
+    return {Errc::kIoError,
+            format("{}: poll failed: {}", what, std::strerror(errno))};
+  }
+}
+
+Status set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return {Errc::kIoError, "fcntl(F_GETFL) failed"};
+  const int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) {
+    return {Errc::kIoError, "fcntl(F_SETFL) failed"};
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status read_full(int fd, Byte* buf, std::size_t n, const Deadline& deadline) {
+  std::size_t done = 0;
+  while (done < n) {
+    // Wait for readiness first: on a blocking fd, ::read alone would
+    // ignore the deadline entirely (EAGAIN never fires), and a silent
+    // peer would wedge the caller forever.
+    if (Status ready = wait_readable(fd, deadline); !ready.ok()) {
+      return ready;
+    }
+    const ssize_t rc = ::read(fd, buf + done, n - done);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      return {Errc::kUnavailable,
+              format("read: peer closed after {} of {} bytes", done, n)};
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (Status ready = wait_readable(fd, deadline); !ready.ok()) {
+        return ready;
+      }
+      continue;
+    }
+    if (errno == ECONNRESET) {
+      return {Errc::kUnavailable,
+              format("read: connection reset after {} of {} bytes", done, n)};
+    }
+    return {Errc::kIoError, format("read failed: {}", std::strerror(errno))};
+  }
+  return Status::Ok();
+}
+
+Status write_full(int fd, const Byte* buf, std::size_t n,
+                  const Deadline& deadline) {
+  std::size_t done = 0;
+  while (done < n) {
+    // Same readiness-first discipline as read_full: a full socket buffer
+    // on a blocking fd must time out, not block past the deadline.
+    if (Status ready = wait_for(fd, POLLOUT, deadline, "write"); !ready.ok()) {
+      return ready;
+    }
+    const ssize_t rc = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Status ready = wait_for(fd, POLLOUT, deadline, "write"); !ready.ok()) {
+        return ready;
+      }
+      continue;
+    }
+    if (rc < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return {Errc::kUnavailable,
+              format("write: connection lost after {} of {} bytes", done, n)};
+    }
+    return {Errc::kIoError, format("write failed: {}", std::strerror(errno))};
+  }
+  return Status::Ok();
+}
+
+Status wait_readable(int fd, const Deadline& deadline) {
+  return wait_for(fd, POLLIN, deadline, "receive");
+}
+
+Result<int> connect_tcp(const std::string& host, std::uint16_t port,
+                        const Deadline& deadline) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Resolve a name (e.g. "localhost"); numeric addresses skip this.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      return Error{Errc::kInvalidArgument,
+                   format("cannot resolve host '{}'", host)};
+    }
+    addr.sin_addr =
+        reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{Errc::kIoError,
+                 format("socket failed: {}", std::strerror(errno))};
+  }
+  auto fail = [&](Error e) {
+    ::close(fd);
+    return Result<int>(std::move(e));
+  };
+  if (Status nb = set_nonblocking(fd, true); !nb.ok()) {
+    return fail({nb.code(), nb.message()});
+  }
+
+  const int rc =
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS && errno != EINTR) {
+    return fail({Errc::kUnavailable,
+                 format("connect {}:{} failed: {}", host, port,
+                        std::strerror(errno))});
+  }
+  if (rc != 0) {
+    if (Status ready = wait_for(fd, POLLOUT, deadline, "connect");
+        !ready.ok()) {
+      return fail({ready.code(),
+                   format("connect {}:{}: {}", host, port, ready.message())});
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return fail({Errc::kUnavailable,
+                   format("connect {}:{} failed: {}", host, port,
+                          std::strerror(err != 0 ? err : errno))});
+    }
+  }
+  if (Status nb = set_nonblocking(fd, false); !nb.ok()) {
+    return fail({nb.code(), nb.message()});
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Result<int> listen_tcp(const std::string& host, std::uint16_t port,
+                       std::uint16_t* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{Errc::kIoError,
+                 format("socket failed: {}", std::strerror(errno))};
+  }
+  auto fail = [&](Error e) {
+    ::close(fd);
+    return Result<int>(std::move(e));
+  };
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail({Errc::kUnavailable,
+                 format("bind port {} failed: {}", port,
+                        std::strerror(errno))});
+  }
+  if (::listen(fd, 16) != 0) {
+    return fail({Errc::kIoError,
+                 format("listen failed: {}", std::strerror(errno))});
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+      return fail({Errc::kIoError, "getsockname failed"});
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+}  // namespace debar::net::io

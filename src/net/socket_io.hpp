@@ -1,0 +1,54 @@
+// Deadline-aware POSIX I/O primitives for the socket transport.
+//
+// Every helper owns the three classic sharp edges so the transport logic
+// above them never sees a torn operation:
+//   * EINTR        interrupted syscalls are retried with the remaining
+//                  deadline budget;
+//   * short I/O    read_full / write_full loop until the full byte count
+//                  moved (TCP is a byte stream; a frame rarely arrives or
+//                  departs in one syscall);
+//   * deadlines    each wait is bounded by poll(2) against the caller's
+//                  Deadline, so a dead peer costs bounded time, never a
+//                  wedged thread.
+//
+// All functions return Status; kUnavailable covers timeouts, resets and
+// EOF (the caller treats the peer as gone and may reconnect), kIoError
+// covers everything else.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "net/transport.hpp"
+
+namespace debar::net::io {
+
+/// Read exactly `n` bytes into `buf`, handling EINTR, short reads, and
+/// the deadline. kUnavailable on EOF / reset / deadline expiry.
+[[nodiscard]] Status read_full(int fd, Byte* buf, std::size_t n,
+                               const Deadline& deadline);
+
+/// Write exactly `n` bytes from `buf`, handling EINTR, short writes, and
+/// the deadline. kUnavailable on EPIPE / reset / deadline expiry.
+[[nodiscard]] Status write_full(int fd, const Byte* buf, std::size_t n,
+                                const Deadline& deadline);
+
+/// Block until `fd` is readable or the deadline expires (kUnavailable).
+[[nodiscard]] Status wait_readable(int fd, const Deadline& deadline);
+
+/// Connect a fresh non-blocking TCP socket to host:port within the
+/// deadline. Returns the connected fd (blocking mode restored).
+[[nodiscard]] Result<int> connect_tcp(const std::string& host,
+                                      std::uint16_t port,
+                                      const Deadline& deadline);
+
+/// Bind + listen on 127.0.0.1-or-any `host` at `port` (0 = ephemeral).
+/// Returns the listening fd; `bound_port` receives the actual port.
+[[nodiscard]] Result<int> listen_tcp(const std::string& host,
+                                     std::uint16_t port,
+                                     std::uint16_t* bound_port);
+
+}  // namespace debar::net::io

@@ -1,0 +1,73 @@
+// TransportFactory: how a cluster (or bench, or runner) selects its wire.
+//
+// Replaces the old ClusterConfig::transport_decorator closure — instead of
+// a lambda that wraps a loopback the cluster has already chosen, the
+// factory owns the whole selection: loopback for in-process runs, faulty
+// (over loopback) for fault-schedule tests, sockets for cross-process
+// clusters. One interface, so every harness configures the network the
+// same way.
+#pragma once
+
+#include <memory>
+
+#include "net/address.hpp"
+#include "net/faulty_transport.hpp"
+#include "net/loopback_transport.hpp"
+#include "net/socket_transport.hpp"
+
+namespace debar::net {
+
+class TransportFactory {
+ public:
+  virtual ~TransportFactory() = default;
+
+  /// Build one transport stack. Each call is an independent network.
+  [[nodiscard]] virtual std::unique_ptr<Transport> create() = 0;
+};
+
+/// In-process FIFO queues; the default.
+class LoopbackTransportFactory final : public TransportFactory {
+ public:
+  [[nodiscard]] std::unique_ptr<Transport> create() override {
+    return std::make_unique<LoopbackTransport>();
+  }
+};
+
+/// Seeded fault injection over a fresh loopback.
+class FaultyTransportFactory final : public TransportFactory {
+ public:
+  explicit FaultyTransportFactory(NetFaultConfig config) : config_(config) {}
+
+  [[nodiscard]] std::unique_ptr<Transport> create() override {
+    auto faulty = std::make_unique<FaultyTransport>(
+        std::make_unique<LoopbackTransport>(), config_);
+    last_ = faulty.get();
+    return faulty;
+  }
+
+  /// The most recently created decorator, for tests that script
+  /// unreachability mid-run. Owned by whoever called create().
+  [[nodiscard]] FaultyTransport* last() const noexcept { return last_; }
+
+ private:
+  NetFaultConfig config_;
+  FaultyTransport* last_ = nullptr;
+};
+
+/// Real TCP behind the same interface.
+class SocketTransportFactory final : public TransportFactory {
+ public:
+  explicit SocketTransportFactory(AddressMap addresses,
+                                  SocketOptions options = {})
+      : addresses_(std::move(addresses)), options_(options) {}
+
+  [[nodiscard]] std::unique_ptr<Transport> create() override {
+    return std::make_unique<SocketTransport>(addresses_, options_);
+  }
+
+ private:
+  AddressMap addresses_;
+  SocketOptions options_;
+};
+
+}  // namespace debar::net

@@ -10,6 +10,7 @@
 #include "common/sha1.hpp"
 #include "core/cluster.hpp"
 #include "net/faulty_transport.hpp"
+#include "net/transport_factory.hpp"
 
 namespace debar::core {
 namespace {
@@ -17,7 +18,7 @@ namespace {
 Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
 
 struct FaultyCluster {
-  net::FaultyTransport* faulty = nullptr;
+  net::FaultyTransport* faulty = nullptr;  // owned by the cluster's stack
   std::unique_ptr<Cluster> cluster;
 
   explicit FaultyCluster(net::NetFaultConfig faults, unsigned w = 1) {
@@ -31,13 +32,10 @@ struct FaultyCluster {
                                                   .capacity = 1000000};
     cfg.server_config.chunk_store.io_buckets = 8;
     cfg.server_config.chunk_store.siu_threshold = 1;
-    cfg.transport_decorator = [&](std::unique_ptr<net::Transport> inner) {
-      auto decorated =
-          std::make_unique<net::FaultyTransport>(std::move(inner), faults);
-      faulty = decorated.get();
-      return decorated;
-    };
+    auto factory = std::make_shared<net::FaultyTransportFactory>(faults);
+    cfg.transport_factory = factory;
     cluster = std::make_unique<Cluster>(std::move(cfg));
+    faulty = factory->last();
   }
 };
 

@@ -9,6 +9,7 @@
 #include "common/sha1.hpp"
 #include "core/cluster.hpp"
 #include "net/faulty_transport.hpp"
+#include "net/transport_factory.hpp"
 
 namespace debar::core {
 namespace {
@@ -117,16 +118,15 @@ TEST(ClusterTransportEquivalenceTest, RecoverableFaultsDoNotChangeResults) {
   ClusterConfig cfg = small_cluster(2);
   // Generous retry budget: with drop^attempts ~ 1e-5 per message and a
   // seeded fate schedule, every exchange eventually lands.
-  cfg.retry = {.max_attempts = 6, .max_polls = 6};
-  cfg.transport_decorator = [](std::unique_ptr<net::Transport> inner) {
-    net::NetFaultConfig faults;
-    faults.seed = 0xF00D;
-    faults.drop_rate = 0.15;
-    faults.duplicate_rate = 0.15;
-    faults.delay_rate = 0.15;
-    faults.max_delay_polls = 2;
-    return std::make_unique<net::FaultyTransport>(std::move(inner), faults);
-  };
+  cfg.retry = {.max_attempts = 6,
+               .receive_timeout = 6 * net::kVirtualPollQuantum};
+  net::NetFaultConfig faults;
+  faults.seed = 0xF00D;
+  faults.drop_rate = 0.15;
+  faults.duplicate_rate = 0.15;
+  faults.delay_rate = 0.15;
+  faults.max_delay_polls = 2;
+  cfg.transport_factory = std::make_shared<net::FaultyTransportFactory>(faults);
   const Outcome faulty = run_workload(std::move(cfg));
 
   EXPECT_EQ(faulty, clean);

@@ -1,0 +1,78 @@
+// The tentpole acceptance test: debar_clusterd run as one process with
+// threads (loopback transport) and as real OS processes over TCP
+// (socket transport) must leave byte-identical state behind — disk
+// indexes, chunk repository logs, and the round/restore summary — at
+// both routing widths. The binary's path is injected by CMake as
+// DEBAR_CLUSTERD_PATH; `ctest -L net-socket`.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<char> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("clusterd-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void run_clusterd(const std::string& transport, unsigned w,
+                  const fs::path& dir) {
+  const std::string cmd = std::string(DEBAR_CLUSTERD_PATH) +
+                          " --transport=" + transport +
+                          " --w=" + std::to_string(w) + " --dir=" +
+                          dir.string() + " >/dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0)
+      << transport << " w=" << w << " run failed";
+}
+
+void expect_identical_trees(const fs::path& loopback, const fs::path& socket,
+                            unsigned w) {
+  // Every node's on-disk index, both repository node logs, and the
+  // human-readable summary — compared byte for byte.
+  std::vector<fs::path> files;
+  for (unsigned k = 0; k < (1u << w); ++k) {
+    files.push_back(fs::path("node" + std::to_string(k)) / "index.bin");
+  }
+  files.push_back(fs::path("repo") / "node0.log");
+  files.push_back(fs::path("repo") / "node1.log");
+  files.push_back("summary.txt");
+  for (const fs::path& rel : files) {
+    const std::vector<char> a = slurp(loopback / rel);
+    const std::vector<char> b = slurp(socket / rel);
+    EXPECT_FALSE(a.empty()) << rel;
+    EXPECT_EQ(a, b) << rel << " differs between loopback and socket runs";
+  }
+}
+
+class SocketClusterDifferentialTest : public testing::TestWithParam<unsigned> {
+};
+
+TEST_P(SocketClusterDifferentialTest, SocketRunMatchesLoopbackByteForByte) {
+  const unsigned w = GetParam();
+  const fs::path loopback = fresh_dir("loop-w" + std::to_string(w));
+  const fs::path socket = fresh_dir("sock-w" + std::to_string(w));
+  run_clusterd("loopback", w, loopback);
+  run_clusterd("socket", w, socket);
+  expect_identical_trees(loopback, socket, w);
+  fs::remove_all(loopback);
+  fs::remove_all(socket);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SocketClusterDifferentialTest,
+                         testing::Values(1u, 2u));
+
+}  // namespace

@@ -1,9 +1,12 @@
 // Loopback transport metering and the fault decorator's seeded behavior:
 // every transmission charges both NICs at its serialized size, FIFO order
 // holds per stream, and fault fates reproduce from the seed alone.
+// Receives take a Deadline; virtual transports convert its budget into
+// polls, so these tests never wait on the wall clock.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <thread>
 
 #include "common/sha1.hpp"
 #include "net/endpoint.hpp"
@@ -31,6 +34,14 @@ Frame make_frame(EndpointId from, EndpointId to, std::uint32_t seq,
   return Frame{from, to, seq, encode(from, to, seq, Message{batch})};
 }
 
+TEST(DeadlineTest, BudgetConvertsToPolls) {
+  EXPECT_EQ(Deadline::poll().polls(), 1);  // zero budget still tries once
+  EXPECT_EQ(Deadline::for_polls(4).polls(), 4);
+  EXPECT_EQ(Deadline::for_polls(4).budget(), 4 * kVirtualPollQuantum);
+  EXPECT_EQ(Deadline::after(kVirtualPollQuantum / 2).polls(), 1);
+  EXPECT_FALSE(Deadline::after(std::chrono::seconds(10)).expired());
+}
+
 TEST(LoopbackTransportTest, MetersSenderAtSendAndReceiverAtReceive) {
   LoopbackTransport transport;
   Harness h;
@@ -42,12 +53,12 @@ TEST(LoopbackTransportTest, MetersSenderAtSendAndReceiverAtReceive) {
   EXPECT_EQ(h.nic0.bytes_transferred(), size);
   EXPECT_EQ(h.nic1.bytes_transferred(), 0u);  // not delivered yet
 
-  std::optional<Frame> got = transport.receive(1, 0);
+  std::optional<Frame> got = transport.receive(1, 0, Deadline::poll());
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(got->bytes, frame.bytes);
   EXPECT_EQ(h.nic1.bytes_transferred(), size);
 
-  const TransportStats stats = transport.stats();
+  const TransportStats stats = transport.meter().stats();
   EXPECT_EQ(stats.frames_sent, 1u);
   EXPECT_EQ(stats.bytes_sent, size);
   EXPECT_EQ(stats.frames_delivered, 1u);
@@ -66,10 +77,25 @@ TEST(LoopbackTransportTest, StreamsAreFifoAndIndependent) {
   ASSERT_TRUE(transport.send(make_frame(0, 1, 1, 2)).ok());
   ASSERT_TRUE(transport.send(make_frame(1, 0, 0, 3)).ok());
 
-  EXPECT_EQ(transport.receive(1, 0)->seq, 0u);
-  EXPECT_EQ(transport.receive(1, 0)->seq, 1u);
-  EXPECT_FALSE(transport.receive(1, 0).has_value());
-  EXPECT_EQ(transport.receive(0, 1)->seq, 0u);
+  EXPECT_EQ(transport.receive(1, 0, Deadline::poll())->seq, 0u);
+  EXPECT_EQ(transport.receive(1, 0, Deadline::poll())->seq, 1u);
+  EXPECT_FALSE(transport.receive(1, 0, Deadline::poll()).has_value());
+  EXPECT_EQ(transport.receive(0, 1, Deadline::poll())->seq, 0u);
+}
+
+TEST(LoopbackTransportTest, BlockingReceiveWakesOnConcurrentSend) {
+  // The deadline's wall-clock side: a threaded harness (debar_clusterd's
+  // loopback vessel) genuinely blocks until a sender delivers.
+  LoopbackTransport transport;
+  Harness h;
+  h.register_on(transport);
+
+  std::thread sender([&] { ASSERT_TRUE(transport.send(make_frame(0, 1, 0, 9)).ok()); });
+  std::optional<Frame> got =
+      transport.receive(1, 0, Deadline::after(std::chrono::seconds(10)));
+  sender.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seq, 0u);
 }
 
 TEST(LoopbackTransportTest, RejectsUnknownAndDuplicateEndpoints) {
@@ -91,9 +117,9 @@ TEST(EndpointTest, DiscardsDuplicateDeliveriesBySequence) {
   ASSERT_TRUE(transport.send(frame).ok());
   ASSERT_TRUE(transport.send(frame).ok());  // duplicated delivery
 
-  EXPECT_TRUE(receiver.receive_from(0).has_value());
+  EXPECT_TRUE(receiver.receive_from(0, Deadline::poll()).has_value());
   // The second copy crossed the wire but must not surface again.
-  EXPECT_FALSE(receiver.receive_from(0).has_value());
+  EXPECT_FALSE(receiver.receive_from(0, Deadline::poll()).has_value());
 }
 
 TEST(EndpointTest, TypedExpectRejectsWrongMessageType) {
@@ -104,11 +130,13 @@ TEST(EndpointTest, TypedExpectRejectsWrongMessageType) {
   Endpoint receiver(&transport, 1);
 
   ASSERT_TRUE(sender.send(1, Message{FingerprintBatch{}}).ok());
-  Result<IndexEntryBatch> wrong = receiver.expect<IndexEntryBatch>(0);
+  Result<IndexEntryBatch> wrong =
+      receiver.expect<IndexEntryBatch>(0, Deadline::poll());
   ASSERT_FALSE(wrong.ok());
   EXPECT_EQ(wrong.error().code, Errc::kCorrupt);
 
-  Result<FingerprintBatch> nothing = receiver.expect<FingerprintBatch>(0);
+  Result<FingerprintBatch> nothing =
+      receiver.expect<FingerprintBatch>(0, Deadline::poll());
   ASSERT_FALSE(nothing.ok());
   EXPECT_EQ(nothing.error().code, Errc::kUnavailable);
 }
@@ -141,6 +169,54 @@ TEST(FaultyTransportTest, DropsAreMeteredAndRetriesRedeliver) {
   EXPECT_GT(h.nic0.bytes_transferred(), clean);
 }
 
+TEST(FaultyTransportTest, MeterChargesSerializedSizeOncePerTransmission) {
+  // The single-meter regression (the decorator forwards to the base
+  // transport's meter instead of keeping hooks of its own): under drop,
+  // duplicate, AND delay faults, every counter must stay an exact
+  // multiple of the one serialized frame size in play, the per-type
+  // ledger must agree with the totals, and the NICs must agree with the
+  // meter. A double-metering decorator fails every one of these.
+  NetFaultConfig cfg{.seed = 0xACC7,
+                     .drop_rate = 0.25,
+                     .duplicate_rate = 0.25,
+                     .delay_rate = 0.25,
+                     .max_delay_polls = 2};
+  FaultyTransport transport(std::make_unique<LoopbackTransport>(), cfg);
+  Harness h;
+  h.register_on(transport);
+  Endpoint sender(&transport, 0, {.max_attempts = 16});
+  Endpoint receiver(&transport, 1);
+
+  const std::uint64_t size = wire_bytes(Message{FingerprintBatch{
+      .fps = {Sha1::hash_counter(0)}}});
+  constexpr std::uint64_t kMessages = 64;
+  std::uint64_t received = 0;
+  for (std::uint64_t i = 0; i < kMessages; ++i) {
+    FingerprintBatch batch;
+    batch.fps.push_back(Sha1::hash_counter(i));
+    ASSERT_TRUE(sender.send(1, Message{batch}).ok());
+    if (receiver.receive_from(0).has_value()) ++received;
+  }
+  EXPECT_EQ(received, kMessages);
+
+  const TransportStats stats = transport.meter().stats();
+  const auto type = static_cast<std::size_t>(MessageType::kFingerprintBatch);
+  // Sent side: one charge of exactly `size` per transmission — clean,
+  // dropped, duplicated or delayed alike.
+  EXPECT_EQ(stats.bytes_sent, stats.frames_sent * size);
+  EXPECT_EQ(stats.frames_by_type[type], stats.frames_sent);
+  EXPECT_EQ(stats.bytes_by_type[type], stats.bytes_sent);
+  EXPECT_GE(stats.frames_sent, kMessages);  // retries and duplicates add wire
+  // Delivered side: every arrival charged once. A duplicated frame is
+  // charged once at send but meters both copies at delivery, so the
+  // delivered count may legitimately exceed the sent count.
+  EXPECT_EQ(stats.bytes_delivered, stats.frames_delivered * size);
+  EXPECT_GE(stats.frames_delivered, kMessages);
+  // The NIC models and the meter are the same account.
+  EXPECT_EQ(h.nic0.bytes_transferred(), stats.bytes_sent);
+  EXPECT_EQ(h.nic1.bytes_transferred(), stats.bytes_delivered);
+}
+
 TEST(FaultyTransportTest, FatesAreDeterministicAcrossRuns) {
   auto run = [](std::uint64_t seed) {
     NetFaultConfig cfg{.seed = seed,
@@ -165,22 +241,23 @@ TEST(FaultyTransportTest, DelayedFramesArriveWithinMaxPolls) {
   FaultyTransport transport(std::make_unique<LoopbackTransport>(), cfg);
   Harness h;
   h.register_on(transport);
-  Endpoint sender(&transport, 0, {.max_polls = 4});
-  Endpoint receiver(&transport, 1, {.max_polls = 4});
+  Endpoint sender(&transport, 0);
+  Endpoint receiver(&transport, 1);
 
   ASSERT_TRUE(sender.send(1, Message{FingerprintBatch{}}).ok());
   // The raw transport withholds the frame for its drawn delay, but never
-  // longer than max_delay_polls receive polls.
+  // longer than max_delay_polls single-poll receives.
   int polls = 0;
   std::optional<Frame> frame;
   while (!frame.has_value() && polls < 5) {
-    frame = transport.receive(1, 0);
+    frame = transport.receive(1, 0, Deadline::poll());
     ++polls;
   }
   ASSERT_TRUE(frame.has_value());
   EXPECT_LE(polls, static_cast<int>(cfg.max_delay_polls));
 
-  // The endpoint's poll budget absorbs the delay transparently.
+  // The endpoint's receive budget absorbs the delay transparently (the
+  // default receive_timeout converts to four virtual polls).
   ASSERT_TRUE(sender.send(1, Message{FingerprintBatch{}}).ok());
   EXPECT_TRUE(receiver.receive_from(0).has_value());
 }
