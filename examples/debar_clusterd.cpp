@@ -142,6 +142,37 @@ bool open_file_repo(const fs::path& dir, NodeState& st) {
   return true;
 }
 
+/// With two or more nodes every node also hosts the backup copy of
+/// partition (k - 1) mod n (DESIGN.md §5g), file-backed next to the
+/// primary as replica.bin. Same idiom as the primary: attach a RAM-backed
+/// replica, then swap in the file-backed image.
+bool attach_file_replica(const fs::path& node_dir, std::size_t k, unsigned w,
+                         NodeState& st) {
+  const std::size_t n = std::size_t{1} << w;
+  if (n < 2) return true;
+  if (Status attached = st.server->attach_replica(core::replica_part_of(k, n));
+      !attached.ok()) {
+    std::fprintf(stderr, "replica attach: %s\n",
+                 attached.message().c_str());
+    return false;
+  }
+  auto device = storage::FileBlockDevice::open(node_dir / "replica.bin");
+  if (!device.ok()) {
+    std::fprintf(stderr, "replica device: %s\n",
+                 device.error().to_string().c_str());
+    return false;
+  }
+  auto idx = index::DiskIndex::create(std::move(device).value(),
+                                      st.server->config().index_params);
+  if (!idx.ok()) {
+    std::fprintf(stderr, "replica create: %s\n",
+                 idx.error().to_string().c_str());
+    return false;
+  }
+  st.server->replica().index() = std::move(idx).value();
+  return true;
+}
+
 bool bring_up_node(const fs::path& dir, std::size_t k, unsigned w,
                    NodeState& st) {
   if (k == 0) {
@@ -170,7 +201,7 @@ bool bring_up_node(const fs::path& dir, std::size_t k, unsigned w,
     return false;
   }
   st.server->chunk_store().index() = std::move(idx).value();
-  return true;
+  return attach_file_replica(node_dir, k, w, st);
 }
 
 /// Loopback clusterd shares one repository across its node threads; the
@@ -188,7 +219,7 @@ bool bring_up_node_shared_repo(const fs::path& dir, std::size_t k, unsigned w,
                                       st.server->config().index_params);
   if (!idx.ok()) return false;
   st.server->chunk_store().index() = std::move(idx).value();
-  return true;
+  return attach_file_replica(node_dir, k, w, st);
 }
 
 void ingest(core::FileStore& fs_store, std::uint64_t job, std::uint64_t first,

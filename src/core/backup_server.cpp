@@ -58,6 +58,20 @@ BackupServer::BackupServer(std::size_t server_id,
       });
 }
 
+Status BackupServer::attach_replica(std::size_t part) {
+  Result<index::DiskIndex> idx = index::DiskIndex::create(
+      mint_device(config_.index_device_factory, &index_model_),
+      config_.index_params);
+  if (!idx.ok()) return {idx.error().code, idx.error().message};
+  replica_ = std::make_unique<IndexPartReplica>(
+      part, std::move(idx).value(), config_.chunk_store.io_buckets,
+      config_.chunk_store.siu_threshold,
+      [factory = config_.index_device_factory, model = &index_model_] {
+        return mint_device(factory, model);
+      });
+  return Status::Ok();
+}
+
 Result<Dedup2Result> BackupServer::run_dedup2(bool force_siu) {
   Dedup2Result result;
   std::vector<Fingerprint> undetermined = file_store_->take_undetermined();

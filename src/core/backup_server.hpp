@@ -11,6 +11,7 @@
 #include "core/chunk_store.hpp"
 #include "core/director.hpp"
 #include "core/file_store.hpp"
+#include "core/index_replica.hpp"
 #include "filter/preliminary_filter.hpp"
 #include "index/disk_index.hpp"
 #include "net/endpoint.hpp"
@@ -99,6 +100,19 @@ class BackupServer {
   }
   [[nodiscard]] net::Endpoint& endpoint() noexcept { return *endpoint_; }
 
+  /// Host the backup copy of index part `part` here (cluster replication,
+  /// DESIGN.md §5g): a second DiskIndex minted by the same device factory
+  /// and params as the primary — identical entry sequences yield
+  /// byte-identical images — metered on this server's index disk.
+  [[nodiscard]] Status attach_replica(std::size_t part);
+  [[nodiscard]] bool has_replica() const noexcept {
+    return replica_ != nullptr;
+  }
+  [[nodiscard]] IndexPartReplica& replica() noexcept { return *replica_; }
+  [[nodiscard]] const IndexPartReplica& replica() const noexcept {
+    return *replica_;
+  }
+
  private:
   std::size_t server_id_;
   BackupServerConfig config_;
@@ -114,6 +128,7 @@ class BackupServer {
   std::unique_ptr<FileStore> file_store_;
   std::unique_ptr<ChunkStore> chunk_store_;
   std::unique_ptr<net::Endpoint> endpoint_;
+  std::unique_ptr<IndexPartReplica> replica_;
 };
 
 }  // namespace debar::core

@@ -44,7 +44,19 @@ Cluster::Cluster(ClusterConfig config)
         std::make_unique<BackupServer>(k, server_config, &repository_,
                                        &director_));
   }
+  // Replicated index parts (DESIGN.md §5g): with at least two servers,
+  // server k also hosts the backup copy of partition (k - 1) mod n, so
+  // every partition has two copies and a single dark server degrades a
+  // round instead of aborting it.
+  if (n >= 2) {
+    for (std::size_t k = 0; k < n; ++k) {
+      Status attached = servers_[k]->attach_replica(replica_part_of(k, n));
+      assert(attached.ok() && "index params validated by config construction");
+      (void)attached;
+    }
+  }
   deferred_entries_.resize(n);
+  catch_up_.assign(n, std::vector<std::vector<IndexEntry>>(n));
 
   transport_ = config_.transport_factory
                    ? config_.transport_factory->create()
@@ -69,7 +81,15 @@ Cluster::Cluster(ClusterConfig config)
 
 Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   const std::size_t n = servers_.size();
+  const bool replicated = n >= 2;
   ClusterDedup2Result result;
+
+  auto phase = [&](const char* tag) {
+    if (config_.phase_hook) config_.phase_hook(tag);
+  };
+  auto reachable = [&](std::size_t k) {
+    return transport_->reachable(static_cast<net::EndpointId>(k));
+  };
 
   auto nic_clocks = [&] {
     std::vector<double> v(n);
@@ -113,17 +133,39 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     bad.erase(std::unique(bad.begin(), bad.end()), bad.end());
     return bad;
   };
-  auto degrade = [&](const std::vector<std::size_t>& bad, const char* phase) {
+  auto degrade = [&](const std::vector<std::size_t>& bad, const char* tag) {
     for (const std::size_t p : bad) director_.mark_unreachable(p);
     return Error{Errc::kUnavailable,
                  format("cluster dedup-2 aborted in phase {}: {} peer(s) "
                         "unreachable",
-                        phase, bad.size())};
+                        tag, bad.size())};
+  };
+
+  // Round-boundary health probe (mark_unreachable used to be permanent):
+  // servers the transport reaches again rejoin assignment, and any
+  // entries their index copies missed during degraded commits are
+  // re-delivered before the next exchange starts.
+  director_.probe_reachability(n, reachable);
+  deliver_catch_up();
+
+  // Round membership: alive[k] flips when the transport proves server k
+  // dark during this round. host[p] is the copy serving partition p's
+  // PSIL — its primary owner until phase-A failover moves it to the
+  // backup holder.
+  std::vector<bool> alive(n, true);
+  std::vector<std::size_t> host(n);
+  for (std::size_t p = 0; p < n; ++p) host[p] = p;
+  auto hosted_parts = [&](std::size_t t) {
+    std::vector<std::size_t> parts{t};
+    if (replicated) parts.push_back(replica_part_of(t, n));
+    std::sort(parts.begin(), parts.end());
+    return parts;
   };
 
   // ---- Phase A: take undetermined sets and exchange by routing prefix.
-  // outbox[from][to]: the fingerprint subsets in flight; an empty batch
+  // outbox[from][part]: the fingerprint subsets in flight; an empty batch
   // still ships, so every pair exchanges one message per phase.
+  phase("A");
   std::vector<std::vector<std::vector<Fingerprint>>> outbox(
       n, std::vector<std::vector<Fingerprint>>(n));
   std::vector<std::vector<Fingerprint>> local_undetermined(n);
@@ -133,7 +175,29 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     parallel_for(n, n, [&](std::size_t s) {
       servers_[s]->file_store().restore_undetermined(
           std::move(local_undetermined[s]));
+      local_undetermined[s].clear();
     });
+  };
+
+  // part_inbox[part][origin]: what the part's current host has collected.
+  std::vector<std::vector<net::FingerprintBatch>> part_inbox(
+      n, std::vector<net::FingerprintBatch>(n));
+  // Exclude a server the transport proved dark: restore its undetermined
+  // set for a later round, and drop everything it contributed — its
+  // queries must not be answered (a dead origin must never become a
+  // designated storer, or the chunk would be stored nowhere reachable).
+  auto exclude_server = [&](std::size_t b) {
+    if (!alive[b]) return;
+    alive[b] = false;
+    result.skipped_servers.push_back(b);
+    director_.mark_unreachable(b);
+    servers_[b]->file_store().restore_undetermined(
+        std::move(local_undetermined[b]));
+    local_undetermined[b].clear();
+    for (std::size_t p = 0; p < n; ++p) {
+      outbox[b][p].clear();
+      part_inbox[p][b] = net::FingerprintBatch{};
+    }
   };
 
   const std::vector<double> nic_a0 = nic_clocks();
@@ -142,43 +206,75 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
         servers_[s]->file_store().take_undetermined();
     for (const Fingerprint& fp : fps) outbox[s][owner_of(fp)].push_back(fp);
     local_undetermined[s] = std::move(fps);
-    for (std::size_t k = 0; k < n; ++k) {
-      if (k == s) continue;
-      Status sent = servers_[s]->endpoint().send(
-          static_cast<net::EndpointId>(k), net::FingerprintBatch{outbox[s][k]});
-      if (!sent.ok()) note_failure(s, k);
-    }
   });
+
+  // Failover-aware exchange: ship every wanted part to its current host,
+  // blame the peers the transport proves dark, re-host their partitions
+  // on the surviving copy, and re-run the delta. Each iteration either
+  // completes, aborts (some partition lost both copies), or buries at
+  // least one server — so the loop runs at most n times.
+  std::vector<std::size_t> wanted(n);
+  for (std::size_t p = 0; p < n; ++p) wanted[p] = p;
+  while (!wanted.empty()) {
+    parallel_for(n, n, [&](std::size_t s) {
+      if (!alive[s]) return;
+      for (const std::size_t p : wanted) {
+        const std::size_t k = host[p];
+        if (k == s) continue;
+        Status sent = servers_[s]->endpoint().send(
+            static_cast<net::EndpointId>(k),
+            net::FingerprintBatch{outbox[s][p]});
+        if (!sent.ok()) note_failure(s, k);
+      }
+    });
+    // Receive barrier: each part's host collects one batch per origin
+    // (its own subset never crosses the wire).
+    parallel_for(n, n, [&](std::size_t k) {
+      if (!alive[k]) return;
+      for (const std::size_t p : wanted) {
+        if (host[p] != k) continue;
+        part_inbox[p][k].fps = outbox[k][p];
+        for (std::size_t s = 0; s < n; ++s) {
+          if (s == k || !alive[s]) continue;
+          Result<net::FingerprintBatch> batch =
+              servers_[k]->endpoint().expect<net::FingerprintBatch>(
+                  static_cast<net::EndpointId>(s));
+          if (!batch.ok()) {
+            note_failure(k, s);
+            continue;
+          }
+          part_inbox[p][s] = std::move(batch.value());
+        }
+      }
+    });
+    const std::vector<std::size_t> bad = blamed_peers();
+    if (bad.empty()) break;
+    for (const std::size_t b : bad) exclude_server(b);
+    std::vector<std::size_t> rerun;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (alive[host[p]]) continue;
+      const std::size_t other = host[p] == p ? backup_of(p, n) : p;
+      if (!replicated || !alive[other]) {
+        // Both copies of partition p are dark: all-or-nothing abort,
+        // exactly as an unreplicated round.
+        restore_undetermined();
+        return degrade(bad, "A");
+      }
+      host[p] = other;
+      ++result.failovers;
+      rerun.push_back(p);
+    }
+    wanted = std::move(rerun);
+  }
   for (const auto& fps : local_undetermined) result.undetermined += fps.size();
 
-  // Receive barrier: every owner collects one batch per origin (its own
-  // subset never crosses the wire).
-  std::vector<std::vector<net::FingerprintBatch>> fp_inbox(
-      n, std::vector<net::FingerprintBatch>(n));
-  parallel_for(n, n, [&](std::size_t k) {
-    fp_inbox[k][k].fps = outbox[k][k];
-    for (std::size_t s = 0; s < n; ++s) {
-      if (s == k) continue;
-      Result<net::FingerprintBatch> batch =
-          servers_[k]->endpoint().expect<net::FingerprintBatch>(
-              static_cast<net::EndpointId>(s));
-      if (!batch.ok()) {
-        note_failure(k, s);
-        continue;
-      }
-      fp_inbox[k][s] = std::move(batch.value());
-    }
-  });
-  if (std::vector<std::size_t> bad = blamed_peers(); !bad.empty()) {
-    restore_undetermined();
-    return degrade(bad, "A");
-  }
-
-  // ---- Phase B: PSIL on every index-part owner, concurrently.
+  // ---- Phase B: PSIL on every partition's current host, concurrently.
   // Verdicts are positions into each origin's batch; origin batches are
   // sorted (take_undetermined sorts), so walking unique fingerprints in
   // order yields strictly ascending positions per origin — exactly what
   // VerdictBatch's delta encoding wants.
+  phase("B");
+  // verdict_out[part][origin], produced by the part's host.
   std::vector<std::vector<net::VerdictBatch>> verdict_out(
       n, std::vector<net::VerdictBatch>(n));
   std::vector<Status> phase_status(n);
@@ -186,19 +282,33 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
 
   const std::vector<double> idx_b0 = index_clocks();
   parallel_for(n, n, [&](std::size_t k) {
-    // The designated-storer resolution is shared with the SPMD per-node
-    // driver (core/cluster_node.hpp), so both executions of a round issue
-    // identical verdicts.
-    std::uint64_t dups = 0;
-    Result<std::vector<net::VerdictBatch>> verdicts =
-        resolve_psil(*servers_[k], fp_inbox[k], &dups);
-    if (!verdicts.ok()) {
-      phase_status[k] = Status(verdicts.error().code,
-                               verdicts.error().message);
-      return;
+    if (!alive[k]) return;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (host[p] != k) continue;
+      // The designated-storer resolution is shared with the SPMD per-node
+      // driver (core/cluster_node.hpp), so both executions of a round
+      // issue identical verdicts. A failed-over part runs SIL against
+      // this server's replica copy instead of its own chunk store.
+      std::uint64_t dups = 0;
+      PartSilFn lookup =
+          p == k ? PartSilFn([&, k](const std::vector<Fingerprint>& fps,
+                                    std::vector<std::uint8_t>& found) {
+            return servers_[k]->chunk_store().sil(fps, found);
+          })
+                 : PartSilFn([&, k](const std::vector<Fingerprint>& fps,
+                                    std::vector<std::uint8_t>& found) {
+                     return servers_[k]->replica().sil(fps, found);
+                   });
+      Result<std::vector<net::VerdictBatch>> verdicts =
+          resolve_psil(lookup, part_inbox[p], &dups);
+      if (!verdicts.ok()) {
+        phase_status[k] = Status(verdicts.error().code,
+                                 verdicts.error().message);
+        return;
+      }
+      verdict_out[p] = std::move(verdicts.value());
+      dup_count.fetch_add(dups, std::memory_order_relaxed);
     }
-    verdict_out[k] = std::move(verdicts.value());
-    dup_count.fetch_add(dups, std::memory_order_relaxed);
   });
   for (const Status& s : phase_status) {
     if (!s.ok()) {
@@ -209,21 +319,34 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   result.duplicates = dup_count.load();
   result.sil_seconds = max_delta(idx_b0, index_clocks());
 
-  // ---- Phase C: results return to their origins (network only).
+  // ---- Phase C: results return to their origins (network only). A peer
+  // that dies here aborts the whole round, replicas or not: its queries
+  // are already folded into completed PSIL verdicts, so excising it
+  // mid-round could leave a designated storer that never stores.
+  phase("C");
   parallel_for(n, n, [&](std::size_t k) {
-    for (std::size_t s = 0; s < n; ++s) {
-      if (s == k) continue;
-      Status sent = servers_[k]->endpoint().send(
-          static_cast<net::EndpointId>(s), verdict_out[k][s]);
-      if (!sent.ok()) note_failure(k, s);
+    if (!alive[k]) return;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (host[p] != k) continue;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s == k || !alive[s]) continue;
+        Status sent = servers_[k]->endpoint().send(
+            static_cast<net::EndpointId>(s), verdict_out[p][s]);
+        if (!sent.ok()) note_failure(k, s);
+      }
     }
   });
+  // verdict_inbox[origin][part].
   std::vector<std::vector<net::VerdictBatch>> verdict_inbox(
       n, std::vector<net::VerdictBatch>(n));
   parallel_for(n, n, [&](std::size_t s) {
-    verdict_inbox[s][s] = std::move(verdict_out[s][s]);
-    for (std::size_t k = 0; k < n; ++k) {
-      if (k == s) continue;
+    if (!alive[s]) return;
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t k = host[p];
+      if (k == s) {
+        verdict_inbox[s][p] = std::move(verdict_out[p][s]);
+        continue;
+      }
       Result<net::VerdictBatch> verdict =
           servers_[s]->endpoint().expect<net::VerdictBatch>(
               static_cast<net::EndpointId>(k));
@@ -231,14 +354,14 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
         note_failure(s, k);
         continue;
       }
-      if (verdict.value().query_count != outbox[s][k].size()) {
+      if (verdict.value().query_count != outbox[s][p].size()) {
         phase_status[s] =
             Status(Errc::kCorrupt,
                    format("verdict from {} answers {} queries, {} were asked",
-                          k, verdict.value().query_count, outbox[s][k].size()));
+                          k, verdict.value().query_count, outbox[s][p].size()));
         continue;
       }
-      verdict_inbox[s][k] = std::move(verdict.value());
+      verdict_inbox[s][p] = std::move(verdict.value());
     }
   });
   if (std::vector<std::size_t> bad = blamed_peers(); !bad.empty()) {
@@ -254,6 +377,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   result.exchange_seconds = max_delta(nic_a0, nic_clocks());
 
   // ---- Phase D: parallel chunk storing on every origin.
+  phase("D");
   std::vector<std::vector<std::vector<IndexEntry>>> entry_out(
       n, std::vector<std::vector<IndexEntry>>(n));
   std::atomic<std::uint64_t> new_chunks{0};
@@ -262,12 +386,13 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   const std::vector<double> log_d0 = log_clocks();
   const double repo_d0 = repository_.max_node_seconds();
   parallel_for(n, n, [&](std::size_t s) {
+    if (!alive[s]) return;
     std::unordered_set<Fingerprint, FingerprintHash> dups;
-    for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t p = 0; p < n; ++p) {
       // Verdict indices are validated against query_count at decode and
-      // above, so they index outbox[s][k] safely.
-      for (const std::uint32_t idx : verdict_inbox[s][k].duplicate_indices) {
-        dups.insert(outbox[s][k][idx]);
+      // above, so they index outbox[s][p] safely.
+      for (const std::uint32_t idx : verdict_inbox[s][p].duplicate_indices) {
+        dups.insert(outbox[s][p][idx]);
       }
     }
     std::vector<Fingerprint> new_fps;
@@ -299,68 +424,133 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
                repository_.max_node_seconds() - repo_d0);
 
   // Entries a previous round routed but never registered (phase E abort)
-  // ride along with this round's batches.
+  // ride along with this round's batches. An excluded server's deferrals
+  // stay queued for the round that re-admits it.
   for (std::size_t s = 0; s < n; ++s) {
+    if (!alive[s]) continue;
     for (const IndexEntry& e : deferred_entries_[s]) {
       entry_out[s][owner_of(e.fp)].push_back(e);
     }
     deferred_entries_[s].clear();
   }
 
-  // ---- Phase E: entries route to the part owners; the owners receive
-  // everything before anyone registers, so an unreachable peer aborts the
-  // round with zero index or pending-set mutation.
+  // ---- Phase E: entries route to both copies of their partition (the
+  // primary owner and its backup holder); every copy receives everything
+  // before anyone registers. A peer that dies here no longer aborts the
+  // round outright: its own entries are deferred and its received batches
+  // dropped everywhere (so the surviving copies stay in lockstep), and a
+  // partition whose one copy went dark commits on the other copy with the
+  // missed entries recorded for catch-up. Only a partition losing BOTH
+  // copies still aborts all-or-nothing.
+  phase("E");
   parallel_for(n, n, [&](std::size_t s) {
-    for (std::size_t k = 0; k < n; ++k) {
-      if (k == s) continue;
-      Status sent = servers_[s]->endpoint().send(
-          static_cast<net::EndpointId>(k),
-          net::IndexEntryBatch{entry_out[s][k]});
-      if (!sent.ok()) note_failure(s, k);
-    }
-  });
-  std::vector<std::vector<net::IndexEntryBatch>> entry_inbox(
-      n, std::vector<net::IndexEntryBatch>(n));
-  parallel_for(n, n, [&](std::size_t k) {
-    entry_inbox[k][k].entries = entry_out[k][k];
-    for (std::size_t s = 0; s < n; ++s) {
-      if (s == k) continue;
-      Result<net::IndexEntryBatch> batch =
-          servers_[k]->endpoint().expect<net::IndexEntryBatch>(
-              static_cast<net::EndpointId>(s));
-      if (!batch.ok()) {
-        note_failure(k, s);
-        continue;
-      }
-      entry_inbox[k][s] = std::move(batch.value());
-    }
-  });
-  if (std::vector<std::size_t> bad = blamed_peers(); !bad.empty()) {
-    for (std::size_t s = 0; s < n; ++s) {
-      for (std::size_t k = 0; k < n; ++k) {
-        deferred_entries_[s].insert(deferred_entries_[s].end(),
-                                    entry_out[s][k].begin(),
-                                    entry_out[s][k].end());
+    if (!alive[s]) return;
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t targets[2] = {p, backup_of(p, n)};
+      const std::size_t target_count = replicated ? 2 : 1;
+      for (std::size_t i = 0; i < target_count; ++i) {
+        const std::size_t t = targets[i];
+        if (t == s || !alive[t]) continue;
+        Status sent = servers_[s]->endpoint().send(
+            static_cast<net::EndpointId>(t),
+            net::IndexEntryBatch{entry_out[s][p]});
+        if (!sent.ok()) note_failure(s, t);
       }
     }
-    return degrade(bad, "E");
+  });
+  // entry_inbox[holder][part][origin].
+  std::vector<std::vector<std::vector<net::IndexEntryBatch>>> entry_inbox(
+      n, std::vector<std::vector<net::IndexEntryBatch>>(
+             n, std::vector<net::IndexEntryBatch>(n)));
+  parallel_for(n, n, [&](std::size_t t) {
+    if (!alive[t]) return;
+    // Ascending (part, origin) receive order matches the sender's
+    // ascending-part send order per (sender, receiver) pair, so the FIFO
+    // wire never hands a part-q batch to a part-p expect.
+    for (const std::size_t p : hosted_parts(t)) {
+      for (std::size_t s = 0; s < n; ++s) {
+        if (s == t) {
+          entry_inbox[t][p][s].entries = entry_out[t][p];
+          continue;
+        }
+        if (!alive[s]) continue;
+        Result<net::IndexEntryBatch> batch =
+            servers_[t]->endpoint().expect<net::IndexEntryBatch>(
+                static_cast<net::EndpointId>(s));
+        if (!batch.ok()) {
+          note_failure(t, s);
+          continue;
+        }
+        entry_inbox[t][p][s] = std::move(batch.value());
+      }
+    }
+  });
+  if (std::vector<std::size_t> late = blamed_peers(); !late.empty()) {
+    for (const std::size_t b : late) {
+      if (!alive[b]) continue;
+      alive[b] = false;
+      result.skipped_servers.push_back(b);
+      director_.mark_unreachable(b);
+      for (std::size_t p = 0; p < n; ++p) {
+        deferred_entries_[b].insert(deferred_entries_[b].end(),
+                                    entry_out[b][p].begin(),
+                                    entry_out[b][p].end());
+        entry_out[b][p].clear();
+        // Drop what anyone received from the late peer: a copy that never
+        // heard from it must match the copies that did.
+        for (std::size_t t = 0; t < n; ++t) entry_inbox[t][p][b] = {};
+      }
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      const bool primary_alive = alive[p];
+      const bool backup_alive = replicated && alive[backup_of(p, n)];
+      if (primary_alive || backup_alive) continue;
+      // Both copies of part p are dark: nothing can commit this round.
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!alive[s]) continue;
+        for (std::size_t q = 0; q < n; ++q) {
+          deferred_entries_[s].insert(deferred_entries_[s].end(),
+                                      entry_out[s][q].begin(),
+                                      entry_out[s][q].end());
+        }
+      }
+      return degrade(late, "E");
+    }
   }
 
-  // Commit: owners register entries; PSIU when due or forced.
+  // Commit: every live copy registers entries; PSIU when due or forced.
+  // The replica applies the same per-(part, origin) batches in the same
+  // order as the primary, through the same serial bulk paths, so the two
+  // device images of a partition stay byte-identical while both live.
+  phase("commit");
   const std::vector<double> idx_e0 = index_clocks();
   std::atomic<bool> ran_siu{false};
-  parallel_for(n, n, [&](std::size_t k) {
-    for (std::size_t s = 0; s < n; ++s) {
-      servers_[k]->chunk_store().add_pending(
-          std::span<const IndexEntry>(entry_inbox[k][s].entries));
+  parallel_for(n, n, [&](std::size_t t) {
+    if (!alive[t]) return;
+    for (const std::size_t p : hosted_parts(t)) {
+      for (std::size_t s = 0; s < n; ++s) {
+        const std::span<const IndexEntry> entries(entry_inbox[t][p][s].entries);
+        if (p == t) {
+          servers_[t]->chunk_store().add_pending(entries);
+        } else {
+          servers_[t]->replica().add_pending(entries);
+        }
+      }
     }
-    if (force_siu || servers_[k]->chunk_store().siu_due()) {
-      Result<SiuResult> siu = servers_[k]->chunk_store().siu();
+    if (force_siu || servers_[t]->chunk_store().siu_due()) {
+      Result<SiuResult> siu = servers_[t]->chunk_store().siu();
       if (!siu.ok()) {
-        phase_status[k] = Status(siu.error().code, siu.error().message);
+        phase_status[t] = Status(siu.error().code, siu.error().message);
         return;
       }
       ran_siu.store(true);
+    }
+    if (replicated && (force_siu || servers_[t]->replica().siu_due())) {
+      Result<SiuResult> siu = servers_[t]->replica().siu();
+      if (!siu.ok()) {
+        phase_status[t] = Status(siu.error().code, siu.error().message);
+        return;
+      }
     }
   });
   for (const Status& s : phase_status) {
@@ -369,10 +559,64 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   result.ran_siu = ran_siu.load();
   result.siu_seconds = max_delta(idx_e0, index_clocks());
 
-  // A fully successful round heard from every peer in every phase.
-  for (std::size_t k = 0; k < n; ++k) director_.mark_reachable(k);
+  // Record what each dark copy missed: the surviving copy re-ships it
+  // once the holder is reachable again (deliver_catch_up).
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t copies[2] = {p, backup_of(p, n)};
+    const std::size_t copy_count = replicated ? 2 : 1;
+    for (std::size_t i = 0; i < copy_count; ++i) {
+      const std::size_t t = copies[i];
+      if (alive[t]) continue;
+      for (std::size_t s = 0; s < n; ++s) {
+        if (!alive[s]) continue;
+        catch_up_[t][p].insert(catch_up_[t][p].end(), entry_out[s][p].begin(),
+                               entry_out[s][p].end());
+      }
+    }
+  }
+
+  // The round heard from every peer it did not exclude.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (alive[k]) {
+      director_.mark_reachable(k);
+    } else {
+      director_.mark_unreachable(k);
+    }
+  }
+  std::sort(result.skipped_servers.begin(), result.skipped_servers.end());
 
   return result;
+}
+
+void Cluster::deliver_catch_up() {
+  const std::size_t n = servers_.size();
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t p = 0; p < n; ++p) {
+      std::vector<IndexEntry>& owed = catch_up_[t][p];
+      if (owed.empty()) continue;
+      if (!transport_->reachable(static_cast<net::EndpointId>(t))) continue;
+      // The surviving holder of part p re-ships: the backup holder when
+      // the primary owner itself was dark, the primary otherwise.
+      const std::size_t sender = t == p ? backup_of(p, n) : p;
+      if (!transport_->reachable(static_cast<net::EndpointId>(sender))) {
+        continue;
+      }
+      Status sent = servers_[sender]->endpoint().send(
+          static_cast<net::EndpointId>(t), net::IndexEntryBatch{owed});
+      if (!sent.ok()) continue;
+      Result<net::IndexEntryBatch> batch =
+          servers_[t]->endpoint().expect<net::IndexEntryBatch>(
+              static_cast<net::EndpointId>(sender));
+      if (!batch.ok()) continue;
+      const std::span<const IndexEntry> entries(batch.value().entries);
+      if (t == p) {
+        servers_[t]->chunk_store().add_pending(entries);
+      } else {
+        servers_[t]->replica().add_pending(entries);
+      }
+      owed.clear();
+    }
+  }
 }
 
 Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
@@ -387,56 +631,79 @@ Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
   if (std::optional<std::vector<Byte>> hit = via.chunk_store().lpc_probe(fp)) {
     bytes = std::move(*hit);
   } else {
+    // Locate on either copy of the partition (DESIGN.md §5g): the primary
+    // owner first, then the backup holder when the owner is dark, silent,
+    // or answers "not found" (its copy may lag a catch-up the other copy
+    // already has).
     const std::size_t owner = owner_of(fp);
-    ContainerId container;
-    if (owner == via_server) {
-      Result<ContainerId> located = via.chunk_store().locate(fp);
-      if (!located.ok()) return located.error();
-      container = located.value();
-    } else {
-      // Locate round trip with the part owner over the transport.
-      const auto owner_id = static_cast<net::EndpointId>(owner);
+    const std::size_t holders[2] = {owner, backup_of(owner, servers_.size())};
+    const std::size_t holder_count = servers_.size() >= 2 ? 2 : 1;
+    std::optional<ContainerId> container;
+    Error last_error{Errc::kUnavailable,
+                     format("no copy of part {} reachable for locate", owner)};
+    for (std::size_t i = 0; i < holder_count && !container; ++i) {
+      const std::size_t h = holders[i];
+      const bool use_replica = h != owner;
+      if (h == via_server) {
+        Result<ContainerId> located =
+            use_replica ? via.replica().locate(fp) : via.chunk_store().locate(fp);
+        if (!located.ok()) {
+          last_error = located.error();
+          continue;
+        }
+        container = located.value();
+        continue;
+      }
+      // Locate round trip with the copy's holder over the transport.
+      const auto holder_id = static_cast<net::EndpointId>(h);
       if (Status sent =
-              via.endpoint().send(owner_id, net::ChunkLocateRequest{fp});
+              via.endpoint().send(holder_id, net::ChunkLocateRequest{fp});
           !sent.ok()) {
-        director_.mark_unreachable(owner);
-        return Error{Errc::kUnavailable,
-                     format("chunk owner {} unreachable for locate", owner)};
+        director_.mark_unreachable(h);
+        last_error = Error{Errc::kUnavailable,
+                           format("copy holder {} unreachable for locate", h)};
+        continue;
       }
       Result<net::ChunkLocateRequest> request =
-          servers_[owner]->endpoint().expect<net::ChunkLocateRequest>(via_id);
+          servers_[h]->endpoint().expect<net::ChunkLocateRequest>(via_id);
       if (!request.ok()) {
-        return Error{Errc::kUnavailable,
-                     format("locate request to owner {} lost", owner)};
+        last_error = Error{Errc::kUnavailable,
+                           format("locate request to holder {} lost", h)};
+        continue;
       }
       net::ChunkLocateReply reply;
       Result<ContainerId> located =
-          servers_[owner]->chunk_store().locate(request.value().fp);
+          use_replica ? servers_[h]->replica().locate(request.value().fp)
+                      : servers_[h]->chunk_store().locate(request.value().fp);
       if (located.ok()) {
         reply.container = located.value();
       } else {
         reply.status = located.error().code;
       }
-      if (Status sent = servers_[owner]->endpoint().send(via_id, reply);
+      if (Status sent = servers_[h]->endpoint().send(via_id, reply);
           !sent.ok()) {
-        director_.mark_unreachable(owner);
-        return Error{Errc::kUnavailable,
-                     format("chunk owner {} unreachable for reply", owner)};
+        director_.mark_unreachable(h);
+        last_error = Error{Errc::kUnavailable,
+                           format("copy holder {} unreachable for reply", h)};
+        continue;
       }
       Result<net::ChunkLocateReply> got =
-          via.endpoint().expect<net::ChunkLocateReply>(owner_id);
+          via.endpoint().expect<net::ChunkLocateReply>(holder_id);
       if (!got.ok()) {
-        return Error{Errc::kUnavailable,
-                     format("locate reply from owner {} lost", owner)};
+        last_error = Error{Errc::kUnavailable,
+                           format("locate reply from holder {} lost", h)};
+        continue;
       }
       if (got.value().status != Errc::kOk) {
-        return Error{got.value().status,
-                     format("chunk not located on owner {}", owner)};
+        last_error = Error{got.value().status,
+                           format("chunk not located on holder {}", h)};
+        continue;
       }
       container = got.value().container;
     }
+    if (!container) return last_error;
     Result<std::vector<Byte>> chunk = via.chunk_store().read_chunk_at(
-        fp, container);
+        fp, *container);
     if (!chunk.ok()) return chunk.error();
     bytes = std::move(chunk.value());
   }

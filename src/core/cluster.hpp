@@ -27,15 +27,26 @@
 // Every inter-server exchange travels as a typed net::Message through a
 // net::Transport: the fingerprints, verdicts and index entries are
 // serialized, framed, and metered through both endpoints' NIC models at
-// their actual wire size. A round degrades instead of wedging when a peer
-// stays unreachable: the phase's sends are bounded-retried, the round
-// aborts at the phase barrier with kUnavailable before any index or
-// pending-set mutation (drained undetermined fingerprints are restored,
-// routed-but-unregistered entries are deferred to the next round), and
-// the director is told which servers to skip for new job assignments.
+// their actual wire size.
+//
+// Replication (DESIGN.md §5g): with two or more servers every index part
+// has a backup copy on server (p + 1) mod 2^w (an IndexPartReplica).
+// Phase E dual-writes both copies before the round commits; phase A/B
+// and restore-locates fail over to the backup when the primary is dark.
+// A single unreachable server therefore degrades a round — its partition
+// is served by the surviving copy, its own batches are excluded, its
+// undetermined fingerprints are restored — instead of aborting it. The
+// all-or-nothing abort (undetermined restored, routed entries deferred,
+// zero index mutation) remains for phase C/D deaths (a mid-PSIL origin
+// cannot be excised safely) and whenever BOTH copies of some partition
+// are unreachable. The director is told which servers to skip for job
+// assignment, and re-admits them when a round-start probe finds the
+// transport reaches them again; entries a dark copy missed are re-sent
+// from the surviving copy at that point (catch-up resync).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -64,6 +75,11 @@ struct ClusterConfig {
   /// harness (see net/transport_factory.hpp). Shared so a test rig can
   /// keep a handle to the factory (e.g. FaultyTransportFactory::last).
   std::shared_ptr<net::TransportFactory> transport_factory;
+  /// Observability/test hook: called at each run_dedup2 phase start
+  /// ("A".."E", then "commit" immediately before index and pending-set
+  /// mutation begins). The crash rig uses it to bracket the replicated
+  /// commit window by device-op counts.
+  std::function<void(const char*)> phase_hook;
 };
 
 struct ClusterDedup2Result {
@@ -76,6 +92,14 @@ struct ClusterDedup2Result {
   double sil_seconds = 0.0;       // phase B (max over owners)
   double store_seconds = 0.0;     // phase D (max of log replay, repo node)
   double siu_seconds = 0.0;       // phase E (max over owners)
+
+  /// Degraded-round bookkeeping: partitions served by their backup copy
+  /// this round, and the servers the round excluded as unreachable.
+  std::uint64_t failovers = 0;
+  std::vector<std::size_t> skipped_servers;
+  [[nodiscard]] bool degraded() const noexcept {
+    return failovers > 0 || !skipped_servers.empty();
+  }
 
   [[nodiscard]] double total_seconds() const noexcept {
     return exchange_seconds + sil_seconds + store_seconds + siu_seconds;
@@ -132,6 +156,11 @@ class Cluster {
   void reset_clocks();
 
  private:
+  /// Re-ship entries a recovered copy missed during degraded commits:
+  /// the surviving copy of each owed partition sends them over the wire
+  /// as a normal IndexEntryBatch. Runs at every round start; anything
+  /// still undeliverable stays owed.
+  void deliver_catch_up();
   ClusterConfig config_;
   Director director_;
   storage::ChunkRepository repository_;
@@ -144,6 +173,10 @@ class Cluster {
   /// re-shipped by their origin on the next round, so the index stays
   /// all-or-nothing per round without losing entries.
   std::vector<std::vector<IndexEntry>> deferred_entries_;
+  /// Entries committed on a partition's surviving copy while the other
+  /// copy's holder was dark: catch_up_[server][part], drained by
+  /// deliver_catch_up once the holder is reachable again.
+  std::vector<std::vector<std::vector<IndexEntry>>> catch_up_;
 };
 
 }  // namespace debar::core

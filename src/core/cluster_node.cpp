@@ -8,7 +8,7 @@
 namespace debar::core {
 
 Result<std::vector<net::VerdictBatch>> resolve_psil(
-    BackupServer& owner, const std::vector<net::FingerprintBatch>& inbox,
+    const PartSilFn& sil_fn, const std::vector<net::FingerprintBatch>& inbox,
     std::uint64_t* duplicates) {
   const std::size_t n = inbox.size();
   std::vector<net::VerdictBatch> verdicts(n);
@@ -40,7 +40,7 @@ Result<std::vector<net::VerdictBatch>> resolve_psil(
   }
 
   std::vector<std::uint8_t> found;
-  Result<SilResult> sil = owner.chunk_store().sil(unique_fps, found);
+  Result<SilResult> sil = sil_fn(unique_fps, found);
   if (!sil.ok()) return sil.error();
 
   // Resolve verdicts per origin. For a fingerprint PSIL declares new
@@ -63,11 +63,32 @@ Result<std::vector<net::VerdictBatch>> resolve_psil(
   return verdicts;
 }
 
+Result<std::vector<net::VerdictBatch>> resolve_psil(
+    BackupServer& owner, const std::vector<net::FingerprintBatch>& inbox,
+    std::uint64_t* duplicates) {
+  return resolve_psil(
+      [&owner](const std::vector<Fingerprint>& fps,
+               std::vector<std::uint8_t>& found) {
+        return owner.chunk_store().sil(fps, found);
+      },
+      inbox, duplicates);
+}
+
 Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
   const std::size_t n = config_.node_count;
   const std::size_t k = config_.node;
   net::Endpoint& ep = server_->endpoint();
   NodeRoundResult result;
+
+  // Replication (DESIGN.md §5g) is part of the wire protocol: with two or
+  // more nodes every peer dual-writes phase E, so a node without its
+  // replica attached would desync the round for everyone.
+  const bool replicate = n >= 2;
+  if (replicate && !server_->has_replica()) {
+    return Error{Errc::kInvalidArgument,
+                 format("node {}: no replica attached for part {}", k,
+                        replica_part_of(k, n))};
+  }
 
   // ---- Phase A: drain our undetermined set, partition by routing
   // prefix, ship every foreign subset (an empty batch still ships, so
@@ -156,48 +177,87 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
   result.new_chunks = stored.value().new_chunks;
   result.new_bytes = stored.value().new_bytes;
 
-  // ---- Phase E: fresh <fp, container> entries route to their owners;
-  // everything arrives before anyone registers.
+  // ---- Phase E: fresh <fp, container> entries route to BOTH copies of
+  // their partition — the primary owner p and the backup holder
+  // backup_of(p) — and everything arrives before anyone registers. Per
+  // peer the batches go out in ascending part order, which is exactly the
+  // order the receiver awaits them in (per-pair delivery is FIFO).
   std::vector<std::vector<IndexEntry>> entry_out(n);
   for (const IndexEntry& e : stored.value().entries) {
     entry_out[owner_of(e.fp)].push_back(e);
   }
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j == k) continue;
-    Status sent = ep.send(static_cast<net::EndpointId>(j),
-                          net::IndexEntryBatch{entry_out[j]});
-    if (!sent.ok()) {
-      return Error{Errc::kUnavailable,
-                   format("node {}: phase E send to {} failed: {}", k, j,
-                          sent.message())};
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::size_t targets[2] = {p, backup_of(p, n)};
+    const std::size_t target_count = replicate ? 2 : 1;
+    for (std::size_t ti = 0; ti < target_count; ++ti) {
+      const std::size_t t = targets[ti];
+      if (t == k) continue;
+      Status sent = ep.send(static_cast<net::EndpointId>(t),
+                            net::IndexEntryBatch{entry_out[p]});
+      if (!sent.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("node {}: phase E send to {} failed: {}", k, t,
+                            sent.message())};
+      }
     }
   }
-  std::vector<net::IndexEntryBatch> entry_inbox(n);
-  entry_inbox[k].entries = entry_out[k];
-  for (std::size_t s = 0; s < n; ++s) {
-    if (s == k) continue;
-    Result<net::IndexEntryBatch> batch = ep.expect<net::IndexEntryBatch>(
-        static_cast<net::EndpointId>(s), barrier_deadline());
-    if (!batch.ok()) {
-      return Error{Errc::kUnavailable,
-                   format("node {}: phase E entries from {} missing: {}", k,
-                          s, batch.error().message)};
+  std::vector<std::size_t> hosted{k};
+  if (replicate) hosted.push_back(replica_part_of(k, n));
+  std::sort(hosted.begin(), hosted.end());
+  // entry_inbox[part][origin]
+  std::vector<std::vector<net::IndexEntryBatch>> entry_inbox(
+      n, std::vector<net::IndexEntryBatch>(n));
+  for (const std::size_t p : hosted) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k) {
+        entry_inbox[p][s].entries = entry_out[p];
+        continue;
+      }
+      Result<net::IndexEntryBatch> batch = ep.expect<net::IndexEntryBatch>(
+          static_cast<net::EndpointId>(s), barrier_deadline());
+      if (!batch.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("node {}: phase E entries from {} missing: {}",
+                            k, s, batch.error().message)};
+      }
+      entry_inbox[p][s] = std::move(batch.value());
     }
-    entry_inbox[s] = std::move(batch.value());
   }
 
-  // Commit: register in origin order (the same order the orchestrated
-  // cluster uses, so the pending set and index mutate identically).
-  for (std::size_t s = 0; s < n; ++s) {
-    server_->chunk_store().add_pending(
-        std::span<const IndexEntry>(entry_inbox[s].entries));
+  // Commit: register per hosted part (ascending) in origin order — the
+  // same order the orchestrated cluster uses, so primary and replica
+  // pending sets and indexes mutate identically everywhere.
+  for (const std::size_t p : hosted) {
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::span<const IndexEntry> entries(entry_inbox[p][s].entries);
+      if (p == k) {
+        server_->chunk_store().add_pending(entries);
+      } else {
+        server_->replica().add_pending(entries);
+      }
+    }
   }
   if (force_siu || server_->chunk_store().siu_due()) {
     Result<SiuResult> siu = server_->chunk_store().siu();
     if (!siu.ok()) return siu.error();
     result.ran_siu = true;
   }
+  if (replicate && (force_siu || server_->replica().siu_due())) {
+    Result<SiuResult> siu = server_->replica().siu();
+    if (!siu.ok()) return siu.error();
+  }
   return result;
+}
+
+Result<ContainerId> ClusterNode::locate_hosted(const Fingerprint& fp) const {
+  const std::size_t owner = owner_of(fp);
+  if (owner == config_.node) return server_->chunk_store().locate(fp);
+  if (server_->has_replica() && server_->replica().part() == owner) {
+    return server_->replica().locate(fp);
+  }
+  return Error{Errc::kNotFound,
+               format("node {} hosts no copy of part {}", config_.node,
+                      owner)};
 }
 
 Status ClusterNode::serve_restores(net::EndpointId via) {
@@ -219,7 +279,7 @@ Status ClusterNode::serve_restores(net::EndpointId via) {
     if (request == nullptr) continue;  // not ours to answer
 
     net::ChunkLocateReply reply;
-    Result<ContainerId> located = server_->chunk_store().locate(request->fp);
+    Result<ContainerId> located = locate_hosted(request->fp);
     if (located.ok()) {
       reply.container = located.value();
     } else {
@@ -245,34 +305,54 @@ Result<std::vector<Byte>> ClusterNode::read_chunk_via(
           server_->chunk_store().lpc_probe(fp)) {
     bytes = std::move(*hit);
   } else {
+    // Failover order (DESIGN.md §5g): the partition's primary owner
+    // first, then its backup holder. Either copy may be this node (then
+    // the lookup is local) or a peer (then it is a locate round trip with
+    // that peer's serve loop); any failure moves on to the other copy.
     const std::size_t owner = owner_of(fp);
-    ContainerId container;
-    if (owner == config_.node) {
-      Result<ContainerId> located = server_->chunk_store().locate(fp);
-      if (!located.ok()) return located.error();
-      container = located.value();
-    } else {
-      // Locate round trip with the part owner's serve loop.
-      const auto owner_id = static_cast<net::EndpointId>(owner);
-      if (Status sent = ep.send(owner_id, net::ChunkLocateRequest{fp});
+    const std::size_t n = config_.node_count;
+    const std::size_t holders[2] = {owner, backup_of(owner, n)};
+    const std::size_t holder_count = n >= 2 ? 2 : 1;
+    std::optional<ContainerId> container;
+    Error last_error{Errc::kUnavailable,
+                     format("no copy of part {} reachable", owner)};
+    for (std::size_t hi = 0; hi < holder_count && !container; ++hi) {
+      const std::size_t h = holders[hi];
+      if (h == config_.node) {
+        Result<ContainerId> located = locate_hosted(fp);
+        if (located.ok()) {
+          container = located.value();
+        } else {
+          last_error = located.error();
+        }
+        continue;
+      }
+      const auto holder_id = static_cast<net::EndpointId>(h);
+      if (Status sent = ep.send(holder_id, net::ChunkLocateRequest{fp});
           !sent.ok()) {
-        return Error{Errc::kUnavailable,
-                     format("chunk owner {} unreachable for locate", owner)};
+        last_error =
+            Error{Errc::kUnavailable,
+                  format("part {} holder {} unreachable for locate", owner,
+                         h)};
+        continue;
       }
       Result<net::ChunkLocateReply> got = ep.expect<net::ChunkLocateReply>(
-          owner_id, barrier_deadline());
+          holder_id, barrier_deadline());
       if (!got.ok()) {
-        return Error{Errc::kUnavailable,
-                     format("locate reply from owner {} lost", owner)};
+        last_error = Error{Errc::kUnavailable,
+                           format("locate reply from holder {} lost", h)};
+        continue;
       }
       if (got.value().status != Errc::kOk) {
-        return Error{got.value().status,
-                     format("chunk not located on owner {}", owner)};
+        last_error = Error{got.value().status,
+                           format("chunk not located on holder {}", h)};
+        continue;
       }
       container = got.value().container;
     }
+    if (!container) return last_error;
     Result<std::vector<Byte>> chunk =
-        server_->chunk_store().read_chunk_at(fp, container);
+        server_->chunk_store().read_chunk_at(fp, *container);
     if (!chunk.ok()) return chunk.error();
     bytes = std::move(chunk.value());
   }

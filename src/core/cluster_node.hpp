@@ -22,6 +22,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/result.hpp"
@@ -31,13 +32,38 @@
 
 namespace debar::core {
 
-/// Phase B, as one index-part owner runs it: fold the per-origin batches
+/// Replica map (DESIGN.md §5g): partition p's backup copy lives on server
+/// (p + 1) mod n. Degenerates to "no second copy" below two servers.
+[[nodiscard]] constexpr std::size_t backup_of(std::size_t part,
+                                              std::size_t server_count) noexcept {
+  return server_count < 2 ? part : (part + 1) % server_count;
+}
+
+/// The partition whose replica server k hosts (inverse of backup_of).
+[[nodiscard]] constexpr std::size_t replica_part_of(
+    std::size_t server, std::size_t server_count) noexcept {
+  return server_count < 2 ? server
+                          : (server + server_count - 1) % server_count;
+}
+
+/// The index lookup resolve_psil drives: ChunkStore::sil on a partition's
+/// primary copy, or IndexPartReplica::sil when the round failed over to
+/// the backup holder.
+using PartSilFn = std::function<Result<SilResult>(
+    const std::vector<Fingerprint>&, std::vector<std::uint8_t>&)>;
+
+/// Phase B, as one index-part host runs it: fold the per-origin batches
 /// (inbox[s] is origin s's queries, in batch order) into sorted unique
 /// fingerprints, run SIL once, and resolve per-origin verdicts — a
 /// fingerprint found on disk or pending is a duplicate for every asker;
 /// a new fingerprint asked about by several origins is stored by the
 /// smallest origin id only, the rest are told "duplicate". `duplicates`
 /// accumulates the verdict count.
+[[nodiscard]] Result<std::vector<net::VerdictBatch>> resolve_psil(
+    const PartSilFn& sil, const std::vector<net::FingerprintBatch>& inbox,
+    std::uint64_t* duplicates);
+
+/// Convenience overload: PSIL over `owner`'s own (primary) index part.
 [[nodiscard]] Result<std::vector<net::VerdictBatch>> resolve_psil(
     BackupServer& owner, const std::vector<net::FingerprintBatch>& inbox,
     std::uint64_t* duplicates);
@@ -95,6 +121,11 @@ class ClusterNode {
   [[nodiscard]] net::Deadline barrier_deadline() const {
     return net::Deadline::after(config_.round_timeout);
   }
+
+  /// Locate over whichever copy of fp's partition this node hosts: the
+  /// primary (our own part) or our replica. kNotFound when we host
+  /// neither copy.
+  [[nodiscard]] Result<ContainerId> locate_hosted(const Fingerprint& fp) const;
 
   ClusterNodeConfig config_;
   BackupServer* server_;

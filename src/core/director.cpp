@@ -73,6 +73,28 @@ bool Director::is_unreachable(std::size_t server) const {
   return unreachable_servers_.contains(server);
 }
 
+void Director::probe_reachability(
+    std::size_t server_count,
+    const std::function<bool(std::size_t)>& reachable) {
+  // Snapshot first: the probe callback may take transport locks, which
+  // must never nest inside mutex_.
+  std::vector<std::size_t> marked;
+  {
+    std::lock_guard lock(mutex_);
+    for (const std::size_t s : unreachable_servers_) {
+      if (s < server_count) marked.push_back(s);
+    }
+  }
+  for (const std::size_t s : marked) {
+    if (reachable(s)) mark_reachable(s);
+  }
+}
+
+std::vector<std::size_t> Director::unreachable_servers() const {
+  std::lock_guard lock(mutex_);
+  return {unreachable_servers_.begin(), unreachable_servers_.end()};
+}
+
 void Director::attach_metadata_store(MetadataStore* store) {
   std::lock_guard lock(mutex_);
   metadata_store_ = store;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -56,6 +57,13 @@ class Director {
   void mark_unreachable(std::size_t server);
   void mark_reachable(std::size_t server);
   [[nodiscard]] bool is_unreachable(std::size_t server) const;
+
+  /// Round-boundary probe, the flip side of mark_unreachable (which would
+  /// otherwise exclude a server from assignment forever): re-admit every
+  /// marked server `reachable` says the transport can talk to again.
+  void probe_reachability(std::size_t server_count,
+                          const std::function<bool(std::size_t)>& reachable);
+  [[nodiscard]] std::vector<std::size_t> unreachable_servers() const;
 
   // ---- Metadata manager ----
 

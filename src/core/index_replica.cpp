@@ -1,0 +1,132 @@
+#include "core/index_replica.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace debar::core {
+
+IndexPartReplica::IndexPartReplica(std::size_t part, index::DiskIndex idx,
+                                   std::uint64_t io_buckets,
+                                   std::uint64_t siu_threshold,
+                                   DeviceFactory device_factory)
+    : part_(part),
+      index_(std::move(idx)),
+      io_buckets_(io_buckets),
+      siu_threshold_(siu_threshold),
+      device_factory_(std::move(device_factory)) {
+  assert(device_factory_ != nullptr);
+}
+
+double IndexPartReplica::index_clock_seconds() const {
+  const sim::DiskModel* model = index_.device().model();
+  return model == nullptr ? 0.0 : model->clock()->seconds();
+}
+
+Result<SilResult> IndexPartReplica::sil(
+    const std::vector<Fingerprint>& sorted_fps,
+    std::vector<std::uint8_t>& found) {
+  SilResult result;
+  result.queried = sorted_fps.size();
+  found.assign(sorted_fps.size(), 0);
+
+  const double t0 = index_clock_seconds();
+  Status s = index_.bulk_lookup(
+      std::span<const Fingerprint>(sorted_fps),
+      [&](std::size_t i, ContainerId) {
+        found[i] = 1;
+        ++result.found_on_disk;
+      },
+      io_buckets_);
+  if (!s.ok()) return Error{s.code(), s.message()};
+  result.seconds = index_clock_seconds() - t0;
+
+  // Checking-fingerprint pass (Section 5.4), same as the primary: entries
+  // replicated by an earlier round but still awaiting SIU are hits.
+  {
+    std::lock_guard lock(pending_mutex_);
+    for (std::size_t i = 0; i < sorted_fps.size(); ++i) {
+      if (found[i] == 0 && pending_.contains(sorted_fps[i])) {
+        found[i] = 1;
+        ++result.found_pending;
+      }
+    }
+  }
+  return result;
+}
+
+void IndexPartReplica::add_pending(std::span<const IndexEntry> entries) {
+  std::lock_guard lock(pending_mutex_);
+  for (const IndexEntry& e : entries) {
+    // Last writer wins, mirroring ChunkStore::add_pending: catch-up
+    // resync may re-deliver entries the replica already holds.
+    pending_.insert_or_assign(e.fp, e.container);
+  }
+}
+
+Result<SiuResult> IndexPartReplica::siu() {
+  SiuResult result;
+
+  std::vector<IndexEntry> entries;
+  {
+    std::lock_guard lock(pending_mutex_);
+    if (pending_.empty()) return result;
+    entries.reserve(pending_.size());
+    for (const auto& [fp, cid] : pending_) entries.push_back({fp, cid});
+  }
+  std::sort(
+      entries.begin(), entries.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+
+  const double t0 = index_clock_seconds();
+  for (;;) {
+    std::uint64_t inserted = 0;
+    std::vector<std::size_t> failed;
+    Status s = index_.bulk_insert(std::span<const IndexEntry>(entries),
+                                  io_buckets_, &inserted, &failed);
+    result.inserted += inserted;
+    if (s.ok()) break;
+    if (s.code() != Errc::kFull) return Error{s.code(), s.message()};
+
+    DEBAR_LOG_INFO("replica of part {} full at {} entries; scaling capacity",
+                   part_, index_.entry_count());
+    Result<index::DiskIndex> scaled = index_.scaled(device_factory_());
+    if (!scaled.ok()) return scaled.error();
+    index_ = std::move(scaled).value();
+    ++result.scalings;
+
+    std::vector<IndexEntry> retry;
+    retry.reserve(failed.size());
+    for (const std::size_t i : failed) retry.push_back(entries[i]);
+    entries = std::move(retry);
+    if (entries.empty()) break;
+  }
+  result.seconds = index_clock_seconds() - t0;
+
+  {
+    std::lock_guard lock(pending_mutex_);
+    pending_.clear();
+  }
+  return result;
+}
+
+std::uint64_t IndexPartReplica::pending_count() const {
+  std::lock_guard lock(pending_mutex_);
+  return pending_.size();
+}
+
+bool IndexPartReplica::siu_due() const { return pending_count() >= siu_threshold_; }
+
+Result<ContainerId> IndexPartReplica::locate(const Fingerprint& fp) const {
+  {
+    std::lock_guard lock(pending_mutex_);
+    if (const auto it = pending_.find(fp); it != pending_.end()) {
+      return it->second;
+    }
+  }
+  return index_.lookup(fp);
+}
+
+}  // namespace debar::core

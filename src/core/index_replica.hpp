@@ -1,0 +1,83 @@
+// Backup copy of a remote server's fingerprint partition (DESIGN.md §5g).
+//
+// Each of the 2^w index parts is hosted twice: by its primary owner p
+// (through that server's ChunkStore) and by the backup holder
+// (p + 1) mod 2^w, through this object. The replica is a miniature
+// index-part service: its own DiskIndex — created with the same
+// DiskIndexParams (including the hash seed) as every primary, so
+// identical entry sequences produce byte-identical device images — plus
+// its own checking (pending) set fed by the replicated phase-E commit.
+// When the primary is dark, PSIL and restore-locate fail over here;
+// writes keep flowing through the dual commit so the replica never lags
+// a committed round.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+#include "core/chunk_store.hpp"
+#include "index/disk_index.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+
+class IndexPartReplica {
+ public:
+  using DeviceFactory = std::function<std::unique_ptr<storage::BlockDevice>()>;
+
+  IndexPartReplica(std::size_t part, index::DiskIndex idx,
+                   std::uint64_t io_buckets, std::uint64_t siu_threshold,
+                   DeviceFactory device_factory);
+
+  /// The partition this object is the backup copy of.
+  [[nodiscard]] std::size_t part() const noexcept { return part_; }
+
+  /// SIL over the replica copy (PSIL failover): same contract as
+  /// ChunkStore::sil. Always the serial bulk pass — serial and pipelined
+  /// scans are byte-identical (ctest -L parallel), so the copies cannot
+  /// drift however the primary is configured.
+  [[nodiscard]] Result<SilResult> sil(
+      const std::vector<Fingerprint>& sorted_fps,
+      std::vector<std::uint8_t>& found);
+
+  /// Queue replicated phase-E entries into the checking set.
+  void add_pending(std::span<const IndexEntry> entries);
+
+  /// Flush the checking set into the replica index (serial bulk insert,
+  /// with the same capacity-scaling loop as the primary).
+  [[nodiscard]] Result<SiuResult> siu();
+
+  [[nodiscard]] std::uint64_t pending_count() const;
+  [[nodiscard]] bool siu_due() const;
+
+  /// Restore-path lookup: checking set first, then the replica index.
+  [[nodiscard]] Result<ContainerId> locate(const Fingerprint& fp) const;
+
+  [[nodiscard]] const index::DiskIndex& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] index::DiskIndex& index() noexcept { return index_; }
+
+ private:
+  [[nodiscard]] double index_clock_seconds() const;
+
+  std::size_t part_;
+  index::DiskIndex index_;
+  std::uint64_t io_buckets_;
+  std::uint64_t siu_threshold_;
+  DeviceFactory device_factory_;
+
+  mutable std::mutex pending_mutex_;
+  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> pending_;
+};
+
+}  // namespace debar::core

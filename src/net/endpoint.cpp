@@ -28,7 +28,7 @@ std::optional<Message> Endpoint::receive_from(EndpointId from,
     if (!frame.has_value()) return std::nullopt;  // deadline expired
     {
       std::lock_guard lock(mutex_);
-      if (!seen_[from].insert(frame->seq).second) {
+      if (!seen_[from].accept(frame->seq)) {
         // Duplicated delivery: the bytes crossed the wire (the transport
         // metered them) but the message was already consumed.
         continue;

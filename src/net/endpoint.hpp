@@ -9,11 +9,12 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "common/fmt.hpp"
 #include "common/result.hpp"
@@ -31,6 +32,49 @@ struct RetryPolicy {
   /// waiting time. Must exceed the fault decorator's maximum delivery
   /// delay, or a delayed frame reads as a dead peer.
   std::chrono::nanoseconds receive_timeout = 4 * kVirtualPollQuantum;
+};
+
+/// Bounded receive-side duplicate suppression. The naive alternative — a
+/// per-peer set of every sequence number ever delivered — grows without
+/// bound across rounds, a real leak in long-lived debar_clusterd
+/// processes. Instead: everything below `floor_` is implicitly seen, and
+/// at most `capacity` delivered numbers are tracked above it. In-order
+/// traffic keeps the tracked set empty; when a persistent gap pushes it
+/// past capacity the floor slides over the oldest tracked numbers, after
+/// which an ancient retransmission filling that gap would be misjudged a
+/// duplicate — the standard sliding-window trade-off, harmless here
+/// because senders retry within a bounded budget, not rounds later.
+class SeqWindow {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1024;
+
+  explicit SeqWindow(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// True when `seq` is fresh (deliver it), false for a duplicate.
+  [[nodiscard]] bool accept(std::uint32_t seq) {
+    if (seq < floor_) return false;
+    if (!ahead_.insert(seq).second) return false;
+    while (ahead_.size() > capacity_) {
+      floor_ = *ahead_.begin() + 1;
+      ahead_.erase(ahead_.begin());
+    }
+    while (!ahead_.empty() && *ahead_.begin() == floor_) {
+      ahead_.erase(ahead_.begin());
+      ++floor_;
+    }
+    return true;
+  }
+
+  /// Numbers tracked above the floor — the window's entire memory
+  /// footprint, bounded by capacity (and zero for in-order traffic).
+  [[nodiscard]] std::size_t tracked() const noexcept { return ahead_.size(); }
+  [[nodiscard]] std::uint32_t floor() const noexcept { return floor_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint32_t floor_ = 0;        // every seq below this was delivered
+  std::set<std::uint32_t> ahead_;  // delivered seqs at/above the floor
 };
 
 class Endpoint {
@@ -80,6 +124,14 @@ class Endpoint {
     return std::get<T>(std::move(*msg));
   }
 
+  /// Duplicate-suppression window introspection (regression hook: the
+  /// per-peer state must stay bounded across arbitrarily many rounds).
+  [[nodiscard]] std::size_t tracked_seqs(EndpointId from) const {
+    std::lock_guard lock(mutex_);
+    const auto it = seen_.find(from);
+    return it == seen_.end() ? 0 : it->second.tracked();
+  }
+
  private:
   Transport* transport_;
   EndpointId id_;
@@ -87,8 +139,9 @@ class Endpoint {
 
   mutable std::mutex mutex_;
   std::unordered_map<EndpointId, std::uint32_t> next_seq_;
-  /// Per-sender set of sequence numbers already delivered up the stack.
-  std::unordered_map<EndpointId, std::unordered_set<std::uint32_t>> seen_;
+  /// Per-sender window over sequence numbers already delivered up the
+  /// stack (bounded; see SeqWindow).
+  std::unordered_map<EndpointId, SeqWindow> seen_;
 };
 
 }  // namespace debar::net

@@ -100,7 +100,13 @@ Status write_full(int fd, const Byte* buf, std::size_t n,
     if (Status ready = wait_for(fd, POLLOUT, deadline, "write"); !ready.ok()) {
       return ready;
     }
-    const ssize_t rc = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    // MSG_DONTWAIT is load-bearing: POLLOUT only promises SOME buffer
+    // space, and a plain send() of the remaining count on a blocking fd
+    // parks in the kernel until the peer drains ALL of it — past any
+    // deadline. Non-blocking sends take what fits; the EAGAIN path below
+    // re-polls with the remaining budget.
+    const ssize_t rc =
+        ::send(fd, buf + done, n - done, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (rc > 0) {
       done += static_cast<std::size_t>(rc);
       continue;

@@ -215,9 +215,14 @@ Status SocketTransport::send(Frame frame) {
 
   std::lock_guard<std::mutex> peer_lock(peer->mutex);
   Status wrote = write_frame(*peer, address, frame);
-  if (!wrote.ok() && wrote.code() == Errc::kUnavailable) {
-    // Reconnect once: a cached connection the peer reset (restart,
-    // idle-kill) should not surface as an unreachable endpoint.
+  if (!wrote.ok()) {
+    // write_frame tore down the cached connection: after ANY failed or
+    // short write the stream may hold a partial frame, so it must never
+    // carry another one (the receiver discards torn frames with their
+    // connection). Retry exactly once on a fresh connection, whatever
+    // the failure class — a connection the peer reset (restart,
+    // idle-kill) or a timed-out partial write should not surface as an
+    // unreachable endpoint when a clean retransmission would land.
     wrote = write_frame(*peer, address, frame);
   }
   if (!wrote.ok()) return wrote;

@@ -13,8 +13,10 @@
 //     per-(from, to) inbox queues by their envelope;
 //   * outbound connections are cached per remote endpoint and created
 //     lazily on first send (bounded connect timeout);
-//   * a send that hits a reset or broken pipe reconnects once and
-//     retransmits the whole frame before reporting kUnavailable;
+//   * ANY failed or short write closes the cached connection — the
+//     stream may hold a partial frame and must never carry another one —
+//     then the send reconnects once and retransmits the whole frame
+//     before reporting the failure;
 //   * short reads, short writes and EINTR are absorbed by net/socket_io;
 //     a frame either arrives whole or is discarded with its connection.
 //

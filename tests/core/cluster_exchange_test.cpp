@@ -80,15 +80,19 @@ TEST(ClusterExchangeTest, RoutedBytesMatchCounts) {
 
   ASSERT_TRUE(cluster.run_dedup2(true).ok());
 
-  // Server 0 ships `cross` fingerprints out and `cross` entries for PSIU,
-  // and receives server 1's empty batches plus a no-duplicates verdict
-  // for its queries; server 1 sees the mirror image of every frame, so
+  // Server 0 ships `cross` fingerprints out and receives server 1's empty
+  // batch plus a no-duplicates verdict for its queries. Phase E
+  // dual-writes every partition (DESIGN.md §5g): server 0 sends the
+  // other part's primary copy (`cross` entries) AND the backup copy of
+  // its own part (100 - cross entries), and receives server 1's two
+  // empty batches; server 1 sees the mirror image of every frame, so
   // both NICs move the same bytes.
   const std::uint64_t expected =
       fp_batch_bytes(cross) + fp_batch_bytes(0) +      // phase A, both ways
       verdict_batch_bytes(static_cast<std::uint32_t>(cross), {}) +
       verdict_batch_bytes(0, {}) +                     // phase C, both ways
-      entry_batch_bytes(cross) + entry_batch_bytes(0); // phase E, both ways
+      entry_batch_bytes(cross) + entry_batch_bytes(100 - cross) +
+      entry_batch_bytes(0) + entry_batch_bytes(0);     // phase E, both copies
 
   const std::uint64_t nic0_delta =
       cluster.server(0).nic().bytes_transferred() - nic0_before;
@@ -142,7 +146,8 @@ TEST(ClusterExchangeTest, DuplicateVerdictsCrossTheWire) {
   }
   // Server 1 ships `cross` fingerprints, gets back a verdict marking all
   // of them duplicates (a dense run: about one varint byte per verdict),
-  // and no entries move (nothing new) — only the empty phase-E batches.
+  // and no entries move (nothing new) — only the empty phase-E batches,
+  // two each way now that every partition's copies are dual-written.
   std::vector<std::uint32_t> all_dup(cross);
   for (std::uint32_t i = 0; i < cross; ++i) all_dup[i] = i;
   const std::uint64_t expected =
@@ -150,6 +155,7 @@ TEST(ClusterExchangeTest, DuplicateVerdictsCrossTheWire) {
       verdict_batch_bytes(static_cast<std::uint32_t>(cross),
                           std::move(all_dup)) +
       verdict_batch_bytes(0, {}) +
+      entry_batch_bytes(0) + entry_batch_bytes(0) +
       entry_batch_bytes(0) + entry_batch_bytes(0);
 
   const std::uint64_t nic1_delta =

@@ -76,6 +76,31 @@ TEST(DirectorTest, AssignmentSkipsUnreachableServers) {
   EXPECT_EQ(director.assign_server(10, 100, 4), 0u);
 }
 
+TEST(DirectorTest, ProbeReadmitsServersTheTransportReachesAgain) {
+  // mark_unreachable used to be permanent — a server that failed one
+  // round was skipped forever. The round-boundary probe flips the marks
+  // back for every server its callback vouches for, and only those.
+  Director director;
+  director.mark_unreachable(0);
+  director.mark_unreachable(2);
+  EXPECT_EQ(director.unreachable_servers(),
+            (std::vector<std::size_t>{0, 2}));
+
+  // First probe: server 0 is back, server 2 still dark.
+  director.probe_reachability(4, [](std::size_t s) { return s != 2; });
+  EXPECT_FALSE(director.is_unreachable(0));
+  EXPECT_TRUE(director.is_unreachable(2));
+  EXPECT_EQ(director.unreachable_servers(), (std::vector<std::size_t>{2}));
+  // Assignment sees the recovery immediately.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(director.assign_server(1 + i, 100, 4), 2u);
+  }
+
+  // Second probe: everything answers — no marks left.
+  director.probe_reachability(4, [](std::size_t) { return true; });
+  EXPECT_TRUE(director.unreachable_servers().empty());
+}
+
 TEST(DirectorTest, AllUnreachableFallsBackToLeastLoaded) {
   Director director;
   ASSERT_EQ(director.assign_server(1, 1000, 2), 0u);  // load server 0

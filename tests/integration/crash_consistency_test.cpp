@@ -10,10 +10,18 @@
 // byte-identical — the durability invariant of the ack protocol.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "core/cluster_node.hpp"
+#include "index/disk_index.hpp"
+#include "storage/faulty_block_device.hpp"
 #include "support/crash_rig.hpp"
 #include "workload/file_tree.hpp"
 
@@ -200,6 +208,188 @@ TEST(CrashConsistency, TransientReadFaultsAreAbsorbedByRetries) {
 
   const Status recovered = rig.recover_and_verify(outcome.acked);
   EXPECT_TRUE(recovered.ok()) << recovered.to_string();
+}
+
+// ---------------------------------------------------------------------------
+// Crash windows inside the replicated phase-E commit (DESIGN.md §5g).
+// ---------------------------------------------------------------------------
+
+/// A w=1 cluster whose four index devices (primaries of servers 0 and 1,
+/// then their replicas, in factory-call order) share one FaultInjector,
+/// so a hard crash point freezes all four images at a single global op.
+/// The phase hook records the injector op-count when round 2 reaches
+/// "commit" — the start of the swept window.
+struct ReplicatedClusterRig {
+  std::shared_ptr<storage::FaultInjector> injector =
+      std::make_shared<storage::FaultInjector>(storage::FaultConfig{});
+  std::shared_ptr<std::vector<storage::MemBlockDevice*>> inners =
+      std::make_shared<std::vector<storage::MemBlockDevice*>>();
+  std::shared_ptr<std::uint64_t> commit_begin =
+      std::make_shared<std::uint64_t>(0);
+  std::shared_ptr<int> commits_seen = std::make_shared<int>(0);
+  std::unique_ptr<core::Cluster> cluster;
+
+  ReplicatedClusterRig() {
+    core::ClusterConfig cfg;
+    cfg.routing_bits = 1;
+    cfg.repository_nodes = 2;
+    // Roomy enough that two 60-chunk rounds never trigger capacity
+    // scaling: a scaling rewrite relocates old entries, which would break
+    // the "only the crash-point write tears" anchoring below.
+    cfg.server_config.index_params = {.prefix_bits = 8,
+                                      .blocks_per_bucket = 2};
+    cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+    cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                  .capacity = 1000000};
+    cfg.server_config.chunk_store.io_buckets = 8;
+    cfg.server_config.chunk_store.siu_threshold = 1;
+    cfg.server_config.index_device_factory = [injector = injector,
+                                              inners = inners] {
+      auto inner = std::make_unique<storage::MemBlockDevice>();
+      inners->push_back(inner.get());
+      return std::make_unique<storage::FaultyBlockDevice>(std::move(inner),
+                                                          injector);
+    };
+    cfg.phase_hook = [injector = injector, commit_begin = commit_begin,
+                      commits_seen = commits_seen](const char* phase) {
+      if (std::string_view(phase) == "commit" && ++*commits_seen == 2) {
+        *commit_begin = injector->op_count();
+      }
+    };
+    cluster = std::make_unique<core::Cluster>(std::move(cfg));
+  }
+};
+
+void cluster_backup(core::Cluster& cluster, std::uint64_t job,
+                    std::uint64_t first, std::uint64_t count) {
+  core::FileStore& fs = cluster.server(0).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = Sha1::hash_counter(i);
+    if (fs.offer_fingerprint(f, 512)) {
+      const auto payload = core::BackupEngine::synthetic_payload(f, 512);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+/// Open a clone of a frozen post-crash image as an index (the live device
+/// is dead; its inner holds the bytes a recovery would find on disk).
+std::optional<index::DiskIndex> open_image_clone(
+    const storage::MemBlockDevice& frozen, index::DiskIndexParams params) {
+  const ByteSpan bytes = frozen.contents();
+  auto device = std::make_unique<storage::MemBlockDevice>(bytes.size());
+  if (!device->write(0, bytes).ok()) return std::nullopt;
+  Result<index::DiskIndex> opened =
+      index::DiskIndex::open(std::move(device), params);
+  if (!opened.ok()) return std::nullopt;
+  return std::move(opened).value();
+}
+
+TEST(CrashConsistency, ReplicatedCommitKeepsAnIntactCopyOfEveryPartition) {
+  // The commit of a cluster round SIUs four index images in parallel
+  // (two primaries, two replicas — DESIGN.md §5g), so a crash leaves
+  // several of them half-applied. Exactly one write byte-tears (the op at
+  // the crash point); every other image is a clean prefix of its SIU
+  // write sequence, and inserts never relocate existing entries. The
+  // durability claim of the replica map follows: for every partition, at
+  // least one of its two copies still maps every previously-committed
+  // ("acked") fingerprint to the container that really holds its payload.
+  ReplicatedClusterRig profile;
+  const std::uint64_t job = profile.cluster->director().define_job("c", "d");
+  cluster_backup(*profile.cluster, job, 0, 60);
+  ASSERT_TRUE(profile.cluster->run_dedup2(/*force_siu=*/true).ok());
+  const std::uint64_t round1_end = profile.injector->op_count();
+  cluster_backup(*profile.cluster, job, 100, 60);
+  ASSERT_TRUE(profile.cluster->run_dedup2(true).ok());
+  const std::uint64_t commit_begin = *profile.commit_begin;
+  const std::uint64_t total = profile.injector->op_count();
+  ASSERT_GT(commit_begin, round1_end);
+  ASSERT_GT(total, commit_begin);
+
+  // Ground truth for the acked round, collected only after the window was
+  // measured: these locate() calls consume injector ops of their own, and
+  // the sweep rigs below never make them, so earlier collection would
+  // shift the profiled window. The op COUNT at each phase barrier is
+  // deterministic across runs even though the parallel-commit
+  // interleaving is not.
+  const std::size_t n = profile.cluster->server_count();
+  std::vector<Fingerprint> acked;
+  std::vector<ContainerId> truth;
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const Fingerprint f = Sha1::hash_counter(i);
+    const std::size_t owner = profile.cluster->owner_of(f);
+    Result<ContainerId> c =
+        profile.cluster->server(owner).chunk_store().locate(f);
+    ASSERT_TRUE(c.ok()) << c.error().to_string();
+    acked.push_back(f);
+    truth.push_back(c.value());
+  }
+
+  constexpr std::uint64_t kPoints = 8;
+  for (std::uint64_t k = 0; k < kPoints; ++k) {
+    const std::uint64_t point =
+        commit_begin + k * (total - commit_begin) / kPoints;
+    SCOPED_TRACE("crash at op " + std::to_string(point) +
+                 " of commit window [" + std::to_string(commit_begin) + ", " +
+                 std::to_string(total) + ")");
+    ReplicatedClusterRig rig;
+    const std::uint64_t j = rig.cluster->director().define_job("c", "d");
+    storage::FaultConfig faults;
+    faults.crash_after_ops = point;
+    rig.injector->set_config(faults);
+
+    cluster_backup(*rig.cluster, j, 0, 60);
+    Result<core::ClusterDedup2Result> round1 = rig.cluster->run_dedup2(true);
+    ASSERT_TRUE(round1.ok()) << round1.error().to_string();
+
+    cluster_backup(*rig.cluster, j, 100, 60);
+    Result<core::ClusterDedup2Result> round2 = rig.cluster->run_dedup2(true);
+    EXPECT_FALSE(round2.ok()) << "commit-window crash must fail the round";
+    EXPECT_TRUE(rig.injector->crashed());
+
+    for (std::size_t p = 0; p < n; ++p) {
+      const std::size_t backup = core::backup_of(p, n);
+      // Partition p's copies: the primary image of server p, and the
+      // replica image hosted on its backup server.
+      std::optional<index::DiskIndex> copies[2] = {
+          open_image_clone(*(*rig.inners)[p],
+                           rig.cluster->server(p).config().index_params),
+          open_image_clone(
+              *(*rig.inners)[n + backup],
+              rig.cluster->server(backup).config().index_params)};
+      bool some_copy_intact = false;
+      for (auto& copy : copies) {
+        if (!copy.has_value()) continue;
+        bool intact = true;
+        for (std::size_t i = 0; i < acked.size(); ++i) {
+          if (profile.cluster->owner_of(acked[i]) != p) continue;
+          Result<ContainerId> got = copy->lookup(acked[i]);
+          if (!got.ok() || got.value() != truth[i]) {
+            intact = false;
+            break;
+          }
+        }
+        some_copy_intact |= intact;
+      }
+      EXPECT_TRUE(some_copy_intact)
+          << "both copies of partition " << p << " lost acked entries";
+    }
+
+    // And the acked payloads are still where the intact copy says: the
+    // repository is outside the injector, so this pins that the index
+    // entries point at real, readable containers.
+    for (std::size_t i = 0; i < acked.size(); ++i) {
+      Result<storage::Container> container =
+          rig.cluster->repository().read(truth[i]);
+      ASSERT_TRUE(container.ok()) << container.error().to_string();
+      EXPECT_TRUE(container.value().find(acked[i]).has_value());
+    }
+  }
 }
 
 }  // namespace

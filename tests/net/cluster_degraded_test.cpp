@@ -1,8 +1,11 @@
-// Degraded operation: a cluster round with an unreachable peer must fail
-// cleanly at the phase barrier — no partial index or pending-set
-// mutation, drained undetermined fingerprints restored, entries deferred
-// — and the director must learn which servers to skip. Earlier versions
-// stay restorable through healthy servers for the chunks they can reach.
+// Degraded operation, the abort side: a cluster round that loses BOTH
+// copies of some index partition must fail cleanly at the phase barrier
+// — no partial index or pending-set mutation, drained undetermined
+// fingerprints restored, entries deferred — and the director must learn
+// which servers to skip. Restores fail over to the surviving copy and
+// fail only when a partition has no reachable copy left. (The degraded-
+// but-completing side — a single dark server, failover, catch-up — is
+// tests/net/cluster_failover_test.cpp.)
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -64,8 +67,13 @@ std::vector<Byte> flatten(const Dataset& dataset) {
   return out;
 }
 
-TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseAWithoutMutation) {
-  FaultyCluster rig({});
+TEST(ClusterDegradedTest, BothReplicasDarkAbortsPhaseAWithoutMutation) {
+  // A single dark server now degrades a round (its partition fails over
+  // to the backup copy — tests/net/cluster_failover_test.cpp). The
+  // all-or-nothing abort remains when BOTH copies of a partition are
+  // unreachable: at w=2, killing servers 1 and 2 takes out part 1's
+  // primary owner and its backup holder.
+  FaultyCluster rig({}, /*w=*/2);
   Cluster& cluster = *rig.cluster;
   const std::uint64_t job = cluster.director().define_job("c", "d");
 
@@ -75,44 +83,55 @@ TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseAWithoutMutation) {
   const std::vector<Byte> version1 =
       flatten(cluster.restore(job, 1, /*via=*/0).value());
 
-  // New data is waiting when server 1 dies.
+  // New data is waiting when servers 1 and 2 die.
   backup_stream(cluster, 0, job, 200, 60);
   const std::uint64_t undetermined_before =
       cluster.server(0).file_store().undetermined_count();
   ASSERT_GT(undetermined_before, 0u);
-  const std::uint64_t pending0 = cluster.server(0).chunk_store().pending_count();
-  const std::uint64_t pending1 = cluster.server(1).chunk_store().pending_count();
+  std::vector<std::uint64_t> pending_before;
+  for (std::size_t k = 0; k < cluster.server_count(); ++k) {
+    pending_before.push_back(cluster.server(k).chunk_store().pending_count());
+  }
 
   rig.faulty->set_unreachable(1, true);
+  rig.faulty->set_unreachable(2, true);
   Result<ClusterDedup2Result> degraded = cluster.run_dedup2(true);
   ASSERT_FALSE(degraded.ok());
   EXPECT_EQ(degraded.error().code, Errc::kUnavailable);
   EXPECT_NE(degraded.error().message.find("phase A"), std::string::npos)
       << degraded.error().message;
 
-  // The director knows who to skip; the healthy server is not blamed.
+  // The director knows who to skip; the healthy servers are not blamed.
   EXPECT_TRUE(cluster.director().is_unreachable(1));
+  EXPECT_TRUE(cluster.director().is_unreachable(2));
   EXPECT_FALSE(cluster.director().is_unreachable(0));
+  EXPECT_FALSE(cluster.director().is_unreachable(3));
 
   // No index or pending mutation anywhere, and the drained undetermined
   // fingerprints are back for the next round.
   EXPECT_EQ(cluster.server(0).file_store().undetermined_count(),
             undetermined_before);
-  EXPECT_EQ(cluster.server(0).chunk_store().pending_count(), pending0);
-  EXPECT_EQ(cluster.server(1).chunk_store().pending_count(), pending1);
+  for (std::size_t k = 0; k < cluster.server_count(); ++k) {
+    EXPECT_EQ(cluster.server(k).chunk_store().pending_count(),
+              pending_before[k]);
+  }
   for (std::uint64_t i = 200; i < 260; ++i) {
     const std::size_t owner = cluster.owner_of(fp(i));
     EXPECT_FALSE(cluster.server(owner).chunk_store().locate(fp(i)).ok());
   }
 
-  // Recovery: the peer comes back, the next round resolves everything
-  // the aborted round put back, and version 1 is still byte-identical.
+  // Recovery: the peers come back, the round-start probe re-admits them,
+  // the next round resolves everything the aborted round put back, and
+  // version 1 is still byte-identical.
   rig.faulty->set_unreachable(1, false);
+  rig.faulty->set_unreachable(2, false);
   Result<ClusterDedup2Result> recovered = cluster.run_dedup2(true);
   ASSERT_TRUE(recovered.ok()) << recovered.error().to_string();
   EXPECT_EQ(recovered.value().undetermined, undetermined_before);
   EXPECT_EQ(recovered.value().new_chunks, 60u);
+  EXPECT_FALSE(recovered.value().degraded());
   EXPECT_FALSE(cluster.director().is_unreachable(1));
+  EXPECT_FALSE(cluster.director().is_unreachable(2));
 
   Result<Dataset> again = cluster.restore(job, 1, /*via=*/0);
   ASSERT_TRUE(again.ok());
@@ -122,7 +141,10 @@ TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseAWithoutMutation) {
 TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseEAndDefersEntries) {
   // Let phases A and C complete and cut the network at the first phase-E
   // send: with 2 servers, each of A and C moves exactly 2 frames (one per
-  // direction), so the third accepted send pair belongs to phase E.
+  // direction), so every phase-E send (two per server now that both
+  // copies are written) is refused. The global budget makes BOTH servers
+  // read unreachable, so every partition loses both copies and the round
+  // still aborts all-or-nothing with its entries deferred.
   net::NetFaultConfig faults;
   faults.unreachable_after_sends = 4;
   FaultyCluster rig(faults);
@@ -149,7 +171,7 @@ TEST(ClusterDegradedTest, UnreachablePeerAbortsPhaseEAndDefersEntries) {
   }
 }
 
-TEST(ClusterDegradedTest, RestoreThroughHealthyServerServesWhatItCanReach) {
+TEST(ClusterDegradedTest, RestoreFailsOverToTheLocalReplicaCopy) {
   FaultyCluster rig({});
   Cluster& cluster = *rig.cluster;
   const std::uint64_t job = cluster.director().define_job("c", "d");
@@ -173,22 +195,59 @@ TEST(ClusterDegradedTest, RestoreThroughHealthyServerServesWhatItCanReach) {
 
   rig.faulty->set_unreachable(1, true);
 
-  // With server 0's LPC still cold, a chunk owned by the dead server
-  // needs its locate round trip and fails.
+  // Even with server 0's LPC cold, a chunk owned by the dead server
+  // locates on server 0's replica of part 1 — the locate fails over to
+  // the surviving copy instead of failing the restore (DESIGN.md §5g).
   Result<std::vector<Byte>> cold = cluster.read_chunk(0, cross_fp);
-  ASSERT_FALSE(cold.ok());
-  EXPECT_EQ(cold.error().code, Errc::kUnavailable);
+  ASSERT_TRUE(cold.ok()) << cold.error().to_string();
+  EXPECT_EQ(cold.value(), BackupEngine::synthetic_payload(cross_fp, 512));
   EXPECT_TRUE(cluster.director().is_unreachable(1));
 
-  // Chunks server 0 owns locate locally and still restore — and reading
-  // one prefetches its whole container into the LPC, which brings the
-  // co-located cross-owned chunk back into reach without any network.
+  // Chunks server 0 owns locate locally and still restore.
   Result<std::vector<Byte>> own = cluster.read_chunk(0, own_fp);
   ASSERT_TRUE(own.ok()) << own.error().to_string();
   EXPECT_EQ(own.value(), BackupEngine::synthetic_payload(own_fp, 512));
-  Result<std::vector<Byte>> cached = cluster.read_chunk(0, cross_fp);
-  ASSERT_TRUE(cached.ok()) << cached.error().to_string();
-  EXPECT_EQ(cached.value(), BackupEngine::synthetic_payload(cross_fp, 512));
+}
+
+TEST(ClusterDegradedTest, RestoreFailsOnlyWhenBothCopyHoldersAreDark) {
+  // At w=2 a part-1 chunk has copies on servers 1 (primary) and 2
+  // (backup). With both dark and the serving server's LPC cold, the
+  // locate exhausts every copy and the read fails; chunks whose partition
+  // kept a live copy still restore.
+  FaultyCluster rig({}, /*w=*/2);
+  Cluster& cluster = *rig.cluster;
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+
+  backup_stream(cluster, 0, job, 0, 60);
+  ASSERT_TRUE(cluster.run_dedup2(true).ok());
+
+  Fingerprint part1_fp, part0_fp;
+  bool have1 = false, have0 = false;
+  for (std::uint64_t i = 0; i < 60 && !(have1 && have0); ++i) {
+    if (cluster.owner_of(fp(i)) == 1 && !have1) {
+      part1_fp = fp(i);
+      have1 = true;
+    } else if (cluster.owner_of(fp(i)) == 0 && !have0) {
+      part0_fp = fp(i);
+      have0 = true;
+    }
+  }
+  ASSERT_TRUE(have1 && have0);
+
+  rig.faulty->set_unreachable(1, true);
+  rig.faulty->set_unreachable(2, true);
+
+  Result<std::vector<Byte>> lost = cluster.read_chunk(0, part1_fp);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.error().code, Errc::kUnavailable);
+  EXPECT_TRUE(cluster.director().is_unreachable(1));
+  EXPECT_TRUE(cluster.director().is_unreachable(2));
+
+  // Part 0 keeps both of its copies (servers 0 and 1... server 1 is dark,
+  // but the primary on server 0 answers first) and still restores.
+  Result<std::vector<Byte>> kept = cluster.read_chunk(0, part0_fp);
+  ASSERT_TRUE(kept.ok()) << kept.error().to_string();
+  EXPECT_EQ(kept.value(), BackupEngine::synthetic_payload(part0_fp, 512));
 }
 
 }  // namespace

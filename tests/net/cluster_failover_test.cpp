@@ -1,0 +1,227 @@
+// Degraded operation, the completing side (DESIGN.md §5g): with every
+// index partition replicated on server (p + 1) mod n, a single dark
+// server degrades a dedup-2 round instead of aborting it — its partition
+// fails over to the backup copy — and the SURVIVING copies' disk images
+// stay byte-identical to a fault-free run of the same workload. When the
+// dark server returns, the round-start probe re-admits it and the
+// surviving holder re-ships the entries it missed (catch-up resync), so
+// restores work through the rejoined server even with its peer dark.
+// `ctest -L net-failover` runs this suite plus the abort-side cases in
+// cluster_degraded_test.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "net/faulty_transport.hpp"
+#include "net/transport_factory.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+namespace {
+
+Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+/// A cluster over a FaultyTransport whose index devices (primary and
+/// replica, in factory-call order: primaries 0..n-1, then replicas
+/// 0..n-1) stay inspectable for byte-level comparison.
+struct FailoverRig {
+  net::FaultyTransport* faulty = nullptr;  // owned by the cluster's stack
+  std::shared_ptr<std::vector<storage::MemBlockDevice*>> devices =
+      std::make_shared<std::vector<storage::MemBlockDevice*>>();
+  std::unique_ptr<Cluster> cluster;
+
+  explicit FailoverRig(unsigned w) {
+    ClusterConfig cfg;
+    cfg.routing_bits = w;
+    cfg.repository_nodes = 2;
+    cfg.server_config.index_params = {.prefix_bits = 6,
+                                      .blocks_per_bucket = 2};
+    cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+    cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                  .capacity = 1000000};
+    cfg.server_config.chunk_store.io_buckets = 8;
+    cfg.server_config.chunk_store.siu_threshold = 1;
+    cfg.server_config.index_device_factory = [captured = devices] {
+      auto device = std::make_unique<storage::MemBlockDevice>();
+      captured->push_back(device.get());
+      return device;
+    };
+    auto factory = std::make_shared<net::FaultyTransportFactory>(
+        net::NetFaultConfig{});
+    cfg.transport_factory = factory;
+    cluster = std::make_unique<Cluster>(std::move(cfg));
+    faulty = factory->last();
+  }
+
+  [[nodiscard]] std::vector<Byte> primary_image(std::size_t k) const {
+    const ByteSpan bytes = (*devices)[k]->contents();
+    return {bytes.begin(), bytes.end()};
+  }
+  [[nodiscard]] std::vector<Byte> replica_image(std::size_t k) const {
+    const ByteSpan bytes =
+        (*devices)[cluster->server_count() + k]->contents();
+    return {bytes.begin(), bytes.end()};
+  }
+};
+
+void backup_stream(Cluster& cluster, std::size_t server, std::uint64_t job,
+                   std::uint64_t first, std::uint64_t count) {
+  FileStore& fs = cluster.server(server).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = fp(i);
+    if (fs.offer_fingerprint(f, 512)) {
+      const auto payload = BackupEngine::synthetic_payload(f, 512);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+std::vector<Byte> flatten(const Dataset& dataset) {
+  std::vector<Byte> out;
+  for (const FileData& file : dataset.files) {
+    out.insert(out.end(), file.content.begin(), file.content.end());
+  }
+  return out;
+}
+
+/// Every stored container's serialized image, keyed by id order — the
+/// repository-side half of the byte-identity bar.
+std::vector<std::vector<Byte>> container_images(Cluster& cluster) {
+  std::vector<std::vector<Byte>> images;
+  for (const ContainerId id : cluster.repository().container_ids()) {
+    Result<storage::Container> container = cluster.repository().read(id);
+    EXPECT_TRUE(container.ok());
+    if (container.ok()) images.push_back(container.value().serialize());
+  }
+  return images;
+}
+
+TEST(ClusterFailoverTest, SingleDarkServerDegradesWithByteIdenticalState) {
+  // Twin rigs, same workload: in one of them server 1 is dark for the
+  // whole round. The degraded round must complete via server 0's replica
+  // of part 1 and leave server 0's primary AND replica index images —
+  // and the chunk repository — byte-identical to the fault-free twin.
+  FailoverRig clean(/*w=*/1);
+  FailoverRig faulty(/*w=*/1);
+
+  const std::uint64_t clean_job = clean.cluster->director().define_job("c",
+                                                                       "d");
+  const std::uint64_t dark_job = faulty.cluster->director().define_job("c",
+                                                                       "d");
+  backup_stream(*clean.cluster, 0, clean_job, 0, 60);
+  backup_stream(*faulty.cluster, 0, dark_job, 0, 60);
+
+  faulty.faulty->set_unreachable(1, true);
+
+  Result<ClusterDedup2Result> clean_round = clean.cluster->run_dedup2(true);
+  ASSERT_TRUE(clean_round.ok());
+  EXPECT_FALSE(clean_round.value().degraded());
+
+  Result<ClusterDedup2Result> dark_round = faulty.cluster->run_dedup2(true);
+  ASSERT_TRUE(dark_round.ok()) << dark_round.error().to_string();
+  EXPECT_TRUE(dark_round.value().degraded());
+  EXPECT_GE(dark_round.value().failovers, 1u);
+  EXPECT_EQ(dark_round.value().skipped_servers, std::vector<std::size_t>{1});
+  EXPECT_TRUE(faulty.cluster->director().is_unreachable(1));
+  EXPECT_FALSE(faulty.cluster->director().is_unreachable(0));
+
+  // Same round accounting either way: the backup copy answers PSIL with
+  // the same verdicts the primary would have.
+  EXPECT_EQ(dark_round.value().undetermined, clean_round.value().undetermined);
+  EXPECT_EQ(dark_round.value().duplicates, clean_round.value().duplicates);
+  EXPECT_EQ(dark_round.value().new_chunks, clean_round.value().new_chunks);
+
+  // The correctness bar: surviving copies byte-identical across fault
+  // schedules, repository included.
+  EXPECT_EQ(faulty.primary_image(0), clean.primary_image(0));
+  EXPECT_EQ(faulty.replica_image(0), clean.replica_image(0));
+  EXPECT_EQ(container_images(*faulty.cluster),
+            container_images(*clean.cluster));
+
+  // And the backed-up version restores through the surviving server.
+  const std::vector<Byte> clean_bytes =
+      flatten(clean.cluster->restore(clean_job, 1, /*via=*/0).value());
+  Result<Dataset> degraded_restore =
+      faulty.cluster->restore(dark_job, 1, /*via=*/0);
+  ASSERT_TRUE(degraded_restore.ok());
+  EXPECT_EQ(flatten(degraded_restore.value()), clean_bytes);
+}
+
+TEST(ClusterFailoverTest, RejoinedServerCatchesUpAndServesRestores) {
+  FailoverRig rig(/*w=*/1);
+  Cluster& cluster = *rig.cluster;
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+
+  // Round 1: healthy. Round 2: server 1 dark — the round degrades, and
+  // both copies server 1 hosts (part 1 primary, part 0 replica) miss the
+  // round's entries.
+  backup_stream(cluster, 0, job, 0, 60);
+  ASSERT_TRUE(cluster.run_dedup2(true).ok());
+
+  rig.faulty->set_unreachable(1, true);
+  backup_stream(cluster, 0, job, 100, 60);
+  Result<ClusterDedup2Result> degraded = cluster.run_dedup2(true);
+  ASSERT_TRUE(degraded.ok()) << degraded.error().to_string();
+  EXPECT_TRUE(degraded.value().degraded());
+  EXPECT_TRUE(cluster.director().is_unreachable(1));
+
+  // Heal. The next round's boundary probe re-admits server 1 and the
+  // surviving copies re-ship everything it missed before the exchange.
+  rig.faulty->set_unreachable(1, false);
+  Result<ClusterDedup2Result> healed = cluster.run_dedup2(true);
+  ASSERT_TRUE(healed.ok()) << healed.error().to_string();
+  EXPECT_FALSE(healed.value().degraded());
+  EXPECT_FALSE(cluster.director().is_unreachable(1));
+
+  // Now dark the OTHER server: every chunk of version 2 must still
+  // restore through the rejoined server 1 — part-1 fingerprints off its
+  // caught-up primary, part-0 fingerprints off its caught-up replica.
+  rig.faulty->set_unreachable(0, true);
+  Result<Dataset> restored = cluster.restore(job, 2, /*via=*/1);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  std::vector<Byte> expected;
+  for (std::uint64_t i = 100; i < 160; ++i) {
+    const auto payload = BackupEngine::synthetic_payload(fp(i), 512);
+    expected.insert(expected.end(), payload.begin(), payload.end());
+  }
+  EXPECT_EQ(flatten(restored.value()), expected);
+}
+
+TEST(ClusterFailoverTest, WireLocateFailsOverToTheBackupHolder) {
+  // At w=2 the serving server hosts neither copy of a part-1 chunk; with
+  // the primary owner dark the locate round trip must fail over to the
+  // backup holder (server 2) over the wire.
+  FailoverRig rig(/*w=*/2);
+  Cluster& cluster = *rig.cluster;
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+
+  backup_stream(cluster, 0, job, 0, 60);
+  ASSERT_TRUE(cluster.run_dedup2(true).ok());
+
+  Fingerprint part1_fp;
+  bool found = false;
+  for (std::uint64_t i = 0; i < 60 && !found; ++i) {
+    if (cluster.owner_of(fp(i)) == 1) {
+      part1_fp = fp(i);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found);
+
+  rig.faulty->set_unreachable(1, true);
+  Result<std::vector<Byte>> read = cluster.read_chunk(0, part1_fp);
+  ASSERT_TRUE(read.ok()) << read.error().to_string();
+  EXPECT_EQ(read.value(), BackupEngine::synthetic_payload(part1_fp, 512));
+  EXPECT_TRUE(cluster.director().is_unreachable(1));
+}
+
+}  // namespace
+}  // namespace debar::core

@@ -1,0 +1,97 @@
+// Regression: receive-side duplicate suppression must stay bounded. The
+// endpoint used to remember every sequence number it ever delivered per
+// peer — a leak that grows by one entry per frame for the life of a
+// debar_clusterd process. SeqWindow replaces the set with a sliding
+// window: a contiguous delivered floor plus at most `capacity` tracked
+// numbers above it.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/endpoint.hpp"
+#include "net/loopback_transport.hpp"
+
+namespace debar::net {
+namespace {
+
+TEST(SeqWindowTest, InOrderTrafficTracksNothing) {
+  SeqWindow window;
+  for (std::uint32_t seq = 0; seq < 10000; ++seq) {
+    EXPECT_TRUE(window.accept(seq));
+    EXPECT_EQ(window.tracked(), 0u);
+  }
+  EXPECT_EQ(window.floor(), 10000u);
+}
+
+TEST(SeqWindowTest, DuplicatesAreRejectedAboveAndBelowTheFloor) {
+  SeqWindow window;
+  EXPECT_TRUE(window.accept(0));
+  EXPECT_TRUE(window.accept(1));
+  EXPECT_FALSE(window.accept(0));  // below the floor: implicitly seen
+  EXPECT_FALSE(window.accept(1));
+  EXPECT_TRUE(window.accept(5));   // out of order, tracked above the floor
+  EXPECT_FALSE(window.accept(5));  // tracked: explicitly seen
+  EXPECT_EQ(window.tracked(), 1u);
+}
+
+TEST(SeqWindowTest, GapFillAdvancesTheFloorAndFreesTracking) {
+  SeqWindow window;
+  EXPECT_TRUE(window.accept(1));
+  EXPECT_TRUE(window.accept(2));
+  EXPECT_TRUE(window.accept(3));
+  EXPECT_EQ(window.tracked(), 3u);  // gap at 0 holds the floor down
+  EXPECT_TRUE(window.accept(0));    // fill the gap...
+  EXPECT_EQ(window.tracked(), 0u);  // ...and the whole run collapses
+  EXPECT_EQ(window.floor(), 4u);
+}
+
+TEST(SeqWindowTest, PersistentGapSlidesTheWindowInsteadOfGrowing) {
+  SeqWindow window(/*capacity=*/8);
+  // Sequence 0 never arrives; deliveries 1..N would pin an unbounded set
+  // in the old design. The window must cap memory at `capacity` and slide
+  // its floor over the oldest tracked numbers.
+  for (std::uint32_t seq = 1; seq <= 1000; ++seq) {
+    EXPECT_TRUE(window.accept(seq));
+    EXPECT_LE(window.tracked(), 8u);
+  }
+  EXPECT_GT(window.floor(), 0u);
+  // The slid-over gap is forgiven: an ancient retransmission of 0 now
+  // reads as a duplicate — the documented trade-off.
+  EXPECT_FALSE(window.accept(0));
+  // Fresh in-order traffic keeps flowing.
+  EXPECT_TRUE(window.accept(1001));
+}
+
+TEST(SeqWindowTest, WindowSlideKeepsAdvancingOverContiguousRuns) {
+  // Overflow while the tracked run is contiguous with the new floor: the
+  // trim and the contiguous-advance must compose (trim first, then
+  // advance), or the window stalls with tracked == capacity forever.
+  SeqWindow window(/*capacity=*/1);
+  EXPECT_TRUE(window.accept(5));
+  EXPECT_EQ(window.tracked(), 1u);
+  EXPECT_TRUE(window.accept(6));  // overflow: floor slides to 6, then eats 6
+  EXPECT_EQ(window.tracked(), 0u);
+  EXPECT_EQ(window.floor(), 7u);
+}
+
+TEST(SeqWindowTest, EndpointDedupStateStaysBoundedAcrossTraffic) {
+  // The endpoint-level regression: after thousands of frames (the
+  // loopback transport delivers in order), the per-peer window must have
+  // no tracked entries — the leak this type replaced kept one entry per
+  // frame.
+  auto transport = std::make_unique<LoopbackTransport>();
+  ASSERT_TRUE(transport->register_endpoint(0, nullptr).ok());
+  ASSERT_TRUE(transport->register_endpoint(1, nullptr).ok());
+  Endpoint sender(transport.get(), 0);
+  Endpoint receiver(transport.get(), 1);
+
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(sender.send(1, Control{}).ok());
+    Result<Control> got = receiver.expect<Control>(0);
+    ASSERT_TRUE(got.ok());
+  }
+  EXPECT_EQ(receiver.tracked_seqs(0), 0u);
+}
+
+}  // namespace
+}  // namespace debar::net

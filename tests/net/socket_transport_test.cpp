@@ -216,6 +216,50 @@ TEST(SocketTransportTest, ReconnectsAfterCachedConnectionDropped) {
   EXPECT_EQ(got->seq, 1u);
 }
 
+TEST(SocketTransportTest, ShortWriteTearsDownTheConnectionBeforeReuse) {
+  // A frame that times out mid-write leaves a torn prefix on the TCP
+  // stream, so the failed send must close its connection: a cached fd
+  // that survived the failure would put every later frame behind the
+  // torn bytes (or, as here, keep pointing at a dead address).
+  Harness h;
+  SocketOptions opts;
+  opts.write_timeout = std::chrono::milliseconds(200);
+  SocketTransport sender{AddressMap{}, opts};
+  ASSERT_TRUE(sender.register_endpoint(0, &h.nic0).ok());
+
+  // A listener that never accepts: the handshake completes in the kernel
+  // backlog, nobody ever drains, so the buffers fill and a bulk frame
+  // blocks mid-write until the timeout expires.
+  std::uint16_t sink_port = 0;
+  Result<int> sink = io::listen_tcp("127.0.0.1", 0, &sink_port);
+  ASSERT_TRUE(sink.ok()) << sink.error().to_string();
+  sender.bind_address(1, Address{Address::Kind::kTcp, "127.0.0.1", sink_port});
+
+  // Sized past the worst-case kernel absorption (sender sndbuf plus a
+  // fully autotuned receiver rcvbuf) so the write reliably blocks.
+  FingerprintBatch bulk;
+  bulk.fps.assign((48u << 20) / sizeof(Fingerprint), Sha1::hash_counter(1));
+  Status sent = sender.send(Frame{0, 1, 0, encode(0, 1, 0, Message{bulk})});
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), Errc::kUnavailable);
+
+  // Endpoint 1 now comes up for real at a different address. The next
+  // send must open a fresh connection there — proof the partial write
+  // tore down the cached one instead of leaving it to swallow frames.
+  SocketTransport receiver{AddressMap{}};
+  ASSERT_TRUE(receiver.register_endpoint(1, &h.nic1).ok());
+  const auto addr = receiver.address_of(1);
+  ASSERT_TRUE(addr.has_value());
+  sender.bind_address(1, *addr);
+
+  ASSERT_TRUE(sender.send(make_frame(0, 1, 1, 42)).ok());
+  std::optional<Frame> got =
+      receiver.receive(1, 0, Deadline::after(kTestDeadline));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->seq, 1u);
+  ::close(sink.value());
+}
+
 TEST(SocketTransportTest, SendToUnmappedEndpointRefuses) {
   Harness h;
   SocketTransport t{AddressMap{}};
