@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -224,7 +225,7 @@ std::vector<double> run_read(ClusterRun& run) {
 
 const double kSizesTb[] = {0.5, 1, 2, 4, 8};
 
-void print_tables() {
+void print_tables(const char* wire_json_path) {
   std::printf("\n=== Figure 14(a): aggregate write throughput, 16 servers "
               "(GB/s, modeled) ===\n");
   std::printf("index (TB) | dedup-1 | dedup-2 | total\n");
@@ -254,23 +255,61 @@ void print_tables() {
   std::printf("measured LPC hit rate across servers: %.1f%%\n",
               hit_rate / 16 * 100.0);
 
-  // Wire traffic of the whole 2 TB run (writes + restores), read off the
-  // transport: exchange costs come from serialized message sizes, not
-  // assumed constants.
+  // Exchange traffic of the whole 2 TB run (writes + restores), read off
+  // the transport: costs come from serialized message sizes, not assumed
+  // constants. The per-type figures are the raw (paper-model) ledger —
+  // one v1 frame per message, invariant under the wire codec — and the
+  // trailing totals show what the codec actually put on the wire.
   const net::TransportStats wire = read_run.cluster->transport_stats();
   auto mb = [&](net::MessageType t) {
     return static_cast<double>(
-               wire.bytes_by_type[static_cast<std::size_t>(t)]) /
+               wire.raw_bytes_by_type[static_cast<std::size_t>(t)]) /
            1e6;
   };
-  std::printf("wire traffic (2 TB run, MB): fp %.1f, verdict %.1f, entry "
-              "%.1f, locate %.2f, chunk data %.1f\n\n",
+  std::printf("raw traffic (2 TB run, MB): fp %.1f, verdict %.1f, entry "
+              "%.1f, locate %.2f, chunk data %.1f\n",
               mb(net::MessageType::kFingerprintBatch),
               mb(net::MessageType::kVerdictBatch),
               mb(net::MessageType::kIndexEntryBatch),
               mb(net::MessageType::kChunkLocateRequest) +
                   mb(net::MessageType::kChunkLocateReply),
               mb(net::MessageType::kChunkData));
+  std::printf("raw -> coalesced wire total (MB): %.1f -> %.1f\n\n",
+              static_cast<double>(wire.raw_bytes_sent) / 1e6,
+              static_cast<double>(wire.bytes_sent) / 1e6);
+
+  // Machine-readable ledger of the same run for the perf trajectory
+  // (bench_wire_codec emits the before/after BENCH_wire.json; this dump
+  // adds the full-figure-14 data point alongside it).
+  if (wire_json_path != nullptr) {
+    std::FILE* f = std::fopen(wire_json_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", wire_json_path);
+      std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig14_cluster\",\n"
+                 "  \"raw_bytes\": %llu,\n  \"wire_bytes\": %llu,\n"
+                 "  \"frames\": %llu,\n  \"raw_by_type\": {\"fp\": %llu, "
+                 "\"verdict\": %llu, \"entry\": %llu, \"chunk\": %llu}\n}\n",
+                 static_cast<unsigned long long>(wire.raw_bytes_sent),
+                 static_cast<unsigned long long>(wire.bytes_sent),
+                 static_cast<unsigned long long>(wire.frames_sent),
+                 static_cast<unsigned long long>(
+                     wire.raw_bytes_by_type[static_cast<std::size_t>(
+                         net::MessageType::kFingerprintBatch)]),
+                 static_cast<unsigned long long>(
+                     wire.raw_bytes_by_type[static_cast<std::size_t>(
+                         net::MessageType::kVerdictBatch)]),
+                 static_cast<unsigned long long>(
+                     wire.raw_bytes_by_type[static_cast<std::size_t>(
+                         net::MessageType::kIndexEntryBatch)]),
+                 static_cast<unsigned long long>(
+                     wire.raw_bytes_by_type[static_cast<std::size_t>(
+                         net::MessageType::kChunkData)]));
+    std::fclose(f);
+    std::printf("wrote %s\n", wire_json_path);
+  }
 }
 
 /// One small two-server dedup-2 workload (two overlapping generations)
@@ -324,6 +363,10 @@ void print_socket_parity() {
   const net::TransportStats measured =
       parity_run(std::make_shared<net::SocketTransportFactory>(
           net::AddressMap{}));
+  // Per-type rows compare the raw (paper-model) ledger: it is invariant
+  // under the wire codec, so this parity check holds whether the codec
+  // is on or off. The wire totals must also agree — both legs run the
+  // same (deterministic) codec configuration.
   std::printf("%-12s | %18s | %18s\n", "message type", "loopback (modeled)",
               "socket (measured)");
   const struct {
@@ -335,13 +378,18 @@ void print_socket_parity() {
   for (const auto& row : rows) {
     const auto t = static_cast<std::size_t>(row.type);
     std::printf("%-12s | %18llu | %18llu\n", row.name,
-                static_cast<unsigned long long>(modeled.bytes_by_type[t]),
-                static_cast<unsigned long long>(measured.bytes_by_type[t]));
+                static_cast<unsigned long long>(modeled.raw_bytes_by_type[t]),
+                static_cast<unsigned long long>(
+                    measured.raw_bytes_by_type[t]));
   }
-  std::printf("total sent   | %18llu | %18llu  (%s)\n",
+  std::printf("raw sent     | %18llu | %18llu\n",
+              static_cast<unsigned long long>(modeled.raw_bytes_sent),
+              static_cast<unsigned long long>(measured.raw_bytes_sent));
+  std::printf("wire sent    | %18llu | %18llu  (%s)\n",
               static_cast<unsigned long long>(modeled.bytes_sent),
               static_cast<unsigned long long>(measured.bytes_sent),
-              modeled.bytes_sent == measured.bytes_sent &&
+              modeled.raw_bytes_sent == measured.raw_bytes_sent &&
+                      modeled.bytes_sent == measured.bytes_sent &&
                       modeled.bytes_delivered == measured.bytes_delivered
                   ? "parity"
                   : "MISMATCH");
@@ -378,7 +426,13 @@ BENCHMARK(BM_Fig14_Read)->Iterations(1)->Unit(benchmark::kSecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  const char* wire_json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--wire_json=", 12) == 0) {
+      wire_json_path = argv[i] + 12;
+    }
+  }
+  print_tables(wire_json_path);
   print_socket_parity();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,282 @@
+// Wire-codec perf trajectory: the fig14-style cluster workload run over
+// {loopback, socket} x {codec off, codec on}, verifying byte-identical
+// restores and emitting machine-readable BENCH_wire.json (wire bytes and
+// wall-clock, before/after) — the seed of the repo's perf trajectory
+// (ROADMAP item 1).
+//
+//   bench_wire_codec [--out <path>]     measure and write the JSON
+//   bench_wire_codec --check <path>     re-measure and compare against a
+//                                       checked-in baseline: fails if the
+//                                       codec-on wire bytes regressed >5%
+//                                       or the reduction fell below 30%
+//
+// Wire bytes are deterministic up to a few container-ID delta bytes
+// (phase D allocates container IDs across concurrent origins), which is
+// why the check uses a tolerance instead of equality.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "net/transport_factory.hpp"
+#include "workload/fingerprint_stream.hpp"
+
+namespace {
+
+using namespace debar;
+
+constexpr unsigned kRoutingBits = 2;  // 4 servers
+constexpr std::size_t kServers = 1u << kRoutingBits;
+constexpr std::size_t kStreamsPerServer = 2;
+constexpr std::size_t kStreams = kServers * kStreamsPerServer;
+constexpr unsigned kVersions = 3;
+constexpr std::uint64_t kChunksPerVersion = 256;  // per stream
+constexpr std::uint32_t kChunkSize = 2048;
+
+struct Leg {
+  const char* transport;
+  const char* codec;
+  net::TransportStats stats;
+  double wall_seconds = 0;
+  std::vector<Byte> restored;  // all restored bytes, every stream/version
+};
+
+Leg run_leg(bool socket, bool codec_on) {
+  Leg leg;
+  leg.transport = socket ? "socket" : "loopback";
+  leg.codec = codec_on ? "on" : "off";
+
+  core::ClusterConfig cfg;
+  cfg.routing_bits = kRoutingBits;
+  cfg.repository_nodes = 4;
+  cfg.server_config.index_params = {.prefix_bits = 10,
+                                    .blocks_per_bucket = 16};
+  cfg.server_config.filter_params = {.hash_bits = 14, .capacity = 1 << 22};
+  cfg.server_config.chunk_store.cache_params = {.hash_bits = 8,
+                                                .capacity = 1 << 24};
+  cfg.server_config.chunk_store.io_buckets = 256;
+  cfg.server_config.chunk_store.siu_threshold = 1;
+  if (codec_on) cfg.wire_codec = net::WireCodecConfig::enabled();
+  if (socket) {
+    cfg.transport_factory =
+        std::make_shared<net::SocketTransportFactory>(net::AddressMap{});
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  core::Cluster cluster(std::move(cfg));
+
+  workload::SubspaceRegistry registry(3);  // 8 stream subspaces
+  std::vector<std::unique_ptr<workload::VersionedStream>> streams;
+  std::vector<std::uint64_t> jobs;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    streams.push_back(std::make_unique<workload::VersionedStream>(
+        &registry, workload::StreamParams{.stream_id = s,
+                                          .dup_fraction = 0.5,
+                                          .cross_fraction = 0.3,
+                                          .seed = 1414}));
+    jobs.push_back(
+        cluster.director().define_job("c" + std::to_string(s), "stream"));
+  }
+
+  for (unsigned v = 1; v <= kVersions; ++v) {
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const std::size_t srv = s / kStreamsPerServer;
+      core::FileStore& fs = cluster.server(srv).file_store();
+      const std::vector<Fingerprint> fps =
+          streams[s]->next_version(kChunksPerVersion);
+      fs.begin_job(jobs[s]);
+      fs.begin_file({.path = "v" + std::to_string(v),
+                     .size = fps.size() * kChunkSize,
+                     .mtime = 0,
+                     .mode = 0644});
+      for (const Fingerprint& fp : fps) {
+        if (fs.offer_fingerprint(fp, kChunkSize)) {
+          const auto payload =
+              core::BackupEngine::synthetic_payload(fp, kChunkSize);
+          if (!fs.receive_chunk(fp, ByteSpan(payload.data(), payload.size()))
+                   .ok()) {
+            std::fprintf(stderr, "receive_chunk failed\n");
+            std::exit(1);
+          }
+        }
+      }
+      fs.end_file();
+      if (!fs.end_job().ok()) std::exit(1);
+    }
+    const auto result = cluster.run_dedup2(/*force_siu=*/true);
+    if (!result.ok()) {
+      std::fprintf(stderr, "dedup-2 failed: %s\n",
+                   result.error().to_string().c_str());
+      std::exit(1);
+    }
+  }
+
+  // Restore every version through the stream's own server: ChunkData
+  // (and cross-owner locate traffic) all crosses the metered wire.
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    for (unsigned v = 1; v <= kVersions; ++v) {
+      const auto restored =
+          cluster.restore(jobs[s], v, s / kStreamsPerServer);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "restore %zu/v%u failed: %s\n", s, v,
+                     restored.error().to_string().c_str());
+        std::exit(1);
+      }
+      for (const auto& f : restored.value().files) {
+        leg.restored.insert(leg.restored.end(), f.content.begin(),
+                            f.content.end());
+      }
+    }
+  }
+
+  leg.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  leg.stats = cluster.transport_stats();
+  return leg;
+}
+
+double reduction(const Leg& off, const Leg& on) {
+  return 1.0 - static_cast<double>(on.stats.bytes_sent) /
+                   static_cast<double>(off.stats.bytes_sent);
+}
+
+/// The four legs, in the fixed order the JSON (and the checker) uses:
+/// loopback off, loopback on, socket off, socket on.
+std::vector<Leg> measure() {
+  std::vector<Leg> legs;
+  for (const bool socket : {false, true}) {
+    legs.push_back(run_leg(socket, /*codec_on=*/false));
+    legs.push_back(run_leg(socket, /*codec_on=*/true));
+    const Leg& off = legs[legs.size() - 2];
+    const Leg& on = legs.back();
+    if (on.restored != off.restored || on.restored.empty()) {
+      std::fprintf(stderr, "%s: codec-on restore differs from codec-off\n",
+                   on.transport);
+      std::exit(1);
+    }
+    if (on.stats.raw_bytes_sent != off.stats.raw_bytes_sent) {
+      std::fprintf(stderr, "%s: raw ledger moved with the codec\n",
+                   on.transport);
+      std::exit(1);
+    }
+    std::printf("%-8s raw %llu B; wire %llu -> %llu B (%.1f%% reduction); "
+                "wall %.2fs -> %.2fs\n",
+                on.transport,
+                static_cast<unsigned long long>(on.stats.raw_bytes_sent),
+                static_cast<unsigned long long>(off.stats.bytes_sent),
+                static_cast<unsigned long long>(on.stats.bytes_sent),
+                reduction(off, on) * 100.0, off.wall_seconds,
+                on.wall_seconds);
+    if (reduction(off, on) < 0.30) {
+      std::fprintf(stderr, "%s: reduction below the 30%% acceptance bar\n",
+                   on.transport);
+      std::exit(1);
+    }
+  }
+  return legs;
+}
+
+void write_json(const std::vector<Leg>& legs, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"wire_codec\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"servers\": %zu, \"streams\": %zu, "
+               "\"versions\": %u, \"chunks_per_version\": %llu, "
+               "\"chunk_bytes\": %u},\n",
+               kServers, kStreams, kVersions,
+               static_cast<unsigned long long>(kChunksPerVersion),
+               kChunkSize);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    const Leg& leg = legs[i];
+    std::fprintf(f,
+                 "    {\"transport\": \"%s\", \"codec\": \"%s\", "
+                 "\"raw_bytes\": %llu, \"wire_bytes\": %llu, "
+                 "\"frames\": %llu, \"wall_seconds\": %.3f}%s\n",
+                 leg.transport, leg.codec,
+                 static_cast<unsigned long long>(leg.stats.raw_bytes_sent),
+                 static_cast<unsigned long long>(leg.stats.bytes_sent),
+                 static_cast<unsigned long long>(leg.stats.frames_sent),
+                 leg.wall_seconds, i + 1 < legs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"reduction\": {\"loopback\": %.4f, \"socket\": %.4f}\n",
+               reduction(legs[0], legs[1]), reduction(legs[2], legs[3]));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Pull every `"wire_bytes": N` out of the baseline, in file order. A
+/// full JSON parser would be overkill for a file this bench itself wrote.
+std::vector<unsigned long long> baseline_wire_bytes(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "baseline %s missing\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::vector<unsigned long long> values;
+  const std::string key = "\"wire_bytes\": ";
+  for (std::size_t at = text.find(key); at != std::string::npos;
+       at = text.find(key, at + 1)) {
+    values.push_back(std::strtoull(text.c_str() + at + key.size(), nullptr,
+                                   10));
+  }
+  return values;
+}
+
+int check(const std::string& path) {
+  const std::vector<unsigned long long> baseline = baseline_wire_bytes(path);
+  if (baseline.size() != 4) {
+    std::fprintf(stderr, "baseline %s malformed: %zu wire_bytes entries\n",
+                 path.c_str(), baseline.size());
+    return 1;
+  }
+  const std::vector<Leg> legs = measure();
+  int rc = 0;
+  for (std::size_t i = 0; i < legs.size(); ++i) {
+    // Only the codec-on legs gate: the off legs are the paper-model wire,
+    // pinned exactly by cluster_exchange_test already.
+    if (std::string(legs[i].codec) != "on") continue;
+    const double measured = static_cast<double>(legs[i].stats.bytes_sent);
+    const double allowed = static_cast<double>(baseline[i]) * 1.05;
+    if (measured > allowed) {
+      std::fprintf(stderr,
+                   "%s codec-on wire bytes regressed >5%%: %.0f vs "
+                   "baseline %llu\n",
+                   legs[i].transport, measured, baseline[i]);
+      rc = 1;
+    }
+  }
+  if (rc == 0) std::printf("wire bytes within 5%% of %s\n", path.c_str());
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_wire.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      return check(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+      continue;
+    }
+  }
+  write_json(measure(), out);
+  return 0;
+}

@@ -65,7 +65,12 @@ struct Options {
   unsigned w = 1;
   fs::path dir = "/tmp/debar-clusterd";
   int node = 0;  // socket mode: >0 marks a forked peer process
+  bool codec = false;  // --codec=on: coalesced + compressed wire frames
 };
+
+net::WireCodecConfig codec_of(const Options& opt) {
+  return opt.codec ? net::WireCodecConfig::enabled() : net::WireCodecConfig{};
+}
 
 bool parse_args(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
@@ -83,6 +88,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.dir = *v;
     } else if (auto v = eat("--node=")) {
       opt.node = std::stoi(*v);
+    } else if (auto v = eat("--codec=")) {
+      if (*v != "on" && *v != "off") {
+        std::fprintf(stderr, "--codec must be on or off\n");
+        return false;
+      }
+      opt.codec = *v == "on";
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -362,7 +373,8 @@ int run_loopback(const Options& opt) {
                                              &st.server->nic());
     if (!reg.ok()) return false;
     st.server->attach_endpoint(std::make_unique<net::Endpoint>(
-        &transport, static_cast<net::EndpointId>(k)));
+        &transport, static_cast<net::EndpointId>(k), net::RetryPolicy{},
+        codec_of(opt)));
     return true;
   };
   if (!attach(driver_state, 0)) return 1;
@@ -370,7 +382,8 @@ int run_loopback(const Options& opt) {
     if (!attach(peers[k - 1], k)) return 1;
   }
   if (!transport.register_endpoint(client_id, nullptr).ok()) return 1;
-  net::Endpoint client(&transport, client_id);
+  net::Endpoint client(&transport, client_id, net::RetryPolicy{},
+                       codec_of(opt));
 
   std::vector<std::thread> threads;
   std::vector<int> peer_rc(n, 0);
@@ -459,7 +472,8 @@ int run_socket_peer(const Options& opt) {
           "\n");
   if (!bind_peer_addresses(transport, opt.dir, k, n)) return 1;
   st.server->attach_endpoint(std::make_unique<net::Endpoint>(
-      &transport, static_cast<net::EndpointId>(k)));
+      &transport, static_cast<net::EndpointId>(k), net::RetryPolicy{},
+      codec_of(opt)));
   return run_peer(st, opt.w, k);
 }
 
@@ -491,10 +505,13 @@ int run_socket_driver(const Options& opt, char** argv) {
       const std::string w_arg = "--w=" + std::to_string(opt.w);
       const std::string dir_arg = "--dir=" + opt.dir.string();
       const std::string node_arg = "--node=" + std::to_string(k);
+      const std::string codec_arg =
+          std::string("--codec=") + (opt.codec ? "on" : "off");
       char* child_argv[] = {argv[0], const_cast<char*>(transport_arg.c_str()),
                             const_cast<char*>(w_arg.c_str()),
                             const_cast<char*>(dir_arg.c_str()),
-                            const_cast<char*>(node_arg.c_str()), nullptr};
+                            const_cast<char*>(node_arg.c_str()),
+                            const_cast<char*>(codec_arg.c_str()), nullptr};
       ::execv(argv[0], child_argv);
       std::perror("execv");
       _exit(127);
@@ -503,9 +520,10 @@ int run_socket_driver(const Options& opt, char** argv) {
   }
 
   if (!bind_peer_addresses(transport, opt.dir, 0, n)) return 1;
-  st.server->attach_endpoint(
-      std::make_unique<net::Endpoint>(&transport, net::EndpointId{0}));
-  net::Endpoint client(&transport, client_id);
+  st.server->attach_endpoint(std::make_unique<net::Endpoint>(
+      &transport, net::EndpointId{0}, net::RetryPolicy{}, codec_of(opt)));
+  net::Endpoint client(&transport, client_id, net::RetryPolicy{},
+                       codec_of(opt));
 
   int rc = run_driver(st, client, opt.w, opt.dir);
 

@@ -67,7 +67,8 @@ Cluster::Cluster(ClusterConfig config)
     assert(registered.ok());
     (void)registered;
     servers_[k]->attach_endpoint(
-        std::make_unique<net::Endpoint>(transport_.get(), id, config_.retry));
+        std::make_unique<net::Endpoint>(transport_.get(), id, config_.retry,
+                                        config_.wire_codec));
   }
   // The restore-stream client: no modeled NIC of its own (the serving
   // server's wire is the bottleneck the paper measures).
@@ -76,7 +77,8 @@ Cluster::Cluster(ClusterConfig config)
   (void)registered;
   client_endpoint_ = std::make_unique<net::Endpoint>(transport_.get(),
                                                      client_id(),
-                                                     config_.retry);
+                                                     config_.retry,
+                                                     config_.wire_codec);
 }
 
 Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
@@ -218,13 +220,23 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   while (!wanted.empty()) {
     parallel_for(n, n, [&](std::size_t s) {
       if (!alive[s]) return;
+      // Buffered sends + per-destination flush: with coalescing on, all
+      // parts hosted by one peer leave as a single jumbo frame, in the
+      // same ascending-part order the receive barrier expects.
       for (const std::size_t p : wanted) {
         const std::size_t k = host[p];
         if (k == s) continue;
-        Status sent = servers_[s]->endpoint().send(
+        Status sent = servers_[s]->endpoint().send_buffered(
             static_cast<net::EndpointId>(k),
             net::FingerprintBatch{outbox[s][p]});
         if (!sent.ok()) note_failure(s, k);
+      }
+      for (const std::size_t p : wanted) {
+        const std::size_t k = host[p];
+        if (k == s) continue;
+        Status flushed =
+            servers_[s]->endpoint().flush(static_cast<net::EndpointId>(k));
+        if (!flushed.ok()) note_failure(s, k);
       }
     });
     // Receive barrier: each part's host collects one batch per origin
@@ -330,10 +342,16 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       if (host[p] != k) continue;
       for (std::size_t s = 0; s < n; ++s) {
         if (s == k || !alive[s]) continue;
-        Status sent = servers_[k]->endpoint().send(
+        Status sent = servers_[k]->endpoint().send_buffered(
             static_cast<net::EndpointId>(s), verdict_out[p][s]);
         if (!sent.ok()) note_failure(k, s);
       }
+    }
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k || !alive[s]) continue;
+      Status flushed =
+          servers_[k]->endpoint().flush(static_cast<net::EndpointId>(s));
+      if (!flushed.ok()) note_failure(k, s);
     }
   });
   // verdict_inbox[origin][part].
@@ -451,11 +469,17 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       for (std::size_t i = 0; i < target_count; ++i) {
         const std::size_t t = targets[i];
         if (t == s || !alive[t]) continue;
-        Status sent = servers_[s]->endpoint().send(
+        Status sent = servers_[s]->endpoint().send_buffered(
             static_cast<net::EndpointId>(t),
             net::IndexEntryBatch{entry_out[s][p]});
         if (!sent.ok()) note_failure(s, t);
       }
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      if (t == s || !alive[t]) continue;
+      Status flushed =
+          servers_[s]->endpoint().flush(static_cast<net::EndpointId>(t));
+      if (!flushed.ok()) note_failure(s, t);
     }
   });
   // entry_inbox[holder][part][origin].

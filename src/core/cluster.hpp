@@ -70,6 +70,14 @@ struct ClusterConfig {
   sim::DiskProfile repository_profile = sim::DiskProfile::PaperRaid();
   /// Retransmission / receive-timeout budget for every cluster endpoint.
   net::RetryPolicy retry{};
+  /// Wire-codec policy for every cluster endpoint (net/wire_codec). The
+  /// default keeps the v1 wire — one frame per message, paper-model byte
+  /// accounting — so existing parity anchors hold; benches and the codec
+  /// tests opt in (e.g. net::WireCodecConfig::enabled()). Phases A, C and
+  /// E use buffered sends, so with coalescing on each (sender, receiver)
+  /// pair exchanges one jumbo frame per phase instead of one frame per
+  /// batch.
+  net::WireCodecConfig wire_codec{};
   /// How the cluster's wire is built: loopback (default when null),
   /// faulty-over-loopback, or sockets — one selection interface for every
   /// harness (see net/transport_factory.hpp). Shared so a test rig can

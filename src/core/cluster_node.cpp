@@ -99,8 +99,9 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
   for (const Fingerprint& fp : fps) outbox[owner_of(fp)].push_back(fp);
   for (std::size_t j = 0; j < n; ++j) {
     if (j == k) continue;
-    Status sent = ep.send(static_cast<net::EndpointId>(j),
-                          net::FingerprintBatch{outbox[j]});
+    Status sent = ep.send_buffered(static_cast<net::EndpointId>(j),
+                                   net::FingerprintBatch{outbox[j]});
+    if (sent.ok()) sent = ep.flush(static_cast<net::EndpointId>(j));
     if (!sent.ok()) {
       return Error{Errc::kUnavailable,
                    format("node {}: phase A send to {} failed: {}", k, j,
@@ -131,7 +132,8 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
   for (std::size_t s = 0; s < n; ++s) {
     if (s == k) continue;
     Status sent =
-        ep.send(static_cast<net::EndpointId>(s), verdicts.value()[s]);
+        ep.send_buffered(static_cast<net::EndpointId>(s), verdicts.value()[s]);
+    if (sent.ok()) sent = ep.flush(static_cast<net::EndpointId>(s));
     if (!sent.ok()) {
       return Error{Errc::kUnavailable,
                    format("node {}: phase C send to {} failed: {}", k, s,
@@ -192,13 +194,24 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
     for (std::size_t ti = 0; ti < target_count; ++ti) {
       const std::size_t t = targets[ti];
       if (t == k) continue;
-      Status sent = ep.send(static_cast<net::EndpointId>(t),
-                            net::IndexEntryBatch{entry_out[p]});
+      Status sent = ep.send_buffered(static_cast<net::EndpointId>(t),
+                                     net::IndexEntryBatch{entry_out[p]});
       if (!sent.ok()) {
         return Error{Errc::kUnavailable,
                      format("node {}: phase E send to {} failed: {}", k, t,
                             sent.message())};
       }
+    }
+  }
+  // With replication every peer is owed two part batches; they leave as
+  // one jumbo frame per peer at this flush boundary.
+  for (std::size_t t = 0; t < n; ++t) {
+    if (t == k) continue;
+    if (Status flushed = ep.flush(static_cast<net::EndpointId>(t));
+        !flushed.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase E flush to {} failed: {}", k, t,
+                          flushed.message())};
     }
   }
   std::vector<std::size_t> hosted{k};

@@ -2,13 +2,8 @@
 
 namespace debar::net {
 
-Status Endpoint::send(EndpointId to, const Message& msg) {
-  std::uint32_t seq;
-  {
-    std::lock_guard lock(mutex_);
-    seq = next_seq_[to]++;
-  }
-  const std::vector<Byte> bytes = encode(id_, to, seq, msg);
+Status Endpoint::transmit(EndpointId to, std::uint32_t seq,
+                          std::vector<Byte> bytes) {
   Status last;
   for (int attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     last = transport_->send(Frame{id_, to, seq, bytes});
@@ -17,8 +12,101 @@ Status Endpoint::send(EndpointId to, const Message& msg) {
   return last;
 }
 
+Status Endpoint::send(EndpointId to, const Message& msg) {
+  std::uint32_t seq;
+  {
+    std::lock_guard lock(mutex_);
+    seq = next_seq_[to]++;
+  }
+  const std::size_t raw = wire_bytes(msg);
+  transport_->meter().note_raw(type_of(msg), raw);
+  std::vector<Byte> bytes;
+  if (codec_.codec != CodecId::kIdentity) {
+    // A lone message still benefits from the codec when its compact form
+    // beats the few bytes of jumbo framing (LZ'd chunk payloads on the
+    // restore path); otherwise the v1 frame is the cheaper wire image.
+    bytes = encode_jumbo(id_, to, seq, codec_.codec,
+                         std::span<const Message>(&msg, 1));
+    if (bytes.size() >= raw) bytes.clear();
+  }
+  if (bytes.empty()) bytes = encode(id_, to, seq, msg);
+  return transmit(to, seq, std::move(bytes));
+}
+
+Status Endpoint::send_buffered(EndpointId to, const Message& msg) {
+  if (!codec_.coalesce) return send(to, msg);
+  bool type_boundary = false;
+  {
+    std::lock_guard lock(mutex_);
+    OutBuffer& buf = out_[to];
+    type_boundary =
+        !buf.run.empty() && type_of(buf.run.front()) != type_of(msg);
+  }
+  // Same-type runs only: a type change flushes the pending run first.
+  Status result = type_boundary ? flush(to) : Status::Ok();
+  bool over_threshold = false;
+  {
+    std::lock_guard lock(mutex_);
+    OutBuffer& buf = out_[to];
+    buf.run.push_back(msg);
+    buf.raw_bytes += wire_bytes(msg);
+    transport_->meter().note_raw(type_of(msg), wire_bytes(msg));
+    over_threshold = buf.raw_bytes >= codec_.flush_bytes;
+  }
+  if (over_threshold) {
+    Status s = flush(to);
+    if (result.ok()) result = s;
+  }
+  return result;
+}
+
+Status Endpoint::flush(EndpointId to) {
+  std::vector<Message> run;
+  std::uint32_t seq = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = out_.find(to);
+    if (it == out_.end() || it->second.run.empty()) return Status::Ok();
+    run = std::move(it->second.run);
+    it->second = OutBuffer{};
+    seq = next_seq_[to]++;
+  }
+  return transmit(to, seq,
+                  encode_jumbo(id_, to, seq, codec_.codec,
+                               std::span<const Message>(run)));
+}
+
+Status Endpoint::flush_all() {
+  std::vector<EndpointId> dests;
+  {
+    std::lock_guard lock(mutex_);
+    dests.reserve(out_.size());
+    for (const auto& [to, buf] : out_) {
+      if (!buf.run.empty()) dests.push_back(to);
+    }
+  }
+  Status first = Status::Ok();
+  for (const EndpointId to : dests) {
+    Status s = flush(to);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
+}
+
 std::optional<Message> Endpoint::receive_from(EndpointId from,
                                               const Deadline& deadline) {
+  // Messages unpacked from an earlier jumbo frame are consumed before the
+  // transport is polled again — they were delivered in frame order, so
+  // per-(sender, receiver) FIFO is preserved.
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = pending_.find(from);
+    if (it != pending_.end() && !it->second.empty()) {
+      Message msg = std::move(it->second.front());
+      it->second.pop_front();
+      return msg;
+    }
+  }
   // The transport does the waiting; each pass through this loop consumes
   // one delivery. A discarded duplicate or corrupt frame re-enters the
   // same deadline, so junk deliveries never eat the caller's patience on
@@ -34,8 +122,26 @@ std::optional<Message> Endpoint::receive_from(EndpointId from,
         continue;
       }
     }
-    Result<Decoded> decoded = decode(
-        ByteSpan(frame->bytes.data(), frame->bytes.size()));
+    const ByteSpan bytes(frame->bytes.data(), frame->bytes.size());
+    if (!frame->bytes.empty() &&
+        frame->bytes[0] == static_cast<Byte>(MessageType::kJumbo)) {
+      Result<DecodedJumbo> jumbo = decode_jumbo(bytes);
+      if (!jumbo.ok() || jumbo.value().from != from ||
+          jumbo.value().to != id_ || jumbo.value().messages.empty()) {
+        continue;  // corrupt or misrouted frame: drop it, keep waiting
+      }
+      std::vector<Message>& msgs = jumbo.value().messages;
+      Message head = std::move(msgs.front());
+      if (msgs.size() > 1) {
+        std::lock_guard lock(mutex_);
+        std::deque<Message>& q = pending_[from];
+        for (std::size_t i = 1; i < msgs.size(); ++i) {
+          q.push_back(std::move(msgs[i]));
+        }
+      }
+      return head;
+    }
+    Result<Decoded> decoded = decode(bytes);
     if (!decoded.ok() || decoded.value().from != from ||
         decoded.value().to != id_) {
       continue;  // corrupt or misrouted frame: drop it, keep waiting

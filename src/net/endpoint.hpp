@@ -16,10 +16,14 @@
 #include <set>
 #include <unordered_map>
 
+#include <deque>
+#include <vector>
+
 #include "common/fmt.hpp"
 #include "common/result.hpp"
 #include "net/message.hpp"
 #include "net/transport.hpp"
+#include "net/wire_codec.hpp"
 
 namespace debar::net {
 
@@ -79,15 +83,43 @@ class SeqWindow {
 
 class Endpoint {
  public:
-  Endpoint(Transport* transport, EndpointId id, RetryPolicy retry = {})
-      : transport_(transport), id_(id), retry_(retry) {}
+  Endpoint(Transport* transport, EndpointId id, RetryPolicy retry = {},
+           WireCodecConfig codec = {})
+      : transport_(transport), id_(id), retry_(retry), codec_(codec) {
+    // Never emit a codec this build couldn't decode itself (and thus no
+    // peer of the same build can be assumed to): clamp the preference to
+    // the supported set up front.
+    codec_.codec = negotiate(codec_.codec, supported_codecs());
+  }
 
   [[nodiscard]] EndpointId id() const noexcept { return id_; }
+  [[nodiscard]] const WireCodecConfig& codec_config() const noexcept {
+    return codec_;
+  }
 
   /// Serialize and transmit, retrying dropped deliveries. Every attempt
   /// is a real (metered) retransmission. kUnavailable after the budget is
-  /// exhausted means the peer should be treated as unreachable.
+  /// exhausted means the peer should be treated as unreachable. With a
+  /// non-identity codec the message ships as a single-message jumbo frame
+  /// when that encoding is smaller (LZ'd chunk payloads), as a v1 frame
+  /// otherwise.
   [[nodiscard]] Status send(EndpointId to, const Message& msg);
+
+  /// Queue `msg` for `to`, to leave as part of a coalesced jumbo frame on
+  /// the next flush. The pending run auto-flushes first when `msg` is of
+  /// a different type (jumbo runs are same-type) or when the run's raw
+  /// bytes exceed the config's flush_bytes. Without coalescing enabled
+  /// this is exactly send(). A returned error is the auto-flush failing —
+  /// `msg` itself is still queued.
+  [[nodiscard]] Status send_buffered(EndpointId to, const Message& msg);
+
+  /// Transmit `to`'s pending run as one jumbo frame (no-op when empty).
+  /// Phase loops flush each destination at their phase boundary.
+  [[nodiscard]] Status flush(EndpointId to);
+
+  /// Flush every destination with a pending run; first error wins (later
+  /// destinations are still attempted).
+  [[nodiscard]] Status flush_all();
 
   /// Next fresh message from `from` within the policy's receive_timeout;
   /// duplicated deliveries are discarded by sequence number (without
@@ -133,15 +165,33 @@ class Endpoint {
   }
 
  private:
+  /// Messages queued for one destination between flushes: a same-type run
+  /// plus its accumulated raw (v1) wire cost.
+  struct OutBuffer {
+    std::vector<Message> run;
+    std::size_t raw_bytes = 0;
+  };
+
+  /// Transmit pre-encoded frame bytes with the retry budget.
+  [[nodiscard]] Status transmit(EndpointId to, std::uint32_t seq,
+                                std::vector<Byte> bytes);
+
   Transport* transport_;
   EndpointId id_;
   RetryPolicy retry_;
+  WireCodecConfig codec_;
 
   mutable std::mutex mutex_;
   std::unordered_map<EndpointId, std::uint32_t> next_seq_;
   /// Per-sender window over sequence numbers already delivered up the
   /// stack (bounded; see SeqWindow).
   std::unordered_map<EndpointId, SeqWindow> seen_;
+  /// Send-side coalescing runs, per destination.
+  std::unordered_map<EndpointId, OutBuffer> out_;
+  /// Receive-side overflow: messages unpacked from a jumbo frame beyond
+  /// the one its delivery satisfied, drained before the transport is
+  /// polled again.
+  std::unordered_map<EndpointId, std::deque<Message>> pending_;
 };
 
 }  // namespace debar::net

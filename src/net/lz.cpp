@@ -1,0 +1,155 @@
+#include "net/lz.hpp"
+
+#include <cstring>
+
+#include "common/fmt.hpp"
+#include "common/serial.hpp"
+
+namespace debar::net {
+
+namespace {
+
+constexpr std::size_t kHashBits = 13;
+constexpr std::size_t kHashSize = std::size_t{1} << kHashBits;
+constexpr std::size_t kMaxOffset = 65535;
+
+std::uint32_t hash4(const Byte* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  // Fibonacci hashing of the 4-byte window.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emit a length nibble's extension: 0xFF while saturated, then the rest.
+void write_length_ext(std::vector<Byte>& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(Byte{0xFF});
+    extra -= 255;
+  }
+  out.push_back(static_cast<Byte>(extra));
+}
+
+/// Read a length nibble's extension; false on truncation or overflow of
+/// the declared raw length (the caller's cap).
+[[nodiscard]] bool read_length_ext(ByteReader& r, std::size_t cap,
+                                   std::size_t& length) {
+  for (;;) {
+    const std::uint8_t b = r.u8();
+    if (!r.ok()) return false;
+    length += b;
+    if (length > cap) return false;
+    if (b != 0xFF) return true;
+  }
+}
+
+void emit_sequence(std::vector<Byte>& out, const Byte* lit,
+                   std::size_t lit_len, std::size_t offset,
+                   std::size_t match_len) {
+  const std::size_t lit_nibble = lit_len < 15 ? lit_len : 15;
+  const std::size_t match_extra = match_len == 0 ? 0 : match_len - kLzMinMatch;
+  const std::size_t match_nibble = match_extra < 15 ? match_extra : 15;
+  out.push_back(static_cast<Byte>((lit_nibble << 4) | match_nibble));
+  if (lit_nibble == 15) write_length_ext(out, lit_len - 15);
+  out.insert(out.end(), lit, lit + lit_len);
+  if (match_len == 0) return;  // final literals-only sequence
+  out.push_back(static_cast<Byte>(offset & 0xFF));
+  out.push_back(static_cast<Byte>(offset >> 8));
+  if (match_nibble == 15) write_length_ext(out, match_extra - 15);
+}
+
+}  // namespace
+
+std::vector<Byte> lz_compress(ByteSpan raw) {
+  std::vector<Byte> out;
+  out.reserve(raw.size() / 2 + 16);
+  ByteWriter header(out);
+  header.varint(raw.size());
+
+  const Byte* base = raw.data();
+  const std::size_t n = raw.size();
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  std::vector<std::size_t> table(kHashSize, n);  // n = empty slot
+
+  // Greedy scan: at each position try the hash table's candidate; emit
+  // the pending literals plus the match, or advance one literal byte.
+  while (n >= kLzMinMatch && pos + kLzMinMatch <= n) {
+    const std::uint32_t h = hash4(base + pos);
+    const std::size_t cand = table[h];
+    table[h] = pos;
+    if (cand < pos && pos - cand <= kMaxOffset &&
+        std::memcmp(base + cand, base + pos, kLzMinMatch) == 0) {
+      std::size_t len = kLzMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      emit_sequence(out, base + lit_start, pos - lit_start, pos - cand, len);
+      pos += len;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals (none when a match ended the block exactly, and no
+  // sequence at all for empty input — the header alone says "0 bytes").
+  if (lit_start < n) {
+    emit_sequence(out, base + lit_start, n - lit_start, 0, 0);
+  }
+  return out;
+}
+
+Result<std::vector<Byte>> lz_decompress(ByteSpan block,
+                                        std::size_t max_raw_bytes) {
+  ByteReader r(block);
+  const std::uint64_t raw_len = r.varint();
+  if (!r.ok() || raw_len > max_raw_bytes) {
+    return Error{Errc::kCorrupt, "lz block declares oversized raw length"};
+  }
+  std::vector<Byte> out;
+  out.reserve(raw_len);
+  while (out.size() < raw_len) {
+    const std::uint8_t token = r.u8();
+    if (!r.ok()) return Error{Errc::kCorrupt, "lz block truncated at token"};
+    std::size_t lit_len = token >> 4;
+    if (lit_len == 15 &&
+        !read_length_ext(r, raw_len - out.size(), lit_len)) {
+      return Error{Errc::kCorrupt, "lz literal length malformed"};
+    }
+    if (lit_len > raw_len - out.size()) {
+      return Error{Errc::kCorrupt, "lz literal run overruns raw length"};
+    }
+    const ByteSpan lits = r.view(lit_len);
+    if (!r.ok()) return Error{Errc::kCorrupt, "lz literal run truncated"};
+    out.insert(out.end(), lits.begin(), lits.end());
+    if (out.size() == raw_len) {
+      // The final sequence carries no match; its token's match nibble
+      // must agree, or trailing garbage could hide behind a valid block.
+      if ((token & 0x0F) != 0 || r.remaining() != 0) {
+        return Error{Errc::kCorrupt, "lz block has bytes past its end"};
+      }
+      break;
+    }
+    const std::size_t offset =
+        static_cast<std::size_t>(r.u8()) | (static_cast<std::size_t>(r.u8()) << 8);
+    if (!r.ok()) return Error{Errc::kCorrupt, "lz block truncated at offset"};
+    if (offset == 0 || offset > out.size()) {
+      return Error{Errc::kCorrupt, "lz match offset outside produced bytes"};
+    }
+    std::size_t match_len = (token & 0x0F) + kLzMinMatch;
+    if ((token & 0x0F) == 15 &&
+        !read_length_ext(r, raw_len - out.size(), match_len)) {
+      return Error{Errc::kCorrupt, "lz match length malformed"};
+    }
+    if (match_len > raw_len - out.size()) {
+      return Error{Errc::kCorrupt, "lz match overruns raw length"};
+    }
+    // Byte-by-byte: overlapping matches (offset < match_len) are the RLE
+    // case and must copy bytes the match itself produces.
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out.push_back(out[src + i]);
+  }
+  if (r.remaining() != 0) {
+    return Error{Errc::kCorrupt, "lz block has bytes past its end"};
+  }
+  return out;
+}
+
+}  // namespace debar::net

@@ -1,0 +1,48 @@
+// DebarLz: a small LZ77 byte-oriented block compressor for chunk
+// payloads on the wire (net/wire_codec).
+//
+// Format (after a leading LEB128 raw-length header) is a sequence of
+// LZ4-style tokens:
+//
+//   token u8      high nibble = literal run length (15 = extended),
+//                 low nibble  = match length - kMinMatch (15 = extended)
+//   [ext lits]    0xFF-continuation bytes while the nibble saturated
+//   literals      literal-run bytes
+//   u16 offset    little-endian back-reference distance (1..65535),
+//                 omitted when the literals completed the block
+//   [ext match]   0xFF-continuation bytes while the nibble saturated
+//
+// The compressor is greedy with a fixed hash table over 4-byte windows —
+// built for the repetitive payloads backup streams carry, not for ratio
+// records. The decompressor trusts nothing: every literal copy, match
+// offset, and match length is validated against the declared raw length
+// and the bytes actually present, so truncated or hostile blocks return
+// kCorrupt instead of reading or writing out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace debar::net {
+
+/// Shortest back-reference worth a token (matches the token's low-nibble
+/// bias: nibble 0 means a match of exactly this length).
+inline constexpr std::size_t kLzMinMatch = 4;
+
+/// Compress `raw` (any size, including empty). The result always decodes
+/// back to `raw`; it is NOT guaranteed to be smaller — callers keep the
+/// raw bytes when compression loses (see wire_codec's stored-vs-lz
+/// method byte).
+[[nodiscard]] std::vector<Byte> lz_compress(ByteSpan raw);
+
+/// Decompress a block, rejecting anything malformed: a declared raw
+/// length above `max_raw_bytes`, truncated tokens or literal runs,
+/// offsets pointing before the output's start, or match/literal runs
+/// overrunning the declared length.
+[[nodiscard]] Result<std::vector<Byte>> lz_decompress(
+    ByteSpan block, std::size_t max_raw_bytes);
+
+}  // namespace debar::net

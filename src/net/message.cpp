@@ -1,6 +1,7 @@
 #include "net/message.hpp"
 
 #include "common/fmt.hpp"
+#include "net/varint_delta.hpp"
 
 namespace debar::net {
 
@@ -14,15 +15,9 @@ void write_payload(ByteWriter& w, const FingerprintBatch& m) {
 void write_payload(ByteWriter& w, const VerdictBatch& m) {
   w.u32(m.query_count);
   w.u32(static_cast<std::uint32_t>(m.duplicate_indices.size()));
-  std::uint32_t prev = 0;
-  bool first = true;
-  for (const std::uint32_t idx : m.duplicate_indices) {
-    // Deltas between ascending positions; the first is offset by one so
-    // every delta is >= 1 and a dense run encodes as one byte per verdict.
-    w.varint(first ? std::uint64_t{idx} + 1 : std::uint64_t{idx} - prev);
-    prev = idx;
-    first = false;
-  }
+  // Ascending positions as LEB128 deltas: a dense run of duplicates costs
+  // one byte per verdict (net/varint_delta).
+  write_ascending_deltas(w, m.duplicate_indices);
 }
 
 void write_payload(ByteWriter& w, const IndexEntryBatch& m) {
@@ -58,16 +53,7 @@ std::size_t payload_bytes(const FingerprintBatch& m) noexcept {
 }
 
 std::size_t payload_bytes(const VerdictBatch& m) noexcept {
-  std::size_t n = 4 + 4;
-  std::uint32_t prev = 0;
-  bool first = true;
-  for (const std::uint32_t idx : m.duplicate_indices) {
-    n += ByteWriter::varint_size(first ? std::uint64_t{idx} + 1
-                                       : std::uint64_t{idx} - prev);
-    prev = idx;
-    first = false;
-  }
-  return n;
+  return 4 + 4 + ascending_deltas_size(m.duplicate_indices);
 }
 
 std::size_t payload_bytes(const IndexEntryBatch& m) noexcept {
@@ -114,18 +100,9 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
       if (!r.ok() || !count_fits(count, 1, r) || count > m.query_count) {
         return Error{Errc::kCorrupt, "verdict batch count overruns buffer"};
       }
-      m.duplicate_indices.reserve(count);
-      std::uint64_t pos = 0;
-      for (std::uint32_t i = 0; i < count; ++i) {
-        const std::uint64_t delta = r.varint();
-        if (!r.ok() || delta == 0) {
-          return Error{Errc::kCorrupt, "verdict delta malformed"};
-        }
-        pos += delta;  // first delta is index + 1
-        if (pos > m.query_count) {
-          return Error{Errc::kCorrupt, "verdict index exceeds query count"};
-        }
-        m.duplicate_indices.push_back(static_cast<std::uint32_t>(pos - 1));
+      if (!read_ascending_deltas(r, count, m.query_count,
+                                 m.duplicate_indices)) {
+        return Error{Errc::kCorrupt, "verdict delta run malformed"};
       }
       return Message{std::move(m)};
     }
@@ -172,12 +149,28 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
       m.arg = r.u64();
       return Message{m};
     }
+    case MessageType::kJumbo:
+      return Error{Errc::kCorrupt,
+                   "jumbo frames decode via net/wire_codec, not as a "
+                   "v1 payload"};
   }
   return Error{Errc::kCorrupt,
                format("unknown message type {}", static_cast<unsigned>(type))};
 }
 
 }  // namespace
+
+void write_payload_v1(ByteWriter& w, const Message& msg) {
+  std::visit([&](const auto& m) { write_payload(w, m); }, msg);
+}
+
+std::size_t payload_bytes_v1(const Message& msg) noexcept {
+  return std::visit([](const auto& m) { return payload_bytes(m); }, msg);
+}
+
+Result<Message> read_payload_v1(MessageType type, ByteReader& r) {
+  return read_payload(type, r);
+}
 
 MessageType type_of(const Message& msg) noexcept {
   return std::visit([](const auto& m) { return m.kType; }, msg);

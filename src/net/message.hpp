@@ -42,10 +42,11 @@ enum class MessageType : std::uint8_t {
   kChunkLocateReply = 5,    // restore: owner's answer
   kChunkData = 6,           // restore: chunk payload to the client
   kControl = 7,             // cluster runner coordination (e.g. shutdown)
+  kJumbo = 8,               // coalesced same-type run, see net/wire_codec
 };
 
 /// One past the highest MessageType value, for per-type stat arrays.
-inline constexpr std::size_t kMessageTypeCount = 8;
+inline constexpr std::size_t kMessageTypeCount = 9;
 
 /// Fixed envelope bytes prepended to every payload.
 inline constexpr std::size_t kEnvelopeSize = 1 + 4 + 4 + 4 + 4;
@@ -167,5 +168,15 @@ struct Decoded {
 /// Envelope + payload bytes `msg` costs on the wire (equals
 /// encode(...).size() without building the buffer).
 [[nodiscard]] std::size_t wire_bytes(const Message& msg) noexcept;
+
+/// The v1 payload encoding alone (no envelope) — the building block the
+/// wire codec's identity sub-frames reuse, and the "raw bytes" unit of
+/// the paper's per-message wire model.
+void write_payload_v1(ByteWriter& w, const Message& msg);
+[[nodiscard]] std::size_t payload_bytes_v1(const Message& msg) noexcept;
+
+/// Parse one v1 payload of `type` from `r`, consuming exactly its bytes.
+/// kJumbo is rejected here — coalesced frames decode via net/wire_codec.
+[[nodiscard]] Result<Message> read_payload_v1(MessageType type, ByteReader& r);
 
 }  // namespace debar::net

@@ -28,9 +28,28 @@ void TransportMeter::on_send(const Frame& frame) {
   }
   stats_.frames_sent += 1;
   stats_.bytes_sent += bytes;
-  if (!frame.bytes.empty() && frame.bytes[0] < kMessageTypeCount) {
-    stats_.frames_by_type[frame.bytes[0]] += 1;
-    stats_.bytes_by_type[frame.bytes[0]] += bytes;
+  std::uint8_t type = frame.bytes.empty() ? 0 : frame.bytes[0];
+  // Jumbo frames carry their run's message type as the first payload
+  // byte — charge the wire bytes to it, so per-type wire totals stay
+  // comparable across codec on/off.
+  if (type == static_cast<std::uint8_t>(MessageType::kJumbo) &&
+      frame.bytes.size() > kEnvelopeSize) {
+    type = frame.bytes[kEnvelopeSize];
+  }
+  if (type != 0 && type < kMessageTypeCount) {
+    stats_.frames_by_type[type] += 1;
+    stats_.bytes_by_type[type] += bytes;
+  }
+}
+
+void TransportMeter::note_raw(MessageType type, std::uint64_t bytes) {
+  std::lock_guard lock(mutex_);
+  stats_.messages_sent += 1;
+  stats_.raw_bytes_sent += bytes;
+  const auto t = static_cast<std::uint8_t>(type);
+  if (t < kMessageTypeCount) {
+    stats_.messages_by_type[t] += 1;
+    stats_.raw_bytes_by_type[t] += bytes;
   }
 }
 

@@ -26,6 +26,16 @@ struct Frame;
 /// leading envelope byte identifies one. "Sent" counts every transmission
 /// that burnt the sender's wire (including dropped and duplicated ones);
 /// "delivered" counts every arrival that burnt the receiver's.
+///
+/// Two byte scales coexist once the wire codec is on. "Wire" counters
+/// (frames_sent / bytes_sent / *_by_type) measure what actually crossed
+/// the transport — jumbo frames are attributed to their inner message
+/// type, read from the first payload byte. "Raw" counters (raw_* /
+/// messages_*) measure the messages at their v1 wire cost, charged by
+/// Endpoint at send time — the paper-model accounting, invariant under
+/// coalescing and compression, which the fig13/fig14 parity checks pin
+/// against the modeled byte counts. With the codec off the two scales
+/// are equal.
 struct TransportStats {
   std::uint64_t frames_sent = 0;
   std::uint64_t bytes_sent = 0;
@@ -33,6 +43,10 @@ struct TransportStats {
   std::uint64_t bytes_delivered = 0;
   std::array<std::uint64_t, kMessageTypeCount> frames_by_type{};
   std::array<std::uint64_t, kMessageTypeCount> bytes_by_type{};
+  std::uint64_t messages_sent = 0;
+  std::uint64_t raw_bytes_sent = 0;
+  std::array<std::uint64_t, kMessageTypeCount> messages_by_type{};
+  std::array<std::uint64_t, kMessageTypeCount> raw_bytes_by_type{};
 };
 
 class TransportMeter {
@@ -50,6 +64,11 @@ class TransportMeter {
 
   /// `bytes` of a delivery arrived at `to`'s wire.
   void on_deliver(EndpointId to, std::uint64_t bytes);
+
+  /// One message of `type` entered the send path at its v1 wire cost of
+  /// `bytes` — the raw (paper-model) scale, independent of how the codec
+  /// packs it onto the wire. Does not touch any NIC model.
+  void note_raw(MessageType type, std::uint64_t bytes);
 
   [[nodiscard]] TransportStats stats() const;
 

@@ -1,0 +1,90 @@
+// Delta-varint helpers shared by the wire encodings.
+//
+// VerdictBatch introduced the trick: a strictly ascending run of u32
+// positions costs one LEB128 byte per element when the run is dense,
+// because only the deltas cross the wire. The wire codec (net/wire_codec)
+// reuses the same helpers for its compact encodings, and adds a zigzag
+// mapping for runs that are *mostly* ascending but not guaranteed to be
+// (container-ID runs in IndexEntryBatch follow storage order, which can
+// step backwards across container boundaries).
+//
+// Every decoder here validates as it goes: a delta of zero, a value at or
+// past the caller's bound, or a truncated varint flips the reader's
+// sticky failure / returns false, so corrupt runs can never produce a
+// half-trusted vector.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/serial.hpp"
+
+namespace debar::net {
+
+/// Encode a strictly ascending run as LEB128 deltas. The first element is
+/// offset by one so every encoded delta is >= 1 (zero is the decoder's
+/// corruption signal) and a dense run still costs one byte per element.
+/// Precondition: `values` is strictly ascending (the decoder enforces it;
+/// an encoder fed an unsorted run produces bytes its own decoder rejects).
+inline void write_ascending_deltas(ByteWriter& w,
+                                   std::span<const std::uint32_t> values) {
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t v : values) {
+    w.varint(first ? std::uint64_t{v} + 1 : std::uint64_t{v} - prev);
+    prev = v;
+    first = false;
+  }
+}
+
+/// Encoded size of write_ascending_deltas(values), for wire-cost
+/// accounting without building the buffer.
+[[nodiscard]] inline std::size_t ascending_deltas_size(
+    std::span<const std::uint32_t> values) noexcept {
+  std::size_t n = 0;
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const std::uint32_t v : values) {
+    n += ByteWriter::varint_size(first ? std::uint64_t{v} + 1
+                                       : std::uint64_t{v} - prev);
+    prev = v;
+    first = false;
+  }
+  return n;
+}
+
+/// Decode `count` deltas into strictly ascending values, each < `bound`.
+/// False (and no partial output) on truncation, a zero delta, or a value
+/// reaching the bound.
+[[nodiscard]] inline bool read_ascending_deltas(
+    ByteReader& r, std::uint32_t count, std::uint64_t bound,
+    std::vector<std::uint32_t>& out) {
+  std::vector<std::uint32_t> values;
+  values.reserve(count);
+  std::uint64_t pos = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t delta = r.varint();
+    // delta > bound - pos also catches wrap-around: a hostile huge delta
+    // must not overflow pos back into range.
+    if (!r.ok() || delta == 0 || delta > bound - pos) return false;
+    pos += delta;  // first delta is value + 1
+    values.push_back(static_cast<std::uint32_t>(pos - 1));
+  }
+  out = std::move(values);
+  return true;
+}
+
+/// ZigZag mapping: small signed deltas (either direction) become small
+/// unsigned varints. 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace debar::net

@@ -1,0 +1,334 @@
+#include "net/wire_codec.hpp"
+
+#include <cassert>
+
+#include "common/fmt.hpp"
+#include "net/lz.hpp"
+#include "net/varint_delta.hpp"
+
+namespace debar::net {
+
+namespace {
+
+// Per-batch method bytes: the compact encodings are adaptive, so a batch
+// whose structure defeats the trick (random container IDs, unrelated
+// fingerprints, incompressible chunk bytes) falls back to the raw form
+// and never pays more than one byte for trying.
+constexpr std::uint8_t kMethodRaw = 0;
+constexpr std::uint8_t kMethodCompact = 1;
+
+// ---- compact sub-payload encoders (codec kDelta / kDeltaLz) ----
+
+void write_compact(ByteWriter& w, const FingerprintBatch& m) {
+  // Front-coding: each fp as <shared-prefix-len, suffix> vs its
+  // predecessor. Phase A batches arrive sorted, but uniform SHA-1
+  // neighbours rarely share more than a byte or two — measure both forms
+  // and keep the cheaper one.
+  std::size_t front_coded = 0;
+  const Fingerprint* prev = nullptr;
+  for (const Fingerprint& fp : m.fps) {
+    std::size_t shared = 0;
+    if (prev != nullptr) {
+      while (shared < Fingerprint::kSize &&
+             prev->bytes[shared] == fp.bytes[shared]) {
+        ++shared;
+      }
+    }
+    front_coded += 1 + (Fingerprint::kSize - shared);
+    prev = &fp;
+  }
+  w.varint(m.fps.size());
+  if (front_coded >= m.fps.size() * Fingerprint::kSize) {
+    w.u8(kMethodRaw);
+    for (const Fingerprint& fp : m.fps) w.fingerprint(fp);
+    return;
+  }
+  w.u8(kMethodCompact);
+  prev = nullptr;
+  for (const Fingerprint& fp : m.fps) {
+    std::size_t shared = 0;
+    if (prev != nullptr) {
+      while (shared < Fingerprint::kSize &&
+             prev->bytes[shared] == fp.bytes[shared]) {
+        ++shared;
+      }
+    }
+    w.u8(static_cast<std::uint8_t>(shared));
+    w.bytes(ByteSpan(fp.bytes.data() + shared, Fingerprint::kSize - shared));
+    prev = &fp;
+  }
+}
+
+Result<Message> read_compact_fps(ByteReader& r) {
+  FingerprintBatch m;
+  const std::uint64_t count = r.varint();
+  const std::uint8_t method = r.u8();
+  // Front-coded entries cost at least one byte each, raw ones 20 — either
+  // way `count` bytes must be present, which bounds the reserve().
+  if (!r.ok() || method > kMethodCompact || count > r.remaining()) {
+    return Error{Errc::kCorrupt, "fingerprint run header malformed"};
+  }
+  m.fps.reserve(count);
+  Fingerprint prev{};
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (method == kMethodRaw) {
+      m.fps.push_back(r.fingerprint());
+      continue;
+    }
+    const std::uint8_t shared = r.u8();
+    if (!r.ok() || shared > Fingerprint::kSize ||
+        (i == 0 && shared != 0)) {
+      return Error{Errc::kCorrupt, "fingerprint prefix length out of range"};
+    }
+    Fingerprint fp = prev;
+    const ByteSpan suffix = r.view(Fingerprint::kSize - shared);
+    if (!r.ok()) {
+      return Error{Errc::kCorrupt, "fingerprint suffix truncated"};
+    }
+    std::copy(suffix.begin(), suffix.end(), fp.bytes.begin() + shared);
+    m.fps.push_back(fp);
+    prev = fp;
+  }
+  if (!r.ok()) return Error{Errc::kCorrupt, "fingerprint run truncated"};
+  return Message{std::move(m)};
+}
+
+void write_compact(ByteWriter& w, const IndexEntryBatch& m) {
+  // Container IDs follow storage order — long runs of the same or
+  // adjacent containers — so zigzag deltas collapse the 5-byte field to
+  // ~1 byte. Fingerprints stay raw (uniform digests don't compress).
+  std::size_t delta_bytes = 0;
+  std::int64_t prev = 0;
+  for (const IndexEntry& e : m.entries) {
+    const std::int64_t v = static_cast<std::int64_t>(e.container.value);
+    delta_bytes += ByteWriter::varint_size(zigzag_encode(v - prev));
+    prev = v;
+  }
+  w.varint(m.entries.size());
+  if (delta_bytes >= m.entries.size() * ContainerId::kSerializedSize) {
+    w.u8(kMethodRaw);
+    for (const IndexEntry& e : m.entries) {
+      w.fingerprint(e.fp);
+      w.container_id(e.container);
+    }
+    return;
+  }
+  w.u8(kMethodCompact);
+  prev = 0;
+  for (const IndexEntry& e : m.entries) {
+    w.fingerprint(e.fp);
+    const std::int64_t v = static_cast<std::int64_t>(e.container.value);
+    w.varint(zigzag_encode(v - prev));
+    prev = v;
+  }
+}
+
+Result<Message> read_compact_entries(ByteReader& r) {
+  IndexEntryBatch m;
+  const std::uint64_t count = r.varint();
+  const std::uint8_t method = r.u8();
+  // Every entry carries at least the 20 raw fingerprint bytes.
+  if (!r.ok() || method > kMethodCompact ||
+      count > r.remaining() / Fingerprint::kSize) {
+    return Error{Errc::kCorrupt, "entry run header malformed"};
+  }
+  m.entries.reserve(count);
+  std::int64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexEntry e;
+    e.fp = r.fingerprint();
+    if (method == kMethodRaw) {
+      e.container = r.container_id();
+    } else {
+      const std::int64_t v = prev + zigzag_decode(r.varint());
+      if (!r.ok() || v < 0 ||
+          static_cast<std::uint64_t>(v) > ContainerId::kMask) {
+        return Error{Errc::kCorrupt, "container delta outside 40-bit range"};
+      }
+      e.container = ContainerId{static_cast<std::uint64_t>(v)};
+      prev = v;
+    }
+    m.entries.push_back(e);
+  }
+  if (!r.ok()) return Error{Errc::kCorrupt, "entry run truncated"};
+  return Message{std::move(m)};
+}
+
+void write_compact(ByteWriter& w, const ChunkData& m, CodecId codec) {
+  w.fingerprint(m.fp);
+  if (codec == CodecId::kDeltaLz) {
+    std::vector<Byte> lz = lz_compress(ByteSpan(m.bytes.data(), m.bytes.size()));
+    if (lz.size() < m.bytes.size()) {
+      w.u8(kMethodCompact);
+      w.bytes(ByteSpan(lz.data(), lz.size()));
+      return;
+    }
+  }
+  w.u8(kMethodRaw);
+  w.varint(m.bytes.size());
+  w.bytes(ByteSpan(m.bytes.data(), m.bytes.size()));
+}
+
+Result<Message> read_compact_chunk(ByteReader& r) {
+  ChunkData m;
+  m.fp = r.fingerprint();
+  const std::uint8_t method = r.u8();
+  if (!r.ok() || method > kMethodCompact) {
+    return Error{Errc::kCorrupt, "chunk data header malformed"};
+  }
+  if (method == kMethodRaw) {
+    const std::uint64_t len = r.varint();
+    if (!r.ok() || len > r.remaining()) {
+      return Error{Errc::kCorrupt, "chunk data length overruns buffer"};
+    }
+    const ByteSpan data = r.view(len);
+    m.bytes.assign(data.begin(), data.end());
+    return Message{std::move(m)};
+  }
+  // The LZ block is the remainder of this sub-payload (sub_len framing
+  // already bounds it).
+  Result<std::vector<Byte>> raw =
+      lz_decompress(r.view(r.remaining()), kMaxSubPayloadBytes);
+  if (!raw.ok()) return raw.error();
+  m.bytes = std::move(raw).value();
+  return Message{std::move(m)};
+}
+
+void write_sub_payload(ByteWriter& w, const Message& msg, CodecId codec) {
+  if (codec == CodecId::kIdentity) {
+    write_payload_v1(w, msg);
+    return;
+  }
+  switch (type_of(msg)) {
+    case MessageType::kFingerprintBatch:
+      write_compact(w, std::get<FingerprintBatch>(msg));
+      return;
+    case MessageType::kIndexEntryBatch:
+      write_compact(w, std::get<IndexEntryBatch>(msg));
+      return;
+    case MessageType::kChunkData:
+      write_compact(w, std::get<ChunkData>(msg), codec);
+      return;
+    default:
+      // VerdictBatch is already delta-varint in v1; locate and control
+      // messages are a handful of fixed bytes with nothing to squeeze.
+      write_payload_v1(w, msg);
+      return;
+  }
+}
+
+Result<Message> read_sub_payload(MessageType type, CodecId codec,
+                                 ByteReader& r) {
+  if (codec != CodecId::kIdentity) {
+    switch (type) {
+      case MessageType::kFingerprintBatch:
+        return read_compact_fps(r);
+      case MessageType::kIndexEntryBatch:
+        return read_compact_entries(r);
+      case MessageType::kChunkData:
+        return read_compact_chunk(r);
+      default:
+        break;
+    }
+  }
+  return read_payload_v1(type, r);
+}
+
+}  // namespace
+
+std::vector<Byte> encode_jumbo(EndpointId from, EndpointId to,
+                               std::uint32_t seq, CodecId codec,
+                               std::span<const Message> messages) {
+  assert(!messages.empty());
+  assert(codec_supported(static_cast<std::uint8_t>(codec), supported_codecs()));
+  const MessageType inner = type_of(messages.front());
+  assert(inner != MessageType::kJumbo);
+
+  std::vector<Byte> payload;
+  {
+    ByteWriter w(payload);
+    w.u8(static_cast<std::uint8_t>(inner));
+    w.u8(static_cast<std::uint8_t>(codec));
+    w.varint(messages.size());
+    std::vector<Byte> sub;
+    for (const Message& msg : messages) {
+      assert(type_of(msg) == inner);
+      sub.clear();
+      ByteWriter sw(sub);
+      write_sub_payload(sw, msg, codec);
+      w.varint(sub.size());
+      w.bytes(ByteSpan(sub.data(), sub.size()));
+    }
+  }
+
+  std::vector<Byte> out;
+  out.reserve(kEnvelopeSize + payload.size());
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(MessageType::kJumbo));
+  w.u32(from);
+  w.u32(to);
+  w.u32(seq);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(ByteSpan(payload.data(), payload.size()));
+  return out;
+}
+
+Result<DecodedJumbo> decode_jumbo(ByteSpan bytes) {
+  ByteReader r(bytes);
+  const std::uint8_t frame_type = r.u8();
+  DecodedJumbo d;
+  d.from = r.u32();
+  d.to = r.u32();
+  d.seq = r.u32();
+  const std::uint32_t payload = r.u32();
+  if (!r.ok()) {
+    return Error{Errc::kCorrupt, "jumbo frame shorter than envelope"};
+  }
+  if (frame_type != static_cast<std::uint8_t>(MessageType::kJumbo)) {
+    return Error{Errc::kCorrupt, "frame is not a jumbo frame"};
+  }
+  if (payload != r.remaining()) {
+    return Error{Errc::kCorrupt,
+                 format("jumbo payload declares {} bytes, frame carries {}",
+                        payload, r.remaining())};
+  }
+
+  const std::uint8_t inner = r.u8();
+  const std::uint8_t codec = r.u8();
+  const std::uint64_t count = r.varint();
+  if (!r.ok() || inner == 0 ||
+      inner >= static_cast<std::uint8_t>(MessageType::kJumbo)) {
+    return Error{Errc::kCorrupt, "jumbo inner type invalid"};
+  }
+  if (!codec_supported(codec, supported_codecs())) {
+    return Error{Errc::kCorrupt,
+                 format("jumbo codec id {} not supported", codec)};
+  }
+  // Each sub-frame costs at least its one-byte length prefix.
+  if (count == 0 || count > r.remaining()) {
+    return Error{Errc::kCorrupt, "jumbo count overruns buffer"};
+  }
+  d.codec = static_cast<CodecId>(codec);
+  d.messages.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t sub_len = r.varint();
+    if (!r.ok() || sub_len > r.remaining() || sub_len > kMaxSubPayloadBytes) {
+      return Error{Errc::kCorrupt, "jumbo sub-frame length overruns buffer"};
+    }
+    ByteReader sub(r.view(sub_len));
+    Result<Message> msg = read_sub_payload(static_cast<MessageType>(inner),
+                                           d.codec, sub);
+    if (!msg.ok()) return msg.error();
+    if (!sub.ok() || sub.remaining() != 0) {
+      return Error{Errc::kCorrupt,
+                   "jumbo sub-frame did not consume declared bytes"};
+    }
+    d.messages.push_back(std::move(msg).value());
+  }
+  if (r.remaining() != 0) {
+    return Error{Errc::kCorrupt, "jumbo frame has bytes past its end"};
+  }
+  return d;
+}
+
+}  // namespace debar::net

@@ -1,0 +1,124 @@
+// WireCodec: jumbo-frame coalescing and structured payload compression
+// (DESIGN.md §5h).
+//
+// The v1 wire format ships one message per frame, each paying the 17-byte
+// envelope, and encodes every structured field at the paper's modeled
+// width. This layer adds an alternative frame type — kJumbo — that packs
+// a run of SAME-TYPE messages into one frame and encodes their payloads
+// through a negotiated codec:
+//
+//   envelope        u8 type = kJumbo, u32 from, u32 to, u32 seq,
+//                   u32 payload (the standard 17-byte envelope)
+//   payload         u8 inner_type      the run's message type (1..7)
+//                   u8 codec_id        CodecId the sub-payloads use
+//                   varint count       messages in the run (>= 1)
+//                   count x [varint sub_len, sub_payload]
+//
+// Codecs:
+//   kIdentity   sub-payloads are the v1 encodings — coalescing only;
+//   kDelta      structured compression: IndexEntryBatch container IDs as
+//               zigzag-varint deltas over the storage-order run,
+//               FingerprintBatch optionally front-coded (sorted batches
+//               share prefixes; a method byte keeps the raw form when
+//               front-coding would lose — fingerprints are
+//               near-incompressible, so it usually does and the fp win
+//               comes from coalescing), VerdictBatch's delta form reused;
+//   kDeltaLz    kDelta plus DebarLz (net/lz.hpp) on ChunkData payloads,
+//               stored-vs-compressed per chunk by another method byte.
+//
+// Negotiation: the codec ID travels in every jumbo frame, so the wire is
+// self-describing; a decoder accepts any codec in supported_codecs() and
+// rejects unknown IDs as corrupt. negotiate() clamps a configured
+// preference to a peer's (or this build's) supported set — endpoints
+// apply it at construction so a config can never emit frames its peers
+// cannot parse.
+//
+// Decoding trusts nothing: truncated frames, unknown codec or inner
+// types, nested jumbos, over-long declared sub-frames, malformed deltas,
+// and hostile LZ blocks all reject with kCorrupt — never crash, never
+// read out of bounds (the adversarial battery in
+// tests/net/wire_codec_test.cpp holds this line).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/message.hpp"
+
+namespace debar::net {
+
+enum class CodecId : std::uint8_t {
+  kIdentity = 0,  // v1 sub-payloads; coalescing only
+  kDelta = 1,     // delta-varint structured fields
+  kDeltaLz = 2,   // kDelta + DebarLz chunk payloads
+};
+
+/// Bitmask of the codec IDs this build can decode.
+[[nodiscard]] constexpr std::uint8_t supported_codecs() noexcept {
+  return (1u << static_cast<unsigned>(CodecId::kIdentity)) |
+         (1u << static_cast<unsigned>(CodecId::kDelta)) |
+         (1u << static_cast<unsigned>(CodecId::kDeltaLz));
+}
+
+[[nodiscard]] constexpr bool codec_supported(std::uint8_t id,
+                                             std::uint8_t mask) noexcept {
+  return id < 8 && (mask & (1u << id)) != 0;
+}
+
+/// Strongest codec both sides speak: the preference itself when the peer
+/// supports it, else the highest common ID (kIdentity is always common —
+/// every build decodes v1 frames).
+[[nodiscard]] constexpr CodecId negotiate(CodecId preferred,
+                                          std::uint8_t peer_mask) noexcept {
+  std::uint8_t id = static_cast<std::uint8_t>(preferred);
+  const std::uint8_t common = peer_mask & supported_codecs();
+  while (id > 0 && !codec_supported(id, common)) --id;
+  return static_cast<CodecId>(id);
+}
+
+/// Per-endpoint wire-codec policy (ClusterConfig::wire_codec plumbs it to
+/// every endpoint of a cluster). Defaults preserve the v1 wire exactly:
+/// no coalescing, no compression — the paper-model accounting stays the
+/// baseline, and benches/tests enable the codec explicitly.
+struct WireCodecConfig {
+  CodecId codec = CodecId::kIdentity;
+  /// Buffer same-type sends per destination and flush them as one jumbo
+  /// frame on phase boundaries (Endpoint::send_buffered / flush).
+  bool coalesce = false;
+  /// Auto-flush threshold: a destination's buffered raw bytes beyond this
+  /// flush immediately, bounding frame size and buffer memory.
+  std::size_t flush_bytes = 256 * 1024;
+
+  /// Convenience: the full codec, as the cluster benches enable it.
+  [[nodiscard]] static WireCodecConfig enabled() noexcept {
+    return {.codec = CodecId::kDeltaLz, .coalesce = true};
+  }
+};
+
+/// Largest raw chunk payload a decoder will allocate for one LZ block or
+/// stored run (matches SocketOptions::max_frame_bytes' default bound).
+inline constexpr std::size_t kMaxSubPayloadBytes = 64u << 20;
+
+/// Serialize a same-type run as one jumbo frame. `messages` must be
+/// non-empty and share one message type (which must not itself be
+/// kJumbo); the codec must be in supported_codecs().
+[[nodiscard]] std::vector<Byte> encode_jumbo(EndpointId from, EndpointId to,
+                                             std::uint32_t seq, CodecId codec,
+                                             std::span<const Message> messages);
+
+struct DecodedJumbo {
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::uint32_t seq = 0;
+  CodecId codec = CodecId::kIdentity;
+  std::vector<Message> messages;
+};
+
+/// Parse a jumbo frame. Every defect — truncation, unknown codec/type,
+/// length overrun, malformed sub-payload, trailing bytes — rejects with
+/// kCorrupt; a payload must consume exactly its declared byte count.
+[[nodiscard]] Result<DecodedJumbo> decode_jumbo(ByteSpan bytes);
+
+}  // namespace debar::net

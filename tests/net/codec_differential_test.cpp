@@ -1,0 +1,302 @@
+// Seeded randomized differential for the wire codec (`ctest -L
+// net-codec`): the same workload must leave byte-identical restored data
+// and index-device images whether the codec is on or off, over loopback
+// and over real TCP sockets. The raw (paper-model) byte ledger must not
+// move at all — the codec is a wire representation, not a protocol
+// change — while the metered wire bytes must shrink when it is on.
+//
+// A second battery drives the debar_clusterd example binary (path
+// injected by CMake as DEBAR_CLUSTERD_PATH) with --codec=on|off across
+// OS processes and diffs the resulting disk trees.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "net/transport_factory.hpp"
+#include "storage/block_device.hpp"
+
+namespace debar::core {
+namespace {
+
+enum class Wire { kLoopback, kSocket };
+
+struct Outcome {
+  std::vector<std::uint64_t> round_counts;   // per round: dup/new/bytes
+  std::vector<Byte> restored;                // every restored file byte
+  std::vector<std::vector<Byte>> index_images;  // factory-call order
+  net::TransportStats stats{};
+
+};
+
+/// Semantic state only — stats are compared field by field by callers.
+void expect_same_state(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.round_counts, b.round_counts);
+  EXPECT_EQ(a.restored, b.restored);
+  ASSERT_EQ(a.index_images.size(), b.index_images.size());
+  for (std::size_t i = 0; i < a.index_images.size(); ++i) {
+    EXPECT_EQ(a.index_images[i], b.index_images[i]) << "index image " << i;
+  }
+}
+
+/// Two backup generations of seeded-random fingerprints; generation two
+/// re-offers roughly half the pool as duplicates. Same seed =>
+/// bit-identical workload on every leg. All ingest flows through server
+/// 0: phase D stores every origin's new chunks into the shared
+/// repository concurrently, so multi-origin ingest would make container
+/// IDs (and with them the index images) depend on thread interleaving —
+/// single-origin keeps the whole end state byte-deterministic while the
+/// fingerprints still fan out to every server by routing prefix.
+struct Workload {
+  // streams[gen] = fingerprints offered through server 0, in order.
+  std::vector<std::vector<Fingerprint>> streams;
+
+  explicit Workload(std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    std::vector<Fingerprint> pool;
+    streams.assign(2, {});
+    for (int gen = 0; gen < 2; ++gen) {
+      for (int i = 0; i < 120; ++i) {
+        Fingerprint f;
+        if (gen == 1 && rng.chance(0.5)) {
+          f = pool[rng.below(pool.size())];  // cross-generation duplicate
+        } else {
+          f = Sha1::hash_counter(rng());
+          pool.push_back(f);
+        }
+        streams[gen].push_back(f);
+      }
+    }
+  }
+};
+
+Outcome run_workload(unsigned w, Wire wire, net::WireCodecConfig codec,
+                     std::uint64_t seed) {
+  auto devices = std::make_shared<std::vector<storage::MemBlockDevice*>>();
+
+  ClusterConfig cfg;
+  cfg.routing_bits = w;
+  cfg.repository_nodes = 2;
+  cfg.server_config.index_params = {.prefix_bits = 6, .blocks_per_bucket = 2};
+  cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+  cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                .capacity = 1000000};
+  cfg.server_config.chunk_store.io_buckets = 8;
+  cfg.server_config.chunk_store.siu_threshold = 1;
+  cfg.server_config.index_device_factory = [captured = devices] {
+    auto device = std::make_unique<storage::MemBlockDevice>();
+    captured->push_back(device.get());
+    return device;
+  };
+  cfg.wire_codec = codec;
+  if (wire == Wire::kSocket) {
+    cfg.transport_factory =
+        std::make_shared<net::SocketTransportFactory>(net::AddressMap{});
+  }
+
+  Outcome out;
+  Cluster cluster(std::move(cfg));
+  const Workload workload(seed);
+
+  const std::uint64_t job = cluster.director().define_job("c", "d");
+  for (int gen = 0; gen < 2; ++gen) {
+    const std::vector<Fingerprint>& fps = workload.streams[gen];
+    FileStore& fs = cluster.server(0).file_store();
+    fs.begin_job(job);
+    fs.begin_file(
+        {.path = "s", .size = fps.size() * 512, .mtime = 0, .mode = 0644});
+    for (const Fingerprint& f : fps) {
+      if (fs.offer_fingerprint(f, 512)) {
+        const auto payload = BackupEngine::synthetic_payload(f, 512);
+        EXPECT_TRUE(
+            fs.receive_chunk(f, ByteSpan(payload.data(), payload.size()))
+                .ok());
+      }
+    }
+    fs.end_file();
+    EXPECT_TRUE(fs.end_job().ok());
+    const Result<ClusterDedup2Result> round =
+        cluster.run_dedup2(/*force_siu=*/true);
+    EXPECT_TRUE(round.ok()) << round.error().to_string();
+    if (round.ok()) {
+      out.round_counts.insert(
+          out.round_counts.end(),
+          {round.value().undetermined, round.value().duplicates,
+           round.value().new_chunks, round.value().new_bytes});
+    }
+  }
+
+  // Restoring both versions sends ChunkData (and locate traffic to the
+  // index owners elsewhere) across the metered wire.
+  for (std::uint32_t version = 1; version <= 2; ++version) {
+    const Result<Dataset> restored = cluster.restore(job, version, /*via=*/0);
+    EXPECT_TRUE(restored.ok()) << restored.error().to_string();
+    if (!restored.ok()) continue;
+    for (const FileData& file : restored.value().files) {
+      out.restored.insert(out.restored.end(), file.content.begin(),
+                          file.content.end());
+    }
+  }
+
+  for (const storage::MemBlockDevice* device : *devices) {
+    const ByteSpan bytes = device->contents();
+    out.index_images.emplace_back(bytes.begin(), bytes.end());
+  }
+  out.stats = cluster.transport_stats();
+  return out;
+}
+
+class CodecDifferentialTest : public testing::TestWithParam<unsigned> {};
+
+/// The core differential: codec on vs off over the same wire.
+void expect_codec_invariant(unsigned w, Wire wire) {
+  const std::uint64_t kSeed = 0xC0DEC + w;
+  const Outcome off = run_workload(w, wire, net::WireCodecConfig{}, kSeed);
+  const Outcome on =
+      run_workload(w, wire, net::WireCodecConfig::enabled(), kSeed);
+
+  // Byte-identical semantics: restores, round ledgers, index images
+  // (primaries and replicas alike, in factory-call order).
+  expect_same_state(on, off);
+  ASSERT_FALSE(on.restored.empty());
+  ASSERT_FALSE(on.index_images.empty());
+
+  // The raw (paper-model) ledger is codec-invariant: same messages, same
+  // v1-serialized cost, per type.
+  EXPECT_EQ(on.stats.messages_sent, off.stats.messages_sent);
+  EXPECT_EQ(on.stats.raw_bytes_sent, off.stats.raw_bytes_sent);
+  EXPECT_EQ(on.stats.raw_bytes_by_type, off.stats.raw_bytes_by_type);
+  EXPECT_EQ(on.stats.messages_by_type, off.stats.messages_by_type);
+
+  // The actual wire shrinks: fewer frames (coalescing) and fewer bytes
+  // (compression). Synthetic chunk payloads make ChunkData the bulk, so
+  // the shrink is well past measurement noise.
+  EXPECT_LT(on.stats.frames_sent, off.stats.frames_sent);
+  EXPECT_LT(on.stats.bytes_sent, off.stats.bytes_sent);
+  EXPECT_LE(on.stats.bytes_sent, off.stats.bytes_sent * 9 / 10)
+      << "codec saved less than 10% wire bytes";
+
+  // Codec off must be exactly the v1 wire: the raw ledger (v1 envelope +
+  // payload per message) and the metered wire agree to the byte.
+  EXPECT_EQ(off.stats.raw_bytes_sent, off.stats.bytes_sent);
+  EXPECT_EQ(off.stats.messages_sent, off.stats.frames_sent);
+}
+
+TEST_P(CodecDifferentialTest, LoopbackStateIsCodecInvariant) {
+  expect_codec_invariant(GetParam(), Wire::kLoopback);
+}
+
+TEST_P(CodecDifferentialTest, SocketStateIsCodecInvariant) {
+  expect_codec_invariant(GetParam(), Wire::kSocket);
+}
+
+TEST_P(CodecDifferentialTest, SocketMatchesLoopbackWithCodecOn) {
+  const unsigned w = GetParam();
+  const std::uint64_t kSeed = 0xC0DEC + w;
+  const Outcome loop =
+      run_workload(w, Wire::kLoopback, net::WireCodecConfig::enabled(), kSeed);
+  const Outcome sock =
+      run_workload(w, Wire::kSocket, net::WireCodecConfig::enabled(), kSeed);
+  expect_same_state(sock, loop);
+  // The codec is deterministic, so even the compressed wire bytes agree
+  // across transports, frame for frame.
+  EXPECT_EQ(sock.stats.bytes_sent, loop.stats.bytes_sent);
+  EXPECT_EQ(sock.stats.frames_sent, loop.stats.frames_sent);
+  EXPECT_EQ(sock.stats.raw_bytes_by_type, loop.stats.raw_bytes_by_type);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, CodecDifferentialTest,
+                         testing::Values(1u, 2u));
+
+TEST(CodecDeterminismProbe, OffTwiceIdentical) {
+  const Outcome a = run_workload(1, Wire::kLoopback, net::WireCodecConfig{}, 1);
+  const Outcome b = run_workload(1, Wire::kLoopback, net::WireCodecConfig{}, 1);
+  expect_same_state(a, b);
+}
+
+TEST(CodecDeterminismProbe, OnTwiceIdentical) {
+  const Outcome a =
+      run_workload(1, Wire::kLoopback, net::WireCodecConfig::enabled(), 1);
+  const Outcome b =
+      run_workload(1, Wire::kLoopback, net::WireCodecConfig::enabled(), 1);
+  expect_same_state(a, b);
+}
+
+// ---- debar_clusterd across OS processes -------------------------------
+
+namespace fs = std::filesystem;
+
+std::vector<char> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("codec-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+void run_clusterd(const std::string& transport, unsigned w,
+                  const std::string& codec, const fs::path& dir) {
+  const std::string cmd = std::string(DEBAR_CLUSTERD_PATH) +
+                          " --transport=" + transport +
+                          " --w=" + std::to_string(w) +
+                          " --codec=" + codec + " --dir=" + dir.string() +
+                          " >/dev/null 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0)
+      << transport << " w=" << w << " codec=" << codec << " run failed";
+}
+
+void expect_identical_trees(const fs::path& a_dir, const fs::path& b_dir,
+                            unsigned w) {
+  std::vector<fs::path> files;
+  for (unsigned k = 0; k < (1u << w); ++k) {
+    files.push_back(fs::path("node" + std::to_string(k)) / "index.bin");
+  }
+  files.push_back(fs::path("repo") / "node0.log");
+  files.push_back(fs::path("repo") / "node1.log");
+  files.push_back("summary.txt");
+  for (const fs::path& rel : files) {
+    const std::vector<char> a = slurp(a_dir / rel);
+    const std::vector<char> b = slurp(b_dir / rel);
+    EXPECT_FALSE(a.empty()) << rel;
+    EXPECT_EQ(a, b) << rel << " differs";
+  }
+}
+
+class ClusterdCodecDifferentialTest
+    : public testing::TestWithParam<unsigned> {};
+
+/// Real multi-process TCP daemons with the codec on must leave the same
+/// disk tree as codec-off daemons, and as a codec-on loopback run.
+TEST_P(ClusterdCodecDifferentialTest, CodecOnTreeMatchesCodecOff) {
+  const unsigned w = GetParam();
+  const fs::path off = fresh_dir("sock-off-w" + std::to_string(w));
+  const fs::path on = fresh_dir("sock-on-w" + std::to_string(w));
+  const fs::path loop = fresh_dir("loop-on-w" + std::to_string(w));
+  run_clusterd("socket", w, "off", off);
+  run_clusterd("socket", w, "on", on);
+  run_clusterd("loopback", w, "on", loop);
+  expect_identical_trees(off, on, w);
+  expect_identical_trees(on, loop, w);
+  fs::remove_all(off);
+  fs::remove_all(on);
+  fs::remove_all(loop);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ClusterdCodecDifferentialTest,
+                         testing::Values(1u, 2u));
+
+}  // namespace
+}  // namespace debar::core

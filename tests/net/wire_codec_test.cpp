@@ -1,0 +1,301 @@
+// Wire-codec battery (net/wire_codec): every message type must round-trip
+// through every codec, and every malformed frame — truncations, bit
+// flips, unknown codec or inner types, over-long declared sub-frames,
+// hostile LZ blocks — must decode to a clean error. Runs in the CI
+// asan-ubsan job (label net-codec), so "never crash, never read out of
+// bounds" is checked under the sanitizers that would catch it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+#include "net/lz.hpp"
+#include "net/wire_codec.hpp"
+
+namespace debar::net {
+namespace {
+
+Fingerprint fp(std::uint64_t i) { return Sha1::hash_counter(i); }
+
+constexpr CodecId kAllCodecs[] = {CodecId::kIdentity, CodecId::kDelta,
+                                  CodecId::kDeltaLz};
+
+std::vector<Message> sample_messages() {
+  FingerprintBatch fps;
+  for (std::uint64_t i = 0; i < 7; ++i) fps.fps.push_back(fp(i));
+  std::sort(fps.fps.begin(), fps.fps.end());
+
+  // A batch front-coding actually wins on: long shared prefixes.
+  FingerprintBatch prefixed;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    Fingerprint f{};
+    f.bytes[18] = static_cast<Byte>(i);
+    f.bytes[19] = static_cast<Byte>(i * 7);
+    prefixed.fps.push_back(f);
+  }
+
+  VerdictBatch verdicts;
+  verdicts.query_count = 1000;
+  verdicts.duplicate_indices = {0, 1, 2, 40, 41, 999};
+
+  IndexEntryBatch entries;  // storage-order run: small container deltas
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    entries.entries.push_back({fp(100 + i), ContainerId{5 + i / 10}});
+  }
+  IndexEntryBatch scattered;  // adversarial: deltas larger than raw u40
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    scattered.entries.push_back(
+        {fp(200 + i), ContainerId{(i % 2) ? ContainerId::kMask : 1}});
+  }
+
+  ChunkData chunk;  // synthetic backup payload: highly compressible
+  chunk.fp = fp(7);
+  chunk.bytes = core::BackupEngine::synthetic_payload(chunk.fp, 4096);
+  ChunkData incompressible;
+  incompressible.fp = fp(8);
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 500; ++i) {
+    incompressible.bytes.push_back(static_cast<Byte>(rng.below(256)));
+  }
+
+  return {
+      Message{fps},
+      Message{prefixed},
+      Message{FingerprintBatch{}},
+      Message{verdicts},
+      Message{VerdictBatch{.query_count = 0, .duplicate_indices = {}}},
+      Message{entries},
+      Message{scattered},
+      Message{IndexEntryBatch{}},
+      Message{ChunkLocateRequest{fp(9)}},
+      Message{ChunkLocateReply{Errc::kOk, ContainerId{12345}}},
+      Message{chunk},
+      Message{incompressible},
+      Message{ChunkData{fp(10), {}}},
+      Message{Control{.op = Control::kShutdown, .arg = 7}},
+  };
+}
+
+/// Group the samples into same-type runs, as encode_jumbo requires.
+std::vector<std::vector<Message>> same_type_runs() {
+  std::vector<std::vector<Message>> runs;
+  for (const Message& msg : sample_messages()) {
+    bool placed = false;
+    for (std::vector<Message>& run : runs) {
+      if (type_of(run.front()) == type_of(msg)) {
+        run.push_back(msg);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) runs.push_back({msg});
+  }
+  return runs;
+}
+
+TEST(WireCodecTest, EveryTypeRoundTripsThroughEveryCodec) {
+  for (const CodecId codec : kAllCodecs) {
+    for (const std::vector<Message>& run : same_type_runs()) {
+      const std::vector<Byte> frame = encode_jumbo(
+          3, 8, 55, codec, std::span<const Message>(run));
+      Result<DecodedJumbo> decoded =
+          decode_jumbo(ByteSpan(frame.data(), frame.size()));
+      ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+      EXPECT_EQ(decoded.value().from, 3u);
+      EXPECT_EQ(decoded.value().to, 8u);
+      EXPECT_EQ(decoded.value().seq, 55u);
+      EXPECT_EQ(decoded.value().codec, codec);
+      ASSERT_EQ(decoded.value().messages.size(), run.size());
+      for (std::size_t i = 0; i < run.size(); ++i) {
+        EXPECT_EQ(decoded.value().messages[i], run[i])
+            << "codec " << static_cast<int>(codec) << " message " << i;
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, CoalescingPlusCompressionShrinksTheWire) {
+  // A fig14-shaped run: many sorted fingerprints, storage-order entries,
+  // synthetic chunk payloads. kDeltaLz must beat the per-message v1 cost.
+  std::vector<Message> chunks;
+  std::size_t raw = 0;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    ChunkData c{fp(i), core::BackupEngine::synthetic_payload(fp(i), 4096)};
+    raw += wire_bytes(Message{c});
+    chunks.push_back(Message{std::move(c)});
+  }
+  const std::vector<Byte> frame =
+      encode_jumbo(0, 1, 0, CodecId::kDeltaLz, std::span<const Message>(chunks));
+  EXPECT_LT(frame.size(), raw / 3) << "LZ'd synthetic chunks should crush";
+
+  IndexEntryBatch batch;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    batch.entries.push_back({fp(i), ContainerId{1 + i / 300}});
+  }
+  const Message emsg{batch};
+  raw = wire_bytes(emsg);
+  const std::vector<Byte> eframe = encode_jumbo(
+      0, 1, 0, CodecId::kDelta, std::span<const Message>(&emsg, 1));
+  EXPECT_LT(eframe.size(), raw - 3 * batch.entries.size())
+      << "container deltas should save ~4 of 5 bytes per entry";
+}
+
+TEST(WireCodecTest, EveryTruncationIsRejected) {
+  for (const CodecId codec : kAllCodecs) {
+    for (const std::vector<Message>& run : same_type_runs()) {
+      const std::vector<Byte> frame =
+          encode_jumbo(0, 1, 5, codec, std::span<const Message>(run));
+      for (std::size_t len = 0; len < frame.size(); ++len) {
+        Result<DecodedJumbo> decoded = decode_jumbo(ByteSpan(frame.data(), len));
+        EXPECT_FALSE(decoded.ok())
+            << "truncation to " << len << " of " << frame.size() << " accepted";
+        if (!decoded.ok()) {
+          EXPECT_EQ(decoded.error().code, Errc::kCorrupt);
+        }
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, RandomBitFlipsNeverCrashAndOftenReject) {
+  Xoshiro256 rng(7);
+  for (const CodecId codec : kAllCodecs) {
+    for (const std::vector<Message>& run : same_type_runs()) {
+      const std::vector<Byte> frame =
+          encode_jumbo(2, 3, 9, codec, std::span<const Message>(run));
+      for (int trial = 0; trial < 300; ++trial) {
+        std::vector<Byte> corrupt = frame;
+        corrupt[rng.below(corrupt.size())] ^=
+            static_cast<Byte>(1u << rng.below(8));
+        // Must never crash; a flip in chunk payload bytes may still parse.
+        Result<DecodedJumbo> decoded =
+            decode_jumbo(ByteSpan(corrupt.data(), corrupt.size()));
+        if (!decoded.ok()) {
+          EXPECT_EQ(decoded.error().code, Errc::kCorrupt);
+        }
+      }
+    }
+  }
+}
+
+TEST(WireCodecTest, UnknownCodecAndInnerTypesAreRejected) {
+  FingerprintBatch batch;
+  batch.fps.push_back(fp(1));
+  const Message msg{batch};
+  std::vector<Byte> frame = encode_jumbo(0, 1, 0, CodecId::kIdentity,
+                                         std::span<const Message>(&msg, 1));
+  // Envelope is 17 bytes; payload byte 0 = inner type, byte 1 = codec id.
+  std::vector<Byte> bad_codec = frame;
+  bad_codec[kEnvelopeSize + 1] = 99;
+  EXPECT_FALSE(decode_jumbo(ByteSpan(bad_codec.data(), bad_codec.size())).ok());
+
+  for (const std::uint8_t inner :
+       {std::uint8_t{0}, static_cast<std::uint8_t>(MessageType::kJumbo),
+        std::uint8_t{200}}) {
+    std::vector<Byte> bad_inner = frame;
+    bad_inner[kEnvelopeSize] = inner;
+    EXPECT_FALSE(
+        decode_jumbo(ByteSpan(bad_inner.data(), bad_inner.size())).ok())
+        << "inner type " << static_cast<int>(inner) << " accepted";
+  }
+
+  // A v1 (non-jumbo) frame is not a jumbo frame.
+  const std::vector<Byte> v1 = encode(0, 1, 0, msg);
+  EXPECT_FALSE(decode_jumbo(ByteSpan(v1.data(), v1.size())).ok());
+}
+
+TEST(WireCodecTest, OverlongDeclaredLengthsAreRejected) {
+  FingerprintBatch batch;
+  for (std::uint64_t i = 0; i < 3; ++i) batch.fps.push_back(fp(i));
+  const Message msg{batch};
+  const std::vector<Byte> frame = encode_jumbo(
+      0, 1, 0, CodecId::kIdentity, std::span<const Message>(&msg, 1));
+
+  // Grow the declared count without supplying sub-frames.
+  std::vector<Byte> many = frame;
+  many[kEnvelopeSize + 2] = 0x7F;  // count varint: 127 runs declared
+  EXPECT_FALSE(decode_jumbo(ByteSpan(many.data(), many.size())).ok());
+
+  // Declare a sub-frame longer than the remaining payload.
+  std::vector<Byte> long_sub = frame;
+  long_sub[kEnvelopeSize + 3] = 0x7F;  // sub_len varint of first run
+  EXPECT_FALSE(decode_jumbo(ByteSpan(long_sub.data(), long_sub.size())).ok());
+}
+
+TEST(WireCodecTest, NegotiationClampsToTheCommonSet) {
+  EXPECT_EQ(negotiate(CodecId::kDeltaLz, supported_codecs()),
+            CodecId::kDeltaLz);
+  // Peer only speaks identity + delta: the LZ preference degrades.
+  const std::uint8_t no_lz = 0b011;
+  EXPECT_EQ(negotiate(CodecId::kDeltaLz, no_lz), CodecId::kDelta);
+  // Peer speaks nothing we know: identity always remains.
+  EXPECT_EQ(negotiate(CodecId::kDeltaLz, 0), CodecId::kIdentity);
+  EXPECT_EQ(negotiate(CodecId::kIdentity, supported_codecs()),
+            CodecId::kIdentity);
+}
+
+TEST(DebarLzTest, RoundTripsVariedPayloads) {
+  Xoshiro256 rng(3);
+  std::vector<std::vector<Byte>> payloads;
+  payloads.push_back({});                       // empty
+  payloads.push_back({Byte{7}});                // single byte
+  payloads.emplace_back(100000, Byte{0xA5});    // pure RLE
+  payloads.push_back(core::BackupEngine::synthetic_payload(fp(1), 65536));
+  std::vector<Byte> random(5000);
+  for (Byte& b : random) b = static_cast<Byte>(rng.below(256));
+  payloads.push_back(random);                   // incompressible
+  std::vector<Byte> mixed;                      // repetitive with noise
+  for (int i = 0; i < 3000; ++i) {
+    mixed.push_back(static_cast<Byte>(rng.chance(0.1) ? rng.below(256)
+                                                      : (i % 17)));
+  }
+  payloads.push_back(mixed);
+
+  for (const std::vector<Byte>& raw : payloads) {
+    const std::vector<Byte> block =
+        lz_compress(ByteSpan(raw.data(), raw.size()));
+    Result<std::vector<Byte>> back =
+        lz_decompress(ByteSpan(block.data(), block.size()), 1 << 20);
+    ASSERT_TRUE(back.ok()) << back.error().message;
+    EXPECT_EQ(back.value(), raw);
+  }
+  // The RLE payload must actually compress hard.
+  const std::vector<Byte> rle(100000, Byte{0xA5});
+  EXPECT_LT(lz_compress(ByteSpan(rle.data(), rle.size())).size(), 2000u);
+}
+
+TEST(DebarLzTest, HostileBlocksAreRejectedNotTrusted) {
+  const std::vector<Byte> raw = core::BackupEngine::synthetic_payload(fp(2),
+                                                                      2048);
+  const std::vector<Byte> block = lz_compress(ByteSpan(raw.data(), raw.size()));
+
+  // Raw-length cap enforced before any allocation.
+  EXPECT_FALSE(lz_decompress(ByteSpan(block.data(), block.size()), 100).ok());
+
+  // Every truncation rejects.
+  for (std::size_t len = 0; len < block.size(); ++len) {
+    EXPECT_FALSE(lz_decompress(ByteSpan(block.data(), len), 1 << 20).ok());
+  }
+
+  // Random bit flips never crash (asan-ubsan backs this up).
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<Byte> corrupt = block;
+    corrupt[rng.below(corrupt.size())] ^= static_cast<Byte>(1u << rng.below(8));
+    (void)lz_decompress(ByteSpan(corrupt.data(), corrupt.size()), 1 << 20);
+  }
+
+  // A match offset pointing before the output start must be rejected:
+  // token with match but zero prior output.
+  std::vector<Byte> bad;
+  ByteWriter w(bad);
+  w.varint(8);     // declares 8 raw bytes
+  w.u8(0x04);      // 0 literals, match_len 4+4=8
+  w.u16(1);        // offset 1 with no produced bytes yet
+  EXPECT_FALSE(lz_decompress(ByteSpan(bad.data(), bad.size()), 1 << 20).ok());
+}
+
+}  // namespace
+}  // namespace debar::net

@@ -1,0 +1,175 @@
+// Property tests for the delta-varint helpers (net/varint_delta): decode
+// after encode must be the identity over arbitrary strictly ascending
+// runs — including the boundary shapes (empty, singleton zero, u32 max,
+// dense runs) — zigzag must be a self-inverse bijection, and malformed
+// runs (unsorted input's zero deltas, out-of-bound values, truncations)
+// must be rejected, never half-decoded.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "net/varint_delta.hpp"
+
+namespace debar::net {
+namespace {
+
+std::vector<Byte> encoded(std::span<const std::uint32_t> values) {
+  std::vector<Byte> out;
+  ByteWriter w(out);
+  write_ascending_deltas(w, values);
+  return out;
+}
+
+TEST(VarintDeltaTest, RandomAscendingRunsRoundTrip) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Random strictly ascending run with random density.
+    std::vector<std::uint32_t> values;
+    std::uint64_t v = rng.below(4);
+    const std::size_t count = rng.below(200);
+    const std::uint64_t max_step = 1 + rng.below(1u << rng.below(20));
+    for (std::size_t i = 0; i < count; ++i) {
+      values.push_back(static_cast<std::uint32_t>(v));
+      v += 1 + rng.below(max_step);
+      if (v > std::numeric_limits<std::uint32_t>::max()) break;
+    }
+    const std::vector<Byte> bytes = encoded(values);
+    EXPECT_EQ(bytes.size(), ascending_deltas_size(values));
+
+    const std::uint64_t bound =
+        values.empty() ? 1 : std::uint64_t{values.back()} + 1;
+    ByteReader r(ByteSpan(bytes.data(), bytes.size()));
+    std::vector<std::uint32_t> back;
+    ASSERT_TRUE(read_ascending_deltas(
+        r, static_cast<std::uint32_t>(values.size()), bound, back));
+    EXPECT_EQ(back, values);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(VarintDeltaTest, BoundaryRuns) {
+  const std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  const std::vector<std::vector<std::uint32_t>> runs = {
+      {},                // empty
+      {0},               // the +1 bias: value 0 still encodes delta 1
+      {kMax},            // largest single value
+      {0, kMax},         // widest possible delta
+      {0, 1, 2, 3, 4},   // dense run: one byte per element
+  };
+  for (const std::vector<std::uint32_t>& values : runs) {
+    const std::vector<Byte> bytes = encoded(values);
+    const std::uint64_t bound =
+        values.empty() ? 1 : std::uint64_t{values.back()} + 1;
+    ByteReader r(ByteSpan(bytes.data(), bytes.size()));
+    std::vector<std::uint32_t> back;
+    ASSERT_TRUE(read_ascending_deltas(
+        r, static_cast<std::uint32_t>(values.size()), bound, back));
+    EXPECT_EQ(back, values);
+  }
+  // Dense runs cost exactly one byte per verdict (the paper's wire model).
+  EXPECT_EQ(ascending_deltas_size(runs.back()), runs.back().size());
+}
+
+TEST(VarintDeltaTest, DuplicatesAndUnsortedRunsAreRejectedByTheDecoder) {
+  // The encoder's precondition is strict ascent; violating it produces a
+  // zero (or wrapped) delta the decoder must refuse — never a garbage run.
+  const std::vector<std::vector<std::uint32_t>> bad_runs = {
+      {5, 5},        // duplicate -> zero delta
+      {7, 3},        // descending -> wrapped delta past the bound
+      {0, 0, 0},     // all-duplicate
+  };
+  for (const std::vector<std::uint32_t>& values : bad_runs) {
+    const std::vector<Byte> bytes = encoded(values);
+    ByteReader r(ByteSpan(bytes.data(), bytes.size()));
+    std::vector<std::uint32_t> out;
+    EXPECT_FALSE(read_ascending_deltas(
+        r, static_cast<std::uint32_t>(values.size()), 8, out));
+    EXPECT_TRUE(out.empty()) << "rejected decode leaked partial output";
+  }
+}
+
+TEST(VarintDeltaTest, TruncationsAndBoundViolationsAreRejected) {
+  Xoshiro256 rng(2);
+  std::vector<std::uint32_t> values;
+  for (std::uint32_t v = rng.below(10); values.size() < 64;
+       v += 1 + rng.below(1000)) {
+    values.push_back(v);
+  }
+  const std::vector<Byte> bytes = encoded(values);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ByteReader r(ByteSpan(bytes.data(), len));
+    std::vector<std::uint32_t> out;
+    EXPECT_FALSE(read_ascending_deltas(
+        r, static_cast<std::uint32_t>(values.size()), values.back() + 1, out));
+  }
+  // A bound at the last value (not one past) rejects the full run.
+  ByteReader r(ByteSpan(bytes.data(), bytes.size()));
+  std::vector<std::uint32_t> out;
+  EXPECT_FALSE(read_ascending_deltas(
+      r, static_cast<std::uint32_t>(values.size()), values.back(), out));
+}
+
+TEST(ZigzagTest, SelfInverseOverRandomAndBoundaryValues) {
+  const std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{1},
+                               std::int64_t{-1}, std::int64_t{2},
+                               std::int64_t{-2}, kMin, kMax, kMin + 1,
+                               kMax - 1}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  // Small magnitudes (either sign) map to small codes: the property the
+  // container-delta encoding relies on.
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-64), 127u);  // still a one-byte varint
+
+  Xoshiro256 rng(9);
+  for (int trial = 0; trial < 5000; ++trial) {
+    const auto v = static_cast<std::int64_t>(rng());
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+    // Bijection in the other direction too.
+    const std::uint64_t u = rng();
+    EXPECT_EQ(zigzag_encode(zigzag_decode(u)), u);
+  }
+}
+
+TEST(VarintDeltaTest, UnsortedRunsThroughZigzagRoundTrip) {
+  // The wire codec encodes arbitrary (unsorted) container-ID runs as
+  // zigzag'd consecutive differences; verify that composition is the
+  // identity over random runs with boundary values mixed in.
+  Xoshiro256 rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> values;
+    const std::size_t count = 1 + rng.below(100);
+    for (std::size_t i = 0; i < count; ++i) {
+      switch (rng.below(4)) {
+        case 0: values.push_back(0); break;
+        case 1: values.push_back(ContainerId::kMask); break;
+        default: values.push_back(rng.below(ContainerId::kMask + 1)); break;
+      }
+    }
+    std::vector<Byte> bytes;
+    ByteWriter w(bytes);
+    std::int64_t prev = 0;
+    for (const std::uint64_t v : values) {
+      w.varint(zigzag_encode(static_cast<std::int64_t>(v) - prev));
+      prev = static_cast<std::int64_t>(v);
+    }
+    ByteReader r(ByteSpan(bytes.data(), bytes.size()));
+    prev = 0;
+    for (const std::uint64_t v : values) {
+      const std::int64_t got = prev + zigzag_decode(r.varint());
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(static_cast<std::uint64_t>(got), v);
+      prev = got;
+    }
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace debar::net
