@@ -1,0 +1,297 @@
+// Dedup-1 hot-path throughput: chunking + fingerprinting, the per-byte
+// cost every DEBAR client pays, across the algorithm/lane matrix —
+// scalar Rabin + streaming SHA-1 (the seed hot path) vs. gear chunking
+// with the scalar/SSE2/AVX2 scans and multi-buffer SHA-1 (DESIGN.md
+// §5i). Emits machine-readable BENCH_chunking.json.
+//
+//   bench_chunking [--out <path>]   measure and write the JSON
+//   bench_chunking --check <path>   re-measure and compare against the
+//                                   checked-in baseline: fails if the
+//                                   best gear lane's speedup over scalar
+//                                   Rabin drops below the 3x acceptance
+//                                   bar or below 95% of the baseline's
+//                                   recorded speedup
+//
+// Absolute MB/s is machine-dependent, so the gate is on speedup RATIOS
+// measured in the same process on the same corpus — those survive a CI
+// runner swap; raw throughput numbers in the JSON are informational.
+//
+// Every lane's boundaries and fingerprints are verified identical to
+// the scalar references while measuring: a lane that got fast by
+// cutting different chunks fails here before any test does.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chunking/gear_chunker.hpp"
+#include "chunking/rabin_chunker.hpp"
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "common/simd.hpp"
+#include "workload/file_tree.hpp"
+
+namespace {
+
+using namespace debar;
+
+// Size-swept seeded corpus: random segments from 256 KiB to 16 MiB plus
+// one versioned-file-tree segment (real backup-shaped bytes), processed
+// segment-by-segment like the engine processes files.
+std::vector<std::vector<Byte>> make_corpus() {
+  std::vector<std::vector<Byte>> segments;
+  for (const std::size_t size :
+       {256 * KiB, 1 * MiB, 4 * MiB, 16 * MiB}) {
+    Xoshiro256 rng(9000 + size);
+    std::vector<Byte> seg(size);
+    for (auto& b : seg) b = static_cast<Byte>(rng());
+    segments.push_back(std::move(seg));
+  }
+  workload::FileTreeParams tree;
+  tree.files = 24;
+  tree.mean_file_bytes = 256 * KiB;
+  tree.seed = 77;
+  const core::Dataset dataset = workload::make_dataset(tree);
+  std::vector<Byte> trace;
+  for (const auto& file : dataset.files) {
+    trace.insert(trace.end(), file.content.begin(), file.content.end());
+  }
+  segments.push_back(std::move(trace));
+  return segments;
+}
+
+struct Lane {
+  std::string name;
+  const char* algo;
+  const char* simd;
+  double mb_per_s = 0;
+  double best_seconds = 0;
+  std::uint64_t chunks = 0;
+};
+
+struct LaneOutput {
+  std::vector<std::vector<chunking::ChunkBounds>> bounds;  // per segment
+  std::vector<std::vector<Fingerprint>> fps;
+};
+
+constexpr int kReps = 5;
+
+// One chunk+fingerprint pass over the whole corpus; returns wall time.
+template <class ChunkFn, class HashFn>
+double one_pass(const std::vector<std::vector<Byte>>& corpus,
+                ChunkFn&& chunk_fn, HashFn&& hash_fn, LaneOutput& out) {
+  out.bounds.clear();
+  out.fps.clear();
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& seg : corpus) {
+    const ByteSpan content(seg.data(), seg.size());
+    std::vector<chunking::ChunkBounds> bounds = chunk_fn(content);
+    std::vector<ByteSpan> spans;
+    spans.reserve(bounds.size());
+    for (const auto& b : bounds) spans.push_back(content.subspan(b.offset, b.size));
+    out.fps.push_back(hash_fn(spans));
+    out.bounds.push_back(std::move(bounds));
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+template <class ChunkFn, class HashFn>
+Lane run_lane(const std::string& name, const char* algo, const char* simd,
+              const std::vector<std::vector<Byte>>& corpus, ChunkFn&& chunk_fn,
+              HashFn&& hash_fn, LaneOutput& out) {
+  Lane lane;
+  lane.name = name;
+  lane.algo = algo;
+  lane.simd = simd;
+  lane.best_seconds = 1e30;
+  std::uint64_t total_bytes = 0;
+  for (const auto& seg : corpus) total_bytes += seg.size();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const double secs = one_pass(corpus, chunk_fn, hash_fn, out);
+    if (secs < lane.best_seconds) lane.best_seconds = secs;
+  }
+  lane.mb_per_s =
+      static_cast<double>(total_bytes) / (1e6 * lane.best_seconds);
+  for (const auto& b : out.bounds) lane.chunks += b.size();
+  std::printf("%-12s %8.1f MB/s  (%llu chunks, best of %d)\n",
+              lane.name.c_str(), lane.mb_per_s,
+              static_cast<unsigned long long>(lane.chunks), kReps);
+  return lane;
+}
+
+struct Measurement {
+  std::vector<Lane> lanes;
+  double gear_best_speedup = 0;   // best gear lane vs rabin-scalar
+  double gear_simd_speedup = 0;   // best gear lane vs gear-scalar
+  std::string gear_best_lane;
+};
+
+Measurement measure() {
+  const std::vector<std::vector<Byte>> corpus = make_corpus();
+  Measurement m;
+
+  // The seed hot path: byte-at-a-time Rabin + one streaming SHA-1 per
+  // chunk (exactly what BackupEngine did before this lane existed).
+  LaneOutput rabin_out;
+  chunking::RabinChunker rabin;
+  m.lanes.push_back(run_lane(
+      "rabin-scalar", "rabin", "scalar", corpus,
+      [&](ByteSpan data) { return rabin.chunk(data); },
+      [](const std::vector<ByteSpan>& spans) {
+        std::vector<Fingerprint> fps;
+        fps.reserve(spans.size());
+        for (const ByteSpan s : spans) fps.push_back(Sha1::hash(s));
+        return fps;
+      },
+      rabin_out));
+
+  // Gear lanes: scalar reference first, then each supported SIMD lane,
+  // all with the matching hash_batch policy.
+  LaneOutput gear_ref;
+  std::vector<SimdPolicy> policies = {SimdPolicy::kScalar};
+  for (SimdPolicy p : {SimdPolicy::kSse2, SimdPolicy::kAvx2}) {
+    if (simd_supported(p)) policies.push_back(p);
+  }
+  double gear_scalar_mbs = 0;
+  for (const SimdPolicy policy : policies) {
+    chunking::GearParams params;
+    params.simd = policy;
+    chunking::GearChunker gear(params);
+    LaneOutput out;
+    const Lane lane = run_lane(
+        std::string("gear-") + simd_name(policy), "gear", simd_name(policy),
+        corpus, [&](ByteSpan data) { return gear.chunk(data); },
+        [&](const std::vector<ByteSpan>& spans) {
+          return Sha1::hash_batch(spans, policy);
+        },
+        out);
+    if (policy == SimdPolicy::kScalar) {
+      gear_ref = std::move(out);
+      gear_scalar_mbs = lane.mb_per_s;
+    } else if (out.bounds != gear_ref.bounds || out.fps != gear_ref.fps) {
+      // The equivalence battery's acceptance bar, enforced on the bench
+      // corpus too: lanes may only differ in speed.
+      std::fprintf(stderr, "%s: boundaries/fingerprints differ from scalar\n",
+                   lane.name.c_str());
+      std::exit(1);
+    }
+    m.lanes.push_back(lane);
+  }
+
+  const double rabin_mbs = m.lanes.front().mb_per_s;
+  for (const Lane& lane : m.lanes) {
+    if (std::string(lane.algo) != "gear") continue;
+    const double speedup = lane.mb_per_s / rabin_mbs;
+    if (speedup > m.gear_best_speedup) {
+      m.gear_best_speedup = speedup;
+      m.gear_best_lane = lane.name;
+      m.gear_simd_speedup = lane.mb_per_s / gear_scalar_mbs;
+    }
+  }
+  std::printf("best gear lane %s: %.2fx vs rabin-scalar, %.2fx vs "
+              "gear-scalar\n",
+              m.gear_best_lane.c_str(), m.gear_best_speedup,
+              m.gear_simd_speedup);
+  return m;
+}
+
+void write_json(const Measurement& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"chunking\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"segments\": \"256K/1M/4M/16M seeded "
+               "random + 24-file versioned tree\", \"reps\": %d, "
+               "\"measure\": \"chunk+fingerprint, best-of-reps\"},\n",
+               kReps);
+  std::fprintf(f, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < m.lanes.size(); ++i) {
+    const Lane& lane = m.lanes[i];
+    std::fprintf(f,
+                 "    {\"lane\": \"%s\", \"algo\": \"%s\", \"simd\": "
+                 "\"%s\", \"mb_per_s\": %.1f, \"chunks\": %llu}%s\n",
+                 lane.name.c_str(), lane.algo, lane.simd, lane.mb_per_s,
+                 static_cast<unsigned long long>(lane.chunks),
+                 i + 1 < m.lanes.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"speedup\": {\"gear_best_lane\": \"%s\", "
+               "\"gear_best_vs_rabin_scalar\": %.3f, "
+               "\"gear_best_vs_gear_scalar\": %.3f}\n",
+               m.gear_best_lane.c_str(), m.gear_best_speedup,
+               m.gear_simd_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// The acceptance bar BENCH_chunking.json must clear, here and in CI.
+constexpr double kMinSpeedup = 3.0;
+
+double baseline_speedup(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "baseline %s missing\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::string key = "\"gear_best_vs_rabin_scalar\": ";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "baseline %s malformed\n", path.c_str());
+    std::exit(1);
+  }
+  return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+int check(const std::string& path) {
+  const double baseline = baseline_speedup(path);
+  const Measurement m = measure();
+  int rc = 0;
+  if (m.gear_best_speedup < kMinSpeedup) {
+    std::fprintf(stderr,
+                 "fastest gear lane is %.2fx vs rabin-scalar, below the "
+                 "%.1fx acceptance bar\n",
+                 m.gear_best_speedup, kMinSpeedup);
+    rc = 1;
+  }
+  if (m.gear_best_speedup < 0.95 * baseline) {
+    std::fprintf(stderr,
+                 "fastest gear lane regressed >5%%: %.2fx vs baseline "
+                 "%.2fx\n",
+                 m.gear_best_speedup, baseline);
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf("speedup %.2fx within 5%% of baseline %.2fx (bar %.1fx)\n",
+                m.gear_best_speedup, baseline, kMinSpeedup);
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_chunking.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      return check(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+      continue;
+    }
+  }
+  write_json(measure(), out);
+  return 0;
+}

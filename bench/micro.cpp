@@ -11,10 +11,12 @@
 
 #include <vector>
 
+#include "chunking/gear_chunker.hpp"
 #include "chunking/rabin_chunker.hpp"
 #include "common/rabin.hpp"
 #include "common/rng.hpp"
 #include "common/sha1.hpp"
+#include "common/simd.hpp"
 #include "core/metadata_store.hpp"
 #include "filter/bloom_filter.hpp"
 #include "filter/preliminary_filter.hpp"
@@ -69,18 +71,75 @@ void BM_RabinWindowSlide(benchmark::State& state) {
 }
 BENCHMARK(BM_RabinWindowSlide);
 
+// Chunking-throughput axis (range(0) = buffer size, swept 256 KiB to
+// 16 MiB): each size gets its own seeded corpus, so the sweep shows how
+// per-call setup amortizes instead of re-chunking one fixed buffer.
+// The algo/lane matrix is the same one bench_chunking gates on.
+std::vector<Byte> seeded_corpus(std::size_t size) {
+  Xoshiro256 rng(3000 + size);
+  std::vector<Byte> data(size);
+  for (auto& b : data) b = static_cast<Byte>(rng());
+  return data;
+}
+
 void BM_CdcChunker(benchmark::State& state) {
   chunking::RabinChunker chunker;
-  std::vector<Byte> data(4 << 20);
-  Xoshiro256 rng(3);
-  for (auto& b : data) b = static_cast<Byte>(rng());
+  const std::vector<Byte> data =
+      seeded_corpus(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(chunker.chunk(ByteSpan(data.data(), data.size())));
   }
   state.SetBytesProcessed(state.iterations() *
                           static_cast<int64_t>(data.size()));
 }
-BENCHMARK(BM_CdcChunker);
+BENCHMARK(BM_CdcChunker)->RangeMultiplier(4)->Range(256 << 10, 16 << 20);
+
+void BM_GearChunker(benchmark::State& state) {
+  chunking::GearParams params;
+  params.simd = static_cast<SimdPolicy>(state.range(1));
+  if (!simd_supported(params.simd)) {
+    state.SkipWithError("SIMD lane not supported on this host");
+    return;
+  }
+  chunking::GearChunker chunker(params);
+  const std::vector<Byte> data =
+      seeded_corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chunker.chunk(ByteSpan(data.data(), data.size())));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_GearChunker)
+    ->ArgsProduct({benchmark::CreateRange(256 << 10, 16 << 20, 4),
+                   {static_cast<long>(SimdPolicy::kScalar),
+                    static_cast<long>(SimdPolicy::kSse2),
+                    static_cast<long>(SimdPolicy::kAvx2)}});
+
+void BM_Sha1Batch(benchmark::State& state) {
+  // Whole-file fingerprinting as BackupEngine now issues it: one batch
+  // of 8 KiB chunk spans per call, under each hash_batch policy.
+  const SimdPolicy policy = static_cast<SimdPolicy>(state.range(0));
+  if (!simd_supported(policy)) {
+    state.SkipWithError("SIMD lane not supported on this host");
+    return;
+  }
+  const std::vector<Byte> data = seeded_corpus(4 << 20);
+  std::vector<ByteSpan> spans;
+  const ByteSpan content(data.data(), data.size());
+  for (std::size_t off = 0; off < data.size(); off += 8192) {
+    spans.push_back(content.subspan(off, 8192));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Sha1::hash_batch(std::span<const ByteSpan>(spans), policy));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha1Batch)->Arg(static_cast<long>(SimdPolicy::kScalar))
+    ->Arg(static_cast<long>(SimdPolicy::kSse2))
+    ->Arg(static_cast<long>(SimdPolicy::kAvx2));
 
 void BM_PreliminaryFilterAdmit(benchmark::State& state) {
   filter::PreliminaryFilter filter({.hash_bits = 20, .capacity = 1 << 22});

@@ -1,0 +1,38 @@
+#include "chunking/chunker_config.hpp"
+
+#include "chunking/gear_chunker.hpp"
+#include "chunking/rabin_chunker.hpp"
+
+namespace debar::chunking {
+
+const char* algo_name(ChunkAlgo algo) noexcept {
+  switch (algo) {
+    case ChunkAlgo::kRabin:
+      return "rabin";
+    case ChunkAlgo::kGear:
+      return "gear";
+  }
+  return "?";
+}
+
+std::unique_ptr<Chunker> make_chunker(const ChunkerConfig& config) {
+  switch (config.algo) {
+    case ChunkAlgo::kGear: {
+      GearParams p;
+      p.min_size = config.min_size;
+      p.expected_size = config.expected_size;
+      p.max_size = config.max_size;
+      p.simd = config.simd;
+      return std::make_unique<GearChunker>(p);
+    }
+    case ChunkAlgo::kRabin:
+      break;
+  }
+  CdcParams p;
+  p.min_size = config.min_size;
+  p.expected_size = config.expected_size;
+  p.max_size = config.max_size;
+  return std::make_unique<RabinChunker>(p);
+}
+
+}  // namespace debar::chunking

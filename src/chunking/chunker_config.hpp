@@ -1,0 +1,44 @@
+// Chunking policy knob carried by ChunkStoreConfig / BackupEngine so
+// benches and tests can ablate the dedup-1 hot path (DESIGN.md §5i).
+//
+// Rabin stays the default: it is the paper's algorithm and the anchor
+// for every existing figure. Gear is the performance lane — same
+// min/expected/max discipline, different (content-defined) boundaries,
+// whose dedup-ratio impact is pinned to a ±2% envelope by
+// tests/chunking/dedup_ratio_ablation_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "chunking/chunker.hpp"
+#include "common/simd.hpp"
+
+namespace debar::chunking {
+
+enum class ChunkAlgo : std::uint8_t {
+  kRabin = 0,  // paper baseline: 48-byte Rabin window (rabin_chunker.hpp)
+  kGear = 1,   // gear hash + normalized cuts + SIMD scan (gear_chunker.hpp)
+};
+
+struct ChunkerConfig {
+  ChunkAlgo algo = ChunkAlgo::kRabin;
+  /// SIMD lane for algorithms that have one (gear). Never moves a
+  /// boundary; scalar/SIMD byte-identity is enforced by ctest -L chunking.
+  SimdPolicy simd = SimdPolicy::kAuto;
+  // Cut discipline, shared across algorithms (paper parameters).
+  std::uint64_t min_size = kMinChunkSize;
+  std::uint64_t expected_size = kExpectedChunkSize;
+  std::uint64_t max_size = kMaxChunkSize;
+
+  friend bool operator==(const ChunkerConfig&, const ChunkerConfig&) = default;
+};
+
+[[nodiscard]] const char* algo_name(ChunkAlgo algo) noexcept;
+
+/// Build the configured chunker. The returned object is not thread-safe
+/// (chunkers keep scratch state); give each worker its own.
+[[nodiscard]] std::unique_ptr<Chunker> make_chunker(
+    const ChunkerConfig& config);
+
+}  // namespace debar::chunking

@@ -1,0 +1,96 @@
+// 8-lane AVX2 gear scan. This translation unit is compiled with -mavx2
+// (see src/CMakeLists.txt); callers reach it only through the runtime
+// cpuid dispatch in gear_scan(), so the binary stays runnable on
+// pre-AVX2 hardware. Without AVX2 (non-x86, DEBAR_DISABLE_SIMD, or a
+// compiler lacking -mavx2) the entry point degrades to the scalar scan.
+#include "chunking/gear_simd.hpp"
+
+#if defined(__AVX2__) && !defined(DEBAR_DISABLE_SIMD)
+#include <immintrin.h>
+
+#include <limits>
+
+namespace debar::chunking::detail {
+
+void gear_scan_avx2(const Byte* data, std::uint64_t n, std::uint32_t easy_mask,
+                    std::vector<GearCandidate>& out) {
+  constexpr std::uint64_t kLanes = 8;
+  const std::uint64_t seg = n / kLanes;
+  // vpgatherdd indices are signed 32-bit; buffers this large never show
+  // up on the chunking path (files are chunked one at a time), but fall
+  // back rather than overflow.
+  if (seg < 2 * kGearWindow ||
+      n > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    gear_scan_sse2(data, n, easy_mask, out);
+    return;
+  }
+
+  alignas(32) std::uint32_t hv[kLanes];
+  for (std::uint64_t i = 0; i < kLanes; ++i) {
+    const std::uint64_t start = i * seg;
+    hv[i] = gear_warm(data, start < kGearWindow ? 0 : start - kGearWindow,
+                      start);
+  }
+
+  const std::uint32_t* tab = gear_table();
+  __m256i h = _mm256_load_si256(reinterpret_cast<const __m256i*>(hv));
+  const __m256i easy = _mm256_set1_epi32(static_cast<int>(easy_mask));
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i byte_mask = _mm256_set1_epi32(0xFF);
+  alignas(32) int lane_off[kLanes];
+  for (std::uint64_t i = 0; i < kLanes; ++i) {
+    lane_off[i] = static_cast<int>(i * seg);
+  }
+  const __m256i offsets =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(lane_off));
+
+  // Main loop: one unaligned 32-bit gather pulls the next four bytes of
+  // every lane; four sub-steps peel them off (little-endian, so the
+  // low byte is the earliest) and gather their gear-table entries.
+  const std::uint64_t vsteps = seg & ~std::uint64_t{3};
+  for (std::uint64_t t = 0; t < vsteps; t += 4) {
+    __m256i words = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(data + t), offsets, 1);
+    for (int j = 0; j < 4; ++j) {
+      const __m256i bytes = _mm256_and_si256(words, byte_mask);
+      words = _mm256_srli_epi32(words, 8);
+      const __m256i g = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(tab), bytes, 4);
+      h = _mm256_add_epi32(_mm256_slli_epi32(h, 1), g);
+      const __m256i hit = _mm256_cmpeq_epi32(_mm256_and_si256(h, easy), zero);
+      const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(hit));
+      if (mask != 0) [[unlikely]] {
+        _mm256_store_si256(reinterpret_cast<__m256i*>(hv), h);
+        for (std::uint64_t i = 0; i < kLanes; ++i) {
+          if ((mask >> i) & 1) {
+            out.push_back({i * seg + t + static_cast<std::uint64_t>(j) + 1,
+                           hv[i]});
+          }
+        }
+      }
+    }
+  }
+
+  // Ragged ends: each lane finishes its last seg % 4 bytes from its
+  // exact vector-state hash; lane 7 also absorbs the buffer tail.
+  _mm256_store_si256(reinterpret_cast<__m256i*>(hv), h);
+  for (std::uint64_t i = 0; i < kLanes; ++i) {
+    const std::uint64_t lane_end = (i + 1 == kLanes) ? n : (i + 1) * seg;
+    gear_scan_scalar(data, i * seg + vsteps, lane_end, hv[i], easy_mask, out);
+  }
+}
+
+}  // namespace debar::chunking::detail
+
+#else  // !__AVX2__ || DEBAR_DISABLE_SIMD
+
+namespace debar::chunking::detail {
+
+void gear_scan_avx2(const Byte* data, std::uint64_t n, std::uint32_t easy_mask,
+                    std::vector<GearCandidate>& out) {
+  gear_scan_scalar(data, 0, n, 0, easy_mask, out);
+}
+
+}  // namespace debar::chunking::detail
+
+#endif  // __AVX2__

@@ -1,0 +1,84 @@
+#include "chunking/gear_chunker.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace debar::chunking {
+
+namespace {
+
+/// Mask selecting the top `bits` bits of a 32-bit hash. Top bits carry
+/// the longest content dependence (bit 31 sees all 32 window bytes).
+std::uint32_t top_bits(unsigned bits) noexcept {
+  return bits == 0 ? 0 : ~std::uint32_t{0} << (32 - bits);
+}
+
+}  // namespace
+
+bool GearParams::valid() const noexcept {
+  if (!(expected_size >= 2 && std::has_single_bit(expected_size) &&
+        min_size >= detail::kGearWindow && min_size <= expected_size &&
+        expected_size <= max_size)) {
+    return false;
+  }
+  const unsigned k = static_cast<unsigned>(std::countr_zero(expected_size));
+  // Both masks must keep at least one bit and fit the 32-bit hash.
+  return norm_level < k && k + norm_level <= 32;
+}
+
+GearChunker::GearChunker(GearParams params)
+    : params_(params),
+      easy_mask_(0),
+      hard_mask_(0) {
+  assert(params_.valid());
+  const unsigned k =
+      static_cast<unsigned>(std::countr_zero(params_.expected_size));
+  easy_mask_ = top_bits(k - params_.norm_level);
+  hard_mask_ = top_bits(k + params_.norm_level);
+}
+
+std::vector<ChunkBounds> GearChunker::chunk(ByteSpan data) {
+  std::vector<ChunkBounds> out;
+  if (data.empty()) return out;
+  out.reserve(data.size() / params_.expected_size + 1);
+
+  // Phase 1 (vectorizable): every easy-mask anchor in the buffer,
+  // independent of chunk state. Phase 2 (cheap, scalar): the greedy cut
+  // discipline over that candidate list. Splitting the phases is what
+  // lets scalar and SIMD share phase 2 verbatim — equivalence reduces
+  // to the scans producing the same candidates, which they do by
+  // construction and by `ctest -L chunking`.
+  detail::gear_scan(data, easy_mask_, params_.simd, candidates_);
+
+  const std::uint64_t n = data.size();
+  std::size_t ci = 0;
+  std::uint64_t start = 0;
+  while (start < n) {
+    const std::uint64_t forced = std::min(start + params_.max_size, n);
+    // The normalization point sits at min + expected — the Rabin
+    // discipline's *realized* mean (it skips min, then needs a
+    // geometric(2^-k) gap) — so gear at the same parameters produces
+    // the same average chunk size and stays capacity-comparable: the
+    // dedup-ratio ablation's ±2% envelope depends on this alignment.
+    const std::uint64_t norm_point =
+        start + params_.min_size + params_.expected_size;
+    std::uint64_t cut = forced;
+    while (ci < candidates_.size() && candidates_[ci].pos <= forced) {
+      const detail::GearCandidate cand = candidates_[ci];
+      ++ci;
+      if (cand.pos - start < params_.min_size) continue;
+      // Small side: only the hard mask cuts. Large side: any candidate.
+      if (cand.pos >= norm_point || (cand.hash & hard_mask_) == 0) {
+        cut = cand.pos;
+        break;
+      }
+    }
+    out.push_back({start, cut - start});
+    start = cut;
+    // Candidates at or before the cut were consumed above; the ones we
+    // skipped all lie inside the emitted chunk, so none is lost.
+  }
+  return out;
+}
+
+}  // namespace debar::chunking

@@ -1,0 +1,139 @@
+#include "chunking/gear_simd.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(DEBAR_DISABLE_SIMD)
+#define DEBAR_GEAR_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace debar::chunking::detail {
+
+const std::uint32_t* gear_table() noexcept {
+  // Seed spells "gear2026"; the table is part of the on-disk contract
+  // (boundaries feed fingerprint streams and dedup-ratio goldens), so
+  // it must never change.
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    Xoshiro256 rng(0x6765617232303236ULL);
+    for (auto& v : t) v = static_cast<std::uint32_t>(rng());
+    return t;
+  }();
+  return table.data();
+}
+
+std::uint32_t gear_warm(const Byte* data, std::uint64_t from,
+                        std::uint64_t to) noexcept {
+  const std::uint32_t* tab = gear_table();
+  std::uint32_t h = 0;
+  for (std::uint64_t p = from; p < to; ++p) {
+    h = (h << 1) + tab[data[p]];
+  }
+  return h;
+}
+
+std::uint32_t gear_scan_scalar(const Byte* data, std::uint64_t begin,
+                               std::uint64_t end, std::uint32_t h,
+                               std::uint32_t easy_mask,
+                               std::vector<GearCandidate>& out) {
+  const std::uint32_t* tab = gear_table();
+  for (std::uint64_t p = begin; p < end; ++p) {
+    h = (h << 1) + tab[data[p]];
+    if ((h & easy_mask) == 0) {
+      out.push_back({p + 1, h});
+    }
+  }
+  return h;
+}
+
+#ifdef DEBAR_GEAR_SSE2
+
+void gear_scan_sse2(const Byte* data, std::uint64_t n, std::uint32_t easy_mask,
+                    std::vector<GearCandidate>& out) {
+  constexpr std::uint64_t kLanes = 4;
+  const std::uint64_t seg = n / kLanes;
+  if (seg < 2 * kGearWindow) {
+    gear_scan_scalar(data, 0, n, 0, easy_mask, out);
+    return;
+  }
+
+  // Prime each lane with the exact full-history hash at its segment
+  // start (lane 0 starts at the buffer head, where "history" is empty,
+  // matching the scalar scan's zero start).
+  alignas(16) std::uint32_t hv[kLanes];
+  for (std::uint64_t i = 0; i < kLanes; ++i) {
+    const std::uint64_t start = i * seg;
+    hv[i] = gear_warm(data, start < kGearWindow ? 0 : start - kGearWindow,
+                      start);
+  }
+
+  const std::uint32_t* tab = gear_table();
+  __m128i h = _mm_load_si128(reinterpret_cast<const __m128i*>(hv));
+  const __m128i easy = _mm_set1_epi32(static_cast<int>(easy_mask));
+  const __m128i zero = _mm_setzero_si128();
+  const Byte* p0 = data;
+  const Byte* p1 = data + seg;
+  const Byte* p2 = data + 2 * seg;
+  const Byte* p3 = data + 3 * seg;
+
+  for (std::uint64_t t = 0; t < seg; ++t) {
+    const __m128i g = _mm_set_epi32(
+        static_cast<int>(tab[p3[t]]), static_cast<int>(tab[p2[t]]),
+        static_cast<int>(tab[p1[t]]), static_cast<int>(tab[p0[t]]));
+    h = _mm_add_epi32(_mm_slli_epi32(h, 1), g);
+    const __m128i hit = _mm_cmpeq_epi32(_mm_and_si128(h, easy), zero);
+    if (_mm_movemask_epi8(hit) != 0) [[unlikely]] {
+      const int mask = _mm_movemask_ps(_mm_castsi128_ps(hit));
+      _mm_store_si128(reinterpret_cast<__m128i*>(hv), h);
+      for (std::uint64_t i = 0; i < kLanes; ++i) {
+        if ((mask >> i) & 1) {
+          out.push_back({i * seg + t + 1, hv[i]});
+        }
+      }
+    }
+  }
+
+  // The tail [4*seg, n) continues lane 3's exact hash chain.
+  _mm_store_si128(reinterpret_cast<__m128i*>(hv), h);
+  gear_scan_scalar(data, kLanes * seg, n, hv[kLanes - 1], easy_mask, out);
+}
+
+#else  // !DEBAR_GEAR_SSE2
+
+void gear_scan_sse2(const Byte* data, std::uint64_t n, std::uint32_t easy_mask,
+                    std::vector<GearCandidate>& out) {
+  gear_scan_scalar(data, 0, n, 0, easy_mask, out);
+}
+
+#endif  // DEBAR_GEAR_SSE2
+
+void gear_scan(ByteSpan data, std::uint32_t easy_mask, SimdPolicy policy,
+               std::vector<GearCandidate>& out) {
+  out.clear();
+  const std::uint64_t n = data.size();
+  // Below ~4 KiB the per-lane warm-up and tail handling dominate; the
+  // scalar scan is also the reference every SIMD lane must match.
+  constexpr std::uint64_t kMinSimdBytes = 4096;
+  SimdPolicy lane = resolve_simd(policy);
+  if (n < kMinSimdBytes) lane = SimdPolicy::kScalar;
+
+  switch (lane) {
+    case SimdPolicy::kAvx2:
+      gear_scan_avx2(data.data(), n, easy_mask, out);
+      break;
+    case SimdPolicy::kSse2:
+      gear_scan_sse2(data.data(), n, easy_mask, out);
+      break;
+    default:
+      gear_scan_scalar(data.data(), 0, n, 0, easy_mask, out);
+      return;  // already in position order
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GearCandidate& a, const GearCandidate& b) {
+              return a.pos < b.pos;
+            });
+}
+
+}  // namespace debar::chunking::detail

@@ -1,0 +1,77 @@
+// Internal gear-hash anchor scan, in scalar / SSE2 / AVX2 lanes.
+//
+// The gear hash over bytes b_0..b_p is
+//
+//   h_p = sum_{j=0}^{31} gear[b_{p-j}] << j   (mod 2^32)
+//
+// — the recurrence h = (h << 1) + gear[b] shifts a byte's entire
+// contribution (including its carries) out of the register after 32
+// steps, so h_p depends on exactly the last 32 bytes of content and on
+// nothing else. That position-independence is what makes the scan
+// embarrassingly parallel: a lane can recompute h at any offset by
+// priming from zero over the preceding 32 bytes (`gear_warm`) and
+// produce *bit-identical* hashes to a single scalar pass. Each SIMD
+// lane scans its own segment of the buffer; merged candidates are
+// therefore equal to the scalar candidate list by construction, and
+// `ctest -L chunking` enforces it.
+//
+// A "candidate" is a cut position whose hash matches the easy
+// (fewest-bits) mask; the chunker's discipline pass decides which
+// candidates become boundaries (min/max clamps, normalization against
+// the hard mask), so the vector lanes never need to know about chunk
+// state at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "common/types.hpp"
+
+namespace debar::chunking::detail {
+
+/// Bytes of history that determine the 32-bit gear hash.
+inline constexpr std::uint64_t kGearWindow = 32;
+
+struct GearCandidate {
+  std::uint64_t pos = 0;    // cut offset: the chunk would end at data[pos-1]
+  std::uint32_t hash = 0;   // gear hash at that position (hard-mask test)
+
+  friend bool operator==(const GearCandidate&, const GearCandidate&) = default;
+};
+
+/// The 256-entry gear table: deterministic (seeded xoshiro256**), fixed
+/// forever — chunk boundaries, and with them every dedup-ratio golden,
+/// depend on these values.
+[[nodiscard]] const std::uint32_t* gear_table() noexcept;
+
+/// Gear hash primed from zero at `from` and rolled to `to`. Exact
+/// full-history hash of position `to` whenever to - from >= kGearWindow.
+[[nodiscard]] std::uint32_t gear_warm(const Byte* data, std::uint64_t from,
+                                      std::uint64_t to) noexcept;
+
+/// Reference scan: consume bytes [begin, end) starting from hash `h`,
+/// appending a candidate at every cut position p+1 with
+/// (h_{p} & easy_mask) == 0. Returns the final hash.
+std::uint32_t gear_scan_scalar(const Byte* data, std::uint64_t begin,
+                               std::uint64_t end, std::uint32_t h,
+                               std::uint32_t easy_mask,
+                               std::vector<GearCandidate>& out);
+
+/// 4-lane SSE2 scan of the whole buffer (internally segments + warms up
+/// lanes). Candidates may be appended out of order; gear_scan() sorts.
+void gear_scan_sse2(const Byte* data, std::uint64_t n, std::uint32_t easy_mask,
+                    std::vector<GearCandidate>& out);
+
+/// 8-lane AVX2 scan; lives in gear_avx2.cpp (compiled with -mavx2).
+/// Falls back to the scalar scan when that TU was built without AVX2.
+void gear_scan_avx2(const Byte* data, std::uint64_t n, std::uint32_t easy_mask,
+                    std::vector<GearCandidate>& out);
+
+/// Top-level entry: clear `out`, scan `data` with the resolved lane of
+/// `policy`, and leave candidates sorted by position. Small inputs take
+/// the scalar path regardless (SIMD setup would dominate).
+void gear_scan(ByteSpan data, std::uint32_t easy_mask, SimdPolicy policy,
+               std::vector<GearCandidate>& out);
+
+}  // namespace debar::chunking::detail

@@ -1,0 +1,17 @@
+// Compiled with -mavx2 when (and only when) the other AVX2 translation
+// units are (one CMake condition governs them all), so __AVX2__ here
+// answers "were the AVX2 lanes built into this binary?" for the
+// dispatcher. Contains no executable AVX2 code.
+#include "common/simd.hpp"
+
+namespace debar::detail {
+
+bool avx2_object_compiled() noexcept {
+#if defined(__AVX2__) && !defined(DEBAR_DISABLE_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace debar::detail

@@ -10,7 +10,9 @@
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 namespace debar {
@@ -41,6 +43,15 @@ class Sha1 {
   /// Fingerprint of a little-endian 64-bit counter value — the synthetic
   /// fingerprint construction used throughout the paper's evaluation.
   [[nodiscard]] static Fingerprint hash_counter(std::uint64_t counter) noexcept;
+
+  /// Fingerprint a run of buffers (the per-file chunk runs of dedup-1)
+  /// with interleaved message scheduling: 4 (SSE2) or 8 (AVX2) digests
+  /// advance in lockstep, one 32-bit vector lane each. Bit-identical to
+  /// calling hash() per buffer — enforced by `ctest -L chunking` — and
+  /// several times faster on chunk-sized runs. `simd` picks the lane
+  /// (kAuto = widest supported; scalar loop when SIMD is unavailable).
+  [[nodiscard]] static std::vector<Fingerprint> hash_batch(
+      std::span<const ByteSpan> msgs, SimdPolicy simd = SimdPolicy::kAuto);
 
  private:
   void process_block(const Byte* block) noexcept;

@@ -1,0 +1,84 @@
+// Sha1::hash_batch — fingerprint runs of chunks with interleaved
+// message scheduling (sha1_mb.hpp). SSE2 4-lane here (baseline on
+// x86-64); the AVX2 8-lane instantiation lives in sha1_batch_avx2.cpp.
+#include "common/sha1.hpp"
+#include "common/sha1_mb.hpp"
+#include "common/simd.hpp"
+
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(DEBAR_DISABLE_SIMD)
+#define DEBAR_SHA1_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace debar {
+
+namespace {
+
+#ifdef DEBAR_SHA1_SSE2
+
+struct VecSse2 {
+  static constexpr std::size_t kLanes = 4;
+  using Reg = __m128i;
+
+  static Reg add(Reg a, Reg b) noexcept { return _mm_add_epi32(a, b); }
+  static Reg xor_(Reg a, Reg b) noexcept { return _mm_xor_si128(a, b); }
+  static Reg and_(Reg a, Reg b) noexcept { return _mm_and_si128(a, b); }
+  static Reg rotl(Reg a, int s) noexcept {
+    return _mm_or_si128(_mm_slli_epi32(a, s), _mm_srli_epi32(a, 32 - s));
+  }
+  static Reg set1(std::uint32_t v) noexcept {
+    return _mm_set1_epi32(static_cast<int>(v));
+  }
+  static Reg gather_be32(const Byte* const blocks[], std::size_t off) noexcept {
+    return _mm_set_epi32(static_cast<int>(detail::sha1_be32(blocks[3] + off)),
+                         static_cast<int>(detail::sha1_be32(blocks[2] + off)),
+                         static_cast<int>(detail::sha1_be32(blocks[1] + off)),
+                         static_cast<int>(detail::sha1_be32(blocks[0] + off)));
+  }
+  static Reg pack(std::uint32_t* const lanes[], int word) noexcept {
+    return _mm_set_epi32(
+        static_cast<int>(lanes[3][word]), static_cast<int>(lanes[2][word]),
+        static_cast<int>(lanes[1][word]), static_cast<int>(lanes[0][word]));
+  }
+  static void unpack(Reg r, std::uint32_t* const lanes[], int word) noexcept {
+    alignas(16) std::uint32_t tmp[kLanes];
+    _mm_store_si128(reinterpret_cast<__m128i*>(tmp), r);
+    for (std::size_t l = 0; l < kLanes; ++l) lanes[l][word] = tmp[l];
+  }
+};
+
+#endif  // DEBAR_SHA1_SSE2
+
+void hash_batch_scalar(const ByteSpan* msgs, std::size_t count,
+                       Fingerprint* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) out[i] = Sha1::hash(msgs[i]);
+}
+
+}  // namespace
+
+std::vector<Fingerprint> Sha1::hash_batch(std::span<const ByteSpan> msgs,
+                                          SimdPolicy simd) {
+  std::vector<Fingerprint> out(msgs.size());
+  if (msgs.empty()) return out;
+
+  SimdPolicy lane = resolve_simd(simd);
+  if (msgs.size() < 2) lane = SimdPolicy::kScalar;  // nothing to interleave
+  switch (lane) {
+    case SimdPolicy::kAvx2:
+      detail::sha1_batch_avx2(msgs.data(), msgs.size(), out.data());
+      break;
+    case SimdPolicy::kSse2:
+#ifdef DEBAR_SHA1_SSE2
+      detail::sha1_mb_run<VecSse2>(msgs.data(), msgs.size(), out.data());
+      break;
+#else
+      [[fallthrough]];
+#endif
+    default:
+      hash_batch_scalar(msgs.data(), msgs.size(), out.data());
+      break;
+  }
+  return out;
+}
+
+}  // namespace debar

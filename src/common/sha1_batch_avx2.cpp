@@ -1,0 +1,73 @@
+// AVX2 8-lane instantiation of the multi-buffer SHA-1 (sha1_mb.hpp).
+// Compiled with -mavx2 (src/CMakeLists.txt); reached only through the
+// runtime cpuid dispatch in Sha1::hash_batch.
+#include "common/sha1.hpp"
+#include "common/sha1_mb.hpp"
+
+#if defined(__AVX2__) && !defined(DEBAR_DISABLE_SIMD)
+#include <immintrin.h>
+
+namespace debar::detail {
+
+namespace {
+
+struct VecAvx2 {
+  static constexpr std::size_t kLanes = 8;
+  using Reg = __m256i;
+
+  static Reg add(Reg a, Reg b) noexcept { return _mm256_add_epi32(a, b); }
+  static Reg xor_(Reg a, Reg b) noexcept { return _mm256_xor_si256(a, b); }
+  static Reg and_(Reg a, Reg b) noexcept { return _mm256_and_si256(a, b); }
+  static Reg rotl(Reg a, int s) noexcept {
+    return _mm256_or_si256(_mm256_slli_epi32(a, s),
+                           _mm256_srli_epi32(a, 32 - s));
+  }
+  static Reg set1(std::uint32_t v) noexcept {
+    return _mm256_set1_epi32(static_cast<int>(v));
+  }
+  static Reg gather_be32(const Byte* const blocks[],
+                         std::size_t off) noexcept {
+    return _mm256_set_epi32(static_cast<int>(sha1_be32(blocks[7] + off)),
+                            static_cast<int>(sha1_be32(blocks[6] + off)),
+                            static_cast<int>(sha1_be32(blocks[5] + off)),
+                            static_cast<int>(sha1_be32(blocks[4] + off)),
+                            static_cast<int>(sha1_be32(blocks[3] + off)),
+                            static_cast<int>(sha1_be32(blocks[2] + off)),
+                            static_cast<int>(sha1_be32(blocks[1] + off)),
+                            static_cast<int>(sha1_be32(blocks[0] + off)));
+  }
+  static Reg pack(std::uint32_t* const lanes[], int word) noexcept {
+    return _mm256_set_epi32(
+        static_cast<int>(lanes[7][word]), static_cast<int>(lanes[6][word]),
+        static_cast<int>(lanes[5][word]), static_cast<int>(lanes[4][word]),
+        static_cast<int>(lanes[3][word]), static_cast<int>(lanes[2][word]),
+        static_cast<int>(lanes[1][word]), static_cast<int>(lanes[0][word]));
+  }
+  static void unpack(Reg r, std::uint32_t* const lanes[], int word) noexcept {
+    alignas(32) std::uint32_t tmp[kLanes];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), r);
+    for (std::size_t l = 0; l < kLanes; ++l) lanes[l][word] = tmp[l];
+  }
+};
+
+}  // namespace
+
+void sha1_batch_avx2(const ByteSpan* msgs, std::size_t count,
+                     Fingerprint* out) noexcept {
+  sha1_mb_run<VecAvx2>(msgs, count, out);
+}
+
+}  // namespace debar::detail
+
+#else  // !__AVX2__ || DEBAR_DISABLE_SIMD
+
+namespace debar::detail {
+
+void sha1_batch_avx2(const ByteSpan* msgs, std::size_t count,
+                     Fingerprint* out) noexcept {
+  for (std::size_t i = 0; i < count; ++i) out[i] = Sha1::hash(msgs[i]);
+}
+
+}  // namespace debar::detail
+
+#endif  // __AVX2__

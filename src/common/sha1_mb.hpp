@@ -1,0 +1,186 @@
+// Internal multi-buffer SHA-1 (FIPS 180-1) — W independent messages
+// hashed in lockstep, one 32-bit word lane per message.
+//
+// SHA-1's compression function is a chain of 32-bit adds/rotates/logic
+// with no data-dependent control flow, so W digests cost barely more
+// than one when each vector element carries a different message's
+// state ("interleaved message scheduling" — the multi-buffer scheme of
+// Intel's isa-l crypto, reimplemented from the spec). The digests are
+// bit-identical to the streaming Sha1 class by construction: same
+// padding, same rounds, just computed W at a time.
+//
+// This header is internal: the public entry is Sha1::hash_batch, which
+// dispatches to the SSE2 (W=4) or AVX2 (W=8) instantiation or to a
+// plain scalar loop over Sha1::hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace debar::detail {
+
+inline constexpr std::uint32_t kSha1Iv[5] = {0x67452301u, 0xEFCDAB89u,
+                                             0x98BADCFEu, 0x10325476u,
+                                             0xC3D2E1F0u};
+
+/// Blocks in the padded form of an `len`-byte message (padding adds
+/// 0x80, zeros to 56 mod 64, and the 64-bit bit length).
+[[nodiscard]] constexpr std::uint64_t sha1_total_blocks(
+    std::uint64_t len) noexcept {
+  return ((len + 8) >> 6) + 1;
+}
+
+/// Pointer to block `k` of the padded message: the message body when
+/// the block lies entirely inside it, else `scratch` filled with the
+/// spec's padding (0x80 terminator, zero fill, trailing bit length).
+[[nodiscard]] inline const Byte* sha1_block_ptr(ByteSpan msg, std::uint64_t k,
+                                                Byte scratch[64]) noexcept {
+  const std::uint64_t len = msg.size();
+  const std::uint64_t base = k * 64;
+  if (base + 64 <= len) return msg.data() + base;
+
+  for (std::uint64_t j = 0; j < 64; ++j) {
+    const std::uint64_t pos = base + j;
+    scratch[j] = pos < len ? msg[pos] : (pos == len ? Byte{0x80} : Byte{0});
+  }
+  if (k + 1 == sha1_total_blocks(len)) {
+    const std::uint64_t bit_len = len * 8;
+    for (int i = 0; i < 8; ++i) {
+      scratch[56 + i] = static_cast<Byte>(bit_len >> (56 - 8 * i));
+    }
+  }
+  return scratch;
+}
+
+/// One compression step for V::kLanes messages at once. `st[w]` holds
+/// state word w of every lane; `blocks[l]` points at lane l's 64-byte
+/// block. f-functions use the and/xor forms (ch = d ^ (b & (c ^ d)),
+/// maj = (b&c) ^ (b&d) ^ (c&d)) so traits only need add/xor/and/rotl.
+template <class V>
+void sha1_mb_compress(typename V::Reg st[5],
+                      const Byte* const blocks[]) noexcept {
+  using Reg = typename V::Reg;
+  Reg w[80];
+  for (int i = 0; i < 16; ++i) w[i] = V::gather_be32(blocks, 4 * i);
+  for (int i = 16; i < 80; ++i) {
+    w[i] = V::rotl(
+        V::xor_(V::xor_(w[i - 3], w[i - 8]), V::xor_(w[i - 14], w[i - 16])),
+        1);
+  }
+
+  Reg a = st[0], b = st[1], c = st[2], d = st[3], e = st[4];
+  for (int i = 0; i < 80; ++i) {
+    Reg f;
+    std::uint32_t k;
+    if (i < 20) {
+      f = V::xor_(d, V::and_(b, V::xor_(c, d)));
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = V::xor_(V::xor_(b, c), d);
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = V::xor_(V::xor_(V::and_(b, c), V::and_(b, d)), V::and_(c, d));
+      k = 0x8F1BBCDCu;
+    } else {
+      f = V::xor_(V::xor_(b, c), d);
+      k = 0xCA62C1D6u;
+    }
+    const Reg tmp = V::add(V::add(V::add(V::rotl(a, 5), f),
+                                  V::add(e, V::set1(k))),
+                           w[i]);
+    e = d;
+    d = c;
+    c = V::rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+
+  st[0] = V::add(st[0], a);
+  st[1] = V::add(st[1], b);
+  st[2] = V::add(st[2], c);
+  st[3] = V::add(st[3], d);
+  st[4] = V::add(st[4], e);
+}
+
+/// Hash `count` messages into `out` with V::kLanes-way interleaving.
+/// Lanes pick up the next unstarted message as soon as theirs
+/// finishes, so ragged batches keep every lane busy until the tail;
+/// idle tail lanes grind a dummy block whose state is discarded.
+template <class V>
+void sha1_mb_run(const ByteSpan* msgs, std::size_t count,
+                 Fingerprint* out) noexcept {
+  constexpr std::size_t W = V::kLanes;
+  struct Lane {
+    std::uint32_t st[5];
+    std::size_t msg = SIZE_MAX;
+    std::uint64_t next_block = 0;
+    std::uint64_t total_blocks = 0;
+    Byte scratch[64];
+  };
+  Lane lanes[W];
+  std::uint32_t dummy_state[5] = {};
+  const Byte dummy_block[64] = {};
+  std::size_t next_msg = 0;
+
+  for (;;) {
+    std::size_t active = 0;
+    std::uint32_t* state_ptr[W];
+    const Byte* block_ptr[W];
+    for (std::size_t l = 0; l < W; ++l) {
+      Lane& lane = lanes[l];
+      if (lane.msg == SIZE_MAX && next_msg < count) {
+        lane.msg = next_msg++;
+        lane.next_block = 0;
+        lane.total_blocks = sha1_total_blocks(msgs[lane.msg].size());
+        std::memcpy(lane.st, kSha1Iv, sizeof lane.st);
+      }
+      if (lane.msg == SIZE_MAX) {
+        state_ptr[l] = dummy_state;
+        block_ptr[l] = dummy_block;
+      } else {
+        ++active;
+        state_ptr[l] = lane.st;
+        block_ptr[l] = sha1_block_ptr(msgs[lane.msg], lane.next_block,
+                                      lane.scratch);
+      }
+    }
+    if (active == 0) break;
+
+    typename V::Reg st[5];
+    for (int w = 0; w < 5; ++w) st[w] = V::pack(state_ptr, w);
+    sha1_mb_compress<V>(st, block_ptr);
+    for (int w = 0; w < 5; ++w) V::unpack(st[w], state_ptr, w);
+
+    for (std::size_t l = 0; l < W; ++l) {
+      Lane& lane = lanes[l];
+      if (lane.msg == SIZE_MAX) continue;
+      if (++lane.next_block == lane.total_blocks) {
+        Fingerprint& fp = out[lane.msg];
+        for (int w = 0; w < 5; ++w) {
+          fp.bytes[4 * w] = static_cast<Byte>(lane.st[w] >> 24);
+          fp.bytes[4 * w + 1] = static_cast<Byte>(lane.st[w] >> 16);
+          fp.bytes[4 * w + 2] = static_cast<Byte>(lane.st[w] >> 8);
+          fp.bytes[4 * w + 3] = static_cast<Byte>(lane.st[w]);
+        }
+        lane.msg = SIZE_MAX;
+      }
+    }
+  }
+}
+
+/// Big-endian 32-bit load (SHA-1 is big-endian throughout).
+[[nodiscard]] inline std::uint32_t sha1_be32(const Byte* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+/// AVX2 (W=8) batch entry, defined in sha1_batch_avx2.cpp (compiled
+/// with -mavx2); degrades to a scalar loop when built without AVX2.
+/// Reached only through Sha1::hash_batch's cpuid dispatch.
+void sha1_batch_avx2(const ByteSpan* msgs, std::size_t count,
+                     Fingerprint* out) noexcept;
+
+}  // namespace debar::detail

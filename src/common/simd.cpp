@@ -1,0 +1,62 @@
+#include "common/simd.hpp"
+
+namespace debar {
+
+namespace {
+
+#if (defined(__x86_64__) || defined(__i386__)) && !defined(DEBAR_DISABLE_SIMD)
+bool cpu_has_sse2() noexcept {
+#if defined(__x86_64__)
+  return true;  // architectural baseline
+#else
+  return __builtin_cpu_supports("sse2");
+#endif
+}
+
+bool cpu_has_avx2() noexcept {
+  return __builtin_cpu_supports("avx2") && detail::avx2_object_compiled();
+}
+#else
+bool cpu_has_sse2() noexcept { return false; }
+bool cpu_has_avx2() noexcept { return false; }
+#endif
+
+}  // namespace
+
+bool simd_supported(SimdPolicy policy) noexcept {
+  switch (policy) {
+    case SimdPolicy::kAuto:
+    case SimdPolicy::kScalar:
+      return true;
+    case SimdPolicy::kSse2:
+      return cpu_has_sse2();
+    case SimdPolicy::kAvx2:
+      return cpu_has_avx2();
+  }
+  return false;
+}
+
+SimdPolicy resolve_simd(SimdPolicy policy) noexcept {
+  if (policy == SimdPolicy::kAuto) {
+    if (cpu_has_avx2()) return SimdPolicy::kAvx2;
+    if (cpu_has_sse2()) return SimdPolicy::kSse2;
+    return SimdPolicy::kScalar;
+  }
+  return simd_supported(policy) ? policy : SimdPolicy::kScalar;
+}
+
+const char* simd_name(SimdPolicy policy) noexcept {
+  switch (policy) {
+    case SimdPolicy::kAuto:
+      return "auto";
+    case SimdPolicy::kScalar:
+      return "scalar";
+    case SimdPolicy::kSse2:
+      return "sse2";
+    case SimdPolicy::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+}  // namespace debar

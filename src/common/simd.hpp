@@ -1,0 +1,41 @@
+// Runtime SIMD dispatch policy shared by the vectorized hot paths
+// (gear chunking, multi-buffer SHA-1).
+//
+// Every SIMD lane in this repo is an *equivalent implementation* of a
+// scalar reference: identical outputs, byte for byte, are a hard
+// contract enforced by `ctest -L chunking`. The policy only chooses
+// which lane chases those bytes. `kAuto` resolves to the widest lane
+// the CPU supports at runtime (cpuid), falling back to scalar on
+// non-x86 builds and under -DDEBAR_DISABLE_SIMD=ON, which compiles the
+// vector lanes out entirely so the scalar fallback stays honest in CI.
+#pragma once
+
+#include <cstdint>
+
+namespace debar {
+
+enum class SimdPolicy : std::uint8_t {
+  kAuto = 0,    // widest supported lane (scalar when SIMD is disabled)
+  kScalar = 1,  // reference implementation, every platform
+  kSse2 = 2,    // 4 x 32-bit lanes (baseline on x86-64)
+  kAvx2 = 3,    // 8 x 32-bit lanes (runtime cpuid check)
+};
+
+/// Can `policy` actually execute on this build + CPU? `kAuto`/`kScalar`
+/// are always supported; the vector lanes require an x86 build without
+/// DEBAR_DISABLE_SIMD and (for AVX2) runtime CPU support.
+[[nodiscard]] bool simd_supported(SimdPolicy policy) noexcept;
+
+/// Resolve `kAuto` to the widest supported concrete lane; concrete
+/// policies resolve to themselves when supported, else to `kScalar`.
+[[nodiscard]] SimdPolicy resolve_simd(SimdPolicy policy) noexcept;
+
+[[nodiscard]] const char* simd_name(SimdPolicy policy) noexcept;
+
+namespace detail {
+/// True when the dedicated -mavx2 translation units were compiled with
+/// AVX2 enabled (they are all gated by one CMake condition).
+[[nodiscard]] bool avx2_object_compiled() noexcept;
+}  // namespace detail
+
+}  // namespace debar

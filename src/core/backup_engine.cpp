@@ -10,7 +10,22 @@ namespace debar::core {
 
 BackupEngine::BackupEngine(std::string client_name, Director* director,
                            chunking::CdcParams cdc)
-    : name_(std::move(client_name)), director_(director), chunker_(cdc) {
+    : name_(std::move(client_name)),
+      director_(director),
+      // SIMD only accelerates fingerprinting here; digests are
+      // bit-identical in every lane, so the paper-default engine keeps
+      // its exact seed behavior while still getting the batch speedup.
+      chunker_(std::make_unique<chunking::RabinChunker>(cdc)),
+      simd_(SimdPolicy::kAuto) {
+  assert(director_ != nullptr);
+}
+
+BackupEngine::BackupEngine(std::string client_name, Director* director,
+                           const chunking::ChunkerConfig& config)
+    : name_(std::move(client_name)),
+      director_(director),
+      chunker_(chunking::make_chunker(config)),
+      simd_(config.simd) {
   assert(director_ != nullptr);
 }
 
@@ -55,14 +70,25 @@ Result<BackupRunStats> BackupEngine::run_backup(std::uint64_t job_id,
                       .size = file.content.size(),
                       .mtime = file.mtime,
                       .mode = 0644});
-    // Anchoring + chunk fingerprinting + content backup.
+    // Anchoring + chunk fingerprinting + content backup. The whole
+    // file's chunk run is fingerprinted as one batch so the multi-lane
+    // SHA-1 (Sha1::hash_batch) keeps its lanes full.
     const ByteSpan content(file.content.data(), file.content.size());
-    for (const chunking::ChunkBounds& b : chunker_.chunk(content)) {
-      const ByteSpan chunk = content.subspan(b.offset, b.size);
-      const Fingerprint fp = Sha1::hash(chunk);
+    const std::vector<chunking::ChunkBounds> bounds = chunker_->chunk(content);
+    std::vector<ByteSpan> spans;
+    spans.reserve(bounds.size());
+    for (const chunking::ChunkBounds& b : bounds) {
+      spans.push_back(content.subspan(b.offset, b.size));
+    }
+    const std::vector<Fingerprint> fps =
+        Sha1::hash_batch(std::span<const ByteSpan>(spans), simd_);
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      const ByteSpan chunk = spans[i];
+      const Fingerprint& fp = fps[i];
       ++stats.chunks;
       stats.logical_bytes += chunk.size();
-      if (store.offer_fingerprint(fp, static_cast<std::uint32_t>(b.size))) {
+      if (store.offer_fingerprint(
+              fp, static_cast<std::uint32_t>(bounds[i].size))) {
         if (Status s = store.receive_chunk(fp, chunk); !s.ok()) {
           return Error{s.code(), s.message()};
         }

@@ -14,8 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "chunking/chunker_config.hpp"
 #include "chunking/rabin_chunker.hpp"
 #include "common/result.hpp"
 #include "core/backup_server.hpp"
@@ -59,8 +61,16 @@ struct BackupOptions {
 
 class BackupEngine {
  public:
+  /// Paper-default engine: Rabin CDC with `cdc` parameters, scalar
+  /// fingerprinting path (boundaries and dedup behavior of the seed).
   BackupEngine(std::string client_name, Director* director,
                chunking::CdcParams cdc = {});
+
+  /// Policy-driven engine (DESIGN.md §5i): chunker algorithm and SIMD
+  /// lane from `config` — the same knob ChunkStoreConfig carries, so a
+  /// deployment (or an ablation bench) states its chunking policy once.
+  BackupEngine(std::string client_name, Director* director,
+               const chunking::ChunkerConfig& config);
 
   /// Back up `dataset` as one run of `job_id` through `store`.
   [[nodiscard]] Result<BackupRunStats> run_backup(std::uint64_t job_id,
@@ -100,10 +110,16 @@ class BackupEngine {
   [[nodiscard]] static std::vector<Byte> synthetic_payload(
       const Fingerprint& fp, std::uint32_t size);
 
+  [[nodiscard]] const chunking::Chunker& chunker() const noexcept {
+    return *chunker_;
+  }
+
  private:
   std::string name_;
   Director* director_;
-  chunking::RabinChunker chunker_;
+  std::unique_ptr<chunking::Chunker> chunker_;
+  /// SIMD lane for Sha1::hash_batch over each file's chunk run.
+  SimdPolicy simd_ = SimdPolicy::kAuto;
 };
 
 }  // namespace debar::core

@@ -27,6 +27,7 @@
 
 #include "cache/index_cache.hpp"
 #include "cache/lpc_cache.hpp"
+#include "chunking/chunker_config.hpp"
 #include "common/result.hpp"
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
@@ -68,6 +69,12 @@ struct ChunkStoreConfig {
   std::size_t lpc_containers = 16;
   /// Parallel dedup-2 execution plan.
   Dedup2Options dedup2;
+  /// Chunking policy for the clients of this store (DESIGN.md §5i).
+  /// The store itself never chunks — dedup-1 is client-side — but the
+  /// deployment-wide algorithm choice lives here so engines built
+  /// against a server inherit it (BackupEngine's ChunkerConfig ctor)
+  /// and the figure benches can ablate Rabin vs. gear in one place.
+  chunking::ChunkerConfig chunker;
 };
 
 struct SilResult {

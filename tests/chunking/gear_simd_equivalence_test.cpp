@@ -1,0 +1,195 @@
+// The acceptance bar for the SIMD chunking lanes: scalar, SSE2, and
+// AVX2 scans must produce BYTE-IDENTICAL chunk boundaries and
+// fingerprints on every input — seeded random, all-zero, all-0xFF,
+// versioned backup-trace-shaped data, lane-width-straddling lengths
+// (len % 16/32/64 ± 1), and parameter sets that slam the min/max
+// clamps. A lane choice may only ever change throughput.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "chunking/gear_chunker.hpp"
+#include "chunking/gear_simd.hpp"
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "common/simd.hpp"
+#include "workload/file_tree.hpp"
+
+namespace debar::chunking {
+namespace {
+
+std::vector<SimdPolicy> simd_lanes() {
+  std::vector<SimdPolicy> out;
+  for (SimdPolicy p : {SimdPolicy::kSse2, SimdPolicy::kAvx2}) {
+    if (simd_supported(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Byte> random_bytes(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<Byte> data(n);
+  for (auto& b : data) b = static_cast<Byte>(rng());
+  return data;
+}
+
+ByteSpan span_of(const std::vector<Byte>& v) {
+  return ByteSpan(v.data(), v.size());
+}
+
+// Chunk `data` with each lane and require bounds AND fingerprints to
+// match the scalar reference exactly.
+void expect_lanes_identical(ByteSpan data, GearParams params,
+                            const std::string& what) {
+  params.simd = SimdPolicy::kScalar;
+  GearChunker scalar(params);
+  const std::vector<ChunkBounds> reference = scalar.chunk(data);
+
+  std::vector<ByteSpan> ref_spans;
+  ref_spans.reserve(reference.size());
+  for (const auto& b : reference) ref_spans.push_back(data.subspan(b.offset, b.size));
+  const std::vector<Fingerprint> ref_fps =
+      Sha1::hash_batch(ref_spans, SimdPolicy::kScalar);
+
+  for (SimdPolicy lane : simd_lanes()) {
+    params.simd = lane;
+    GearChunker vec(params);
+    const std::vector<ChunkBounds> got = vec.chunk(data);
+    ASSERT_EQ(got, reference) << what << " lane " << simd_name(lane);
+
+    std::vector<ByteSpan> spans;
+    spans.reserve(got.size());
+    for (const auto& b : got) spans.push_back(data.subspan(b.offset, b.size));
+    EXPECT_EQ(Sha1::hash_batch(spans, lane), ref_fps)
+        << what << " lane " << simd_name(lane);
+  }
+}
+
+// Candidate-level differential: sharper diagnostics than comparing
+// boundaries, since the discipline pass is shared code by design.
+void expect_candidates_identical(ByteSpan data, std::uint32_t easy_mask,
+                                 const std::string& what) {
+  std::vector<detail::GearCandidate> reference;
+  detail::gear_scan(data, easy_mask, SimdPolicy::kScalar, reference);
+  for (SimdPolicy lane : simd_lanes()) {
+    std::vector<detail::GearCandidate> got;
+    detail::gear_scan(data, easy_mask, lane, got);
+    ASSERT_EQ(got.size(), reference.size())
+        << what << " lane " << simd_name(lane);
+    EXPECT_EQ(got, reference) << what << " lane " << simd_name(lane);
+  }
+}
+
+TEST(GearSimdEquivalenceTest, ReportLanes) {
+  // Not an assertion — records what this machine actually exercised so
+  // a green run on a SSE2-only box is legible in CI logs.
+  for (SimdPolicy lane : simd_lanes()) {
+    RecordProperty(simd_name(lane), "exercised");
+    std::printf("exercising lane: %s\n", simd_name(lane));
+  }
+  std::printf("auto resolves to: %s\n", simd_name(resolve_simd(SimdPolicy::kAuto)));
+}
+
+TEST(GearSimdEquivalenceTest, SeededRandomBuffers) {
+  for (const std::size_t n :
+       {0u, 1u, 31u, 32u, 33u, 4095u, 4096u, 4097u, 65535u, 65536u, 65537u,
+        (1u << 20) - 1, 1u << 20, (1u << 20) + 1}) {
+    const auto data = random_bytes(100 + n, n);
+    expect_lanes_identical(span_of(data), GearParams{},
+                           "random n=" + std::to_string(n));
+  }
+}
+
+TEST(GearSimdEquivalenceTest, LaneWidthStraddles) {
+  // Lengths chosen so every lane's segment split and tail handling is
+  // ragged: len % 16, % 32, % 64 hitting ±1 around the alignment.
+  std::vector<std::size_t> sizes;
+  const std::size_t base = 3u << 19;  // 1.5 MiB, large enough for 8 lanes
+  for (const std::size_t align : {16u, 32u, 64u}) {
+    const std::size_t down = base - (base % align);  // exact multiple
+    sizes.insert(sizes.end(), {down - 1, down, down + 1});
+  }
+  for (const std::size_t n : sizes) {
+    const auto data = random_bytes(200 + n, n);
+    expect_lanes_identical(span_of(data), GearParams{},
+                           "straddle n=" + std::to_string(n));
+    expect_candidates_identical(span_of(data), 0xFFF00000u,
+                                "straddle-cand n=" + std::to_string(n));
+  }
+}
+
+TEST(GearSimdEquivalenceTest, ConstantBuffers) {
+  for (const Byte fill : {Byte{0x00}, Byte{0xFF}}) {
+    const std::vector<Byte> data(2u << 20, fill);
+    expect_lanes_identical(span_of(data), GearParams{},
+                           "constant fill=" + std::to_string(fill));
+    expect_candidates_identical(span_of(data), 0xFFE00000u,
+                                "constant-cand fill=" + std::to_string(fill));
+  }
+}
+
+TEST(GearSimdEquivalenceTest, TraceShapedVersionedData) {
+  // The byte-level analogue of the HUSt backup trace: a synthetic file
+  // tree plus two mutated "next day" versions, concatenated per
+  // version. Point edits shift content — exactly the inputs CDC exists
+  // for — and the lanes must agree on all of them.
+  workload::FileTreeParams tree;
+  tree.files = 12;
+  tree.mean_file_bytes = 96 * KiB;
+  tree.seed = 31;
+  core::Dataset version = workload::make_dataset(tree);
+  for (unsigned day = 0; day < 3; ++day) {
+    std::vector<Byte> stream;
+    for (const auto& file : version.files) {
+      stream.insert(stream.end(), file.content.begin(), file.content.end());
+    }
+    expect_lanes_identical(span_of(stream), GearParams{},
+                           "trace day " + std::to_string(day));
+    workload::MutationParams mut;
+    mut.seed = 1000 + day;
+    version = workload::mutate_dataset(version, mut);
+  }
+}
+
+TEST(GearSimdEquivalenceTest, MinMaxClampStress) {
+  // Small-chunk parameters put many candidates inside the min-size skip
+  // and many chunks at the forced max cut, so the discipline pass (and
+  // the candidate lists feeding it) get exercised at both clamps.
+  const auto data = random_bytes(300, 1u << 20);
+  for (const unsigned norm : {0u, 1u, 2u, 3u}) {
+    GearParams p;
+    p.min_size = 64;
+    p.expected_size = 256;
+    p.max_size = 1024;
+    p.norm_level = norm;
+    ASSERT_TRUE(p.valid());
+    expect_lanes_identical(span_of(data), p, "clamp norm=" + std::to_string(norm));
+  }
+  // Repeating 4-byte pattern: candidate deserts force max-size cuts.
+  std::vector<Byte> pattern(1u << 20);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    pattern[i] = static_cast<Byte>("\xDE\xAD\xBE\xEF"[i % 4]);
+  }
+  expect_lanes_identical(span_of(pattern), GearParams{}, "pattern");
+}
+
+TEST(GearSimdEquivalenceTest, WarmupIsExactHistoryHash) {
+  // gear_warm primed over the preceding kGearWindow bytes must equal
+  // the hash a scalar scan carries to the same position — this is the
+  // position-independence property the whole SIMD design rests on.
+  const auto data = random_bytes(400, 4096);
+  for (const std::uint64_t pos : {32u, 33u, 100u, 1024u, 4000u}) {
+    std::vector<detail::GearCandidate> sink;
+    // Full mask: candidates only when h == 0, so the sink stays empty
+    // and the call is purely a way to roll the hash to `pos`.
+    const std::uint32_t rolled =
+        detail::gear_scan_scalar(data.data(), 0, pos, 0, 0xFFFFFFFFu, sink);
+    const std::uint32_t warmed =
+        detail::gear_warm(data.data(), pos - detail::kGearWindow, pos);
+    EXPECT_EQ(warmed, rolled) << "pos " << pos;
+  }
+}
+
+}  // namespace
+}  // namespace debar::chunking

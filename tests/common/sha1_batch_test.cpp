@@ -1,0 +1,130 @@
+// Sha1::hash_batch ≡ per-message Sha1::hash, in every SIMD lane this
+// machine can run: NIST FIPS 180-1 vectors, padding-edge lengths, and
+// seeded random ragged batches. The multi-buffer scheduler and the
+// vector round functions never get to disagree with the streaming
+// reference silently — this suite is part of `ctest -L chunking`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+#include "common/sha1.hpp"
+#include "common/simd.hpp"
+
+namespace debar {
+namespace {
+
+const std::vector<SimdPolicy> kAllPolicies = {
+    SimdPolicy::kAuto, SimdPolicy::kScalar, SimdPolicy::kSse2,
+    SimdPolicy::kAvx2};
+
+std::vector<SimdPolicy> supported_policies() {
+  std::vector<SimdPolicy> out;
+  for (SimdPolicy p : kAllPolicies) {
+    if (simd_supported(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Byte> random_bytes(std::uint64_t seed, std::size_t n) {
+  Xoshiro256 rng(seed);
+  std::vector<Byte> data(n);
+  for (auto& b : data) b = static_cast<Byte>(rng());
+  return data;
+}
+
+std::string fp_hex(const Fingerprint& fp) {
+  return to_hex(ByteSpan(fp.bytes.data(), fp.bytes.size()));
+}
+
+TEST(Sha1BatchTest, NistVectorsInEveryLane) {
+  // FIPS 180-1 Appendix A/B plus the empty string.
+  const std::vector<std::pair<std::string, std::string>> vectors = {
+      {"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+      {"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+      {"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+       "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+      {std::string(1000000, 'a'), "34aa973cd4c4daa4f61eeb2bdbad27316534016f"},
+  };
+  std::vector<ByteSpan> spans;
+  for (const auto& [msg, _] : vectors) {
+    spans.emplace_back(reinterpret_cast<const Byte*>(msg.data()), msg.size());
+  }
+  for (SimdPolicy policy : supported_policies()) {
+    const auto fps = Sha1::hash_batch(spans, policy);
+    ASSERT_EQ(fps.size(), vectors.size());
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      EXPECT_EQ(fp_hex(fps[i]), vectors[i].second)
+          << "lane " << simd_name(policy) << " vector " << i;
+    }
+  }
+}
+
+TEST(Sha1BatchTest, PaddingEdgeLengths) {
+  // Lengths that straddle the 0x80/length-word block layout: 55 is the
+  // last single-block message, 56 the first needing a pad-only block,
+  // 64 an exact block, 119/120 the two-vs-three block boundary.
+  const std::vector<std::size_t> lengths = {0,  1,  55,  56,  57,  63, 64,
+                                            65, 66, 119, 120, 121, 127, 128};
+  std::vector<std::vector<Byte>> bufs;
+  std::vector<ByteSpan> spans;
+  std::vector<Fingerprint> expected;
+  for (std::size_t len : lengths) {
+    bufs.push_back(random_bytes(1000 + len, len));
+    spans.emplace_back(bufs.back().data(), bufs.back().size());
+    expected.push_back(Sha1::hash(spans.back()));
+  }
+  for (SimdPolicy policy : supported_policies()) {
+    EXPECT_EQ(Sha1::hash_batch(spans, policy), expected)
+        << "lane " << simd_name(policy);
+  }
+}
+
+TEST(Sha1BatchTest, RaggedRandomBatchesMatchStreamingReference) {
+  // Batch sizes deliberately not multiples of any lane width, message
+  // lengths spanning three orders of magnitude, so lanes start and
+  // finish at staggered times and the scheduler refill path runs hot.
+  Xoshiro256 rng(77);
+  for (const std::size_t batch : {1u, 2u, 3u, 5u, 8u, 13u, 31u, 64u}) {
+    std::vector<std::vector<Byte>> bufs;
+    std::vector<ByteSpan> spans;
+    std::vector<Fingerprint> expected;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const std::size_t len = static_cast<std::size_t>(rng.below(20000));
+      bufs.push_back(random_bytes(rng(), len));
+      spans.emplace_back(bufs.back().data(), bufs.back().size());
+      expected.push_back(Sha1::hash(spans.back()));
+    }
+    for (SimdPolicy policy : supported_policies()) {
+      EXPECT_EQ(Sha1::hash_batch(spans, policy), expected)
+          << "lane " << simd_name(policy) << " batch " << batch;
+    }
+  }
+}
+
+TEST(Sha1BatchTest, EmptyBatch) {
+  for (SimdPolicy policy : supported_policies()) {
+    EXPECT_TRUE(Sha1::hash_batch({}, policy).empty());
+  }
+}
+
+TEST(Sha1BatchTest, DispatchReportsSupport) {
+  // kAuto and kScalar always resolve; a resolved policy must itself be
+  // supported, and resolution is stable (idempotent).
+  for (SimdPolicy p : kAllPolicies) {
+    const SimdPolicy r = resolve_simd(p);
+    EXPECT_TRUE(simd_supported(r)) << simd_name(p);
+    EXPECT_EQ(resolve_simd(r), r) << simd_name(p);
+    EXPECT_NE(r, SimdPolicy::kAuto);
+  }
+#ifdef DEBAR_DISABLE_SIMD
+  EXPECT_EQ(resolve_simd(SimdPolicy::kAuto), SimdPolicy::kScalar);
+  EXPECT_FALSE(simd_supported(SimdPolicy::kSse2));
+  EXPECT_FALSE(simd_supported(SimdPolicy::kAvx2));
+#endif
+}
+
+}  // namespace
+}  // namespace debar
