@@ -161,8 +161,8 @@ bool attach_file_replica(const fs::path& node_dir, std::size_t k, unsigned w,
                          NodeState& st) {
   const std::size_t n = std::size_t{1} << w;
   if (n < 2) return true;
-  if (Status attached = st.server->attach_replica(core::replica_part_of(k, n));
-      !attached.ok()) {
+  const std::size_t part = core::PartitionMap::replica_part_of(k, n);
+  if (Status attached = st.server->attach_replica(part); !attached.ok()) {
     std::fprintf(stderr, "replica attach: %s\n",
                  attached.message().c_str());
     return false;
@@ -180,7 +180,7 @@ bool attach_file_replica(const fs::path& node_dir, std::size_t k, unsigned w,
                  idx.error().to_string().c_str());
     return false;
   }
-  st.server->replica().index() = std::move(idx).value();
+  st.server->part_replica(part).index() = std::move(idx).value();
   return true;
 }
 
@@ -256,7 +256,7 @@ void ingest(core::FileStore& fs_store, std::uint64_t job, std::uint64_t first,
 int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
                const fs::path& dir) {
   const std::size_t n = std::size_t{1} << w;
-  core::ClusterNode node({.node = 0, .node_count = n, .routing_bits = w},
+  core::ClusterNode node({.node = 0, .map = core::PartitionMap::identity(w)},
                          st.server.get());
   const std::uint64_t job = st.director.define_job("cluster", "job");
 
@@ -329,8 +329,7 @@ int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
 
 /// The peer role: both rounds, then answer locates until shutdown.
 int run_peer(NodeState& st, unsigned w, std::size_t k) {
-  const std::size_t n = std::size_t{1} << w;
-  core::ClusterNode node({.node = k, .node_count = n, .routing_bits = w},
+  core::ClusterNode node({.node = k, .map = core::PartitionMap::identity(w)},
                          st.server.get());
   for (int r = 0; r < kRounds; ++r) {
     Result<core::NodeRoundResult> round =
@@ -367,7 +366,7 @@ int run_loopback(const Options& opt) {
   }
 
   net::LoopbackTransport transport;
-  const auto client_id = static_cast<net::EndpointId>(n);
+  const net::EndpointId client_id = net::kClientEndpointId;
   auto attach = [&](NodeState& st, std::size_t k) {
     Status reg = transport.register_endpoint(static_cast<net::EndpointId>(k),
                                              &st.server->nic());
@@ -484,7 +483,7 @@ int run_socket_driver(const Options& opt, char** argv) {
   if (!bring_up_node(opt.dir, 0, opt.w, st)) return 1;
 
   net::SocketTransport transport{net::AddressMap{}};
-  const auto client_id = static_cast<net::EndpointId>(n);
+  const net::EndpointId client_id = net::kClientEndpointId;
   if (!transport.register_endpoint(0, &st.server->nic()).ok() ||
       !transport.register_endpoint(client_id, nullptr).ok()) {
     std::fprintf(stderr, "driver listen failed\n");

@@ -41,6 +41,16 @@ BackupServer::BackupServer(std::size_t server_id,
   Result<index::DiskIndex> idx = index::DiskIndex::create(
       mint_device(config.index_device_factory, &index_model_),
       config.index_params);
+  if (!idx.ok()) {
+    // A fault-injecting device factory can fail the very first index
+    // create (e.g. a crash point hit while a migration staged this
+    // server). Record it and fall back to a plain in-memory device so the
+    // object stays constructed; boot_status() gates any real use.
+    boot_status_ = Status(idx.error().code, idx.error().message);
+    auto fallback = std::make_unique<storage::MemBlockDevice>();
+    fallback->attach_model(&index_model_);
+    idx = index::DiskIndex::create(std::move(fallback), config.index_params);
+  }
   assert(idx.ok() && "index params validated by config construction");
 
   file_store_ = std::make_unique<FileStore>(config.filter_params,
@@ -59,17 +69,35 @@ BackupServer::BackupServer(std::size_t server_id,
 }
 
 Status BackupServer::attach_replica(std::size_t part) {
+  if (replicas_.contains(part)) {
+    return {Errc::kInvalidArgument,
+            "server already hosts a replica of this part"};
+  }
   Result<index::DiskIndex> idx = index::DiskIndex::create(
       mint_device(config_.index_device_factory, &index_model_),
       config_.index_params);
   if (!idx.ok()) return {idx.error().code, idx.error().message};
-  replica_ = std::make_unique<IndexPartReplica>(
-      part, std::move(idx).value(), config_.chunk_store.io_buckets,
+  adopt_replica(make_replica(part, std::move(idx).value()));
+  return Status::Ok();
+}
+
+void BackupServer::adopt_replica(std::unique_ptr<IndexPartReplica> replica) {
+  const std::size_t part = replica->part();
+  replicas_[part] = std::move(replica);
+}
+
+std::unique_ptr<storage::BlockDevice> BackupServer::mint_index_device() {
+  return mint_device(config_.index_device_factory, &index_model_);
+}
+
+std::unique_ptr<IndexPartReplica> BackupServer::make_replica(
+    std::size_t part, index::DiskIndex idx) {
+  return std::make_unique<IndexPartReplica>(
+      part, std::move(idx), config_.chunk_store.io_buckets,
       config_.chunk_store.siu_threshold,
       [factory = config_.index_device_factory, model = &index_model_] {
         return mint_device(factory, model);
       });
-  return Status::Ok();
 }
 
 Result<Dedup2Result> BackupServer::run_dedup2(bool force_siu) {

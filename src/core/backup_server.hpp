@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 
 #include "common/result.hpp"
@@ -71,6 +72,13 @@ class BackupServer {
   [[nodiscard]] ChunkStore& chunk_store() noexcept { return *chunk_store_; }
   [[nodiscard]] std::size_t server_id() const noexcept { return server_id_; }
 
+  /// Ok unless the configured index device factory failed during
+  /// construction (possible under fault injection while a migration
+  /// stages a new server). A non-ok server must not join the fleet.
+  [[nodiscard]] const Status& boot_status() const noexcept {
+    return boot_status_;
+  }
+
   /// Run a complete single-server dedup-2 (Section 3.3): SIL in index-cache
   /// sized batches, chunk storing, then SIU when due (or forced).
   [[nodiscard]] Result<Dedup2Result> run_dedup2(bool force_siu = false);
@@ -103,19 +111,58 @@ class BackupServer {
   /// Host the backup copy of index part `part` here (cluster replication,
   /// DESIGN.md §5g): a second DiskIndex minted by the same device factory
   /// and params as the primary — identical entry sequences yield
-  /// byte-identical images — metered on this server's index disk.
+  /// byte-identical images — metered on this server's index disk. A server
+  /// may host several replica parts at once (post-drain maps do this).
   [[nodiscard]] Status attach_replica(std::size_t part);
-  [[nodiscard]] bool has_replica() const noexcept {
-    return replica_ != nullptr;
+  /// Adopt an externally built replica (elastic migration commit hands
+  /// over replicas whose indexes the prepare stage already populated).
+  void adopt_replica(std::unique_ptr<IndexPartReplica> replica);
+  void detach_replica(std::size_t part) { replicas_.erase(part); }
+  void detach_all_replicas() noexcept { replicas_.clear(); }
+  [[nodiscard]] bool has_part_replica(std::size_t part) const noexcept {
+    return replicas_.contains(part);
   }
-  [[nodiscard]] IndexPartReplica& replica() noexcept { return *replica_; }
+  [[nodiscard]] IndexPartReplica& part_replica(std::size_t part) {
+    return *replicas_.at(part);
+  }
+  [[nodiscard]] const IndexPartReplica& part_replica(std::size_t part) const {
+    return *replicas_.at(part);
+  }
+  /// Legacy single-replica view (SPMD driver compatibility): the first
+  /// hosted replica part. Identity maps host exactly one per server.
+  [[nodiscard]] bool has_replica() const noexcept {
+    return !replicas_.empty();
+  }
+  [[nodiscard]] IndexPartReplica& replica() noexcept {
+    return *replicas_.begin()->second;
+  }
   [[nodiscard]] const IndexPartReplica& replica() const noexcept {
-    return *replica_;
+    return *replicas_.begin()->second;
+  }
+
+  // ---- Elastic repartitioning hooks (core/cluster split/drain) ----
+
+  /// Mint a fresh index block device (same factory and disk model as the
+  /// primary index), for staging a rebuilt partition during migration.
+  [[nodiscard]] std::unique_ptr<storage::BlockDevice> mint_index_device();
+
+  /// Build (but do not attach) a replica of `part` around an index the
+  /// migration prepare stage populated. Infallible — commit-safe.
+  [[nodiscard]] std::unique_ptr<IndexPartReplica> make_replica(
+      std::size_t part, index::DiskIndex idx);
+
+  /// Swap the primary ChunkStore index for a rebuilt one (split commit:
+  /// the partition width changed, so skip_bits did too). Keeps the
+  /// server's config in agreement so later replica mints match.
+  void rebase_chunk_store_index(index::DiskIndex idx) noexcept {
+    config_.index_params.skip_bits = idx.params().skip_bits;
+    chunk_store_->rebase_index(std::move(idx));
   }
 
  private:
   std::size_t server_id_;
   BackupServerConfig config_;
+  Status boot_status_ = Status::Ok();
 
   sim::SimClock nic_clock_;
   sim::SimClock log_clock_;
@@ -128,7 +175,9 @@ class BackupServer {
   std::unique_ptr<FileStore> file_store_;
   std::unique_ptr<ChunkStore> chunk_store_;
   std::unique_ptr<net::Endpoint> endpoint_;
-  std::unique_ptr<IndexPartReplica> replica_;
+  /// Backup copies of remote partitions hosted here, keyed by part id
+  /// (ordered, so commit-time iteration is deterministic).
+  std::map<std::size_t, std::unique_ptr<IndexPartReplica>> replicas_;
 };
 
 }  // namespace debar::core

@@ -173,6 +173,15 @@ class ChunkStore {
     return index_;
   }
   [[nodiscard]] index::DiskIndex& index() noexcept { return index_; }
+
+  /// Swap in a rebuilt index partition (elastic repartitioning commit).
+  /// Pure in-memory: the replacement was fully built and verified by the
+  /// prepare stage, so this cannot fail. The index cache's routing bits
+  /// must keep agreeing with the index, so they are rebased together.
+  void rebase_index(index::DiskIndex idx) noexcept {
+    index_ = std::move(idx);
+    config_.cache_params.skip_bits = index_.params().skip_bits;
+  }
   [[nodiscard]] const cache::LpcCache& lpc() const noexcept { return lpc_; }
   [[nodiscard]] const ChunkStoreConfig& config() const noexcept {
     return config_;

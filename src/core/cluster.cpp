@@ -1,6 +1,7 @@
 #include "core/cluster.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <mutex>
@@ -30,38 +31,65 @@ struct PeerFailure {
   std::size_t peer;
 };
 
+/// One rebuilt partition copy a migration's prepare stage produced: where
+/// it goes and the freshly loaded index the commit stage hands over.
+struct StagedCopy {
+  std::size_t part;
+  std::size_t slot;
+  bool via_store;
+  index::DiskIndex idx;
+};
+
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
       repository_(config.repository_nodes, config.repository_profile) {
-  const std::size_t n = std::size_t{1} << config_.routing_bits;
+  map_ = config_.partition_map.empty()
+             ? PartitionMap::identity(config_.routing_bits)
+             : config_.partition_map;
+  // The map is the single source of truth for the routing width; keep the
+  // config field in agreement for anyone who reads it back.
+  config_.routing_bits = map_.routing_bits();
+
+  const std::size_t n_slots = map_.server_slots();
+  const std::size_t m = map_.part_count();
   BackupServerConfig server_config = config_.server_config;
-  server_config.index_params.skip_bits = config_.routing_bits;
-  servers_.reserve(n);
-  for (std::size_t k = 0; k < n; ++k) {
+  server_config.index_params.skip_bits = map_.routing_bits();
+  servers_.reserve(n_slots);
+  for (std::size_t k = 0; k < n_slots; ++k) {
     servers_.push_back(
         std::make_unique<BackupServer>(k, server_config, &repository_,
                                        &director_));
   }
-  // Replicated index parts (DESIGN.md §5g): with at least two servers,
-  // server k also hosts the backup copy of partition (k - 1) mod n, so
-  // every partition has two copies and a single dark server degrades a
-  // round instead of aborting it.
-  if (n >= 2) {
-    for (std::size_t k = 0; k < n; ++k) {
-      Status attached = servers_[k]->attach_replica(replica_part_of(k, n));
+  // Replicated index parts (DESIGN.md §5g): every partition copy the map
+  // places off the owner's ChunkStore is hosted as an IndexPartReplica.
+  // Attach in (slot ascending, part ascending) order so the index-device
+  // mint sequence is deterministic — identity maps reproduce the classic
+  // "all primaries, then one replica per server" order exactly.
+  for (std::size_t k = 0; k < n_slots; ++k) {
+    for (const std::size_t p : map_.parts_hosted_by(k)) {
+      const PartitionCopy* copy = map_.copy_on(p, k);
+      if (copy->via_store) continue;
+      Status attached = servers_[k]->attach_replica(p);
       assert(attached.ok() && "index params validated by config construction");
       (void)attached;
     }
   }
-  deferred_entries_.resize(n);
-  catch_up_.assign(n, std::vector<std::vector<IndexEntry>>(n));
+  // Slots the map already drained (a twin born at a post-drain topology)
+  // are permanently out of job assignment.
+  for (std::size_t k = 0; k < n_slots; ++k) {
+    if (!map_.is_live(k)) director_.retire_server(k);
+  }
+  deferred_entries_.resize(n_slots);
+  catch_up_.assign(n_slots, std::vector<std::vector<IndexEntry>>(m));
 
   transport_ = config_.transport_factory
                    ? config_.transport_factory->create()
                    : std::make_unique<net::LoopbackTransport>();
-  for (std::size_t k = 0; k < n; ++k) {
+  for (std::size_t k = 0; k < n_slots; ++k) {
     const auto id = static_cast<net::EndpointId>(k);
     Status registered = transport_->register_endpoint(id, &servers_[k]->nic());
     assert(registered.ok());
@@ -83,7 +111,8 @@ Cluster::Cluster(ClusterConfig config)
 
 Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   const std::size_t n = servers_.size();
-  const bool replicated = n >= 2;
+  const std::size_t m = map_.part_count();
+  const bool replicated = map_.replicated();
   ClusterDedup2Result result;
 
   auto phase = [&](const char* tag) {
@@ -142,6 +171,25 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
                         "unreachable",
                         tag, bad.size())};
   };
+  // Per-server phase outcome (set by worker lambdas; checked at barriers).
+  std::vector<Status> phase_status(n);
+  auto check_phase_status = [&]() -> Status {
+    for (const Status& s : phase_status) {
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  };
+  // Receive-side epoch validation: a batch minted against a different map
+  // must never be folded into this round (DESIGN.md §5j epoch rules).
+  auto epoch_ok = [&](std::uint32_t got, std::size_t receiver,
+                      std::size_t sender) {
+    if (got == map_.epoch()) return true;
+    phase_status[receiver] = Status(
+        Errc::kInvalidArgument,
+        format("epoch mismatch: server {} sent epoch {}, map is at {}",
+               sender, got, map_.epoch()));
+    return false;
+  };
 
   // Round-boundary health probe (mark_unreachable used to be permanent):
   // servers the transport reaches again rejoin assignment, and any
@@ -150,26 +198,22 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   director_.probe_reachability(n, reachable);
   deliver_catch_up();
 
-  // Round membership: alive[k] flips when the transport proves server k
-  // dark during this round. host[p] is the copy serving partition p's
-  // PSIL — its primary owner until phase-A failover moves it to the
-  // backup holder.
-  std::vector<bool> alive(n, true);
-  std::vector<std::size_t> host(n);
-  for (std::size_t p = 0; p < n; ++p) host[p] = p;
-  auto hosted_parts = [&](std::size_t t) {
-    std::vector<std::size_t> parts{t};
-    if (replicated) parts.push_back(replica_part_of(t, n));
-    std::sort(parts.begin(), parts.end());
-    return parts;
-  };
+  // Round membership: alive[k] starts from the map (drained slots never
+  // participate) and flips when the transport proves server k dark during
+  // this round. host[p] is the copy INDEX serving partition p's PSIL —
+  // the preferred copy until phase-A failover moves it to the other one.
+  std::vector<bool> alive(n);
+  for (std::size_t k = 0; k < n; ++k) alive[k] = map_.is_live(k);
+  std::vector<std::size_t> host(m, 0);
+  auto serve = [&](std::size_t p) { return map_.copy(p, host[p]).server; };
+  auto hosted_parts = [&](std::size_t t) { return map_.parts_hosted_by(t); };
 
   // ---- Phase A: take undetermined sets and exchange by routing prefix.
   // outbox[from][part]: the fingerprint subsets in flight; an empty batch
   // still ships, so every pair exchanges one message per phase.
   phase("A");
   std::vector<std::vector<std::vector<Fingerprint>>> outbox(
-      n, std::vector<std::vector<Fingerprint>>(n));
+      n, std::vector<std::vector<Fingerprint>>(m));
   std::vector<std::vector<Fingerprint>> local_undetermined(n);
   // Re-drain on abort: a round that never reached chunk storing puts the
   // fingerprints back so the next round resolves them.
@@ -183,7 +227,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
 
   // part_inbox[part][origin]: what the part's current host has collected.
   std::vector<std::vector<net::FingerprintBatch>> part_inbox(
-      n, std::vector<net::FingerprintBatch>(n));
+      m, std::vector<net::FingerprintBatch>(n));
   // Exclude a server the transport proved dark: restore its undetermined
   // set for a later round, and drop everything it contributed — its
   // queries must not be answered (a dead origin must never become a
@@ -196,7 +240,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     servers_[b]->file_store().restore_undetermined(
         std::move(local_undetermined[b]));
     local_undetermined[b].clear();
-    for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t p = 0; p < m; ++p) {
       outbox[b][p].clear();
       part_inbox[p][b] = net::FingerprintBatch{};
     }
@@ -204,6 +248,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
 
   const std::vector<double> nic_a0 = nic_clocks();
   parallel_for(n, n, [&](std::size_t s) {
+    if (!alive[s]) return;
     std::vector<Fingerprint> fps =
         servers_[s]->file_store().take_undetermined();
     for (const Fingerprint& fp : fps) outbox[s][owner_of(fp)].push_back(fp);
@@ -215,8 +260,8 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   // on the surviving copy, and re-run the delta. Each iteration either
   // completes, aborts (some partition lost both copies), or buries at
   // least one server — so the loop runs at most n times.
-  std::vector<std::size_t> wanted(n);
-  for (std::size_t p = 0; p < n; ++p) wanted[p] = p;
+  std::vector<std::size_t> wanted(m);
+  for (std::size_t p = 0; p < m; ++p) wanted[p] = p;
   while (!wanted.empty()) {
     parallel_for(n, n, [&](std::size_t s) {
       if (!alive[s]) return;
@@ -224,15 +269,15 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       // parts hosted by one peer leave as a single jumbo frame, in the
       // same ascending-part order the receive barrier expects.
       for (const std::size_t p : wanted) {
-        const std::size_t k = host[p];
+        const std::size_t k = serve(p);
         if (k == s) continue;
         Status sent = servers_[s]->endpoint().send_buffered(
             static_cast<net::EndpointId>(k),
-            net::FingerprintBatch{outbox[s][p]});
+            net::FingerprintBatch{outbox[s][p], map_.epoch()});
         if (!sent.ok()) note_failure(s, k);
       }
       for (const std::size_t p : wanted) {
-        const std::size_t k = host[p];
+        const std::size_t k = serve(p);
         if (k == s) continue;
         Status flushed =
             servers_[s]->endpoint().flush(static_cast<net::EndpointId>(k));
@@ -244,7 +289,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     parallel_for(n, n, [&](std::size_t k) {
       if (!alive[k]) return;
       for (const std::size_t p : wanted) {
-        if (host[p] != k) continue;
+        if (serve(p) != k) continue;
         part_inbox[p][k].fps = outbox[k][p];
         for (std::size_t s = 0; s < n; ++s) {
           if (s == k || !alive[s]) continue;
@@ -255,6 +300,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
             note_failure(k, s);
             continue;
           }
+          if (!epoch_ok(batch.value().epoch, k, s)) continue;
           part_inbox[p][s] = std::move(batch.value());
         }
       }
@@ -263,20 +309,25 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     if (bad.empty()) break;
     for (const std::size_t b : bad) exclude_server(b);
     std::vector<std::size_t> rerun;
-    for (std::size_t p = 0; p < n; ++p) {
-      if (alive[host[p]]) continue;
-      const std::size_t other = host[p] == p ? backup_of(p, n) : p;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (alive[serve(p)]) continue;
+      const std::size_t other_host = 1 - host[p];
+      const std::size_t other = map_.copy(p, other_host).server;
       if (!replicated || !alive[other]) {
         // Both copies of partition p are dark: all-or-nothing abort,
         // exactly as an unreplicated round.
         restore_undetermined();
         return degrade(bad, "A");
       }
-      host[p] = other;
+      host[p] = other_host;
       ++result.failovers;
       rerun.push_back(p);
     }
     wanted = std::move(rerun);
+  }
+  if (Status s = check_phase_status(); !s.ok()) {
+    restore_undetermined();
+    return Error{s.code(), s.message()};
   }
   for (const auto& fps : local_undetermined) result.undetermined += fps.size();
 
@@ -288,29 +339,29 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   phase("B");
   // verdict_out[part][origin], produced by the part's host.
   std::vector<std::vector<net::VerdictBatch>> verdict_out(
-      n, std::vector<net::VerdictBatch>(n));
-  std::vector<Status> phase_status(n);
+      m, std::vector<net::VerdictBatch>(n));
   std::atomic<std::uint64_t> dup_count{0};
 
   const std::vector<double> idx_b0 = index_clocks();
   parallel_for(n, n, [&](std::size_t k) {
     if (!alive[k]) return;
-    for (std::size_t p = 0; p < n; ++p) {
-      if (host[p] != k) continue;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (serve(p) != k) continue;
       // The designated-storer resolution is shared with the SPMD per-node
       // driver (core/cluster_node.hpp), so both executions of a round
-      // issue identical verdicts. A failed-over part runs SIL against
-      // this server's replica copy instead of its own chunk store.
+      // issue identical verdicts. The serving copy may be this server's
+      // own chunk store or a hosted replica — the map says which.
       std::uint64_t dups = 0;
+      const bool via_store = map_.copy(p, host[p]).via_store;
       PartSilFn lookup =
-          p == k ? PartSilFn([&, k](const std::vector<Fingerprint>& fps,
-                                    std::vector<std::uint8_t>& found) {
+          via_store ? PartSilFn([&, k](const std::vector<Fingerprint>& fps,
+                                       std::vector<std::uint8_t>& found) {
             return servers_[k]->chunk_store().sil(fps, found);
           })
-                 : PartSilFn([&, k](const std::vector<Fingerprint>& fps,
-                                    std::vector<std::uint8_t>& found) {
-                     return servers_[k]->replica().sil(fps, found);
-                   });
+                    : PartSilFn([&, k, p](const std::vector<Fingerprint>& fps,
+                                          std::vector<std::uint8_t>& found) {
+                        return servers_[k]->part_replica(p).sil(fps, found);
+                      });
       Result<std::vector<net::VerdictBatch>> verdicts =
           resolve_psil(lookup, part_inbox[p], &dups);
       if (!verdicts.ok()) {
@@ -322,11 +373,9 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       dup_count.fetch_add(dups, std::memory_order_relaxed);
     }
   });
-  for (const Status& s : phase_status) {
-    if (!s.ok()) {
-      restore_undetermined();
-      return Error{s.code(), s.message()};
-    }
+  if (Status s = check_phase_status(); !s.ok()) {
+    restore_undetermined();
+    return Error{s.code(), s.message()};
   }
   result.duplicates = dup_count.load();
   result.sil_seconds = max_delta(idx_b0, index_clocks());
@@ -338,8 +387,8 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   phase("C");
   parallel_for(n, n, [&](std::size_t k) {
     if (!alive[k]) return;
-    for (std::size_t p = 0; p < n; ++p) {
-      if (host[p] != k) continue;
+    for (std::size_t p = 0; p < m; ++p) {
+      if (serve(p) != k) continue;
       for (std::size_t s = 0; s < n; ++s) {
         if (s == k || !alive[s]) continue;
         Status sent = servers_[k]->endpoint().send_buffered(
@@ -356,11 +405,11 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   });
   // verdict_inbox[origin][part].
   std::vector<std::vector<net::VerdictBatch>> verdict_inbox(
-      n, std::vector<net::VerdictBatch>(n));
+      n, std::vector<net::VerdictBatch>(m));
   parallel_for(n, n, [&](std::size_t s) {
     if (!alive[s]) return;
-    for (std::size_t p = 0; p < n; ++p) {
-      const std::size_t k = host[p];
+    for (std::size_t p = 0; p < m; ++p) {
+      const std::size_t k = serve(p);
       if (k == s) {
         verdict_inbox[s][p] = std::move(verdict_out[p][s]);
         continue;
@@ -386,18 +435,16 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     restore_undetermined();
     return degrade(bad, "C");
   }
-  for (const Status& s : phase_status) {
-    if (!s.ok()) {
-      restore_undetermined();
-      return Error{s.code(), s.message()};
-    }
+  if (Status s = check_phase_status(); !s.ok()) {
+    restore_undetermined();
+    return Error{s.code(), s.message()};
   }
   result.exchange_seconds = max_delta(nic_a0, nic_clocks());
 
   // ---- Phase D: parallel chunk storing on every origin.
   phase("D");
   std::vector<std::vector<std::vector<IndexEntry>>> entry_out(
-      n, std::vector<std::vector<IndexEntry>>(n));
+      n, std::vector<std::vector<IndexEntry>>(m));
   std::atomic<std::uint64_t> new_chunks{0};
   std::atomic<std::uint64_t> new_bytes{0};
 
@@ -406,7 +453,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   parallel_for(n, n, [&](std::size_t s) {
     if (!alive[s]) return;
     std::unordered_set<Fingerprint, FingerprintHash> dups;
-    for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t p = 0; p < m; ++p) {
       // Verdict indices are validated against query_count at decode and
       // above, so they index outbox[s][p] safely.
       for (const std::uint32_t idx : verdict_inbox[s][p].duplicate_indices) {
@@ -432,8 +479,8 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       entry_out[s][owner_of(e.fp)].push_back(e);
     }
   });
-  for (const Status& s : phase_status) {
-    if (!s.ok()) return Error{s.code(), s.message()};
+  if (Status s = check_phase_status(); !s.ok()) {
+    return Error{s.code(), s.message()};
   }
   result.new_chunks = new_chunks.load();
   result.new_bytes = new_bytes.load();
@@ -452,26 +499,24 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
     deferred_entries_[s].clear();
   }
 
-  // ---- Phase E: entries route to both copies of their partition (the
-  // primary owner and its backup holder); every copy receives everything
-  // before anyone registers. A peer that dies here no longer aborts the
-  // round outright: its own entries are deferred and its received batches
-  // dropped everywhere (so the surviving copies stay in lockstep), and a
-  // partition whose one copy went dark commits on the other copy with the
-  // missed entries recorded for catch-up. Only a partition losing BOTH
-  // copies still aborts all-or-nothing.
+  // ---- Phase E: entries route to both copies of their partition; every
+  // copy receives everything before anyone registers. A peer that dies
+  // here no longer aborts the round outright: its own entries are
+  // deferred and its received batches dropped everywhere (so the
+  // surviving copies stay in lockstep), and a partition whose one copy
+  // went dark commits on the other copy with the missed entries recorded
+  // for catch-up. Only a partition losing BOTH copies still aborts
+  // all-or-nothing.
   phase("E");
   parallel_for(n, n, [&](std::size_t s) {
     if (!alive[s]) return;
-    for (std::size_t p = 0; p < n; ++p) {
-      const std::size_t targets[2] = {p, backup_of(p, n)};
-      const std::size_t target_count = replicated ? 2 : 1;
-      for (std::size_t i = 0; i < target_count; ++i) {
-        const std::size_t t = targets[i];
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t i = 0; i < map_.copy_count(); ++i) {
+        const std::size_t t = map_.copy(p, i).server;
         if (t == s || !alive[t]) continue;
         Status sent = servers_[s]->endpoint().send_buffered(
             static_cast<net::EndpointId>(t),
-            net::IndexEntryBatch{entry_out[s][p]});
+            net::IndexEntryBatch{entry_out[s][p], map_.epoch()});
         if (!sent.ok()) note_failure(s, t);
       }
     }
@@ -485,7 +530,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
   // entry_inbox[holder][part][origin].
   std::vector<std::vector<std::vector<net::IndexEntryBatch>>> entry_inbox(
       n, std::vector<std::vector<net::IndexEntryBatch>>(
-             n, std::vector<net::IndexEntryBatch>(n)));
+             m, std::vector<net::IndexEntryBatch>(n)));
   parallel_for(n, n, [&](std::size_t t) {
     if (!alive[t]) return;
     // Ascending (part, origin) receive order matches the sender's
@@ -505,6 +550,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
           note_failure(t, s);
           continue;
         }
+        if (!epoch_ok(batch.value().epoch, t, s)) continue;
         entry_inbox[t][p][s] = std::move(batch.value());
       }
     }
@@ -515,7 +561,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       alive[b] = false;
       result.skipped_servers.push_back(b);
       director_.mark_unreachable(b);
-      for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t p = 0; p < m; ++p) {
         deferred_entries_[b].insert(deferred_entries_[b].end(),
                                     entry_out[b][p].begin(),
                                     entry_out[b][p].end());
@@ -525,14 +571,14 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
         for (std::size_t t = 0; t < n; ++t) entry_inbox[t][p][b] = {};
       }
     }
-    for (std::size_t p = 0; p < n; ++p) {
-      const bool primary_alive = alive[p];
-      const bool backup_alive = replicated && alive[backup_of(p, n)];
-      if (primary_alive || backup_alive) continue;
+    for (std::size_t p = 0; p < m; ++p) {
+      const bool preferred_alive = alive[map_.copy(p, 0).server];
+      const bool backup_alive = replicated && alive[map_.copy(p, 1).server];
+      if (preferred_alive || backup_alive) continue;
       // Both copies of part p are dark: nothing can commit this round.
       for (std::size_t s = 0; s < n; ++s) {
         if (!alive[s]) continue;
-        for (std::size_t q = 0; q < n; ++q) {
+        for (std::size_t q = 0; q < m; ++q) {
           deferred_entries_[s].insert(deferred_entries_[s].end(),
                                       entry_out[s][q].begin(),
                                       entry_out[s][q].end());
@@ -541,23 +587,37 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       return degrade(late, "E");
     }
   }
+  if (Status st = check_phase_status(); !st.ok()) {
+    // Epoch mismatch mid-phase-E: nothing committed; keep the routed
+    // entries for a round run against a consistent map.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (!alive[s]) continue;
+      for (std::size_t q = 0; q < m; ++q) {
+        deferred_entries_[s].insert(deferred_entries_[s].end(),
+                                    entry_out[s][q].begin(),
+                                    entry_out[s][q].end());
+      }
+    }
+    return Error{st.code(), st.message()};
+  }
 
   // Commit: every live copy registers entries; PSIU when due or forced.
-  // The replica applies the same per-(part, origin) batches in the same
-  // order as the primary, through the same serial bulk paths, so the two
-  // device images of a partition stay byte-identical while both live.
+  // Each copy applies the same per-(part, origin) batches in the same
+  // order, through the same serial bulk paths, so the device images of a
+  // partition's copies stay byte-identical while both live.
   phase("commit");
   const std::vector<double> idx_e0 = index_clocks();
   std::atomic<bool> ran_siu{false};
   parallel_for(n, n, [&](std::size_t t) {
     if (!alive[t]) return;
     for (const std::size_t p : hosted_parts(t)) {
+      const PartitionCopy* copy = map_.copy_on(p, t);
       for (std::size_t s = 0; s < n; ++s) {
         const std::span<const IndexEntry> entries(entry_inbox[t][p][s].entries);
-        if (p == t) {
+        if (copy->via_store) {
           servers_[t]->chunk_store().add_pending(entries);
         } else {
-          servers_[t]->replica().add_pending(entries);
+          servers_[t]->part_replica(p).add_pending(entries);
         }
       }
     }
@@ -569,27 +629,28 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
       }
       ran_siu.store(true);
     }
-    if (replicated && (force_siu || servers_[t]->replica().siu_due())) {
-      Result<SiuResult> siu = servers_[t]->replica().siu();
+    for (const std::size_t p : hosted_parts(t)) {
+      if (map_.copy_on(p, t)->via_store) continue;
+      IndexPartReplica& replica = servers_[t]->part_replica(p);
+      if (!(force_siu || replica.siu_due())) continue;
+      Result<SiuResult> siu = replica.siu();
       if (!siu.ok()) {
         phase_status[t] = Status(siu.error().code, siu.error().message);
         return;
       }
     }
   });
-  for (const Status& s : phase_status) {
-    if (!s.ok()) return Error{s.code(), s.message()};
+  if (Status s = check_phase_status(); !s.ok()) {
+    return Error{s.code(), s.message()};
   }
   result.ran_siu = ran_siu.load();
   result.siu_seconds = max_delta(idx_e0, index_clocks());
 
   // Record what each dark copy missed: the surviving copy re-ships it
   // once the holder is reachable again (deliver_catch_up).
-  for (std::size_t p = 0; p < n; ++p) {
-    const std::size_t copies[2] = {p, backup_of(p, n)};
-    const std::size_t copy_count = replicated ? 2 : 1;
-    for (std::size_t i = 0; i < copy_count; ++i) {
-      const std::size_t t = copies[i];
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t i = 0; i < map_.copy_count(); ++i) {
+      const std::size_t t = map_.copy(p, i).server;
       if (alive[t]) continue;
       for (std::size_t s = 0; s < n; ++s) {
         if (!alive[s]) continue;
@@ -601,6 +662,7 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
 
   // The round heard from every peer it did not exclude.
   for (std::size_t k = 0; k < n; ++k) {
+    if (!map_.is_live(k)) continue;
     if (alive[k]) {
       director_.mark_reachable(k);
     } else {
@@ -614,33 +676,339 @@ Result<ClusterDedup2Result> Cluster::run_dedup2(bool force_siu) {
 
 void Cluster::deliver_catch_up() {
   const std::size_t n = servers_.size();
+  const std::size_t m = map_.part_count();
   for (std::size_t t = 0; t < n; ++t) {
-    for (std::size_t p = 0; p < n; ++p) {
+    if (!map_.is_live(t)) continue;
+    for (std::size_t p = 0; p < m; ++p) {
       std::vector<IndexEntry>& owed = catch_up_[t][p];
       if (owed.empty()) continue;
       if (!transport_->reachable(static_cast<net::EndpointId>(t))) continue;
-      // The surviving holder of part p re-ships: the backup holder when
-      // the primary owner itself was dark, the primary otherwise.
-      const std::size_t sender = t == p ? backup_of(p, n) : p;
+      const PartitionCopy* mine = map_.copy_on(p, t);
+      if (mine == nullptr) {
+        // A migration moved the copy elsewhere; the rebuild sourced from
+        // the surviving copy, which already has these entries.
+        owed.clear();
+        continue;
+      }
+      // The surviving holder of part p re-ships: whichever copy of the
+      // partition the recovered server does NOT hold.
+      const std::size_t sender = map_.copy(p, 0).server == t
+                                     ? map_.copy(p, 1).server
+                                     : map_.copy(p, 0).server;
       if (!transport_->reachable(static_cast<net::EndpointId>(sender))) {
         continue;
       }
       Status sent = servers_[sender]->endpoint().send(
-          static_cast<net::EndpointId>(t), net::IndexEntryBatch{owed});
+          static_cast<net::EndpointId>(t),
+          net::IndexEntryBatch{owed, map_.epoch()});
       if (!sent.ok()) continue;
       Result<net::IndexEntryBatch> batch =
           servers_[t]->endpoint().expect<net::IndexEntryBatch>(
               static_cast<net::EndpointId>(sender));
       if (!batch.ok()) continue;
+      if (batch.value().epoch != map_.epoch()) continue;
       const std::span<const IndexEntry> entries(batch.value().entries);
-      if (t == p) {
+      if (mine->via_store) {
         servers_[t]->chunk_store().add_pending(entries);
       } else {
-        servers_[t]->replica().add_pending(entries);
+        servers_[t]->part_replica(p).add_pending(entries);
       }
       owed.clear();
     }
   }
+}
+
+// ---- Elastic repartitioning (DESIGN.md §5j) ----
+
+BackupServer& Cluster::server_ref(std::size_t slot) {
+  return slot < servers_.size() ? *servers_[slot]
+                                : *staged_servers_[slot - servers_.size()];
+}
+
+Status Cluster::migration_preconditions() {
+  return migration_preconditions_excluding(kNoSlot);
+}
+
+Status Cluster::migration_preconditions_excluding(std::size_t exclude) {
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (!deferred_entries_[s].empty()) {
+      return {Errc::kInvalidArgument,
+              format("server {} holds deferred phase-E entries; run a clean "
+                     "round first",
+                     s)};
+    }
+  }
+  for (std::size_t t = 0; t < catch_up_.size(); ++t) {
+    if (t == exclude) continue;  // a draining slot's debt dies with it
+    for (std::size_t p = 0; p < catch_up_[t].size(); ++p) {
+      if (!catch_up_[t][p].empty()) {
+        return {Errc::kInvalidArgument,
+                format("server {} is owed catch-up entries for part {}; let "
+                       "a round deliver them first",
+                       t, p)};
+      }
+    }
+  }
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    if (!map_.is_live(k) || k == exclude) continue;
+    if (!transport_->reachable(static_cast<net::EndpointId>(k))) {
+      return {Errc::kUnavailable,
+              format("server {} unreachable; migration needs every surviving "
+                     "server",
+                     k)};
+    }
+  }
+  // Zero pending entries on every surviving copy: migrations rebuild from
+  // the on-disk indexes alone, so anything still in a checking set would
+  // be silently dropped. Callers run a forced-SIU round first.
+  for (std::size_t p = 0; p < map_.part_count(); ++p) {
+    for (std::size_t c = 0; c < map_.copy_count(); ++c) {
+      const PartitionCopy& copy = map_.copy(p, c);
+      if (copy.server == exclude) continue;
+      BackupServer& host = *servers_[copy.server];
+      const std::uint64_t pending =
+          copy.via_store ? host.chunk_store().pending_count()
+                         : host.part_replica(p).pending_count();
+      if (pending != 0) {
+        return {Errc::kInvalidArgument,
+                format("part {} copy on server {} has {} pending entries; "
+                       "run a forced-SIU round first",
+                       p, copy.server, pending)};
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<IndexEntry>> Cluster::extract_sorted_entries(
+    const index::DiskIndex& idx) const {
+  std::vector<IndexEntry> entries;
+  entries.reserve(idx.entry_count());
+  const std::uint64_t buckets = idx.params().bucket_count();
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    Result<index::Bucket> bucket = idx.read_bucket(b);
+    if (!bucket.ok()) return bucket.error();
+    entries.insert(entries.end(), bucket.value().entries.begin(),
+                   bucket.value().entries.end());
+  }
+  // Bucket order is not fingerprint order (overflow entries live in
+  // neighbour buckets); the rebuild wants the canonical sorted stream.
+  std::sort(entries.begin(), entries.end(),
+            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  return entries;
+}
+
+Result<std::vector<IndexEntry>> Cluster::ship_entries(
+    std::size_t sender, std::size_t target, std::vector<IndexEntry> entries,
+    std::uint32_t epoch) {
+  if (sender == target) return entries;
+  const auto sender_id = static_cast<net::EndpointId>(sender);
+  const auto target_id = static_cast<net::EndpointId>(target);
+  if (Status sent = server_ref(sender).endpoint().send(
+          target_id, net::IndexEntryBatch{std::move(entries), epoch});
+      !sent.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("migration shipment {} -> {} failed", sender, target)};
+  }
+  Result<net::IndexEntryBatch> got =
+      server_ref(target).endpoint().expect<net::IndexEntryBatch>(sender_id);
+  if (!got.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("migration shipment {} -> {} lost", sender, target)};
+  }
+  if (got.value().epoch != epoch) {
+    return Error{Errc::kInvalidArgument,
+                 format("migration shipment {} -> {} carries epoch {}, "
+                        "expected {}",
+                        sender, target, got.value().epoch, epoch)};
+  }
+  return std::move(got.value().entries);
+}
+
+Result<index::DiskIndex> Cluster::build_staged_index(
+    BackupServer& host, const index::DiskIndexParams& params,
+    std::vector<IndexEntry> sorted) {
+  Result<index::DiskIndex> created =
+      index::DiskIndex::create(host.mint_index_device(), params);
+  if (!created.ok()) return created.error();
+  index::DiskIndex idx = std::move(created).value();
+  const std::uint64_t io_buckets = config_.server_config.chunk_store.io_buckets;
+  std::vector<IndexEntry> entries = std::move(sorted);
+  while (!entries.empty()) {
+    std::uint64_t inserted = 0;
+    std::vector<std::size_t> failed;
+    Status status = idx.bulk_insert(entries, io_buckets, &inserted, &failed);
+    if (status.ok()) break;
+    if (status.code() != Errc::kFull) {
+      return Error{status.code(), status.message()};
+    }
+    // Same capacity-scaling loop as SIU: grow, retry what did not fit.
+    Result<index::DiskIndex> grown = idx.scaled(host.mint_index_device());
+    if (!grown.ok()) return grown.error();
+    idx = std::move(grown).value();
+    std::vector<IndexEntry> retry;
+    retry.reserve(failed.size());
+    for (const std::size_t i : failed) retry.push_back(entries[i]);
+    entries = std::move(retry);
+  }
+  return idx;
+}
+
+Status Cluster::ensure_staged_servers(const PartitionMap& target) {
+  BackupServerConfig server_config = config_.server_config;
+  server_config.index_params.skip_bits = target.routing_bits();
+  while (servers_.size() + staged_servers_.size() < target.server_slots()) {
+    const std::size_t slot = servers_.size() + staged_servers_.size();
+    auto server = std::make_unique<BackupServer>(slot, server_config,
+                                                 &repository_, &director_);
+    // A device fault during construction abandons this attempt before the
+    // slot registers an endpoint; a later retry re-stages from scratch.
+    if (!server->boot_status().ok()) return server->boot_status();
+    const auto id = static_cast<net::EndpointId>(slot);
+    if (Status registered = transport_->register_endpoint(id, &server->nic());
+        !registered.ok()) {
+      return registered;
+    }
+    server->attach_endpoint(
+        std::make_unique<net::Endpoint>(transport_.get(), id, config_.retry,
+                                        config_.wire_codec));
+    staged_servers_.push_back(std::move(server));
+  }
+  return Status::Ok();
+}
+
+Status Cluster::split() {
+  Result<PartitionMap> next_map = map_.split();
+  if (!next_map.ok()) return next_map.status();
+  const PartitionMap& next = next_map.value();
+  if (Status ready = migration_preconditions(); !ready.ok()) return ready;
+  if (Status staged_fleet = ensure_staged_servers(next); !staged_fleet.ok()) {
+    return staged_fleet;
+  }
+
+  // ---- Prepare: everything fallible happens here, and only freshly
+  // minted devices are ever written. Each old partition is extracted once
+  // from its preferred copy, cut into its two split halves by the new
+  // routing prefix, shipped (epoch-stamped, over the wire) to every
+  // server hosting a copy under the new map, and loaded into a staged
+  // index with one sorted bulk insert. A fault at any point abandons the
+  // staged objects; the old map, epoch, and every committed image are
+  // untouched.
+  index::DiskIndexParams new_params = config_.server_config.index_params;
+  new_params.skip_bits = next.routing_bits();
+
+  std::vector<StagedCopy> staged;
+  for (std::size_t p = 0; p < map_.part_count(); ++p) {
+    const PartitionCopy& source = map_.copy(p, 0);
+    Result<std::vector<IndexEntry>> extracted = extract_sorted_entries(
+        source.via_store ? servers_[source.server]->chunk_store().index()
+                         : servers_[source.server]->part_replica(p).index());
+    if (!extracted.ok()) return extracted.status();
+    // The sorted stream cuts cleanly: fingerprint order groups the new
+    // low half (2p) before the high half (2p+1), and each half stays
+    // sorted — exactly the per-generation bulk a twin born at the new
+    // topology would insert.
+    std::array<std::vector<IndexEntry>, 2> halves;
+    for (IndexEntry& e : extracted.value()) {
+      halves[next.owner_of(e.fp) & 1].push_back(e);
+    }
+    for (std::size_t half = 0; half < 2; ++half) {
+      const std::size_t q = 2 * p + half;
+      for (std::size_t c = 0; c < next.copy_count(); ++c) {
+        const PartitionCopy& target = next.copy(q, c);
+        Result<std::vector<IndexEntry>> shipped = ship_entries(
+            source.server, target.server, halves[half], next.epoch());
+        if (!shipped.ok()) return shipped.status();
+        Result<index::DiskIndex> idx = build_staged_index(
+            server_ref(target.server), new_params, std::move(shipped).value());
+        if (!idx.ok()) return idx.status();
+        staged.push_back(StagedCopy{q, target.server, target.via_store,
+                                    std::move(idx).value()});
+      }
+    }
+  }
+
+  // ---- Commit: pure in-memory handover, nothing below can fail.
+  for (auto& server : staged_servers_) servers_.push_back(std::move(server));
+  staged_servers_.clear();
+  for (auto& server : servers_) server->detach_all_replicas();
+  for (StagedCopy& copy : staged) {
+    BackupServer& host = *servers_[copy.slot];
+    if (copy.via_store) {
+      host.rebase_chunk_store_index(std::move(copy.idx));
+    } else {
+      host.adopt_replica(host.make_replica(copy.part, std::move(copy.idx)));
+    }
+  }
+  map_ = std::move(next_map).value();
+  config_.routing_bits = map_.routing_bits();
+  deferred_entries_.assign(map_.server_slots(), {});
+  catch_up_.assign(map_.server_slots(),
+                   std::vector<std::vector<IndexEntry>>(map_.part_count()));
+  return Status::Ok();
+}
+
+Status Cluster::drain(std::size_t slot) {
+  if (slot >= servers_.size()) {
+    return {Errc::kInvalidArgument,
+            format("drain: no server slot {}", slot)};
+  }
+  Result<PartitionMap> next_map = map_.drained(slot);
+  if (!next_map.ok()) return next_map.status();
+  const PartitionMap& next = next_map.value();
+  // The draining slot itself is exempt from the health checks: draining a
+  // DARK server is the whole point — its copies are rebuilt from the
+  // surviving ones, never read.
+  if (Status ready = migration_preconditions_excluding(slot); !ready.ok()) {
+    return ready;
+  }
+
+  index::DiskIndexParams params = config_.server_config.index_params;
+  params.skip_bits = map_.routing_bits();
+
+  // ---- Prepare: only the partitions that lost a copy to the drained
+  // slot change. Each is extracted from its surviving copy and staged as
+  // the replacement replica on the server the new map picked.
+  std::vector<StagedCopy> staged;
+  for (std::size_t p = 0; p < next.part_count(); ++p) {
+    if (map_.copy_on(p, slot) == nullptr) continue;
+    const PartitionCopy& source = next.copy(p, 0);  // the promoted survivor
+    const PartitionCopy& target = next.copy(p, 1);  // the replacement
+    Result<std::vector<IndexEntry>> extracted = extract_sorted_entries(
+        source.via_store ? servers_[source.server]->chunk_store().index()
+                         : servers_[source.server]->part_replica(p).index());
+    if (!extracted.ok()) return extracted.status();
+    Result<std::vector<IndexEntry>> shipped =
+        ship_entries(source.server, target.server, std::move(extracted).value(),
+                     next.epoch());
+    if (!shipped.ok()) return shipped.status();
+    Result<index::DiskIndex> idx = build_staged_index(
+        *servers_[target.server], params, std::move(shipped).value());
+    if (!idx.ok()) return idx.status();
+    staged.push_back(
+        StagedCopy{p, target.server, /*via_store=*/false,
+                   std::move(idx).value()});
+  }
+
+  // ---- Commit: pure in-memory handover.
+  for (StagedCopy& copy : staged) {
+    BackupServer& host = *servers_[copy.slot];
+    host.adopt_replica(host.make_replica(copy.part, std::move(copy.idx)));
+  }
+  servers_[slot]->detach_all_replicas();
+  map_ = std::move(next_map).value();
+  director_.retire_server(slot);
+  // Epoch-scoped dedup state: if this address is ever reused (or the slot
+  // somehow reappears), its fresh frames must not be discarded as
+  // duplicates of the drained server's sequence space.
+  const auto slot_id = static_cast<net::EndpointId>(slot);
+  for (std::size_t k = 0; k < servers_.size(); ++k) {
+    if (!map_.is_live(k)) continue;
+    servers_[k]->endpoint().reset_peer(slot_id);
+  }
+  client_endpoint_->reset_peer(slot_id);
+  for (auto& owed : catch_up_[slot]) owed.clear();
+  return Status::Ok();
 }
 
 Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
@@ -655,22 +1023,22 @@ Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
   if (std::optional<std::vector<Byte>> hit = via.chunk_store().lpc_probe(fp)) {
     bytes = std::move(*hit);
   } else {
-    // Locate on either copy of the partition (DESIGN.md §5g): the primary
-    // owner first, then the backup holder when the owner is dark, silent,
-    // or answers "not found" (its copy may lag a catch-up the other copy
-    // already has).
+    // Locate on either copy of the partition (DESIGN.md §5g): the
+    // preferred copy first, then the backup when the preferred holder is
+    // dark, silent, or answers "not found" (its copy may lag a catch-up
+    // the other copy already has).
     const std::size_t owner = owner_of(fp);
-    const std::size_t holders[2] = {owner, backup_of(owner, servers_.size())};
-    const std::size_t holder_count = servers_.size() >= 2 ? 2 : 1;
     std::optional<ContainerId> container;
     Error last_error{Errc::kUnavailable,
                      format("no copy of part {} reachable for locate", owner)};
-    for (std::size_t i = 0; i < holder_count && !container; ++i) {
-      const std::size_t h = holders[i];
-      const bool use_replica = h != owner;
+    for (std::size_t i = 0; i < map_.copy_count() && !container; ++i) {
+      const PartitionCopy& holder = map_.copy(owner, i);
+      const std::size_t h = holder.server;
+      const bool use_replica = !holder.via_store;
       if (h == via_server) {
         Result<ContainerId> located =
-            use_replica ? via.replica().locate(fp) : via.chunk_store().locate(fp);
+            use_replica ? via.part_replica(owner).locate(fp)
+                        : via.chunk_store().locate(fp);
         if (!located.ok()) {
           last_error = located.error();
           continue;
@@ -697,7 +1065,8 @@ Result<std::vector<Byte>> Cluster::read_chunk(std::size_t via_server,
       }
       net::ChunkLocateReply reply;
       Result<ContainerId> located =
-          use_replica ? servers_[h]->replica().locate(request.value().fp)
+          use_replica ? servers_[h]->part_replica(owner).locate(
+                            request.value().fp)
                       : servers_[h]->chunk_store().locate(request.value().fp);
       if (located.ok()) {
         reply.container = located.value();

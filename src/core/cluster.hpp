@@ -29,10 +29,14 @@
 // serialized, framed, and metered through both endpoints' NIC models at
 // their actual wire size.
 //
-// Replication (DESIGN.md §5g): with two or more servers every index part
-// has a backup copy on server (p + 1) mod 2^w (an IndexPartReplica).
-// Phase E dual-writes both copies before the round commits; phase A/B
-// and restore-locates fail over to the backup when the primary is dark.
+// Replication (DESIGN.md §5g) and elastic ownership (DESIGN.md §5j):
+// partition placement — which server serves each index part, through its
+// ChunkStore or through an IndexPartReplica — lives in an epoch-versioned
+// core::PartitionMap. Identity maps reproduce the classic layout (backup
+// copy of part p on server (p + 1) mod 2^w); split()/drain() produce the
+// post-transition permutations. Phase E dual-writes both copies before
+// the round commits; phase A/B and restore-locates fail over to the
+// other copy when the serving one is dark.
 // A single unreachable server therefore degrades a round — its partition
 // is served by the surviving copy, its own batches are excluded, its
 // undetermined fingerprints are restored — instead of aborting it. The
@@ -54,6 +58,7 @@
 #include "core/backup_engine.hpp"
 #include "core/backup_server.hpp"
 #include "core/director.hpp"
+#include "core/partition_map.hpp"
 #include "net/endpoint.hpp"
 #include "net/transport_factory.hpp"
 #include "storage/chunk_repository.hpp"
@@ -63,6 +68,12 @@ namespace debar::core {
 struct ClusterConfig {
   /// w: the cluster runs 2^w backup servers.
   unsigned routing_bits = 2;
+  /// Explicit partition placement. Empty (the default) means "build the
+  /// identity layout for routing_bits". Non-empty maps override
+  /// routing_bits entirely — this is how a differential twin is born at
+  /// the exact topology an elastically grown cluster ended up with
+  /// (post-split/drain maps are permutations no identity layout matches).
+  PartitionMap partition_map{};
   /// Per-server template; index_params.skip_bits is overridden to w.
   BackupServerConfig server_config{};
   /// Storage nodes in the shared chunk repository.
@@ -135,17 +146,40 @@ class Cluster {
   [[nodiscard]] net::TransportStats transport_stats() const {
     return transport_->meter().stats();
   }
-  /// Endpoint id of the restore-stream client (one past the servers).
+  /// Endpoint id of the restore-stream client. Fixed high id, so servers
+  /// appended by a split can keep endpoint id == server slot.
   [[nodiscard]] net::EndpointId client_id() const noexcept {
-    return static_cast<net::EndpointId>(servers_.size());
+    return net::kClientEndpointId;
   }
 
-  /// Index-part owner of a fingerprint: its first w bits.
-  [[nodiscard]] std::size_t owner_of(const Fingerprint& fp) const noexcept {
-    return config_.routing_bits == 0
-               ? 0
-               : static_cast<std::size_t>(fp.prefix_bits(config_.routing_bits));
+  /// The live partition map (placement + epoch).
+  [[nodiscard]] const PartitionMap& partition_map() const noexcept {
+    return map_;
   }
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return map_.epoch(); }
+
+  /// Index-part owner of a fingerprint: its first routing_bits bits.
+  [[nodiscard]] std::size_t owner_of(const Fingerprint& fp) const noexcept {
+    return map_.owner_of(fp);
+  }
+
+  /// Online elastic repartitioning (DESIGN.md §5j), between rounds only.
+  ///
+  /// split(): grow the cluster w -> w+1. Every part p splits into 2p and
+  /// 2p+1; the odd halves' primaries land on newly added servers, and
+  /// every part gets a fresh backup copy per the post-split map. All
+  /// fallible work (index extraction, wire shipment, staged rebuilds)
+  /// happens on freshly minted devices before a pure in-memory commit
+  /// swaps the map and bumps the epoch — a crash mid-prepare leaves the
+  /// old topology byte-intact.
+  [[nodiscard]] Status split();
+
+  /// drain(slot): remove a server from the fleet. Both copies it hosts
+  /// are handed off (survivor promoted to primary, replacement replica
+  /// staged on the least-loaded live server) before the slot is retired.
+  /// Works while the slot is dark: migration sources from the surviving
+  /// copies, never the draining server.
+  [[nodiscard]] Status drain(std::size_t slot);
 
   /// Run one parallel dedup-2 round across all servers.
   [[nodiscard]] Result<ClusterDedup2Result> run_dedup2(bool force_siu = false);
@@ -169,7 +203,41 @@ class Cluster {
   /// as a normal IndexEntryBatch. Runs at every round start; anything
   /// still undeliverable stays owed.
   void deliver_catch_up();
+
+  // ---- Elastic repartitioning internals ----
+  /// A migration only runs from a quiescent, fully-consistent cluster:
+  /// no deferred phase-E entries, no catch-up owed, every live slot
+  /// transport-reachable, and zero pending entries on every live copy
+  /// (callers run a forced-SIU round first, so the on-disk indexes are
+  /// the whole truth and the rebuilt copies stay byte-identical to a
+  /// cluster born at the target topology).
+  [[nodiscard]] Status migration_preconditions();
+  /// Same checks with one slot exempted (the slot a drain is removing:
+  /// its copies are sourced from the survivors, never consulted).
+  [[nodiscard]] Status migration_preconditions_excluding(std::size_t exclude);
+  /// Full scan of a copy's on-disk index, sorted by fingerprint — the
+  /// canonical entry stream a staged copy is rebuilt from.
+  [[nodiscard]] Result<std::vector<IndexEntry>> extract_sorted_entries(
+      const index::DiskIndex& idx) const;
+  /// Move entries sender -> target as an epoch-stamped IndexEntryBatch
+  /// over the wire (skipped when sender == target: no self-frames).
+  [[nodiscard]] Result<std::vector<IndexEntry>> ship_entries(
+      std::size_t sender, std::size_t target,
+      std::vector<IndexEntry> entries, std::uint32_t epoch);
+  /// Fresh DiskIndex on `host`'s index device at `params`, loaded with
+  /// one sorted bulk insert (same capacity-scaling retry as SIU).
+  [[nodiscard]] Result<index::DiskIndex> build_staged_index(
+      BackupServer& host, const index::DiskIndexParams& params,
+      std::vector<IndexEntry> sorted);
+  /// The server object for a slot, whether committed or still staged.
+  [[nodiscard]] BackupServer& server_ref(std::size_t slot);
+  /// Ensure BackupServer objects (with registered endpoints) exist for
+  /// every slot of `target` beyond the committed fleet. Kept across
+  /// failed prepare attempts: endpoints register once.
+  [[nodiscard]] Status ensure_staged_servers(const PartitionMap& target);
+
   ClusterConfig config_;
+  PartitionMap map_;
   Director director_;
   storage::ChunkRepository repository_;
   // Transport before servers/client endpoint: endpoints hold raw transport
@@ -177,6 +245,11 @@ class Cluster {
   std::unique_ptr<net::Transport> transport_;
   std::unique_ptr<net::Endpoint> client_endpoint_;
   std::vector<std::unique_ptr<BackupServer>> servers_;
+  /// Servers created for a split that has not committed yet (slot index =
+  /// servers_.size() + position). Their endpoints are registered at
+  /// creation and survive failed prepare attempts; commit moves them into
+  /// servers_.
+  std::vector<std::unique_ptr<BackupServer>> staged_servers_;
   /// Entries routed in a round whose PSIU never committed (phase E abort):
   /// re-shipped by their origin on the next round, so the index stays
   /// all-or-nothing per round without losing entries.

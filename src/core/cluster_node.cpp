@@ -75,32 +75,62 @@ Result<std::vector<net::VerdictBatch>> resolve_psil(
 }
 
 Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
-  const std::size_t n = config_.node_count;
+  const PartitionMap& map = config_.map;
+  const std::size_t n = map.server_slots();
+  const std::size_t m = map.part_count();
   const std::size_t k = config_.node;
   net::Endpoint& ep = server_->endpoint();
   NodeRoundResult result;
+  const std::uint32_t epoch = map.epoch();
 
-  // Replication (DESIGN.md §5g) is part of the wire protocol: with two or
-  // more nodes every peer dual-writes phase E, so a node without its
-  // replica attached would desync the round for everyone.
-  const bool replicate = n >= 2;
-  if (replicate && !server_->has_replica()) {
+  auto live = [&](std::size_t j) { return map.is_live(j); };
+  if (!live(k)) {
     return Error{Errc::kInvalidArgument,
-                 format("node {}: no replica attached for part {}", k,
-                        replica_part_of(k, n))};
+                 format("node {}: slot is drained in the map", k)};
   }
+  // Parts this node serves PSIL for (the preferred copy) and parts it
+  // hosts any copy of (the phase-E commit set), both ascending.
+  std::vector<std::size_t> psil_parts;
+  for (std::size_t p = 0; p < m; ++p) {
+    if (map.copy(p, 0).server == k) psil_parts.push_back(p);
+  }
+  const std::vector<std::size_t> hosted = map.parts_hosted_by(k);
+  // Replication (DESIGN.md §5g) is part of the wire protocol: every peer
+  // dual-writes phase E, so a node missing a replica the map assigns it
+  // would desync the round for everyone.
+  for (const std::size_t p : hosted) {
+    if (!map.copy_on(p, k)->via_store && !server_->has_part_replica(p)) {
+      return Error{Errc::kInvalidArgument,
+                   format("node {}: no replica attached for part {}", k, p)};
+    }
+  }
+  // Serve a partition copy through whichever object the map says.
+  auto copy_sil = [&](std::size_t p) {
+    return map.copy(p, 0).via_store
+               ? PartSilFn([this](const std::vector<Fingerprint>& fps,
+                                  std::vector<std::uint8_t>& found) {
+                   return server_->chunk_store().sil(fps, found);
+                 })
+               : PartSilFn([this, p](const std::vector<Fingerprint>& fps,
+                                     std::vector<std::uint8_t>& found) {
+                   return server_->part_replica(p).sil(fps, found);
+                 });
+  };
 
   // ---- Phase A: drain our undetermined set, partition by routing
-  // prefix, ship every foreign subset (an empty batch still ships, so
-  // every pair exchanges exactly one message per phase).
+  // prefix, ship each subset to its partition's serving node (an empty
+  // batch still ships, so every pair exchanges one message per phase).
+  // Batches go out in ascending part order — the order the receiver
+  // awaits its served parts in (per-pair delivery is FIFO).
   std::vector<Fingerprint> fps = server_->file_store().take_undetermined();
   result.undetermined = fps.size();
-  std::vector<std::vector<Fingerprint>> outbox(n);
+  std::vector<std::vector<Fingerprint>> outbox(m);
   for (const Fingerprint& fp : fps) outbox[owner_of(fp)].push_back(fp);
-  for (std::size_t j = 0; j < n; ++j) {
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::size_t j = map.copy(p, 0).server;
     if (j == k) continue;
     Status sent = ep.send_buffered(static_cast<net::EndpointId>(j),
-                                   net::FingerprintBatch{outbox[j]});
+                                   net::FingerprintBatch{outbox[p], epoch});
     if (sent.ok()) sent = ep.flush(static_cast<net::EndpointId>(j));
     if (!sent.ok()) {
       return Error{Errc::kUnavailable,
@@ -108,42 +138,69 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
                           sent.message())};
     }
   }
-  // Barrier: one batch per origin must arrive before PSIL may run.
-  std::vector<net::FingerprintBatch> fp_inbox(n);
-  fp_inbox[k].fps = outbox[k];
-  for (std::size_t s = 0; s < n; ++s) {
-    if (s == k) continue;
-    Result<net::FingerprintBatch> batch = ep.expect<net::FingerprintBatch>(
-        static_cast<net::EndpointId>(s), barrier_deadline());
-    if (!batch.ok()) {
-      return Error{Errc::kUnavailable,
-                   format("node {}: phase A batch from {} missing: {}", k, s,
-                          batch.error().message)};
+  // Barrier: per served part, one batch per origin must arrive before
+  // PSIL may run.
+  std::vector<std::vector<net::FingerprintBatch>> fp_inbox(
+      m, std::vector<net::FingerprintBatch>(n));
+  for (const std::size_t p : psil_parts) {
+    fp_inbox[p][k].fps = outbox[p];
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k || !live(s)) continue;
+      Result<net::FingerprintBatch> batch = ep.expect<net::FingerprintBatch>(
+          static_cast<net::EndpointId>(s), barrier_deadline());
+      if (!batch.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("node {}: phase A batch from {} missing: {}", k, s,
+                            batch.error().message)};
+      }
+      if (batch.value().epoch != epoch) {
+        return Error{Errc::kInvalidArgument,
+                     format("node {}: phase A batch from {} carries epoch {}, "
+                            "this node's map is at {}",
+                            k, s, batch.value().epoch, epoch)};
+      }
+      fp_inbox[p][s] = std::move(batch.value());
     }
-    fp_inbox[s] = std::move(batch.value());
   }
 
-  // ---- Phase B: PSIL over our index part.
-  Result<std::vector<net::VerdictBatch>> verdicts =
-      resolve_psil(*server_, fp_inbox, &result.duplicates);
-  if (!verdicts.ok()) return verdicts.error();
+  // ---- Phase B: PSIL over every part this node serves.
+  std::vector<std::vector<net::VerdictBatch>> verdict_out(m);
+  for (const std::size_t p : psil_parts) {
+    Result<std::vector<net::VerdictBatch>> verdicts =
+        resolve_psil(copy_sil(p), fp_inbox[p], &result.duplicates);
+    if (!verdicts.ok()) return verdicts.error();
+    verdict_out[p] = std::move(verdicts.value());
+  }
 
   // ---- Phase C: verdicts return to their origins.
-  for (std::size_t s = 0; s < n; ++s) {
-    if (s == k) continue;
-    Status sent =
-        ep.send_buffered(static_cast<net::EndpointId>(s), verdicts.value()[s]);
-    if (sent.ok()) sent = ep.flush(static_cast<net::EndpointId>(s));
-    if (!sent.ok()) {
-      return Error{Errc::kUnavailable,
-                   format("node {}: phase C send to {} failed: {}", k, s,
-                          sent.message())};
+  for (const std::size_t p : psil_parts) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == k || !live(s)) continue;
+      Status sent =
+          ep.send_buffered(static_cast<net::EndpointId>(s), verdict_out[p][s]);
+      if (!sent.ok()) {
+        return Error{Errc::kUnavailable,
+                     format("node {}: phase C send to {} failed: {}", k, s,
+                            sent.message())};
+      }
     }
   }
-  std::vector<net::VerdictBatch> verdict_inbox(n);
-  verdict_inbox[k] = std::move(verdicts.value()[k]);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (j == k) continue;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (s == k || !live(s)) continue;
+    if (Status flushed = ep.flush(static_cast<net::EndpointId>(s));
+        !flushed.ok()) {
+      return Error{Errc::kUnavailable,
+                   format("node {}: phase C flush to {} failed: {}", k, s,
+                          flushed.message())};
+    }
+  }
+  std::vector<net::VerdictBatch> verdict_inbox(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    const std::size_t j = map.copy(p, 0).server;
+    if (j == k) {
+      verdict_inbox[p] = std::move(verdict_out[p][k]);
+      continue;
+    }
     Result<net::VerdictBatch> verdict = ep.expect<net::VerdictBatch>(
         static_cast<net::EndpointId>(j), barrier_deadline());
     if (!verdict.ok()) {
@@ -151,21 +208,21 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
                    format("node {}: phase C verdict from {} missing: {}", k,
                           j, verdict.error().message)};
     }
-    if (verdict.value().query_count != outbox[j].size()) {
+    if (verdict.value().query_count != outbox[p].size()) {
       return Error{Errc::kCorrupt,
                    format("verdict from {} answers {} queries, {} were asked",
-                          j, verdict.value().query_count, outbox[j].size())};
+                          j, verdict.value().query_count, outbox[p].size())};
     }
-    verdict_inbox[j] = std::move(verdict.value());
+    verdict_inbox[p] = std::move(verdict.value());
   }
 
   // ---- Phase D: container the chunks PSIL declared new.
   std::unordered_set<Fingerprint, FingerprintHash> dups;
-  for (std::size_t j = 0; j < n; ++j) {
+  for (std::size_t p = 0; p < m; ++p) {
     // Verdict indices are validated against query_count at decode and
-    // above, so they index outbox[j] safely.
-    for (const std::uint32_t idx : verdict_inbox[j].duplicate_indices) {
-      dups.insert(outbox[j][idx]);
+    // above, so they index outbox[p] safely.
+    for (const std::uint32_t idx : verdict_inbox[p].duplicate_indices) {
+      dups.insert(outbox[p][idx]);
     }
   }
   std::vector<Fingerprint> new_fps;
@@ -179,23 +236,20 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
   result.new_chunks = stored.value().new_chunks;
   result.new_bytes = stored.value().new_bytes;
 
-  // ---- Phase E: fresh <fp, container> entries route to BOTH copies of
-  // their partition — the primary owner p and the backup holder
-  // backup_of(p) — and everything arrives before anyone registers. Per
+  // ---- Phase E: fresh <fp, container> entries route to EVERY copy of
+  // their partition, and everything arrives before anyone registers. Per
   // peer the batches go out in ascending part order, which is exactly the
   // order the receiver awaits them in (per-pair delivery is FIFO).
-  std::vector<std::vector<IndexEntry>> entry_out(n);
+  std::vector<std::vector<IndexEntry>> entry_out(m);
   for (const IndexEntry& e : stored.value().entries) {
     entry_out[owner_of(e.fp)].push_back(e);
   }
-  for (std::size_t p = 0; p < n; ++p) {
-    const std::size_t targets[2] = {p, backup_of(p, n)};
-    const std::size_t target_count = replicate ? 2 : 1;
-    for (std::size_t ti = 0; ti < target_count; ++ti) {
-      const std::size_t t = targets[ti];
+  for (std::size_t p = 0; p < m; ++p) {
+    for (std::size_t c = 0; c < map.copy_count(); ++c) {
+      const std::size_t t = map.copy(p, c).server;
       if (t == k) continue;
       Status sent = ep.send_buffered(static_cast<net::EndpointId>(t),
-                                     net::IndexEntryBatch{entry_out[p]});
+                                     net::IndexEntryBatch{entry_out[p], epoch});
       if (!sent.ok()) {
         return Error{Errc::kUnavailable,
                      format("node {}: phase E send to {} failed: {}", k, t,
@@ -203,10 +257,10 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
       }
     }
   }
-  // With replication every peer is owed two part batches; they leave as
-  // one jumbo frame per peer at this flush boundary.
+  // With replication every peer is owed its hosted part batches; they
+  // leave as one jumbo frame per peer at this flush boundary.
   for (std::size_t t = 0; t < n; ++t) {
-    if (t == k) continue;
+    if (t == k || !live(t)) continue;
     if (Status flushed = ep.flush(static_cast<net::EndpointId>(t));
         !flushed.ok()) {
       return Error{Errc::kUnavailable,
@@ -214,24 +268,28 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
                           flushed.message())};
     }
   }
-  std::vector<std::size_t> hosted{k};
-  if (replicate) hosted.push_back(replica_part_of(k, n));
-  std::sort(hosted.begin(), hosted.end());
   // entry_inbox[part][origin]
   std::vector<std::vector<net::IndexEntryBatch>> entry_inbox(
-      n, std::vector<net::IndexEntryBatch>(n));
+      m, std::vector<net::IndexEntryBatch>(n));
   for (const std::size_t p : hosted) {
     for (std::size_t s = 0; s < n; ++s) {
       if (s == k) {
         entry_inbox[p][s].entries = entry_out[p];
         continue;
       }
+      if (!live(s)) continue;
       Result<net::IndexEntryBatch> batch = ep.expect<net::IndexEntryBatch>(
           static_cast<net::EndpointId>(s), barrier_deadline());
       if (!batch.ok()) {
         return Error{Errc::kUnavailable,
                      format("node {}: phase E entries from {} missing: {}",
                             k, s, batch.error().message)};
+      }
+      if (batch.value().epoch != epoch) {
+        return Error{Errc::kInvalidArgument,
+                     format("node {}: phase E batch from {} carries epoch {}, "
+                            "this node's map is at {}",
+                            k, s, batch.value().epoch, epoch)};
       }
       entry_inbox[p][s] = std::move(batch.value());
     }
@@ -241,12 +299,13 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
   // same order the orchestrated cluster uses, so primary and replica
   // pending sets and indexes mutate identically everywhere.
   for (const std::size_t p : hosted) {
+    const bool via_store = map.copy_on(p, k)->via_store;
     for (std::size_t s = 0; s < n; ++s) {
       const std::span<const IndexEntry> entries(entry_inbox[p][s].entries);
-      if (p == k) {
+      if (via_store) {
         server_->chunk_store().add_pending(entries);
       } else {
-        server_->replica().add_pending(entries);
+        server_->part_replica(p).add_pending(entries);
       }
     }
   }
@@ -255,8 +314,11 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
     if (!siu.ok()) return siu.error();
     result.ran_siu = true;
   }
-  if (replicate && (force_siu || server_->replica().siu_due())) {
-    Result<SiuResult> siu = server_->replica().siu();
+  for (const std::size_t p : hosted) {
+    if (map.copy_on(p, k)->via_store) continue;
+    IndexPartReplica& replica = server_->part_replica(p);
+    if (!(force_siu || replica.siu_due())) continue;
+    Result<SiuResult> siu = replica.siu();
     if (!siu.ok()) return siu.error();
   }
   return result;
@@ -264,13 +326,19 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
 
 Result<ContainerId> ClusterNode::locate_hosted(const Fingerprint& fp) const {
   const std::size_t owner = owner_of(fp);
-  if (owner == config_.node) return server_->chunk_store().locate(fp);
-  if (server_->has_replica() && server_->replica().part() == owner) {
-    return server_->replica().locate(fp);
+  const PartitionCopy* copy = config_.map.copy_on(owner, config_.node);
+  if (copy == nullptr) {
+    return Error{Errc::kNotFound,
+                 format("node {} hosts no copy of part {}", config_.node,
+                        owner)};
   }
-  return Error{Errc::kNotFound,
-               format("node {} hosts no copy of part {}", config_.node,
-                      owner)};
+  if (copy->via_store) return server_->chunk_store().locate(fp);
+  if (!server_->has_part_replica(owner)) {
+    return Error{Errc::kNotFound,
+                 format("node {} is missing its replica of part {}",
+                        config_.node, owner)};
+  }
+  return server_->part_replica(owner).locate(fp);
 }
 
 Status ClusterNode::serve_restores(net::EndpointId via) {
@@ -318,19 +386,17 @@ Result<std::vector<Byte>> ClusterNode::read_chunk_via(
           server_->chunk_store().lpc_probe(fp)) {
     bytes = std::move(*hit);
   } else {
-    // Failover order (DESIGN.md §5g): the partition's primary owner
-    // first, then its backup holder. Either copy may be this node (then
-    // the lookup is local) or a peer (then it is a locate round trip with
+    // Failover order (DESIGN.md §5g): the partition's preferred copy
+    // first, then its backup. Either copy may be this node (then the
+    // lookup is local) or a peer (then it is a locate round trip with
     // that peer's serve loop); any failure moves on to the other copy.
     const std::size_t owner = owner_of(fp);
-    const std::size_t n = config_.node_count;
-    const std::size_t holders[2] = {owner, backup_of(owner, n)};
-    const std::size_t holder_count = n >= 2 ? 2 : 1;
     std::optional<ContainerId> container;
     Error last_error{Errc::kUnavailable,
                      format("no copy of part {} reachable", owner)};
-    for (std::size_t hi = 0; hi < holder_count && !container; ++hi) {
-      const std::size_t h = holders[hi];
+    for (std::size_t hi = 0; hi < config_.map.copy_count() && !container;
+         ++hi) {
+      const std::size_t h = config_.map.copy(owner, hi).server;
       if (h == config_.node) {
         Result<ContainerId> located = locate_hosted(fp);
         if (located.ok()) {

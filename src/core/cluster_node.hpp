@@ -27,24 +27,16 @@
 
 #include "common/result.hpp"
 #include "core/backup_server.hpp"
+#include "core/partition_map.hpp"
 #include "net/endpoint.hpp"
 #include "net/message.hpp"
 
 namespace debar::core {
 
-/// Replica map (DESIGN.md §5g): partition p's backup copy lives on server
-/// (p + 1) mod n. Degenerates to "no second copy" below two servers.
-[[nodiscard]] constexpr std::size_t backup_of(std::size_t part,
-                                              std::size_t server_count) noexcept {
-  return server_count < 2 ? part : (part + 1) % server_count;
-}
-
-/// The partition whose replica server k hosts (inverse of backup_of).
-[[nodiscard]] constexpr std::size_t replica_part_of(
-    std::size_t server, std::size_t server_count) noexcept {
-  return server_count < 2 ? server
-                          : (server + server_count - 1) % server_count;
-}
+// The closed-form placement helpers formerly declared here now live on
+// core::PartitionMap (PartitionMap::backup_of / replica_part_of); they
+// only describe identity maps, and every protocol path routes through an
+// explicit PartitionMap instead.
 
 /// The index lookup resolve_psil drives: ChunkStore::sil on a partition's
 /// primary copy, or IndexPartReplica::sil when the round failed over to
@@ -70,8 +62,11 @@ using PartSilFn = std::function<Result<SilResult>(
 
 struct ClusterNodeConfig {
   std::size_t node = 0;
-  std::size_t node_count = 1;
-  unsigned routing_bits = 0;
+  /// Partition placement every peer must agree on. Empty means the
+  /// single-node identity map. Wire batches are stamped with map.epoch();
+  /// a node holding a different map rejects them (kInvalidArgument)
+  /// instead of silently mis-routing fingerprints.
+  PartitionMap map{};
   /// Patience per phase-barrier receive. Generous: a peer process may be
   /// chewing through its own phase (or still booting) before it sends.
   std::chrono::nanoseconds round_timeout = std::chrono::seconds(30);
@@ -90,15 +85,17 @@ class ClusterNode {
   /// `server` must already have its endpoint attached to the transport
   /// this node shares with its peers.
   ClusterNode(ClusterNodeConfig config, BackupServer* server)
-      : config_(config), server_(server) {}
+      : config_(std::move(config)), server_(server) {
+    if (config_.map.empty()) config_.map = PartitionMap::identity(0);
+  }
 
   [[nodiscard]] std::size_t node() const noexcept { return config_.node; }
+  [[nodiscard]] const PartitionMap& map() const noexcept {
+    return config_.map;
+  }
 
   [[nodiscard]] std::size_t owner_of(const Fingerprint& fp) const noexcept {
-    return config_.routing_bits == 0
-               ? 0
-               : static_cast<std::size_t>(
-                     fp.prefix_bits(config_.routing_bits));
+    return config_.map.owner_of(fp);
   }
 
   /// This node's share of one five-phase dedup-2 round. Every peer must

@@ -45,14 +45,21 @@ std::size_t Director::assign_server(std::uint64_t /*job_id*/,
   // to least-loaded overall rather than inventing an answer.
   std::size_t best = server_count;
   for (std::size_t i = 0; i < server_count; ++i) {
-    if (unreachable_servers_.contains(i)) continue;
+    if (unreachable_servers_.contains(i) || retired_servers_.contains(i)) {
+      continue;
+    }
     if (best == server_count || server_load_[i] < server_load_[best]) best = i;
   }
   if (best == server_count) {
-    best = 0;
-    for (std::size_t i = 1; i < server_count; ++i) {
-      if (server_load_[i] < server_load_[best]) best = i;
+    // Nothing reachable: fall back to least-loaded overall rather than
+    // inventing an answer, but still never hand work to a retired slot.
+    for (std::size_t i = 0; i < server_count; ++i) {
+      if (retired_servers_.contains(i)) continue;
+      if (best == server_count || server_load_[i] < server_load_[best]) {
+        best = i;
+      }
     }
+    if (best == server_count) best = 0;  // everything retired: degenerate
   }
   server_load_[best] += expected_bytes;
   return best;
@@ -82,7 +89,7 @@ void Director::probe_reachability(
   {
     std::lock_guard lock(mutex_);
     for (const std::size_t s : unreachable_servers_) {
-      if (s < server_count) marked.push_back(s);
+      if (s < server_count && !retired_servers_.contains(s)) marked.push_back(s);
     }
   }
   for (const std::size_t s : marked) {
@@ -93,6 +100,19 @@ void Director::probe_reachability(
 std::vector<std::size_t> Director::unreachable_servers() const {
   std::lock_guard lock(mutex_);
   return {unreachable_servers_.begin(), unreachable_servers_.end()};
+}
+
+void Director::retire_server(std::size_t server) {
+  std::lock_guard lock(mutex_);
+  retired_servers_.insert(server);
+  // A retired server is not "unreachable" — it is gone. Drop any transient
+  // mark so degraded-round accounting never resurrects it.
+  unreachable_servers_.erase(server);
+}
+
+bool Director::is_retired(std::size_t server) const {
+  std::lock_guard lock(mutex_);
+  return retired_servers_.contains(server);
 }
 
 void Director::attach_metadata_store(MetadataStore* store) {

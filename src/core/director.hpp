@@ -61,9 +61,16 @@ class Director {
   /// Round-boundary probe, the flip side of mark_unreachable (which would
   /// otherwise exclude a server from assignment forever): re-admit every
   /// marked server `reachable` says the transport can talk to again.
+  /// Retired servers are never re-admitted.
   void probe_reachability(std::size_t server_count,
                           const std::function<bool(std::size_t)>& reachable);
   [[nodiscard]] std::vector<std::size_t> unreachable_servers() const;
+
+  /// Permanent removal: a drained server leaves the fleet for good. It is
+  /// skipped by assignment and never re-admitted by probe_reachability —
+  /// unlike mark_unreachable, which models a transient outage.
+  void retire_server(std::size_t server);
+  [[nodiscard]] bool is_retired(std::size_t server) const;
 
   // ---- Metadata manager ----
 
@@ -107,6 +114,7 @@ class Director {
   std::map<std::uint64_t, std::vector<JobVersionRecord>> versions_;
   std::vector<std::uint64_t> server_load_;
   std::set<std::size_t> unreachable_servers_;
+  std::set<std::size_t> retired_servers_;
   std::uint64_t next_job_id_ = 1;
   MetadataStore* metadata_store_ = nullptr;
 };

@@ -1,8 +1,10 @@
 // Backup copy of a remote server's fingerprint partition (DESIGN.md §5g).
 //
-// Each of the 2^w index parts is hosted twice: by its primary owner p
-// (through that server's ChunkStore) and by the backup holder
-// (p + 1) mod 2^w, through this object. The replica is a miniature
+// Each index part is hosted twice: through one server's ChunkStore and,
+// on the other server named by the cluster's core::PartitionMap, through
+// this object (identity maps place the backup of part p on server
+// PartitionMap::backup_of(p, 2^w); post-split/drain maps place copies
+// wherever the transition put them). The replica is a miniature
 // index-part service: its own DiskIndex — created with the same
 // DiskIndexParams (including the hash seed) as every primary, so
 // identical entry sequences produce byte-identical device images — plus

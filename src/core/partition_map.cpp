@@ -1,0 +1,140 @@
+#include "core/partition_map.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace debar::core {
+
+PartitionMap PartitionMap::identity(unsigned routing_bits) {
+  PartitionMap map;
+  map.routing_bits_ = routing_bits;
+  const std::size_t n = std::size_t{1} << routing_bits;
+  map.replicated_ = n >= 2;
+  map.copies_.resize(n);
+  map.live_.assign(n, 1);
+  for (std::size_t p = 0; p < n; ++p) {
+    map.copies_[p][0] = PartitionCopy{p, /*via_store=*/true};
+    map.copies_[p][1] = map.replicated_
+                            ? PartitionCopy{backup_of(p, n), /*via_store=*/false}
+                            : map.copies_[p][0];
+  }
+  return map;
+}
+
+std::size_t PartitionMap::live_count() const noexcept {
+  std::size_t n = 0;
+  for (char l : live_) n += l != 0;
+  return n;
+}
+
+std::vector<std::size_t> PartitionMap::parts_hosted_by(std::size_t slot) const {
+  std::vector<std::size_t> parts;
+  for (std::size_t p = 0; p < copies_.size(); ++p) {
+    for (std::size_t c = 0; c < copy_count(); ++c) {
+      if (copy(p, c).server == slot) {
+        parts.push_back(p);
+        break;
+      }
+    }
+  }
+  return parts;  // ascending by construction
+}
+
+const PartitionCopy* PartitionMap::copy_on(std::size_t part,
+                                           std::size_t slot) const {
+  if (part >= copies_.size()) return nullptr;
+  for (std::size_t c = 0; c < copy_count(); ++c) {
+    if (copy(part, c).server == slot) return &copy(part, c);
+  }
+  return nullptr;
+}
+
+Result<PartitionMap> PartitionMap::split() const {
+  if (empty()) {
+    return Error{Errc::kInvalidArgument, "split: empty partition map"};
+  }
+  if (live_count() != server_slots()) {
+    return Error{Errc::kInvalidArgument,
+                 "split: all server slots must be live (drained slots cannot "
+                 "take split halves)"};
+  }
+  const std::size_t m = part_count();
+  const std::size_t out_parts = 2 * m;
+
+  PartitionMap out;
+  out.routing_bits_ = routing_bits_ + 1;
+  out.epoch_ = epoch_ + 1;
+  out.replicated_ = true;
+  out.copies_.resize(out_parts);
+  out.live_.assign(server_slots() + m, 1);
+
+  // Primary placement: partition p's low half (2p) stays on p's current
+  // preferred server, served through its ChunkStore; the high half (2p+1)
+  // moves to brand-new server slot (old_slots + p).
+  for (std::size_t p = 0; p < m; ++p) {
+    out.copies_[2 * p][0] =
+        PartitionCopy{copy(p, 0).server, /*via_store=*/true};
+    out.copies_[2 * p + 1][0] =
+        PartitionCopy{server_slots() + p, /*via_store=*/true};
+  }
+  // Backups rotate: backup of q = primary server of (q+1) mod 2m, as a
+  // replica. Every server ends up with exactly one primary and one replica.
+  for (std::size_t q = 0; q < out_parts; ++q) {
+    out.copies_[q][1] = PartitionCopy{
+        out.copies_[(q + 1) % out_parts][0].server, /*via_store=*/false};
+  }
+  return out;
+}
+
+Result<PartitionMap> PartitionMap::drained(std::size_t slot) const {
+  if (!is_live(slot)) {
+    return Error{Errc::kInvalidArgument,
+                 "drain: slot " + std::to_string(slot) + " is not live"};
+  }
+  if (!replicated_) {
+    return Error{Errc::kInvalidArgument,
+                 "drain: unreplicated map has nowhere to hand copies off to"};
+  }
+  if (live_count() < 3) {
+    return Error{Errc::kInvalidArgument,
+                 "drain: need at least three live servers so every partition "
+                 "keeps two distinct copies"};
+  }
+
+  PartitionMap out = *this;
+  out.epoch_ = epoch_ + 1;
+  out.live_[slot] = 0;
+
+  // Copy-count load per surviving live slot, excluding everything hosted on
+  // the draining slot (those copies are about to be reassigned).
+  std::vector<std::size_t> load(server_slots(), 0);
+  for (const auto& pair : out.copies_) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      if (pair[c].server != slot) ++load[pair[c].server];
+    }
+  }
+
+  for (std::size_t p = 0; p < out.copies_.size(); ++p) {
+    auto& pair = out.copies_[p];
+    if (pair[0].server != slot && pair[1].server != slot) continue;
+    // Promote the survivor to copies[0], keeping how it serves the part.
+    if (pair[0].server == slot) std::swap(pair[0], pair[1]);
+    // Place the replacement replica on the least-loaded live server other
+    // than the survivor; lowest slot id breaks ties.
+    std::size_t best = server_slots();
+    std::size_t best_load = std::numeric_limits<std::size_t>::max();
+    for (std::size_t s = 0; s < server_slots(); ++s) {
+      if (!out.is_live(s) || s == pair[0].server) continue;
+      if (load[s] < best_load) {
+        best = s;
+        best_load = load[s];
+      }
+    }
+    pair[1] = PartitionCopy{best, /*via_store=*/false};
+    ++load[best];
+  }
+  return out;
+}
+
+}  // namespace debar::core

@@ -150,4 +150,12 @@ std::optional<Message> Endpoint::receive_from(EndpointId from,
   }
 }
 
+void Endpoint::reset_peer(EndpointId peer) {
+  std::lock_guard lock(mutex_);
+  next_seq_.erase(peer);
+  seen_.erase(peer);
+  out_.erase(peer);
+  pending_.erase(peer);
+}
+
 }  // namespace debar::net

@@ -164,6 +164,13 @@ class Endpoint {
     return it == seen_.end() ? 0 : it->second.tracked();
   }
 
+  /// Forget all per-peer state for `peer`: sequence counter, duplicate
+  /// window, coalescing run, and undelivered jumbo overflow. A drained
+  /// server's endpoint id may later be reused by a fresh process whose
+  /// sequence numbers restart at 0; without this, the old SeqWindow floor
+  /// would silently discard every frame the newcomer sends.
+  void reset_peer(EndpointId peer);
+
  private:
   /// Messages queued for one destination between flushes: a same-type run
   /// plus its accumulated raw (v1) wire cost.

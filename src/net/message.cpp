@@ -8,6 +8,7 @@ namespace debar::net {
 namespace {
 
 void write_payload(ByteWriter& w, const FingerprintBatch& m) {
+  w.u32(m.epoch);  // epoch first, so stale maps are rejected before parsing
   w.u32(static_cast<std::uint32_t>(m.fps.size()));
   for (const Fingerprint& fp : m.fps) w.fingerprint(fp);
 }
@@ -21,6 +22,7 @@ void write_payload(ByteWriter& w, const VerdictBatch& m) {
 }
 
 void write_payload(ByteWriter& w, const IndexEntryBatch& m) {
+  w.u32(m.epoch);
   w.u32(static_cast<std::uint32_t>(m.entries.size()));
   for (const IndexEntry& e : m.entries) {
     w.fingerprint(e.fp);
@@ -49,7 +51,7 @@ void write_payload(ByteWriter& w, const Control& m) {
 }
 
 std::size_t payload_bytes(const FingerprintBatch& m) noexcept {
-  return 4 + m.fps.size() * FingerprintBatch::kPerFingerprint;
+  return 4 + 4 + m.fps.size() * FingerprintBatch::kPerFingerprint;
 }
 
 std::size_t payload_bytes(const VerdictBatch& m) noexcept {
@@ -57,7 +59,7 @@ std::size_t payload_bytes(const VerdictBatch& m) noexcept {
 }
 
 std::size_t payload_bytes(const IndexEntryBatch& m) noexcept {
-  return 4 + m.entries.size() * IndexEntryBatch::kPerEntry;
+  return 4 + 4 + m.entries.size() * IndexEntryBatch::kPerEntry;
 }
 
 std::size_t payload_bytes(const ChunkLocateRequest&) noexcept {
@@ -85,6 +87,7 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
   switch (type) {
     case MessageType::kFingerprintBatch: {
       FingerprintBatch m;
+      m.epoch = r.u32();
       const std::uint32_t count = r.u32();
       if (!r.ok() || !count_fits(count, FingerprintBatch::kPerFingerprint, r)) {
         return Error{Errc::kCorrupt, "fingerprint batch count overruns buffer"};
@@ -108,6 +111,7 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
     }
     case MessageType::kIndexEntryBatch: {
       IndexEntryBatch m;
+      m.epoch = r.u32();
       const std::uint32_t count = r.u32();
       if (!r.ok() || !count_fits(count, IndexEntryBatch::kPerEntry, r)) {
         return Error{Errc::kCorrupt, "entry batch count overruns buffer"};

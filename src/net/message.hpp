@@ -34,6 +34,11 @@ namespace debar::net {
 /// restore-stream delivery.
 using EndpointId = std::uint32_t;
 
+/// Reserved endpoint id for the cluster's restore client. Server slots
+/// count up from 0, and elastic scale-out appends new slots; pinning the
+/// client far away keeps a grown fleet from colliding with it.
+inline constexpr EndpointId kClientEndpointId = 0xFFFFFF00u;
+
 enum class MessageType : std::uint8_t {
   kFingerprintBatch = 1,  // phase A: undetermined fps to their part owner
   kVerdictBatch = 2,      // phase C: duplicate verdicts back to the origin
@@ -60,6 +65,10 @@ struct FingerprintBatch {
   static constexpr std::size_t kPerFingerprint = Fingerprint::kSize;
 
   std::vector<Fingerprint> fps;
+  /// PartitionMap epoch the sender routed this batch under. Serialized
+  /// first in the payload; a receiver on a different epoch rejects the
+  /// batch instead of applying fingerprints routed by a torn map.
+  std::uint32_t epoch = 0;
 
   friend bool operator==(const FingerprintBatch&,
                          const FingerprintBatch&) = default;
@@ -88,6 +97,10 @@ struct IndexEntryBatch {
   static constexpr std::size_t kPerEntry = IndexEntry::kSerializedSize;
 
   std::vector<IndexEntry> entries;
+  /// PartitionMap epoch under which these entries were routed (see
+  /// FingerprintBatch::epoch). Elastic migration ships rebuilt partitions
+  /// as entry batches stamped with the post-transition epoch.
+  std::uint32_t epoch = 0;
 
   friend bool operator==(const IndexEntryBatch&,
                          const IndexEntryBatch&) = default;

@@ -37,6 +37,7 @@ void write_compact(ByteWriter& w, const FingerprintBatch& m) {
     front_coded += 1 + (Fingerprint::kSize - shared);
     prev = &fp;
   }
+  w.u32(m.epoch);  // epoch first, mirroring the v1 layout
   w.varint(m.fps.size());
   if (front_coded >= m.fps.size() * Fingerprint::kSize) {
     w.u8(kMethodRaw);
@@ -61,6 +62,7 @@ void write_compact(ByteWriter& w, const FingerprintBatch& m) {
 
 Result<Message> read_compact_fps(ByteReader& r) {
   FingerprintBatch m;
+  m.epoch = r.u32();
   const std::uint64_t count = r.varint();
   const std::uint8_t method = r.u8();
   // Front-coded entries cost at least one byte each, raw ones 20 — either
@@ -104,6 +106,7 @@ void write_compact(ByteWriter& w, const IndexEntryBatch& m) {
     delta_bytes += ByteWriter::varint_size(zigzag_encode(v - prev));
     prev = v;
   }
+  w.u32(m.epoch);
   w.varint(m.entries.size());
   if (delta_bytes >= m.entries.size() * ContainerId::kSerializedSize) {
     w.u8(kMethodRaw);
@@ -125,6 +128,7 @@ void write_compact(ByteWriter& w, const IndexEntryBatch& m) {
 
 Result<Message> read_compact_entries(ByteReader& r) {
   IndexEntryBatch m;
+  m.epoch = r.u32();
   const std::uint64_t count = r.varint();
   const std::uint8_t method = r.u8();
   // Every entry carries at least the 20 raw fingerprint bytes.

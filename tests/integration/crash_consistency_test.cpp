@@ -353,7 +353,7 @@ TEST(CrashConsistency, ReplicatedCommitKeepsAnIntactCopyOfEveryPartition) {
     EXPECT_TRUE(rig.injector->crashed());
 
     for (std::size_t p = 0; p < n; ++p) {
-      const std::size_t backup = core::backup_of(p, n);
+      const std::size_t backup = core::PartitionMap::backup_of(p, n);
       // Partition p's copies: the primary image of server p, and the
       // replica image hosted on its backup server.
       std::optional<index::DiskIndex> copies[2] = {

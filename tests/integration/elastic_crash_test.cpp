@@ -1,0 +1,167 @@
+// Crash safety of elastic repartitioning (DESIGN.md §5j): a split's
+// prepare stage writes only freshly minted devices, and its commit is
+// pure in-memory — so a hard crash at ANY device op during the migration
+// must leave every committed index image byte-identical to a cluster
+// that never attempted the split, with the old topology (map, epoch,
+// fleet) fully intact. The sweep drives a shared-injector crash point
+// across the whole prepare window, the same technique the phase-E commit
+// sweep in crash_consistency_test.cpp uses.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "storage/faulty_block_device.hpp"
+
+namespace debar {
+namespace {
+
+/// A w=1 cluster whose index devices — the four committed ones and every
+/// device a migration mints — share one FaultInjector, so a crash point
+/// freezes the deployment at a single global op. Inners are captured in
+/// factory-call order: primaries 0..1, replicas 0..1, then staged mints.
+struct ElasticCrashRig {
+  std::shared_ptr<storage::FaultInjector> injector =
+      std::make_shared<storage::FaultInjector>(storage::FaultConfig{});
+  std::shared_ptr<std::vector<storage::MemBlockDevice*>> inners =
+      std::make_shared<std::vector<storage::MemBlockDevice*>>();
+  std::unique_ptr<core::Cluster> cluster;
+
+  ElasticCrashRig() {
+    core::ClusterConfig cfg;
+    cfg.routing_bits = 1;
+    cfg.repository_nodes = 2;
+    cfg.server_config.index_params = {.prefix_bits = 8,
+                                      .blocks_per_bucket = 2};
+    cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+    cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                  .capacity = 1000000};
+    cfg.server_config.chunk_store.io_buckets = 8;
+    cfg.server_config.chunk_store.siu_threshold = 1;
+    cfg.server_config.index_device_factory = [injector = injector,
+                                              inners = inners] {
+      auto inner = std::make_unique<storage::MemBlockDevice>();
+      inners->push_back(inner.get());
+      return std::make_unique<storage::FaultyBlockDevice>(std::move(inner),
+                                                          injector);
+    };
+    cluster = std::make_unique<core::Cluster>(std::move(cfg));
+  }
+
+  void arm_crash(std::uint64_t at_op) {
+    storage::FaultConfig faults;
+    faults.crash_after_ops = at_op;
+    injector->set_config(faults);
+  }
+
+  [[nodiscard]] std::vector<Byte> committed_image(std::size_t i) const {
+    const ByteSpan bytes = (*inners)[i]->contents();
+    return {bytes.begin(), bytes.end()};
+  }
+};
+
+void cluster_backup(core::Cluster& cluster, std::uint64_t job,
+                    std::uint64_t first, std::uint64_t count) {
+  core::FileStore& fs = cluster.server(0).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = Sha1::hash_counter(i);
+    if (fs.offer_fingerprint(f, 512)) {
+      const auto payload = core::BackupEngine::synthetic_payload(f, 512);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+TEST(ElasticCrash, CrashAnywhereInTheSplitWindowLeavesTheOldTopologyIntact) {
+  // Measure the prepare window on a fault-free probe: the device ops a
+  // successful split consumes after a one-generation round.
+  ElasticCrashRig probe;
+  const std::uint64_t probe_job = probe.cluster->director().define_job("c",
+                                                                       "d");
+  cluster_backup(*probe.cluster, probe_job, 0, 60);
+  ASSERT_TRUE(probe.cluster->run_dedup2(/*force_siu=*/true).ok());
+  // Snapshot the committed images now: a successful split's commit
+  // rebases onto freshly minted devices and releases these.
+  std::vector<std::vector<Byte>> pre_split;
+  for (std::size_t i = 0; i < 4; ++i) {
+    pre_split.push_back(probe.committed_image(i));
+  }
+  const std::uint64_t window_begin = probe.injector->op_count();
+  ASSERT_TRUE(probe.cluster->split().ok());
+  const std::uint64_t window_end = probe.injector->op_count();
+  ASSERT_GT(window_end, window_begin) << "split must touch staged devices";
+
+  // Fault-free reference that never attempts a split: its first four
+  // device images are what every crashed rig must be left with.
+  ElasticCrashRig untouched;
+  const std::uint64_t untouched_job =
+      untouched.cluster->director().define_job("c", "d");
+  cluster_backup(*untouched.cluster, untouched_job, 0, 60);
+  ASSERT_TRUE(untouched.cluster->run_dedup2(true).ok());
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pre_split[i], untouched.committed_image(i))
+        << "reference deployments diverged at image " << i;
+  }
+
+  // Sweep crash points across the window (sampled; every point is a full
+  // fresh deployment). At each: the split fails, the map and fleet are
+  // unchanged, and all four committed images are byte-identical to the
+  // never-split reference.
+  const std::uint64_t window = window_end - window_begin;
+  const std::uint64_t step = std::max<std::uint64_t>(1, window / 10);
+  for (std::uint64_t offset = 0; offset < window; offset += step) {
+    ElasticCrashRig rig;
+    const std::uint64_t job = rig.cluster->director().define_job("c", "d");
+    cluster_backup(*rig.cluster, job, 0, 60);
+    ASSERT_TRUE(rig.cluster->run_dedup2(true).ok());
+    rig.arm_crash(rig.injector->op_count() + offset);
+
+    Status crashed_split = rig.cluster->split();
+    EXPECT_FALSE(crashed_split.ok())
+        << "offset " << offset << ": split survived its crash point";
+    EXPECT_TRUE(rig.injector->crashed()) << "offset " << offset;
+    EXPECT_EQ(rig.cluster->epoch(), 0u) << "offset " << offset;
+    EXPECT_EQ(rig.cluster->server_count(), 2u) << "offset " << offset;
+    EXPECT_EQ(rig.cluster->partition_map(),
+              untouched.cluster->partition_map())
+        << "offset " << offset;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(rig.committed_image(i), untouched.committed_image(i))
+          << "offset " << offset << " image " << i;
+    }
+  }
+}
+
+TEST(ElasticCrash, SurvivingTheWholeWindowCommitsAndKeepsServing) {
+  // Control leg: a crash point past the prepare window never fires — the
+  // split commits, the epoch advances, and both generations restore
+  // through a split-added server.
+  ElasticCrashRig rig;
+  const std::uint64_t job = rig.cluster->director().define_job("c", "d");
+  cluster_backup(*rig.cluster, job, 0, 60);
+  ASSERT_TRUE(rig.cluster->run_dedup2(true).ok());
+
+  rig.arm_crash(rig.injector->op_count() + 1000000);
+  ASSERT_TRUE(rig.cluster->split().ok());
+  EXPECT_FALSE(rig.injector->crashed());
+  EXPECT_EQ(rig.cluster->epoch(), 1u);
+  EXPECT_EQ(rig.cluster->server_count(), 4u);
+
+  cluster_backup(*rig.cluster, job, 100, 60);
+  ASSERT_TRUE(rig.cluster->run_dedup2(true).ok());
+  for (std::uint32_t version = 1; version <= 2; ++version) {
+    Result<core::Dataset> restored =
+        rig.cluster->restore(job, version, /*via=*/3);
+    ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  }
+}
+
+}  // namespace
+}  // namespace debar

@@ -35,6 +35,10 @@ std::vector<Message> sample_messages() {
       Message{VerdictBatch{.query_count = 0, .duplicate_indices = {}}},
       Message{entries},
       Message{IndexEntryBatch{}},
+      // Epoch-stamped batches (elastic repartitioning wire): the epoch
+      // must survive the round trip like any other field.
+      Message{FingerprintBatch{{fp(20), fp(21)}, 7}},
+      Message{IndexEntryBatch{{{fp(30), ContainerId{9}}}, 3}},
       Message{ChunkLocateRequest{fp(9)}},
       Message{ChunkLocateReply{Errc::kOk, ContainerId{12345}}},
       Message{ChunkLocateReply{Errc::kNotFound, ContainerId{}}},
@@ -103,10 +107,11 @@ TEST(MessageTest, OversizedCountCannotOverrunBuffer) {
   FingerprintBatch batch;
   batch.fps.push_back(fp(1));
   std::vector<Byte> bytes = encode(0, 1, 5, Message{batch});
-  // Corrupt the payload's count field (first 4 bytes after the envelope)
-  // to claim far more fingerprints than the frame carries.
-  bytes[kEnvelopeSize] = Byte{0xFF};
-  bytes[kEnvelopeSize + 1] = Byte{0xFF};
+  // Corrupt the payload's count field (it follows the 4-byte epoch that
+  // leads the payload) to claim far more fingerprints than the frame
+  // carries.
+  bytes[kEnvelopeSize + 4] = Byte{0xFF};
+  bytes[kEnvelopeSize + 5] = Byte{0xFF};
   EXPECT_FALSE(decode(ByteSpan(bytes.data(), bytes.size())).ok());
 }
 

@@ -93,5 +93,36 @@ TEST(SeqWindowTest, EndpointDedupStateStaysBoundedAcrossTraffic) {
   EXPECT_EQ(receiver.tracked_seqs(0), 0u);
 }
 
+TEST(SeqWindowTest, ResetPeerLetsAReusedAddressStartAFreshSequenceSpace) {
+  // Elastic fleets reuse endpoint ids: a drained server's address may
+  // later belong to a fresh process whose sequence numbers restart at 0.
+  // Without Endpoint::reset_peer the old window's floor silently discards
+  // every frame the newcomer sends — it looks like a dead peer.
+  auto transport = std::make_unique<LoopbackTransport>();
+  ASSERT_TRUE(transport->register_endpoint(0, nullptr).ok());
+  ASSERT_TRUE(transport->register_endpoint(1, nullptr).ok());
+  Endpoint receiver(transport.get(), 1);
+  {
+    Endpoint original(transport.get(), 0);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(original.send(1, Control{}).ok());
+      ASSERT_TRUE(receiver.expect<Control>(0).ok());
+    }
+  }
+
+  // The address's new tenant: a fresh Endpoint restarts at seq 0, deep
+  // inside the receiver's delivered floor.
+  Endpoint reborn(transport.get(), 0);
+  ASSERT_TRUE(reborn.send(1, Control{}).ok());
+  Result<Control> dropped = receiver.expect<Control>(
+      0, Deadline::after(std::chrono::milliseconds(50)));
+  EXPECT_FALSE(dropped.ok()) << "stale window must suppress the reused seq";
+
+  receiver.reset_peer(0);
+  ASSERT_TRUE(reborn.send(1, Control{}).ok());
+  Result<Control> fresh = receiver.expect<Control>(0);
+  EXPECT_TRUE(fresh.ok()) << "reset window must deliver the new tenant";
+}
+
 }  // namespace
 }  // namespace debar::net
