@@ -1,0 +1,286 @@
+// Retention / restore-locality trajectory (DESIGN.md §5k): an
+// incremental chain ages until the newest versions reference chunks from
+// a dozen generations of containers, then a MaintenanceJob round expires
+// the old versions and re-sequences the survivors. Emits
+// BENCH_retention.json: modeled restore throughput per version age,
+// before and after the round.
+//
+//   bench_retention [--out <path>]     measure and write the JSON
+//   bench_retention --check <path>     re-measure and compare against a
+//                                      checked-in baseline: fails if the
+//                                      post-round aged throughput dropped
+//                                      below fresh/1.25 or regressed >5%
+//
+// Restore time is charged on the paper's chunk-log disk model — one
+// positioning cost per container switch plus sequential transfer — so
+// the measurement is deterministic (a property of chunk placement, not
+// of the CI runner) and the gate runs in every build configuration.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/backup_engine.hpp"
+#include "core/maintenance.hpp"
+#include "sim/disk_model.hpp"
+
+namespace {
+
+using namespace debar;
+
+constexpr unsigned kVersions = 12;
+constexpr std::uint64_t kChunksPerVersion = 2048;
+constexpr std::uint32_t kChunkSize = 4096;
+constexpr unsigned kRewritePeriod = 8;  // position i churns when v%8==i%8
+constexpr std::uint32_t kKeepLast = 4;
+constexpr double kAgedBar = 1.25;  // aged-after within 1.25x of fresh
+
+/// The chunk at logical position `i` as of version `v`: rewritten
+/// whenever v % kRewritePeriod == i % kRewritePeriod, so a mature
+/// version interleaves chunks from kRewritePeriod generations and every
+/// consecutive pair lands in containers written minutes apart.
+Fingerprint chunk_fp(std::uint64_t i, unsigned v) {
+  unsigned gen = 1;
+  for (unsigned g = 2; g <= v; ++g) {
+    if (g % kRewritePeriod == i % kRewritePeriod) gen = g;
+  }
+  return Sha1::hash_counter(i * 1000003 + gen);
+}
+
+struct VersionCost {
+  unsigned version = 0;
+  std::uint64_t container_switches = 0;
+  double seconds = 0;
+  double mbps = 0;
+};
+
+/// Modeled restore cost of one version: walk its chunk sequence through
+/// the index, charge one positioning cost per container switch and
+/// sequential transfer for the bytes.
+VersionCost restore_cost(core::BackupServer& server, unsigned v) {
+  const sim::DiskProfile disk = sim::DiskProfile::PaperChunkLog();
+  VersionCost cost;
+  cost.version = v;
+  ContainerId prev{};
+  bool first = true;
+  for (std::uint64_t i = 0; i < kChunksPerVersion; ++i) {
+    const auto cid = server.chunk_store().locate(chunk_fp(i, v));
+    if (!cid.ok()) {
+      std::fprintf(stderr, "v%u chunk %llu unlocatable: %s\n", v,
+                   static_cast<unsigned long long>(i),
+                   cid.error().to_string().c_str());
+      std::exit(1);
+    }
+    if (first || !(cid.value() == prev)) {
+      ++cost.container_switches;
+      prev = cid.value();
+      first = false;
+    }
+  }
+  const double bytes = static_cast<double>(kChunksPerVersion) * kChunkSize;
+  cost.seconds =
+      static_cast<double>(cost.container_switches) * disk.seek_seconds +
+      bytes / disk.transfer_bytes_per_sec;
+  cost.mbps = bytes / cost.seconds / 1e6;
+  return cost;
+}
+
+struct Measurement {
+  std::vector<VersionCost> before;  // v1..vN, pre-maintenance
+  std::vector<VersionCost> after;   // survivors only, post-maintenance
+  core::MaintenanceReport report;
+  double fresh_mbps = 0;        // v1 restored off its own sequential pass
+  double aged_before_mbps = 0;  // newest version, pre-round
+  double aged_after_mbps = 0;   // newest version, post-round
+};
+
+Measurement measure() {
+  // Four storage nodes so mature versions also scatter across nodes —
+  // the locality pass's default trigger (nodes touched > 1).
+  storage::ChunkRepository repository(4);
+  core::Director director({.retention = {.keep_last = kKeepLast}});
+  core::BackupServerConfig config;
+  config.index_params = {.prefix_bits = 10, .blocks_per_bucket = 8};
+  config.chunk_store.siu_threshold = 1;
+  config.container_capacity = 64 * 1024;
+  core::BackupServer server(0, config, &repository, &director);
+
+  const std::uint64_t job = director.define_job("aging-chain", "d");
+  for (unsigned v = 1; v <= kVersions; ++v) {
+    director.set_current_day(v);
+    core::FileStore& fs = server.file_store();
+    fs.begin_job(job);
+    fs.begin_file({.path = "tree",
+                   .size = kChunksPerVersion * kChunkSize,
+                   .mtime = 0,
+                   .mode = 0644});
+    for (std::uint64_t i = 0; i < kChunksPerVersion; ++i) {
+      const Fingerprint fp = chunk_fp(i, v);
+      if (fs.offer_fingerprint(fp, kChunkSize)) {
+        const auto payload =
+            core::BackupEngine::synthetic_payload(fp, kChunkSize);
+        if (!fs.receive_chunk(fp, ByteSpan(payload.data(), payload.size()))
+                 .ok()) {
+          std::fprintf(stderr, "v%u receive_chunk failed\n", v);
+          std::exit(1);
+        }
+      }
+    }
+    fs.end_file();
+    if (!fs.end_job().ok()) std::exit(1);
+    if (const auto r = server.run_dedup2(/*force_siu=*/true); !r.ok()) {
+      std::fprintf(stderr, "v%u dedup-2 failed: %s\n", v,
+                   r.error().to_string().c_str());
+      std::exit(1);
+    }
+  }
+
+  Measurement m;
+  for (unsigned v = 1; v <= kVersions; ++v) {
+    m.before.push_back(restore_cost(server, v));
+  }
+  m.fresh_mbps = m.before.front().mbps;
+
+  core::MaintenanceJob maintenance(director, server, repository,
+                                   {.container_capacity = 64 * 1024});
+  if (const Status s = maintenance.execute(); !s.ok()) {
+    std::fprintf(stderr, "maintenance failed: %s\n", s.to_string().c_str());
+    std::exit(1);
+  }
+  m.report = maintenance.report();
+  if (m.report.versions_expired != kVersions - kKeepLast) {
+    std::fprintf(stderr, "expected %u expired versions, got %llu\n",
+                 kVersions - kKeepLast,
+                 static_cast<unsigned long long>(m.report.versions_expired));
+    std::exit(1);
+  }
+
+  for (unsigned v = kVersions - kKeepLast + 1; v <= kVersions; ++v) {
+    m.after.push_back(restore_cost(server, v));
+  }
+  // The gated pair is the NEWEST version — the restore-critical one, and
+  // the one the locality pass re-sequences first (older survivors share
+  // chunks with it, so they improve but keep some interleaving; the JSON
+  // carries their full curves).
+  m.aged_before_mbps = m.before.back().mbps;
+  m.aged_after_mbps = m.after.back().mbps;
+
+  std::printf("fresh (v1, sequential): %.1f MB/s\n", m.fresh_mbps);
+  std::printf("aged before round (newest version): %.1f MB/s\n",
+              m.aged_before_mbps);
+  std::printf("aged after round  (newest version): %.1f MB/s "
+              "(bar: >= fresh / %.2f)\n",
+              m.aged_after_mbps, kAgedBar);
+  std::printf("round: expired %llu, rewrote %llu versions "
+              "(%llu chunks), reclaimed %.1f MiB\n",
+              static_cast<unsigned long long>(m.report.versions_expired),
+              static_cast<unsigned long long>(m.report.versions_rewritten),
+              static_cast<unsigned long long>(m.report.chunks_rewritten),
+              static_cast<double>(m.report.bytes_reclaimed) / (1 << 20));
+  if (m.aged_after_mbps * kAgedBar < m.fresh_mbps) {
+    std::fprintf(stderr,
+                 "aged restore throughput below the acceptance bar: "
+                 "%.1f MB/s vs fresh %.1f MB/s\n",
+                 m.aged_after_mbps, m.fresh_mbps);
+    std::exit(1);
+  }
+  return m;
+}
+
+void write_json(const Measurement& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"retention\",\n");
+  std::fprintf(f,
+               "  \"workload\": {\"versions\": %u, \"chunks_per_version\": "
+               "%llu, \"chunk_bytes\": %u, \"rewrite_period\": %u, "
+               "\"keep_last\": %u},\n",
+               kVersions,
+               static_cast<unsigned long long>(kChunksPerVersion),
+               kChunkSize, kRewritePeriod, kKeepLast);
+  const auto dump = [&](const char* key, const std::vector<VersionCost>& vs,
+                        const char* tail) {
+    std::fprintf(f, "  \"%s\": [\n", key);
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"version\": %u, \"container_switches\": %llu, "
+                   "\"seconds\": %.4f, \"mbps\": %.1f}%s\n",
+                   vs[i].version,
+                   static_cast<unsigned long long>(vs[i].container_switches),
+                   vs[i].seconds, vs[i].mbps,
+                   i + 1 < vs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]%s\n", tail);
+  };
+  dump("before", m.before, ",");
+  dump("after", m.after, ",");
+  std::fprintf(f,
+               "  \"round\": {\"versions_expired\": %llu, "
+               "\"versions_rewritten\": %llu, \"chunks_rewritten\": %llu, "
+               "\"bytes_reclaimed\": %llu},\n",
+               static_cast<unsigned long long>(m.report.versions_expired),
+               static_cast<unsigned long long>(m.report.versions_rewritten),
+               static_cast<unsigned long long>(m.report.chunks_rewritten),
+               static_cast<unsigned long long>(m.report.bytes_reclaimed));
+  std::fprintf(f,
+               "  \"summary\": {\"fresh_mbps\": %.1f, "
+               "\"aged_before_mbps\": %.1f, \"aged_after_mbps\": %.1f}\n",
+               m.fresh_mbps, m.aged_before_mbps, m.aged_after_mbps);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Pull `"aged_after_mbps": N` out of the baseline (the gated quantity).
+double baseline_aged_after(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "baseline %s missing\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const std::string key = "\"aged_after_mbps\": ";
+  const std::size_t at = text.find(key);
+  if (at == std::string::npos) {
+    std::fprintf(stderr, "baseline %s malformed\n", path.c_str());
+    std::exit(1);
+  }
+  return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+int check(const std::string& path) {
+  const double baseline = baseline_aged_after(path);
+  const Measurement m = measure();
+  if (m.aged_after_mbps < baseline * 0.95) {
+    std::fprintf(stderr,
+                 "aged restore throughput regressed >5%%: %.1f MB/s vs "
+                 "baseline %.1f MB/s\n",
+                 m.aged_after_mbps, baseline);
+    return 1;
+  }
+  std::printf("aged restore throughput within 5%% of %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_retention.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      return check(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+      continue;
+    }
+  }
+  write_json(measure(), out);
+  return 0;
+}

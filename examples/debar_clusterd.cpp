@@ -17,12 +17,16 @@
 //              ephemeral ports through port files under <dir>/run/.
 //
 // The run: two backup generations ingested at node 0, each closed by a
-// five-phase dedup-2 round across all 2^w nodes; then every chunk is
-// restored through node 0 (remote index parts answer locate requests from
-// their serve loops) and verified; then Control{kShutdown} releases the
-// peers. On-disk artifacts — each node's index, the chunk repository
-// nodes, and summary.txt — are byte-deterministic, so a loopback tree and
-// a socket tree of the same workload must be identical; the net-socket
+// five-phase dedup-2 round across all 2^w nodes; then a maintenance round
+// (DESIGN.md §5k) expires generation 1 under retention keep-last-1, marks
+// live roots across every node, rebuilds every index copy, and reclaims
+// the expired chunks; then every surviving chunk is restored through
+// node 0 (remote index parts answer locate requests from their serve
+// loops) and verified, after probing that a reclaimed chunk is
+// unlocatable; then Control{kShutdown} releases the peers. On-disk
+// artifacts — each node's index, the chunk repository nodes, and
+// summary.txt — are byte-deterministic, so a loopback tree and a socket
+// tree of the same workload must be identical; the net-socket
 // differential test holds the two modes to exactly that.
 #include <sys/wait.h>
 #include <unistd.h>
@@ -41,6 +45,7 @@
 #include "common/sha1.hpp"
 #include "core/backup_engine.hpp"
 #include "core/cluster_node.hpp"
+#include "core/maintenance.hpp"
 #include "index/disk_index.hpp"
 #include "net/loopback_transport.hpp"
 #include "net/socket_transport.hpp"
@@ -124,10 +129,13 @@ core::BackupServerConfig node_server_config(unsigned w) {
 /// One node's durable + simulated state. The repository pointer is the
 /// file-backed store for node 0 (the only node that containers or reads
 /// chunks in this workload — every backup and restore routes through it)
-/// and a never-touched in-memory stand-in elsewhere.
+/// and a never-touched in-memory stand-in elsewhere. Retention keep-last-1
+/// expires generation 1 in the maintenance round between dedup-2 and the
+/// restores (only node 0's director ever holds versions).
 struct NodeState {
   std::unique_ptr<storage::ChunkRepository> owned_repo;
-  core::Director director;
+  core::Director director{
+      core::DirectorConfig{.retention = {.keep_last = 1}}};
   std::unique_ptr<core::BackupServer> server;
 };
 
@@ -275,10 +283,30 @@ int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
     rounds.push_back(round.value());
   }
 
-  // Restore every distinct chunk of both generations through node 0 and
+  // Maintenance round (DESIGN.md §5k): retention keep-last-1 expires
+  // generation 1, the mark/install exchanges rebuild every index copy on
+  // every node, and the sweep reclaims generation 1's exclusive chunks.
+  core::MaintenanceJob maintenance(node, st.director, *st.owned_repo,
+                                   {.compact_threshold = 0.6});
+  if (Status m = maintenance.execute(); !m.ok()) {
+    std::fprintf(stderr, "maintenance round failed: %s\n",
+                 m.to_string().c_str());
+    return 1;
+  }
+  const core::MaintenanceReport& mrep = maintenance.report();
+
+  // A reclaimed chunk must be unlocatable everywhere — probe before any
+  // restore warms the locality cache with surviving containers.
+  if (Result<std::vector<Byte>> dead = node.read_chunk_via(fp_of(0), client);
+      dead.ok()) {
+    std::fprintf(stderr, "expired chunk 0 still restorable after GC\n");
+    return 1;
+  }
+
+  // Restore every chunk of the surviving generation through node 0 and
   // verify against the synthetic payloads.
   std::uint64_t restored_chunks = 0, restored_bytes = 0;
-  for (std::uint64_t i = kV1First; i < kV2First + kV2Count; ++i) {
+  for (std::uint64_t i = kV2First; i < kV2First + kV2Count; ++i) {
     const Fingerprint f = fp_of(i);
     Result<std::vector<Byte>> bytes = node.read_chunk_via(f, client);
     if (!bytes.ok()) {
@@ -318,8 +346,15 @@ int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
             << " new_bytes=" << rounds[r].new_bytes
             << " siu=" << (rounds[r].ran_siu ? 1 : 0) << "\n";
   }
+  summary << "maintenance expired=" << mrep.versions_expired
+          << " rewritten=" << mrep.versions_rewritten
+          << " containers_deleted=" << mrep.containers_deleted
+          << " live_chunks=" << mrep.live_chunks
+          << " dead_chunks=" << mrep.dead_chunks
+          << " reclaimed_bytes=" << mrep.bytes_reclaimed << "\n";
   summary << "restored_chunks=" << restored_chunks
-          << " restored_bytes=" << restored_bytes << " verified=ok\n";
+          << " restored_bytes=" << restored_bytes
+          << " expired_unlocatable=ok verified=ok\n";
   std::ofstream out(dir / "summary.txt", std::ios::trunc);
   out << summary.str();
   out.close();
@@ -327,7 +362,8 @@ int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
   return out.good() ? 0 : 1;
 }
 
-/// The peer role: both rounds, then answer locates until shutdown.
+/// The peer role: both rounds, the maintenance round, then answer
+/// locates until shutdown.
 int run_peer(NodeState& st, unsigned w, std::size_t k) {
   core::ClusterNode node({.node = k, .map = core::PartitionMap::identity(w)},
                          st.server.get());
@@ -339,6 +375,11 @@ int run_peer(NodeState& st, unsigned w, std::size_t k) {
                    round.error().to_string().c_str());
       return 1;
     }
+  }
+  if (Status m = node.serve_maintenance(/*driver=*/0); !m.ok()) {
+    std::fprintf(stderr, "node %zu maintenance loop failed: %s\n", k,
+                 m.to_string().c_str());
+    return 1;
   }
   Status served = node.serve_restores(/*via=*/0);
   if (!served.ok()) {

@@ -1,21 +1,23 @@
 // Incremental backup chain: two weeks of daily edits to a file tree,
 // backed up to one DEBAR server with file-level incremental filtering.
 // Prints per-day and cumulative compression ratios (the Figure 7
-// quantities), verifies historical restores, then expires the first week
-// under a retention policy and reclaims its space with the garbage
-// collector.
+// quantities), verifies historical restores, then lets the director's
+// keep-last-7 retention policy expire the first week and a MaintenanceJob
+// reclaim its space (DESIGN.md §5k).
 #include <cstdio>
 #include <vector>
 
 #include "core/backup_engine.hpp"
-#include "core/gc.hpp"
+#include "core/maintenance.hpp"
 #include "workload/file_tree.hpp"
 
 using namespace debar;
 
 int main() {
   storage::ChunkRepository repository(1);
-  core::Director director;
+  // Keep the newest 7 versions of every chain; run maintenance weekly.
+  core::Director director({.retention = {.keep_last = 7},
+                           .maintenance_period_days = 7});
 
   core::BackupServerConfig config;
   config.index_params = {.prefix_bits = 12, .blocks_per_bucket = 16};
@@ -37,6 +39,9 @@ int main() {
 
   std::uint64_t cum_logical = 0, cum_wire = 0;
   for (int day = 1; day <= 14; ++day) {
+    // Keep the retention clock in step: submit_version stamps each
+    // version's backup_day from the director's current day.
+    director.set_current_day(static_cast<std::uint32_t>(day));
     if (day > 1) {
       versions.push_back(workload::mutate_dataset(
           versions.back(),
@@ -98,29 +103,41 @@ int main() {
                 restored.value().files.size());
   }
 
-  // Retention: expire the first week, then reclaim its space.
-  for (std::uint32_t v = 1; v <= 7; ++v) {
-    if (!director.drop_version(job, v).ok()) return 1;
-  }
-  const auto gc = core::collect_garbage(director, server.chunk_store(),
-                                        repository);
-  if (!gc.ok()) {
-    std::fprintf(stderr, "gc failed: %s\n", gc.error().to_string().c_str());
+  // Retention: the weekly maintenance round is due; it expires everything
+  // but the newest 7 versions (1-7 here) and reclaims their space.
+  if (!director.maintenance_due(director.current_day())) {
+    std::fprintf(stderr, "maintenance unexpectedly not due on day 14\n");
     return 1;
   }
-  std::printf("\nretention: dropped versions 1-7; GC reclaimed %.1f MiB "
+  core::MaintenanceJob maintenance(director, server, repository);
+  if (const Status s = maintenance.execute(); !s.ok()) {
+    std::fprintf(stderr, "maintenance failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  const core::MaintenanceReport& report = maintenance.report();
+  std::printf("\nretention: expired %llu versions; reclaimed %.1f MiB "
               "(%llu containers deleted, %llu compacted); repository now "
               "%.1f MiB\n",
-              static_cast<double>(gc.value().bytes_reclaimed) / (1 << 20),
-              static_cast<unsigned long long>(gc.value().containers_deleted),
-              static_cast<unsigned long long>(gc.value().containers_compacted),
+              static_cast<unsigned long long>(report.versions_expired),
+              static_cast<double>(report.bytes_reclaimed) / (1 << 20),
+              static_cast<unsigned long long>(report.containers_deleted),
+              static_cast<unsigned long long>(report.containers_compacted),
               static_cast<double>(repository.stored_bytes()) / (1 << 20));
+  if (report.versions_expired != 7) {
+    std::fprintf(stderr, "expected 7 expired versions, got %llu\n",
+                 static_cast<unsigned long long>(report.versions_expired));
+    return 1;
+  }
 
-  // The surviving week still restores.
+  // The surviving week still restores; the expired week is gone.
   const auto survivor = client.restore(job, 14, server, /*verify=*/true);
   if (!survivor.ok()) {
     std::fprintf(stderr, "post-GC restore failed: %s\n",
                  survivor.error().to_string().c_str());
+    return 1;
+  }
+  if (client.restore(job, 1, server).ok()) {
+    std::fprintf(stderr, "expired version 1 still restorable\n");
     return 1;
   }
   std::printf("post-GC: version 14 restored and verified (%zu files)\n",

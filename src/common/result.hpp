@@ -22,6 +22,10 @@ enum class Errc {
   kInvalidArgument,
   kUnsupported,
   kUnavailable,    // peer unreachable / delivery undeliverable after retry
+  kBusy,           // transient conflict (pending SIU, degraded fleet); retry
+                   // after the conflicting work completes. Appended last:
+                   // Errc is serialized as a u8 on the wire (ChunkLocateReply)
+                   // and existing values must not shift.
 };
 
 [[nodiscard]] constexpr const char* errc_name(Errc e) noexcept {
@@ -34,6 +38,7 @@ enum class Errc {
     case Errc::kInvalidArgument: return "invalid-argument";
     case Errc::kUnsupported: return "unsupported";
     case Errc::kUnavailable: return "unavailable";
+    case Errc::kBusy: return "busy";
   }
   return "unknown";
 }

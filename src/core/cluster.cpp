@@ -10,6 +10,7 @@
 #include "common/fmt.hpp"
 #include "common/thread_pool.hpp"
 #include "core/cluster_node.hpp"
+#include "core/maintenance.hpp"
 #include "net/message.hpp"
 
 namespace debar::core {
@@ -46,6 +47,7 @@ constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
 
 Cluster::Cluster(ClusterConfig config)
     : config_(config),
+      director_(config.director_config),
       repository_(config.repository_nodes, config.repository_profile) {
   map_ = config_.partition_map.empty()
              ? PartitionMap::identity(config_.routing_bits)
@@ -780,24 +782,6 @@ Status Cluster::migration_preconditions_excluding(std::size_t exclude) {
   return Status::Ok();
 }
 
-Result<std::vector<IndexEntry>> Cluster::extract_sorted_entries(
-    const index::DiskIndex& idx) const {
-  std::vector<IndexEntry> entries;
-  entries.reserve(idx.entry_count());
-  const std::uint64_t buckets = idx.params().bucket_count();
-  for (std::uint64_t b = 0; b < buckets; ++b) {
-    Result<index::Bucket> bucket = idx.read_bucket(b);
-    if (!bucket.ok()) return bucket.error();
-    entries.insert(entries.end(), bucket.value().entries.begin(),
-                   bucket.value().entries.end());
-  }
-  // Bucket order is not fingerprint order (overflow entries live in
-  // neighbour buckets); the rebuild wants the canonical sorted stream.
-  std::sort(entries.begin(), entries.end(),
-            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
-  return entries;
-}
-
 Result<std::vector<IndexEntry>> Cluster::ship_entries(
     std::size_t sender, std::size_t target, std::vector<IndexEntry> entries,
     std::uint32_t epoch) {
@@ -828,30 +812,9 @@ Result<std::vector<IndexEntry>> Cluster::ship_entries(
 Result<index::DiskIndex> Cluster::build_staged_index(
     BackupServer& host, const index::DiskIndexParams& params,
     std::vector<IndexEntry> sorted) {
-  Result<index::DiskIndex> created =
-      index::DiskIndex::create(host.mint_index_device(), params);
-  if (!created.ok()) return created.error();
-  index::DiskIndex idx = std::move(created).value();
-  const std::uint64_t io_buckets = config_.server_config.chunk_store.io_buckets;
-  std::vector<IndexEntry> entries = std::move(sorted);
-  while (!entries.empty()) {
-    std::uint64_t inserted = 0;
-    std::vector<std::size_t> failed;
-    Status status = idx.bulk_insert(entries, io_buckets, &inserted, &failed);
-    if (status.ok()) break;
-    if (status.code() != Errc::kFull) {
-      return Error{status.code(), status.message()};
-    }
-    // Same capacity-scaling loop as SIU: grow, retry what did not fit.
-    Result<index::DiskIndex> grown = idx.scaled(host.mint_index_device());
-    if (!grown.ok()) return grown.error();
-    idx = std::move(grown).value();
-    std::vector<IndexEntry> retry;
-    retry.reserve(failed.size());
-    for (const std::size_t i : failed) retry.push_back(entries[i]);
-    entries = std::move(retry);
-  }
-  return idx;
+  // The shared INSTALL kernel (core/maintenance.hpp); io_buckets comes
+  // from the host's own config, identical across the fleet.
+  return core::build_staged_index(host, params, std::move(sorted));
 }
 
 Status Cluster::ensure_staged_servers(const PartitionMap& target) {
@@ -900,7 +863,7 @@ Status Cluster::split() {
   std::vector<StagedCopy> staged;
   for (std::size_t p = 0; p < map_.part_count(); ++p) {
     const PartitionCopy& source = map_.copy(p, 0);
-    Result<std::vector<IndexEntry>> extracted = extract_sorted_entries(
+    Result<std::vector<IndexEntry>> extracted = index::extract_sorted_entries(
         source.via_store ? servers_[source.server]->chunk_store().index()
                          : servers_[source.server]->part_replica(p).index());
     if (!extracted.ok()) return extracted.status();
@@ -974,7 +937,7 @@ Status Cluster::drain(std::size_t slot) {
     if (map_.copy_on(p, slot) == nullptr) continue;
     const PartitionCopy& source = next.copy(p, 0);  // the promoted survivor
     const PartitionCopy& target = next.copy(p, 1);  // the replacement
-    Result<std::vector<IndexEntry>> extracted = extract_sorted_entries(
+    Result<std::vector<IndexEntry>> extracted = index::extract_sorted_entries(
         source.via_store ? servers_[source.server]->chunk_store().index()
                          : servers_[source.server]->part_replica(p).index());
     if (!extracted.ok()) return extracted.status();
@@ -1147,5 +1110,112 @@ void Cluster::reset_clocks() {
   for (auto& s : servers_) s->reset_clocks();
   repository_.reset_clocks();
 }
+
+Status Cluster::maintenance_preconditions() {
+  if (Status s = migration_preconditions(); !s.ok()) {
+    // Every violated precondition is transient — pending SIU drains with
+    // a forced round, deferred/owed entries re-ship, dark copies heal —
+    // so maintenance reports the retryable kBusy, not the migration
+    // gate's codes.
+    return {Errc::kBusy, s.message()};
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<IndexEntry>> Cluster::maintenance_mark(
+    std::size_t part, std::vector<Fingerprint> live_fps) {
+  const PartitionCopy& primary = map_.copy(part, 0);
+  const std::size_t host = primary.server;
+  net::GcMarkRequest request;
+  request.epoch = map_.epoch();
+  request.part = static_cast<std::uint32_t>(part);
+  request.fps = std::move(live_fps);
+  if (Status sent = client_endpoint_->send(
+          static_cast<net::EndpointId>(host), std::move(request));
+      !sent.ok()) {
+    return Error{sent.code(), sent.message()};
+  }
+  // The in-process cluster drives both ends of the exchange (the SPMD
+  // runner's peers serve it from their own loops — cluster_node.cpp).
+  Result<net::GcMarkRequest> received =
+      servers_[host]->endpoint().expect<net::GcMarkRequest>(client_id());
+  if (!received.ok()) return received.error();
+  if (received.value().epoch != map_.epoch()) {
+    return Error{Errc::kInvalidArgument,
+                 format("gc mark for epoch {} against map epoch {}",
+                        received.value().epoch, map_.epoch())};
+  }
+  const index::DiskIndex& idx =
+      primary.via_store ? servers_[host]->chunk_store().index()
+                        : servers_[host]->part_replica(part).index();
+  Result<std::vector<IndexEntry>> classified =
+      classify_live_entries(idx, received.value().fps);
+  if (!classified.ok()) return classified.error();
+  net::GcMarkReply reply;
+  reply.epoch = map_.epoch();
+  reply.part = static_cast<std::uint32_t>(part);
+  reply.entries = std::move(classified).value();
+  if (Status sent = servers_[host]->endpoint().send(client_id(),
+                                                    std::move(reply));
+      !sent.ok()) {
+    return Error{sent.code(), sent.message()};
+  }
+  Result<net::GcMarkReply> answer =
+      client_endpoint_->expect<net::GcMarkReply>(
+          static_cast<net::EndpointId>(host));
+  if (!answer.ok()) return answer.error();
+  if (answer.value().epoch != map_.epoch() ||
+      answer.value().part != part) {
+    return Error{Errc::kInvalidArgument, "gc mark reply epoch/part mismatch"};
+  }
+  return std::move(answer.value().entries);
+}
+
+Status Cluster::maintenance_install(std::size_t part,
+                                    std::vector<IndexEntry> sorted) {
+  index::DiskIndexParams params = config_.server_config.index_params;
+  params.skip_bits = map_.routing_bits();
+  for (std::size_t c = 0; c < map_.copy_count(); ++c) {
+    const PartitionCopy& copy = map_.copy(part, c);
+    net::GcInstall install;
+    install.epoch = map_.epoch();
+    install.part = static_cast<std::uint32_t>(part);
+    install.via_store = copy.via_store ? 1 : 0;
+    install.entries = sorted;
+    if (Status sent = client_endpoint_->send(
+            static_cast<net::EndpointId>(copy.server), std::move(install));
+        !sent.ok()) {
+      return sent;
+    }
+    Result<net::GcInstall> received =
+        servers_[copy.server]->endpoint().expect<net::GcInstall>(client_id());
+    if (!received.ok()) return received.status();
+    if (received.value().epoch != map_.epoch()) {
+      return {Errc::kInvalidArgument,
+              format("gc install for epoch {} against map epoch {}",
+                     received.value().epoch, map_.epoch())};
+    }
+    Result<index::DiskIndex> idx = build_staged_index(
+        *servers_[copy.server], params, std::move(received.value().entries));
+    if (!idx.ok()) return idx.status();
+    maintenance_staged_.push_back(StagedIndexCopy{
+        part, copy.server, copy.via_store, std::move(idx).value()});
+  }
+  return Status::Ok();
+}
+
+void Cluster::maintenance_commit_indexes() {
+  for (StagedIndexCopy& copy : maintenance_staged_) {
+    BackupServer& host = *servers_[copy.server];
+    if (copy.via_store) {
+      host.rebase_chunk_store_index(std::move(copy.idx));
+    } else {
+      host.adopt_replica(host.make_replica(copy.part, std::move(copy.idx)));
+    }
+  }
+  maintenance_staged_.clear();
+}
+
+void Cluster::maintenance_abort() { maintenance_staged_.clear(); }
 
 }  // namespace debar::core

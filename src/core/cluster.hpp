@@ -76,6 +76,9 @@ struct ClusterConfig {
   PartitionMap partition_map{};
   /// Per-server template; index_params.skip_bits is overridden to w.
   BackupServerConfig server_config{};
+  /// Director policy (retention, maintenance cadence) for the cluster's
+  /// embedded director.
+  DirectorConfig director_config{};
   /// Storage nodes in the shared chunk repository.
   std::size_t repository_nodes = 4;
   sim::DiskProfile repository_profile = sim::DiskProfile::PaperRaid();
@@ -184,6 +187,43 @@ class Cluster {
   /// Run one parallel dedup-2 round across all servers.
   [[nodiscard]] Result<ClusterDedup2Result> run_dedup2(bool force_siu = false);
 
+  // ---- Maintenance protocol (DESIGN.md §5k) ----
+  // core::MaintenanceJob drives these between rounds. The shape mirrors
+  // split()/drain(): every fallible step (wire exchanges, staged index
+  // builds on freshly minted devices) happens before a pure in-memory
+  // commit, so a crash anywhere in the prepare window leaves every
+  // committed image byte-identical to a never-attempted twin.
+
+  /// Quiescence gate. Every violated precondition — pending SIU on any
+  /// copy, deferred phase-E entries, owed catch-up, an unreachable live
+  /// slot — is transient (a forced round / heal clears it), so the error
+  /// is the retryable kBusy rather than the migration gate's permanent-
+  /// looking codes.
+  [[nodiscard]] Status maintenance_preconditions();
+
+  /// Mark exchange for one partition: ship its sorted live fingerprints
+  /// to the primary host (GcMarkRequest) and return the live
+  /// <fp, container> entries the host classified out of its serving copy
+  /// (GcMarkReply). Epoch-fenced both ways.
+  [[nodiscard]] Result<std::vector<IndexEntry>> maintenance_mark(
+      std::size_t part, std::vector<Fingerprint> live_fps);
+
+  /// Install exchange for one partition: ship the canonical post-GC entry
+  /// stream to every copy host (GcInstall) and stage a rebuilt index
+  /// image there. Both copies are rebuilt from the same sorted stream,
+  /// so their images are byte-identical — this is what closes the
+  /// GC-era replica drift.
+  [[nodiscard]] Status maintenance_install(std::size_t part,
+                                           std::vector<IndexEntry> sorted);
+
+  /// Swap every staged image in (rebase the primary's ChunkStore index /
+  /// adopt the rebuilt replica). Pure in-memory, cannot fail; the map
+  /// epoch does not advance because placement did not change.
+  void maintenance_commit_indexes();
+
+  /// Drop staged maintenance images (failed prepare).
+  void maintenance_abort();
+
   /// Restore-path chunk read: locate on the part owner, read and cache on
   /// the serving server.
   [[nodiscard]] Result<std::vector<Byte>> read_chunk(std::size_t via_server,
@@ -215,10 +255,6 @@ class Cluster {
   /// Same checks with one slot exempted (the slot a drain is removing:
   /// its copies are sourced from the survivors, never consulted).
   [[nodiscard]] Status migration_preconditions_excluding(std::size_t exclude);
-  /// Full scan of a copy's on-disk index, sorted by fingerprint — the
-  /// canonical entry stream a staged copy is rebuilt from.
-  [[nodiscard]] Result<std::vector<IndexEntry>> extract_sorted_entries(
-      const index::DiskIndex& idx) const;
   /// Move entries sender -> target as an epoch-stamped IndexEntryBatch
   /// over the wire (skipped when sender == target: no self-frames).
   [[nodiscard]] Result<std::vector<IndexEntry>> ship_entries(
@@ -258,6 +294,16 @@ class Cluster {
   /// copy's holder was dark: catch_up_[server][part], drained by
   /// deliver_catch_up once the holder is reachable again.
   std::vector<std::vector<std::vector<IndexEntry>>> catch_up_;
+
+  /// Rebuilt index images a maintenance prepare staged, waiting for
+  /// maintenance_commit_indexes / maintenance_abort.
+  struct StagedIndexCopy {
+    std::size_t part;
+    std::size_t server;
+    bool via_store;
+    index::DiskIndex idx;
+  };
+  std::vector<StagedIndexCopy> maintenance_staged_;
 };
 
 }  // namespace debar::core

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/fmt.hpp"
+#include "core/maintenance.hpp"
 
 namespace debar::core {
 
@@ -322,6 +323,274 @@ Result<NodeRoundResult> ClusterNode::run_dedup2_round(bool force_siu) {
     if (!siu.ok()) return siu.error();
   }
   return result;
+}
+
+Status ClusterNode::maintenance_preconditions() const {
+  const std::size_t k = config_.node;
+  if (!config_.map.is_live(k)) {
+    return {Errc::kInvalidArgument,
+            format("node {}: slot is drained in the map", k)};
+  }
+  if (server_->chunk_store().pending_count() > 0) {
+    return {Errc::kBusy,
+            format("node {}: {} SIU entries pending on the primary index",
+                   k, server_->chunk_store().pending_count())};
+  }
+  for (const std::size_t p : config_.map.parts_hosted_by(k)) {
+    const PartitionCopy* copy = config_.map.copy_on(p, k);
+    if (copy == nullptr || copy->via_store) continue;
+    if (!server_->has_part_replica(p)) {
+      return {Errc::kInvalidArgument,
+              format("node {}: no replica attached for part {}", k, p)};
+    }
+    if (server_->part_replica(p).pending_count() > 0) {
+      return {Errc::kBusy,
+              format("node {}: {} SIU entries pending on the part-{} replica",
+                     k, server_->part_replica(p).pending_count(), p)};
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<IndexEntry>> ClusterNode::classify_hosted(
+    std::size_t part, std::span<const Fingerprint> sorted_live) const {
+  const PartitionCopy* copy = config_.map.copy_on(part, config_.node);
+  if (copy == nullptr) {
+    return Error{Errc::kInvalidArgument,
+                 format("node {} hosts no copy of part {}", config_.node,
+                        part)};
+  }
+  const index::DiskIndex& idx = copy->via_store
+                                    ? server_->chunk_store().index()
+                                    : server_->part_replica(part).index();
+  return classify_live_entries(idx, sorted_live);
+}
+
+Result<std::vector<IndexEntry>> ClusterNode::maintenance_mark(
+    std::size_t part, std::vector<Fingerprint> live_fps) {
+  const std::size_t k = config_.node;
+  const std::size_t j = config_.map.copy(part, 0).server;
+  if (j == k) return classify_hosted(part, live_fps);
+
+  net::Endpoint& ep = server_->endpoint();
+  const auto holder = static_cast<net::EndpointId>(j);
+  const std::uint32_t epoch = config_.map.epoch();
+  if (Status sent =
+          ep.send(holder, net::GcMarkRequest{epoch,
+                                             static_cast<std::uint32_t>(part),
+                                             std::move(live_fps)});
+      !sent.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("mark request for part {} to node {} failed: {}",
+                        part, j, sent.message())};
+  }
+  Result<net::GcMarkReply> reply =
+      ep.expect<net::GcMarkReply>(holder, barrier_deadline());
+  if (!reply.ok()) {
+    return Error{Errc::kUnavailable,
+                 format("mark reply for part {} from node {} missing: {}",
+                        part, j, reply.error().message)};
+  }
+  if (reply.value().epoch != epoch || reply.value().part != part) {
+    return Error{Errc::kInvalidArgument,
+                 format("mark reply from node {} answers part {} epoch {}, "
+                        "asked part {} epoch {}",
+                        j, reply.value().part, reply.value().epoch, part,
+                        epoch)};
+  }
+  return std::move(reply.value().entries);
+}
+
+Status ClusterNode::maintenance_install(std::size_t part,
+                                        std::vector<IndexEntry> sorted) {
+  const std::size_t k = config_.node;
+  net::Endpoint& ep = server_->endpoint();
+  const std::uint32_t epoch = config_.map.epoch();
+  for (std::size_t c = 0; c < config_.map.copy_count(); ++c) {
+    const PartitionCopy copy = config_.map.copy(part, c);
+    if (copy.server == k) {
+      const index::DiskIndexParams params =
+          copy.via_store ? server_->chunk_store().index().params()
+                         : server_->part_replica(part).index().params();
+      Result<index::DiskIndex> idx =
+          build_staged_index(*server_, params, sorted);
+      if (!idx.ok()) return idx.status();
+      maintenance_staged_.push_back(
+          {part, copy.via_store, std::move(idx).value()});
+      continue;
+    }
+    const auto holder = static_cast<net::EndpointId>(copy.server);
+    if (Status sent = ep.send(
+            holder,
+            net::GcInstall{epoch, static_cast<std::uint32_t>(part),
+                           static_cast<std::uint8_t>(copy.via_store ? 1 : 0),
+                           sorted});
+        !sent.ok()) {
+      return {Errc::kUnavailable,
+              format("install for part {} to node {} failed: {}", part,
+                     copy.server, sent.message())};
+    }
+    Result<net::Control> ack =
+        ep.expect<net::Control>(holder, barrier_deadline());
+    if (!ack.ok()) {
+      return {Errc::kUnavailable,
+              format("install ack for part {} from node {} missing: {}",
+                     part, copy.server, ack.error().message)};
+    }
+    if (ack.value().op != net::Control::kMaintenanceAck ||
+        ack.value().arg != epoch) {
+      return {Errc::kInvalidArgument,
+              format("node {} acked install for part {} with op {} arg {}",
+                     copy.server, part, ack.value().op, ack.value().arg)};
+    }
+  }
+  return Status::Ok();
+}
+
+Status ClusterNode::maintenance_commit() {
+  // Local copies swap first (pure in-memory), then the peers are
+  // released; their swaps are equally infallible, so a lost ack can only
+  // mean a dead peer, not a half-committed fleet.
+  for (NodeStagedCopy& c : maintenance_staged_) {
+    if (c.via_store) {
+      server_->rebase_chunk_store_index(std::move(c.idx));
+    } else {
+      server_->adopt_replica(server_->make_replica(c.part, std::move(c.idx)));
+    }
+  }
+  maintenance_staged_.clear();
+
+  net::Endpoint& ep = server_->endpoint();
+  const std::uint32_t epoch = config_.map.epoch();
+  Status rc = Status::Ok();
+  for (std::size_t j = 0; j < config_.map.server_slots(); ++j) {
+    if (j == config_.node || !config_.map.is_live(j)) continue;
+    const auto peer = static_cast<net::EndpointId>(j);
+    Status sent = ep.send(peer, net::Control{net::Control::kMaintenanceCommit,
+                                             epoch});
+    if (sent.ok()) {
+      Result<net::Control> ack =
+          ep.expect<net::Control>(peer, barrier_deadline());
+      if (ack.ok() && ack.value().op == net::Control::kMaintenanceAck &&
+          ack.value().arg == epoch) {
+        continue;
+      }
+    }
+    if (rc.ok()) {
+      rc = {Errc::kUnavailable,
+            format("node {} did not acknowledge the maintenance commit", j)};
+    }
+  }
+  return rc;
+}
+
+void ClusterNode::maintenance_abort() {
+  maintenance_staged_.clear();
+  net::Endpoint& ep = server_->endpoint();
+  const std::uint32_t epoch = config_.map.epoch();
+  for (std::size_t j = 0; j < config_.map.server_slots(); ++j) {
+    if (j == config_.node || !config_.map.is_live(j)) continue;
+    (void)ep.send(static_cast<net::EndpointId>(j),
+                  net::Control{net::Control::kMaintenanceAbort, epoch});
+  }
+}
+
+Status ClusterNode::serve_maintenance(net::EndpointId driver) {
+  net::Endpoint& ep = server_->endpoint();
+  const std::uint32_t epoch = config_.map.epoch();
+  const std::size_t k = config_.node;
+  for (;;) {
+    std::optional<net::Message> msg =
+        ep.receive_from(driver, barrier_deadline());
+    if (!msg.has_value()) {
+      maintenance_staged_.clear();
+      return {Errc::kUnavailable,
+              format("node {}: maintenance loop heard nothing from {} within "
+                     "the round timeout",
+                     k, driver)};
+    }
+    if (const auto* mark = std::get_if<net::GcMarkRequest>(&*msg)) {
+      if (mark->epoch != epoch) {
+        maintenance_staged_.clear();
+        return {Errc::kInvalidArgument,
+                format("node {}: mark request carries epoch {}, this node's "
+                       "map is at {}",
+                       k, mark->epoch, epoch)};
+      }
+      Result<std::vector<IndexEntry>> entries =
+          classify_hosted(mark->part, mark->fps);
+      if (!entries.ok()) {
+        maintenance_staged_.clear();
+        return entries.status();
+      }
+      if (Status sent = ep.send(
+              driver, net::GcMarkReply{epoch, mark->part,
+                                       std::move(entries).value()});
+          !sent.ok()) {
+        maintenance_staged_.clear();
+        return {Errc::kUnavailable,
+                format("node {}: mark reply to {} failed: {}", k, driver,
+                       sent.message())};
+      }
+      continue;
+    }
+    if (const auto* install = std::get_if<net::GcInstall>(&*msg)) {
+      const PartitionCopy* copy = config_.map.copy_on(install->part, k);
+      if (install->epoch != epoch || copy == nullptr ||
+          copy->via_store != (install->via_store != 0)) {
+        maintenance_staged_.clear();
+        return {Errc::kInvalidArgument,
+                format("node {}: install for part {} does not match this "
+                       "node's map",
+                       k, install->part)};
+      }
+      const index::DiskIndexParams params =
+          copy->via_store ? server_->chunk_store().index().params()
+                          : server_->part_replica(install->part).index()
+                                .params();
+      Result<index::DiskIndex> idx =
+          build_staged_index(*server_, params, install->entries);
+      if (!idx.ok()) {
+        maintenance_staged_.clear();
+        return idx.status();
+      }
+      maintenance_staged_.push_back(
+          {install->part, copy->via_store, std::move(idx).value()});
+      if (Status sent = ep.send(
+              driver, net::Control{net::Control::kMaintenanceAck, epoch});
+          !sent.ok()) {
+        maintenance_staged_.clear();
+        return {Errc::kUnavailable,
+                format("node {}: install ack to {} failed: {}", k, driver,
+                       sent.message())};
+      }
+      continue;
+    }
+    if (const auto* control = std::get_if<net::Control>(&*msg)) {
+      switch (control->op) {
+        case net::Control::kMaintenanceCommit: {
+          for (NodeStagedCopy& c : maintenance_staged_) {
+            if (c.via_store) {
+              server_->rebase_chunk_store_index(std::move(c.idx));
+            } else {
+              server_->adopt_replica(
+                  server_->make_replica(c.part, std::move(c.idx)));
+            }
+          }
+          maintenance_staged_.clear();
+          return ep.send(driver,
+                         net::Control{net::Control::kMaintenanceAck, epoch});
+        }
+        case net::Control::kMaintenanceAbort:
+        case net::Control::kShutdown:
+          maintenance_staged_.clear();
+          return Status::Ok();
+        default:
+          continue;  // unknown control op: ignore
+      }
+    }
+    // Not a maintenance frame: ignore (the driver owns the choreography).
+  }
 }
 
 Result<ContainerId> ClusterNode::locate_hosted(const Fingerprint& fp) const {

@@ -23,11 +23,13 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/result.hpp"
 #include "core/backup_server.hpp"
 #include "core/partition_map.hpp"
+#include "index/disk_index.hpp"
 #include "net/endpoint.hpp"
 #include "net/message.hpp"
 
@@ -114,7 +116,58 @@ class ClusterNode {
   [[nodiscard]] Result<std::vector<Byte>> read_chunk_via(
       const Fingerprint& fp, net::Endpoint& client);
 
+  // ---- Maintenance round (DESIGN.md §5k), SPMD execution ----
+  //
+  // The driver node runs MaintenanceJob against this surface (the same
+  // shape Cluster exposes in-process) while every peer sits in
+  // serve_maintenance. MARK and INSTALL ride GcMarkRequest / GcMarkReply
+  // / GcInstall frames fenced by the map epoch; COMMIT and abort ride
+  // Control frames. All staged state lives on the node that will adopt
+  // it, so a crashed driver leaves every peer's serving state untouched.
+
+  /// Refuse a round while this node's own dedup-2 state is in flight
+  /// (kBusy). The SPMD form cannot see peers' pending sets — the script
+  /// must only run maintenance at a round boundary (clusterd does).
+  [[nodiscard]] Status maintenance_preconditions() const;
+
+  /// MARK for one partition: classify `live_fps` (sorted) against the
+  /// part's primary copy — locally when this node serves it, else via the
+  /// holder's serve_maintenance loop.
+  [[nodiscard]] Result<std::vector<IndexEntry>> maintenance_mark(
+      std::size_t part, std::vector<Fingerprint> live_fps);
+
+  /// INSTALL for one partition: stage a rebuilt index for EVERY copy of
+  /// `part` from the canonical sorted live stream — local copies on this
+  /// node's minted devices, remote ones on the holder's (acked).
+  [[nodiscard]] Status maintenance_install(std::size_t part,
+                                           std::vector<IndexEntry> sorted);
+
+  /// COMMIT: swap this node's staged copies in (pure in-memory), then
+  /// release every peer's serve loop with Control{kMaintenanceCommit}
+  /// and await their acks.
+  [[nodiscard]] Status maintenance_commit();
+
+  /// Drop local staged state and release peers with
+  /// Control{kMaintenanceAbort} (fire-and-forget — the round is already
+  /// failing).
+  void maintenance_abort();
+
+  /// Peer side: answer mark/install requests from `driver` until it
+  /// commits, aborts, or shuts the loop down.
+  [[nodiscard]] Status serve_maintenance(net::EndpointId driver);
+
  private:
+  /// One staged index copy awaiting the round's commit.
+  struct NodeStagedCopy {
+    std::size_t part;
+    bool via_store;
+    index::DiskIndex idx;
+  };
+
+  /// Classify sorted live fingerprints against whichever copy of `part`
+  /// this node hosts.
+  [[nodiscard]] Result<std::vector<IndexEntry>> classify_hosted(
+      std::size_t part, std::span<const Fingerprint> sorted_live) const;
   [[nodiscard]] net::Deadline barrier_deadline() const {
     return net::Deadline::after(config_.round_timeout);
   }
@@ -126,6 +179,7 @@ class ClusterNode {
 
   ClusterNodeConfig config_;
   BackupServer* server_;
+  std::vector<NodeStagedCopy> maintenance_staged_;
 };
 
 }  // namespace debar::core

@@ -1,32 +1,41 @@
 #include "core/defrag.hpp"
 
-#include <algorithm>
 #include <unordered_map>
-#include <unordered_set>
-#include <vector>
 
 namespace debar::core {
 
 namespace {
 
-/// Resolve each distinct fingerprint of the version to its container.
-Result<std::unordered_map<Fingerprint, ContainerId, FingerprintHash>>
-locate_all(const JobVersionRecord& record, ChunkStore& store) {
-  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> where;
-  for (const FileRecord& f : record.files) {
-    for (const Fingerprint& fp : f.chunk_fps) {
-      if (where.contains(fp)) continue;
-      Result<ContainerId> cid = store.locate(fp);
-      if (!cid.ok()) return cid.error();
-      where.emplace(fp, cid.value());
-    }
-  }
-  return where;
-}
+/// Chunk reads during a rewrite hit whole containers; a tiny cache keeps
+/// a version's stream-order walk from re-parsing the same container per
+/// chunk (consecutive chunks overwhelmingly share containers).
+class ContainerReadCache {
+ public:
+  explicit ContainerReadCache(storage::ChunkRepository& repository)
+      : repository_(repository) {}
 
-FragmentationReport report_from(
-    const JobVersionRecord& record,
-    const std::unordered_map<Fingerprint, ContainerId, FingerprintHash>& where,
+  [[nodiscard]] Result<const storage::Container*> get(ContainerId id) {
+    if (const auto it = cached_.find(id.value); it != cached_.end()) {
+      return &it->second;
+    }
+    Result<storage::Container> read = repository_.read(id);
+    if (!read.ok()) return read.error();
+    if (cached_.size() >= kCapacity) cached_.clear();
+    const auto [it, inserted] =
+        cached_.emplace(id.value, std::move(read).value());
+    return &it->second;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 8;
+  storage::ChunkRepository& repository_;
+  std::unordered_map<std::uint64_t, storage::Container> cached_;
+};
+
+}  // namespace
+
+FragmentationReport measure_fragmentation(
+    const JobVersionRecord& record, const LiveMap& live_map,
     const storage::ChunkRepository& repository) {
   FragmentationReport report;
   std::unordered_set<std::uint64_t> containers;
@@ -39,8 +48,10 @@ FragmentationReport report_from(
 
   for (const FileRecord& f : record.files) {
     for (const Fingerprint& fp : f.chunk_fps) {
+      const auto it = live_map.find(fp);
+      if (it == live_map.end()) continue;  // caller verified at mark time
       ++report.chunks;
-      const ContainerId cid = where.at(fp);
+      const ContainerId cid = it->second;
       containers.insert(cid.value);
       nodes.insert(repository.node_of(cid));
       window.insert(cid.value);
@@ -64,88 +75,42 @@ FragmentationReport report_from(
   return report;
 }
 
-}  // namespace
-
-Result<FragmentationReport> analyze_fragmentation(
-    const JobVersionRecord& record, ChunkStore& store,
-    const storage::ChunkRepository& repository) {
-  auto where = locate_all(record, store);
-  if (!where.ok()) return where.error();
-  return report_from(record, where.value(), repository);
-}
-
-Result<DefragResult> defragment_version(const JobVersionRecord& record,
-                                        ChunkStore& store,
-                                        storage::ChunkRepository& repository,
-                                        const DefragOptions& options) {
-  DefragResult result;
-  auto where = locate_all(record, store);
-  if (!where.ok()) return where.error();
-  result.before = report_from(record, where.value(), repository);
-  result.after = result.before;
-  if (result.before.nodes_touched <= options.node_threshold) {
-    return result;  // already compact
-  }
+Result<LocalityRewrite> stage_locality_rewrite(
+    const JobVersionRecord& record, storage::ChunkRepository& repository,
+    LiveMap& live_map,
+    std::unordered_set<Fingerprint, FingerprintHash>& already_placed,
+    std::vector<StagedContainer>& staged, const LocalityOptions& options) {
+  LocalityRewrite result;
 
   // Rewrite the version's chunks, in stream order (fresh SISL layout),
-  // into containers pinned to the target node.
-  std::unordered_map<Fingerprint, ContainerId, FingerprintHash> moved;
-  storage::Container open(options.container_capacity);
-  const auto seal = [&]() -> Status {
-    if (open.chunk_count() == 0) return Status::Ok();
-    const std::vector<storage::ChunkMeta> metas = open.metadata();
-    const ContainerId id =
-        repository.append(std::move(open), options.target_node);
-    ++result.containers_written;
-    for (const storage::ChunkMeta& m : metas) moved[m.fp] = id;
-    open = storage::Container(options.container_capacity);
-    return Status::Ok();
-  };
-
+  // into staged containers pinned to the target node. Chunks a newer
+  // version placed this round keep that placement.
+  ContainerStager stager(repository, options.container_capacity,
+                         options.target_node, staged, live_map);
+  ContainerReadCache cache(repository);
   for (const FileRecord& f : record.files) {
     for (const Fingerprint& fp : f.chunk_fps) {
-      if (moved.contains(fp)) continue;  // deduplicate within the version
-      Result<std::vector<Byte>> chunk = store.read_chunk(fp);
-      if (!chunk.ok()) return chunk.error();
-      if (!open.try_append(fp,
-                           ByteSpan(chunk.value().data(),
-                                    chunk.value().size()))) {
-        if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
-        const bool ok = open.try_append(
-            fp, ByteSpan(chunk.value().data(), chunk.value().size()));
-        if (!ok) {
-          return Error{Errc::kInvalidArgument,
-                       "chunk larger than an empty defrag container"};
-        }
+      if (!already_placed.insert(fp).second) continue;
+      const auto it = live_map.find(fp);
+      if (it == live_map.end()) {
+        return Error{Errc::kCorrupt,
+                     "live fingerprint missing from the live map during "
+                     "locality rewrite"};
       }
-      moved.emplace(fp, kNullContainer);  // patched at seal time
+      Result<const storage::Container*> container = cache.get(it->second);
+      if (!container.ok()) return container.error();
+      const std::optional<ByteSpan> chunk = container.value()->find(fp);
+      if (!chunk.has_value()) {
+        return Error{Errc::kCorrupt,
+                     "live map points at a container missing the chunk"};
+      }
+      if (Status s = stager.add(fp, *chunk); !s.ok()) {
+        return Error{s.code(), s.message()};
+      }
       ++result.chunks_rewritten;
     }
   }
-  if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
-
-  // Re-map the index to the new containers in one sequential pass.
-  std::vector<IndexEntry> updates;
-  updates.reserve(moved.size());
-  for (const auto& [fp, cid] : moved) updates.push_back({fp, cid});
-  std::sort(updates.begin(), updates.end(),
-            [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
-  std::uint64_t missing = 0;
-  if (Status s = store.index().bulk_update(
-          std::span<const IndexEntry>(updates), 1024, &missing);
-      !s.ok()) {
-    return Error{s.code(), s.message()};
-  }
-  // Fingerprints still pending SIU are re-mapped in the pending set.
-  if (missing > 0) {
-    store.add_pending(std::span<const IndexEntry>(updates));
-  }
-
-  for (auto& [fp, cid] : where.value()) {
-    const auto it = moved.find(fp);
-    if (it != moved.end()) cid = it->second;
-  }
-  result.after = report_from(record, where.value(), repository);
+  result.containers_written = stager.finish();
   return result;
 }
 

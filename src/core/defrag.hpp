@@ -1,4 +1,4 @@
-// Defragmentation (Section 6.3).
+// Restore-locality compaction (Section 6.3, generalized).
 //
 // De-duplication shares chunks across files, so over time a job version's
 // chunks spread over many containers on many storage nodes, degrading
@@ -7,19 +7,23 @@
 // storage nodes, thus significantly reducing storage fragmentation and
 // retaining high read throughput."
 //
-// This implementation re-homes one job version: it measures the version's
-// container spread, and if fragmented, rewrites the version's chunks into
-// fresh containers pinned to a single storage node (in stream order —
-// restoring the SISL locality), then re-maps the affected fingerprints in
-// the disk index with one sequential bulk_update pass. Old container
-// copies become garbage but are never deleted here: other versions may
-// still share their chunks (space reclamation is a separate policy).
+// This is the locality engine MaintenanceJob drives (core/maintenance.hpp
+// is the public entry point). Unlike the original single-version rewrite
+// it operates on the maintenance round's live map and stages its output:
+// a fragmented version's chunks are re-sequenced in stream order into
+// staged containers pinned to one storage node (the fresh-backup SISL
+// layout), the live map is re-pointed, and nothing is published until the
+// round commits. Ran newest-version-first across every live version, a
+// chunk shared with an already-rewritten newer version stays where that
+// version put it — the newest (most-restored) version gets the best
+// layout and shared runs are not duplicated per version.
 #pragma once
 
 #include <cstdint>
+#include <unordered_set>
 
 #include "common/result.hpp"
-#include "core/chunk_store.hpp"
+#include "core/gc.hpp"
 #include "core/metadata.hpp"
 #include "storage/chunk_repository.hpp"
 
@@ -34,19 +38,14 @@ struct FragmentationReport {
   double containers_per_1k_chunks = 0.0;
 };
 
-/// Measure how fragmented a version's chunk placement is.
-[[nodiscard]] Result<FragmentationReport> analyze_fragmentation(
-    const JobVersionRecord& record, ChunkStore& store,
+/// Measure a version's placement against a live map whose containers are
+/// all resolvable in the repository — before any staging, or after the
+/// round committed (staged containers are published and pinned by then).
+[[nodiscard]] FragmentationReport measure_fragmentation(
+    const JobVersionRecord& record, const LiveMap& live_map,
     const storage::ChunkRepository& repository);
 
-struct DefragResult {
-  FragmentationReport before;
-  FragmentationReport after;
-  std::uint64_t chunks_rewritten = 0;
-  std::uint64_t containers_written = 0;
-};
-
-struct DefragOptions {
+struct LocalityOptions {
   /// Rewrite only if the version touches more than this many nodes.
   std::uint64_t node_threshold = 1;
   /// Storage node the rewritten containers are pinned to.
@@ -54,10 +53,21 @@ struct DefragOptions {
   std::uint64_t container_capacity = kContainerSize;
 };
 
-/// Re-aggregate one version's chunks onto `target_node` and re-map the
-/// index. No-op (before == after) when the version is already compact.
-[[nodiscard]] Result<DefragResult> defragment_version(
-    const JobVersionRecord& record, ChunkStore& store,
-    storage::ChunkRepository& repository, const DefragOptions& options = {});
+struct LocalityRewrite {
+  std::uint64_t chunks_rewritten = 0;
+  std::uint64_t containers_written = 0;
+};
+
+/// Stage a locality rewrite of one version: its chunks, in stream order,
+/// into staged containers pinned to `target_node` under reserved IDs.
+/// Fingerprints in `already_placed` are skipped (a newer version placed
+/// them this round) and every fingerprint this rewrite stages is added to
+/// it. The live map is re-pointed at the staged containers; old copies
+/// become dead and are reclaimed by the same round's sweep.
+[[nodiscard]] Result<LocalityRewrite> stage_locality_rewrite(
+    const JobVersionRecord& record, storage::ChunkRepository& repository,
+    LiveMap& live_map,
+    std::unordered_set<Fingerprint, FingerprintHash>& already_placed,
+    std::vector<StagedContainer>& staged, const LocalityOptions& options);
 
 }  // namespace debar::core

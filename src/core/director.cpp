@@ -6,6 +6,8 @@
 
 namespace debar::core {
 
+Director::Director(DirectorConfig config) : config_(std::move(config)) {}
+
 std::uint64_t Director::define_job(std::string client_name,
                                    std::string dataset_name,
                                    std::uint32_t schedule_period_days) {
@@ -141,6 +143,7 @@ Status Director::recover() {
 
 Status Director::submit_version(JobVersionRecord record) {
   std::lock_guard lock(mutex_);
+  if (record.backup_day == 0) record.backup_day = current_day_;
   if (metadata_store_ != nullptr) {
     if (Status s = metadata_store_->append(record); !s.ok()) {
       // Keep the in-memory catalogue consistent with what we acknowledge:
@@ -223,6 +226,68 @@ std::vector<JobVersionRecord> Director::all_versions() const {
     out.insert(out.end(), records.begin(), records.end());
   }
   return out;
+}
+
+void Director::set_current_day(std::uint32_t day) {
+  std::lock_guard lock(mutex_);
+  current_day_ = std::max(current_day_, day);
+}
+
+std::uint32_t Director::current_day() const {
+  std::lock_guard lock(mutex_);
+  return current_day_;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>>
+Director::expired_versions(std::uint32_t today) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> expired;
+  const RetentionPolicy& policy = config_.retention;
+  if (policy.unbounded()) return expired;
+  for (const auto& [job, records] : versions_) {
+    if (records.empty()) continue;
+    // Rank by version number, newest first; records arrive in submit
+    // order but drop_version can leave holes, so sort explicitly.
+    std::vector<const JobVersionRecord*> ranked;
+    ranked.reserve(records.size());
+    for (const JobVersionRecord& r : records) ranked.push_back(&r);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const JobVersionRecord* a, const JobVersionRecord* b) {
+                return a->version > b->version;
+              });
+    for (std::size_t rank = 0; rank < ranked.size(); ++rank) {
+      const JobVersionRecord& r = *ranked[rank];
+      if (rank == 0) continue;  // latest of the chain is never expired
+      const bool kept_by_count =
+          policy.keep_last > 0 && rank < policy.keep_last;
+      const std::uint32_t age =
+          today >= r.backup_day ? today - r.backup_day : 0;
+      const bool kept_by_age = policy.keep_days > 0 && age <= policy.keep_days;
+      if (!kept_by_count && !kept_by_age) {
+        expired.emplace_back(job, r.version);
+      }
+    }
+  }
+  // Oldest first so reclamation frees the most-fragmented state first.
+  std::sort(expired.begin(), expired.end(),
+            [](const auto& a, const auto& b) {
+              return a.second != b.second ? a.second < b.second
+                                          : a.first < b.first;
+            });
+  return expired;
+}
+
+bool Director::maintenance_due(std::uint32_t day) const {
+  std::lock_guard lock(mutex_);
+  if (config_.maintenance_period_days == 0) return false;
+  if (!maintenance_ran_) return day >= config_.maintenance_period_days;
+  return day >= last_maintenance_day_ + config_.maintenance_period_days;
+}
+
+void Director::note_maintenance(std::uint32_t day) {
+  std::lock_guard lock(mutex_);
+  maintenance_ran_ = true;
+  last_maintenance_day_ = day;
 }
 
 std::vector<Fingerprint> Director::filtering_fingerprints(

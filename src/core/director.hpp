@@ -14,6 +14,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.hpp"
@@ -22,9 +23,34 @@
 
 namespace debar::core {
 
+/// Retention policy (DESIGN.md §5k): which versions of a job chain stay
+/// restorable. A version is KEPT if it is among the newest `keep_last`
+/// versions of its job (when keep_last > 0) OR its age in simulated days
+/// is <= `keep_days` (when keep_days > 0). Both zero means keep
+/// everything (the pre-retention behaviour). The latest version of a job
+/// is never expired regardless of age — the job chain's filtering
+/// fingerprints and the next incremental run depend on it.
+struct RetentionPolicy {
+  std::uint32_t keep_last = 0;
+  std::uint32_t keep_days = 0;
+
+  [[nodiscard]] bool unbounded() const noexcept {
+    return keep_last == 0 && keep_days == 0;
+  }
+};
+
+struct DirectorConfig {
+  RetentionPolicy retention;
+  /// Simulated-day period between maintenance rounds (expiry + GC +
+  /// compaction); 0 disables director-driven scheduling and leaves
+  /// maintenance to explicit MaintenanceJob runs.
+  std::uint32_t maintenance_period_days = 0;
+};
+
 class Director {
  public:
   Director() = default;
+  explicit Director(DirectorConfig config);
 
   /// Attach a persistent metadata store (Section 6.3): every submitted
   /// version is also appended there, and recover() reloads state after a
@@ -100,6 +126,30 @@ class Director {
   /// Every live version across every job (the GC mark set source).
   [[nodiscard]] std::vector<JobVersionRecord> all_versions() const;
 
+  // ---- Retention & maintenance scheduling ----
+
+  [[nodiscard]] const RetentionPolicy& retention() const noexcept {
+    return config_.retention;
+  }
+
+  /// Advance the director's simulated-day clock. submit_version stamps
+  /// records whose backup_day is unset with the current day, so schedulers
+  /// only need to keep this in step with the days they drive.
+  void set_current_day(std::uint32_t day);
+  [[nodiscard]] std::uint32_t current_day() const;
+
+  /// (job_id, version) pairs the retention policy expires as of `today`,
+  /// oldest first. Pure query — dropping them (and reclaiming their
+  /// chunks) is the MaintenanceJob's move, so a crashed maintenance run
+  /// simply reports the same versions again.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint32_t>>
+  expired_versions(std::uint32_t today) const;
+
+  /// Director-driven maintenance cadence: true once per
+  /// maintenance_period_days. note_maintenance records a completed round.
+  [[nodiscard]] bool maintenance_due(std::uint32_t day) const;
+  void note_maintenance(std::uint32_t day);
+
   /// Filtering fingerprints for a job run: the full fingerprint sequence
   /// of the chain's previous version (empty for the first run).
   [[nodiscard]] std::vector<Fingerprint> filtering_fingerprints(
@@ -110,6 +160,10 @@ class Director {
 
  private:
   mutable std::mutex mutex_;
+  DirectorConfig config_;
+  std::uint32_t current_day_ = 0;
+  std::uint32_t last_maintenance_day_ = 0;
+  bool maintenance_ran_ = false;
   std::vector<JobSpec> jobs_;
   std::map<std::uint64_t, std::vector<JobVersionRecord>> versions_;
   std::vector<std::uint64_t> server_load_;

@@ -1,120 +1,110 @@
 #include "core/gc.hpp"
 
-#include <algorithm>
-#include <functional>
-#include <unordered_set>
-#include <vector>
-
-#include "core/cluster.hpp"
+#include <utility>
 
 namespace debar::core {
 
-namespace {
+ContainerStager::ContainerStager(storage::ChunkRepository& repository,
+                                 std::uint64_t capacity,
+                                 std::optional<std::size_t> node,
+                                 std::vector<StagedContainer>& out,
+                                 LiveMap& live_map)
+    : repository_(repository),
+      capacity_(capacity),
+      node_(node),
+      out_(out),
+      live_map_(live_map),
+      open_(capacity) {}
 
-/// The sweep, parameterized over how index operations route: the
-/// single-server form binds them to one ChunkStore; the cluster form
-/// fans each out to the owning part.
-struct IndexOps {
-  std::function<Result<ContainerId>(const Fingerprint&)> locate;
-  std::function<Status(std::span<const Fingerprint>)> erase_sorted;
-  std::function<Status(std::span<const IndexEntry>)> update_sorted;
-};
-
-Result<GcReport> sweep(const Director& director,
-                       storage::ChunkRepository& repository,
-                       const IndexOps& ops, const GcOptions& options) {
-  // ---- MARK: live fingerprints from every recorded version. ----
-  std::unordered_set<Fingerprint, FingerprintHash> live;
-  for (const JobVersionRecord& rec : director.all_versions()) {
-    for (const FileRecord& f : rec.files) {
-      live.insert(f.chunk_fps.begin(), f.chunk_fps.end());
+Status ContainerStager::add(const Fingerprint& fp, ByteSpan bytes) {
+  if (!open_.try_append(fp, bytes)) {
+    seal();
+    if (!open_.try_append(fp, bytes)) {
+      return {Errc::kInvalidArgument,
+              "chunk larger than an empty staged container"};
     }
   }
+  return Status::Ok();
+}
 
-  GcReport report;
+std::uint64_t ContainerStager::finish() {
+  seal();
+  return sealed_;
+}
 
-  // ---- SWEEP. ----
-  // The index maps each live fingerprint to exactly one container; only
-  // that copy is live. Defrag leftovers and multi-origin duplicates in
-  // *other* containers are dead even though their fingerprint is live.
-  std::vector<ContainerId> to_delete;
+void ContainerStager::seal() {
+  if (open_.chunk_count() == 0) return;
+  const ContainerId id = repository_.reserve_id();
+  // Re-point the live map now: the rebuild streams and any later staging
+  // pass must see chunks where they will live after commit.
+  for (const storage::ChunkMeta& m : open_.metadata()) {
+    live_map_[m.fp] = id;
+  }
+  out_.push_back(
+      {id, std::exchange(open_, storage::Container(capacity_)), node_});
+  ++sealed_;
+}
+
+Result<SweepPlan> sweep_containers(storage::ChunkRepository& repository,
+                                   LiveMap& live_map,
+                                   const SweepOptions& options) {
+  SweepPlan plan;
+
   struct Compaction {
     ContainerId old_id;
     std::vector<storage::ChunkMeta> live_chunks;
   };
   std::vector<Compaction> to_compact;
-  // Index entries whose (dead) chunk is being reclaimed: erased at the
-  // end so the index never dangles into deleted containers.
-  std::vector<Fingerprint> dead_index_fps;
 
   for (const ContainerId id : repository.container_ids()) {
     Result<storage::Container> container = repository.read(id);
     if (!container.ok()) return container.error();
-    ++report.containers_scanned;
+    ++plan.containers_scanned;
 
     Compaction c{id, {}};
     std::uint64_t dead = 0;
     std::uint64_t dead_bytes = 0;
-    std::vector<Fingerprint> dead_here;  // dead chunks indexed to this id
+    std::uint64_t moved = 0;
     for (const storage::ChunkMeta& m : container.value().metadata()) {
-      const Result<ContainerId> mapped = ops.locate(m.fp);
-      if (live.contains(m.fp) && !mapped.ok()) {
-        // A recorded chunk with no index mapping would be unreachable;
-        // refusing to reclaim is the only safe move.
-        return Error{Errc::kCorrupt,
-                     "live fingerprint missing from the index; aborting GC"};
-      }
-      const bool indexed_here = mapped.ok() && mapped.value() == id;
-      if (live.contains(m.fp) && indexed_here) {
+      const auto it = live_map.find(m.fp);
+      if (it != live_map.end() && it->second == id) {
         c.live_chunks.push_back(m);
+      } else if (it != live_map.end()) {
+        // Moved: still live, but the canonical copy is another container
+        // (a locality rewrite this round, or a multi-origin duplicate).
+        // Deleting this copy reclaims nothing logically.
+        ++moved;
       } else {
         ++dead;
         dead_bytes += m.size;
-        if (indexed_here) dead_here.push_back(m.fp);
       }
     }
-    report.live_chunks += c.live_chunks.size();
-    report.dead_chunks += dead;
+    plan.live_chunks += c.live_chunks.size();
+    plan.moved_chunks += moved;
+    plan.dead_chunks += dead;
 
     if (c.live_chunks.empty()) {
-      // Fully dead: reclaim the container; its indexed (dead)
-      // fingerprints must leave the index too.
-      to_delete.push_back(id);
-      report.bytes_reclaimed += container.value().data_bytes();
-      dead_index_fps.insert(dead_index_fps.end(), dead_here.begin(),
-                            dead_here.end());
-    } else if (dead > 0) {
+      if (moved == 0) ++plan.containers_dead;
+      plan.to_remove.push_back(id);
+      plan.bytes_reclaimed += dead_bytes;
+    } else if (dead + moved > 0) {
       const double live_fraction =
           static_cast<double>(c.live_chunks.size()) /
           static_cast<double>(container.value().chunk_count());
       if (live_fraction < options.compact_threshold) {
-        report.bytes_reclaimed += dead_bytes;
-        dead_index_fps.insert(dead_index_fps.end(), dead_here.begin(),
-                              dead_here.end());
+        plan.bytes_reclaimed += dead_bytes;
         to_compact.push_back(std::move(c));
       }
-      // Containers kept as-is keep their dead entries in the index: a
-      // future backup of the same content will still dedup against them.
+      // Containers at or above the threshold keep their dead payload —
+      // the rewrite cost outweighs the reclaim. Their dead fingerprints
+      // still leave the index: rebuild streams carry live entries only.
     }
   }
 
-  // Compact: rewrite live chunks into fresh containers (scan order keeps
-  // whatever locality the old containers had), then re-map the index.
-  std::vector<IndexEntry> remap;
-  storage::Container open(options.container_capacity);
-  std::vector<std::pair<Fingerprint, std::size_t>> open_members;
-  const auto seal = [&]() -> Status {
-    if (open.chunk_count() == 0) return Status::Ok();
-    const std::vector<storage::ChunkMeta> metas = open.metadata();
-    const ContainerId fresh = repository.append(std::move(open));
-    ++report.containers_written;
-    for (const storage::ChunkMeta& m : metas) {
-      remap.push_back({m.fp, fresh});
-    }
-    open = storage::Container(options.container_capacity);
-    return Status::Ok();
-  };
-
+  // Compact: rewrite live chunks into staged containers (scan order keeps
+  // whatever locality the old containers had) under reserved IDs.
+  ContainerStager stager(repository, options.container_capacity,
+                         options.compact_node, plan.staged, live_map);
   for (const Compaction& c : to_compact) {
     Result<storage::Container> container = repository.read(c.old_id);
     if (!container.ok()) return container.error();
@@ -124,138 +114,30 @@ Result<GcReport> sweep(const Director& director,
         return Error{Errc::kCorrupt,
                      "container metadata lists a chunk it does not hold"};
       }
-      if (!open.try_append(m.fp, *chunk)) {
-        if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
-        const bool ok = open.try_append(m.fp, *chunk);
-        if (!ok) {
-          return Error{Errc::kInvalidArgument,
-                       "chunk larger than an empty GC container"};
-        }
+      if (Status s = stager.add(m.fp, *chunk); !s.ok()) {
+        return Error{s.code(), s.message()};
       }
     }
-    ++report.containers_compacted;
+    ++plan.containers_compacted;
+    plan.to_remove.push_back(c.old_id);
   }
-  if (Status s = seal(); !s.ok()) return Error{s.code(), s.message()};
-
-  if (!remap.empty()) {
-    std::sort(remap.begin(), remap.end(),
-              [](const IndexEntry& a, const IndexEntry& b) {
-                return a.fp < b.fp;
-              });
-    if (Status s = ops.update_sorted(std::span<const IndexEntry>(remap));
-        !s.ok()) {
-      return Error{s.code(), s.message()};
-    }
-  }
-
-  // Erase the reclaimed fingerprints from the index in one pass.
-  if (!dead_index_fps.empty()) {
-    std::sort(dead_index_fps.begin(), dead_index_fps.end());
-    dead_index_fps.erase(
-        std::unique(dead_index_fps.begin(), dead_index_fps.end()),
-        dead_index_fps.end());
-    if (Status s =
-            ops.erase_sorted(std::span<const Fingerprint>(dead_index_fps));
-        !s.ok()) {
-      return Error{s.code(), s.message()};
-    }
-  }
-
-  // Delete fully-dead and successfully compacted containers.
-  for (const Compaction& c : to_compact) {
-    if (Status s = repository.remove(c.old_id); !s.ok()) {
-      return Error{s.code(), s.message()};
-    }
-    ++report.containers_deleted;
-  }
-  for (const ContainerId id : to_delete) {
-    if (Status s = repository.remove(id); !s.ok()) {
-      return Error{s.code(), s.message()};
-    }
-    ++report.containers_deleted;
-  }
-  return report;
+  plan.containers_written = stager.finish();
+  return plan;
 }
 
-}  // namespace
-
-Result<GcReport> collect_garbage(const Director& director, ChunkStore& store,
-                                 storage::ChunkRepository& repository,
-                                 const GcOptions& options) {
-  if (store.index().params().skip_bits != 0) {
-    return Error{Errc::kUnsupported,
-                 "routed index parts need the Cluster overload"};
+void publish_staged(storage::ChunkRepository& repository,
+                    std::vector<StagedContainer> staged) {
+  for (StagedContainer& s : staged) {
+    repository.append_reserved(s.id, std::move(s.container), s.node);
   }
-  if (store.pending_count() > 0) {
-    return Error{Errc::kInvalidArgument,
-                 "GC cannot run while SIU entries are pending"};
-  }
-  IndexOps ops;
-  ops.locate = [&](const Fingerprint& fp) { return store.locate(fp); };
-  ops.erase_sorted = [&](std::span<const Fingerprint> fps) {
-    return store.index().bulk_erase(fps, 1024);
-  };
-  ops.update_sorted = [&](std::span<const IndexEntry> entries) {
-    std::uint64_t missing = 0;
-    Status s = store.index().bulk_update(entries, 1024, &missing);
-    if (s.ok() && missing != 0) {
-      return Status(Errc::kCorrupt,
-                    "GC re-map hit fingerprints absent from the index");
-    }
-    return s;
-  };
-  return sweep(director, repository, ops, options);
 }
 
-Result<GcReport> collect_garbage(Cluster& cluster, const GcOptions& options) {
-  for (std::size_t k = 0; k < cluster.server_count(); ++k) {
-    if (cluster.server(k).chunk_store().pending_count() > 0) {
-      return Error{Errc::kInvalidArgument,
-                   "GC cannot run while SIU entries are pending"};
-    }
+Status remove_containers(storage::ChunkRepository& repository,
+                         std::span<const ContainerId> ids) {
+  for (const ContainerId id : ids) {
+    if (Status s = repository.remove(id); !s.ok()) return s;
   }
-  // Route every index operation to the part that owns the fingerprint.
-  // Sorted batches are split by routing prefix: each part's slice is
-  // contiguous because the routing bits are the most significant ones.
-  IndexOps ops;
-  ops.locate = [&](const Fingerprint& fp) {
-    return cluster.server(cluster.owner_of(fp)).chunk_store().locate(fp);
-  };
-  ops.erase_sorted = [&](std::span<const Fingerprint> fps) {
-    std::size_t begin = 0;
-    while (begin < fps.size()) {
-      const std::size_t owner = cluster.owner_of(fps[begin]);
-      std::size_t end = begin;
-      while (end < fps.size() && cluster.owner_of(fps[end]) == owner) ++end;
-      Status s = cluster.server(owner).chunk_store().index().bulk_erase(
-          fps.subspan(begin, end - begin), 1024);
-      if (!s.ok()) return s;
-      begin = end;
-    }
-    return Status::Ok();
-  };
-  ops.update_sorted = [&](std::span<const IndexEntry> entries) {
-    std::size_t begin = 0;
-    while (begin < entries.size()) {
-      const std::size_t owner = cluster.owner_of(entries[begin].fp);
-      std::size_t end = begin;
-      while (end < entries.size() &&
-             cluster.owner_of(entries[end].fp) == owner) {
-        ++end;
-      }
-      std::uint64_t missing = 0;
-      Status s = cluster.server(owner).chunk_store().index().bulk_update(
-          entries.subspan(begin, end - begin), 1024, &missing);
-      if (!s.ok()) return s;
-      if (missing != 0) {
-        return Status(Errc::kCorrupt,
-                      "GC re-map hit fingerprints absent from the index");
-      }
-      begin = end;
-    }
-    return Status::Ok();
-  };
-  return sweep(cluster.director(), cluster.repository(), ops, options);
+  return Status::Ok();
 }
 
 }  // namespace debar::core

@@ -1,71 +1,142 @@
-// Garbage collection / space reclamation.
+// Garbage collection / space reclamation: the sweep engine.
 //
 // The paper leaves reclamation as policy ("storage" grows append-only;
 // defragmentation §6.3 explicitly creates garbage copies). A usable
 // archival system needs it once retention expires versions, so this
-// module implements the classic mark-and-sweep for container stores:
+// module implements the sweep half of mark-and-sweep for container
+// stores. The mark half (live roots from the director's recorded
+// versions, resolved to containers through the index — over the wire in
+// cluster mode) and the publish/commit sequencing live in
+// core/maintenance.hpp; this file is the engine MaintenanceJob drives.
 //
-//   MARK   gather the live fingerprint set from the director's recorded
-//          versions (the file indices are the reachability roots);
-//   SWEEP  walk every container: fully-dead containers are deleted;
-//          containers whose live fraction falls below a threshold are
-//          compacted — live chunks are rewritten into fresh containers
-//          (preserving scan order) and the index re-mapped with one
-//          sequential bulk_update pass before the old container is
-//          deleted.
+//   SWEEP  walk every container: a chunk copy is live iff its fingerprint
+//          is in the live map AND the map points at this container (the
+//          index maps each fingerprint to exactly one container, so
+//          defrag leftovers and multi-origin duplicates elsewhere are
+//          dead even though their fingerprint is live). Fully-dead
+//          containers are deleted; containers whose live fraction falls
+//          below a threshold are compacted — live chunks are rewritten
+//          into staged containers (preserving scan order) under
+//          repository IDs reserved up front, so publishing them later is
+//          infallible. The live map is updated in place; the caller
+//          rebuilds every index copy from it (maintenance) and only then
+//          publishes staged containers and removes dead ones.
 //
-// Correctness invariant (tested): after GC, every chunk of every live
-// version is still restorable; only unreachable payload is reclaimed.
+// Correctness invariant (tested): after a maintenance round, every chunk
+// of every live version is still restorable; only unreachable payload is
+// reclaimed, and the rebuilt index holds live fingerprints only.
 //
-// GC must not run concurrently with dedup-2: a fingerprint sitting in the
-// pending (checking) set or chunk log is live but not yet visible through
-// a version record... actually it IS visible (versions are recorded at
-// dedup-1 end), but its container assignment may still be in flight, so
-// gc() refuses to run while the store has pending SIU entries.
+// Concurrency invariant: maintenance must not run while dedup-2 has
+// pending SIU entries. A version is visible the moment dedup-1 ends
+// (submit_version), but the container assignment of its fresh chunks is
+// still in flight until the SIU pass commits — sweeping in that window
+// would read the index mid-update and misclassify in-flight chunks as
+// dead. MaintenanceJob refuses with the retryable kBusy until the store
+// (every copy, in cluster mode) reports no pending entries.
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "common/result.hpp"
-#include "core/chunk_store.hpp"
-#include "core/director.hpp"
+#include "common/types.hpp"
 #include "storage/chunk_repository.hpp"
 
 namespace debar::core {
 
-struct GcOptions {
+/// fp -> container for every live fingerprint: built by the mark phase,
+/// mutated by compaction/locality staging, and finally the stream every
+/// index copy is rebuilt from.
+using LiveMap =
+    std::unordered_map<Fingerprint, ContainerId, FingerprintHash>;
+
+struct SweepOptions {
   /// Containers with live fraction below this are compacted; at or above
   /// it they are left alone (rewrite cost outweighs the reclaim).
   double compact_threshold = 0.5;
   std::uint64_t container_capacity = kContainerSize;
+  /// Storage node compaction output is pinned to (round-robin if unset).
+  std::optional<std::size_t> compact_node;
 };
 
-struct GcReport {
+/// A container staged for publication: its repository ID is reserved at
+/// stage time so the commit (append_reserved) cannot fail or renumber.
+struct StagedContainer {
+  ContainerId id;
+  storage::Container container;
+  std::optional<std::size_t> node;
+};
+
+/// Everything one sweep pass decides. Nothing in the repository has been
+/// mutated when this returns: `staged` awaits publish_staged and
+/// `to_remove` awaits remove_containers, both after the caller has
+/// committed the rebuilt index images.
+struct SweepPlan {
+  std::vector<ContainerId> to_remove;   // no live-in-place chunks left
+  std::vector<StagedContainer> staged;  // compaction output
   std::uint64_t containers_scanned = 0;
-  std::uint64_t containers_deleted = 0;    // fully dead
+  std::uint64_t containers_dead = 0;       // no live chunks at all
   std::uint64_t containers_compacted = 0;  // partially dead, rewritten
   std::uint64_t containers_written = 0;    // fresh compaction output
-  std::uint64_t live_chunks = 0;
-  std::uint64_t dead_chunks = 0;
-  std::uint64_t bytes_reclaimed = 0;
+  std::uint64_t live_chunks = 0;  // live, canonical copy in this container
+  /// Live fingerprints whose canonical copy is another container — an
+  /// earlier staging pass (locality rewrite) moved them, or a
+  /// multi-origin duplicate lost the index race. Deleted here but not
+  /// reclaimed: the logical data survives elsewhere.
+  std::uint64_t moved_chunks = 0;
+  std::uint64_t dead_chunks = 0;      // fingerprint left the live set
+  std::uint64_t bytes_reclaimed = 0;  // dead chunk bytes actually deleted
 };
 
-/// Run one mark-and-sweep cycle over `repository`, using `director`'s
-/// recorded versions as roots and `store`'s index for re-mapping.
-/// Single-server form: the store's index must cover all fingerprints
-/// (skip_bits == 0). Fails with kUnsupported on a routed index part and
-/// with kInvalidArgument while SIU is pending.
-[[nodiscard]] Result<GcReport> collect_garbage(
-    const Director& director, ChunkStore& store,
-    storage::ChunkRepository& repository, const GcOptions& options = {});
+/// Accumulates chunks into staged containers under reserved IDs, shared
+/// by compaction (gc.cpp) and the locality rewrite (defrag.cpp). Every
+/// sealed container's chunks are re-pointed in the live map immediately,
+/// so rebuild streams and later staging passes see the post-commit
+/// placement.
+class ContainerStager {
+ public:
+  ContainerStager(storage::ChunkRepository& repository,
+                  std::uint64_t capacity, std::optional<std::size_t> node,
+                  std::vector<StagedContainer>& out, LiveMap& live_map);
 
-class Cluster;  // core/cluster.hpp
+  [[nodiscard]] Status add(const Fingerprint& fp, ByteSpan bytes);
 
-/// Cluster form: sweeps the shared repository once, routing every index
-/// operation (liveness lookups, erases, re-maps) to the owning server's
-/// part. A director-initiated maintenance job; requires no pending SIU
-/// anywhere.
-[[nodiscard]] Result<GcReport> collect_garbage(Cluster& cluster,
-                                               const GcOptions& options = {});
+  /// Close the open container (if non-empty); returns containers sealed
+  /// over this stager's lifetime.
+  std::uint64_t finish();
+
+ private:
+  void seal();
+
+  storage::ChunkRepository& repository_;
+  std::uint64_t capacity_;
+  std::optional<std::size_t> node_;
+  std::vector<StagedContainer>& out_;
+  LiveMap& live_map_;
+  storage::Container open_;
+  std::uint64_t sealed_ = 0;
+};
+
+/// One sweep pass over `repository`. Read-only apart from reserve_id();
+/// `live_map` entries for compacted chunks are re-pointed at their staged
+/// container. kCorrupt if container metadata lists a chunk the container
+/// does not hold.
+[[nodiscard]] Result<SweepPlan> sweep_containers(
+    storage::ChunkRepository& repository, LiveMap& live_map,
+    const SweepOptions& options);
+
+/// Publish staged containers under their reserved IDs. Infallible by
+/// construction (in-memory directory insert; persistent-mode write
+/// failures park in the repository's backing error like every append).
+void publish_staged(storage::ChunkRepository& repository,
+                    std::vector<StagedContainer> staged);
+
+/// Remove dead containers. kNotFound is impossible for IDs a sweep plan
+/// produced; any error is returned for the caller to surface.
+[[nodiscard]] Status remove_containers(storage::ChunkRepository& repository,
+                                       std::span<const ContainerId> ids);
 
 }  // namespace debar::core

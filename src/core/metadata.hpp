@@ -40,6 +40,10 @@ struct FileRecord {
 struct JobVersionRecord {
   std::uint64_t job_id = 0;
   std::uint32_t version = 0;
+  /// Simulated day the version was taken (0 = unknown); the retention
+  /// policy's keep-days clock. Stamped by Director::submit_version from
+  /// its current day when left unset.
+  std::uint32_t backup_day = 0;
   std::vector<FileRecord> files;
   std::uint64_t logical_bytes = 0;
 

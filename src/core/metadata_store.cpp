@@ -21,6 +21,7 @@ std::vector<Byte> serialize_record(const JobVersionRecord& rec) {
   w.u32(kRecordMagic);
   w.u64(rec.job_id);
   w.u32(rec.version);
+  w.u32(rec.backup_day);
   w.u64(rec.logical_bytes);
   w.u32(static_cast<std::uint32_t>(rec.files.size()));
   for (const FileRecord& f : rec.files) {
@@ -47,6 +48,7 @@ Result<JobVersionRecord> parse_record(ByteSpan payload) {
   JobVersionRecord rec;
   rec.job_id = r.u64();
   rec.version = r.u32();
+  rec.backup_day = r.u32();
   rec.logical_bytes = r.u64();
   const std::uint32_t files = r.u32();
   if (!r.ok()) return Error{Errc::kCorrupt, "truncated record header"};

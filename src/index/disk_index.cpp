@@ -945,4 +945,20 @@ Result<IndexStats> DiskIndex::stats() const {
   return st;
 }
 
+Result<std::vector<IndexEntry>> extract_sorted_entries(const DiskIndex& idx) {
+  std::vector<IndexEntry> entries;
+  entries.reserve(idx.entry_count());
+  const std::uint64_t buckets = idx.params().bucket_count();
+  for (std::uint64_t b = 0; b < buckets; ++b) {
+    Result<Bucket> bucket = idx.read_bucket(b);
+    if (!bucket.ok()) return bucket.error();
+    entries.insert(entries.end(), bucket.value().entries.begin(),
+                   bucket.value().entries.end());
+  }
+  std::sort(
+      entries.begin(), entries.end(),
+      [](const IndexEntry& a, const IndexEntry& b) { return a.fp < b.fp; });
+  return entries;
+}
+
 }  // namespace debar::index

@@ -311,4 +311,11 @@ class DiskIndex {
   bool needs_scaling_ = false;
 };
 
+/// Full scan of an index, sorted by fingerprint — the canonical entry
+/// stream a staged copy is rebuilt from. Bucket order is not fingerprint
+/// order (overflow entries live in neighbour buckets), so migration and
+/// maintenance both sort before bulk-loading fresh devices.
+[[nodiscard]] Result<std::vector<IndexEntry>> extract_sorted_entries(
+    const DiskIndex& idx);
+
 }  // namespace debar::index

@@ -50,6 +50,34 @@ void write_payload(ByteWriter& w, const Control& m) {
   w.u64(m.arg);
 }
 
+void write_payload(ByteWriter& w, const GcMarkRequest& m) {
+  w.u32(m.epoch);
+  w.u32(m.part);
+  w.u32(static_cast<std::uint32_t>(m.fps.size()));
+  for (const Fingerprint& fp : m.fps) w.fingerprint(fp);
+}
+
+void write_payload(ByteWriter& w, const GcMarkReply& m) {
+  w.u32(m.epoch);
+  w.u32(m.part);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const IndexEntry& e : m.entries) {
+    w.fingerprint(e.fp);
+    w.container_id(e.container);
+  }
+}
+
+void write_payload(ByteWriter& w, const GcInstall& m) {
+  w.u32(m.epoch);
+  w.u32(m.part);
+  w.u8(m.via_store);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const IndexEntry& e : m.entries) {
+    w.fingerprint(e.fp);
+    w.container_id(e.container);
+  }
+}
+
 std::size_t payload_bytes(const FingerprintBatch& m) noexcept {
   return 4 + 4 + m.fps.size() * FingerprintBatch::kPerFingerprint;
 }
@@ -75,6 +103,18 @@ std::size_t payload_bytes(const ChunkData& m) noexcept {
 }
 
 std::size_t payload_bytes(const Control&) noexcept { return 4 + 8; }
+
+std::size_t payload_bytes(const GcMarkRequest& m) noexcept {
+  return 4 + 4 + 4 + m.fps.size() * Fingerprint::kSize;
+}
+
+std::size_t payload_bytes(const GcMarkReply& m) noexcept {
+  return 4 + 4 + 4 + m.entries.size() * IndexEntry::kSerializedSize;
+}
+
+std::size_t payload_bytes(const GcInstall& m) noexcept {
+  return 4 + 4 + 1 + 4 + m.entries.size() * IndexEntry::kSerializedSize;
+}
 
 /// Guard a declared element count against the bytes actually present, so
 /// corrupt counts can't drive huge reserve() calls.
@@ -152,6 +192,55 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
       m.op = r.u32();
       m.arg = r.u64();
       return Message{m};
+    }
+    case MessageType::kGcMarkRequest: {
+      GcMarkRequest m;
+      m.epoch = r.u32();
+      m.part = r.u32();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, Fingerprint::kSize, r)) {
+        return Error{Errc::kCorrupt, "gc mark request count overruns buffer"};
+      }
+      m.fps.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        m.fps.push_back(r.fingerprint());
+      }
+      return Message{std::move(m)};
+    }
+    case MessageType::kGcMarkReply: {
+      GcMarkReply m;
+      m.epoch = r.u32();
+      m.part = r.u32();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, IndexEntry::kSerializedSize, r)) {
+        return Error{Errc::kCorrupt, "gc mark reply count overruns buffer"};
+      }
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        IndexEntry e;
+        e.fp = r.fingerprint();
+        e.container = r.container_id();
+        m.entries.push_back(e);
+      }
+      return Message{std::move(m)};
+    }
+    case MessageType::kGcInstall: {
+      GcInstall m;
+      m.epoch = r.u32();
+      m.part = r.u32();
+      m.via_store = r.u8();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, IndexEntry::kSerializedSize, r)) {
+        return Error{Errc::kCorrupt, "gc install count overruns buffer"};
+      }
+      m.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        IndexEntry e;
+        e.fp = r.fingerprint();
+        e.container = r.container_id();
+        m.entries.push_back(e);
+      }
+      return Message{std::move(m)};
     }
     case MessageType::kJumbo:
       return Error{Errc::kCorrupt,

@@ -48,10 +48,13 @@ enum class MessageType : std::uint8_t {
   kChunkData = 6,           // restore: chunk payload to the client
   kControl = 7,             // cluster runner coordination (e.g. shutdown)
   kJumbo = 8,               // coalesced same-type run, see net/wire_codec
+  kGcMarkRequest = 9,   // maintenance: a partition's live fps to its host
+  kGcMarkReply = 10,    // maintenance: surviving <fp, container> entries back
+  kGcInstall = 11,      // maintenance: rebuilt entry stream to a copy host
 };
 
 /// One past the highest MessageType value, for per-type stat arrays.
-inline constexpr std::size_t kMessageTypeCount = 9;
+inline constexpr std::size_t kMessageTypeCount = 12;
 
 /// Fixed envelope bytes prepended to every payload.
 inline constexpr std::size_t kEnvelopeSize = 1 + 4 + 4 + 4 + 4;
@@ -146,7 +149,10 @@ struct Control {
   static constexpr MessageType kType = MessageType::kControl;
 
   enum Op : std::uint32_t {
-    kShutdown = 1,  // stop serving and exit cleanly
+    kShutdown = 1,           // stop serving and exit cleanly
+    kMaintenanceCommit = 2,  // swap staged maintenance state in (arg: epoch)
+    kMaintenanceAbort = 3,   // discard staged maintenance state (arg: epoch)
+    kMaintenanceAck = 4,     // peer's acknowledgement of commit/abort
   };
 
   std::uint32_t op = kShutdown;
@@ -155,9 +161,57 @@ struct Control {
   friend bool operator==(const Control&, const Control&) = default;
 };
 
+/// Maintenance mark phase (DESIGN.md §5k): the coordinator ships the
+/// sorted live fingerprints belonging to partition `part` to the
+/// partition's primary host, which classifies its index entries against
+/// them. Epoch-fenced like every routed batch — a mark minted against a
+/// torn map must not drive reclamation.
+struct GcMarkRequest {
+  static constexpr MessageType kType = MessageType::kGcMarkRequest;
+
+  std::uint32_t epoch = 0;
+  std::uint32_t part = 0;
+  /// Sorted, deduplicated live fingerprints routed to `part`.
+  std::vector<Fingerprint> fps;
+
+  friend bool operator==(const GcMarkRequest&,
+                         const GcMarkRequest&) = default;
+};
+
+/// Maintenance mark reply: the live <fp, container> entries of `part` —
+/// every index entry of the partition whose fingerprint appeared in the
+/// request. The coordinator cross-checks the count against its mark set
+/// (a live fingerprint with no index entry is corruption).
+struct GcMarkReply {
+  static constexpr MessageType kType = MessageType::kGcMarkReply;
+
+  std::uint32_t epoch = 0;
+  std::uint32_t part = 0;
+  std::vector<IndexEntry> entries;
+
+  friend bool operator==(const GcMarkReply&, const GcMarkReply&) = default;
+};
+
+/// Maintenance install: the canonical post-GC entry stream of `part`,
+/// shipped to the host of one partition copy so it can stage a rebuilt
+/// index image. `via_store` selects which copy on that host (the
+/// ChunkStore-backed primary vs. an attached IndexPartReplica). Staged
+/// images become visible only on a later Control::kMaintenanceCommit.
+struct GcInstall {
+  static constexpr MessageType kType = MessageType::kGcInstall;
+
+  std::uint32_t epoch = 0;
+  std::uint32_t part = 0;
+  std::uint8_t via_store = 0;
+  /// Sorted live entries (the rebuild stream).
+  std::vector<IndexEntry> entries;
+
+  friend bool operator==(const GcInstall&, const GcInstall&) = default;
+};
+
 using Message = std::variant<FingerprintBatch, VerdictBatch, IndexEntryBatch,
                              ChunkLocateRequest, ChunkLocateReply, ChunkData,
-                             Control>;
+                             Control, GcMarkRequest, GcMarkReply, GcInstall>;
 
 [[nodiscard]] MessageType type_of(const Message& msg) noexcept;
 

@@ -300,8 +300,11 @@ Result<DecodedJumbo> decode_jumbo(ByteSpan bytes) {
   const std::uint8_t inner = r.u8();
   const std::uint8_t codec = r.u8();
   const std::uint64_t count = r.varint();
+  // Any concrete type may be coalesced — only nested jumbos and ids past
+  // the known range are invalid (maintenance types 9-11 sit above kJumbo).
   if (!r.ok() || inner == 0 ||
-      inner >= static_cast<std::uint8_t>(MessageType::kJumbo)) {
+      inner == static_cast<std::uint8_t>(MessageType::kJumbo) ||
+      inner >= kMessageTypeCount) {
     return Error{Errc::kCorrupt, "jumbo inner type invalid"};
   }
   if (!codec_supported(codec, supported_codecs())) {

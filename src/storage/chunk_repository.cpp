@@ -95,6 +95,25 @@ ContainerId ChunkRepository::append(Container container,
                                     std::optional<std::size_t> pin) {
   std::lock_guard lock(mutex_);
   const ContainerId id{next_id_++ & ContainerId::kMask};
+  store_locked(id, std::move(container), pin);
+  return id;
+}
+
+ContainerId ChunkRepository::reserve_id() {
+  std::lock_guard lock(mutex_);
+  return ContainerId{next_id_++ & ContainerId::kMask};
+}
+
+void ChunkRepository::append_reserved(ContainerId id, Container container,
+                                      std::optional<std::size_t> pin) {
+  std::lock_guard lock(mutex_);
+  assert(id.value != 0 && id.value < next_id_ && "ID must come from reserve_id");
+  assert(!containers_.contains(id.value) && "reserved ID already stored");
+  store_locked(id, std::move(container), pin);
+}
+
+void ChunkRepository::store_locked(ContainerId id, Container container,
+                                   std::optional<std::size_t> pin) {
   container.set_id(id);
   std::vector<Byte> image = container.serialize();
 
@@ -133,7 +152,6 @@ ContainerId ChunkRepository::append(Container container,
     }
   }
   containers_.emplace(id.value, std::move(image));
-  return id;
 }
 
 Result<Container> ChunkRepository::read(ContainerId id) const {

@@ -54,6 +54,19 @@ class ChunkRepository {
                                    std::optional<std::size_t> node =
                                        std::nullopt);
 
+  /// Pre-assign the next container ID without storing anything. A
+  /// maintenance prepare stage reserves IDs for the containers it stages
+  /// so the later commit (append_reserved) is infallible and the staged
+  /// index images can reference final IDs before anything is published.
+  /// A crash between reserve and commit merely burns the IDs — the
+  /// counter is in-memory and re-derived from the log on open().
+  [[nodiscard]] ContainerId reserve_id();
+
+  /// Store a container under a previously reserved ID. Same placement
+  /// rule as append(): round-robin by ID unless `node` pins one.
+  void append_reserved(ContainerId id, Container container,
+                       std::optional<std::size_t> node = std::nullopt);
+
   /// IDs of every stored container, ascending. Used by index recovery
   /// (Section 4.1: rebuild a corrupted index by scanning the repository).
   [[nodiscard]] std::vector<ContainerId> container_ids() const;
@@ -105,6 +118,10 @@ class ChunkRepository {
   };
 
   [[nodiscard]] std::size_t node_of_locked(ContainerId id) const;
+
+  /// Shared tail of append/append_reserved: serialize, place, write through.
+  void store_locked(ContainerId id, Container container,
+                    std::optional<std::size_t> pin);
 
   /// Frame location of a persisted container on its node's device.
   struct Frame {

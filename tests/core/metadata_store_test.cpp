@@ -73,11 +73,11 @@ TEST(MetadataRecordTest, ParseRejectsCorruption) {
   EXPECT_FALSE(
       parse_record(ByteSpan(payload.data(), payload.size() / 2)).ok());
   // Implausible chunk count: corrupt the first file's chunk-count field.
-  // Header: magic 4 + job 8 + ver 4 + logical 8 + files 4 = 28; then
-  // path(2+len) + 8 + 8 + 4, then chunk count.
+  // Header: magic 4 + job 8 + ver 4 + day 4 + logical 8 + files 4 = 32;
+  // then path(2+len) + 8 + 8 + 4, then chunk count.
   auto overrun = payload;
   const std::size_t path_len = std::string("dir/file0.dat").size();
-  const std::size_t count_off = 28 + 2 + path_len + 8 + 8 + 4;
+  const std::size_t count_off = 32 + 2 + path_len + 8 + 8 + 4;
   overrun[count_off] = 0xFF;
   overrun[count_off + 1] = 0xFF;
   overrun[count_off + 2] = 0xFF;

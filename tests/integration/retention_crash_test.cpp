@@ -1,0 +1,196 @@
+// Crash safety of the maintenance round (DESIGN.md §5k): every fallible
+// step — mark reads over the committed indexes, staged index rebuilds on
+// freshly minted devices — happens before a pure in-memory COMMIT
+// (publish staged containers, swap indexes, remove dead containers). So a
+// hard crash at ANY device op during a maintenance round must leave the
+// committed index images, the chunk repository, the partition map, and
+// the version catalogue byte-identical to a cluster that never attempted
+// the round. Same shared-injector sweep technique as the split window in
+// elastic_crash_test.cpp.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/sha1.hpp"
+#include "core/cluster.hpp"
+#include "core/maintenance.hpp"
+#include "storage/faulty_block_device.hpp"
+
+namespace debar {
+namespace {
+
+/// A w=1 cluster (keep-last-1 retention) whose index devices — the four
+/// committed ones and every device maintenance mints — share one
+/// FaultInjector. Inners land in factory-call order: primaries 0..1,
+/// replicas 0..1, then staged mints.
+struct RetentionCrashRig {
+  std::shared_ptr<storage::FaultInjector> injector =
+      std::make_shared<storage::FaultInjector>(storage::FaultConfig{});
+  std::shared_ptr<std::vector<storage::MemBlockDevice*>> inners =
+      std::make_shared<std::vector<storage::MemBlockDevice*>>();
+  std::unique_ptr<core::Cluster> cluster;
+
+  RetentionCrashRig() {
+    core::ClusterConfig cfg;
+    cfg.routing_bits = 1;
+    cfg.repository_nodes = 2;
+    cfg.director_config.retention = {.keep_last = 1};
+    cfg.server_config.index_params = {.prefix_bits = 8,
+                                      .blocks_per_bucket = 2};
+    cfg.server_config.filter_params = {.hash_bits = 8, .capacity = 100000};
+    cfg.server_config.chunk_store.cache_params = {.hash_bits = 4,
+                                                  .capacity = 1000000};
+    cfg.server_config.chunk_store.io_buckets = 8;
+    cfg.server_config.chunk_store.siu_threshold = 1;
+    // Small containers so the sweep sees fine-grained units and the
+    // locality pass has something to re-sequence.
+    cfg.server_config.container_capacity = 64 * 1024;
+    cfg.server_config.index_device_factory = [injector = injector,
+                                              inners = inners] {
+      auto inner = std::make_unique<storage::MemBlockDevice>();
+      inners->push_back(inner.get());
+      return std::make_unique<storage::FaultyBlockDevice>(std::move(inner),
+                                                          injector);
+    };
+    cluster = std::make_unique<core::Cluster>(std::move(cfg));
+  }
+
+  void arm_crash(std::uint64_t at_op) {
+    storage::FaultConfig faults;
+    faults.crash_after_ops = at_op;
+    injector->set_config(faults);
+  }
+
+  [[nodiscard]] std::vector<Byte> committed_image(std::size_t i) const {
+    const ByteSpan bytes = (*inners)[i]->contents();
+    return {bytes.begin(), bytes.end()};
+  }
+};
+
+void cluster_backup(core::Cluster& cluster, std::uint64_t job,
+                    std::uint64_t first, std::uint64_t count) {
+  core::FileStore& fs = cluster.server(0).file_store();
+  fs.begin_job(job);
+  fs.begin_file({.path = "s", .size = count * 512, .mtime = 0, .mode = 0644});
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    const Fingerprint f = Sha1::hash_counter(i);
+    if (fs.offer_fingerprint(f, 512)) {
+      const auto payload = core::BackupEngine::synthetic_payload(f, 512);
+      ASSERT_TRUE(
+          fs.receive_chunk(f, ByteSpan(payload.data(), payload.size())).ok());
+    }
+  }
+  fs.end_file();
+  ASSERT_TRUE(fs.end_job().ok());
+}
+
+/// Two dedup-2 generations; retention (keep-last-1) will expire v1.
+void seed_workload(RetentionCrashRig& rig, std::uint64_t job) {
+  cluster_backup(*rig.cluster, job, 0, 80);
+  ASSERT_TRUE(rig.cluster->run_dedup2(/*force_siu=*/true).ok());
+  cluster_backup(*rig.cluster, job, 40, 80);
+  ASSERT_TRUE(rig.cluster->run_dedup2(/*force_siu=*/true).ok());
+}
+
+/// Every stored container's serialized image, in id order.
+std::vector<std::vector<Byte>> container_images(core::Cluster& cluster) {
+  std::vector<std::vector<Byte>> images;
+  for (const ContainerId id : cluster.repository().container_ids()) {
+    Result<storage::Container> container = cluster.repository().read(id);
+    EXPECT_TRUE(container.ok());
+    if (container.ok()) images.push_back(container.value().serialize());
+  }
+  return images;
+}
+
+TEST(RetentionCrash, CrashAnywhereInTheRoundLeavesANeverAttemptedTwin) {
+  // Measure the prepare window on a fault-free probe.
+  RetentionCrashRig probe;
+  const std::uint64_t probe_job =
+      probe.cluster->director().define_job("c", "d");
+  seed_workload(probe, probe_job);
+  const std::uint64_t window_begin = probe.injector->op_count();
+  core::MaintenanceJob probe_maintenance(*probe.cluster);
+  ASSERT_TRUE(probe_maintenance.execute().ok());
+  const std::uint64_t window_end = probe.injector->op_count();
+  ASSERT_GT(window_end, window_begin) << "maintenance must touch devices";
+  ASSERT_EQ(probe_maintenance.report().versions_expired, 1u);
+  ASSERT_GT(probe_maintenance.report().bytes_reclaimed, 0u);
+
+  // Fault-free reference that never attempts maintenance: its committed
+  // images, repository, and catalogue are what every crashed rig must be
+  // left with.
+  RetentionCrashRig untouched;
+  const std::uint64_t untouched_job =
+      untouched.cluster->director().define_job("c", "d");
+  seed_workload(untouched, untouched_job);
+  const std::vector<std::vector<Byte>> untouched_containers =
+      container_images(*untouched.cluster);
+
+  // Sweep crash points across the window (sampled; every point is a full
+  // fresh deployment). At each: maintenance fails, nothing was expired,
+  // nothing reclaimed, and every committed byte matches the twin.
+  const std::uint64_t window = window_end - window_begin;
+  const std::uint64_t step = std::max<std::uint64_t>(1, window / 10);
+  for (std::uint64_t offset = 0; offset < window; offset += step) {
+    RetentionCrashRig rig;
+    const std::uint64_t job = rig.cluster->director().define_job("c", "d");
+    seed_workload(rig, job);
+    rig.arm_crash(rig.injector->op_count() + offset);
+
+    core::MaintenanceJob maintenance(*rig.cluster);
+    Status crashed = maintenance.execute();
+    EXPECT_FALSE(crashed.ok())
+        << "offset " << offset << ": round survived its crash point";
+    EXPECT_TRUE(rig.injector->crashed()) << "offset " << offset;
+
+    // Old state byte-identical to the never-attempted twin: catalogue
+    // (both versions still restorable-in-principle), placement, committed
+    // index images, and the repository.
+    EXPECT_EQ(rig.cluster->director().version_count(job), 2u)
+        << "offset " << offset;
+    EXPECT_EQ(rig.cluster->epoch(), 0u) << "offset " << offset;
+    EXPECT_EQ(rig.cluster->partition_map(),
+              untouched.cluster->partition_map())
+        << "offset " << offset;
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_EQ(rig.committed_image(i), untouched.committed_image(i))
+          << "offset " << offset << " image " << i;
+    }
+    EXPECT_EQ(container_images(*rig.cluster), untouched_containers)
+        << "offset " << offset;
+  }
+}
+
+TEST(RetentionCrash, SurvivingTheWholeWindowCommitsAndKeepsServing) {
+  // Control leg: a crash point past the window never fires — the round
+  // commits, v1 is expired, and the survivor restores through both
+  // servers.
+  RetentionCrashRig rig;
+  const std::uint64_t job = rig.cluster->director().define_job("c", "d");
+  seed_workload(rig, job);
+  rig.arm_crash(rig.injector->op_count() + 1000000);
+
+  core::MaintenanceJob maintenance(*rig.cluster);
+  ASSERT_TRUE(maintenance.execute().ok());
+  EXPECT_FALSE(rig.injector->crashed());
+  EXPECT_EQ(maintenance.report().versions_expired, 1u);
+  EXPECT_EQ(maintenance.report().dead_chunks, 40u);
+
+  EXPECT_FALSE(rig.cluster->restore(job, 1, 0).ok());
+  for (std::size_t via = 0; via < rig.cluster->server_count(); ++via) {
+    Result<core::Dataset> restored = rig.cluster->restore(job, 2, via);
+    ASSERT_TRUE(restored.ok()) << "via " << via << ": "
+                               << restored.error().to_string();
+    EXPECT_EQ(restored.value().files[0].content.size(), 80u * 512);
+  }
+
+  // And the next backup generation still flows end to end.
+  cluster_backup(*rig.cluster, job, 100, 40);
+  ASSERT_TRUE(rig.cluster->run_dedup2(true).ok());
+  ASSERT_TRUE(rig.cluster->restore(job, 3, 1).ok());
+}
+
+}  // namespace
+}  // namespace debar

@@ -28,6 +28,26 @@ std::vector<Message> sample_messages() {
   chunk.fp = fp(7);
   for (int i = 0; i < 300; ++i) chunk.bytes.push_back(Byte(i & 0xff));
 
+  GcMarkRequest mark_request;
+  mark_request.epoch = 5;
+  mark_request.part = 3;
+  for (std::uint64_t i = 0; i < 9; ++i) mark_request.fps.push_back(fp(i));
+
+  GcMarkReply mark_reply;
+  mark_reply.epoch = 5;
+  mark_reply.part = 3;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    mark_reply.entries.push_back({fp(i), ContainerId{i + 1}});
+  }
+
+  GcInstall install;
+  install.epoch = 5;
+  install.part = 2;
+  install.via_store = 1;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    install.entries.push_back({fp(50 + i), ContainerId{i * 7 + 1}});
+  }
+
   return {
       Message{fps},
       Message{FingerprintBatch{}},  // empty batches are valid heartbeats
@@ -44,6 +64,21 @@ std::vector<Message> sample_messages() {
       Message{ChunkLocateReply{Errc::kNotFound, ContainerId{}}},
       Message{chunk},
       Message{ChunkData{fp(8), {}}},
+      // Maintenance wire (DESIGN.md §5k): mark/install exchanges and the
+      // commit/abort/ack control ops, epoch fences included. Empty
+      // payloads are valid — an install can legitimately clear a
+      // partition whose entries all died.
+      Message{mark_request},
+      Message{GcMarkRequest{.epoch = 0, .part = 0, .fps = {}}},
+      Message{mark_reply},
+      Message{GcMarkReply{.epoch = 2, .part = 1, .entries = {}}},
+      Message{install},
+      Message{GcInstall{.epoch = 1, .part = 0, .via_store = 0,
+                        .entries = {}}},
+      Message{Control{Control::kShutdown, 0}},
+      Message{Control{Control::kMaintenanceCommit, 4}},
+      Message{Control{Control::kMaintenanceAbort, 4}},
+      Message{Control{Control::kMaintenanceAck, 4}},
   };
 }
 

@@ -1,6 +1,7 @@
 // Whole-system randomized invariant tests: arbitrary interleavings of
-// backups, dedup-2 rounds (with and without SIU), restores and defrags
-// must preserve the two global invariants of a de-duplication store:
+// backups, dedup-2 rounds (with and without SIU), restores and cluster
+// maintenance rounds must preserve the two global invariants of a
+// de-duplication store:
 //
 //   1. every recorded chunk remains restorable with correct content;
 //   2. no distinct fingerprint is ever stored in containers twice.
@@ -13,7 +14,7 @@
 #include "common/sha1.hpp"
 #include "core/backup_engine.hpp"
 #include "core/cluster.hpp"
-#include "core/defrag.hpp"
+#include "core/maintenance.hpp"
 
 namespace debar {
 namespace {
@@ -85,23 +86,16 @@ TEST_P(SystemInvariantsTest, RandomizedClusterHistoryHoldsInvariants) {
     const auto result = cluster.run_dedup2(rng.chance(0.5));
     ASSERT_TRUE(result.ok()) << result.error().to_string();
 
-    // Occasionally defragment a random recorded version.
+    // Occasionally run a cluster maintenance round: locality compaction
+    // plus sweep and a rebuild of every index copy. Retention is
+    // unbounded here, so nothing expires and every recorded version must
+    // survive the round intact. With SIU entries pending (the deferred
+    // configuration) the round must refuse with the RETRYABLE kBusy and
+    // leave the history unperturbed — any other failure is a bug.
     if (!versions.empty() && rng.chance(0.4)) {
-      const auto& [job, version] = versions[rng.below(versions.size())];
-      const auto rec = cluster.director().version(job, version);
-      ASSERT_TRUE(rec.has_value());
-      // Defrag runs against the server holding the version's chunks'
-      // index parts; for a cluster, restrict to versions whose chunks we
-      // can locate through server 0's view (single-node repositories
-      // share the repository anyway). Use server 0's store for the
-      // rewrite; locate() may miss fingerprints owned by other parts —
-      // in that case skip (cluster-wide defrag is a director job).
-      const auto report = core::analyze_fragmentation(
-          *rec, cluster.server(0).chunk_store(), cluster.repository());
-      if (report.ok()) {
-        (void)core::defragment_version(*rec,
-                                       cluster.server(0).chunk_store(),
-                                       cluster.repository(), {});
+      core::MaintenanceJob maintenance(cluster);
+      if (const Status s = maintenance.execute(); !s.ok()) {
+        ASSERT_EQ(s.code(), Errc::kBusy) << s.to_string();
       }
     }
   }
