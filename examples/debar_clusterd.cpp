@@ -45,6 +45,7 @@
 #include "common/sha1.hpp"
 #include "core/backup_engine.hpp"
 #include "core/cluster_node.hpp"
+#include "core/ingest_service.hpp"
 #include "core/maintenance.hpp"
 #include "index/disk_index.hpp"
 #include "net/loopback_transport.hpp"
@@ -71,6 +72,10 @@ struct Options {
   fs::path dir = "/tmp/debar-clusterd";
   int node = 0;  // socket mode: >0 marks a forked peer process
   bool codec = false;  // --codec=on: coalesced + compressed wire frames
+  /// --ingest=on: generations reach node 0's File Store through the
+  /// streaming IngestOpen/Batch/Close wire exchange (DESIGN.md §5l)
+  /// instead of direct FileStore calls. Byte-identical on-disk state.
+  bool ingest_wire = false;
 };
 
 net::WireCodecConfig codec_of(const Options& opt) {
@@ -99,6 +104,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
         return false;
       }
       opt.codec = *v == "on";
+    } else if (auto v = eat("--ingest=")) {
+      if (*v != "on" && *v != "off") {
+        std::fprintf(stderr, "--ingest must be on or off\n");
+        return false;
+      }
+      opt.ingest_wire = *v == "on";
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -259,28 +270,94 @@ void ingest(core::FileStore& fs_store, std::uint64_t job, std::uint64_t first,
   (void)fs_store.end_job();
 }
 
-/// The driver role: node 0 ingests both generations, anchors both rounds,
+/// The wire twin of ingest(): the same generation streamed through the
+/// IngestOpen/Batch/Close exchange over `lane`. The server ends up with
+/// the identical File Store state — offers in the same order, payloads
+/// for exactly the admitted positions — so the on-disk artifacts stay
+/// byte-identical to the direct path.
+bool wire_ingest(net::Endpoint& lane, std::uint64_t job, std::uint64_t first,
+                 std::uint64_t count) {
+  core::IngestClient::Config cc;
+  cc.epoch = 0;  // PartitionMap::identity epoch
+  core::IngestClient client(&lane, net::EndpointId{0}, cc);
+  if (Result<std::uint64_t> opened = client.open(/*tenant=*/0, job);
+      !opened.ok()) {
+    std::fprintf(stderr, "wire ingest open: %s\n",
+                 opened.error().to_string().c_str());
+    return false;
+  }
+  std::vector<Fingerprint> fps;
+  fps.reserve(count);
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    fps.push_back(fp_of(i));
+  }
+  if (Status s = client.stream_synthetic(
+          "s", std::span<const Fingerprint>(fps),
+          static_cast<std::uint32_t>(kChunkBytes));
+      !s.ok()) {
+    std::fprintf(stderr, "wire ingest stream: %s\n", s.to_string().c_str());
+    return false;
+  }
+  if (Result<core::IngestClientStats> closed = client.close(); !closed.ok()) {
+    std::fprintf(stderr, "wire ingest close: %s\n",
+                 closed.error().to_string().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The driver role: node 0 ingests both generations (directly, or through
+/// the streaming wire exchange when `lane` is set), anchors both rounds,
 /// restores and verifies every chunk, then releases the peers.
 int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
-               const fs::path& dir) {
+               const fs::path& dir, net::Endpoint* lane = nullptr) {
   const std::size_t n = std::size_t{1} << w;
   core::ClusterNode node({.node = 0, .map = core::PartitionMap::identity(w)},
                          st.server.get());
   const std::uint64_t job = st.director.define_job("cluster", "job");
 
+  // With --ingest=on, node 0 also runs the server half of the ingest
+  // protocol on its own serve thread for the driver's one lane.
+  std::optional<core::IngestServer> ingest_server;
+  std::thread ingest_thread;
+  if (lane != nullptr) {
+    core::IngestServer::Config sc;
+    sc.epoch = 0;
+    sc.lanes = {core::kIngestLaneBase};
+    ingest_server.emplace(st.server.get(), sc);
+    ingest_thread = std::thread([&] { ingest_server->serve(); });
+  }
+
   std::vector<core::NodeRoundResult> rounds;
   const std::uint64_t firsts[kRounds] = {kV1First, kV2First};
   const std::uint64_t counts[kRounds] = {kV1Count, kV2Count};
   for (int r = 0; r < kRounds; ++r) {
-    ingest(st.server->file_store(), job, firsts[r], counts[r]);
+    if (lane != nullptr) {
+      if (!wire_ingest(*lane, job, firsts[r], counts[r])) {
+        ingest_server->request_stop();
+        ingest_thread.join();
+        return 1;
+      }
+    } else {
+      ingest(st.server->file_store(), job, firsts[r], counts[r]);
+    }
     Result<core::NodeRoundResult> round =
         node.run_dedup2_round(/*force_siu=*/true);
     if (!round.ok()) {
       std::fprintf(stderr, "round %d failed: %s\n", r + 1,
                    round.error().to_string().c_str());
+      if (ingest_server.has_value()) {
+        ingest_server->request_stop();
+        ingest_thread.join();
+      }
       return 1;
     }
     rounds.push_back(round.value());
+  }
+  // Ingest is done; the serve thread has nothing left to answer.
+  if (ingest_server.has_value()) {
+    ingest_server->request_stop();
+    ingest_thread.join();
   }
 
   // Maintenance round (DESIGN.md §5k): retention keep-last-1 expires
@@ -338,7 +415,8 @@ int run_driver(NodeState& st, net::Endpoint& client, unsigned w,
   }
 
   std::ostringstream summary;
-  summary << "debar_clusterd w=" << w << " nodes=" << n << "\n";
+  summary << "debar_clusterd w=" << w << " nodes=" << n
+          << (lane != nullptr ? " ingest=wire" : "") << "\n";
   for (int r = 0; r < kRounds; ++r) {
     summary << "round" << (r + 1) << " undetermined=" << rounds[r].undetermined
             << " duplicates=" << rounds[r].duplicates
@@ -424,6 +502,14 @@ int run_loopback(const Options& opt) {
   if (!transport.register_endpoint(client_id, nullptr).ok()) return 1;
   net::Endpoint client(&transport, client_id, net::RetryPolicy{},
                        codec_of(opt));
+  std::optional<net::Endpoint> lane;
+  if (opt.ingest_wire) {
+    if (!transport.register_endpoint(core::kIngestLaneBase, nullptr).ok()) {
+      return 1;
+    }
+    lane.emplace(&transport, core::kIngestLaneBase, net::RetryPolicy{},
+                 codec_of(opt));
+  }
 
   std::vector<std::thread> threads;
   std::vector<int> peer_rc(n, 0);
@@ -432,7 +518,8 @@ int run_loopback(const Options& opt) {
       peer_rc[k] = run_peer(peers[k - 1], opt.w, k);
     });
   }
-  int rc = run_driver(driver_state, client, opt.w, opt.dir);
+  int rc = run_driver(driver_state, client, opt.w, opt.dir,
+                      lane.has_value() ? &*lane : nullptr);
   for (std::thread& t : threads) t.join();
   for (std::size_t k = 1; k < n; ++k) rc = rc != 0 ? rc : peer_rc[k];
   return rc;
@@ -547,11 +634,14 @@ int run_socket_driver(const Options& opt, char** argv) {
       const std::string node_arg = "--node=" + std::to_string(k);
       const std::string codec_arg =
           std::string("--codec=") + (opt.codec ? "on" : "off");
+      const std::string ingest_arg =
+          std::string("--ingest=") + (opt.ingest_wire ? "on" : "off");
       char* child_argv[] = {argv[0], const_cast<char*>(transport_arg.c_str()),
                             const_cast<char*>(w_arg.c_str()),
                             const_cast<char*>(dir_arg.c_str()),
                             const_cast<char*>(node_arg.c_str()),
-                            const_cast<char*>(codec_arg.c_str()), nullptr};
+                            const_cast<char*>(codec_arg.c_str()),
+                            const_cast<char*>(ingest_arg.c_str()), nullptr};
       ::execv(argv[0], child_argv);
       std::perror("execv");
       _exit(127);
@@ -564,8 +654,20 @@ int run_socket_driver(const Options& opt, char** argv) {
       &transport, net::EndpointId{0}, net::RetryPolicy{}, codec_of(opt)));
   net::Endpoint client(&transport, client_id, net::RetryPolicy{},
                        codec_of(opt));
+  std::optional<net::Endpoint> lane;
+  if (opt.ingest_wire) {
+    // The lane lives in the driver process too; SocketTransport routes
+    // frames between locally registered endpoints over real sockets.
+    if (!transport.register_endpoint(core::kIngestLaneBase, nullptr).ok()) {
+      std::fprintf(stderr, "lane listen failed\n");
+      return 1;
+    }
+    lane.emplace(&transport, core::kIngestLaneBase, net::RetryPolicy{},
+                 codec_of(opt));
+  }
 
-  int rc = run_driver(st, client, opt.w, opt.dir);
+  int rc = run_driver(st, client, opt.w, opt.dir,
+                      lane.has_value() ? &*lane : nullptr);
 
   for (const pid_t pid : children) {
     int status = 0;

@@ -70,20 +70,13 @@ Result<BackupRunStats> BackupEngine::run_backup(std::uint64_t job_id,
                       .size = file.content.size(),
                       .mtime = file.mtime,
                       .mode = 0644});
-    // Anchoring + chunk fingerprinting + content backup. The whole
-    // file's chunk run is fingerprinted as one batch so the multi-lane
-    // SHA-1 (Sha1::hash_batch) keeps its lanes full.
+    // Anchoring + chunk fingerprinting + content backup.
     const ByteSpan content(file.content.data(), file.content.size());
-    const std::vector<chunking::ChunkBounds> bounds = chunker_->chunk(content);
-    std::vector<ByteSpan> spans;
-    spans.reserve(bounds.size());
-    for (const chunking::ChunkBounds& b : bounds) {
-      spans.push_back(content.subspan(b.offset, b.size));
-    }
-    const std::vector<Fingerprint> fps =
-        Sha1::hash_batch(std::span<const ByteSpan>(spans), simd_);
+    const ChunkRun run = chunk_run(*chunker_, content, simd_);
+    const std::vector<chunking::ChunkBounds>& bounds = run.bounds;
+    const std::vector<Fingerprint>& fps = run.fps;
     for (std::size_t i = 0; i < bounds.size(); ++i) {
-      const ByteSpan chunk = spans[i];
+      const ByteSpan chunk = content.subspan(bounds[i].offset, bounds[i].size);
       const Fingerprint& fp = fps[i];
       ++stats.chunks;
       stats.logical_bytes += chunk.size();
@@ -225,6 +218,22 @@ Result<VerifyReport> BackupEngine::verify(std::uint64_t job_id,
     if (damaged) report.damaged_files.push_back(file.meta.path);
   }
   return report;
+}
+
+BackupEngine::ChunkRun BackupEngine::chunk_run(chunking::Chunker& chunker,
+                                               ByteSpan content,
+                                               SimdPolicy simd) {
+  // The whole file's chunk run is fingerprinted as one batch so the
+  // multi-lane SHA-1 (Sha1::hash_batch) keeps its lanes full.
+  ChunkRun run;
+  run.bounds = chunker.chunk(content);
+  std::vector<ByteSpan> spans;
+  spans.reserve(run.bounds.size());
+  for (const chunking::ChunkBounds& b : run.bounds) {
+    spans.push_back(content.subspan(b.offset, b.size));
+  }
+  run.fps = Sha1::hash_batch(std::span<const ByteSpan>(spans), simd);
+  return run;
 }
 
 std::vector<Byte> BackupEngine::synthetic_payload(const Fingerprint& fp,

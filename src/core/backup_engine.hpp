@@ -110,6 +110,17 @@ class BackupEngine {
   [[nodiscard]] static std::vector<Byte> synthetic_payload(
       const Fingerprint& fp, std::uint32_t size);
 
+  /// One file's anchored chunk run: CDC boundaries plus batched SHA-1
+  /// fingerprints. This is the exact dedup-1 client path run_backup
+  /// drives, factored out so the streaming IngestClient (DESIGN.md §5l)
+  /// produces bit-identical runs to the stop-and-wait engine.
+  struct ChunkRun {
+    std::vector<chunking::ChunkBounds> bounds;
+    std::vector<Fingerprint> fps;
+  };
+  [[nodiscard]] static ChunkRun chunk_run(chunking::Chunker& chunker,
+                                          ByteSpan content, SimdPolicy simd);
+
   [[nodiscard]] const chunking::Chunker& chunker() const noexcept {
     return *chunker_;
   }

@@ -69,8 +69,17 @@ class BackupServer {
                storage::ChunkRepository* repository, Director* director);
 
   [[nodiscard]] FileStore& file_store() noexcept { return *file_store_; }
+  [[nodiscard]] const FileStore& file_store() const noexcept {
+    return *file_store_;
+  }
   [[nodiscard]] ChunkStore& chunk_store() noexcept { return *chunk_store_; }
   [[nodiscard]] std::size_t server_id() const noexcept { return server_id_; }
+
+  /// Dedup-2 pressure the ingest admission gate reads (DESIGN.md §5l):
+  /// undetermined fingerprints accumulated since the last round.
+  [[nodiscard]] std::uint64_t ingest_pressure() const {
+    return file_store_->undetermined_count();
+  }
 
   /// Ok unless the configured index device factory failed during
   /// construction (possible under fault injection while a migration

@@ -1,0 +1,683 @@
+#include "core/ingest_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "common/fmt.hpp"
+
+namespace debar::core {
+
+namespace {
+/// Serve-loop idle nap after a sweep of every lane found nothing. Short
+/// enough that reply latency stays far below any client deadline, long
+/// enough that idle serve threads do not spin a core.
+constexpr std::chrono::microseconds kServeIdleNap{200};
+}  // namespace
+
+// ---------------------------------------------------------------------
+// IngestServer
+// ---------------------------------------------------------------------
+
+IngestServer::IngestServer(BackupServer* server, Config config)
+    : server_(server), config_(std::move(config)) {
+  assert(server_ != nullptr);
+  assert(server_->has_endpoint());
+}
+
+void IngestServer::reply(net::EndpointId lane, const net::IngestReply& r) {
+  // Loss shows up as the client's reply deadline expiring, which fails
+  // the job; the lane retries the whole exchange, never half of it.
+  Status s = server_->endpoint().send(lane, net::Message(r));
+  (void)s;
+}
+
+void IngestServer::serve() {
+  net::Endpoint& ep = server_->endpoint();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    bool any = false;
+    for (const net::EndpointId lane : config_.lanes) {
+      std::optional<net::Message> msg =
+          ep.receive_from(lane, net::Deadline::poll());
+      if (!msg.has_value()) continue;
+      any = true;
+      if (!handle(lane, lanes_[lane], std::move(*msg))) return;
+    }
+    if (!any) std::this_thread::sleep_for(kServeIdleNap);
+  }
+}
+
+bool IngestServer::handle(net::EndpointId lane, LaneState& state,
+                          net::Message msg) {
+  net::Endpoint& ep = server_->endpoint();
+  FileStore& fs = server_->file_store();
+
+  if (const auto* ctl = std::get_if<net::Control>(&msg)) {
+    return ctl->op != net::Control::kShutdown;
+  }
+
+  if (const auto* open = std::get_if<net::IngestOpen>(&msg)) {
+    net::IngestReply r;
+    if (open->epoch != config_.epoch) {
+      // Epoch fence: an ingest admitted under a torn map must not run.
+      r.status = Errc::kUnavailable;
+    } else if (state.open) {
+      r.status = Errc::kInvalidArgument;
+    } else if (server_->ingest_pressure() >= config_.busy_high_water) {
+      // Dedup-2 pressure converts into a retryable admission rejection.
+      r.status = Errc::kBusy;
+      r.retry_ms = config_.busy_retry_ms;
+    } else {
+      state.session = fs.open_session(open->job_id);
+      state.open = true;
+      state.file_active = false;
+      r.stream = state.session;
+    }
+    reply(lane, r);
+    return true;
+  }
+
+  if (const auto* batch = std::get_if<net::IngestBatch>(&msg)) {
+    net::IngestReply r;
+    r.stream = batch->stream;
+    r.query_count = static_cast<std::uint32_t>(batch->fps.size());
+    if (batch->epoch != config_.epoch || !state.open ||
+        batch->stream != state.session ||
+        batch->fps.size() != batch->sizes.size()) {
+      r.status = Errc::kInvalidArgument;
+      reply(lane, r);
+      return true;
+    }
+    if ((batch->flags & net::IngestBatch::kBeginFile) != 0) {
+      if (state.file_active) {
+        r.status = Errc::kInvalidArgument;
+        reply(lane, r);
+        return true;
+      }
+      fs.begin_file(state.session, {.path = batch->path,
+                                    .size = batch->file_size,
+                                    .mtime = batch->mtime,
+                                    .mode = batch->mode});
+      state.file_active = true;
+    }
+    if (!state.file_active) {
+      r.status = Errc::kInvalidArgument;
+      reply(lane, r);
+      return true;
+    }
+    for (std::size_t i = 0; i < batch->fps.size(); ++i) {
+      if (fs.offer_fingerprint(state.session, batch->fps[i],
+                               batch->sizes[i])) {
+        r.needed.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    const std::vector<std::uint32_t> needed = r.needed;
+    reply(lane, r);
+
+    // Payload sub-exchange: exactly one ChunkData per needed position,
+    // in order (the client ships them buffered and flushes once).
+    Status failure = Status::Ok();
+    for (const std::uint32_t pos : needed) {
+      Result<net::ChunkData> data = ep.expect<net::ChunkData>(lane);
+      if (!data.ok()) {
+        failure = Status(data.error().code, data.error().message);
+        break;
+      }
+      if (!failure.ok()) continue;  // keep draining, stop storing
+      if (data.value().fp != batch->fps[pos]) {
+        failure = Status(Errc::kCorrupt, "payload fingerprint mismatch");
+        continue;
+      }
+      const std::vector<Byte>& bytes = data.value().bytes;
+      if (Status s = fs.receive_chunk(state.session, data.value().fp,
+                                      ByteSpan(bytes.data(), bytes.size()));
+          !s.ok()) {
+        failure = s;
+      }
+    }
+    if (!failure.ok()) {
+      // The session is unusable mid-file; abandon the lane's state (the
+      // open FileStore session is leaked deliberately — nothing was
+      // acknowledged, so the client simply re-runs the job).
+      state = LaneState{};
+      net::IngestReply err;
+      err.status = failure.code();
+      err.stream = batch->stream;
+      reply(lane, err);
+      return true;
+    }
+    if ((batch->flags & net::IngestBatch::kEndFile) != 0) {
+      fs.end_file(state.session);
+      state.file_active = false;
+    }
+    if (!needed.empty()) {
+      // The first reply named the needed positions; this one acknowledges
+      // their payloads landed. (With nothing needed, reply #1 is the ack.)
+      net::IngestReply ack;
+      ack.stream = batch->stream;
+      reply(lane, ack);
+    }
+    return true;
+  }
+
+  if (const auto* close = std::get_if<net::IngestClose>(&msg)) {
+    net::IngestReply r;
+    r.stream = close->stream;
+    if (close->epoch != config_.epoch || !state.open ||
+        close->stream != state.session || state.file_active) {
+      r.status = Errc::kInvalidArgument;
+      reply(lane, r);
+      return true;
+    }
+    Result<JobVersionRecord> rec = fs.close_session(state.session);
+    state = LaneState{};
+    if (!rec.ok()) {
+      r.status = rec.error().code;
+    } else {
+      r.version = rec.value().version;
+    }
+    reply(lane, r);
+    return true;
+  }
+
+  // Anything else on an ingest lane is a protocol violation; drop it.
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// IngestClient
+// ---------------------------------------------------------------------
+
+IngestClient::IngestClient(net::Endpoint* lane, net::EndpointId server,
+                           Config config)
+    : lane_(lane),
+      server_(server),
+      config_(config),
+      // Same chunker the paper-default BackupEngine builds, so the
+      // streaming path and the serial twin produce identical runs.
+      chunker_(std::make_unique<chunking::RabinChunker>(config.cdc)) {
+  assert(lane_ != nullptr);
+}
+
+Result<std::uint64_t> IngestClient::open(std::uint64_t tenant,
+                                         std::uint64_t job_id) {
+  net::IngestOpen msg;
+  msg.epoch = config_.epoch;
+  msg.tenant = tenant;
+  msg.job_id = job_id;
+  if (Status s = lane_->send(server_, net::Message(msg)); !s.ok()) {
+    return Error{s.code(), s.message()};
+  }
+  Result<net::IngestReply> r =
+      lane_->expect<net::IngestReply>(server_, reply_deadline());
+  if (!r.ok()) return r.error();
+  if (r.value().status == Errc::kBusy) {
+    return Error{Errc::kBusy,
+                 format("server {} busy; suggested retry in {} ms", server_,
+                        r.value().retry_ms)};
+  }
+  if (r.value().status != Errc::kOk) {
+    return Error{r.value().status,
+                 format("ingest open rejected by server {}", server_)};
+  }
+  stream_ = r.value().stream;
+  return stream_;
+}
+
+Status IngestClient::stream_file(const FileData& file) {
+  const ByteSpan content(file.content.data(), file.content.size());
+  const BackupEngine::ChunkRun run =
+      BackupEngine::chunk_run(*chunker_, content, SimdPolicy::kAuto);
+  ++stats_.files;
+  stats_.chunks += run.fps.size();
+  stats_.logical_bytes += content.size();
+
+  const std::size_t total = run.fps.size();
+  std::size_t sent = 0;
+  bool first = true;
+  do {
+    const std::size_t count = std::min<std::size_t>(
+        config_.max_batch_chunks, total - sent);
+    net::IngestBatch batch;
+    batch.epoch = config_.epoch;
+    batch.stream = stream_;
+    if (first) {
+      batch.flags |= net::IngestBatch::kBeginFile;
+      batch.path = file.path;
+      batch.file_size = file.content.size();
+      batch.mtime = file.mtime;
+      batch.mode = 0644;
+    }
+    if (sent + count == total) batch.flags |= net::IngestBatch::kEndFile;
+    batch.fps.reserve(count);
+    batch.sizes.reserve(count);
+    for (std::size_t i = sent; i < sent + count; ++i) {
+      batch.fps.push_back(run.fps[i]);
+      batch.sizes.push_back(static_cast<std::uint32_t>(run.bounds[i].size));
+    }
+    if (Status s = lane_->send(server_, net::Message(std::move(batch)));
+        !s.ok()) {
+      return s;
+    }
+    Result<net::IngestReply> r =
+        lane_->expect<net::IngestReply>(server_, reply_deadline());
+    if (!r.ok()) return Status(r.error().code, r.error().message);
+    if (r.value().status != Errc::kOk) {
+      return Status(r.value().status, "ingest batch rejected");
+    }
+    if (r.value().query_count != count) {
+      return Status(Errc::kCorrupt, "ingest reply echoes wrong batch size");
+    }
+    if (!r.value().needed.empty()) {
+      for (const std::uint32_t pos : r.value().needed) {
+        // read_ascending_deltas already bounds positions < query_count.
+        const chunking::ChunkBounds& b = run.bounds[sent + pos];
+        net::ChunkData data;
+        data.fp = run.fps[sent + pos];
+        data.bytes.assign(content.begin() + b.offset,
+                          content.begin() + b.offset + b.size);
+        if (Status s =
+                lane_->send_buffered(server_, net::Message(std::move(data)));
+            !s.ok()) {
+          return s;
+        }
+        stats_.transferred_bytes += b.size;
+      }
+      if (Status s = lane_->flush(server_); !s.ok()) return s;
+      Result<net::IngestReply> ack =
+          lane_->expect<net::IngestReply>(server_, reply_deadline());
+      if (!ack.ok()) return Status(ack.error().code, ack.error().message);
+      if (ack.value().status != Errc::kOk) {
+        return Status(ack.value().status, "ingest payload ack rejected");
+      }
+    }
+    sent += count;
+    first = false;
+  } while (sent < total);
+  return Status::Ok();
+}
+
+Status IngestClient::stream_synthetic(const std::string& path,
+                                      std::span<const Fingerprint> fps,
+                                      std::uint32_t chunk_size) {
+  ++stats_.files;
+  stats_.chunks += fps.size();
+  stats_.logical_bytes += fps.size() * std::uint64_t{chunk_size};
+
+  const std::size_t total = fps.size();
+  std::size_t sent = 0;
+  bool first = true;
+  do {
+    const std::size_t count =
+        std::min<std::size_t>(config_.max_batch_chunks, total - sent);
+    net::IngestBatch batch;
+    batch.epoch = config_.epoch;
+    batch.stream = stream_;
+    if (first) {
+      batch.flags |= net::IngestBatch::kBeginFile;
+      batch.path = path;
+      batch.file_size = total * std::uint64_t{chunk_size};
+      batch.mtime = 0;
+      batch.mode = 0644;
+    }
+    if (sent + count == total) batch.flags |= net::IngestBatch::kEndFile;
+    batch.fps.assign(fps.begin() + sent, fps.begin() + sent + count);
+    batch.sizes.assign(count, chunk_size);
+    if (Status s = lane_->send(server_, net::Message(std::move(batch)));
+        !s.ok()) {
+      return s;
+    }
+    Result<net::IngestReply> r =
+        lane_->expect<net::IngestReply>(server_, reply_deadline());
+    if (!r.ok()) return Status(r.error().code, r.error().message);
+    if (r.value().status != Errc::kOk) {
+      return Status(r.value().status, "ingest batch rejected");
+    }
+    if (r.value().query_count != count) {
+      return Status(Errc::kCorrupt, "ingest reply echoes wrong batch size");
+    }
+    if (!r.value().needed.empty()) {
+      for (const std::uint32_t pos : r.value().needed) {
+        net::ChunkData data;
+        data.fp = fps[sent + pos];
+        data.bytes = BackupEngine::synthetic_payload(data.fp, chunk_size);
+        if (Status s =
+                lane_->send_buffered(server_, net::Message(std::move(data)));
+            !s.ok()) {
+          return s;
+        }
+        stats_.transferred_bytes += chunk_size;
+      }
+      if (Status s = lane_->flush(server_); !s.ok()) return s;
+      Result<net::IngestReply> ack =
+          lane_->expect<net::IngestReply>(server_, reply_deadline());
+      if (!ack.ok()) return Status(ack.error().code, ack.error().message);
+      if (ack.value().status != Errc::kOk) {
+        return Status(ack.value().status, "ingest payload ack rejected");
+      }
+    }
+    sent += count;
+    first = false;
+  } while (sent < total);
+  return Status::Ok();
+}
+
+Result<IngestClientStats> IngestClient::close() {
+  net::IngestClose msg;
+  msg.epoch = config_.epoch;
+  msg.stream = stream_;
+  if (Status s = lane_->send(server_, net::Message(msg)); !s.ok()) {
+    return Error{s.code(), s.message()};
+  }
+  Result<net::IngestReply> r =
+      lane_->expect<net::IngestReply>(server_, reply_deadline());
+  if (!r.ok()) return r.error();
+  if (r.value().status != Errc::kOk) {
+    return Error{r.value().status, "ingest close rejected"};
+  }
+  stats_.version = r.value().version;
+  return stats_;
+}
+
+// ---------------------------------------------------------------------
+// IngestService
+// ---------------------------------------------------------------------
+
+IngestService::IngestService(Cluster* cluster, Config config)
+    : cluster_(cluster), config_(config) {
+  assert(cluster_ != nullptr);
+  const std::size_t lane_count = std::max<std::size_t>(config_.lanes, 1);
+
+  std::vector<net::EndpointId> lane_ids;
+  lane_ids.reserve(lane_count);
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    const net::EndpointId id =
+        kIngestLaneBase + static_cast<net::EndpointId>(i);
+    // Lanes are client endpoints: no modeled NIC of their own (the
+    // server side of every exchange is metered, like restores).
+    Status s = cluster_->transport().register_endpoint(id, nullptr);
+    assert(s.ok());
+    (void)s;
+    lane_endpoints_.push_back(std::make_unique<net::Endpoint>(
+        &cluster_->transport(), id, config_.retry, config_.wire_codec));
+    lane_ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < lane_count; ++i) {
+    free_lanes_.push_back(lane_count - 1 - i);
+  }
+
+  for (std::size_t k = 0; k < cluster_->server_count(); ++k) {
+    IngestServer::Config sc;
+    sc.epoch = cluster_->epoch();
+    sc.busy_high_water = config_.limits.busy_high_water;
+    sc.busy_retry_ms = config_.limits.busy_retry_ms;
+    sc.lanes = lane_ids;
+    servers_.push_back(
+        std::make_unique<IngestServer>(&cluster_->server(k), sc));
+  }
+  serve_threads_.reserve(servers_.size());
+  for (const auto& s : servers_) {
+    serve_threads_.emplace_back([srv = s.get()] { srv->serve(); });
+  }
+
+  if (config_.lanes > 0) {
+    pool_.emplace(config_.lanes);
+    dispatcher_ = std::thread([this] { dispatch_loop(); });
+  }
+}
+
+IngestService::~IngestService() { shutdown(); }
+
+Result<std::shared_future<Result<IngestService::Outcome>>>
+IngestService::submit(std::uint64_t tenant, std::uint64_t job_id,
+                      Dataset dataset) {
+  std::lock_guard lock(mutex_);
+  if (stop_) {
+    return Error{Errc::kUnavailable, "ingest service is shut down"};
+  }
+  if (queued_ >= config_.limits.queue_capacity) {
+    // Immediate backpressure: the bounded queue is the admission wall.
+    return Error{Errc::kBusy, "ingest admission queue full"};
+  }
+  auto job = std::make_unique<Job>();
+  job->tenant = tenant;
+  job->job_id = job_id;
+  job->bytes = std::max<std::uint64_t>(dataset.total_bytes(), 1);
+  job->dataset = std::move(dataset);
+  job->enqueue_rotation = rotation_;
+  std::shared_future<Result<Outcome>> fut =
+      job->promise.get_future().share();
+
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) it->second.tokens = config_.limits.burst_bytes;
+  it->second.queue.push_back(std::move(job));
+  ++queued_;
+  cv_submit_.notify_all();
+  return fut;
+}
+
+std::vector<std::unique_ptr<IngestService::Job>> IngestService::rotate_once(
+    std::size_t max_dispatch) {
+  ++rotation_;
+  std::vector<std::unique_ptr<Job>> admitted;
+  for (auto& [tenant_id, tenant] : tenants_) {
+    (void)tenant_id;
+    if (tenant.queue.empty()) {
+      tenant.deficit = 0;  // classic DRR: idle tenants carry no credit
+      continue;
+    }
+    tenant.deficit += config_.limits.drr_quantum;
+    tenant.tokens = std::min(tenant.tokens + config_.limits.tokens_per_rotation,
+                             config_.limits.burst_bytes);
+    while (!tenant.queue.empty() && admitted.size() < max_dispatch) {
+      Job& front = *tenant.queue.front();
+      // A job larger than the burst cap could never accumulate enough
+      // tokens; charge it the cap so it still drains (slowly).
+      const std::uint64_t token_cost =
+          std::min(front.bytes, config_.limits.burst_bytes);
+      if (front.bytes > tenant.deficit || token_cost > tenant.tokens) break;
+      tenant.deficit -= front.bytes;
+      tenant.tokens -= token_cost;
+      front.admission_rotations = rotation_ - front.enqueue_rotation;
+      admitted.push_back(std::move(tenant.queue.front()));
+      tenant.queue.pop_front();
+      --queued_;
+      ++running_;
+    }
+    if (tenant.queue.empty()) tenant.deficit = 0;
+  }
+  return admitted;
+}
+
+Status IngestService::run_until_drained() {
+  if (config_.lanes > 0) {
+    return Status(Errc::kInvalidArgument,
+                  "run_until_drained is the inline (lanes == 0) mode");
+  }
+  for (;;) {
+    std::vector<std::unique_ptr<Job>> batch;
+    {
+      std::lock_guard lock(mutex_);
+      if (queued_ == 0) break;
+      batch = rotate_once(static_cast<std::size_t>(-1));
+    }
+    // Jobs not yet eligible simply accumulate deficit next rotation;
+    // every rotation with backlog makes progress toward eligibility.
+    for (std::unique_ptr<Job>& job : batch) {
+      execute_job(std::move(job), 0);
+      std::lock_guard lock(mutex_);
+      --running_;
+    }
+  }
+  return Status::Ok();
+}
+
+void IngestService::dispatch_loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    cv_submit_.wait(lock, [&] { return stop_ || queued_ > 0; });
+    if (stop_) return;
+    cv_lane_.wait(lock, [&] { return stop_ || !free_lanes_.empty(); });
+    if (stop_) return;
+
+    std::vector<std::unique_ptr<Job>> batch = rotate_once(free_lanes_.size());
+    if (batch.empty()) {
+      // Backlogged but nothing eligible yet: let deficits accumulate
+      // without spinning the lock.
+      lock.unlock();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      lock.lock();
+      continue;
+    }
+    for (std::unique_ptr<Job>& job : batch) {
+      const std::size_t lane = free_lanes_.back();
+      free_lanes_.pop_back();
+      Job* raw = job.release();
+      auto fut = pool_->submit([this, raw, lane] {
+        std::unique_ptr<Job> owned(raw);
+        execute_job(std::move(owned), lane);
+        std::lock_guard inner(mutex_);
+        free_lanes_.push_back(lane);
+        --running_;
+        cv_lane_.notify_all();
+        cv_done_.notify_all();
+      });
+      (void)fut;
+    }
+  }
+}
+
+Result<IngestClientStats> IngestService::run_once(std::size_t lane,
+                                                  std::size_t target,
+                                                  Job& job) {
+  // Shared for the whole exchange: dedup-2 (unique) waits for every
+  // mid-flight job, and no job starts while a round runs.
+  std::shared_lock quiesce(quiesce_);
+  IngestClient::Config cc;
+  cc.epoch = cluster_->epoch();
+  cc.max_batch_chunks = config_.max_batch_chunks;
+  cc.cdc = config_.cdc;
+  IngestClient client(lane_endpoints_[lane].get(),
+                      static_cast<net::EndpointId>(target), cc);
+  Result<std::uint64_t> stream = client.open(job.tenant, job.job_id);
+  if (!stream.ok()) return stream.error();
+  for (const FileData& file : job.dataset.files) {
+    if (Status s = client.stream_file(file); !s.ok()) {
+      return Error{s.code(), s.message()};
+    }
+  }
+  return client.close();
+}
+
+void IngestService::maybe_relieve(std::uint64_t threshold) {
+  const auto over = [&] {
+    for (std::size_t k = 0; k < cluster_->server_count(); ++k) {
+      if (cluster_->server(k).ingest_pressure() >= threshold) return true;
+    }
+    return false;
+  };
+  if (!over()) return;
+  std::unique_lock quiesce(quiesce_);
+  if (!over()) return;  // a concurrent lane already ran the round
+  Result<ClusterDedup2Result> r = cluster_->run_dedup2(/*force_siu=*/false);
+  // A failed round leaves the pressure standing; admission keeps
+  // answering kBusy and the lanes' bounded retries surface the error.
+  (void)r;
+}
+
+void IngestService::execute_job(std::unique_ptr<Job> job, std::size_t lane) {
+  Outcome out;
+  out.tenant = job->tenant;
+  out.job_id = job->job_id;
+  out.admission_rotations = job->admission_rotations;
+
+  // One assignment per job (load-based, deterministic tie-break); kBusy
+  // retries stick with it — pressure relief is cluster-wide anyway.
+  const std::size_t target = cluster_->director().assign_server(
+      job->job_id, job->bytes, cluster_->server_count());
+  out.server = target;
+
+  net::JitteredBackoff backoff(
+      config_.backoff_base, config_.backoff_cap,
+      config_.backoff_seed ^ (job->job_id * 0x9E3779B97F4A7C15ULL));
+  for (;;) {
+    Result<IngestClientStats> run = run_once(lane, target, *job);
+    if (run.ok()) {
+      const IngestClientStats& stats = run.value();
+      out.version = stats.version;
+      out.files = stats.files;
+      out.chunks = stats.chunks;
+      out.logical_bytes = stats.logical_bytes;
+      out.transferred_bytes = stats.transferred_bytes;
+      job->promise.set_value(out);
+      maybe_relieve(config_.limits.dedup2_trigger);
+      return;
+    }
+    if (run.error().code != Errc::kBusy) {
+      job->promise.set_value(run.error());
+      return;
+    }
+    ++out.busy_rejections;
+    if (backoff.attempts() + 1 >= config_.limits.busy_max_retries) {
+      job->promise.set_value(
+          Error{Errc::kBusy, "ingest admission retries exhausted"});
+      return;
+    }
+    // Relieve the pressure that rejected us, then back off with jitter
+    // so rejected lanes do not retry in lockstep.
+    maybe_relieve(config_.limits.busy_high_water);
+    std::this_thread::sleep_for(backoff.next());
+  }
+}
+
+void IngestService::drain() {
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [&] { return queued_ == 0 && running_ == 0; });
+}
+
+Status IngestService::finalize() {
+  std::unique_lock quiesce(quiesce_);
+  Result<ClusterDedup2Result> r = cluster_->run_dedup2(/*force_siu=*/true);
+  return r.status();
+}
+
+std::uint64_t IngestService::rotations() const {
+  std::lock_guard lock(mutex_);
+  return rotation_;
+}
+
+void IngestService::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_submit_.notify_all();
+  cv_lane_.notify_all();
+  cv_done_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Drain in-flight lane jobs before stopping the serve threads they
+  // are talking to.
+  if (pool_.has_value()) {
+    pool_->shutdown();
+    pool_.reset();
+  }
+  for (const auto& s : servers_) s->request_stop();
+  for (std::thread& t : serve_threads_) {
+    if (t.joinable()) t.join();
+  }
+  serve_threads_.clear();
+
+  std::lock_guard lock(mutex_);
+  for (auto& [tenant_id, tenant] : tenants_) {
+    (void)tenant_id;
+    for (std::unique_ptr<Job>& job : tenant.queue) {
+      job->promise.set_value(
+          Error{Errc::kUnavailable, "ingest service shut down"});
+    }
+    tenant.queue.clear();
+  }
+  queued_ = 0;
+}
+
+}  // namespace debar::core

@@ -1,0 +1,317 @@
+// Multi-tenant ingest front end (DESIGN.md §5l).
+//
+// Layered over the serial BackupScheduler/BackupEngine path, this is the
+// director-owned job admission surface a fleet of tenants talks to:
+//
+//   * clients stream chunk runs through the IngestOpen / IngestBatch /
+//     IngestClose wire exchange instead of materializing whole datasets
+//     server-side — only the fingerprints cross first, and payloads
+//     follow for exactly the positions dedup-1 could not suppress;
+//   * admission is a bounded queue with per-tenant token buckets and
+//     deficit-round-robin (DRR) fairness, so one hog tenant cannot
+//     starve the others (the quota starvation probe in net-ingest bounds
+//     this in rotations);
+//   * N worker lanes (one net::Endpoint each, ids from kIngestLaneBase)
+//     drive concurrent streaming dedup-1 against the cluster's shards;
+//   * dedup-2 pressure (the undetermined-fingerprint high-water mark)
+//     converts into retryable kBusy admission rejections, paced by
+//     net::JitteredBackoff on the client side.
+//
+// The serial twin is BackupScheduler(Cluster*): the same jobs run one at
+// a time through the stop-and-wait engine, and the net-ingest
+// differential asserts restored-byte identity between the two paths.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "chunking/rabin_chunker.hpp"
+#include "common/result.hpp"
+#include "common/thread_pool.hpp"
+#include "core/backup_engine.hpp"
+#include "core/cluster.hpp"
+#include "net/endpoint.hpp"
+
+namespace debar::core {
+
+/// Reserved endpoint-id base for ingest worker lanes. Server slots count
+/// up from 0 and the restore client sits at kClientEndpointId
+/// (0xFFFFFF00); lanes occupy their own distant block so an elastically
+/// grown fleet can never collide with them.
+inline constexpr net::EndpointId kIngestLaneBase = 0xFFFE0000u;
+
+/// Admission-control knobs. All byte quantities meter a job's logical
+/// dataset size (Dataset::total_bytes — what assign_server already uses
+/// as expected load).
+struct IngestLimits {
+  /// Bounded admission queue across all tenants; a submit() past this is
+  /// rejected immediately with kBusy (the caller's backpressure signal).
+  std::size_t queue_capacity = 256;
+  /// Token-bucket refill per DRR rotation, per tenant.
+  std::uint64_t tokens_per_rotation = std::uint64_t{1} << 20;
+  /// Token-bucket cap (burst): a freshly seen tenant starts full.
+  std::uint64_t burst_bytes = std::uint64_t{4} << 20;
+  /// DRR quantum added to each backlogged tenant's deficit per rotation.
+  /// A tenant's front job dispatches within O(bytes / quantum) rotations
+  /// of reaching the queue head, independent of other tenants' backlog.
+  std::uint64_t drr_quantum = std::uint64_t{1} << 20;
+  /// After a job completes, run a cluster dedup-2 round once any shard's
+  /// undetermined set reaches this size (the scheduler's trigger).
+  std::uint64_t dedup2_trigger = 16384;
+  /// Admission high-water mark: IngestOpen on a server at/above this many
+  /// undetermined fingerprints answers kBusy instead of opening.
+  std::uint64_t busy_high_water = std::uint64_t{1} << 20;
+  /// Suggested client backoff carried in the kBusy reply.
+  std::uint32_t busy_retry_ms = 1;
+  /// Lane-side bound on kBusy retries before the job fails with kBusy.
+  int busy_max_retries = 64;
+};
+
+/// Server-side ingest protocol handler: one per backup server, driven by
+/// a dedicated serve thread. Polls every lane endpoint round-robin and
+/// runs each IngestOpen/IngestBatch/IngestClose exchange synchronously
+/// against the server's FileStore session API (dedup-1).
+class IngestServer {
+ public:
+  struct Config {
+    /// PartitionMap epoch every ingest message must carry (fencing).
+    std::uint32_t epoch = 0;
+    std::uint64_t busy_high_water = ~std::uint64_t{0};
+    std::uint32_t busy_retry_ms = 1;
+    /// Lane endpoint ids this server polls for requests.
+    std::vector<net::EndpointId> lanes;
+  };
+
+  IngestServer(BackupServer* server, Config config);
+
+  /// Serve until request_stop() or a Control::kShutdown from any lane.
+  void serve();
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-lane protocol state. Lanes run one job at a time, so one open
+  /// session per lane is the whole state machine.
+  struct LaneState {
+    bool open = false;
+    FileStore::SessionId session = 0;
+    bool file_active = false;
+  };
+
+  /// Dispatch one request; false means shutdown was requested.
+  bool handle(net::EndpointId lane, LaneState& state, net::Message msg);
+  void reply(net::EndpointId lane, const net::IngestReply& r);
+
+  BackupServer* server_;
+  Config config_;
+  std::atomic<bool> stop_{false};
+  std::unordered_map<net::EndpointId, LaneState> lanes_;
+};
+
+/// What one completed streaming ingest reported back.
+struct IngestClientStats {
+  std::uint32_t version = 0;
+  std::uint64_t files = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t transferred_bytes = 0;  // payload bytes that crossed
+};
+
+/// Client side of the streaming exchange: chunks files with the exact
+/// dedup-1 path the stop-and-wait engine uses (BackupEngine::chunk_run),
+/// ships fingerprint batches, and transfers only the payloads the server
+/// asked for (coalesced through the lane endpoint's wire codec).
+class IngestClient {
+ public:
+  struct Config {
+    std::uint32_t epoch = 0;
+    /// Fingerprints per IngestBatch; files larger than this stream as
+    /// begin / middle / end batches.
+    std::uint32_t max_batch_chunks = 4096;
+    /// CDC parameters — must match the serial twin's SchedulerConfig::cdc
+    /// for the differential to hold bit-identically.
+    chunking::CdcParams cdc{};
+    /// Patience for each reply, in virtual polls (10 s at the default
+    /// quantum) — generous because a serve thread multiplexes many lanes.
+    int reply_polls = 200;
+  };
+
+  IngestClient(net::Endpoint* lane, net::EndpointId server, Config config);
+
+  /// One admission attempt. kBusy is returned as an Error the caller
+  /// backs off on — the retry loop lives in the lane (IngestService),
+  /// never here, so dedup-2 relief can run between attempts.
+  [[nodiscard]] Result<std::uint64_t> open(std::uint64_t tenant,
+                                           std::uint64_t job_id);
+  [[nodiscard]] Status stream_file(const FileData& file);
+
+  /// Stream a synthetic fingerprint run as one logical file of
+  /// `chunk_size`-byte chunks (the evaluation workload's shape — see
+  /// BackupEngine::run_backup_stream). Payloads for the positions the
+  /// server asks for are synthesized from the fingerprints themselves.
+  [[nodiscard]] Status stream_synthetic(const std::string& path,
+                                        std::span<const Fingerprint> fps,
+                                        std::uint32_t chunk_size);
+
+  [[nodiscard]] Result<IngestClientStats> close();
+
+ private:
+  [[nodiscard]] net::Deadline reply_deadline() const {
+    return net::Deadline::for_polls(config_.reply_polls);
+  }
+
+  net::Endpoint* lane_;
+  net::EndpointId server_;
+  Config config_;
+  std::unique_ptr<chunking::Chunker> chunker_;
+  std::uint64_t stream_ = 0;
+  IngestClientStats stats_{};
+};
+
+/// The multi-tenant ingest front end proper: bounded admission, DRR
+/// fairness, concurrent lanes, dedup-2 backpressure. Owns the lane
+/// endpoints and one IngestServer serve thread per cluster shard.
+class IngestService {
+ public:
+  struct Config {
+    /// Concurrent worker lanes. 0 selects the inline deterministic mode:
+    /// submit() queues, run_until_drained() executes every job on the
+    /// calling thread in rotation order (the bench gate's mode — byte
+    /// counts and rotation latencies reproduce exactly).
+    std::size_t lanes = 0;
+    IngestLimits limits{};
+    /// CDC parameters, mirrored from the serial twin's SchedulerConfig.
+    chunking::CdcParams cdc{};
+    std::uint32_t max_batch_chunks = 4096;
+    /// Lane endpoint wire policy (match the cluster's for codec benches).
+    net::RetryPolicy retry{};
+    net::WireCodecConfig wire_codec{};
+    /// kBusy retry pacing (full-jitter exponential, deterministic seed).
+    std::chrono::nanoseconds backoff_base = std::chrono::milliseconds(1);
+    std::chrono::nanoseconds backoff_cap = std::chrono::milliseconds(32);
+    std::uint64_t backoff_seed = 0x0DEBA12;
+  };
+
+  /// One admitted job's outcome, delivered through submit()'s future.
+  struct Outcome {
+    std::uint64_t tenant = 0;
+    std::uint64_t job_id = 0;
+    std::uint32_t version = 0;
+    std::size_t server = 0;
+    std::uint64_t files = 0;
+    std::uint64_t chunks = 0;
+    std::uint64_t logical_bytes = 0;
+    std::uint64_t transferred_bytes = 0;
+    /// DRR rotations spent queued before dispatch — the fairness metric
+    /// (deterministic in inline mode; the starvation probe bounds it).
+    std::uint64_t admission_rotations = 0;
+    /// kBusy rejections absorbed before the job ran.
+    std::uint64_t busy_rejections = 0;
+  };
+
+  IngestService(Cluster* cluster, Config config);
+  ~IngestService();
+
+  IngestService(const IngestService&) = delete;
+  IngestService& operator=(const IngestService&) = delete;
+
+  /// Admit a job into the bounded queue. Immediate Error{kBusy} when the
+  /// queue is full (the tenant should back off and resubmit); otherwise a
+  /// future that resolves when the job has run (or failed).
+  [[nodiscard]] Result<std::shared_future<Result<Outcome>>> submit(
+      std::uint64_t tenant, std::uint64_t job_id, Dataset dataset);
+
+  /// Inline mode (lanes == 0): run DRR rotations on the calling thread
+  /// until the queue is empty. Every submitted future is ready after.
+  [[nodiscard]] Status run_until_drained();
+
+  /// Threaded mode: block until the queue is empty and every lane idle.
+  void drain();
+
+  /// End-of-window flush: one forced-SIU cluster dedup-2 round, under
+  /// the quiesce gate (no lane mid-exchange).
+  [[nodiscard]] Status finalize();
+
+  /// Stop dispatcher, lanes and serve threads; fail queued jobs with
+  /// kUnavailable. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// DRR rotations executed so far (admission latency is counted in
+  /// these).
+  [[nodiscard]] std::uint64_t rotations() const;
+
+ private:
+  struct Job {
+    std::uint64_t tenant = 0;
+    std::uint64_t job_id = 0;
+    Dataset dataset;
+    std::uint64_t bytes = 0;
+    std::uint64_t enqueue_rotation = 0;
+    std::uint64_t admission_rotations = 0;
+    std::promise<Result<Outcome>> promise;
+  };
+
+  struct Tenant {
+    std::deque<std::unique_ptr<Job>> queue;
+    std::uint64_t deficit = 0;
+    std::uint64_t tokens = 0;
+  };
+
+  /// One DRR rotation under mutex_: refill every backlogged tenant, pop
+  /// at most `max_dispatch` eligible jobs in tenant-id order.
+  [[nodiscard]] std::vector<std::unique_ptr<Job>> rotate_once(
+      std::size_t max_dispatch);
+  void execute_job(std::unique_ptr<Job> job, std::size_t lane);
+  /// One full streaming exchange under the shared quiesce lock; kBusy
+  /// bubbles out as an error for the caller's backoff loop.
+  [[nodiscard]] Result<IngestClientStats> run_once(std::size_t lane,
+                                                   std::size_t target,
+                                                   Job& job);
+  /// Run a cluster dedup-2 round (unique quiesce lock) if any shard's
+  /// pressure is at/above `threshold`; re-checked under the lock so
+  /// concurrent lanes trigger at most one round.
+  void maybe_relieve(std::uint64_t threshold);
+  void dispatch_loop();
+
+  Cluster* cluster_;
+  Config config_;
+
+  std::vector<std::unique_ptr<net::Endpoint>> lane_endpoints_;
+  std::vector<std::unique_ptr<IngestServer>> servers_;
+  std::vector<std::thread> serve_threads_;
+
+  /// Lanes hold this shared for a job's whole wire exchange; dedup-2
+  /// rounds (pressure relief, finalize) take it unique — the quiesce.
+  std::shared_mutex quiesce_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_submit_;
+  std::condition_variable cv_lane_;
+  std::condition_variable cv_done_;
+  std::map<std::uint64_t, Tenant> tenants_;  // ordered: rotation order
+  std::size_t queued_ = 0;
+  std::size_t running_ = 0;
+  std::uint64_t rotation_ = 0;
+  std::vector<std::size_t> free_lanes_;
+  bool stop_ = false;
+
+  std::optional<ThreadPool> pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace debar::core

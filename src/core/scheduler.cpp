@@ -1,6 +1,9 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
+
+#include "core/cluster.hpp"
 
 namespace debar::core {
 
@@ -10,6 +13,22 @@ BackupScheduler::BackupScheduler(Director* director,
     : director_(director), servers_(std::move(servers)), config_(config) {
   assert(director_ != nullptr);
   assert(!servers_.empty());
+  // Deterministic tie-break for least-loaded assignment: the director
+  // returns the lowest tied *index*, so indices must mean the same server
+  // no matter how the caller happened to order the vector. Pin index
+  // order to ascending server id.
+  std::sort(servers_.begin(), servers_.end(),
+            [](const BackupServer* a, const BackupServer* b) {
+              return a->server_id() < b->server_id();
+            });
+}
+
+BackupScheduler::BackupScheduler(Cluster* cluster, SchedulerConfig config)
+    : director_(&cluster->director()), cluster_(cluster), config_(config) {
+  servers_.reserve(cluster->server_count());
+  for (std::size_t k = 0; k < cluster->server_count(); ++k) {
+    servers_.push_back(&cluster->server(k));
+  }
 }
 
 BackupEngine& BackupScheduler::engine_for(const std::string& client) {
@@ -45,7 +64,24 @@ Result<DayReport> BackupScheduler::run_day(std::uint32_t day,
     report.transferred_bytes += stats.value().transferred_bytes;
   }
 
-  // Director-initiated dedup-2 on servers whose logs have filled up.
+  // Director-initiated dedup-2 on servers whose logs have filled up. In
+  // cluster mode any shard crossing the trigger starts one cluster-wide
+  // round (phase A redistributes every shard's undetermined set anyway).
+  if (cluster_ != nullptr) {
+    const bool due = std::any_of(
+        servers_.begin(), servers_.end(), [&](BackupServer* server) {
+          return server->file_store().undetermined_count() >=
+                 config_.dedup2_trigger;
+        });
+    if (due) {
+      Result<ClusterDedup2Result> result =
+          cluster_->run_dedup2(/*force_siu=*/false);
+      if (!result.ok()) return result.error();
+      ++report.dedup2_rounds;
+      report.new_chunks += result.value().new_chunks;
+    }
+    return report;
+  }
   for (BackupServer* server : servers_) {
     if (server->file_store().undetermined_count() >= config_.dedup2_trigger) {
       Result<Dedup2Result> result = server->run_dedup2(/*force_siu=*/false);
@@ -58,6 +94,14 @@ Result<DayReport> BackupScheduler::run_day(std::uint32_t day,
 }
 
 Status BackupScheduler::finalize() {
+  if (cluster_ != nullptr) {
+    Result<ClusterDedup2Result> result =
+        cluster_->run_dedup2(/*force_siu=*/true);
+    if (!result.ok()) {
+      return Status(result.error().code, result.error().message);
+    }
+    return Status::Ok();
+  }
   for (BackupServer* server : servers_) {
     Result<Dedup2Result> result = server->run_dedup2(/*force_siu=*/true);
     if (!result.ok()) {

@@ -8,8 +8,10 @@
 // a threshold — the director's "monitor the backup servers; when
 // necessary, initiate a dedup-2 job" role.
 //
-// The servers must be independent full-index servers (skip_bits == 0);
-// cluster shards coordinate dedup-2 through core::Cluster instead.
+// Two backends: a vector of independent full-index servers (skip_bits ==
+// 0), or a core::Cluster whose shards coordinate dedup-2 through the
+// five-phase wire protocol (the serial twin of the concurrent
+// IngestService path, DESIGN.md §5l).
 #pragma once
 
 #include <cstdint>
@@ -37,12 +39,19 @@ struct SchedulerConfig {
 
 struct DayReport {
   std::uint32_t day = 0;
-  std::uint32_t jobs_run = 0;
+  /// u64, not u32: callers aggregate DayReports across simulated horizons
+  /// (fleet-scale benches sum years of daily runs), and the narrower
+  /// counters silently wrapped. Every other report struct
+  /// (MaintenanceReport, TransportStats, FileStoreStats) is already
+  /// all-u64; regression-audited in scheduler_test.
+  std::uint64_t jobs_run = 0;
   std::uint64_t logical_bytes = 0;
   std::uint64_t transferred_bytes = 0;
-  std::uint32_t dedup2_rounds = 0;
+  std::uint64_t dedup2_rounds = 0;
   std::uint64_t new_chunks = 0;
 };
+
+class Cluster;
 
 class BackupScheduler {
  public:
@@ -51,8 +60,20 @@ class BackupScheduler {
   using DatasetProvider =
       std::function<Result<Dataset>(const JobSpec&, std::uint32_t)>;
 
+  /// Independent full-index servers (skip_bits == 0). The vector is
+  /// re-sorted by server id: the director's least-loaded assignment
+  /// breaks ties toward the lowest *index*, and without a pinned order
+  /// the index -> server mapping (and therefore container layout) would
+  /// silently depend on the caller's construction order.
   BackupScheduler(Director* director, std::vector<BackupServer*> servers,
                   SchedulerConfig config = {});
+
+  /// Cluster twin: the same serial job loop over a 2^w cluster's shards
+  /// (slot order, which is server-id order by construction). Dedup-2 runs
+  /// as cluster-wide five-phase rounds instead of per-server jobs — this
+  /// is the serial reference the concurrent IngestService differential
+  /// (DESIGN.md §5l) compares against.
+  explicit BackupScheduler(Cluster* cluster, SchedulerConfig config = {});
 
   /// Run every job due on `day`, then initiate dedup-2 where triggered.
   [[nodiscard]] Result<DayReport> run_day(std::uint32_t day,
@@ -66,6 +87,8 @@ class BackupScheduler {
 
   Director* director_;
   std::vector<BackupServer*> servers_;
+  /// Non-null in cluster-twin mode: dedup-2 is a cluster round.
+  Cluster* cluster_ = nullptr;
   SchedulerConfig config_;
   std::map<std::string, std::unique_ptr<BackupEngine>> engines_;
 };

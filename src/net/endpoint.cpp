@@ -151,6 +151,17 @@ std::optional<Message> Endpoint::receive_from(EndpointId from,
 }
 
 void Endpoint::reset_peer(EndpointId peer) {
+  // Drain frames the old incarnation left sitting in the transport's
+  // (peer -> us) queue BEFORE forgetting the peer. Erasing the SeqWindow
+  // resets the duplicate floor to zero, so a stale buffered sub-frame
+  // (seq 0, 1, ...) still queued from before the drain would otherwise be
+  // accepted as the *new* incarnation's first messages — the receiver
+  // would consume a dead process's coalesced run as fresh traffic.
+  // Transport locks must never nest inside mutex_, so the drain runs
+  // unlocked; reset_peer is a quiesced-readmission operation, not a
+  // concurrent-receive fast path.
+  while (transport_->receive(id_, peer, Deadline::poll()).has_value()) {
+  }
   std::lock_guard lock(mutex_);
   next_seq_.erase(peer);
   seen_.erase(peer);

@@ -81,6 +81,55 @@ class SeqWindow {
   std::set<std::uint32_t> ahead_;  // delivered seqs at/above the floor
 };
 
+/// Client-side pacing for retryable rejections (kBusy admission verdicts,
+/// DESIGN.md §5l): exponential backoff with full jitter, deterministic
+/// under a caller-supplied seed so test schedules reproduce. Without the
+/// jitter, every lane rejected by the same high-water mark would retry in
+/// lockstep and collide again — the classic thundering herd.
+class JitteredBackoff {
+ public:
+  JitteredBackoff(std::chrono::nanoseconds base, std::chrono::nanoseconds cap,
+                  std::uint64_t seed)
+      : base_(base), cap_(cap), state_(seed) {}
+
+  /// Delay before the next retry: uniform in [d/2, d] where d doubles per
+  /// attempt up to the cap. Advances the attempt count.
+  [[nodiscard]] std::chrono::nanoseconds next() {
+    const int shift = attempt_ < 32 ? attempt_ : 32;
+    ++attempt_;
+    auto d = base_.count();
+    if (shift < 63 && d <= (cap_.count() >> shift)) {
+      d <<= shift;
+    } else {
+      d = cap_.count();
+    }
+    if (d <= 0) return std::chrono::nanoseconds::zero();
+    const std::uint64_t half = static_cast<std::uint64_t>(d) / 2;
+    return std::chrono::nanoseconds(
+        static_cast<std::int64_t>(half + next_u64() % (half + 1)));
+  }
+
+  /// A successful exchange resets the schedule.
+  void reset() noexcept { attempt_ = 0; }
+
+  [[nodiscard]] int attempts() const noexcept { return attempt_; }
+
+ private:
+  // SplitMix64 step (common/rng.hpp duplicates this; kept inline so the
+  // header stays dependency-light for net/ users).
+  [[nodiscard]] std::uint64_t next_u64() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  std::chrono::nanoseconds base_;
+  std::chrono::nanoseconds cap_;
+  std::uint64_t state_;
+  int attempt_ = 0;
+};
+
 class Endpoint {
  public:
   Endpoint(Transport* transport, EndpointId id, RetryPolicy retry = {},

@@ -78,6 +78,46 @@ void write_payload(ByteWriter& w, const GcInstall& m) {
   }
 }
 
+void write_payload(ByteWriter& w, const IngestOpen& m) {
+  w.u32(m.epoch);  // epoch first, so stale maps are rejected before parsing
+  w.u64(m.tenant);
+  w.u64(m.job_id);
+}
+
+void write_payload(ByteWriter& w, const IngestBatch& m) {
+  w.u32(m.epoch);
+  w.u64(m.stream);
+  w.u8(m.flags);
+  if (m.flags & IngestBatch::kBeginFile) {
+    w.u32(static_cast<std::uint32_t>(m.path.size()));
+    w.bytes(ByteSpan(reinterpret_cast<const Byte*>(m.path.data()),
+                     m.path.size()));
+    w.u64(m.file_size);
+    w.u64(m.mtime);
+    w.u32(m.mode);
+  }
+  w.u32(static_cast<std::uint32_t>(m.fps.size()));
+  for (const Fingerprint& fp : m.fps) w.fingerprint(fp);
+  for (const std::uint32_t s : m.sizes) w.u32(s);
+}
+
+void write_payload(ByteWriter& w, const IngestClose& m) {
+  w.u32(m.epoch);
+  w.u64(m.stream);
+}
+
+void write_payload(ByteWriter& w, const IngestReply& m) {
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u64(m.stream);
+  w.u32(m.version);
+  w.u32(m.retry_ms);
+  w.u32(m.query_count);
+  w.u32(static_cast<std::uint32_t>(m.needed.size()));
+  // Ascending positions as LEB128 deltas, same trick as VerdictBatch: a
+  // cold-cache run where every chunk is needed costs one byte per verdict.
+  write_ascending_deltas(w, m.needed);
+}
+
 std::size_t payload_bytes(const FingerprintBatch& m) noexcept {
   return 4 + 4 + m.fps.size() * FingerprintBatch::kPerFingerprint;
 }
@@ -114,6 +154,23 @@ std::size_t payload_bytes(const GcMarkReply& m) noexcept {
 
 std::size_t payload_bytes(const GcInstall& m) noexcept {
   return 4 + 4 + 1 + 4 + m.entries.size() * IndexEntry::kSerializedSize;
+}
+
+std::size_t payload_bytes(const IngestOpen&) noexcept { return 4 + 8 + 8; }
+
+std::size_t payload_bytes(const IngestBatch& m) noexcept {
+  std::size_t n = 4 + 8 + 1 + 4 +
+                  m.fps.size() * (Fingerprint::kSize + 4);
+  if (m.flags & IngestBatch::kBeginFile) {
+    n += 4 + m.path.size() + 8 + 8 + 4;
+  }
+  return n;
+}
+
+std::size_t payload_bytes(const IngestClose&) noexcept { return 4 + 8; }
+
+std::size_t payload_bytes(const IngestReply& m) noexcept {
+  return 1 + 8 + 4 + 4 + 4 + 4 + ascending_deltas_size(m.needed);
 }
 
 /// Guard a declared element count against the bytes actually present, so
@@ -239,6 +296,62 @@ Result<Message> read_payload(MessageType type, ByteReader& r) {
         e.fp = r.fingerprint();
         e.container = r.container_id();
         m.entries.push_back(e);
+      }
+      return Message{std::move(m)};
+    }
+    case MessageType::kIngestOpen: {
+      IngestOpen m;
+      m.epoch = r.u32();
+      m.tenant = r.u64();
+      m.job_id = r.u64();
+      return Message{m};
+    }
+    case MessageType::kIngestBatch: {
+      IngestBatch m;
+      m.epoch = r.u32();
+      m.stream = r.u64();
+      m.flags = r.u8();
+      if (m.flags & IngestBatch::kBeginFile) {
+        const std::uint32_t path_len = r.u32();
+        if (!r.ok() || !count_fits(path_len, 1, r)) {
+          return Error{Errc::kCorrupt, "ingest path length overruns buffer"};
+        }
+        const ByteSpan path = r.view(path_len);
+        m.path.assign(reinterpret_cast<const char*>(path.data()),
+                      path.size());
+        m.file_size = r.u64();
+        m.mtime = r.u64();
+        m.mode = r.u32();
+      }
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, Fingerprint::kSize + 4, r)) {
+        return Error{Errc::kCorrupt, "ingest batch count overruns buffer"};
+      }
+      m.fps.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) m.fps.push_back(r.fingerprint());
+      m.sizes.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) m.sizes.push_back(r.u32());
+      return Message{std::move(m)};
+    }
+    case MessageType::kIngestClose: {
+      IngestClose m;
+      m.epoch = r.u32();
+      m.stream = r.u64();
+      return Message{m};
+    }
+    case MessageType::kIngestReply: {
+      IngestReply m;
+      m.status = static_cast<Errc>(r.u8());
+      m.stream = r.u64();
+      m.version = r.u32();
+      m.retry_ms = r.u32();
+      m.query_count = r.u32();
+      const std::uint32_t count = r.u32();
+      if (!r.ok() || !count_fits(count, 1, r) || count > m.query_count) {
+        return Error{Errc::kCorrupt, "ingest reply count overruns buffer"};
+      }
+      if (!read_ascending_deltas(r, count, m.query_count, m.needed)) {
+        return Error{Errc::kCorrupt, "ingest reply delta run malformed"};
       }
       return Message{std::move(m)};
     }

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -51,10 +52,14 @@ enum class MessageType : std::uint8_t {
   kGcMarkRequest = 9,   // maintenance: a partition's live fps to its host
   kGcMarkReply = 10,    // maintenance: surviving <fp, container> entries back
   kGcInstall = 11,      // maintenance: rebuilt entry stream to a copy host
+  kIngestOpen = 12,     // ingest: a tenant opens a streaming dedup-1 job
+  kIngestBatch = 13,    // ingest: one chunk-run batch of a streamed file
+  kIngestClose = 14,    // ingest: finish the job, submit the version
+  kIngestReply = 15,    // ingest: server's answer to any of the three
 };
 
 /// One past the highest MessageType value, for per-type stat arrays.
-inline constexpr std::size_t kMessageTypeCount = 12;
+inline constexpr std::size_t kMessageTypeCount = 16;
 
 /// Fixed envelope bytes prepended to every payload.
 inline constexpr std::size_t kEnvelopeSize = 1 + 4 + 4 + 4 + 4;
@@ -209,9 +214,84 @@ struct GcInstall {
   friend bool operator==(const GcInstall&, const GcInstall&) = default;
 };
 
+/// Ingest (DESIGN.md §5l): a tenant's client opens one streaming dedup-1
+/// job on a backup server. Epoch-fenced like every routed payload — an
+/// ingest admitted under a torn partition map must not run.
+struct IngestOpen {
+  static constexpr MessageType kType = MessageType::kIngestOpen;
+
+  std::uint32_t epoch = 0;
+  std::uint64_t tenant = 0;
+  std::uint64_t job_id = 0;
+
+  friend bool operator==(const IngestOpen&, const IngestOpen&) = default;
+};
+
+/// Ingest: one chunk-run batch of a streamed file — the fingerprints (and
+/// chunk sizes) of a contiguous run, offered for dedup-1 without the
+/// payloads. kBeginFile batches carry the file's metadata; a file larger
+/// than one batch streams as begin / middle / end batches. The server
+/// answers with an IngestReply naming the positions whose payloads must
+/// follow (as ChunkData messages).
+struct IngestBatch {
+  static constexpr MessageType kType = MessageType::kIngestBatch;
+
+  enum Flags : std::uint8_t {
+    kBeginFile = 1,  // this batch opens a new file (metadata present)
+    kEndFile = 2,    // the file ends with this batch
+  };
+
+  std::uint32_t epoch = 0;
+  std::uint64_t stream = 0;  // session handle from the open reply
+  std::uint8_t flags = 0;
+  /// File metadata, serialized only when kBeginFile is set.
+  std::string path;
+  std::uint64_t file_size = 0;
+  std::uint64_t mtime = 0;
+  std::uint32_t mode = 0644;
+  std::vector<Fingerprint> fps;
+  std::vector<std::uint32_t> sizes;  // parallel to fps
+
+  friend bool operator==(const IngestBatch&, const IngestBatch&) = default;
+};
+
+/// Ingest: close the stream — the server ends the session and submits the
+/// finished version to the director.
+struct IngestClose {
+  static constexpr MessageType kType = MessageType::kIngestClose;
+
+  std::uint32_t epoch = 0;
+  std::uint64_t stream = 0;
+
+  friend bool operator==(const IngestClose&, const IngestClose&) = default;
+};
+
+/// Ingest: the server's answer to IngestOpen (admission verdict — kBusy
+/// with a suggested backoff when dedup-2 pressure is above the high-water
+/// mark), IngestBatch (`needed`: ascending batch positions whose payloads
+/// must be transferred, delta-encoded like VerdictBatch), and IngestClose
+/// (the recorded version number).
+struct IngestReply {
+  static constexpr MessageType kType = MessageType::kIngestReply;
+
+  Errc status = Errc::kOk;
+  std::uint64_t stream = 0;
+  std::uint32_t version = 0;
+  /// kBusy only: suggested client backoff before retrying admission.
+  std::uint32_t retry_ms = 0;
+  /// Echo of the batch size `needed` indexes into (decode bound).
+  std::uint32_t query_count = 0;
+  /// Strictly ascending positions into the batch that need payloads.
+  std::vector<std::uint32_t> needed;
+
+  friend bool operator==(const IngestReply&, const IngestReply&) = default;
+};
+
 using Message = std::variant<FingerprintBatch, VerdictBatch, IndexEntryBatch,
                              ChunkLocateRequest, ChunkLocateReply, ChunkData,
-                             Control, GcMarkRequest, GcMarkReply, GcInstall>;
+                             Control, GcMarkRequest, GcMarkReply, GcInstall,
+                             IngestOpen, IngestBatch, IngestClose,
+                             IngestReply>;
 
 [[nodiscard]] MessageType type_of(const Message& msg) noexcept;
 

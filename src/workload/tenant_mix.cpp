@@ -1,0 +1,66 @@
+#include "workload/tenant_mix.hpp"
+
+#include "common/fmt.hpp"
+#include "common/rng.hpp"
+
+namespace debar::workload {
+
+namespace {
+/// Stream seed for one (seed, tenant, file[, generation]) coordinate:
+/// SplitMix64 expansion keeps nearby coordinates statistically unrelated.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c = 0) {
+  SplitMix64 sm(seed);
+  std::uint64_t s = sm.next() ^ (a * 0x9E3779B97F4A7C15ULL);
+  s ^= (b + 0xBF58476D1CE4E5B9ULL) * 0x94D049BB133111EBULL;
+  s ^= (c + 0x2545F4914F6CDD1DULL) * 0xD1342543DE82EF95ULL;
+  return SplitMix64(s).next();
+}
+}  // namespace
+
+core::Dataset TenantMix::dataset(std::uint64_t tenant,
+                                 std::uint32_t generation) const {
+  core::Dataset out;
+  out.files.reserve(params_.files_per_tenant);
+  for (std::uint64_t f = 0; f < params_.files_per_tenant; ++f) {
+    core::FileData file;
+    file.path = format("tenant-{}/file-{}", tenant, f);
+    file.mtime = generation;
+    file.content.resize(params_.file_bytes);
+
+    // Base content: one deterministic stream per (tenant, file).
+    Xoshiro256 rng(stream_seed(params_.seed, tenant, f));
+    for (std::size_t i = 0; i < file.content.size(); i += 8) {
+      const std::uint64_t word = rng();
+      for (std::size_t j = 0; j < 8 && i + j < file.content.size(); ++j) {
+        file.content[i + j] = static_cast<Byte>(word >> (8 * j));
+      }
+    }
+
+    // Each generation rewrites a few small regions at deterministic
+    // offsets — applied cumulatively so generation g embeds every prior
+    // generation's edits (a real backup chain's drift).
+    const std::uint64_t per_edit =
+        params_.deltas_per_file == 0
+            ? 0
+            : std::max<std::uint64_t>(
+                  params_.delta_bytes / params_.deltas_per_file, 1);
+    for (std::uint32_t g = 1; g <= generation; ++g) {
+      Xoshiro256 edit(stream_seed(params_.seed, tenant, f, g));
+      for (std::uint64_t e = 0; e < params_.deltas_per_file; ++e) {
+        if (file.content.empty() || per_edit == 0) break;
+        const std::uint64_t span =
+            std::min<std::uint64_t>(per_edit, file.content.size());
+        const std::uint64_t offset =
+            edit.below(file.content.size() - span + 1);
+        for (std::uint64_t i = 0; i < span; ++i) {
+          file.content[offset + i] = static_cast<Byte>(edit());
+        }
+      }
+    }
+    out.files.push_back(std::move(file));
+  }
+  return out;
+}
+
+}  // namespace debar::workload

@@ -1,0 +1,53 @@
+// Many-tenant tiny-delta workload: the ingest front end's synthetic
+// fleet (DESIGN.md §5l). Every tenant owns a small file set; each
+// backup generation rewrites a few small regions of every file, so
+// consecutive generations are near-duplicates (the dedup-1 sweet spot)
+// while tenants never share content (cross-tenant dedup stays honest).
+//
+// dataset(tenant, generation) is a pure function of the parameters:
+// the concurrent IngestService and its serial BackupScheduler twin
+// regenerate byte-identical inputs independently, which is what makes
+// the net-ingest restored-byte differential meaningful.
+#pragma once
+
+#include <cstdint>
+
+#include "core/metadata.hpp"
+
+namespace debar::workload {
+
+struct TenantMixParams {
+  std::uint64_t tenants = 64;
+  std::uint64_t files_per_tenant = 4;
+  std::uint64_t file_bytes = 64 * 1024;
+  /// Bytes rewritten per file per generation (split over `deltas_per_file`
+  /// point edits at deterministic offsets).
+  std::uint64_t delta_bytes = 4 * 1024;
+  std::uint64_t deltas_per_file = 4;
+  std::uint64_t seed = 1;
+};
+
+class TenantMix {
+ public:
+  explicit TenantMix(TenantMixParams params) : params_(params) {}
+
+  [[nodiscard]] const TenantMixParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Stable job id for a tenant's backup chain.
+  [[nodiscard]] std::uint64_t job_id(std::uint64_t tenant) const noexcept {
+    return 1000 + tenant;
+  }
+
+  /// The dataset tenant `tenant` would read for backup generation
+  /// `generation` (0 = the initial full state). Deterministic: generation
+  /// g is the base content with g rounds of small rewrites applied.
+  [[nodiscard]] core::Dataset dataset(std::uint64_t tenant,
+                                      std::uint32_t generation) const;
+
+ private:
+  TenantMixParams params_;
+};
+
+}  // namespace debar::workload

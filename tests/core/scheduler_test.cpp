@@ -2,10 +2,63 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <type_traits>
+
+#include "core/maintenance.hpp"
+#include "net/meter.hpp"
 #include "workload/file_tree.hpp"
 
 namespace debar::core {
 namespace {
+
+// ---- Counter-width audit (regression for the u32 DayReport wrap) ----
+// Fleet-scale benches aggregate DayReports across simulated years; every
+// counter that accumulates must be 64-bit. The other report structs a
+// horizon sums alongside are audited with it so none regresses quietly.
+static_assert(std::is_same_v<decltype(DayReport::jobs_run), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(DayReport::logical_bytes), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(DayReport::transferred_bytes), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(DayReport::dedup2_rounds), std::uint64_t>);
+static_assert(std::is_same_v<decltype(DayReport::new_chunks), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(MaintenanceReport::bytes_reclaimed),
+                   std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(MaintenanceReport::live_chunks), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(net::TransportStats::bytes_sent), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(net::TransportStats::raw_bytes_sent),
+                   std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(FileStoreStats::logical_bytes), std::uint64_t>);
+static_assert(
+    std::is_same_v<decltype(FileStoreStats::transferred_bytes),
+                   std::uint64_t>);
+
+TEST(DayReportWidthTest, AggregationSurvivesU32Overflow) {
+  // The old u32 counters wrapped at 4 GiB / 4G jobs when a horizon
+  // aggregated daily reports; u64 accumulation must not.
+  DayReport total;
+  const std::uint64_t day_bytes = std::uint64_t{3} << 30;  // 3 GiB/day
+  for (int day = 0; day < 3; ++day) {
+    DayReport report;
+    report.jobs_run = std::uint64_t{2'000'000'000};
+    report.logical_bytes = day_bytes;
+    report.transferred_bytes = day_bytes;
+    total.jobs_run += report.jobs_run;
+    total.logical_bytes += report.logical_bytes;
+    total.transferred_bytes += report.transferred_bytes;
+  }
+  EXPECT_EQ(total.logical_bytes, std::uint64_t{9} << 30);
+  EXPECT_EQ(total.jobs_run, std::uint64_t{6'000'000'000});
+  EXPECT_GT(total.transferred_bytes,
+            std::uint64_t{std::numeric_limits<std::uint32_t>::max()});
+}
 
 BackupServerConfig small_config() {
   BackupServerConfig cfg;
@@ -156,6 +209,45 @@ TEST_F(SchedulerTest, FullCycleWithVerify) {
     }
   }
   EXPECT_TRUE(verified);
+}
+
+// ---- Least-loaded tie-break regression ----
+// The director breaks least-loaded ties toward the lowest *index* in the
+// scheduler's server vector. Before the ctor pinned index order to
+// ascending server id, a caller passing {s1, s0} got a mirror-image
+// assignment (and a different container layout) from one passing
+// {s0, s1}. The bar: per-server-id byte placement is identical no matter
+// how the construction vector was ordered.
+TEST(SchedulerTieBreakTest, AssignmentIndependentOfConstructionOrder) {
+  auto run = [](bool shuffled) {
+    storage::ChunkRepository repo(2);
+    Director director;
+    BackupServer s0(0, small_config(), &repo, &director);
+    BackupServer s1(1, small_config(), &repo, &director);
+    for (int j = 0; j < 5; ++j) {
+      director.define_job("client" + std::to_string(j), "d", 1);
+    }
+    std::vector<BackupServer*> order =
+        shuffled ? std::vector<BackupServer*>{&s1, &s0}
+                 : std::vector<BackupServer*>{&s0, &s1};
+    BackupScheduler scheduler(&director, order, {.dedup2_trigger = 1u << 30});
+    const auto report =
+        scheduler.run_day(1, [&](const JobSpec& spec, std::uint32_t) {
+          return Result<Dataset>(workload::make_dataset(
+              {.files = 2, .mean_file_bytes = 32 * KiB, .seed = spec.job_id}));
+        });
+    EXPECT_TRUE(report.ok());
+    EXPECT_TRUE(scheduler.finalize().ok());
+    // Keyed by server *id*, not vector position.
+    return std::pair{s0.file_store().stats().logical_bytes,
+                     s1.file_store().stats().logical_bytes};
+  };
+  const auto sorted = run(/*shuffled=*/false);
+  const auto shuffled = run(/*shuffled=*/true);
+  EXPECT_GT(sorted.first, 0u);
+  EXPECT_GT(sorted.second, 0u);
+  EXPECT_EQ(sorted.first, shuffled.first);
+  EXPECT_EQ(sorted.second, shuffled.second);
 }
 
 }  // namespace

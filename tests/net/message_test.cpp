@@ -48,6 +48,32 @@ std::vector<Message> sample_messages() {
     install.entries.push_back({fp(50 + i), ContainerId{i * 7 + 1}});
   }
 
+  // Ingest wire (DESIGN.md §5l): open/batch/close plus the shared reply.
+  IngestBatch ingest_begin;
+  ingest_begin.epoch = 4;
+  ingest_begin.stream = 0x1234;
+  ingest_begin.flags = IngestBatch::kBeginFile;
+  ingest_begin.path = "tenant-3/file-0";
+  ingest_begin.file_size = 9 * 512;
+  ingest_begin.mtime = 42;
+  ingest_begin.mode = 0600;
+  for (std::uint64_t i = 0; i < 9; ++i) {
+    ingest_begin.fps.push_back(fp(400 + i));
+    ingest_begin.sizes.push_back(static_cast<std::uint32_t>(512 + i));
+  }
+
+  IngestBatch ingest_end;  // middle/end batch: no metadata serialized
+  ingest_end.epoch = 4;
+  ingest_end.stream = 0x1234;
+  ingest_end.flags = IngestBatch::kEndFile;
+  ingest_end.fps = {fp(500), fp(501)};
+  ingest_end.sizes = {512, 100};
+
+  IngestReply ingest_needed;
+  ingest_needed.stream = 0x1234;
+  ingest_needed.query_count = 9;
+  ingest_needed.needed = {0, 1, 4, 8};
+
   return {
       Message{fps},
       Message{FingerprintBatch{}},  // empty batches are valid heartbeats
@@ -75,6 +101,26 @@ std::vector<Message> sample_messages() {
       Message{install},
       Message{GcInstall{.epoch = 1, .part = 0, .via_store = 0,
                         .entries = {}}},
+      Message{IngestOpen{.epoch = 4, .tenant = 17, .job_id = 1017}},
+      Message{IngestOpen{}},
+      Message{ingest_begin},
+      Message{ingest_end},
+      // One-batch file: both flags set, metadata present, zero chunks
+      // (an empty file is a legal stream).
+      Message{IngestBatch{.epoch = 1,
+                          .stream = 9,
+                          .flags = IngestBatch::kBeginFile |
+                                   IngestBatch::kEndFile,
+                          .path = "empty",
+                          .file_size = 0,
+                          .mtime = 1,
+                          .mode = 0644,
+                          .fps = {},
+                          .sizes = {}}},
+      Message{IngestClose{.epoch = 4, .stream = 0x1234}},
+      Message{ingest_needed},
+      Message{IngestReply{.status = Errc::kBusy, .retry_ms = 7}},
+      Message{IngestReply{.status = Errc::kOk, .stream = 9, .version = 3}},
       Message{Control{Control::kShutdown, 0}},
       Message{Control{Control::kMaintenanceCommit, 4}},
       Message{Control{Control::kMaintenanceAbort, 4}},
@@ -158,6 +204,44 @@ TEST(MessageTest, VerdictIndicesBeyondQueryCountAreRejected) {
   // The two varint deltas are the last two payload bytes (1 then 3);
   // inflating the second pushes the index past query_count.
   bytes[bytes.size() - 1] = Byte{60};
+  EXPECT_FALSE(decode(ByteSpan(bytes.data(), bytes.size())).ok());
+}
+
+TEST(MessageTest, IngestNeededBeyondQueryCountIsRejected) {
+  IngestReply reply;
+  reply.query_count = 4;
+  reply.needed = {0, 3};
+  std::vector<Byte> bytes = encode(0, 1, 5, Message{reply});
+  // `needed` rides the same ascending-delta varints as VerdictBatch; the
+  // final payload byte is the last delta. Inflating it pushes the
+  // position past query_count, which the decoder must refuse.
+  bytes[bytes.size() - 1] = Byte{60};
+  EXPECT_FALSE(decode(ByteSpan(bytes.data(), bytes.size())).ok());
+}
+
+TEST(MessageTest, IngestBatchCountCannotOverrunBuffer) {
+  IngestBatch batch;
+  batch.flags = IngestBatch::kEndFile;  // no metadata: count follows flags
+  batch.stream = 1;
+  batch.fps = {fp(1)};
+  batch.sizes = {512};
+  std::vector<Byte> bytes = encode(0, 1, 5, Message{batch});
+  // Payload layout: epoch(4) stream(8) flags(1) count(4)...; claim 64k
+  // fingerprints in a one-fingerprint frame.
+  bytes[kEnvelopeSize + 13] = Byte{0xFF};
+  bytes[kEnvelopeSize + 14] = Byte{0xFF};
+  EXPECT_FALSE(decode(ByteSpan(bytes.data(), bytes.size())).ok());
+}
+
+TEST(MessageTest, IngestBatchPathLengthCannotOverrunBuffer) {
+  IngestBatch batch;
+  batch.flags = IngestBatch::kBeginFile | IngestBatch::kEndFile;
+  batch.path = "abc";
+  std::vector<Byte> bytes = encode(0, 1, 5, Message{batch});
+  // With kBeginFile the path length leads the metadata block at the same
+  // offset; claim a path far longer than the frame.
+  bytes[kEnvelopeSize + 13] = Byte{0xFF};
+  bytes[kEnvelopeSize + 14] = Byte{0xFF};
   EXPECT_FALSE(decode(ByteSpan(bytes.data(), bytes.size())).ok());
 }
 

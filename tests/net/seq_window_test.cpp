@@ -124,5 +124,44 @@ TEST(SeqWindowTest, ResetPeerLetsAReusedAddressStartAFreshSequenceSpace) {
   EXPECT_TRUE(fresh.ok()) << "reset window must deliver the new tenant";
 }
 
+TEST(SeqWindowTest, ResetPeerDrainsStaleFramesFromTheOldIncarnation) {
+  // The other half of the readmission bug, visible with the codec on:
+  // the old incarnation died with a coalesced run still sitting in the
+  // transport's (peer -> us) queue. reset_peer erases the SeqWindow, so
+  // the stale jumbo frame (seq 0) would be accepted as the NEW
+  // incarnation's first traffic — the receiver would consume a dead
+  // process's messages as fresh. reset_peer must drain the queue before
+  // forgetting the peer.
+  auto transport = std::make_unique<LoopbackTransport>();
+  ASSERT_TRUE(transport->register_endpoint(0, nullptr).ok());
+  ASSERT_TRUE(transport->register_endpoint(1, nullptr).ok());
+  Endpoint receiver(transport.get(), 1, RetryPolicy{},
+                    WireCodecConfig::enabled());
+  {
+    Endpoint original(transport.get(), 0, RetryPolicy{},
+                      WireCodecConfig::enabled());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(
+          original.send_buffered(1, Control{Control::kMaintenanceAck, 111})
+              .ok());
+    }
+    ASSERT_TRUE(original.flush(1).ok());
+  }  // dies with its run undelivered
+
+  receiver.reset_peer(0);
+
+  Endpoint reborn(transport.get(), 0, RetryPolicy{},
+                  WireCodecConfig::enabled());
+  ASSERT_TRUE(reborn.send(1, Control{Control::kMaintenanceAck, 222}).ok());
+  Result<Control> first = receiver.expect<Control>(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().arg, 222u)
+      << "stale pre-drain traffic delivered as the new incarnation's";
+  // Nothing further: the dead incarnation's run is gone for good.
+  Result<Control> residue = receiver.expect<Control>(
+      0, Deadline::after(std::chrono::milliseconds(50)));
+  EXPECT_FALSE(residue.ok());
+}
+
 }  // namespace
 }  // namespace debar::net
